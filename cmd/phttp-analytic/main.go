@@ -1,0 +1,60 @@
+// phttp-analytic evaluates the Section 5 analysis: cluster bandwidth under
+// the multiple handoff mechanism versus back-end request forwarding as a
+// function of mean response size, and the crossover point between them
+// (Figures 5 and 6).
+//
+//	phttp-analytic -server apache
+//	phttp-analytic -server flash -max-kb 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"phttp/internal/analytic"
+	"phttp/internal/core"
+	"phttp/internal/metrics"
+)
+
+func main() {
+	var (
+		srv   = flag.String("server", "apache", "server model: apache or flash")
+		maxKB = flag.Int("max-kb", 100, "largest mean file size (KB)")
+		nodes = flag.Int("nodes", 4, "cluster size (the paper uses 4)")
+		reqs  = flag.Int("reqs-per-conn", 6, "average requests per persistent connection")
+		plot  = flag.Bool("plot", false, "append an ASCII rendering of the figure")
+	)
+	flag.Parse()
+
+	kind := core.Apache
+	switch strings.ToLower(*srv) {
+	case "apache":
+	case "flash":
+		kind = core.Flash
+	default:
+		fmt.Fprintf(os.Stderr, "phttp-analytic: unknown -server %q\n", *srv)
+		os.Exit(1)
+	}
+
+	cfg := analytic.DefaultConfig(kind)
+	cfg.Nodes = *nodes
+	cfg.RequestsPerConn = *reqs
+
+	figure := 5
+	if kind == core.Flash {
+		figure = 6
+	}
+	multi, forward := cfg.Sweep(*maxKB)
+	fmt.Printf("# Figure %d (%s): bandwidth (Mb/s) vs average file size (KB), %d nodes\n",
+		figure, kind, cfg.Nodes)
+	fmt.Print(metrics.Table("KB", multi, forward))
+	if *plot {
+		fmt.Println()
+		fmt.Print(metrics.Plot(60, 16, multi, forward))
+	}
+	cross := cfg.Crossover(int64(*maxKB) << 10)
+	fmt.Printf("# crossover (multiple handoff overtakes BE forwarding): %.1f KB\n",
+		float64(cross)/1024)
+}

@@ -1,0 +1,99 @@
+// phttp-backend runs one prototype back-end node as its own process. The
+// catalog is regenerated deterministically from the workload seed, so every
+// node (and the load generator) agrees on target sizes without shipping
+// files around.
+//
+//	phttp-backend -id 0 -ctrl 127.0.0.1:7100 -peer 127.0.0.1:7200 \
+//	              -handoff /tmp/phttp/be0.sock -peers 1=127.0.0.1:7201
+//
+// Handoff uses SCM_RIGHTS file-descriptor passing, so front-end and
+// back-ends must share a kernel (see DESIGN.md §4.2); use the relay
+// mechanism for cross-machine experiments.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"phttp/internal/cluster"
+	"phttp/internal/core"
+	"phttp/internal/server"
+	"phttp/internal/trace"
+)
+
+func main() {
+	var (
+		id        = flag.Int("id", 0, "node ID (0-based)")
+		ctrl      = flag.String("ctrl", "127.0.0.1:0", "control listen address")
+		peer      = flag.String("peer", "127.0.0.1:0", "peer (lateral fetch) listen address")
+		handoff   = flag.String("handoff", "", "handoff UNIX socket path (required)")
+		peersSpec = flag.String("peers", "", "comma-separated id=addr peer endpoints")
+		cacheMB   = flag.Int64("cache-mb", cluster.PrototypeCacheBytes>>20, "file cache budget (MB)")
+		seed      = flag.Uint64("seed", 1, "workload seed (must match the load generator)")
+		scale     = flag.Float64("time-scale", 1, "divide simulated CPU/disk latencies")
+		simCPU    = flag.Bool("sim-cpu", true, "simulate Apache CPU costs")
+	)
+	flag.Parse()
+	if *handoff == "" {
+		fatalf("-handoff is required")
+	}
+
+	catalog := trace.NewSynth(synthCfg(*seed)).Sizes()
+	be, err := cluster.NewBackend(cluster.BackendConfig{
+		ID:            core.NodeID(*id),
+		Catalog:       catalog,
+		CacheBytes:    *cacheMB << 20,
+		Disk:          server.DefaultDisk(),
+		Costs:         server.ApacheCosts(),
+		SimulateCPU:   *simCPU,
+		TimeScale:     *scale,
+		HandoffSocket: *handoff,
+		CtrlListen:    *ctrl,
+		PeerListen:    *peer,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer be.Close()
+
+	if *peersSpec != "" {
+		peers := make(map[core.NodeID]string)
+		for _, kv := range strings.Split(*peersSpec, ",") {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				fatalf("bad -peers entry %q (want id=addr)", kv)
+			}
+			pid, err := strconv.Atoi(k)
+			if err != nil {
+				fatalf("bad peer id %q", k)
+			}
+			peers[core.NodeID(pid)] = v
+		}
+		be.SetPeers(peers)
+	}
+
+	fmt.Printf("backend %d up: ctrl=%s peer=%s handoff=%s targets=%d\n",
+		*id, be.CtrlAddr(), be.PeerAddr(), be.HandoffPath(), len(catalog))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Printf("backend %d: served %d responses, hit rate %.1f%%\n",
+		*id, be.Served(), 100*be.Store().HitRate())
+}
+
+func synthCfg(seed uint64) trace.SynthConfig {
+	cfg := trace.DefaultSynthConfig()
+	cfg.Seed = seed
+	return cfg
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "phttp-backend: "+format+"\n", args...)
+	os.Exit(1)
+}

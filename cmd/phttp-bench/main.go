@@ -1,0 +1,124 @@
+// phttp-bench drives the full prototype cluster (in-process: front-end,
+// back-ends and load generator in one process, communicating over real
+// sockets with real fd-passing handoff) across policies and cluster sizes,
+// regenerating Figure 13 and the Section 8.2 front-end utilization figure.
+//
+//	phttp-bench                      # Figure 13, 1-6 nodes
+//	phttp-bench -time-scale 20       # faster wall clock, same shape
+//
+// Simulated CPU/disk latencies are divided by -time-scale; reported
+// throughput is normalized back (multiplied by 1/scale) so the numbers are
+// comparable to the paper's 300 MHz-era hardware.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"phttp/internal/cluster"
+	"phttp/internal/core"
+	"phttp/internal/loadgen"
+	"phttp/internal/metrics"
+	"phttp/internal/trace"
+)
+
+// protoCombo is one prototype policy/mechanism/workload combination of
+// Figure 13.
+type protoCombo struct {
+	name   string
+	policy string
+	mech   core.Mechanism
+	http10 bool
+}
+
+func protoCombos() []protoCombo {
+	return []protoCombo{
+		{"BEforward-extLARD-PHTTP", "extlard", core.BEForwarding, false},
+		{"simple-LARD", "lard", core.SingleHandoff, true},
+		{"simple-LARD-PHTTP", "lard", core.SingleHandoff, false},
+		{"WRR-PHTTP", "wrr", core.SingleHandoff, false},
+		{"WRR", "wrr", core.SingleHandoff, true},
+	}
+}
+
+func main() {
+	var (
+		maxNodes = flag.Int("max-nodes", 6, "largest cluster size")
+		conns    = flag.Int("connections", 6000, "trace connections per run")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		scale    = flag.Float64("time-scale", 10, "divide simulated latencies (results are normalized back)")
+		clients  = flag.Int("clients", 0, "concurrent clients (0 = 32 per node)")
+		cacheMB  = flag.Int64("cache-mb", cluster.PrototypeCacheBytes>>20, "per-node cache (MB); scale it with -connections so the touched working set stays ~5x one cache")
+		only     = flag.String("only", "", "run only the named combination (e.g. BEforward-extLARD-PHTTP)")
+	)
+	flag.Parse()
+
+	tcfg := trace.DefaultSynthConfig()
+	tcfg.Seed = *seed
+	tcfg.Connections = *conns
+	tr := trace.NewSynth(tcfg).Generate()
+	fmt.Fprint(os.Stderr, trace.ComputeStats(tr))
+
+	var series []*metrics.Series
+	feUtil := &metrics.Series{Name: "FE-util-%(BEforward-extLARD-PHTTP)"}
+	for _, combo := range protoCombos() {
+		if *only != "" && combo.name != *only {
+			continue
+		}
+		s := &metrics.Series{Name: combo.name}
+		for n := 1; n <= *maxNodes; n++ {
+			thr, util, err := runOne(combo, n, tr, *scale, *clients, *cacheMB<<20)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "phttp-bench: %s n=%d: %v\n", combo.name, n, err)
+				os.Exit(1)
+			}
+			s.Add(float64(n), thr)
+			if combo.name == "BEforward-extLARD-PHTTP" {
+				feUtil.Add(float64(n), 100*util)
+			}
+			fmt.Fprintf(os.Stderr, "%-26s n=%d  %8.1f req/s (normalized)  FE %4.1f%%\n",
+				combo.name, n, thr, 100*util)
+		}
+		series = append(series, s)
+	}
+	fmt.Printf("# Figure 13: prototype throughput (req/s, normalized to modeled hardware) vs nodes\n")
+	fmt.Print(metrics.Table("nodes", series...))
+	fmt.Printf("\n# Section 8.2: front-end utilization under BEforward-extLARD-PHTTP\n")
+	fmt.Print(metrics.Table("nodes", feUtil))
+}
+
+// runOne starts a cluster, replays the trace, and returns normalized
+// throughput (req/s on modeled hardware) and front-end utilization.
+func runOne(combo protoCombo, nodes int, tr *trace.Trace, scale float64, clients int, cacheBytes int64) (float64, float64, error) {
+	cfg := cluster.DefaultConfig(nodes, tr.Sizes)
+	cfg.Policy = combo.policy
+	cfg.Mechanism = combo.mech
+	cfg.TimeScale = scale
+	cfg.CacheBytes = cacheBytes
+	cl, err := cluster.Start(cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer cl.Close()
+
+	if clients <= 0 {
+		clients = 32 * nodes
+	}
+	res, err := loadgen.Run(loadgen.Config{
+		Addr:        cl.Addr(),
+		Trace:       tr,
+		HTTP10:      combo.http10,
+		Concurrency: clients,
+		WarmupFrac:  0.2,
+		IOTimeout:   2 * time.Minute,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	if res.Errors > 0 {
+		return 0, 0, fmt.Errorf("%d request errors", res.Errors)
+	}
+	return res.Throughput / scale, cl.FE.Utilization(), nil
+}

@@ -1,0 +1,91 @@
+// phttp-frontend runs the prototype front-end as its own process: it
+// accepts client connections, runs the dispatcher (WRR / LARD / extended
+// LARD) and hands connections off to the back-ends.
+//
+//	phttp-frontend -listen 127.0.0.1:8080 -policy extlard -mechanism beforward \
+//	               -backend 127.0.0.1:7100,/tmp/phttp/be0.sock \
+//	               -backend 127.0.0.1:7101,/tmp/phttp/be1.sock
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"phttp/internal/cluster"
+	"phttp/internal/core"
+	"phttp/internal/policy"
+)
+
+// backendFlags collects repeated -backend flags.
+type backendFlags []cluster.BackendEndpoints
+
+func (b *backendFlags) String() string { return fmt.Sprint(*b) }
+
+func (b *backendFlags) Set(v string) error {
+	ctrl, handoff, ok := strings.Cut(v, ",")
+	if !ok {
+		return fmt.Errorf("want ctrlAddr,handoffPath, got %q", v)
+	}
+	*b = append(*b, cluster.BackendEndpoints{Ctrl: ctrl, Handoff: handoff})
+	return nil
+}
+
+func main() {
+	var backends backendFlags
+	var (
+		listen  = flag.String("listen", "127.0.0.1:8080", "client listen address")
+		polName = flag.String("policy", "extlard", "wrr, lard or extlard")
+		mech    = flag.String("mechanism", "beforward", "singlehandoff, beforward or relay")
+		cacheMB = flag.Int64("cache-mb", cluster.PrototypeCacheBytes>>20, "per-node cache estimate for the mapping model (MB)")
+		idle    = flag.Duration("idle-timeout", 15*time.Second, "persistent connection idle close interval")
+	)
+	flag.Var(&backends, "backend", "back-end endpoint as ctrlAddr,handoffPath (repeat per node)")
+	flag.Parse()
+	if len(backends) == 0 {
+		fatalf("at least one -backend is required")
+	}
+
+	var m core.Mechanism
+	switch strings.ToLower(*mech) {
+	case "singlehandoff":
+		m = core.SingleHandoff
+	case "beforward":
+		m = core.BEForwarding
+	case "relay":
+		m = core.RelayFrontEnd
+	default:
+		fatalf("unknown -mechanism %q", *mech)
+	}
+
+	fe, err := cluster.NewFrontEnd(cluster.FrontEndConfig{
+		Nodes:        len(backends),
+		Policy:       *polName,
+		Mechanism:    m,
+		Params:       policy.DefaultParams(),
+		CacheBytes:   *cacheMB << 20,
+		IdleTimeout:  *idle,
+		ClientListen: *listen,
+	}, backends)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer fe.Close()
+	fmt.Printf("frontend up: clients=%s policy=%s mechanism=%s nodes=%d\n",
+		fe.Addr(), *polName, m, len(backends))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Printf("frontend: %d connections, %d requests, utilization %.1f%%\n",
+		fe.Connections(), fe.Requests(), 100*fe.Utilization())
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "phttp-frontend: "+format+"\n", args...)
+	os.Exit(1)
+}

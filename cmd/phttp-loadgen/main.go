@@ -1,0 +1,51 @@
+// phttp-loadgen replays the synthetic trace against a running prototype
+// front-end and reports throughput, the prototype-side analogue of the
+// paper's client software ("an event-driven program that simulates multiple
+// HTTP clients... as fast as the server cluster can handle").
+//
+//	phttp-loadgen -addr 127.0.0.1:8080 -clients 64
+//	phttp-loadgen -addr 127.0.0.1:8080 -http10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"phttp/internal/loadgen"
+	"phttp/internal/trace"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:8080", "front-end address")
+		clients = flag.Int("clients", 64, "concurrent simulated clients")
+		http10  = flag.Bool("http10", false, "speak HTTP/1.0 (one request per connection)")
+		conns   = flag.Int("connections", 10000, "trace connections to replay")
+		seed    = flag.Uint64("seed", 1, "workload seed (must match the back-ends)")
+		warmup  = flag.Float64("warmup", 0.2, "fraction of connections excluded from measurement")
+		verify  = flag.Bool("verify", true, "verify response sizes and content")
+	)
+	flag.Parse()
+
+	cfg := trace.DefaultSynthConfig()
+	cfg.Seed = *seed
+	cfg.Connections = *conns
+	tr := trace.NewSynth(cfg).Generate()
+
+	start := time.Now()
+	res, err := loadgen.Run(loadgen.Config{
+		Addr:        *addr,
+		Trace:       tr,
+		HTTP10:      *http10,
+		Concurrency: *clients,
+		WarmupFrac:  *warmup,
+		Verify:      *verify,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "phttp-loadgen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%v (wall %v)\n", res, time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,125 @@
+// phttp-sim runs the trace-driven cluster simulator and regenerates the
+// paper's simulation figures:
+//
+//	phttp-sim -fig 7                  # Apache throughput vs cluster size
+//	phttp-sim -fig 8                  # Flash throughput vs cluster size
+//	phttp-sim -fig 3                  # single-node delay/throughput curve
+//	phttp-sim -combo BEforward-extLARD-PHTTP -nodes 4
+//
+// Output is a tab-separated table, one series per figure curve.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"phttp/internal/core"
+	"phttp/internal/metrics"
+	"phttp/internal/server"
+	"phttp/internal/sim"
+	"phttp/internal/trace"
+)
+
+func main() {
+	var (
+		fig      = flag.Int("fig", 0, "figure to regenerate: 3, 7 or 8 (0 = single run)")
+		combo    = flag.String("combo", "BEforward-extLARD-PHTTP", "policy/mechanism combination for a single run")
+		nodes    = flag.Int("nodes", 4, "cluster size for a single run")
+		maxNodes = flag.Int("max-nodes", 10, "largest cluster size in figure sweeps")
+		srv      = flag.String("server", "", "server model: apache or flash (overrides the figure default)")
+		conns    = flag.Int("connections", 0, "trace connections (0 = generator default)")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		verbose  = flag.Bool("v", false, "print per-run details (hit rate, utilizations)")
+		list     = flag.Bool("list", false, "list the available policy/mechanism combinations and exit")
+		plot     = flag.Bool("plot", false, "append an ASCII rendering of the figure")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, c := range sim.Combos() {
+			fmt.Println(c.Name)
+		}
+		fmt.Println("relayFE-extLARD-PHTTP")
+		fmt.Println("simple-LARDR")
+		fmt.Println("simple-LARDR-PHTTP")
+		return
+	}
+
+	cfg := trace.DefaultSynthConfig()
+	cfg.Seed = *seed
+	if *conns > 0 {
+		cfg.Connections = *conns
+	}
+	fmt.Fprintf(os.Stderr, "generating workload (%d connections, seed %d)...\n", cfg.Connections, cfg.Seed)
+	tr := trace.NewSynth(cfg).Generate()
+	fmt.Fprint(os.Stderr, trace.ComputeStats(tr))
+
+	kind := core.Apache
+	switch *fig {
+	case 8:
+		kind = core.Flash
+	}
+	if *srv != "" {
+		switch strings.ToLower(*srv) {
+		case "apache":
+			kind = core.Apache
+		case "flash":
+			kind = core.Flash
+		default:
+			fatalf("unknown -server %q (want apache or flash)", *srv)
+		}
+	}
+
+	switch *fig {
+	case 0:
+		c, err := sim.ComboByName(*combo)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		rc := sim.DefaultConfig(*nodes, c)
+		rc.Server = server.CostsFor(kind)
+		res, err := sim.Run(rc, tr)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Println(res)
+	case 3:
+		loads := []int{1, 2, 4, 8, 16, 24, 32, 48, 64, 96, 128, 192, 256}
+		thr, delay, err := sim.DelaySweep(kind, loads, tr)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("# Figure 3 (%s): single back-end throughput and delay vs offered load\n", kind)
+		fmt.Print(metrics.Table("load(conns)", thr, delay))
+	case 7, 8:
+		ns := make([]int, 0, *maxNodes)
+		for n := 1; n <= *maxNodes; n++ {
+			ns = append(ns, n)
+		}
+		series, results, err := sim.ClusterSweep(kind, ns, sim.Combos(), tr)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("# Figure %d (%s): cluster throughput (req/s) vs nodes\n", *fig, kind)
+		fmt.Print(metrics.Table("nodes", series...))
+		if *plot {
+			fmt.Println()
+			fmt.Print(metrics.Plot(60, 16, series...))
+		}
+		if *verbose {
+			fmt.Println()
+			for _, r := range results {
+				fmt.Println(r)
+			}
+		}
+	default:
+		fatalf("unknown -fig %d (want 3, 7 or 8)", *fig)
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "phttp-sim: "+format+"\n", args...)
+	os.Exit(1)
+}

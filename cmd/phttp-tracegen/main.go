@@ -1,0 +1,48 @@
+// phttp-tracegen generates the synthetic Rice-like workload: either a
+// Common Log Format server log (the form real traces arrive in) or summary
+// statistics of the reconstructed P-HTTP trace.
+//
+//	phttp-tracegen -connections 60000 > access.log
+//	phttp-tracegen -stats
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"phttp/internal/trace"
+)
+
+func main() {
+	var (
+		conns = flag.Int("connections", 0, "connections to generate (0 = default)")
+		seed  = flag.Uint64("seed", 1, "generator seed")
+		stats = flag.Bool("stats", false, "print trace statistics instead of the log")
+	)
+	flag.Parse()
+
+	cfg := trace.DefaultSynthConfig()
+	cfg.Seed = *seed
+	if *conns > 0 {
+		cfg.Connections = *conns
+	}
+	synth := trace.NewSynth(cfg)
+
+	if *stats {
+		tr := synth.Generate()
+		fmt.Print(trace.ComputeStats(tr))
+		return
+	}
+	entries := synth.GenerateEntries()
+	w := bufio.NewWriterSize(os.Stdout, 1<<20)
+	if err := trace.WriteCLF(w, entries); err != nil {
+		fmt.Fprintf(os.Stderr, "phttp-tracegen: %v\n", err)
+		os.Exit(1)
+	}
+	if err := w.Flush(); err != nil {
+		fmt.Fprintf(os.Stderr, "phttp-tracegen: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,18 @@
+// Package phttp is a from-scratch Go reproduction of Aron, Druschel and
+// Zwaenepoel, "Efficient Support for P-HTTP in Cluster-Based Web Servers"
+// (USENIX Annual Technical Conference, 1999).
+//
+// The module contains the paper's policies (LARD via its three cost
+// metrics, extended LARD for persistent connections, weighted round-robin),
+// its request distribution mechanisms (TCP single and multiple handoff,
+// back-end request forwarding, a relaying front-end, and the zero-cost
+// ideal), the trace-driven cluster simulator and analytic model behind its
+// evaluation figures, and a runnable prototype cluster whose TCP handoff is
+// emulated with SCM_RIGHTS file-descriptor passing.
+//
+// Start with README.md (usage), DESIGN.md (system inventory and documented
+// substitutions) and EXPERIMENTS.md (paper-vs-measured results). The root
+// package holds only this documentation and the per-figure benchmark
+// harness (bench_test.go); the implementation lives under internal/ and the
+// executables under cmd/.
+package phttp

@@ -1,0 +1,110 @@
+// Package analytic implements the closed-form performance analysis of
+// Section 5 of the paper: the bandwidth a four-node cluster delivers under
+// the multiple handoff mechanism versus the back-end forwarding mechanism,
+// as a function of the average response size, under the pessimal assumption
+// that every request after the first on a persistent connection is served by
+// a back-end other than the connection-handling node.
+//
+// The analysis confirms the paper's trade-off: back-end forwarding exchanges
+// a per-byte response forwarding cost for the per-request handoff overhead,
+// so it wins for small responses and loses for large ones. The crossover
+// point depends only on the relative cost of handoff versus data forwarding.
+package analytic
+
+import (
+	"phttp/internal/core"
+	"phttp/internal/metrics"
+	"phttp/internal/server"
+)
+
+// Config parameterizes the analysis.
+type Config struct {
+	// Costs is the server cost model (Apache or Flash).
+	Costs server.Costs
+	// Nodes is the cluster size (the paper uses four).
+	Nodes int
+	// RequestsPerConn is the average number of requests per persistent
+	// connection. The result is nearly independent of it (the paper notes
+	// this); it only dilutes the per-connection setup cost.
+	RequestsPerConn int
+}
+
+// DefaultConfig returns the paper's four-node analysis for the given server.
+func DefaultConfig(kind core.ServerKind) Config {
+	return Config{Costs: server.CostsFor(kind), Nodes: 4, RequestsPerConn: 6}
+}
+
+// aggregateCPU returns the total back-end CPU microseconds consumed per
+// request of size bytes under each mechanism, averaged over a connection of
+// k requests whose k-1 followers are all served remotely (the pessimal
+// assumption). The front-end is assumed not to be the bottleneck, as in the
+// paper's analysis.
+func (c Config) aggregateCPU(size int64) (multi, forward float64) {
+	k := float64(c.RequestsPerConn)
+	costs := c.Costs
+
+	// Per-connection work shared by both mechanisms: establishment,
+	// handoff to the first node, teardown.
+	perConn := float64(costs.ConnSetup + costs.HandoffBE + costs.ConnTeardown)
+
+	// Work common to any serve of one request.
+	serve := float64(costs.PerRequest + costs.Transmit(size))
+
+	// Multiple handoff: each follower migrates the connection, costing
+	// both back-ends handoff work, then serves locally.
+	migrate := float64(2 * costs.HandoffBE)
+	multi = perConn/k + serve + (k-1)/k*migrate
+
+	// Back-end forwarding: each follower is produced remotely
+	// (per-request forwarding overhead on both nodes) and its bytes cross
+	// the handling node's CPU once more on the way to the client.
+	lateral := float64(2*costs.ForwardPerRequest) + float64(costs.ForwardRecv(size))
+	forward = perConn/k + serve + (k-1)/k*lateral
+	return multi, forward
+}
+
+// Bandwidth returns the delivered bandwidth in Mb/s for both mechanisms at
+// the given average response size: the cluster's aggregate back-end CPU
+// (Nodes seconds of CPU per second) divided by the per-request CPU cost,
+// times the response size.
+func (c Config) Bandwidth(size int64) (multiMbps, forwardMbps float64) {
+	multi, forward := c.aggregateCPU(size)
+	toMbps := func(cpuMicros float64) float64 {
+		if cpuMicros <= 0 {
+			return 0
+		}
+		reqPerSec := float64(c.Nodes) * 1e6 / cpuMicros
+		return reqPerSec * float64(size) * 8 / 1e6
+	}
+	return toMbps(multi), toMbps(forward)
+}
+
+// Crossover returns the response size in bytes at which the multiple
+// handoff mechanism overtakes back-end forwarding, found by scanning in
+// 512-byte steps up to maxSize. It returns maxSize if forwarding still wins
+// there.
+func (c Config) Crossover(maxSize int64) int64 {
+	for size := int64(512); size <= maxSize; size += 512 {
+		multi, forward := c.aggregateCPU(size)
+		if multi < forward {
+			return size
+		}
+	}
+	return maxSize
+}
+
+// Sweep evaluates both mechanisms over average file sizes from 1 KB to
+// maxKB in 1 KB steps, producing the two series of Figure 5 (Apache) or
+// Figure 6 (Flash). X is the average file size in KB, Y the bandwidth in
+// Mb/s.
+func (c Config) Sweep(maxKB int) (multi, forward *metrics.Series) {
+	name := c.Costs.Kind.String()
+	multi = &metrics.Series{Name: name + "-multiHandoff"}
+	forward = &metrics.Series{Name: name + "-BEforward"}
+	for kb := 1; kb <= maxKB; kb++ {
+		m, f := c.Bandwidth(int64(kb) << 10)
+		multi.Add(float64(kb), m)
+		forward.Add(float64(kb), f)
+	}
+	return multi, forward
+}

@@ -1,0 +1,95 @@
+package analytic
+
+import (
+	"testing"
+
+	"phttp/internal/core"
+)
+
+func TestCrossoverOrdering(t *testing.T) {
+	apache := DefaultConfig(core.Apache).Crossover(200 << 10)
+	flash := DefaultConfig(core.Flash).Crossover(200 << 10)
+	if apache <= 0 || flash <= 0 {
+		t.Fatal("no crossover found")
+	}
+	// Flash's cheap per-byte handling keeps forwarding attractive up to
+	// larger responses, so its crossover lies above Apache's.
+	if flash <= apache {
+		t.Errorf("crossover(flash)=%d should exceed crossover(apache)=%d", flash, apache)
+	}
+	// Both crossovers straddle typical Web response sizes: the paper's
+	// conclusion needs them in the single-digit-to-low-tens KB band.
+	if apache < 2<<10 || apache > 16<<10 {
+		t.Errorf("apache crossover %d B outside the plausible band", apache)
+	}
+	if flash < 6<<10 || flash > 32<<10 {
+		t.Errorf("flash crossover %d B outside the plausible band", flash)
+	}
+}
+
+func TestForwardingWinsBelowCrossoverMultiAbove(t *testing.T) {
+	for _, kind := range []core.ServerKind{core.Apache, core.Flash} {
+		cfg := DefaultConfig(kind)
+		cross := cfg.Crossover(200 << 10)
+		m, f := cfg.Bandwidth(cross / 2)
+		if f <= m {
+			t.Errorf("%v: below crossover BE forwarding (%.1f) should beat multi handoff (%.1f)", kind, f, m)
+		}
+		m, f = cfg.Bandwidth(cross * 4)
+		if m <= f {
+			t.Errorf("%v: above crossover multi handoff (%.1f) should beat BE forwarding (%.1f)", kind, m, f)
+		}
+	}
+}
+
+func TestBandwidthMonotoneInSize(t *testing.T) {
+	cfg := DefaultConfig(core.Apache)
+	prevM, prevF := 0.0, 0.0
+	for kb := 1; kb <= 100; kb++ {
+		m, f := cfg.Bandwidth(int64(kb) << 10)
+		if m < prevM || f < prevF {
+			t.Fatalf("bandwidth decreased at %d KB", kb)
+		}
+		prevM, prevF = m, f
+	}
+}
+
+func TestNearlyIndependentOfRequestsPerConn(t *testing.T) {
+	// The paper notes the crossover is nearly independent of the number
+	// of requests per connection.
+	base := DefaultConfig(core.Apache)
+	base.RequestsPerConn = 2
+	c2 := base.Crossover(200 << 10)
+	base.RequestsPerConn = 20
+	c20 := base.Crossover(200 << 10)
+	diff := float64(c2-c20) / float64(c2)
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 0.25 {
+		t.Errorf("crossover varies %.0f%% between k=2 (%d) and k=20 (%d)", 100*diff, c2, c20)
+	}
+}
+
+func TestSweepSeries(t *testing.T) {
+	multi, forward := DefaultConfig(core.Flash).Sweep(50)
+	if len(multi.Points) != 50 || len(forward.Points) != 50 {
+		t.Fatalf("sweep lengths %d/%d", len(multi.Points), len(forward.Points))
+	}
+	if multi.Points[0].X != 1 || multi.Points[49].X != 50 {
+		t.Error("sweep X axis wrong")
+	}
+	for i := range multi.Points {
+		if multi.Points[i].Y <= 0 || forward.Points[i].Y <= 0 {
+			t.Fatal("non-positive bandwidth in sweep")
+		}
+	}
+}
+
+func TestFlashOutperformsApache(t *testing.T) {
+	am, af := DefaultConfig(core.Apache).Bandwidth(8 << 10)
+	fm, ff := DefaultConfig(core.Flash).Bandwidth(8 << 10)
+	if fm <= am || ff <= af {
+		t.Errorf("Flash (%.1f/%.1f) should outperform Apache (%.1f/%.1f)", fm, ff, am, af)
+	}
+}

@@ -1,0 +1,225 @@
+package cache
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"phttp/internal/core"
+)
+
+func TestLRUBasicInsertLookup(t *testing.T) {
+	c := NewLRU(100)
+	if c.Lookup("/a") {
+		t.Error("empty cache reported a hit")
+	}
+	c.Insert("/a", 40)
+	if !c.Lookup("/a") {
+		t.Error("inserted target missed")
+	}
+	if c.Bytes() != 40 || c.Len() != 1 {
+		t.Errorf("Bytes=%d Len=%d, want 40/1", c.Bytes(), c.Len())
+	}
+	if c.Hits() != 1 || c.Misses() != 1 {
+		t.Errorf("hits=%d misses=%d, want 1/1", c.Hits(), c.Misses())
+	}
+}
+
+func TestLRUEvictsLeastRecentlyUsed(t *testing.T) {
+	c := NewLRU(100)
+	c.Insert("/a", 40)
+	c.Insert("/b", 40)
+	c.Lookup("/a") // promote /a; /b is now LRU
+	evicted := c.Insert("/c", 40)
+	if len(evicted) != 1 || evicted[0] != core.Target("/b") {
+		t.Errorf("evicted %v, want [/b]", evicted)
+	}
+	if !c.Contains("/a") || !c.Contains("/c") || c.Contains("/b") {
+		t.Error("wrong survivors after eviction")
+	}
+}
+
+func TestLRUOversizeTargetNotCached(t *testing.T) {
+	c := NewLRU(100)
+	c.Insert("/a", 40)
+	if ev := c.Insert("/huge", 200); ev != nil {
+		t.Errorf("oversize insert evicted %v", ev)
+	}
+	if c.Contains("/huge") {
+		t.Error("oversize target cached")
+	}
+	if !c.Contains("/a") {
+		t.Error("oversize insert disturbed existing entries")
+	}
+}
+
+func TestLRUResize(t *testing.T) {
+	c := NewLRU(100)
+	c.Insert("/a", 30)
+	c.Insert("/a", 60) // resize in place
+	if c.Bytes() != 60 || c.Len() != 1 {
+		t.Errorf("Bytes=%d Len=%d after resize, want 60/1", c.Bytes(), c.Len())
+	}
+}
+
+func TestLRURemoveAndClear(t *testing.T) {
+	c := NewLRU(100)
+	c.Insert("/a", 10)
+	c.Insert("/b", 10)
+	if !c.Remove("/a") || c.Remove("/a") {
+		t.Error("Remove semantics wrong")
+	}
+	if c.Bytes() != 10 {
+		t.Errorf("Bytes=%d after remove, want 10", c.Bytes())
+	}
+	c.Clear()
+	if c.Len() != 0 || c.Bytes() != 0 {
+		t.Error("Clear left residue")
+	}
+}
+
+func TestLRUContainsDoesNotPromoteOrCount(t *testing.T) {
+	c := NewLRU(100)
+	c.Insert("/a", 40)
+	c.Insert("/b", 40)
+	c.Contains("/a") // must NOT promote
+	ev := c.Insert("/c", 40)
+	if len(ev) != 1 || ev[0] != core.Target("/a") {
+		t.Errorf("evicted %v, want [/a]: Contains promoted", ev)
+	}
+	if c.Hits() != 0 || c.Misses() != 0 {
+		t.Error("Contains touched counters")
+	}
+}
+
+func TestLRUTargetsOrder(t *testing.T) {
+	c := NewLRU(1000)
+	c.Insert("/a", 1)
+	c.Insert("/b", 1)
+	c.Insert("/c", 1)
+	c.Lookup("/a")
+	got := c.Targets()
+	want := []core.Target{"/a", "/c", "/b"}
+	if len(got) != 3 {
+		t.Fatalf("Targets() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Targets()[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLRUHitRate(t *testing.T) {
+	c := NewLRU(100)
+	c.Insert("/a", 10)
+	c.Lookup("/a")
+	c.Lookup("/a")
+	c.Lookup("/missing")
+	if got := c.HitRate(); got != 2.0/3.0 {
+		t.Errorf("HitRate() = %v, want 2/3", got)
+	}
+	c.ResetStats()
+	if c.HitRate() != 0 {
+		t.Error("ResetStats did not zero counters")
+	}
+}
+
+// Property: the byte budget is never exceeded and Bytes always equals the
+// sum of cached entry sizes, under arbitrary insert/lookup/remove mixes.
+func TestLRUInvariants(t *testing.T) {
+	const capacity = 1000
+	f := func(ops []uint16) bool {
+		c := NewLRU(capacity)
+		shadow := map[core.Target]int64{}
+		for _, op := range ops {
+			target := core.Target(fmt.Sprintf("/t%d", op%50))
+			size := int64(op%300) + 1
+			switch op % 3 {
+			case 0:
+				evicted := c.Insert(target, size)
+				if size <= capacity {
+					shadow[target] = size
+				}
+				for _, e := range evicted {
+					delete(shadow, e)
+				}
+			case 1:
+				c.Lookup(target)
+			case 2:
+				if c.Remove(target) {
+					delete(shadow, target)
+				}
+			}
+			if c.Bytes() > capacity {
+				return false
+			}
+			var sum int64
+			for _, s := range shadow {
+				sum += s
+			}
+			if sum != c.Bytes() || len(shadow) != c.Len() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLRUNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative size did not panic")
+		}
+	}()
+	NewLRU(10).Insert("/a", -1)
+}
+
+func TestMappingBasics(t *testing.T) {
+	m := NewMapping(3, 100)
+	m.Map("/a", 40, 1)
+	if !m.IsMapped("/a", 1) || m.IsMapped("/a", 0) {
+		t.Error("mapping state wrong after Map")
+	}
+	m.Map("/a", 40, 2)
+	nodes := m.NodesFor("/a")
+	if len(nodes) != 2 || nodes[0] != 1 || nodes[1] != 2 {
+		t.Errorf("NodesFor = %v, want [be1 be2]", nodes)
+	}
+	m.Unmap("/a", 1)
+	if m.IsMapped("/a", 1) {
+		t.Error("Unmap did not remove mapping")
+	}
+}
+
+func TestMappingAgesOutUnderBudget(t *testing.T) {
+	m := NewMapping(1, 100)
+	m.Map("/a", 60, 0)
+	m.Map("/b", 60, 0) // /a must age out
+	if m.IsMapped("/a", 0) {
+		t.Error("/a still mapped beyond budget")
+	}
+	if !m.IsMapped("/b", 0) {
+		t.Error("/b not mapped")
+	}
+}
+
+func TestMappingTouchPromotes(t *testing.T) {
+	m := NewMapping(1, 100)
+	m.Map("/a", 50, 0)
+	m.Map("/b", 50, 0)
+	m.Touch("/a", 0)   // /a most recent, /b is LRU
+	m.Map("/c", 50, 0) // evicts /b
+	if !m.IsMapped("/a", 0) || m.IsMapped("/b", 0) {
+		t.Error("Touch did not promote /a over /b")
+	}
+	if got := m.MappedTargets(0); got != 2 {
+		t.Errorf("MappedTargets = %d, want 2", got)
+	}
+	if got := m.MappedBytes(0); got != 100 {
+		t.Errorf("MappedBytes = %d, want 100", got)
+	}
+}

@@ -1,0 +1,183 @@
+// Package cache provides the byte-budgeted LRU cache model used for
+// back-end main-memory caches (both in the simulator and in the prototype
+// doc store) and the front-end's target→node mapping table.
+//
+// The LRU models FreeBSD's unified buffer cache at the granularity the
+// paper's simulator uses: whole targets, evicted least-recently-used first
+// under a byte capacity.
+package cache
+
+import "phttp/internal/core"
+
+type lruEntry struct {
+	target     core.Target
+	size       int64
+	prev, next *lruEntry
+}
+
+// LRU is a least-recently-used cache of targets under a byte budget.
+// The zero value is not usable; call NewLRU.
+type LRU struct {
+	capacity int64
+	bytes    int64
+	entries  map[core.Target]*lruEntry
+	// head is most recent, tail least recent; sentinel-free list.
+	head, tail *lruEntry
+
+	hits, misses int64
+}
+
+// NewLRU returns an empty cache holding at most capacity bytes. A target
+// larger than the capacity is never cached.
+func NewLRU(capacity int64) *LRU {
+	if capacity < 0 {
+		panic("cache: negative capacity")
+	}
+	return &LRU{capacity: capacity, entries: make(map[core.Target]*lruEntry)}
+}
+
+// Capacity returns the byte budget.
+func (c *LRU) Capacity() int64 { return c.capacity }
+
+// Bytes returns the bytes currently cached.
+func (c *LRU) Bytes() int64 { return c.bytes }
+
+// Len returns the number of cached targets.
+func (c *LRU) Len() int { return len(c.entries) }
+
+// Hits and Misses return the Lookup counters.
+func (c *LRU) Hits() int64   { return c.hits }
+func (c *LRU) Misses() int64 { return c.misses }
+
+// HitRate returns hits/(hits+misses), or 0 before any lookup.
+func (c *LRU) HitRate() float64 {
+	t := c.hits + c.misses
+	if t == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(t)
+}
+
+// ResetStats zeroes the hit/miss counters without touching contents.
+func (c *LRU) ResetStats() { c.hits, c.misses = 0, 0 }
+
+func (c *LRU) unlink(e *lruEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *LRU) pushFront(e *lruEntry) {
+	e.next = c.head
+	e.prev = nil
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+// Lookup reports whether target is cached, counting a hit or miss and
+// promoting the target to most-recently-used on a hit.
+func (c *LRU) Lookup(t core.Target) bool {
+	e, ok := c.entries[t]
+	if !ok {
+		c.misses++
+		return false
+	}
+	c.hits++
+	if c.head != e {
+		c.unlink(e)
+		c.pushFront(e)
+	}
+	return true
+}
+
+// Contains reports whether target is cached without promoting it or
+// touching the counters.
+func (c *LRU) Contains(t core.Target) bool {
+	_, ok := c.entries[t]
+	return ok
+}
+
+// Insert caches target with the given size, evicting least-recently-used
+// entries as needed, and returns the evicted targets (nil if none). If the
+// target is already present it is promoted and resized. Targets larger than
+// the capacity are not cached and nothing is evicted for them.
+func (c *LRU) Insert(t core.Target, size int64) []core.Target {
+	if size < 0 {
+		panic("cache: negative size")
+	}
+	if e, ok := c.entries[t]; ok {
+		c.bytes += size - e.size
+		e.size = size
+		if c.head != e {
+			c.unlink(e)
+			c.pushFront(e)
+		}
+		return c.evictOver()
+	}
+	if size > c.capacity {
+		return nil
+	}
+	e := &lruEntry{target: t, size: size}
+	c.entries[t] = e
+	c.pushFront(e)
+	c.bytes += size
+	return c.evictOver()
+}
+
+func (c *LRU) evictOver() []core.Target {
+	var evicted []core.Target
+	for c.bytes > c.capacity && c.tail != nil {
+		victim := c.tail
+		// Never evict the entry just promoted if it is alone.
+		if victim == c.head && len(c.entries) == 1 {
+			break
+		}
+		c.unlink(victim)
+		delete(c.entries, victim.target)
+		c.bytes -= victim.size
+		evicted = append(evicted, victim.target)
+	}
+	return evicted
+}
+
+// Remove evicts target if present, reporting whether it was cached.
+func (c *LRU) Remove(t core.Target) bool {
+	e, ok := c.entries[t]
+	if !ok {
+		return false
+	}
+	c.unlink(e)
+	delete(c.entries, t)
+	c.bytes -= e.size
+	return true
+}
+
+// Clear empties the cache, keeping the capacity and counters.
+func (c *LRU) Clear() {
+	c.entries = make(map[core.Target]*lruEntry)
+	c.head, c.tail = nil, nil
+	c.bytes = 0
+}
+
+// Targets returns the cached targets from most to least recently used.
+// Intended for tests and diagnostics.
+func (c *LRU) Targets() []core.Target {
+	out := make([]core.Target, 0, len(c.entries))
+	for e := c.head; e != nil; e = e.next {
+		out = append(out, e.target)
+	}
+	return out
+}

@@ -1,0 +1,72 @@
+package cache
+
+import "phttp/internal/core"
+
+// Mapping is the front-end dispatcher's model of which back-end nodes
+// currently cache each target: the paper's "mappings between targets and
+// back-end nodes such that a target is considered to be cached on its
+// associated back-end nodes".
+//
+// The model is one LRU per node, sized like the node's main-memory cache,
+// so mappings age out the way the real cache replaces content. A target may
+// be mapped to several nodes at once (replication, which extended LARD's
+// caching heuristic deliberately permits).
+type Mapping struct {
+	perNode []*LRU
+}
+
+// NewMapping returns a mapping model for n nodes, each modeled as an LRU of
+// cacheBytes capacity.
+func NewMapping(n int, cacheBytes int64) *Mapping {
+	m := &Mapping{perNode: make([]*LRU, n)}
+	for i := range m.perNode {
+		m.perNode[i] = NewLRU(cacheBytes)
+	}
+	return m
+}
+
+// Nodes returns the number of nodes modeled.
+func (m *Mapping) Nodes() int { return len(m.perNode) }
+
+// IsMapped reports whether target is believed cached at node n, without
+// promoting it.
+func (m *Mapping) IsMapped(t core.Target, n core.NodeID) bool {
+	return m.perNode[n].Contains(t)
+}
+
+// Map records that node n fetched (and now caches) target of the given
+// size, promoting it and aging out colder mappings under n's budget.
+func (m *Mapping) Map(t core.Target, size int64, n core.NodeID) {
+	m.perNode[n].Insert(t, size)
+}
+
+// Touch promotes target in n's model if mapped (the front-end saw another
+// request for it served there).
+func (m *Mapping) Touch(t core.Target, n core.NodeID) {
+	if m.perNode[n].Contains(t) {
+		m.perNode[n].Lookup(t)
+		m.perNode[n].ResetStats() // Touch is not a statistical lookup
+	}
+}
+
+// Unmap removes the belief that node n caches target.
+func (m *Mapping) Unmap(t core.Target, n core.NodeID) {
+	m.perNode[n].Remove(t)
+}
+
+// NodesFor returns every node believed to cache target, in node order.
+func (m *Mapping) NodesFor(t core.Target) []core.NodeID {
+	var out []core.NodeID
+	for i, lru := range m.perNode {
+		if lru.Contains(t) {
+			out = append(out, core.NodeID(i))
+		}
+	}
+	return out
+}
+
+// MappedBytes returns the bytes of content believed cached at node n.
+func (m *Mapping) MappedBytes(n core.NodeID) int64 { return m.perNode[n].Bytes() }
+
+// MappedTargets returns the number of targets believed cached at node n.
+func (m *Mapping) MappedTargets(n core.NodeID) int { return m.perNode[n].Len() }

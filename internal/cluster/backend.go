@@ -1,0 +1,789 @@
+package cluster
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"phttp/internal/core"
+	"phttp/internal/httpmsg"
+	"phttp/internal/server"
+)
+
+// BackendConfig parameterizes one back-end node.
+type BackendConfig struct {
+	// ID is the node's cluster-wide identity.
+	ID core.NodeID
+	// Catalog maps every servable target to its size.
+	Catalog map[core.Target]int64
+	// CacheBytes is the node's file cache budget.
+	CacheBytes int64
+	// Disk is the simulated disk model.
+	Disk server.DiskParams
+	// Costs is the CPU cost model applied when SimulateCPU is set.
+	Costs server.Costs
+	// SimulateCPU serializes request processing through a single-CPU gate
+	// charging the paper's Apache/Flash costs, so the prototype node
+	// behaves like the testbed's 300 MHz machines rather than a modern
+	// multicore host.
+	SimulateCPU bool
+	// TimeScale divides all simulated latencies (CPU and disk).
+	TimeScale float64
+	// HandoffSocket is the filesystem path of the UNIX socket on which
+	// the node accepts handed-off connections.
+	HandoffSocket string
+	// CtrlListen and PeerListen are the TCP listen addresses; empty means
+	// an ephemeral loopback port (the in-process harness default). The
+	// standalone phttp-backend binary sets fixed ports here.
+	CtrlListen string
+	PeerListen string
+	// DiskReportEvery is the control-session disk queue report interval.
+	DiskReportEvery time.Duration
+}
+
+// cpuGate models the node's single CPU: callers serialize through it for
+// the modeled duration. Because time.Sleep overshoots by scheduler
+// granularity (often hundreds of microseconds on a busy host — comparable
+// to the scaled costs themselves), the gate tracks the overshoot as a debt
+// and discounts future charges, so long-run throughput follows the modeled
+// costs rather than the host's timer resolution.
+type cpuGate struct {
+	mu      sync.Mutex
+	scale   float64
+	enabled bool
+	debt    time.Duration
+}
+
+func (g *cpuGate) use(m core.Micros) {
+	if !g.enabled || m <= 0 {
+		return
+	}
+	want := time.Duration(float64(m) / g.scale * float64(time.Microsecond))
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.debt >= want {
+		g.debt -= want
+		return
+	}
+	want -= g.debt
+	start := time.Now()
+	time.Sleep(want)
+	g.debt = time.Since(start) - want
+	if g.debt < 0 {
+		g.debt = 0
+	}
+}
+
+// Backend is one running back-end node.
+type Backend struct {
+	cfg   BackendConfig
+	store *DocStore
+	cpu   cpuGate
+
+	ctrlLn    net.Listener
+	handoffLn *net.UnixListener
+	peerLn    net.Listener
+
+	ctrlMu sync.Mutex // guards ctrl writes (disk reports)
+	ctrl   net.Conn
+
+	dataMu sync.Mutex // guards relay data conn writes
+	data   net.Conn
+
+	connMu sync.Mutex
+	conns  map[core.ConnID]*beConn
+
+	// tracked holds every accepted network connection so Close can
+	// unblock reader goroutines.
+	trackMu sync.Mutex
+	tracked map[net.Conn]struct{}
+
+	peersMu sync.Mutex
+	peers   map[core.NodeID]*peerPool
+
+	served  int64
+	servedM sync.Mutex
+
+	closed  chan struct{}
+	closeMu sync.Once
+	wg      sync.WaitGroup
+}
+
+// beConn is one client connection owned by this back-end (after handoff) or
+// relayed through the front-end.
+type beConn struct {
+	id    core.ConnID
+	queue chan ctrlMsg
+
+	outMu    sync.Mutex
+	out      net.Conn // handed-off client socket (nil for relay)
+	relay    bool
+	outReady chan struct{}
+}
+
+// NewBackend starts a back-end node: control, handoff and peer listeners
+// are bound immediately (to loopback / the configured UNIX path) and their
+// accept loops run until Close.
+func NewBackend(cfg BackendConfig) (*Backend, error) {
+	if cfg.TimeScale <= 0 {
+		cfg.TimeScale = 1
+	}
+	if cfg.DiskReportEvery <= 0 {
+		cfg.DiskReportEvery = 50 * time.Millisecond
+	}
+	b := &Backend{
+		cfg:     cfg,
+		store:   NewDocStore(cfg.Catalog, cfg.CacheBytes, cfg.Disk, cfg.TimeScale),
+		cpu:     cpuGate{scale: cfg.TimeScale, enabled: cfg.SimulateCPU},
+		conns:   make(map[core.ConnID]*beConn),
+		peers:   make(map[core.NodeID]*peerPool),
+		tracked: make(map[net.Conn]struct{}),
+		closed:  make(chan struct{}),
+	}
+	if cfg.CtrlListen == "" {
+		cfg.CtrlListen = "127.0.0.1:0"
+	}
+	if cfg.PeerListen == "" {
+		cfg.PeerListen = "127.0.0.1:0"
+	}
+	var err error
+	if b.ctrlLn, err = net.Listen("tcp", cfg.CtrlListen); err != nil {
+		return nil, fmt.Errorf("cluster: backend %v control listen: %w", cfg.ID, err)
+	}
+	if b.peerLn, err = net.Listen("tcp", cfg.PeerListen); err != nil {
+		b.ctrlLn.Close()
+		return nil, fmt.Errorf("cluster: backend %v peer listen: %w", cfg.ID, err)
+	}
+	addr, err := net.ResolveUnixAddr("unix", cfg.HandoffSocket)
+	if err == nil {
+		b.handoffLn, err = net.ListenUnix("unix", addr)
+	}
+	if err != nil {
+		b.ctrlLn.Close()
+		b.peerLn.Close()
+		return nil, fmt.Errorf("cluster: backend %v handoff listen: %w", cfg.ID, err)
+	}
+	b.wg.Add(3)
+	go b.acceptCtrl()
+	go b.acceptHandoff()
+	go b.acceptPeers()
+	return b, nil
+}
+
+// CtrlAddr, PeerAddr and HandoffPath advertise the node's endpoints.
+func (b *Backend) CtrlAddr() string    { return b.ctrlLn.Addr().String() }
+func (b *Backend) PeerAddr() string    { return b.peerLn.Addr().String() }
+func (b *Backend) HandoffPath() string { return b.cfg.HandoffSocket }
+
+// Store exposes the doc store (metrics, tests).
+func (b *Backend) Store() *DocStore { return b.store }
+
+// Served returns the number of responses this node has written to clients.
+func (b *Backend) Served() int64 {
+	b.servedM.Lock()
+	defer b.servedM.Unlock()
+	return b.served
+}
+
+func (b *Backend) addServed() {
+	b.servedM.Lock()
+	b.served++
+	b.servedM.Unlock()
+}
+
+// SetPeers wires the lateral-fetch clients to the other nodes' peer
+// addresses. Must be called before traffic that forwards.
+func (b *Backend) SetPeers(addrs map[core.NodeID]string) {
+	b.peersMu.Lock()
+	defer b.peersMu.Unlock()
+	for id, addr := range addrs {
+		if id == b.cfg.ID {
+			continue
+		}
+		b.peers[id] = newPeerPool(addr)
+	}
+}
+
+// track registers an accepted connection for teardown; it reports false if
+// the node is already closing.
+func (b *Backend) track(c net.Conn) bool {
+	b.trackMu.Lock()
+	defer b.trackMu.Unlock()
+	select {
+	case <-b.closed:
+		c.Close()
+		return false
+	default:
+	}
+	b.tracked[c] = struct{}{}
+	return true
+}
+
+func (b *Backend) untrack(c net.Conn) {
+	b.trackMu.Lock()
+	delete(b.tracked, c)
+	b.trackMu.Unlock()
+}
+
+// Close shuts the node down and waits for its goroutines.
+func (b *Backend) Close() {
+	b.closeMu.Do(func() {
+		close(b.closed)
+		b.ctrlLn.Close()
+		b.peerLn.Close()
+		b.handoffLn.Close()
+		b.trackMu.Lock()
+		for c := range b.tracked {
+			c.Close()
+		}
+		b.trackMu.Unlock()
+		b.connMu.Lock()
+		for _, c := range b.conns {
+			c.closeOut()
+		}
+		b.connMu.Unlock()
+		b.peersMu.Lock()
+		for _, p := range b.peers {
+			p.close()
+		}
+		b.peersMu.Unlock()
+	})
+	b.wg.Wait()
+}
+
+// acceptCtrl accepts the front-end's control (and relay data) connections.
+// The first line of each connection announces its role.
+func (b *Backend) acceptCtrl() {
+	defer b.wg.Done()
+	for {
+		conn, err := b.ctrlLn.Accept()
+		if err != nil {
+			return
+		}
+		if !b.track(conn) {
+			return
+		}
+		b.wg.Add(1)
+		go func() {
+			defer b.wg.Done()
+			defer b.untrack(conn)
+			b.serveCtrlConn(conn)
+		}()
+	}
+}
+
+func (b *Backend) serveCtrlConn(conn net.Conn) {
+	br := bufio.NewReader(conn)
+	hello, err := br.ReadString('\n')
+	if err != nil {
+		conn.Close()
+		return
+	}
+	switch hello {
+	case "HELLO CTRL\n":
+		b.ctrlMu.Lock()
+		b.ctrl = conn
+		b.ctrlMu.Unlock()
+		b.wg.Add(1)
+		go func() {
+			defer b.wg.Done()
+			b.reportDiskLoop()
+		}()
+		b.ctrlLoop(br)
+	case "HELLO DATA\n":
+		b.dataMu.Lock()
+		b.data = conn
+		b.dataMu.Unlock()
+		// Held open for relay writes; closed via Close.
+		<-b.closed
+		conn.Close()
+	default:
+		conn.Close()
+	}
+}
+
+// ctrlLoop consumes control messages from the front-end.
+func (b *Backend) ctrlLoop(br *bufio.Reader) {
+	for {
+		msg, err := readCtrl(br)
+		if err != nil {
+			return
+		}
+		switch msg.Kind {
+		case "REQ":
+			c := b.getConn(msg.Conn, false)
+			select {
+			case c.queue <- msg:
+			case <-b.closed:
+				return
+			}
+		case "RELAY":
+			b.getConn(msg.Conn, true)
+		case "CLOSE":
+			c := b.getConn(msg.Conn, false)
+			select {
+			case c.queue <- msg:
+			case <-b.closed:
+				return
+			}
+		}
+	}
+}
+
+// getConn returns the connection record, creating it (and its serve
+// goroutine) on first reference.
+func (b *Backend) getConn(id core.ConnID, relay bool) *beConn {
+	b.connMu.Lock()
+	defer b.connMu.Unlock()
+	if c, ok := b.conns[id]; ok {
+		return c
+	}
+	c := &beConn{
+		id:       id,
+		queue:    make(chan ctrlMsg, 256),
+		relay:    relay,
+		outReady: make(chan struct{}),
+	}
+	if relay {
+		close(c.outReady)
+	}
+	b.conns[id] = c
+	b.wg.Add(1)
+	go func() {
+		defer b.wg.Done()
+		b.serveConn(c)
+	}()
+	return c
+}
+
+func (b *Backend) dropConn(id core.ConnID) {
+	b.connMu.Lock()
+	delete(b.conns, id)
+	b.connMu.Unlock()
+}
+
+// setWriter installs the handed-off client socket on the connection.
+func (c *beConn) setWriter(conn net.Conn) {
+	c.outMu.Lock()
+	defer c.outMu.Unlock()
+	if c.out != nil {
+		conn.Close() // duplicate handoff; keep the first
+		return
+	}
+	c.out = conn
+	close(c.outReady)
+}
+
+func (c *beConn) closeOut() {
+	c.outMu.Lock()
+	defer c.outMu.Unlock()
+	if c.out != nil {
+		c.out.Close()
+		c.out = nil
+	}
+}
+
+// acceptHandoff receives handed-off client connections from the front-end.
+func (b *Backend) acceptHandoff() {
+	defer b.wg.Done()
+	for {
+		uc, err := b.handoffLn.AcceptUnix()
+		if err != nil {
+			return
+		}
+		if !b.track(uc) {
+			return
+		}
+		b.wg.Add(1)
+		go func() {
+			defer b.wg.Done()
+			defer b.untrack(uc)
+			defer uc.Close()
+			for {
+				id, conn, err := RecvConnFD(uc)
+				if err != nil {
+					return
+				}
+				// The paper's handoff costs: the back-end's protocol
+				// module takes over the connection and creates the
+				// server-side socket state.
+				b.cpu.use(b.cfg.Costs.HandoffBE + b.cfg.Costs.ConnSetup)
+				b.getConn(id, false).setWriter(conn)
+			}
+		}()
+	}
+}
+
+// serveConn processes one connection's request queue in order, writing
+// responses directly to the client socket (or relay frames to the
+// front-end).
+func (b *Backend) serveConn(c *beConn) {
+	select {
+	case <-c.outReady:
+	case <-b.closed:
+		return
+	}
+	for {
+		select {
+		case msg := <-c.queue:
+			switch msg.Kind {
+			case "REQ":
+				if err := b.serveRequest(c, msg); err != nil {
+					c.closeOut()
+					b.dropConn(c.id)
+					return
+				}
+			case "CLOSE":
+				b.cpu.use(b.cfg.Costs.ConnTeardown)
+				c.closeOut()
+				b.dropConn(c.id)
+				return
+			}
+		case <-b.closed:
+			c.closeOut()
+			b.dropConn(c.id)
+			return
+		}
+	}
+}
+
+// serveRequest produces one response: locally (cache/disk) or via a lateral
+// fetch from the tagged peer, then transmits it in request order. CPU
+// charges are consolidated into one gate visit per request so the host's
+// sleep granularity does not multiply with the number of cost components.
+func (b *Backend) serveRequest(c *beConn, msg ctrlMsg) error {
+	costs := b.cfg.Costs
+
+	if msg.Remote != core.NoNode && msg.Remote != b.cfg.ID {
+		return b.serveForwarded(c, msg)
+	}
+
+	size, err := b.store.Open(msg.Target)
+	if err != nil {
+		b.cpu.use(costs.PerRequest)
+		return b.writeError(c, msg, 404)
+	}
+	b.cpu.use(costs.PerRequest + costs.Transmit(size))
+	if err := b.writeResponse(c, msg, size, func(w io.Writer) error {
+		return WriteContent(w, msg.Target, size)
+	}); err != nil {
+		return err
+	}
+	b.addServed()
+	return nil
+}
+
+// serveForwarded performs the lateral fetch: request the content from the
+// tagged back-end over a persistent peer connection and forward it on the
+// client connection.
+func (b *Backend) serveForwarded(c *beConn, msg ctrlMsg) error {
+	costs := b.cfg.Costs
+	b.peersMu.Lock()
+	peer := b.peers[msg.Remote]
+	b.peersMu.Unlock()
+	if peer == nil {
+		return b.writeError(c, msg, 502)
+	}
+	size, body, err := peer.fetch(msg.Target)
+	if err != nil {
+		// The peer may have died; surface a gateway error rather than
+		// wedging the client connection.
+		return b.writeError(c, msg, 502)
+	}
+	defer body.Close()
+	b.cpu.use(costs.PerRequest + costs.ForwardPerRequest +
+		costs.ForwardRecv(size) + costs.Transmit(size))
+	if err := b.writeResponse(c, msg, size, func(w io.Writer) error {
+		_, err := io.CopyN(w, body, size)
+		return err
+	}); err != nil {
+		return err
+	}
+	b.addServed()
+	return nil
+}
+
+// writeResponse writes status 200 with the given body producer, either to
+// the handed-off socket or as a relay frame.
+func (b *Backend) writeResponse(c *beConn, msg ctrlMsg, size int64, body func(io.Writer) error) error {
+	head := httpmsg.ResponseHead(msg.Proto, 200, size, msg.Keep)
+	if c.relay {
+		return b.writeRelayFrame(c, msg, head, size, body)
+	}
+	c.outMu.Lock()
+	out := c.out
+	c.outMu.Unlock()
+	if out == nil {
+		return errors.New("cluster: response with no client socket")
+	}
+	bw := bufio.NewWriterSize(out, 32<<10)
+	if _, err := bw.WriteString(head); err != nil {
+		return err
+	}
+	if err := body(bw); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// writeError emits a minimal error response.
+func (b *Backend) writeError(c *beConn, msg ctrlMsg, status int) error {
+	text := httpmsg.StatusText(status) + "\n"
+	head := httpmsg.ResponseHead(msg.Proto, status, int64(len(text)), msg.Keep)
+	if c.relay {
+		return b.writeRelayFrame(c, msg, head, int64(len(text)), func(w io.Writer) error {
+			_, err := io.WriteString(w, text)
+			return err
+		})
+	}
+	c.outMu.Lock()
+	out := c.out
+	c.outMu.Unlock()
+	if out == nil {
+		return errors.New("cluster: response with no client socket")
+	}
+	_, err := io.WriteString(out, head+text)
+	return err
+}
+
+// writeRelayFrame ships a framed response to the front-end's data
+// connection: "RESP <connID> <seq> <len>\n" + len raw HTTP bytes.
+func (b *Backend) writeRelayFrame(c *beConn, msg ctrlMsg, head string, size int64, body func(io.Writer) error) error {
+	b.dataMu.Lock()
+	defer b.dataMu.Unlock()
+	if b.data == nil {
+		return errors.New("cluster: relay response with no data connection")
+	}
+	total := int64(len(head)) + size
+	bw := bufio.NewWriterSize(b.data, 32<<10)
+	if _, err := fmt.Fprintf(bw, "RESP %d %d %d\n", c.id, msg.Seq, total); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(head); err != nil {
+		return err
+	}
+	if err := body(bw); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// reportDiskLoop periodically reports the disk queue depth to the
+// front-end, as the prototype's control sessions do.
+func (b *Backend) reportDiskLoop() {
+	t := time.NewTicker(b.cfg.DiskReportEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			b.ctrlMu.Lock()
+			conn := b.ctrl
+			if conn != nil {
+				if _, err := io.WriteString(conn, formatDiskQ(b.store.DiskQueue())); err != nil {
+					b.ctrlMu.Unlock()
+					return
+				}
+			}
+			b.ctrlMu.Unlock()
+		case <-b.closed:
+			return
+		}
+	}
+}
+
+// acceptPeers serves lateral fetches from other back-ends: plain HTTP over
+// persistent connections.
+func (b *Backend) acceptPeers() {
+	defer b.wg.Done()
+	for {
+		conn, err := b.peerLn.Accept()
+		if err != nil {
+			return
+		}
+		if !b.track(conn) {
+			return
+		}
+		b.wg.Add(1)
+		go func() {
+			defer b.wg.Done()
+			defer b.untrack(conn)
+			defer conn.Close()
+			br := bufio.NewReader(conn)
+			bw := bufio.NewWriterSize(conn, 32<<10)
+			for {
+				req, err := httpmsg.ReadRequest(br)
+				if err != nil {
+					return
+				}
+				// The remote side of a lateral fetch: per-request work
+				// plus the forwarding overhead, content from cache or
+				// disk.
+				b.cpu.use(b.cfg.Costs.PerRequest + b.cfg.Costs.ForwardPerRequest)
+				size, err := b.store.Open(core.Target(req.Target))
+				if err != nil {
+					body := "Not Found\n"
+					io.WriteString(bw, httpmsg.ResponseHead("HTTP/1.1", 404, int64(len(body)), true))
+					io.WriteString(bw, body)
+					if err := bw.Flush(); err != nil {
+						return
+					}
+					continue
+				}
+				if _, err := io.WriteString(bw, httpmsg.ResponseHead("HTTP/1.1", 200, size, true)); err != nil {
+					return
+				}
+				if err := WriteContent(bw, core.Target(req.Target), size); err != nil {
+					return
+				}
+				if err := bw.Flush(); err != nil {
+					return
+				}
+			}
+		}()
+	}
+}
+
+// peerPool multiplexes lateral fetches over a few persistent connections to
+// one peer back-end, so concurrent forwarded requests do not serialize
+// behind a single connection (the paper's NFS transport likewise carried
+// concurrent reads).
+type peerPool struct {
+	clients []*peerClient
+	free    chan *peerClient
+}
+
+// peerPoolSize is the number of persistent connections per peer pair.
+const peerPoolSize = 4
+
+func newPeerPool(addr string) *peerPool {
+	p := &peerPool{free: make(chan *peerClient, peerPoolSize)}
+	for i := 0; i < peerPoolSize; i++ {
+		c := newPeerClient(addr)
+		p.clients = append(p.clients, c)
+		p.free <- c
+	}
+	return p
+}
+
+// fetch checks a connection out of the pool; it is returned when the body
+// is closed (or immediately on error).
+func (p *peerPool) fetch(t core.Target) (int64, io.ReadCloser, error) {
+	c := <-p.free
+	size, body, err := c.fetch(t)
+	if err != nil {
+		p.free <- c
+		return 0, nil, err
+	}
+	return size, &pooledBody{ReadCloser: body, pool: p, client: c}, nil
+}
+
+func (p *peerPool) close() {
+	for _, c := range p.clients {
+		c.close()
+	}
+}
+
+// pooledBody returns the underlying client to the pool on Close.
+type pooledBody struct {
+	io.ReadCloser
+	pool   *peerPool
+	client *peerClient
+}
+
+func (b *pooledBody) Close() error {
+	err := b.ReadCloser.Close()
+	b.pool.free <- b.client
+	return err
+}
+
+// peerClient is a lateral-fetch client holding one persistent connection to
+// a peer back-end (reconnecting on failure).
+type peerClient struct {
+	addr string
+	mu   sync.Mutex
+	conn net.Conn
+	br   *bufio.Reader
+}
+
+func newPeerClient(addr string) *peerClient { return &peerClient{addr: addr} }
+
+// fetch requests target from the peer and returns its size and a body
+// reader that must be fully consumed and closed before the next fetch. The
+// returned reader is only valid while the caller holds it (the client is
+// locked until Close).
+func (p *peerClient) fetch(t core.Target) (int64, io.ReadCloser, error) {
+	p.mu.Lock() // released by the returned body's Close
+	size, body, err := p.fetchLocked(t)
+	if err != nil {
+		p.mu.Unlock()
+		return 0, nil, err
+	}
+	return size, body, nil
+}
+
+func (p *peerClient) fetchLocked(t core.Target) (int64, io.ReadCloser, error) {
+	for attempt := 0; attempt < 2; attempt++ {
+		if p.conn == nil {
+			conn, err := net.Dial("tcp", p.addr)
+			if err != nil {
+				return 0, nil, err
+			}
+			p.conn = conn
+			p.br = bufio.NewReaderSize(conn, 32<<10)
+		}
+		req := httpmsg.Request{
+			Method: "GET", Target: string(t), Proto: "HTTP/1.1",
+			Headers: []httpmsg.Header{{Name: "Host", Value: "peer"}},
+		}
+		if _, err := req.WriteTo(p.conn); err != nil {
+			p.reset()
+			continue
+		}
+		resp, err := httpmsg.ReadResponse(p.br)
+		if err != nil {
+			p.reset()
+			continue
+		}
+		if resp.Status != 200 {
+			// Drain the error body to keep the connection usable.
+			io.CopyN(io.Discard, p.br, resp.ContentLength)
+			return 0, nil, fmt.Errorf("cluster: peer fetch %q: status %d", t, resp.Status)
+		}
+		return resp.ContentLength, &peerBody{p: p, r: io.LimitReader(p.br, resp.ContentLength)}, nil
+	}
+	return 0, nil, fmt.Errorf("cluster: peer %s unreachable", p.addr)
+}
+
+func (p *peerClient) reset() {
+	if p.conn != nil {
+		p.conn.Close()
+		p.conn = nil
+		p.br = nil
+	}
+}
+
+func (p *peerClient) close() {
+	p.mu.Lock()
+	p.reset()
+	p.mu.Unlock()
+}
+
+// peerBody hands the peer connection back (unlocking the client) once the
+// body has been consumed.
+type peerBody struct {
+	p *peerClient
+	r io.Reader
+}
+
+func (b *peerBody) Read(p []byte) (int, error) { return b.r.Read(p) }
+
+func (b *peerBody) Close() error {
+	// Drain any remainder so the next fetch starts aligned.
+	io.Copy(io.Discard, b.r)
+	b.p.mu.Unlock()
+	return nil
+}

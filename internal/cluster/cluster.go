@@ -1,0 +1,166 @@
+package cluster
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"phttp/internal/core"
+	"phttp/internal/policy"
+	"phttp/internal/server"
+)
+
+// Config describes a whole prototype cluster (front-end plus back-ends) for
+// the in-process harness used by tests, benchmarks and the example
+// programs. The standalone binaries (cmd/phttp-frontend, cmd/phttp-backend)
+// assemble the same pieces across processes.
+type Config struct {
+	Nodes     int
+	Policy    string // "wrr", "lard", "extlard"
+	Mechanism core.Mechanism
+	Params    policy.Params
+
+	Catalog    map[core.Target]int64
+	CacheBytes int64
+	Disk       server.DiskParams
+	Costs      server.Costs
+
+	// SimulateCPU applies the Apache/Flash CPU cost model at back-ends.
+	SimulateCPU bool
+	// TimeScale divides simulated latencies so the full system can be
+	// exercised quickly with unchanged relative costs.
+	TimeScale float64
+
+	IdleTimeout time.Duration
+	BatchWindow time.Duration
+}
+
+// PrototypeCacheBytes is the default prototype back-end cache: the paper's
+// 128 MB machines showed 60-75 MB of effective file cache under Apache.
+const PrototypeCacheBytes = 60 << 20
+
+// DefaultConfig returns the calibrated prototype configuration over the
+// given catalog.
+func DefaultConfig(nodes int, catalog map[core.Target]int64) Config {
+	return Config{
+		Nodes:       nodes,
+		Policy:      "extlard",
+		Mechanism:   core.BEForwarding,
+		Params:      policy.DefaultParams(),
+		Catalog:     catalog,
+		CacheBytes:  PrototypeCacheBytes,
+		Disk:        server.DefaultDisk(),
+		Costs:       server.ApacheCosts(),
+		SimulateCPU: true,
+		TimeScale:   1,
+		IdleTimeout: 15 * time.Second,
+		BatchWindow: 2 * time.Millisecond,
+	}
+}
+
+// Cluster is a running in-process prototype cluster.
+type Cluster struct {
+	FE  *FrontEnd
+	BEs []*Backend
+	dir string
+}
+
+// Start brings up the back-ends, wires their peer links, and starts the
+// front-end. Callers must Close the cluster.
+func Start(cfg Config) (*Cluster, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("cluster: need at least one node, got %d", cfg.Nodes)
+	}
+	if len(cfg.Catalog) == 0 {
+		return nil, fmt.Errorf("cluster: empty catalog")
+	}
+	dir, err := HandoffSocketDir()
+	if err != nil {
+		return nil, fmt.Errorf("cluster: handoff socket dir: %w", err)
+	}
+	c := &Cluster{dir: dir}
+	for i := 0; i < cfg.Nodes; i++ {
+		be, err := NewBackend(BackendConfig{
+			ID:            core.NodeID(i),
+			Catalog:       cfg.Catalog,
+			CacheBytes:    cfg.CacheBytes,
+			Disk:          cfg.Disk,
+			Costs:         cfg.Costs,
+			SimulateCPU:   cfg.SimulateCPU,
+			TimeScale:     cfg.TimeScale,
+			HandoffSocket: filepath.Join(dir, fmt.Sprintf("be%d.sock", i)),
+		})
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.BEs = append(c.BEs, be)
+	}
+	peers := make(map[core.NodeID]string, cfg.Nodes)
+	for i, be := range c.BEs {
+		peers[core.NodeID(i)] = be.PeerAddr()
+	}
+	for _, be := range c.BEs {
+		be.SetPeers(peers)
+	}
+	eps := make([]BackendEndpoints, len(c.BEs))
+	for i, be := range c.BEs {
+		eps[i] = BackendEndpoints{Ctrl: be.CtrlAddr(), Handoff: be.HandoffPath()}
+	}
+	fe, err := NewFrontEnd(FrontEndConfig{
+		Nodes:       cfg.Nodes,
+		Policy:      cfg.Policy,
+		Mechanism:   cfg.Mechanism,
+		Params:      cfg.Params,
+		CacheBytes:  cfg.CacheBytes,
+		IdleTimeout: cfg.IdleTimeout,
+		BatchWindow: cfg.BatchWindow,
+	}, eps)
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	c.FE = fe
+	return c, nil
+}
+
+// Addr returns the client-facing address of the front-end.
+func (c *Cluster) Addr() string { return c.FE.Addr() }
+
+// HitRate returns the aggregate back-end cache hit rate.
+func (c *Cluster) HitRate() float64 {
+	var hits, misses int64
+	for _, be := range c.BEs {
+		h, m := be.Store().Counters()
+		hits += h
+		misses += m
+	}
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
+}
+
+// Served returns the total responses written by all back-ends.
+func (c *Cluster) Served() int64 {
+	var n int64
+	for _, be := range c.BEs {
+		n += be.Served()
+	}
+	return n
+}
+
+// Close tears the cluster down: front-end first (stops traffic), then the
+// back-ends, then the handoff socket directory.
+func (c *Cluster) Close() {
+	if c.FE != nil {
+		c.FE.Close()
+	}
+	for _, be := range c.BEs {
+		be.Close()
+	}
+	if c.dir != "" {
+		os.RemoveAll(c.dir)
+	}
+}

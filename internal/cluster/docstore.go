@@ -1,0 +1,169 @@
+// Package cluster implements the prototype cluster of Section 7: a
+// front-end running the dispatcher (LARD / extended LARD / WRR) and a
+// forwarding module, back-end nodes serving documents on connections handed
+// off by the front-end, request tagging, and transparent lateral fetches
+// between back-ends.
+//
+// Substitutions relative to the FreeBSD prototype are documented in
+// DESIGN.md §4: TCP handoff is performed by passing the accepted client
+// connection's file descriptor over a UNIX domain socket (the back-end then
+// writes responses directly to the client, bypassing the front-end data
+// path, while the front-end keeps reading requests — the same control/data
+// split the kernel module provides); NFS cross-mounts become persistent
+// inter-back-end HTTP connections (the alternative the paper itself names);
+// and physical disks become a per-node simulated disk in the doc store.
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"phttp/internal/cache"
+	"phttp/internal/core"
+	"phttp/internal/server"
+)
+
+// DocStore is a back-end node's document subsystem: a catalog of targets, a
+// byte-budgeted LRU cache standing in for the OS file cache, and a simulated
+// disk (FIFO via a single-slot gate, seek+transfer latency per miss).
+type DocStore struct {
+	sizes map[core.Target]int64
+	disk  server.DiskParams
+	scale float64 // time scale divisor (1 = real modeled latency)
+
+	mu    sync.Mutex
+	cache *cache.LRU
+
+	diskGate chan struct{}
+	queued   atomic.Int64
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// NewDocStore builds a doc store over the catalog with the given cache
+// budget and disk model. timeScale > 1 divides simulated latencies, letting
+// tests run the full system quickly with identical relative costs.
+func NewDocStore(catalog map[core.Target]int64, cacheBytes int64, disk server.DiskParams, timeScale float64) *DocStore {
+	if timeScale <= 0 {
+		timeScale = 1
+	}
+	return &DocStore{
+		sizes:    catalog,
+		disk:     disk,
+		scale:    timeScale,
+		cache:    cache.NewLRU(cacheBytes),
+		diskGate: make(chan struct{}, 1),
+	}
+}
+
+// Size returns the target's size, or an error if it is not in the catalog.
+func (d *DocStore) Size(t core.Target) (int64, error) {
+	sz, ok := d.sizes[t]
+	if !ok {
+		return 0, fmt.Errorf("cluster: no such target %q", t)
+	}
+	return sz, nil
+}
+
+// Open makes the target's content available, blocking for the simulated
+// disk read on a cache miss, and returns its size. Local reads always enter
+// the cache (the OS file cache offers no bypass).
+func (d *DocStore) Open(t core.Target) (int64, error) {
+	sz, err := d.Size(t)
+	if err != nil {
+		return 0, err
+	}
+	d.mu.Lock()
+	hit := d.cache.Lookup(t)
+	d.mu.Unlock()
+	if hit {
+		d.hits.Add(1)
+		return sz, nil
+	}
+	d.misses.Add(1)
+	d.queued.Add(1)
+	d.diskGate <- struct{}{} // FIFO-ish single disk
+	d.sleep(d.disk.ReadTime(sz))
+	<-d.diskGate
+	d.queued.Add(-1)
+	d.mu.Lock()
+	d.cache.Insert(t, sz)
+	d.mu.Unlock()
+	return sz, nil
+}
+
+// sleep pauses for the modeled duration divided by the time scale.
+func (d *DocStore) sleep(m core.Micros) {
+	dur := time.Duration(float64(m) / d.scale * float64(time.Microsecond))
+	if dur > 0 {
+		time.Sleep(dur)
+	}
+}
+
+// DiskQueue returns the number of disk reads queued or in progress — the
+// figure the back-ends report to the front-end over the control session.
+func (d *DocStore) DiskQueue() int { return int(d.queued.Load()) }
+
+// HitRate returns the cache hit rate observed so far.
+func (d *DocStore) HitRate() float64 {
+	h, m := d.hits.Load(), d.misses.Load()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}
+
+// Counters returns raw hit/miss counts.
+func (d *DocStore) Counters() (hits, misses int64) {
+	return d.hits.Load(), d.misses.Load()
+}
+
+// WriteContent streams the target's deterministic content (size bytes) to
+// w. Content depends only on the target name, so any node (or a lateral
+// peer) produces identical bytes — tests verify end-to-end integrity.
+func WriteContent(w io.Writer, t core.Target, size int64) error {
+	const chunkSize = 32 << 10
+	chunk := contentChunk(t)
+	var written int64
+	for written < size {
+		n := int64(len(chunk))
+		if size-written < n {
+			n = size - written
+		}
+		if _, err := w.Write(chunk[:n]); err != nil {
+			return err
+		}
+		written += n
+	}
+	return nil
+}
+
+// ContentByte returns the expected content byte at offset i of target t,
+// for spot-checking integrity without materializing bodies.
+func ContentByte(t core.Target, i int64) byte {
+	chunk := contentChunk(t)
+	return chunk[i%int64(len(chunk))]
+}
+
+var chunkCache sync.Map // core.Target -> []byte
+
+// contentChunk builds (and caches) the repeating 1 KB pattern for a target:
+// the target name followed by a counter, so corruption and cross-target
+// mixups are both detectable.
+func contentChunk(t core.Target) []byte {
+	if v, ok := chunkCache.Load(t); ok {
+		return v.([]byte)
+	}
+	const n = 1 << 10
+	b := make([]byte, 0, n)
+	for i := 0; len(b) < n; i++ {
+		b = append(b, fmt.Sprintf("%s#%04d|", t, i)...)
+	}
+	b = b[:n]
+	chunkCache.Store(t, b)
+	return b
+}

@@ -1,0 +1,590 @@
+package cluster
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"phttp/internal/core"
+	"phttp/internal/httpmsg"
+	"phttp/internal/policy"
+)
+
+// FrontEndConfig parameterizes the front-end node.
+type FrontEndConfig struct {
+	// Nodes is the number of back-ends.
+	Nodes int
+	// Policy is "wrr", "lard" or "extlard".
+	Policy string
+	// Mechanism is the distribution mechanism. The prototype implements
+	// SingleHandoff, BEForwarding (the paper's choice) and RelayFrontEnd;
+	// multiple handoff exists only in the simulator, as in the paper.
+	Mechanism core.Mechanism
+	// Params are the LARD-family constants.
+	Params policy.Params
+	// CacheBytes sizes the mapping model per node.
+	CacheBytes int64
+	// IdleTimeout closes persistent connections with no request activity
+	// (the paper's configurable interval, typically 15 s).
+	IdleTimeout time.Duration
+	// BatchWindow is how long the forwarding module waits for further
+	// pipelined requests after one arrives before treating the batch as
+	// complete.
+	BatchWindow time.Duration
+	// ClientListen is the client-facing listen address; empty means an
+	// ephemeral loopback port.
+	ClientListen string
+}
+
+// BackendEndpoints tells the front-end how to reach one back-end: the TCP
+// control address and the UNIX handoff socket path. Peer addresses are the
+// back-ends' business (SetPeers), not the front-end's.
+type BackendEndpoints struct {
+	Ctrl    string
+	Handoff string
+}
+
+// beLink is the front-end's connection bundle to one back-end.
+type beLink struct {
+	id core.NodeID
+
+	ctrlMu sync.Mutex
+	ctrl   net.Conn
+
+	hoMu    sync.Mutex
+	handoff *net.UnixConn
+
+	data net.Conn // relay data connection (reads only at FE)
+}
+
+// FrontEnd is the running front-end node: client listener, dispatcher
+// (policy), forwarding module, and per-back-end control sessions.
+type FrontEnd struct {
+	cfg   FrontEndConfig
+	ln    net.Listener
+	links []*beLink
+
+	polMu sync.Mutex
+	pol   core.Policy
+
+	nextID atomic.Int64
+
+	// relayConns routes relay frames back to client connections.
+	relayMu    sync.Mutex
+	relayConns map[core.ConnID]*relayConn
+
+	// busyNanos accumulates dispatcher + forwarding-module processing
+	// time for the Section 8.2 front-end utilization figure.
+	busyNanos atomic.Int64
+	started   time.Time
+
+	reqs  atomic.Int64
+	conns atomic.Int64
+
+	closed  chan struct{}
+	closeMu sync.Once
+	wg      sync.WaitGroup
+}
+
+// relayConn is the reordering buffer for one relayed client connection.
+type relayConn struct {
+	mu      sync.Mutex
+	out     net.Conn
+	nextSeq int
+	pending map[int][]byte
+}
+
+// NewFrontEnd starts the front-end: it listens for clients on loopback and
+// connects control (and, for relay, data) sessions plus handoff sockets to
+// every back-end endpoint. Endpoints may belong to in-process Backends or
+// to separate phttp-backend processes on the same machine (the handoff
+// mechanism requires a shared kernel; see DESIGN.md §4.2).
+func NewFrontEnd(cfg FrontEndConfig, backends []BackendEndpoints) (*FrontEnd, error) {
+	if err := validateFEConfig(cfg, len(backends)); err != nil {
+		return nil, err
+	}
+	pol, err := buildPolicy(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fe := &FrontEnd{
+		cfg:        cfg,
+		pol:        pol,
+		relayConns: make(map[core.ConnID]*relayConn),
+		started:    time.Now(),
+		closed:     make(chan struct{}),
+	}
+	listen := cfg.ClientListen
+	if listen == "" {
+		listen = "127.0.0.1:0"
+	}
+	if fe.ln, err = net.Listen("tcp", listen); err != nil {
+		return nil, fmt.Errorf("cluster: frontend listen: %w", err)
+	}
+	for i, ep := range backends {
+		link, err := fe.dial(core.NodeID(i), ep)
+		if err != nil {
+			fe.Close()
+			return nil, err
+		}
+		fe.links = append(fe.links, link)
+	}
+	fe.wg.Add(1)
+	go fe.acceptLoop()
+	return fe, nil
+}
+
+func validateFEConfig(cfg FrontEndConfig, backends int) error {
+	if cfg.Nodes != backends {
+		return fmt.Errorf("cluster: config says %d nodes but %d back-ends supplied", cfg.Nodes, backends)
+	}
+	switch cfg.Mechanism {
+	case core.SingleHandoff, core.BEForwarding, core.RelayFrontEnd:
+	default:
+		return fmt.Errorf("cluster: prototype does not implement mechanism %v (simulator only)", cfg.Mechanism)
+	}
+	switch cfg.Policy {
+	case "wrr", "lard", "extlard":
+	default:
+		return fmt.Errorf("cluster: unknown policy %q", cfg.Policy)
+	}
+	return nil
+}
+
+func buildPolicy(cfg FrontEndConfig) (core.Policy, error) {
+	switch cfg.Policy {
+	case "wrr":
+		return policy.NewWRR(cfg.Nodes), nil
+	case "lard":
+		return policy.NewLARD(cfg.Nodes, cfg.CacheBytes, cfg.Params), nil
+	case "extlard":
+		return policy.NewExtLARD(cfg.Nodes, cfg.CacheBytes, cfg.Params, cfg.Mechanism), nil
+	}
+	return nil, fmt.Errorf("cluster: unknown policy %q", cfg.Policy)
+}
+
+// dial establishes the control session (HELLO CTRL), the relay data session
+// when relaying, and the handoff socket to one back-end.
+func (fe *FrontEnd) dial(id core.NodeID, ep BackendEndpoints) (*beLink, error) {
+	link := &beLink{id: id}
+	ctrl, err := net.Dial("tcp", ep.Ctrl)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: dial backend %v control: %w", id, err)
+	}
+	if _, err := io.WriteString(ctrl, "HELLO CTRL\n"); err != nil {
+		ctrl.Close()
+		return nil, err
+	}
+	link.ctrl = ctrl
+	fe.wg.Add(1)
+	go func() {
+		defer fe.wg.Done()
+		fe.ctrlReadLoop(link)
+	}()
+
+	if fe.cfg.Mechanism == core.RelayFrontEnd {
+		data, err := net.Dial("tcp", ep.Ctrl)
+		if err != nil {
+			ctrl.Close()
+			return nil, fmt.Errorf("cluster: dial backend %v data: %w", id, err)
+		}
+		if _, err := io.WriteString(data, "HELLO DATA\n"); err != nil {
+			ctrl.Close()
+			data.Close()
+			return nil, err
+		}
+		link.data = data
+		fe.wg.Add(1)
+		go func() {
+			defer fe.wg.Done()
+			fe.relayReadLoop(link)
+		}()
+	} else {
+		raddr, err := net.ResolveUnixAddr("unix", ep.Handoff)
+		if err != nil {
+			ctrl.Close()
+			return nil, err
+		}
+		ho, err := net.DialUnix("unix", nil, raddr)
+		if err != nil {
+			ctrl.Close()
+			return nil, fmt.Errorf("cluster: dial backend %v handoff: %w", id, err)
+		}
+		link.handoff = ho
+	}
+	return link, nil
+}
+
+// Addr returns the client-facing listen address.
+func (fe *FrontEnd) Addr() string { return fe.ln.Addr().String() }
+
+// Policy exposes the dispatcher's policy (metrics, tests).
+func (fe *FrontEnd) Policy() core.Policy { return fe.pol }
+
+// Requests returns the number of client requests dispatched.
+func (fe *FrontEnd) Requests() int64 { return fe.reqs.Load() }
+
+// Connections returns the number of client connections accepted.
+func (fe *FrontEnd) Connections() int64 { return fe.conns.Load() }
+
+// Utilization returns the fraction of wall time the front-end's serial
+// dispatcher resource was occupied since start — the prototype analogue of
+// the paper's front-end CPU utilization ("about 60% at six back-ends" on
+// 300 MHz hardware). On modern hardware the absolute number is small; the
+// reproducible claim is its roughly linear growth with cluster size, which
+// is what bounds how many back-ends one front-end supports.
+func (fe *FrontEnd) Utilization() float64 {
+	wall := time.Since(fe.started).Nanoseconds()
+	if wall <= 0 {
+		return 0
+	}
+	u := float64(fe.busyNanos.Load()) / float64(wall)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// Close shuts the front-end down.
+func (fe *FrontEnd) Close() {
+	fe.closeMu.Do(func() {
+		close(fe.closed)
+		if fe.ln != nil {
+			fe.ln.Close()
+		}
+		for _, l := range fe.links {
+			if l.ctrl != nil {
+				l.ctrl.Close()
+			}
+			if l.data != nil {
+				l.data.Close()
+			}
+			if l.handoff != nil {
+				l.handoff.Close()
+			}
+		}
+	})
+	fe.wg.Wait()
+}
+
+// ctrlReadLoop consumes back-end → front-end control traffic (disk queue
+// reports) and feeds the policy.
+func (fe *FrontEnd) ctrlReadLoop(link *beLink) {
+	br := bufio.NewReader(link.ctrl)
+	for {
+		msg, err := readCtrl(br)
+		if err != nil {
+			return
+		}
+		if msg.Kind == "DISKQ" {
+			unlock := fe.lockPolicy()
+			fe.pol.ReportDiskQueue(link.id, msg.Depth)
+			unlock()
+		}
+	}
+}
+
+// relayReadLoop consumes relay frames from one back-end and forwards them
+// to the owning client connection in sequence order.
+func (fe *FrontEnd) relayReadLoop(link *beLink) {
+	br := bufio.NewReaderSize(link.data, 64<<10)
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return
+		}
+		fields := strings.Fields(strings.TrimSpace(line))
+		if len(fields) != 4 || fields[0] != "RESP" {
+			return
+		}
+		id, err1 := strconv.ParseInt(fields[1], 10, 64)
+		seq, err2 := strconv.Atoi(fields[2])
+		length, err3 := strconv.ParseInt(fields[3], 10, 64)
+		if err1 != nil || err2 != nil || err3 != nil || length < 0 {
+			return
+		}
+		buf := make([]byte, length)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return
+		}
+		fe.deliverRelay(core.ConnID(id), seq, buf)
+	}
+}
+
+// deliverRelay writes the frame to the client in order, buffering
+// out-of-order responses of a pipelined batch served by different nodes.
+func (fe *FrontEnd) deliverRelay(id core.ConnID, seq int, frame []byte) {
+	fe.relayMu.Lock()
+	rc := fe.relayConns[id]
+	fe.relayMu.Unlock()
+	if rc == nil {
+		return // connection already closed
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.pending == nil {
+		rc.pending = make(map[int][]byte)
+	}
+	rc.pending[seq] = frame
+	for {
+		next, ok := rc.pending[rc.nextSeq]
+		if !ok {
+			return
+		}
+		delete(rc.pending, rc.nextSeq)
+		rc.nextSeq++
+		if rc.out != nil {
+			if _, err := rc.out.Write(next); err != nil {
+				rc.out = nil
+			}
+		}
+	}
+}
+
+// acceptLoop admits client connections.
+func (fe *FrontEnd) acceptLoop() {
+	defer fe.wg.Done()
+	for {
+		conn, err := fe.ln.Accept()
+		if err != nil {
+			return
+		}
+		fe.conns.Add(1)
+		fe.wg.Add(1)
+		go func() {
+			defer fe.wg.Done()
+			fe.serveClient(conn)
+		}()
+	}
+}
+
+// feConn tracks one client connection at the front-end.
+type feConn struct {
+	id    core.ConnID
+	cs    *core.ConnState
+	conn  net.Conn
+	br    *bufio.Reader
+	relay *relayConn
+
+	// reqNodes is the set of back-ends that received requests, for CLOSE
+	// fan-out in relay mode.
+	reqNodes map[core.NodeID]bool
+	seq      int
+}
+
+// serveClient runs the forwarding-module read loop for one client
+// connection: parse requests, group pipelined bursts into batches, dispatch
+// through the policy, tag and forward to back-ends.
+func (fe *FrontEnd) serveClient(conn net.Conn) {
+	c := &feConn{
+		id:       core.ConnID(fe.nextID.Add(1)),
+		conn:     conn,
+		br:       bufio.NewReaderSize(conn, 16<<10),
+		reqNodes: make(map[core.NodeID]bool),
+	}
+	c.cs = core.NewConnState(c.id)
+	defer fe.closeClient(c)
+
+	opened := false
+	for {
+		batch, reqs, err := fe.readBatch(c)
+		if err != nil || len(batch) == 0 {
+			return
+		}
+		if !opened {
+			if err := fe.openConn(c, batch[0]); err != nil {
+				return
+			}
+			opened = true
+		}
+		if err := fe.dispatchBatch(c, batch, reqs); err != nil {
+			return
+		}
+	}
+}
+
+// lockPolicy serializes dispatcher work and accounts the held time toward
+// the front-end utilization figure. Client handlers parallelize freely on a
+// modern host, but the dispatcher — like the paper's front-end CPU — is one
+// serial resource; its occupancy is the meaningful utilization metric.
+func (fe *FrontEnd) lockPolicy() func() {
+	fe.polMu.Lock()
+	t0 := time.Now()
+	return func() {
+		fe.busyNanos.Add(time.Since(t0).Nanoseconds())
+		fe.polMu.Unlock()
+	}
+}
+
+// readBatch reads one pipelined batch: the first request blocks until the
+// idle timeout; subsequent requests are taken while already buffered or
+// arriving within the batch window.
+func (fe *FrontEnd) readBatch(c *feConn) (core.Batch, []*httpmsg.Request, error) {
+	idle := fe.cfg.IdleTimeout
+	if idle <= 0 {
+		idle = 15 * time.Second
+	}
+	window := fe.cfg.BatchWindow
+	if window <= 0 {
+		window = 2 * time.Millisecond
+	}
+
+	c.conn.SetReadDeadline(time.Now().Add(idle))
+	first, err := httpmsg.ReadRequest(c.br)
+	if err != nil {
+		return nil, nil, err
+	}
+	batch := core.Batch{fe.toRequest(first)}
+	reqs := []*httpmsg.Request{first}
+	for {
+		if c.br.Buffered() == 0 {
+			// Give closely spaced pipelined requests a brief chance to
+			// land, then call the batch complete. The wait itself is
+			// idle time, not dispatcher work.
+			c.conn.SetReadDeadline(time.Now().Add(window))
+			if _, err := c.br.Peek(1); err != nil {
+				break
+			}
+		}
+		c.conn.SetReadDeadline(time.Now().Add(window))
+		req, err := httpmsg.ReadRequest(c.br)
+		if err != nil {
+			break
+		}
+		batch = append(batch, fe.toRequest(req))
+		reqs = append(reqs, req)
+	}
+	c.conn.SetReadDeadline(time.Time{})
+	return batch, reqs, nil
+}
+
+// toRequest converts a parsed request into the policy's vocabulary. The
+// response size is not known to a real front-end; LARD only uses it to size
+// mapping entries, so the dispatcher estimates with a nominal value.
+func (fe *FrontEnd) toRequest(r *httpmsg.Request) core.Request {
+	return core.Request{Target: core.Target(r.Target), Size: nominalMappingSize}
+}
+
+// nominalMappingSize is the per-target size estimate used by the
+// dispatcher's mapping model; the paper's front-end likewise has no
+// knowledge of response sizes when requests arrive.
+const nominalMappingSize = 8 << 10
+
+// openConn assigns the handling node for the first request and performs
+// the handoff (or registers the relay route).
+func (fe *FrontEnd) openConn(c *feConn, first core.Request) error {
+	unlock := fe.lockPolicy()
+	handling := fe.pol.ConnOpen(c.cs, first)
+	unlock()
+
+	if fe.cfg.Mechanism == core.RelayFrontEnd {
+		rc := &relayConn{out: c.conn}
+		c.relay = rc
+		fe.relayMu.Lock()
+		fe.relayConns[c.id] = rc
+		fe.relayMu.Unlock()
+		return nil
+	}
+
+	tcp, ok := c.conn.(*net.TCPConn)
+	if !ok {
+		return fmt.Errorf("cluster: client connection is %T, cannot hand off", c.conn)
+	}
+	f, err := tcp.File()
+	if err != nil {
+		return fmt.Errorf("cluster: dup client socket: %w", err)
+	}
+	defer f.Close()
+	link := fe.links[handling]
+	link.hoMu.Lock()
+	err = SendConnFD(link.handoff, c.id, f)
+	link.hoMu.Unlock()
+	if err != nil {
+		return err
+	}
+	c.reqNodes[handling] = true
+	return nil
+}
+
+// dispatchBatch assigns a batch and forwards the tagged requests.
+func (fe *FrontEnd) dispatchBatch(c *feConn, batch core.Batch, reqs []*httpmsg.Request) error {
+	unlock := fe.lockPolicy()
+	assignments := fe.pol.AssignBatch(c.cs, batch)
+	handling := c.cs.Handling
+	unlock()
+
+	for i, a := range assignments {
+		req := reqs[i]
+		keep := req.KeepAlive()
+		var line string
+		var dest core.NodeID
+		switch {
+		case fe.cfg.Mechanism == core.RelayFrontEnd:
+			// Each request goes directly to its assigned node.
+			dest = a.Node
+			line = formatReq(c.id, c.seq, req.Proto, keep, core.NoNode, core.Target(req.Target))
+			if !c.reqNodes[dest] {
+				fe.sendCtrl(dest, formatRelay(c.id))
+			}
+		case a.Forward:
+			// Tag the request: the handling node must fetch it from
+			// the assigned node.
+			dest = handling
+			line = formatReq(c.id, c.seq, req.Proto, keep, a.Node, core.Target(req.Target))
+		default:
+			dest = handling
+			line = formatReq(c.id, c.seq, req.Proto, keep, core.NoNode, core.Target(req.Target))
+		}
+		c.seq++
+		c.reqNodes[dest] = true
+		if err := fe.sendCtrl(dest, line); err != nil {
+			return err
+		}
+		fe.reqs.Add(1)
+	}
+	return nil
+}
+
+// sendCtrl writes one control message to a back-end.
+func (fe *FrontEnd) sendCtrl(n core.NodeID, line string) error {
+	link := fe.links[n]
+	link.ctrlMu.Lock()
+	defer link.ctrlMu.Unlock()
+	_, err := io.WriteString(link.ctrl, line)
+	return err
+}
+
+// closeClient tears one client connection down on EOF, error or idle
+// timeout: back-ends are told to release it and the policy frees its load.
+func (fe *FrontEnd) closeClient(c *feConn) {
+	nodes := make([]core.NodeID, 0, len(c.reqNodes))
+	for n := range c.reqNodes {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	for _, n := range nodes {
+		fe.sendCtrl(n, formatClose(c.id))
+	}
+	if c.relay != nil {
+		fe.relayMu.Lock()
+		delete(fe.relayConns, c.id)
+		fe.relayMu.Unlock()
+	}
+	unlock := fe.lockPolicy()
+	fe.pol.ConnClose(c.cs)
+	unlock()
+	c.conn.Close()
+}
+
+// HandoffSocketDir creates a private directory for handoff sockets.
+func HandoffSocketDir() (string, error) {
+	return os.MkdirTemp("", "phttp-handoff-")
+}

@@ -1,0 +1,160 @@
+package cluster_test
+
+import (
+	"testing"
+	"time"
+
+	"phttp/internal/cluster"
+	"phttp/internal/core"
+	"phttp/internal/loadgen"
+	"phttp/internal/server"
+	"phttp/internal/trace"
+)
+
+// testConfig builds a small, fast cluster: scaled-down latencies, small
+// cache, small catalog.
+func testConfig(t *testing.T, nodes int, pol string, mech core.Mechanism) (cluster.Config, *trace.Trace) {
+	t.Helper()
+	sc := trace.SmallSynthConfig()
+	sc.Connections = 600
+	tr := trace.NewSynth(sc).Generate()
+	cfg := cluster.DefaultConfig(nodes, tr.Sizes)
+	cfg.Policy = pol
+	cfg.Mechanism = mech
+	cfg.TimeScale = 50 // 50x faster than modeled hardware
+	cfg.CacheBytes = 8 << 20
+	cfg.Disk = server.DefaultDisk()
+	cfg.BatchWindow = time.Millisecond
+	return cfg, tr
+}
+
+// runLoad drives the trace through the cluster with verification on.
+func runLoad(t *testing.T, addr string, tr *trace.Trace, http10 bool) loadgen.Result {
+	t.Helper()
+	res, err := loadgen.Run(loadgen.Config{
+		Addr:        addr,
+		Trace:       tr,
+		HTTP10:      http10,
+		Concurrency: 16,
+		Verify:      true,
+		IOTimeout:   20 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("loadgen: %v", err)
+	}
+	return res
+}
+
+func TestClusterEndToEndBEForwarding(t *testing.T) {
+	cfg, tr := testConfig(t, 3, "extlard", core.BEForwarding)
+	cl, err := cluster.Start(cfg)
+	if err != nil {
+		t.Fatalf("start cluster: %v", err)
+	}
+	defer cl.Close()
+
+	res := runLoad(t, cl.Addr(), tr, false)
+	want := int64(tr.Requests())
+	if res.Requests != want {
+		t.Errorf("served %d requests, want %d", res.Requests, want)
+	}
+	if res.Errors != 0 {
+		t.Errorf("%d request errors (corruption, size mismatch or status)", res.Errors)
+	}
+	if got := cl.FE.Requests(); got != want {
+		t.Errorf("front-end dispatched %d requests, want %d", got, want)
+	}
+}
+
+func TestClusterEndToEndHTTP10(t *testing.T) {
+	cfg, tr := testConfig(t, 2, "lard", core.SingleHandoff)
+	cl, err := cluster.Start(cfg)
+	if err != nil {
+		t.Fatalf("start cluster: %v", err)
+	}
+	defer cl.Close()
+
+	res := runLoad(t, cl.Addr(), tr, true)
+	if res.Errors != 0 {
+		t.Errorf("%d request errors", res.Errors)
+	}
+	if res.Requests != int64(tr.Requests()) {
+		t.Errorf("served %d requests, want %d", res.Requests, tr.Requests())
+	}
+}
+
+func TestClusterEndToEndWRR(t *testing.T) {
+	cfg, tr := testConfig(t, 2, "wrr", core.SingleHandoff)
+	cl, err := cluster.Start(cfg)
+	if err != nil {
+		t.Fatalf("start cluster: %v", err)
+	}
+	defer cl.Close()
+
+	res := runLoad(t, cl.Addr(), tr, false)
+	if res.Errors != 0 {
+		t.Errorf("%d request errors", res.Errors)
+	}
+	// WRR never forwards: every back-end must have served something, and
+	// the sum must cover the trace.
+	if cl.Served() != int64(tr.Requests()) {
+		t.Errorf("backends served %d, want %d", cl.Served(), tr.Requests())
+	}
+	for i, be := range cl.BEs {
+		if be.Served() == 0 {
+			t.Errorf("backend %d served nothing under WRR", i)
+		}
+	}
+}
+
+func TestClusterEndToEndRelay(t *testing.T) {
+	cfg, tr := testConfig(t, 3, "extlard", core.RelayFrontEnd)
+	cl, err := cluster.Start(cfg)
+	if err != nil {
+		t.Fatalf("start cluster: %v", err)
+	}
+	defer cl.Close()
+
+	res := runLoad(t, cl.Addr(), tr, false)
+	if res.Errors != 0 {
+		t.Errorf("%d request errors", res.Errors)
+	}
+	if res.Requests != int64(tr.Requests()) {
+		t.Errorf("served %d requests, want %d", res.Requests, tr.Requests())
+	}
+}
+
+func TestClusterRejectsSimOnlyMechanism(t *testing.T) {
+	cfg, _ := testConfig(t, 2, "extlard", core.MultipleHandoff)
+	if _, err := cluster.Start(cfg); err == nil {
+		t.Fatal("Start accepted multiple handoff; the prototype should reject simulator-only mechanisms")
+	}
+}
+
+func TestBackendDeathSurfacesErrors(t *testing.T) {
+	cfg, tr := testConfig(t, 3, "extlard", core.BEForwarding)
+	cl, err := cluster.Start(cfg)
+	if err != nil {
+		t.Fatalf("start cluster: %v", err)
+	}
+	defer cl.Close()
+
+	// Kill one back-end's peer listener mid-run: lateral fetches to it
+	// must fail over to 502s rather than wedging client connections.
+	done := make(chan loadgen.Result)
+	go func() {
+		res, _ := loadgen.Run(loadgen.Config{
+			Addr: cl.Addr(), Trace: tr, Concurrency: 8,
+			Verify: true, IOTimeout: 20 * time.Second,
+		})
+		done <- res
+	}()
+	time.Sleep(100 * time.Millisecond)
+	cl.BEs[2].Close()
+	select {
+	case <-done:
+		// The run must terminate; errors are expected and acceptable.
+	case <-time.After(120 * time.Second):
+		t.Fatal("load run wedged after backend death")
+	}
+}

@@ -1,0 +1,43 @@
+package cluster_test
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"phttp/internal/cluster"
+	"phttp/internal/core"
+	"phttp/internal/loadgen"
+)
+
+// TestCloseLeavesNoGoroutines verifies a full start/traffic/close cycle
+// returns the process to (approximately) its original goroutine count: the
+// prototype's accept loops, per-connection servers, control sessions and
+// disk reporters must all terminate on Close.
+func TestCloseLeavesNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	cfg, tr := testConfig(t, 2, "extlard", core.BEForwarding)
+	cl, err := cluster.Start(cfg)
+	if err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	if _, err := loadgen.Run(loadgen.Config{
+		Addr: cl.Addr(), Trace: tr, Concurrency: 8,
+		IOTimeout: 20 * time.Second,
+	}); err != nil {
+		cl.Close()
+		t.Fatalf("loadgen: %v", err)
+	}
+	cl.Close()
+
+	// Give lingering netpoll wakeups a moment to drain.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+3 {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Errorf("goroutines: %d before, %d after close", before, runtime.NumGoroutine())
+}

@@ -1,0 +1,109 @@
+package core
+
+import "fmt"
+
+// LoadTracker maintains the front-end's per-node load estimate in the
+// paper's load units: one unit per active connection handled by the node,
+// plus 1/N of a unit per remote node serving a pipelined batch of N requests
+// under BE forwarding, charged for the duration of the batch.
+//
+// LoadTracker is not goroutine safe; the prototype front-end serializes
+// policy calls through the dispatcher, and the simulator is single threaded.
+type LoadTracker struct {
+	load  []float64
+	conns []int
+}
+
+// NewLoadTracker returns a tracker for n nodes, all idle.
+func NewLoadTracker(n int) *LoadTracker {
+	return &LoadTracker{load: make([]float64, n), conns: make([]int, n)}
+}
+
+// Nodes returns the number of nodes tracked.
+func (lt *LoadTracker) Nodes() int { return len(lt.load) }
+
+// Load returns the current load estimate of node n in load units.
+func (lt *LoadTracker) Load(n NodeID) float64 { return lt.load[n] }
+
+// Conns returns the number of active connections handled by node n.
+func (lt *LoadTracker) Conns(n NodeID) int { return lt.conns[n] }
+
+// AddConn charges one load unit to n for a newly handled connection.
+func (lt *LoadTracker) AddConn(n NodeID) {
+	lt.load[n]++
+	lt.conns[n]++
+}
+
+// RemoveConn releases the connection unit charged by AddConn.
+func (lt *LoadTracker) RemoveConn(n NodeID) {
+	lt.load[n]--
+	lt.conns[n]--
+	if lt.conns[n] < 0 {
+		panic(fmt.Sprintf("core: connection count of %v went negative", n))
+	}
+}
+
+// MoveConn transfers a connection unit from old to new on migration.
+func (lt *LoadTracker) MoveConn(old, new NodeID) {
+	lt.RemoveConn(old)
+	lt.AddConn(new)
+}
+
+// AddFraction charges f load units to n (remote batch accounting).
+func (lt *LoadTracker) AddFraction(n NodeID, f float64) { lt.load[n] += f }
+
+// RemoveFraction releases f load units from n.
+func (lt *LoadTracker) RemoveFraction(n NodeID, f float64) { lt.load[n] -= f }
+
+// Least returns the least-loaded node, breaking ties toward lower IDs.
+func (lt *LoadTracker) Least() NodeID {
+	best := NodeID(0)
+	for i := 1; i < len(lt.load); i++ {
+		if lt.load[i] < lt.load[best] {
+			best = NodeID(i)
+		}
+	}
+	return best
+}
+
+// Total returns the summed load across nodes.
+func (lt *LoadTracker) Total() float64 {
+	var t float64
+	for _, l := range lt.load {
+		t += l
+	}
+	return t
+}
+
+// ClearBatch releases the fractional remote loads recorded on c. Called when
+// a new batch arrives on the connection (all previous requests are assumed
+// finished, per the paper's estimate) or when the connection goes idle or
+// closes.
+func (lt *LoadTracker) ClearBatch(c *ConnState) {
+	for n, f := range c.RemoteLoad {
+		lt.RemoveFraction(n, f)
+	}
+	c.RemoteLoad = nil
+}
+
+// ChargeBatch charges each remote node in nodes 1/batchSize of a load unit
+// (the paper's 1/N accounting, N being the number of outstanding requests in
+// the pipelined batch), recording the charges on c so ClearBatch can undo
+// them. Entries equal to handling or NoNode are skipped: requests served by
+// the handling node are already covered by the connection unit.
+func (lt *LoadTracker) ChargeBatch(c *ConnState, handling NodeID, nodes []NodeID, batchSize int) {
+	if len(nodes) == 0 || batchSize <= 0 {
+		return
+	}
+	frac := 1.0 / float64(batchSize)
+	for _, n := range nodes {
+		if n == handling || n == NoNode {
+			continue
+		}
+		if c.RemoteLoad == nil {
+			c.RemoteLoad = make(map[NodeID]float64)
+		}
+		lt.AddFraction(n, frac)
+		c.RemoteLoad[n] += frac
+	}
+}

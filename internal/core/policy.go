@@ -1,0 +1,52 @@
+package core
+
+// Policy is a content-based request distribution policy as run by the
+// front-end dispatcher. A driver (the simulator or the prototype front-end)
+// feeds it the connection lifecycle:
+//
+//	c := NewConnState(id)
+//	node := p.ConnOpen(c, firstRequest) // handling node; 1 load unit charged
+//	as := p.AssignBatch(c, batch)       // per-request assignments, every batch
+//	...                                 // (including the first; its first
+//	                                    // request always lands on the
+//	                                    // handling node)
+//	p.BatchDone(c)                      // optional: connection went idle
+//	p.ConnClose(c)                      // release all load held by c
+//
+// AssignBatch both assigns and performs the paper's load accounting: the
+// fractional 1/N charges of the previous batch are released (the front-end
+// assumes all previous requests finished once a new batch arrives) and each
+// remote node serving a request of this batch is charged 1/N of a unit.
+//
+// Policies also consume back-end feedback (disk queue lengths, conveyed by
+// the prototype's control sessions) and maintain the target→node mapping
+// table that records which back-end caches are believed to hold each target.
+type Policy interface {
+	// Name returns the policy's short name as used in figure legends,
+	// e.g. "LARD", "extLARD", "WRR".
+	Name() string
+
+	// ConnOpen assigns the handling node for a new connection based on
+	// its first request and records one load unit against that node.
+	ConnOpen(c *ConnState, first Request) NodeID
+
+	// AssignBatch assigns every request of a pipelined batch arriving on
+	// c, releasing the previous batch's fractional loads and charging the
+	// new ones. It returns one Assignment per request, in order.
+	AssignBatch(c *ConnState, batch Batch) []Assignment
+
+	// BatchDone tells the policy the connection went idle after its
+	// current batch: fractional remote loads are released early.
+	BatchDone(c *ConnState)
+
+	// ConnClose releases all load held by c.
+	ConnClose(c *ConnState)
+
+	// ReportDiskQueue delivers a back-end's disk queue length to the
+	// front-end. Extended LARD's local-vs-forward and caching heuristics
+	// consume it.
+	ReportDiskQueue(n NodeID, queued int)
+
+	// Loads exposes the policy's load tracker (for metrics and tests).
+	Loads() *LoadTracker
+}

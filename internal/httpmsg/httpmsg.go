@@ -1,0 +1,240 @@
+// Package httpmsg implements the minimal HTTP/1.0 and HTTP/1.1 message
+// handling the prototype cluster needs: request and response parsing and
+// serialization with persistent-connection (keep-alive) semantics and
+// pipelining support.
+//
+// The prototype's data path deliberately avoids net/http: the front-end's
+// forwarding module and the back-end's handed-off connections manipulate
+// raw sockets (including file descriptors received over UNIX domain
+// sockets), and the paper's servers speak exactly this subset. Responses
+// always carry Content-Length (no chunked encoding), which is what 1998-era
+// servers produced for static content.
+package httpmsg
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Limits protect the parsers from malformed or hostile input.
+const (
+	// MaxLineBytes bounds a request/status/header line.
+	MaxLineBytes = 8 << 10
+	// MaxHeaderBytes bounds the total header section.
+	MaxHeaderBytes = 64 << 10
+	// MaxHeaders bounds the number of header fields.
+	MaxHeaders = 128
+)
+
+// Errors returned by the parsers.
+var (
+	// ErrLineTooLong reports a request or header line over MaxLineBytes.
+	ErrLineTooLong = errors.New("httpmsg: line too long")
+	// ErrHeadersTooLarge reports a header section over the limits.
+	ErrHeadersTooLarge = errors.New("httpmsg: header section too large")
+	// ErrMalformed reports a syntactically invalid message.
+	ErrMalformed = errors.New("httpmsg: malformed message")
+)
+
+// Header is one header field; order is preserved across parse/serialize.
+type Header struct {
+	Name  string
+	Value string
+}
+
+// Request is a parsed HTTP request.
+type Request struct {
+	Method  string
+	Target  string // origin-form request target (path + optional query)
+	Proto   string // "HTTP/1.0" or "HTTP/1.1"
+	Headers []Header
+}
+
+// Response is a parsed HTTP response header; the body (ContentLength bytes)
+// remains on the reader for the caller to consume.
+type Response struct {
+	Proto         string
+	Status        int
+	Reason        string
+	Headers       []Header
+	ContentLength int64
+}
+
+// readLine reads one CRLF- (or LF-) terminated line within MaxLineBytes.
+func readLine(br *bufio.Reader) (string, error) {
+	line, err := br.ReadString('\n')
+	if err != nil {
+		if err == io.EOF && line != "" {
+			return "", fmt.Errorf("%w: truncated line", ErrMalformed)
+		}
+		return "", err
+	}
+	if len(line) > MaxLineBytes {
+		return "", ErrLineTooLong
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}
+
+// readHeaders parses header fields up to the blank line.
+func readHeaders(br *bufio.Reader) ([]Header, error) {
+	var hs []Header
+	total := 0
+	for {
+		line, err := readLine(br)
+		if err != nil {
+			return nil, err
+		}
+		if line == "" {
+			return hs, nil
+		}
+		total += len(line)
+		if total > MaxHeaderBytes || len(hs) >= MaxHeaders {
+			return nil, ErrHeadersTooLarge
+		}
+		name, value, ok := strings.Cut(line, ":")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("%w: header %q", ErrMalformed, line)
+		}
+		hs = append(hs, Header{
+			Name:  strings.TrimSpace(name),
+			Value: strings.TrimSpace(value),
+		})
+	}
+}
+
+// Get returns the first value of the named header (case-insensitive) and
+// whether it was present.
+func Get(hs []Header, name string) (string, bool) {
+	for _, h := range hs {
+		if strings.EqualFold(h.Name, name) {
+			return h.Value, true
+		}
+	}
+	return "", false
+}
+
+// ReadRequest parses one request head (no body; GET/HEAD only need none).
+// io.EOF is returned untouched when the connection closed cleanly between
+// requests, so callers can distinguish shutdown from corruption.
+func ReadRequest(br *bufio.Reader) (*Request, error) {
+	line, err := readLine(br)
+	if err != nil {
+		return nil, err
+	}
+	parts := strings.Split(line, " ")
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("%w: request line %q", ErrMalformed, line)
+	}
+	req := &Request{Method: parts[0], Target: parts[1], Proto: parts[2]}
+	if req.Method == "" || req.Target == "" {
+		return nil, fmt.Errorf("%w: request line %q", ErrMalformed, line)
+	}
+	if req.Proto != "HTTP/1.0" && req.Proto != "HTTP/1.1" {
+		return nil, fmt.Errorf("%w: protocol %q", ErrMalformed, req.Proto)
+	}
+	req.Headers, err = readHeaders(br)
+	if err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+// KeepAlive reports whether the connection persists after this request:
+// HTTP/1.1 defaults to persistent unless "Connection: close"; HTTP/1.0
+// requires an explicit "Connection: keep-alive".
+func (r *Request) KeepAlive() bool {
+	v, ok := Get(r.Headers, "Connection")
+	if r.Proto == "HTTP/1.1" {
+		return !ok || !strings.EqualFold(v, "close")
+	}
+	return ok && strings.EqualFold(v, "keep-alive")
+}
+
+// WriteTo serializes the request head.
+func (r *Request) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s %s\r\n", r.Method, r.Target, r.Proto)
+	for _, h := range r.Headers {
+		fmt.Fprintf(&b, "%s: %s\r\n", h.Name, h.Value)
+	}
+	b.WriteString("\r\n")
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// ReadResponse parses one response head. The body (ContentLength bytes) is
+// left on br for the caller.
+func ReadResponse(br *bufio.Reader) (*Response, error) {
+	line, err := readLine(br)
+	if err != nil {
+		return nil, err
+	}
+	proto, rest, ok := strings.Cut(line, " ")
+	if !ok || (proto != "HTTP/1.0" && proto != "HTTP/1.1") {
+		return nil, fmt.Errorf("%w: status line %q", ErrMalformed, line)
+	}
+	codeStr, reason, _ := strings.Cut(rest, " ")
+	code, err := strconv.Atoi(codeStr)
+	if err != nil || code < 100 || code > 599 {
+		return nil, fmt.Errorf("%w: status code %q", ErrMalformed, codeStr)
+	}
+	resp := &Response{Proto: proto, Status: code, Reason: reason}
+	resp.Headers, err = readHeaders(br)
+	if err != nil {
+		return nil, err
+	}
+	if v, ok := Get(resp.Headers, "Content-Length"); ok {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("%w: Content-Length %q", ErrMalformed, v)
+		}
+		resp.ContentLength = n
+	}
+	return resp, nil
+}
+
+// KeepAlive reports whether the connection persists after this response.
+func (r *Response) KeepAlive() bool {
+	v, ok := Get(r.Headers, "Connection")
+	if r.Proto == "HTTP/1.1" {
+		return !ok || !strings.EqualFold(v, "close")
+	}
+	return ok && strings.EqualFold(v, "keep-alive")
+}
+
+// ResponseHead serializes a response head with the given status,
+// Content-Length and keep-alive disposition; proto should echo the
+// request's protocol version.
+func ResponseHead(proto string, status int, contentLength int64, keepAlive bool) string {
+	conn := "close"
+	if keepAlive {
+		conn = "keep-alive"
+	}
+	return fmt.Sprintf("%s %d %s\r\nServer: phttp-cluster\r\nContent-Length: %d\r\nConnection: %s\r\n\r\n",
+		proto, status, StatusText(status), contentLength, conn)
+}
+
+// StatusText returns the canonical reason phrase for the status codes the
+// cluster produces.
+func StatusText(status int) string {
+	switch status {
+	case 200:
+		return "OK"
+	case 400:
+		return "Bad Request"
+	case 404:
+		return "Not Found"
+	case 500:
+		return "Internal Server Error"
+	case 502:
+		return "Bad Gateway"
+	case 503:
+		return "Service Unavailable"
+	default:
+		return "Status"
+	}
+}

@@ -1,0 +1,211 @@
+package httpmsg
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func reader(s string) *bufio.Reader { return bufio.NewReader(strings.NewReader(s)) }
+
+func TestReadRequestBasic(t *testing.T) {
+	req, err := ReadRequest(reader("GET /index.html HTTP/1.1\r\nHost: x\r\nAccept: */*\r\n\r\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Method != "GET" || req.Target != "/index.html" || req.Proto != "HTTP/1.1" {
+		t.Errorf("parsed %+v", req)
+	}
+	if v, ok := Get(req.Headers, "host"); !ok || v != "x" {
+		t.Errorf("Host header = %q, %v", v, ok)
+	}
+}
+
+func TestReadRequestBareLF(t *testing.T) {
+	req, err := ReadRequest(reader("GET /a HTTP/1.0\nHost: x\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Target != "/a" {
+		t.Errorf("Target = %q", req.Target)
+	}
+}
+
+func TestReadRequestPipelined(t *testing.T) {
+	br := reader("GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n")
+	r1, err1 := ReadRequest(br)
+	r2, err2 := ReadRequest(br)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if r1.Target != "/a" || r2.Target != "/b" {
+		t.Errorf("pipelined parse: %q, %q", r1.Target, r2.Target)
+	}
+	if _, err := ReadRequest(br); err != io.EOF {
+		t.Errorf("expected io.EOF after stream end, got %v", err)
+	}
+}
+
+func TestReadRequestMalformed(t *testing.T) {
+	bad := []string{
+		"\r\n",
+		"GET /x\r\n\r\n",
+		"GET /x HTTP/2.0\r\n\r\n",
+		"GET /x HTTP/1.1 extra\r\n\r\n",
+		"GET /x HTTP/1.1\r\nNoColonHeader\r\n\r\n",
+		"GET /x HTTP/1.1\r\n: empty name\r\n\r\n",
+	}
+	for _, s := range bad {
+		if _, err := ReadRequest(reader(s)); err == nil {
+			t.Errorf("accepted malformed request %q", s)
+		}
+	}
+}
+
+func TestReadRequestTruncated(t *testing.T) {
+	_, err := ReadRequest(reader("GET /x HTTP/1.1\r\nHost: x"))
+	if err == nil || errors.Is(err, io.EOF) && err == io.EOF {
+		t.Errorf("truncated request returned %v, want wrapped error", err)
+	}
+}
+
+func TestHeaderLimits(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("GET /x HTTP/1.1\r\n")
+	for i := 0; i < MaxHeaders+1; i++ {
+		b.WriteString("X-H: v\r\n")
+	}
+	b.WriteString("\r\n")
+	if _, err := ReadRequest(reader(b.String())); !errors.Is(err, ErrHeadersTooLarge) {
+		t.Errorf("got %v, want ErrHeadersTooLarge", err)
+	}
+
+	long := "GET /" + strings.Repeat("a", MaxLineBytes) + " HTTP/1.1\r\n\r\n"
+	if _, err := ReadRequest(reader(long)); !errors.Is(err, ErrLineTooLong) {
+		t.Errorf("got %v, want ErrLineTooLong", err)
+	}
+}
+
+func TestRequestKeepAlive(t *testing.T) {
+	cases := []struct {
+		proto, conn string
+		want        bool
+	}{
+		{"HTTP/1.1", "", true},
+		{"HTTP/1.1", "close", false},
+		{"HTTP/1.1", "keep-alive", true},
+		{"HTTP/1.0", "", false},
+		{"HTTP/1.0", "keep-alive", true},
+		{"HTTP/1.0", "close", false},
+	}
+	for _, c := range cases {
+		req := &Request{Method: "GET", Target: "/", Proto: c.proto}
+		if c.conn != "" {
+			req.Headers = []Header{{Name: "Connection", Value: c.conn}}
+		}
+		if got := req.KeepAlive(); got != c.want {
+			t.Errorf("%s Connection=%q: KeepAlive=%v, want %v", c.proto, c.conn, got, c.want)
+		}
+	}
+}
+
+func TestRequestWriteReadRoundTrip(t *testing.T) {
+	req := &Request{
+		Method: "GET", Target: "/a/b?q=1", Proto: "HTTP/1.1",
+		Headers: []Header{{Name: "Host", Value: "h"}, {Name: "X-Tag", Value: "be2"}},
+	}
+	var sb strings.Builder
+	if _, err := req.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRequest(reader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Method != req.Method || got.Target != req.Target || got.Proto != req.Proto {
+		t.Errorf("round trip %+v", got)
+	}
+	if len(got.Headers) != 2 || got.Headers[1] != req.Headers[1] {
+		t.Errorf("headers %+v", got.Headers)
+	}
+}
+
+func TestReadResponse(t *testing.T) {
+	resp, err := ReadResponse(reader("HTTP/1.1 200 OK\r\nContent-Length: 42\r\nConnection: keep-alive\r\n\r\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 200 || resp.ContentLength != 42 || !resp.KeepAlive() {
+		t.Errorf("parsed %+v", resp)
+	}
+}
+
+func TestReadResponseMalformed(t *testing.T) {
+	bad := []string{
+		"HTTP/1.1\r\n\r\n",
+		"HTTP/9 200 OK\r\n\r\n",
+		"HTTP/1.1 abc OK\r\n\r\n",
+		"HTTP/1.1 99 Low\r\n\r\n",
+		"HTTP/1.1 200 OK\r\nContent-Length: -5\r\n\r\n",
+		"HTTP/1.1 200 OK\r\nContent-Length: x\r\n\r\n",
+	}
+	for _, s := range bad {
+		if _, err := ReadResponse(reader(s)); err == nil {
+			t.Errorf("accepted malformed response %q", s)
+		}
+	}
+}
+
+func TestResponseHeadParsesBack(t *testing.T) {
+	head := ResponseHead("HTTP/1.1", 200, 1234, true)
+	resp, err := ReadResponse(reader(head))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 200 || resp.ContentLength != 1234 || !resp.KeepAlive() {
+		t.Errorf("parsed %+v", resp)
+	}
+	head = ResponseHead("HTTP/1.0", 404, 9, false)
+	resp, err = ReadResponse(reader(head))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 404 || resp.KeepAlive() {
+		t.Errorf("parsed %+v", resp)
+	}
+}
+
+func TestStatusText(t *testing.T) {
+	for _, code := range []int{200, 400, 404, 500, 502, 503, 777} {
+		if StatusText(code) == "" {
+			t.Errorf("StatusText(%d) empty", code)
+		}
+	}
+}
+
+// Property: any request with printable token fields survives a
+// write/read round trip unchanged.
+func TestRequestRoundTripProperty(t *testing.T) {
+	f := func(pathSeed uint32, nHeaders uint8) bool {
+		target := "/p" + strings.Repeat("x", int(pathSeed%64)+1)
+		req := &Request{Method: "GET", Target: target, Proto: "HTTP/1.1"}
+		for i := 0; i < int(nHeaders%8); i++ {
+			req.Headers = append(req.Headers, Header{Name: "X-K", Value: "v"})
+		}
+		var sb strings.Builder
+		if _, err := req.WriteTo(&sb); err != nil {
+			return false
+		}
+		got, err := ReadRequest(reader(sb.String()))
+		if err != nil {
+			return false
+		}
+		return got.Target == req.Target && len(got.Headers) == len(req.Headers)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

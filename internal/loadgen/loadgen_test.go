@@ -1,0 +1,100 @@
+package loadgen_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"phttp/internal/cluster"
+	"phttp/internal/core"
+	"phttp/internal/loadgen"
+	"phttp/internal/server"
+	"phttp/internal/trace"
+)
+
+func startSmallCluster(t *testing.T) (*cluster.Cluster, *trace.Trace) {
+	t.Helper()
+	sc := trace.SmallSynthConfig()
+	sc.Connections = 300
+	tr := trace.NewSynth(sc).Generate()
+	cfg := cluster.DefaultConfig(2, tr.Sizes)
+	cfg.TimeScale = 100
+	cfg.CacheBytes = 8 << 20
+	cfg.Disk = server.DefaultDisk()
+	cl, err := cluster.Start(cfg)
+	if err != nil {
+		t.Fatalf("start cluster: %v", err)
+	}
+	t.Cleanup(cl.Close)
+	return cl, tr
+}
+
+func TestRunCountsEveryRequest(t *testing.T) {
+	cl, tr := startSmallCluster(t)
+	res, err := loadgen.Run(loadgen.Config{
+		Addr: cl.Addr(), Trace: tr, Concurrency: 8, Verify: true,
+		IOTimeout: 20 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != int64(tr.Requests()) {
+		t.Errorf("Requests = %d, want %d", res.Requests, tr.Requests())
+	}
+	if res.Errors != 0 {
+		t.Errorf("Errors = %d", res.Errors)
+	}
+	if res.Bytes != tr.Bytes() {
+		t.Errorf("Bytes = %d, want %d", res.Bytes, tr.Bytes())
+	}
+	if res.Throughput <= 0 {
+		t.Error("Throughput not measured")
+	}
+	if !strings.Contains(res.String(), "req/s") {
+		t.Errorf("String() = %q", res.String())
+	}
+}
+
+func TestRunWarmupReducesMeasuredWindow(t *testing.T) {
+	cl, tr := startSmallCluster(t)
+	res, err := loadgen.Run(loadgen.Config{
+		Addr: cl.Addr(), Trace: tr, Concurrency: 8,
+		WarmupFrac: 0.5, IOTimeout: 20 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All requests still complete; only the measurement window shrinks.
+	if res.Requests != int64(tr.Requests()) {
+		t.Errorf("Requests = %d, want %d", res.Requests, tr.Requests())
+	}
+}
+
+func TestRunEmptyTrace(t *testing.T) {
+	_, err := loadgen.Run(loadgen.Config{
+		Addr:  "127.0.0.1:1",
+		Trace: &trace.Trace{Sizes: map[core.Target]int64{}},
+	})
+	if err == nil {
+		t.Error("empty trace accepted")
+	}
+}
+
+func TestRunUnreachableServerCountsErrors(t *testing.T) {
+	sc := trace.SmallSynthConfig()
+	sc.Connections = 10
+	tr := trace.NewSynth(sc).Generate()
+	res, err := loadgen.Run(loadgen.Config{
+		Addr: "127.0.0.1:1", Trace: tr, Concurrency: 2,
+		IOTimeout: time.Second,
+	})
+	if err != nil {
+		t.Fatalf("setup error: %v", err)
+	}
+	if res.Errors == 0 {
+		t.Error("unreachable server produced no errors")
+	}
+	if res.Requests != 0 {
+		t.Errorf("Requests = %d from unreachable server", res.Requests)
+	}
+}

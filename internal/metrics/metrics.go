@@ -1,0 +1,198 @@
+// Package metrics provides the light-weight counters, histograms and series
+// formatting shared by the simulator, the prototype cluster and the
+// benchmark harness.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomically updated instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by d and returns the new value.
+func (g *Gauge) Add(d int64) int64 { return g.v.Add(d) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a concurrency-safe log-bucketed histogram of non-negative
+// int64 samples (e.g. response latencies in microseconds).
+type Histogram struct {
+	mu      sync.Mutex
+	buckets [64]int64 // bucket i holds samples with bit length i
+	count   int64
+	sum     int64
+	min     int64
+	max     int64
+}
+
+// Observe records one sample; negative samples are clamped to zero.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.buckets[bits64(v)]++
+}
+
+func bits64(v int64) int {
+	n := 0
+	for v > 0 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean returns the sample mean (0 with no samples).
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Min and Max return the extreme samples (0 with no samples).
+func (h *Histogram) Min() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.min
+}
+func (h *Histogram) Max() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Quantile returns an upper bound for the q-quantile (q in [0,1]) based on
+// bucket boundaries.
+func (h *Histogram) Quantile(q float64) int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	want := int64(math.Ceil(q * float64(h.count)))
+	if want <= 0 {
+		want = 1
+	}
+	var seen int64
+	for i, b := range h.buckets {
+		seen += b
+		if seen >= want {
+			if i == 0 {
+				return 0
+			}
+			return (int64(1) << uint(i)) - 1
+		}
+	}
+	return h.max
+}
+
+// Series is a named sequence of (x, y) points, one per measurement sweep,
+// used to print the paper's figures as tab-separated tables.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Point is one (x, y) pair.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) { s.Points = append(s.Points, Point{x, y}) }
+
+// Table renders a set of series sharing their X axis as a tab-separated
+// table with a header row, in the style of the paper's figure data. Series
+// are joined on exact X values; missing cells render as "-".
+func Table(xLabel string, series ...*Series) string {
+	xsSet := map[float64]bool{}
+	for _, s := range series {
+		for _, p := range s.Points {
+			xsSet[p.X] = true
+		}
+	}
+	xs := make([]float64, 0, len(xsSet))
+	for x := range xsSet {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+
+	var b strings.Builder
+	b.WriteString(xLabel)
+	for _, s := range series {
+		b.WriteByte('\t')
+		b.WriteString(s.Name)
+	}
+	b.WriteByte('\n')
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%g", x)
+		for _, s := range series {
+			y, ok := lookup(s, x)
+			if ok {
+				fmt.Fprintf(&b, "\t%.1f", y)
+			} else {
+				b.WriteString("\t-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func lookup(s *Series, x float64) (float64, bool) {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,73 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Plot renders series as a simple ASCII chart (x left to right, y bottom to
+// top), one marker character per series. It is deliberately crude — a
+// terminal approximation of the paper's figures so a sweep's shape can be
+// eyeballed without a plotting tool.
+func Plot(width, height int, series ...*Series) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 8 {
+		height = 8
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	maxY := math.Inf(-1)
+	any := false
+	for _, s := range series {
+		for _, p := range s.Points {
+			any = true
+			minX = math.Min(minX, p.X)
+			maxX = math.Max(maxX, p.X)
+			maxY = math.Max(maxY, p.Y)
+		}
+	}
+	if !any || maxY <= 0 {
+		return "(no data)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+
+	markers := []byte("*o+x#@%&")
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		for _, p := range s.Points {
+			col := int((p.X - minX) / (maxX - minX) * float64(width-1))
+			row := int(p.Y / maxY * float64(height-1))
+			if row < 0 {
+				row = 0
+			}
+			r := height - 1 - row
+			grid[r][col] = m
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10.0f ┤", maxY)
+	b.Write(grid[0])
+	b.WriteByte('\n')
+	for i := 1; i < height; i++ {
+		b.WriteString("           │")
+		b.Write(grid[i])
+		b.WriteByte('\n')
+	}
+	b.WriteString("           └")
+	b.WriteString(strings.Repeat("─", width))
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "            %-8.4g%*s\n", minX, width-8, fmt.Sprintf("%.4g", maxX))
+	for si, s := range series {
+		fmt.Fprintf(&b, "            %c %s\n", markers[si%len(markers)], s.Name)
+	}
+	return b.String()
+}

@@ -1,0 +1,50 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlotBasics(t *testing.T) {
+	a := &Series{Name: "rising"}
+	b := &Series{Name: "flat"}
+	for x := 1; x <= 10; x++ {
+		a.Add(float64(x), float64(x*100))
+		b.Add(float64(x), 100)
+	}
+	out := Plot(40, 10, a, b)
+	if !strings.Contains(out, "rising") || !strings.Contains(out, "flat") {
+		t.Error("legend missing")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("markers missing")
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 13 {
+		t.Errorf("plot has %d lines, want >= 13", len(lines))
+	}
+}
+
+func TestPlotEmpty(t *testing.T) {
+	if got := Plot(40, 10, &Series{Name: "empty"}); got != "(no data)\n" {
+		t.Errorf("empty plot = %q", got)
+	}
+}
+
+func TestPlotSinglePoint(t *testing.T) {
+	s := &Series{Name: "one"}
+	s.Add(5, 42)
+	out := Plot(20, 8, s)
+	if !strings.Contains(out, "*") {
+		t.Error("single point not plotted")
+	}
+}
+
+func TestPlotClampsTinyDimensions(t *testing.T) {
+	s := &Series{Name: "s"}
+	s.Add(1, 1)
+	out := Plot(1, 1, s)
+	if len(out) == 0 {
+		t.Error("clamped plot empty")
+	}
+}

@@ -1,0 +1,211 @@
+package policy
+
+import (
+	"fmt"
+
+	"phttp/internal/cache"
+	"phttp/internal/core"
+)
+
+// ExtLARD is the extended LARD policy of Section 4.2, which distributes
+// HTTP/1.1 requests efficiently in combination with a per-request-capable
+// mechanism. Its behaviour depends on the mechanism it drives:
+//
+//   - BEForwarding: the first request chooses the handling node by basic
+//     LARD. Each subsequent request is served by the handling node if the
+//     target is cached there or its disk utilization is low; otherwise the
+//     three cost metrics are evaluated over the handling node and the nodes
+//     currently caching the target, and the winner serves it (laterally, if
+//     remote). Remote nodes are charged 1/N of a load unit per pipelined
+//     batch of N. Content fetched on a miss is cached locally only when the
+//     handling node's disk utilization is low (the caching heuristic).
+//
+//   - MultipleHandoff: the same decision procedure as BE forwarding (the
+//     mechanisms trade a per-byte forwarding cost for a per-migration
+//     handoff cost; the policy question — serve locally or move the request
+//     to a node caching the target — is identical), except that a remote
+//     win migrates the connection instead of fetching laterally, and the
+//     new node caches the target.
+//
+//   - ZeroCostHandoff / RelayFrontEnd: these mechanisms place no restriction
+//     on the policy and reassignment is free, so each request is assigned by
+//     the basic LARD cost metrics over all nodes, preserving full locality.
+//
+//   - SingleHandoff: degenerates to basic LARD (every request sticks to the
+//     handling node); provided for completeness and property tests.
+//
+// On an HTTP/1.0 workload every connection carries one request, so ExtLARD
+// is equivalent to LARD, as the paper notes.
+type ExtLARD struct {
+	params  Params
+	mech    core.Mechanism
+	loads   *core.LoadTracker
+	mapping *cache.Mapping
+	diskQ   []int
+
+	// stats
+	localServes   int64
+	remoteServes  int64
+	migrations    int64
+	cacheBypasses int64
+}
+
+var _ core.Policy = (*ExtLARD)(nil)
+
+// NewExtLARD returns an extended LARD policy over n nodes driving the given
+// mechanism.
+func NewExtLARD(n int, cacheBytes int64, params Params, mech core.Mechanism) *ExtLARD {
+	return &ExtLARD{
+		params:  params,
+		mech:    mech,
+		loads:   core.NewLoadTracker(n),
+		mapping: cache.NewMapping(n, cacheBytes),
+		diskQ:   make([]int, n),
+	}
+}
+
+// Name implements core.Policy.
+func (e *ExtLARD) Name() string { return "extLARD" }
+
+// Mechanism returns the mechanism this policy instance drives.
+func (e *ExtLARD) Mechanism() core.Mechanism { return e.mech }
+
+// Mapping exposes the target→node mapping table.
+func (e *ExtLARD) Mapping() *cache.Mapping { return e.mapping }
+
+// Stats returns (local serves, remote serves, migrations, cache bypasses)
+// accumulated across assignments.
+func (e *ExtLARD) Stats() (local, remote, migrations, bypasses int64) {
+	return e.localServes, e.remoteServes, e.migrations, e.cacheBypasses
+}
+
+// diskLow reports whether node n's disk utilization is low per the paper's
+// heuristic (fewer than DiskQueueLow queued disk events).
+func (e *ExtLARD) diskLow(n core.NodeID) bool {
+	return e.diskQ[n] < e.params.DiskQueueLow
+}
+
+// ConnOpen chooses the handling node with the basic LARD strategy.
+func (e *ExtLARD) ConnOpen(c *core.ConnState, first core.Request) core.NodeID {
+	n := pick(e.params, e.loads, e.mapping, first.Target, allNodes(e.loads.Nodes()))
+	c.Handling = n
+	e.loads.AddConn(n)
+	e.mapping.Map(first.Target, first.Size, n)
+	return n
+}
+
+// AssignBatch implements core.Policy. The first request ever assigned on the
+// connection always lands on the handling node (it determined the handoff);
+// subsequent requests follow the mechanism-specific logic above.
+func (e *ExtLARD) AssignBatch(c *core.ConnState, batch core.Batch) []core.Assignment {
+	if c.Handling == core.NoNode {
+		panic("policy: AssignBatch before ConnOpen")
+	}
+	e.loads.ClearBatch(c)
+	out := make([]core.Assignment, len(batch))
+	remote := make([]core.NodeID, 0, len(batch))
+	for i, r := range batch {
+		var a core.Assignment
+		if c.Requests == 0 {
+			// The handoff decision already placed this request.
+			a = core.Assignment{Node: c.Handling, CacheLocally: true}
+			e.localServes++
+		} else {
+			a = e.assignNext(c, r)
+		}
+		out[i] = a
+		if a.Forward {
+			remote = append(remote, a.Node)
+		}
+		c.Requests++
+	}
+	c.Batches++
+	// Charge each remote serving node 1/N of a unit for the batch.
+	e.loads.ChargeBatch(c, c.Handling, remote, len(batch))
+	return out
+}
+
+// assignNext applies the Section 4.2 rules to one subsequent request.
+func (e *ExtLARD) assignNext(c *core.ConnState, r core.Request) core.Assignment {
+	h := c.Handling
+	switch e.mech {
+	case core.SingleHandoff:
+		e.localServes++
+		return core.Assignment{Node: h, CacheLocally: true}
+
+	case core.BEForwarding, core.MultipleHandoff:
+		mappedHere := e.mapping.IsMapped(r.Target, h)
+		if mappedHere || e.diskLow(h) {
+			// Serve locally: either the target is already cached here,
+			// or the local disk is idle enough that reading it (and
+			// thereby caching it — replication) beats the forwarding
+			// overhead.
+			e.localServes++
+			e.mapping.Map(r.Target, r.Size, h)
+			return core.Assignment{Node: h, CacheLocally: true}
+		}
+		// Candidates: the handling node plus any node caching the target.
+		candidates := append([]core.NodeID{h}, e.mapping.NodesFor(r.Target)...)
+		win := pick(e.params, e.loads, e.mapping, r.Target, candidates)
+		if win == h {
+			// No better holder: fetch from the local disk despite its
+			// high utilization. The unified buffer cache holds what the
+			// disk read regardless of any policy preference, and the
+			// mapping is updated on every fetch from a back-end, so the
+			// dispatcher records the target as cached here.
+			e.localServes++
+			e.mapping.Map(r.Target, r.Size, h)
+			return core.Assignment{Node: h, CacheLocally: true}
+		}
+		if e.mech == core.MultipleHandoff {
+			// Migrate the connection to the node caching the target.
+			e.migrations++
+			e.loads.MoveConn(h, win)
+			c.Handling = win
+			e.mapping.Touch(r.Target, win)
+			return core.Assignment{Node: win, Migrate: true, From: h, CacheLocally: true}
+		}
+		// Lateral fetch. NFS client caching is disabled in the paper's
+		// prototype, so forwarded content is never cached at the
+		// handling node.
+		e.remoteServes++
+		e.mapping.Touch(r.Target, win)
+		return core.Assignment{Node: win, Forward: true, CacheLocally: false}
+
+	case core.ZeroCostHandoff, core.RelayFrontEnd:
+		// Per-request basic LARD over all nodes.
+		win := pick(e.params, e.loads, e.mapping, r.Target, allNodes(e.loads.Nodes()))
+		e.mapping.Map(r.Target, r.Size, win)
+		if win == h {
+			e.localServes++
+			return core.Assignment{Node: h, CacheLocally: true}
+		}
+		e.migrations++
+		e.loads.MoveConn(h, win)
+		c.Handling = win
+		return core.Assignment{Node: win, Migrate: true, From: h, CacheLocally: true}
+
+	default:
+		panic(fmt.Sprintf("policy: unknown mechanism %v", e.mech))
+	}
+}
+
+// BatchDone releases the fractional loads when the connection goes idle.
+func (e *ExtLARD) BatchDone(c *core.ConnState) { e.loads.ClearBatch(c) }
+
+// ConnClose releases the connection unit and any fractional loads.
+func (e *ExtLARD) ConnClose(c *core.ConnState) {
+	e.loads.ClearBatch(c)
+	if c.Handling != core.NoNode {
+		e.loads.RemoveConn(c.Handling)
+		c.Handling = core.NoNode
+	}
+}
+
+// ReportDiskQueue records node n's queued disk events.
+func (e *ExtLARD) ReportDiskQueue(n core.NodeID, queued int) {
+	e.diskQ[n] = queued
+}
+
+// Loads implements core.Policy.
+func (e *ExtLARD) Loads() *core.LoadTracker { return e.loads }

@@ -1,0 +1,114 @@
+package policy
+
+import (
+	"phttp/internal/cache"
+	"phttp/internal/core"
+)
+
+// LARD is the locality-aware request distribution strategy, formulated (as
+// in the paper) through the three cost metrics: a request is sent to the
+// node minimizing cost_balancing + cost_locality + cost_replacement, and the
+// target→node mapping is updated to record where the target will now be
+// cached.
+//
+// LARD distributes at connection granularity: every request of a persistent
+// connection is served by the handling node chosen from the connection's
+// first request. Running it on an HTTP/1.0 workload gives the paper's
+// "simple-LARD" curves; on a P-HTTP workload it gives "simple-LARD-PHTTP".
+type LARD struct {
+	params  Params
+	loads   *core.LoadTracker
+	mapping *cache.Mapping
+}
+
+var _ core.Policy = (*LARD)(nil)
+
+// NewLARD returns a basic LARD policy over n nodes whose mapping model
+// assumes each node caches about cacheBytes of content.
+func NewLARD(n int, cacheBytes int64, params Params) *LARD {
+	return &LARD{
+		params:  params,
+		loads:   core.NewLoadTracker(n),
+		mapping: cache.NewMapping(n, cacheBytes),
+	}
+}
+
+// Name implements core.Policy.
+func (l *LARD) Name() string { return "LARD" }
+
+// Mapping exposes the target→node mapping table (tests, metrics).
+func (l *LARD) Mapping() *cache.Mapping { return l.mapping }
+
+// pick returns the node with the minimum aggregate cost for target among
+// candidates, breaking ties toward lower load and then lower ID. If every
+// candidate is overloaded (infinite cost), the least-loaded candidate is
+// returned: the connection has to go somewhere.
+func pick(p Params, loads *core.LoadTracker, mapping *cache.Mapping, t core.Target, candidates []core.NodeID) core.NodeID {
+	best := core.NoNode
+	bestCost := 0.0
+	for _, n := range candidates {
+		cost := p.Aggregate(loads.Load(n), mapping.IsMapped(t, n))
+		if best == core.NoNode || cost < bestCost ||
+			(cost == bestCost && loads.Load(n) < loads.Load(best)) {
+			best, bestCost = n, cost
+		}
+	}
+	if bestCost == Infinite {
+		// Everybody overloaded: degrade to pure load balancing.
+		least := candidates[0]
+		for _, n := range candidates[1:] {
+			if loads.Load(n) < loads.Load(least) {
+				least = n
+			}
+		}
+		return least
+	}
+	return best
+}
+
+func allNodes(n int) []core.NodeID {
+	out := make([]core.NodeID, n)
+	for i := range out {
+		out[i] = core.NodeID(i)
+	}
+	return out
+}
+
+// ConnOpen chooses the handling node by minimum aggregate cost over all
+// nodes and records that the first target will be cached there.
+func (l *LARD) ConnOpen(c *core.ConnState, first core.Request) core.NodeID {
+	n := pick(l.params, l.loads, l.mapping, first.Target, allNodes(l.loads.Nodes()))
+	c.Handling = n
+	l.loads.AddConn(n)
+	l.mapping.Map(first.Target, first.Size, n)
+	return n
+}
+
+// AssignBatch sends every request to the handling node (connection
+// granularity; the single handoff mechanism permits nothing else).
+func (l *LARD) AssignBatch(c *core.ConnState, batch core.Batch) []core.Assignment {
+	out := make([]core.Assignment, len(batch))
+	for i := range batch {
+		out[i] = core.Assignment{Node: c.Handling, CacheLocally: true}
+		c.Requests++
+	}
+	c.Batches++
+	return out
+}
+
+// BatchDone is a no-op for basic LARD.
+func (l *LARD) BatchDone(*core.ConnState) {}
+
+// ConnClose releases the connection's load unit.
+func (l *LARD) ConnClose(c *core.ConnState) {
+	if c.Handling != core.NoNode {
+		l.loads.RemoveConn(c.Handling)
+		c.Handling = core.NoNode
+	}
+}
+
+// ReportDiskQueue is ignored by basic LARD.
+func (l *LARD) ReportDiskQueue(core.NodeID, int) {}
+
+// Loads implements core.Policy.
+func (l *LARD) Loads() *core.LoadTracker { return l.loads }

@@ -1,0 +1,171 @@
+package policy
+
+import (
+	"phttp/internal/cache"
+	"phttp/internal/core"
+)
+
+// LARDR is LARD with replication, the companion strategy from the original
+// LARD paper (Pai et al., ASPLOS '98) that this paper builds on: instead of
+// mapping each target to exactly one back-end, LARD/R maintains a *server
+// set* per target. Requests go to the least-loaded member; when even that
+// member is loaded past the replication threshold the set grows by the
+// least-loaded outside node (the target is popular enough to be worth
+// caching twice), and a set that has not grown for a while shrinks again so
+// cold targets do not stay replicated forever.
+//
+// The original formulates growth/shrink with wall-clock timers; to keep the
+// policy deterministic for simulation we count assignments instead: a set
+// may grow at most once every GrowInterval assignments of that target and
+// shrinks after ShrinkInterval assignments without growth. This preserves
+// the behaviour (hot targets replicate quickly, replicas decay) without a
+// clock.
+//
+// LARD/R distributes at connection granularity like basic LARD; it is
+// provided as the natural baseline extension and for the replication
+// ablation, not as one of the paper's figure curves.
+type LARDR struct {
+	params  Params
+	loads   *core.LoadTracker
+	mapping *cache.Mapping
+
+	// GrowInterval and ShrinkInterval are assignment counts (see above).
+	GrowInterval   int
+	ShrinkInterval int
+
+	state map[core.Target]*replState
+}
+
+// replState tracks a target's server-set dynamics.
+type replState struct {
+	assignments int // since last growth
+}
+
+var _ core.Policy = (*LARDR)(nil)
+
+// NewLARDR returns a LARD/R policy over n nodes.
+func NewLARDR(n int, cacheBytes int64, params Params) *LARDR {
+	return &LARDR{
+		params:         params,
+		loads:          core.NewLoadTracker(n),
+		mapping:        cache.NewMapping(n, cacheBytes),
+		GrowInterval:   20,
+		ShrinkInterval: 200,
+		state:          make(map[core.Target]*replState),
+	}
+}
+
+// Name implements core.Policy.
+func (l *LARDR) Name() string { return "LARD/R" }
+
+// Mapping exposes the target→node server sets.
+func (l *LARDR) Mapping() *cache.Mapping { return l.mapping }
+
+// ConnOpen assigns the handling node from the target's server set, growing
+// or shrinking the set per the replication rules.
+func (l *LARDR) ConnOpen(c *core.ConnState, first core.Request) core.NodeID {
+	n := l.assign(first)
+	c.Handling = n
+	l.loads.AddConn(n)
+	return n
+}
+
+func (l *LARDR) assign(r core.Request) core.NodeID {
+	set := l.mapping.NodesFor(r.Target)
+	if len(set) == 0 {
+		// Unmapped: send to the overall least-loaded node and map it.
+		n := l.leastOf(allNodes(l.loads.Nodes()))
+		l.mapping.Map(r.Target, r.Size, n)
+		l.state[r.Target] = &replState{}
+		return n
+	}
+	st := l.state[r.Target]
+	if st == nil {
+		st = &replState{}
+		l.state[r.Target] = st
+	}
+	st.assignments++
+
+	n := l.leastOf(set)
+	switch {
+	case l.loads.Load(n) >= l.params.LOverload && len(set) < l.loads.Nodes() &&
+		st.assignments >= l.GrowInterval:
+		// Even the lightest replica is overloaded: replicate.
+		grown := l.leastExcluding(set)
+		l.mapping.Map(r.Target, r.Size, grown)
+		st.assignments = 0
+		return grown
+	case len(set) > 1 && st.assignments >= l.ShrinkInterval:
+		// Stable for a long time: decay one replica (the most loaded).
+		drop := set[0]
+		for _, m := range set[1:] {
+			if l.loads.Load(m) > l.loads.Load(drop) {
+				drop = m
+			}
+		}
+		l.mapping.Unmap(r.Target, drop)
+		st.assignments = 0
+		if drop == n {
+			n = l.leastOf(l.mapping.NodesFor(r.Target))
+		}
+	}
+	l.mapping.Touch(r.Target, n)
+	return n
+}
+
+func (l *LARDR) leastOf(set []core.NodeID) core.NodeID {
+	best := set[0]
+	for _, n := range set[1:] {
+		if l.loads.Load(n) < l.loads.Load(best) {
+			best = n
+		}
+	}
+	return best
+}
+
+func (l *LARDR) leastExcluding(set []core.NodeID) core.NodeID {
+	member := make(map[core.NodeID]bool, len(set))
+	for _, n := range set {
+		member[n] = true
+	}
+	best := core.NoNode
+	for i := 0; i < l.loads.Nodes(); i++ {
+		n := core.NodeID(i)
+		if member[n] {
+			continue
+		}
+		if best == core.NoNode || l.loads.Load(n) < l.loads.Load(best) {
+			best = n
+		}
+	}
+	return best
+}
+
+// AssignBatch sends every request to the handling node (connection
+// granularity, as with basic LARD).
+func (l *LARDR) AssignBatch(c *core.ConnState, batch core.Batch) []core.Assignment {
+	out := make([]core.Assignment, len(batch))
+	for i := range batch {
+		out[i] = core.Assignment{Node: c.Handling, CacheLocally: true}
+		c.Requests++
+	}
+	c.Batches++
+	return out
+}
+
+// BatchDone is a no-op for LARD/R.
+func (l *LARDR) BatchDone(*core.ConnState) {}
+
+// ConnClose releases the connection's load unit.
+func (l *LARDR) ConnClose(c *core.ConnState) {
+	if c.Handling != core.NoNode {
+		l.loads.RemoveConn(c.Handling)
+		c.Handling = core.NoNode
+	}
+}
+
+// ReportDiskQueue is ignored by LARD/R.
+func (l *LARDR) ReportDiskQueue(core.NodeID, int) {}
+
+// Loads implements core.Policy.
+func (l *LARDR) Loads() *core.LoadTracker { return l.loads }

@@ -1,0 +1,84 @@
+// Package policy implements the request distribution policies of the paper:
+// weighted round-robin (WRR), the LARD strategy expressed through the three
+// cost metrics of Figure 4, and the extended LARD policy of Section 4.2 for
+// HTTP/1.1 persistent connections.
+package policy
+
+import "math"
+
+// Params are the LARD-family tuning constants. The paper reports settings
+// measured with Apache on FreeBSD; the numerals were lost in the supplied
+// OCR, so the defaults follow the equivalence note to the original LARD
+// strategy (L_idle = T_low, MissCost tied to T_high-T_low) with the ASPLOS
+// '98 values T_low=25, T_high=65.
+type Params struct {
+	// LIdle is the load below which a node is potentially underutilized:
+	// below it, queueing delay is negligible and adding work is free from
+	// the balancing metric's point of view.
+	LIdle float64
+	// LOverload is the load at or above which the delay difference
+	// against an idle node becomes unacceptable; the balancing cost is
+	// infinite there.
+	LOverload float64
+	// MissCost is the delay penalty, in load units, of fetching a target
+	// that is not cached (the unit of cost is the delay of a request for
+	// a cached target at an otherwise unloaded server).
+	MissCost float64
+	// DiskQueueLow is the queued-disk-events threshold below which the
+	// extended LARD policy considers a node's disk utilization "low":
+	// subsequent requests are then served locally and fetched content is
+	// cached locally.
+	DiskQueueLow int
+}
+
+// DefaultParams returns the calibrated defaults (see DESIGN.md §6).
+func DefaultParams() Params {
+	return Params{LIdle: 25, LOverload: 130, MissCost: 40, DiskQueueLow: 2}
+}
+
+// Infinite is the cost returned by the balancing metric at or beyond
+// LOverload.
+const Infinite = math.MaxFloat64
+
+// costBalancing captures the delay a request suffers behind other queued
+// requests at a node with the given load (Figure 4).
+func (p Params) costBalancing(load float64) float64 {
+	switch {
+	case load < p.LIdle:
+		return 0
+	case load >= p.LOverload:
+		return Infinite
+	default:
+		return load - p.LIdle
+	}
+}
+
+// costLocality captures the delay of the presence or absence of the target
+// in the node's cache (Figure 4).
+func (p Params) costLocality(mapped bool) float64 {
+	if mapped {
+		return 0
+	}
+	return p.MissCost
+}
+
+// costReplacement captures the potential future cost of replacing cached
+// content to make room for the target (Figure 4): free while the node is
+// underutilized or already caches the target.
+func (p Params) costReplacement(load float64, mapped bool) float64 {
+	if load < p.LIdle || mapped {
+		return 0
+	}
+	return p.MissCost
+}
+
+// Aggregate returns the summed cost of sending a request for a target to a
+// node with the given load and mapping status. An Infinite component makes
+// the aggregate Infinite.
+func (p Params) Aggregate(load float64, mapped bool) float64 {
+	b := p.costBalancing(load)
+	if b == Infinite {
+		return Infinite
+	}
+	return b + p.costLocality(mapped) + p.costReplacement(load, mapped)
+}

@@ -1,0 +1,93 @@
+package policy
+
+import (
+	"fmt"
+
+	"phttp/internal/core"
+)
+
+// WRR is the weighted round-robin policy used by commercial layer-4 cluster
+// front-ends: connections are assigned to back-ends in round-robin order
+// weighted by the nodes' current load (and, optionally, static capacity
+// weights for heterogeneous clusters), with no regard for the requested
+// content. All requests on a connection stay on the handling node (the WRR
+// mechanism is equivalent to simple TCP handoff).
+type WRR struct {
+	loads   *core.LoadTracker
+	weights []float64
+	next    core.NodeID // round-robin tie-break cursor
+}
+
+var _ core.Policy = (*WRR)(nil)
+
+// NewWRR returns a WRR policy over n equally weighted back-end nodes.
+func NewWRR(n int) *WRR {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return NewWeightedWRR(w)
+}
+
+// NewWeightedWRR returns a WRR policy with per-node capacity weights: a
+// node with weight 2 is considered half as loaded as an equally busy node
+// with weight 1 (the "weighted" in commercial front-ends' weighted
+// round-robin). Weights must be positive.
+func NewWeightedWRR(weights []float64) *WRR {
+	for i, w := range weights {
+		if w <= 0 {
+			panic(fmt.Sprintf("policy: WRR weight %d is %v, must be positive", i, w))
+		}
+	}
+	return &WRR{loads: core.NewLoadTracker(len(weights)), weights: weights}
+}
+
+// Name implements core.Policy.
+func (w *WRR) Name() string { return "WRR" }
+
+// ConnOpen assigns the connection to the least weighted-load node, breaking
+// ties round-robin, and charges it one load unit.
+func (w *WRR) ConnOpen(c *core.ConnState, _ core.Request) core.NodeID {
+	n := w.loads.Nodes()
+	best := core.NoNode
+	bestLoad := 0.0
+	for i := 0; i < n; i++ {
+		cand := core.NodeID((int(w.next) + i) % n)
+		l := w.loads.Load(cand) / w.weights[cand]
+		if best == core.NoNode || l < bestLoad {
+			best, bestLoad = cand, l
+		}
+	}
+	w.next = core.NodeID((int(best) + 1) % n)
+	c.Handling = best
+	w.loads.AddConn(best)
+	return best
+}
+
+// AssignBatch sends every request to the handling node.
+func (w *WRR) AssignBatch(c *core.ConnState, batch core.Batch) []core.Assignment {
+	out := make([]core.Assignment, len(batch))
+	for i := range batch {
+		out[i] = core.Assignment{Node: c.Handling, CacheLocally: true}
+		c.Requests++
+	}
+	c.Batches++
+	return out
+}
+
+// BatchDone is a no-op: WRR never charges fractional loads.
+func (w *WRR) BatchDone(*core.ConnState) {}
+
+// ConnClose releases the connection's load unit.
+func (w *WRR) ConnClose(c *core.ConnState) {
+	if c.Handling != core.NoNode {
+		w.loads.RemoveConn(c.Handling)
+		c.Handling = core.NoNode
+	}
+}
+
+// ReportDiskQueue is ignored: WRR uses connection counts only.
+func (w *WRR) ReportDiskQueue(core.NodeID, int) {}
+
+// Loads implements core.Policy.
+func (w *WRR) Loads() *core.LoadTracker { return w.loads }

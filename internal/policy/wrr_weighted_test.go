@@ -1,0 +1,36 @@
+package policy
+
+import (
+	"testing"
+
+	"phttp/internal/core"
+)
+
+func TestWeightedWRRFavorsHeavierNodes(t *testing.T) {
+	// Node 1 has twice the capacity: with held connections it should end
+	// up with about twice the share.
+	w := NewWeightedWRR([]float64{1, 2})
+	counts := [2]int{}
+	var conns []*core.ConnState
+	for i := 0; i < 90; i++ {
+		c := core.NewConnState(core.ConnID(i))
+		n := w.ConnOpen(c, core.Request{Target: "/t", Size: 1})
+		counts[n]++
+		conns = append(conns, c)
+	}
+	if counts[1] != 60 || counts[0] != 30 {
+		t.Errorf("split %v, want [30 60] under 1:2 weights", counts)
+	}
+	for _, c := range conns {
+		w.ConnClose(c)
+	}
+}
+
+func TestWeightedWRRRejectsBadWeights(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero weight did not panic")
+		}
+	}()
+	NewWeightedWRR([]float64{1, 0})
+}

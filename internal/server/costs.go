@@ -1,0 +1,146 @@
+// Package server holds the back-end server cost models (Apache and Flash)
+// and the disk model shared by the simulator, the analytic model and the
+// prototype doc store.
+//
+// The paper derived its constants by measurement on a 300 MHz Pentium II
+// running FreeBSD 2.2.6; the OCR of the supplied text lost the numerals, so
+// the values here are calibrated to the paper's surviving anchors (see
+// DESIGN.md §4.5): an 8 KB cached document serves at roughly 1.0 k req/s
+// under Apache and 2.7 k req/s under Flash on HTTP/1.0 connections, and
+// the analytic crossover between multiple handoff and BE forwarding falls
+// in the mid-single-digit KB for Apache and low-tens KB for Flash (Flash's
+// cheap per-byte handling keeps forwarding attractive up to larger
+// responses), keeping BE forwarding competitive at mean Web response sizes
+// (< 13 KB) for both.
+package server
+
+import "phttp/internal/core"
+
+// Costs is the CPU cost model of one back-end server plus the
+// mechanism-related overheads measured against it. All values are CPU time
+// in microseconds on the modeled node unless stated otherwise.
+type Costs struct {
+	Kind core.ServerKind
+
+	// ConnSetup and ConnTeardown are charged to the connection-handling
+	// node when a client connection is established and torn down.
+	ConnSetup    core.Micros
+	ConnTeardown core.Micros
+
+	// PerRequest is the fixed cost of parsing and servicing one HTTP
+	// request (header parse, URL lookup, logging, write setup).
+	PerRequest core.Micros
+
+	// TransmitPer512 is the data-touching cost per 512-byte unit of
+	// response body on the node that writes to the client connection.
+	TransmitPer512 core.Micros
+
+	// HandoffFE and HandoffBE are the front-end and back-end CPU costs of
+	// one TCP connection handoff (also paid per migration under multiple
+	// handoff, by the front-end and by both back-ends involved).
+	HandoffFE core.Micros
+	HandoffBE core.Micros
+
+	// ForwardPerRequest is the per-request overhead of a lateral
+	// (back-end to back-end) fetch, paid once on each of the two nodes.
+	ForwardPerRequest core.Micros
+
+	// ForwardPer512 is the per-512-byte cost on the connection-handling
+	// node of receiving laterally forwarded response data before
+	// retransmitting it to the client.
+	ForwardPer512 core.Micros
+
+	// FEPerRequest is the front-end forwarding-module cost of passing one
+	// request's client packets (and copying the request to the
+	// dispatcher).
+	FEPerRequest core.Micros
+
+	// FEConn is the front-end cost of accepting a client connection and
+	// running the dispatcher for it.
+	FEConn core.Micros
+
+	// RelayPer512 is the front-end per-512-byte cost of relaying response
+	// data when the relaying front-end mechanism is used.
+	RelayPer512 core.Micros
+}
+
+// ApacheCosts returns the calibrated Apache 1.3.x model.
+func ApacheCosts() Costs {
+	return Costs{
+		Kind:              core.Apache,
+		ConnSetup:         145,
+		ConnTeardown:      145,
+		PerRequest:        286,
+		TransmitPer512:    40,
+		HandoffFE:         50,
+		HandoffBE:         340,
+		ForwardPerRequest: 100,
+		ForwardPer512:     40,
+		FEPerRequest:      5,
+		FEConn:            20,
+		RelayPer512:       20,
+	}
+}
+
+// FlashCosts returns the calibrated Flash model. Flash's event-driven
+// architecture slashes per-connection and per-request CPU but data-touching
+// and handoff costs (kernel work) shrink less.
+func FlashCosts() Costs {
+	return Costs{
+		Kind:              core.Flash,
+		ConnSetup:         45,
+		ConnTeardown:      45,
+		PerRequest:        60,
+		TransmitPer512:    15,
+		HandoffFE:         50,
+		HandoffBE:         220,
+		ForwardPerRequest: 25,
+		ForwardPer512:     16,
+		FEPerRequest:      5,
+		FEConn:            20,
+		RelayPer512:       20,
+	}
+}
+
+// CostsFor returns the model for kind.
+func CostsFor(kind core.ServerKind) Costs {
+	switch kind {
+	case core.Flash:
+		return FlashCosts()
+	default:
+		return ApacheCosts()
+	}
+}
+
+// units512 returns the number of 512-byte units needed for size bytes
+// (rounded up, minimum 1 for a non-empty body).
+func units512(size int64) int64 {
+	if size <= 0 {
+		return 0
+	}
+	return (size + 511) / 512
+}
+
+// Transmit returns the CPU cost of transmitting a response body of size
+// bytes to the client.
+func (c Costs) Transmit(size int64) core.Micros {
+	return core.Micros(units512(size)) * c.TransmitPer512
+}
+
+// ForwardRecv returns the handling-node CPU cost of receiving size bytes of
+// laterally forwarded data.
+func (c Costs) ForwardRecv(size int64) core.Micros {
+	return core.Micros(units512(size)) * c.ForwardPer512
+}
+
+// Relay returns the front-end CPU cost of relaying size response bytes.
+func (c Costs) Relay(size int64) core.Micros {
+	return core.Micros(units512(size)) * c.RelayPer512
+}
+
+// ServeHTTP10 returns the total back-end CPU of serving one cached request
+// of size bytes on its own HTTP/1.0 connection: setup + request + transmit
+// + teardown. Useful as the calibration anchor.
+func (c Costs) ServeHTTP10(size int64) core.Micros {
+	return c.ConnSetup + c.PerRequest + c.Transmit(size) + c.ConnTeardown
+}

@@ -1,0 +1,27 @@
+package server
+
+import "phttp/internal/core"
+
+// DiskParams models a back-end disk: a fixed positioning (seek + rotational)
+// cost plus a transfer cost per 512-byte unit. Requests queue FIFO on the
+// node's single disk.
+type DiskParams struct {
+	// Position is the per-read positioning time.
+	Position core.Micros
+	// TransferPer512 is the media transfer time per 512 bytes.
+	TransferPer512 core.Micros
+}
+
+// DefaultDisk returns the calibrated late-90s SCSI disk model used across
+// the simulator and the prototype: ~12.5 ms positioning (seek + rotation) and ~21 MB/s media
+// rate. The exact numbers matter less than the hit/miss cost ratio; they
+// make a miss on a mean-size document ~20x the CPU cost of a hit, which
+// reproduces the paper's disk-bound WRR behaviour.
+func DefaultDisk() DiskParams {
+	return DiskParams{Position: 12500, TransferPer512: 24}
+}
+
+// ReadTime returns the service time of reading size bytes.
+func (d DiskParams) ReadTime(size int64) core.Micros {
+	return d.Position + core.Micros(units512(size))*d.TransferPer512
+}

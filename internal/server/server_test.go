@@ -1,0 +1,101 @@
+package server
+
+import (
+	"testing"
+
+	"phttp/internal/core"
+)
+
+func TestTransmitRoundsUpTo512(t *testing.T) {
+	c := ApacheCosts()
+	cases := []struct {
+		size int64
+		want core.Micros
+	}{
+		{0, 0},
+		{1, c.TransmitPer512},
+		{512, c.TransmitPer512},
+		{513, 2 * c.TransmitPer512},
+		{8 << 10, 16 * c.TransmitPer512},
+	}
+	for _, tc := range cases {
+		if got := c.Transmit(tc.size); got != tc.want {
+			t.Errorf("Transmit(%d) = %v, want %v", tc.size, got, tc.want)
+		}
+	}
+}
+
+// The calibration anchor: an 8 KB cached document serves at roughly
+// 1.0 k req/s with Apache and 2.5-3 k req/s with Flash on HTTP/1.0.
+func TestHTTP10RateAnchors(t *testing.T) {
+	apache := 1e6 / float64(ApacheCosts().ServeHTTP10(8<<10))
+	if apache < 700 || apache > 1300 {
+		t.Errorf("Apache 8KB HTTP/1.0 rate = %.0f req/s, want ~1000", apache)
+	}
+	flash := 1e6 / float64(FlashCosts().ServeHTTP10(8<<10))
+	if flash < 2000 || flash > 3500 {
+		t.Errorf("Flash 8KB HTTP/1.0 rate = %.0f req/s, want ~2700", flash)
+	}
+	if flash < 2*apache {
+		t.Errorf("Flash (%.0f) should be at least 2x Apache (%.0f)", flash, apache)
+	}
+}
+
+func TestCostsFor(t *testing.T) {
+	if CostsFor(core.Apache).Kind != core.Apache {
+		t.Error("CostsFor(Apache) wrong kind")
+	}
+	if CostsFor(core.Flash).Kind != core.Flash {
+		t.Error("CostsFor(Flash) wrong kind")
+	}
+}
+
+func TestFlashCheaperThanApachePerRequest(t *testing.T) {
+	a, f := ApacheCosts(), FlashCosts()
+	if f.PerRequest >= a.PerRequest {
+		t.Error("Flash per-request cost should be below Apache's")
+	}
+	if f.ConnSetup >= a.ConnSetup {
+		t.Error("Flash connection setup should be below Apache's")
+	}
+	if f.TransmitPer512 >= a.TransmitPer512 {
+		t.Error("Flash transmit cost should be below Apache's")
+	}
+}
+
+func TestDiskReadTimeMonotonic(t *testing.T) {
+	d := DefaultDisk()
+	if d.ReadTime(0) != d.Position {
+		t.Errorf("ReadTime(0) = %v, want positioning only", d.ReadTime(0))
+	}
+	prev := d.ReadTime(1)
+	for _, size := range []int64{513, 4096, 1 << 20} {
+		rt := d.ReadTime(size)
+		if rt <= prev {
+			t.Errorf("ReadTime not increasing at %d", size)
+		}
+		prev = rt
+	}
+}
+
+// A disk miss on a mean-size (8 KB) document must dwarf the CPU cost of a
+// hit: that ratio is what makes WRR disk-bound in the paper.
+func TestMissCostDominatesHitCost(t *testing.T) {
+	d := DefaultDisk()
+	c := ApacheCosts()
+	miss := d.ReadTime(8 << 10)
+	hit := c.PerRequest + c.Transmit(8<<10)
+	if miss < 10*hit {
+		t.Errorf("miss (%v) should be >= 10x hit CPU (%v)", miss, hit)
+	}
+}
+
+func TestForwardRecvAndRelay(t *testing.T) {
+	c := ApacheCosts()
+	if c.ForwardRecv(1024) != 2*c.ForwardPer512 {
+		t.Errorf("ForwardRecv(1024) = %v", c.ForwardRecv(1024))
+	}
+	if c.Relay(1024) != 2*c.RelayPer512 {
+		t.Errorf("Relay(1024) = %v", c.Relay(1024))
+	}
+}

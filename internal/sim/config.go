@@ -1,0 +1,154 @@
+// Package sim implements the trace-driven cluster simulator: an extension of
+// the LARD simulator (Pai et al., ASPLOS '98) that models HTTP/1.1
+// persistent connections, pipelined request batches, and the five request
+// distribution mechanisms of the paper.
+//
+// Each back-end node has a FIFO CPU, a FIFO disk and a byte-budgeted LRU
+// main-memory cache; the front-end has its own CPU running the dispatcher
+// and forwarding module. Networks are assumed infinitely fast (as in the
+// paper): throughput is limited only by CPU and disk. The request arrival
+// rate is matched to the aggregate throughput of the server by keeping a
+// fixed number of connections in flight (closed loop); throughput is the
+// number of requests served divided by the simulated time to serve them.
+package sim
+
+import (
+	"fmt"
+
+	"phttp/internal/core"
+	"phttp/internal/policy"
+	"phttp/internal/server"
+)
+
+// Combo names a (policy, mechanism, workload-flavor) combination as used in
+// the paper's figure legends.
+type Combo struct {
+	// Name is the legend string, e.g. "BEforward-extLARD-PHTTP".
+	Name string
+	// Policy is one of "wrr", "lard", "extlard".
+	Policy string
+	// Mechanism is the distribution mechanism the policy drives.
+	Mechanism core.Mechanism
+	// PHTTP selects the persistent-connection workload; false flattens
+	// the trace to HTTP/1.0 (one connection per request).
+	PHTTP bool
+}
+
+// Combos returns the full set of combinations evaluated in Figures 7 and 8,
+// in the paper's legend order, plus the relaying front-end variant discussed
+// in Section 6.1.
+func Combos() []Combo {
+	return []Combo{
+		{Name: "zeroCost-extLARD-PHTTP", Policy: "extlard", Mechanism: core.ZeroCostHandoff, PHTTP: true},
+		{Name: "multiHandoff-extLARD-PHTTP", Policy: "extlard", Mechanism: core.MultipleHandoff, PHTTP: true},
+		{Name: "BEforward-extLARD-PHTTP", Policy: "extlard", Mechanism: core.BEForwarding, PHTTP: true},
+		{Name: "simple-LARD", Policy: "lard", Mechanism: core.SingleHandoff, PHTTP: false},
+		{Name: "simple-LARD-PHTTP", Policy: "lard", Mechanism: core.SingleHandoff, PHTTP: true},
+		{Name: "WRR-PHTTP", Policy: "wrr", Mechanism: core.SingleHandoff, PHTTP: true},
+		{Name: "WRR", Policy: "wrr", Mechanism: core.SingleHandoff, PHTTP: false},
+	}
+}
+
+// ComboByName returns the named combination.
+func ComboByName(name string) (Combo, error) {
+	for _, c := range Combos() {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	switch name {
+	case "relayFE-extLARD-PHTTP":
+		return Combo{Name: name, Policy: "extlard", Mechanism: core.RelayFrontEnd, PHTTP: true}, nil
+	case "simple-LARDR":
+		// LARD with replication (ASPLOS '98 companion policy), provided
+		// as an extension baseline; not one of the paper's curves.
+		return Combo{Name: name, Policy: "lardr", Mechanism: core.SingleHandoff, PHTTP: false}, nil
+	case "simple-LARDR-PHTTP":
+		return Combo{Name: name, Policy: "lardr", Mechanism: core.SingleHandoff, PHTTP: true}, nil
+	}
+	return Combo{}, fmt.Errorf("sim: unknown combo %q", name)
+}
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// Nodes is the number of back-end nodes.
+	Nodes int
+	// Server is the back-end CPU cost model (Apache or Flash).
+	Server server.Costs
+	// Disk is the per-node disk model.
+	Disk server.DiskParams
+	// CacheBytes is each back-end's main-memory cache capacity.
+	CacheBytes int64
+	// Params are the LARD-family policy constants.
+	Params policy.Params
+	// Combo selects policy, mechanism and workload flavor.
+	Combo Combo
+	// ConnsPerNode sets the closed-loop concurrency: ConnsPerNode*Nodes
+	// connections are kept in flight (saturation without driving every
+	// node past L_overload).
+	ConnsPerNode int
+	// WarmupFrac is the fraction of connections treated as cache warmup;
+	// throughput and hit rates are measured after it.
+	WarmupFrac float64
+	// FESpeedup scales the front-end CPU relative to the back-ends
+	// (divides all front-end costs). The relaying-front-end comparison of
+	// Section 6.1 posits a front-end powerful enough not to be the
+	// bottleneck; 1 means equal hardware.
+	FESpeedup float64
+}
+
+// DefaultCacheBytes is the simulator's back-end cache size: the paper's
+// 128 MB nodes leave about 85 MB of effective file cache.
+const DefaultCacheBytes = 85 << 20
+
+// DefaultConfig returns the calibrated configuration for n nodes running
+// the given combo with the Apache cost model.
+func DefaultConfig(n int, combo Combo) Config {
+	return Config{
+		Nodes:        n,
+		Server:       server.ApacheCosts(),
+		Disk:         server.DefaultDisk(),
+		CacheBytes:   DefaultCacheBytes,
+		Params:       policy.DefaultParams(),
+		Combo:        combo,
+		ConnsPerNode: 32,
+		WarmupFrac:   0.2,
+		FESpeedup:    1,
+	}
+}
+
+// buildPolicy instantiates the combo's policy.
+func (c Config) buildPolicy() (core.Policy, error) {
+	switch c.Combo.Policy {
+	case "wrr":
+		return policy.NewWRR(c.Nodes), nil
+	case "lard":
+		return policy.NewLARD(c.Nodes, c.CacheBytes, c.Params), nil
+	case "lardr":
+		return policy.NewLARDR(c.Nodes, c.CacheBytes, c.Params), nil
+	case "extlard":
+		return policy.NewExtLARD(c.Nodes, c.CacheBytes, c.Params, c.Combo.Mechanism), nil
+	default:
+		return nil, fmt.Errorf("sim: unknown policy %q", c.Combo.Policy)
+	}
+}
+
+// Validate reports configuration errors early.
+func (c Config) Validate() error {
+	if c.Nodes <= 0 {
+		return fmt.Errorf("sim: Nodes must be positive, got %d", c.Nodes)
+	}
+	if c.CacheBytes <= 0 {
+		return fmt.Errorf("sim: CacheBytes must be positive, got %d", c.CacheBytes)
+	}
+	if c.ConnsPerNode <= 0 {
+		return fmt.Errorf("sim: ConnsPerNode must be positive, got %d", c.ConnsPerNode)
+	}
+	if c.WarmupFrac < 0 || c.WarmupFrac >= 1 {
+		return fmt.Errorf("sim: WarmupFrac must be in [0,1), got %g", c.WarmupFrac)
+	}
+	if _, err := c.buildPolicy(); err != nil {
+		return err
+	}
+	return nil
+}

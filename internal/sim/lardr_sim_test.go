@@ -1,0 +1,28 @@
+package sim
+
+import "testing"
+
+// LARD/R is the extension baseline (ASPLOS '98 companion policy); it is not
+// one of the paper's curves, but it must behave sanely in the simulator:
+// locality comparable to basic LARD, well above WRR.
+func TestLARDRCombos(t *testing.T) {
+	lardr := run(t, 4, "simple-LARDR")
+	lard := run(t, 4, "simple-LARD")
+	wrr := run(t, 4, "WRR")
+	if lardr.Throughput < 1.3*wrr.Throughput {
+		t.Errorf("LARD/R (%.0f) not clearly above WRR (%.0f)", lardr.Throughput, wrr.Throughput)
+	}
+	if rel(lardr.Throughput, lard.Throughput) > 0.25 {
+		t.Errorf("LARD/R (%.0f) should be within 25%% of LARD (%.0f)", lardr.Throughput, lard.Throughput)
+	}
+	if lardr.HitRate < wrr.HitRate {
+		t.Errorf("LARD/R hit rate %.2f below WRR %.2f", lardr.HitRate, wrr.HitRate)
+	}
+}
+
+func TestLARDRPHTTPComboRuns(t *testing.T) {
+	res := run(t, 3, "simple-LARDR-PHTTP")
+	if res.Throughput <= 0 {
+		t.Fatalf("empty result %+v", res)
+	}
+}

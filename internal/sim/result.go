@@ -1,0 +1,48 @@
+package sim
+
+import (
+	"fmt"
+
+	"phttp/internal/core"
+)
+
+// Result is the outcome of one simulation run, measured after warmup.
+type Result struct {
+	Combo  string
+	Server string
+	Nodes  int
+
+	// Requests served and simulated time after warmup.
+	Requests int64
+	SimTime  core.Micros
+
+	// Throughput is requests/second, the paper's primary metric.
+	Throughput float64
+	// BandwidthMbps is delivered body bandwidth in megabits/second.
+	BandwidthMbps float64
+	// MeanDelay is the mean per-request response delay (from batch
+	// arrival at the front-end to transmit completion); Figure 3's
+	// y-axis.
+	MeanDelay core.Micros
+
+	// HitRate is the aggregate back-end cache hit rate after warmup.
+	HitRate float64
+	// CPUUtil and DiskUtil are mean back-end utilizations; FEUtilization
+	// is the front-end CPU utilization (Section 8.2 reports ~60% at six
+	// Apache back-ends).
+	CPUUtil       float64
+	DiskUtil      float64
+	FEUtilization float64
+
+	// Extended-LARD decision counters (zero for other policies).
+	LocalServes   int64
+	RemoteServes  int64
+	Migrations    int64
+	CacheBypasses int64
+}
+
+// String renders a one-line summary.
+func (r Result) String() string {
+	return fmt.Sprintf("%-28s n=%-2d %8.1f req/s  hit=%5.1f%%  cpu=%5.1f%%  disk=%5.1f%%  fe=%5.1f%%",
+		r.Combo, r.Nodes, r.Throughput, 100*r.HitRate, 100*r.CPUUtil, 100*r.DiskUtil, 100*r.FEUtilization)
+}

@@ -1,0 +1,367 @@
+package sim
+
+import (
+	"fmt"
+
+	"phttp/internal/cache"
+	"phttp/internal/core"
+	"phttp/internal/policy"
+	"phttp/internal/simcore"
+	"phttp/internal/trace"
+)
+
+// node is one simulated back-end: CPU, disk, main-memory cache.
+type node struct {
+	cpu   simcore.Resource
+	disk  simcore.Resource
+	cache *cache.LRU
+}
+
+// Sim is one simulation run in progress.
+type Sim struct {
+	cfg    Config
+	eng    *simcore.Engine
+	nodes  []*node
+	fe     simcore.Resource
+	pol    core.Policy
+	trace  *trace.Trace
+	nextID core.ConnID
+
+	nextConn int // next trace connection to admit
+	active   int
+
+	// measurement
+	served       int64
+	servedBytes  int64
+	delaySum     core.Micros
+	warmDelaySum core.Micros
+	warmConns    int
+	doneConns    int
+	warmServed   int64
+	warmBytes    int64
+	warmTime     core.Micros
+	warmed       bool
+	warmFEBusy   core.Micros
+	warmCPUBusy  []core.Micros
+	warmDiskBusy []core.Micros
+}
+
+// Run simulates the trace under cfg and returns the measured result.
+func Run(cfg Config, tr *trace.Trace) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	workload := tr
+	if !cfg.Combo.PHTTP {
+		workload = tr.Flatten10()
+	}
+	pol, err := cfg.buildPolicy()
+	if err != nil {
+		return Result{}, err
+	}
+	s := &Sim{
+		cfg:   cfg,
+		eng:   simcore.NewEngine(),
+		pol:   pol,
+		trace: workload,
+	}
+	s.nodes = make([]*node, cfg.Nodes)
+	for i := range s.nodes {
+		s.nodes[i] = &node{cache: cache.NewLRU(cfg.CacheBytes)}
+	}
+	s.warmConns = int(cfg.WarmupFrac * float64(len(workload.Conns)))
+	s.warmCPUBusy = make([]core.Micros, cfg.Nodes)
+	s.warmDiskBusy = make([]core.Micros, cfg.Nodes)
+
+	inFlight := cfg.ConnsPerNode * cfg.Nodes
+	for i := 0; i < inFlight && s.admit(); i++ {
+	}
+	s.eng.Run(0)
+	if s.active != 0 || s.nextConn != len(workload.Conns) {
+		return Result{}, fmt.Errorf("sim: deadlock, %d connections still active after event queue drained", s.active)
+	}
+	return s.result(), nil
+}
+
+// admit starts the next trace connection; it reports whether one was
+// available.
+func (s *Sim) admit() bool {
+	if s.nextConn >= len(s.trace.Conns) {
+		return false
+	}
+	conn := s.trace.Conns[s.nextConn]
+	s.nextConn++
+	if conn.Requests() == 0 {
+		return s.admit()
+	}
+	s.active++
+	s.nextID++
+	cr := &connRun{sim: s, conn: conn, cs: core.NewConnState(s.nextID)}
+	cr.open()
+	return true
+}
+
+// connDone finishes a connection's lifecycle and admits the next.
+func (s *Sim) connDone(cr *connRun) {
+	s.pol.ConnClose(cr.cs)
+	s.active--
+	s.doneConns++
+	if !s.warmed && s.doneConns >= s.warmConns {
+		s.warmed = true
+		s.warmServed = s.served
+		s.warmBytes = s.servedBytes
+		s.warmDelaySum = s.delaySum
+		s.warmTime = s.eng.Now()
+		s.warmFEBusy = s.fe.BusyTotal()
+		for i, n := range s.nodes {
+			s.warmCPUBusy[i] = n.cpu.BusyTotal()
+			s.warmDiskBusy[i] = n.disk.BusyTotal()
+			n.cache.ResetStats()
+		}
+	}
+	s.admit()
+}
+
+// cpuDo schedules cost on node n's CPU and runs fn at completion.
+func (s *Sim) cpuDo(n core.NodeID, cost core.Micros, fn func()) {
+	nd := s.nodes[n]
+	done := nd.cpu.Schedule(s.eng.Now(), cost)
+	s.eng.At(done, func() {
+		nd.cpu.Release()
+		if fn != nil {
+			fn()
+		}
+	})
+}
+
+// feDo schedules cost on the front-end CPU, scaled by the configured
+// front-end speedup.
+func (s *Sim) feDo(cost core.Micros, fn func()) {
+	if s.cfg.FESpeedup > 1 {
+		cost = core.Micros(float64(cost) / s.cfg.FESpeedup)
+	}
+	done := s.fe.Schedule(s.eng.Now(), cost)
+	s.eng.At(done, func() {
+		s.fe.Release()
+		if fn != nil {
+			fn()
+		}
+	})
+}
+
+// diskDo schedules a read of size bytes on node n's disk, keeping the
+// policy's view of the disk queue current (the prototype's control-session
+// reports, idealized to instantaneous).
+func (s *Sim) diskDo(n core.NodeID, size int64, fn func()) {
+	nd := s.nodes[n]
+	done := nd.disk.Schedule(s.eng.Now(), s.cfg.Disk.ReadTime(size))
+	s.pol.ReportDiskQueue(n, nd.disk.Queued())
+	s.eng.At(done, func() {
+		nd.disk.Release()
+		s.pol.ReportDiskQueue(n, nd.disk.Queued())
+		if fn != nil {
+			fn()
+		}
+	})
+}
+
+// connRun drives one client connection through its batches.
+type connRun struct {
+	sim  *Sim
+	conn core.Connection
+	cs   *core.ConnState
+
+	batchIdx    int
+	outstanding int
+	batchStart  core.Micros
+}
+
+// open runs the connection-establishment path: front-end accept + dispatch,
+// then the mechanism's per-connection work at the handling node, then the
+// first batch.
+func (c *connRun) open() {
+	s := c.sim
+	first := c.conn.Batches[0][0]
+	handling := s.pol.ConnOpen(c.cs, first)
+	costs := s.cfg.Server
+	switch s.cfg.Combo.Mechanism {
+	case core.RelayFrontEnd:
+		// The front-end terminates the client connection itself and
+		// reuses persistent back-end connections; back-ends see no
+		// per-connection work.
+		s.feDo(costs.FEConn, func() { c.serveBatch() })
+	default:
+		s.feDo(costs.FEConn+costs.HandoffFE, func() {
+			s.cpuDo(handling, costs.HandoffBE+costs.ConnSetup, func() {
+				c.serveBatch()
+			})
+		})
+	}
+}
+
+// serveBatch assigns and serves the current batch; when all its responses
+// are done the next batch arrives (the closed-loop client sends it
+// immediately).
+func (c *connRun) serveBatch() {
+	s := c.sim
+	batch := c.conn.Batches[c.batchIdx]
+	assignments := s.pol.AssignBatch(c.cs, batch)
+	c.outstanding = len(batch)
+	c.batchStart = s.eng.Now()
+	for i, r := range batch {
+		c.serveRequest(r, assignments[i])
+	}
+}
+
+// requestDone accounts one finished response and advances the connection.
+func (c *connRun) requestDone(size int64) {
+	s := c.sim
+	s.served++
+	s.servedBytes += size
+	s.delaySum += s.eng.Now() - c.batchStart
+	c.outstanding--
+	if c.outstanding > 0 {
+		return
+	}
+	c.batchIdx++
+	if c.batchIdx < len(c.conn.Batches) {
+		c.serveBatch()
+		return
+	}
+	// Connection complete: teardown at the handling node (none for the
+	// relaying front-end, which pays it on its own CPU).
+	costs := s.cfg.Server
+	if s.cfg.Combo.Mechanism == core.RelayFrontEnd {
+		s.feDo(costs.FEConn, func() { s.connDone(c) })
+		return
+	}
+	s.cpuDo(c.cs.Handling, costs.ConnTeardown, func() { s.connDone(c) })
+}
+
+// serveRequest models one request under the mechanism-specific data path.
+func (c *connRun) serveRequest(r core.Request, a core.Assignment) {
+	s := c.sim
+	costs := s.cfg.Server
+	switch {
+	case s.cfg.Combo.Mechanism == core.RelayFrontEnd:
+		// Request relayed by FE, served at a.Node, response relayed by
+		// FE to the client.
+		s.feDo(costs.FEPerRequest, func() {
+			c.serveLocal(a.Node, r, func() {
+				s.feDo(costs.Relay(r.Size), func() { c.requestDone(r.Size) })
+			})
+		})
+
+	case a.Forward:
+		// BE forwarding: FE forwards the tagged request to the handling
+		// node; the remote node produces the content; the handling node
+		// receives and retransmits it.
+		h := c.cs.Handling
+		remote := a.Node
+		s.feDo(costs.FEPerRequest, func() {
+			s.cpuDo(remote, costs.PerRequest+costs.ForwardPerRequest, func() {
+				c.withContent(remote, r, true, func() {
+					s.cpuDo(h, costs.ForwardPerRequest+costs.ForwardRecv(r.Size)+costs.Transmit(r.Size), func() {
+						if a.CacheLocally {
+							s.nodes[h].cache.Insert(r.Target, r.Size)
+						}
+						c.requestDone(r.Size)
+					})
+				})
+			})
+		})
+
+	case a.Migrate && s.cfg.Combo.Mechanism == core.MultipleHandoff:
+		// Migration: FE coordinates, both back-ends do handoff work,
+		// then the new handling node serves the request.
+		newNode, oldNode := a.Node, a.From
+		s.feDo(costs.HandoffFE, func() {
+			s.cpuDo(oldNode, costs.HandoffBE, nil) // old node releases state
+			s.cpuDo(newNode, costs.HandoffBE, func() {
+				c.serveLocal(newNode, r, func() { c.requestDone(r.Size) })
+			})
+		})
+
+	default:
+		// Local serve at the assigned node (covers single handoff,
+		// zero-cost reassignment, and non-migrating requests).
+		s.feDo(costs.FEPerRequest, func() {
+			c.serveLocal(a.Node, r, func() { c.requestDone(r.Size) })
+		})
+	}
+}
+
+// serveLocal models the normal serve path at node n: per-request CPU, cache
+// lookup, disk on a miss, then transmit to the client. Local disk reads
+// always populate the node's cache — FreeBSD's unified buffer cache offers
+// no bypass — whatever the policy's mapping chose to record.
+func (c *connRun) serveLocal(n core.NodeID, r core.Request, done func()) {
+	s := c.sim
+	costs := s.cfg.Server
+	s.cpuDo(n, costs.PerRequest, func() {
+		if s.nodes[n].cache.Lookup(r.Target) {
+			s.cpuDo(n, costs.Transmit(r.Size), done)
+			return
+		}
+		s.diskDo(n, r.Size, func() {
+			s.nodes[n].cache.Insert(r.Target, r.Size)
+			s.cpuDo(n, costs.Transmit(r.Size), done)
+		})
+	})
+}
+
+// withContent produces r's content at node n (cache hit or disk read),
+// inserting it into n's cache when insert is set, then calls done. Used for
+// the remote side of lateral fetches.
+func (c *connRun) withContent(n core.NodeID, r core.Request, insert bool, done func()) {
+	s := c.sim
+	if s.nodes[n].cache.Lookup(r.Target) {
+		done()
+		return
+	}
+	s.diskDo(n, r.Size, func() {
+		if insert {
+			s.nodes[n].cache.Insert(r.Target, r.Size)
+		}
+		done()
+	})
+}
+
+// result assembles the measured Result after the event queue drains.
+func (s *Sim) result() Result {
+	elapsed := s.eng.Now() - s.warmTime
+	served := s.served - s.warmServed
+	res := Result{
+		Combo:    s.cfg.Combo.Name,
+		Server:   s.cfg.Server.Kind.String(),
+		Nodes:    s.cfg.Nodes,
+		Requests: served,
+		SimTime:  elapsed,
+	}
+	if elapsed > 0 {
+		res.Throughput = float64(served) / elapsed.Seconds()
+		res.BandwidthMbps = float64(s.servedBytes-s.warmBytes) * 8 / 1e6 / elapsed.Seconds()
+		res.FEUtilization = float64(s.fe.BusyTotal()-s.warmFEBusy) / float64(elapsed)
+	}
+	if served > 0 {
+		res.MeanDelay = (s.delaySum - s.warmDelaySum) / core.Micros(served)
+	}
+	var hits, misses int64
+	for i, n := range s.nodes {
+		hits += n.cache.Hits()
+		misses += n.cache.Misses()
+		if elapsed > 0 {
+			res.CPUUtil += float64(n.cpu.BusyTotal()-s.warmCPUBusy[i]) / float64(elapsed)
+			res.DiskUtil += float64(n.disk.BusyTotal()-s.warmDiskBusy[i]) / float64(elapsed)
+		}
+	}
+	res.CPUUtil /= float64(len(s.nodes))
+	res.DiskUtil /= float64(len(s.nodes))
+	if hits+misses > 0 {
+		res.HitRate = float64(hits) / float64(hits+misses)
+	}
+	if ext, ok := s.pol.(*policy.ExtLARD); ok {
+		res.LocalServes, res.RemoteServes, res.Migrations, res.CacheBypasses = ext.Stats()
+	}
+	return res
+}

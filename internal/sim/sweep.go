@@ -1,0 +1,55 @@
+package sim
+
+import (
+	"phttp/internal/core"
+	"phttp/internal/metrics"
+	"phttp/internal/server"
+	"phttp/internal/trace"
+)
+
+// ClusterSweep runs every combo over the given cluster sizes with the given
+// server cost model, regenerating the data behind Figure 7 (Apache) or
+// Figure 8 (Flash). It returns one series per combo, keyed by node count.
+func ClusterSweep(kind core.ServerKind, nodes []int, combos []Combo, tr *trace.Trace) ([]*metrics.Series, []Result, error) {
+	var series []*metrics.Series
+	var results []Result
+	for _, combo := range combos {
+		s := &metrics.Series{Name: combo.Name}
+		for _, n := range nodes {
+			cfg := DefaultConfig(n, combo)
+			cfg.Server = server.CostsFor(kind)
+			res, err := Run(cfg, tr)
+			if err != nil {
+				return nil, nil, err
+			}
+			s.Add(float64(n), res.Throughput)
+			results = append(results, res)
+		}
+		series = append(series, s)
+	}
+	return series, results, nil
+}
+
+// DelaySweep regenerates Figure 3: a single back-end node's throughput and
+// mean delay as a function of offered load (concurrent connections). It
+// returns the throughput series and the delay series (delay in
+// milliseconds) over the given load points.
+func DelaySweep(kind core.ServerKind, loads []int, tr *trace.Trace) (throughput, delay *metrics.Series, err error) {
+	throughput = &metrics.Series{Name: "throughput(req/s)"}
+	delay = &metrics.Series{Name: "delay(ms)"}
+	for _, l := range loads {
+		cfg := DefaultConfig(1, Combo{
+			Name: "single-node", Policy: "wrr",
+			Mechanism: core.SingleHandoff, PHTTP: true,
+		})
+		cfg.Server = server.CostsFor(kind)
+		cfg.ConnsPerNode = l
+		res, rerr := Run(cfg, tr)
+		if rerr != nil {
+			return nil, nil, rerr
+		}
+		throughput.Add(float64(l), res.Throughput)
+		delay.Add(float64(l), float64(res.MeanDelay)/float64(core.Millisecond))
+	}
+	return throughput, delay, nil
+}

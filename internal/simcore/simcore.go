@@ -1,0 +1,152 @@
+// Package simcore provides the discrete-event machinery underneath the
+// cluster simulator: a binary-heap event queue with a deterministic
+// tie-break order, a simulated clock, and busy-server resource helpers.
+package simcore
+
+import (
+	"container/heap"
+
+	"phttp/internal/core"
+)
+
+// Event is a callback scheduled at a simulated time. Events at equal times
+// fire in scheduling order (Seq), which keeps runs deterministic.
+type Event struct {
+	At  core.Micros
+	Seq uint64
+	Fn  func()
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].Seq < h[j].Seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*Event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine owns the clock and the pending-event heap.
+type Engine struct {
+	now    core.Micros
+	seq    uint64
+	events eventHeap
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	e := &Engine{}
+	heap.Init(&e.events)
+	return e
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() core.Micros { return e.now }
+
+// Pending returns the number of scheduled events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// that is always a modelling bug, not a recoverable condition.
+func (e *Engine) At(t core.Micros, fn func()) {
+	if t < e.now {
+		panic("simcore: event scheduled in the past")
+	}
+	e.seq++
+	heap.Push(&e.events, &Event{At: t, Seq: e.seq, Fn: fn})
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d core.Micros, fn func()) { e.At(e.now+d, fn) }
+
+// Step runs the earliest pending event, advancing the clock. It reports
+// whether an event ran.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*Event)
+	e.now = ev.At
+	ev.Fn()
+	return true
+}
+
+// Run processes events until the queue drains or the event budget is
+// exhausted, returning the number of events processed. A budget of 0 means
+// unlimited.
+func (e *Engine) Run(budget int) int {
+	n := 0
+	for e.Step() {
+		n++
+		if budget > 0 && n >= budget {
+			break
+		}
+	}
+	return n
+}
+
+// Resource models a serially shared device (a CPU or a disk) with FIFO
+// service: work scheduled on it starts at max(now, busyUntil) and occupies
+// the device for its cost. Busy time is accumulated for utilization
+// reporting.
+type Resource struct {
+	busyUntil core.Micros
+	busyTotal core.Micros
+	queued    int
+}
+
+// Schedule reserves the resource for cost starting no earlier than now and
+// returns the completion time. queued is incremented until Release is called
+// by the caller at completion (via the engine).
+func (r *Resource) Schedule(now, cost core.Micros) core.Micros {
+	start := r.busyUntil
+	if now > start {
+		start = now
+	}
+	done := start + cost
+	r.busyUntil = done
+	r.busyTotal += cost
+	r.queued++
+	return done
+}
+
+// Release records the completion of one scheduled unit of work.
+func (r *Resource) Release() {
+	r.queued--
+	if r.queued < 0 {
+		panic("simcore: resource released more than scheduled")
+	}
+}
+
+// Queued returns the number of in-flight work items (scheduled, not yet
+// released). The extended LARD disk heuristic consumes this for disks.
+func (r *Resource) Queued() int { return r.queued }
+
+// BusyUntil returns the time the resource drains if no more work arrives.
+func (r *Resource) BusyUntil() core.Micros { return r.busyUntil }
+
+// BusyTotal returns the accumulated busy time.
+func (r *Resource) BusyTotal() core.Micros { return r.busyTotal }
+
+// Utilization returns busy time divided by elapsed time (0 if none elapsed).
+func (r *Resource) Utilization(elapsed core.Micros) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	u := float64(r.busyTotal) / float64(elapsed)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}

@@ -1,0 +1,255 @@
+package simcore
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"phttp/internal/core"
+)
+
+func TestEngineOrdersEventsByTime(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.At(30, func() { got = append(got, 3) })
+	e.At(10, func() { got = append(got, 1) })
+	e.At(20, func() { got = append(got, 2) })
+	e.Run(0)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("event order = %v, want [1 2 3]", got)
+	}
+	if e.Now() != 30 {
+		t.Errorf("Now() = %v, want 30", e.Now())
+	}
+}
+
+func TestEngineTiesFireInScheduleOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { got = append(got, i) })
+	}
+	e.Run(0)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie order = %v, want ascending", got)
+		}
+	}
+}
+
+func TestEngineSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(5, func() {})
+	})
+	e.Run(0)
+}
+
+func TestEngineEventsCanSchedule(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var chain func()
+	chain = func() {
+		count++
+		if count < 100 {
+			e.After(1, chain)
+		}
+	}
+	e.After(1, chain)
+	n := e.Run(0)
+	if n != 100 || count != 100 {
+		t.Errorf("ran %d events, counted %d, want 100", n, count)
+	}
+	if e.Now() != 100 {
+		t.Errorf("Now() = %v, want 100", e.Now())
+	}
+}
+
+func TestEngineBudget(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 10; i++ {
+		e.At(core.Micros(i), func() {})
+	}
+	if n := e.Run(4); n != 4 {
+		t.Errorf("Run(4) processed %d", n)
+	}
+	if e.Pending() != 6 {
+		t.Errorf("Pending() = %d, want 6", e.Pending())
+	}
+}
+
+// Property: popping the heap always yields non-decreasing times.
+func TestEngineHeapProperty(t *testing.T) {
+	f := func(times []uint16) bool {
+		e := NewEngine()
+		var fired []core.Micros
+		for _, tm := range times {
+			at := core.Micros(tm)
+			e.At(at, func() { fired = append(fired, at) })
+		}
+		e.Run(0)
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResourceFIFO(t *testing.T) {
+	var r Resource
+	d1 := r.Schedule(0, 10)
+	d2 := r.Schedule(0, 5)
+	d3 := r.Schedule(20, 5)
+	if d1 != 10 || d2 != 15 {
+		t.Errorf("completions %v, %v, want 10, 15", d1, d2)
+	}
+	if d3 != 25 { // idle gap 15..20, then 5 of work
+		t.Errorf("third completion %v, want 25", d3)
+	}
+	if r.Queued() != 3 {
+		t.Errorf("Queued() = %d, want 3", r.Queued())
+	}
+	r.Release()
+	r.Release()
+	r.Release()
+	if r.Queued() != 0 {
+		t.Errorf("Queued() = %d after releases", r.Queued())
+	}
+	if r.BusyTotal() != 20 {
+		t.Errorf("BusyTotal() = %v, want 20", r.BusyTotal())
+	}
+	if got := r.Utilization(40); got != 0.5 {
+		t.Errorf("Utilization(40) = %v, want 0.5", got)
+	}
+}
+
+func TestResourceOverReleasePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Release without Schedule did not panic")
+		}
+	}()
+	var r Resource
+	r.Release()
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a2 := NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a2.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := NewRNG(7)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Errorf("Intn(7) covered %d values of 7", len(seen))
+	}
+}
+
+func TestRNGExpMean(t *testing.T) {
+	r := NewRNG(11)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Exp(5)
+	}
+	mean := sum / n
+	if math.Abs(mean-5) > 0.1 {
+		t.Errorf("Exp(5) sample mean = %v", mean)
+	}
+}
+
+func TestRNGGeometricMean(t *testing.T) {
+	r := NewRNG(13)
+	const n = 100000
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += r.Geometric(3)
+	}
+	mean := float64(sum) / n
+	if math.Abs(mean-3) > 0.1 {
+		t.Errorf("Geometric(3) sample mean = %v", mean)
+	}
+	if r.Geometric(0.5) != 1 {
+		t.Error("Geometric(<1) should return 1")
+	}
+}
+
+func TestRNGParetoLowerBound(t *testing.T) {
+	r := NewRNG(17)
+	for i := 0; i < 1000; i++ {
+		if v := r.Pareto(100, 1.5); v < 100 {
+			t.Fatalf("Pareto sample %v below scale", v)
+		}
+	}
+}
+
+func TestZipfSkewAndRange(t *testing.T) {
+	r := NewRNG(19)
+	z := NewZipf(r, 100, 1.0)
+	counts := make([]int, 100)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := z.Next()
+		if v < 0 || v >= 100 {
+			t.Fatalf("Zipf sample %d out of range", v)
+		}
+		counts[v]++
+	}
+	if counts[0] <= counts[50] {
+		t.Errorf("rank 0 (%d) not more popular than rank 50 (%d)", counts[0], counts[50])
+	}
+	// With alpha=1, P(0)/P(9) = 10.
+	ratio := float64(counts[0]) / float64(counts[9])
+	if ratio < 7 || ratio > 14 {
+		t.Errorf("P(0)/P(9) = %v, want ~10", ratio)
+	}
+}
+
+func TestZipfPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewZipf(0) did not panic")
+		}
+	}()
+	NewZipf(NewRNG(1), 0, 1)
+}

@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"phttp/internal/core"
+)
+
+// clfTimeLayout is the Common Log Format timestamp layout.
+const clfTimeLayout = "02/Jan/2006:15:04:05 -0700"
+
+// clfEpoch anchors Micros timestamps when formatting entries; any fixed
+// instant works since only time differences matter to reconstruction.
+var clfEpoch = time.Date(1998, time.October, 1, 0, 0, 0, 0, time.UTC)
+
+// FormatCLF renders an entry as a Common Log Format line, the format the
+// Rice University departmental server logs used.
+func FormatCLF(e Entry) string {
+	ts := clfEpoch.Add(time.Duration(e.Time) * time.Microsecond)
+	return fmt.Sprintf("%s - - [%s] \"GET %s HTTP/1.0\" %d %d",
+		e.Client, ts.Format(clfTimeLayout), string(e.Target), e.Status, e.Size)
+}
+
+// ParseCLF parses one Common Log Format line. It tolerates the "-" size
+// field (zero bytes) and returns an error naming the malformed field
+// otherwise.
+func ParseCLF(line string) (Entry, error) {
+	var e Entry
+	// host ident user [date] "request" status size
+	host, rest, ok := strings.Cut(line, " ")
+	if !ok || host == "" {
+		return e, fmt.Errorf("trace: malformed CLF line %q: missing host", line)
+	}
+	e.Client = host
+
+	lb := strings.IndexByte(rest, '[')
+	rb := strings.IndexByte(rest, ']')
+	if lb < 0 || rb < lb {
+		return e, fmt.Errorf("trace: malformed CLF line %q: missing timestamp", line)
+	}
+	ts, err := time.Parse(clfTimeLayout, rest[lb+1:rb])
+	if err != nil {
+		return e, fmt.Errorf("trace: malformed CLF timestamp: %w", err)
+	}
+	e.Time = core.Micros(ts.Sub(clfEpoch) / time.Microsecond)
+
+	rest = rest[rb+1:]
+	q1 := strings.IndexByte(rest, '"')
+	if q1 < 0 {
+		return e, fmt.Errorf("trace: malformed CLF line %q: missing request", line)
+	}
+	q2 := strings.IndexByte(rest[q1+1:], '"')
+	if q2 < 0 {
+		return e, fmt.Errorf("trace: malformed CLF line %q: unterminated request", line)
+	}
+	reqLine := rest[q1+1 : q1+1+q2]
+	parts := strings.Fields(reqLine)
+	if len(parts) < 2 {
+		return e, fmt.Errorf("trace: malformed CLF request %q", reqLine)
+	}
+	e.Target = core.Target(parts[1])
+
+	tail := strings.Fields(rest[q1+q2+2:])
+	if len(tail) < 2 {
+		return e, fmt.Errorf("trace: malformed CLF line %q: missing status/size", line)
+	}
+	st, err := strconv.Atoi(tail[0])
+	if err != nil {
+		return e, fmt.Errorf("trace: malformed CLF status %q", tail[0])
+	}
+	e.Status = st
+	if tail[1] == "-" {
+		e.Size = 0
+	} else {
+		sz, err := strconv.ParseInt(tail[1], 10, 64)
+		if err != nil {
+			return e, fmt.Errorf("trace: malformed CLF size %q", tail[1])
+		}
+		e.Size = sz
+	}
+	return e, nil
+}
+
+// ReadCLF parses a stream of CLF lines, skipping blank lines. Malformed
+// lines are counted and skipped (real server logs contain junk); the count
+// is returned alongside the entries.
+func ReadCLF(r io.Reader) (entries []Entry, malformed int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		e, perr := ParseCLF(line)
+		if perr != nil {
+			malformed++
+			continue
+		}
+		entries = append(entries, e)
+	}
+	return entries, malformed, sc.Err()
+}
+
+// WriteCLF writes entries as CLF lines.
+func WriteCLF(w io.Writer, entries []Entry) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range entries {
+		if _, err := bw.WriteString(FormatCLF(e)); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"sort"
+
+	"phttp/internal/core"
+)
+
+// Reconstruction constants: the paper's heuristics for inferring HTTP/1.1
+// structure from per-request Web server logs (Section 6).
+const (
+	// DefaultIdleTimeout is the persistent-connection idle close interval
+	// (the default used by Web servers to close idle HTTP/1.1
+	// connections): successive requests from the same client closer than
+	// this are considered to share a connection.
+	DefaultIdleTimeout = 15 * core.Second
+	// DefaultBatchWindow groups pipelined requests: requests other than
+	// the first on a connection that arrive within this window of each
+	// other form one pipelined batch.
+	DefaultBatchWindow = 1 * core.Second
+)
+
+// Reconstruct applies the paper's heuristics to raw log entries and returns
+// the P-HTTP trace: entries from one client with inter-request gaps below
+// idleTimeout share a TCP connection; within a connection, the first request
+// stands alone and subsequent requests within batchWindow of each other form
+// pipelined batches. Entries with non-2xx status are dropped. The input need
+// not be sorted.
+func Reconstruct(entries []Entry, idleTimeout, batchWindow core.Micros) *Trace {
+	ok := make([]Entry, 0, len(entries))
+	for _, e := range entries {
+		if e.Status >= 200 && e.Status < 300 {
+			ok = append(ok, e)
+		}
+	}
+	// Stable sort by (client, time) so each client's request stream is
+	// contiguous and ordered; connection order follows first-request time.
+	sort.SliceStable(ok, func(i, j int) bool {
+		if ok[i].Client != ok[j].Client {
+			return ok[i].Client < ok[j].Client
+		}
+		return ok[i].Time < ok[j].Time
+	})
+
+	type pending struct {
+		conn  core.Connection
+		start core.Micros
+	}
+	var conns []pending
+	sizes := make(map[core.Target]int64)
+
+	i := 0
+	for i < len(ok) {
+		client := ok[i].Client
+		j := i
+		for j < len(ok) && ok[j].Client == client {
+			j++
+		}
+		// Split the client's stream into connections.
+		k := i
+		for k < j {
+			connStart := k
+			end := k + 1
+			for end < j && ok[end].Time-ok[end-1].Time < idleTimeout {
+				end++
+			}
+			conns = append(conns, pending{
+				conn:  buildConnection(ok[connStart:end], batchWindow),
+				start: ok[connStart].Time,
+			})
+			k = end
+		}
+		i = j
+	}
+	for _, e := range ok {
+		if cur, seen := sizes[e.Target]; !seen || e.Size > cur {
+			sizes[e.Target] = e.Size
+		}
+	}
+
+	sort.SliceStable(conns, func(a, b int) bool { return conns[a].start < conns[b].start })
+	t := &Trace{Sizes: sizes}
+	for _, p := range conns {
+		t.Conns = append(t.Conns, p.conn)
+	}
+	return t
+}
+
+// buildConnection splits one connection's ordered entries into batches: the
+// first request forms its own batch (the browser fetches the document before
+// it can pipeline requests for embedded objects); later requests within
+// batchWindow of the previous request join the current batch.
+func buildConnection(es []Entry, batchWindow core.Micros) core.Connection {
+	var conn core.Connection
+	if len(es) == 0 {
+		return conn
+	}
+	conn.Batches = append(conn.Batches, core.Batch{req(es[0])})
+	var cur core.Batch
+	for i := 1; i < len(es); i++ {
+		if len(cur) > 0 && es[i].Time-es[i-1].Time >= batchWindow {
+			conn.Batches = append(conn.Batches, cur)
+			cur = nil
+		}
+		cur = append(cur, req(es[i]))
+	}
+	if len(cur) > 0 {
+		conn.Batches = append(conn.Batches, cur)
+	}
+	return conn
+}
+
+func req(e Entry) core.Request { return core.Request{Target: e.Target, Size: e.Size} }

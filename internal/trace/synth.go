@@ -1,0 +1,311 @@
+package trace
+
+import (
+	"fmt"
+
+	"phttp/internal/core"
+	"phttp/internal/simcore"
+)
+
+// SynthConfig parameterizes the synthetic workload generator that stands in
+// for the Rice University trace (see DESIGN.md §4.1). The generator models a
+// departmental Web site: HTML pages with embedded objects, Zipf-like page
+// popularity, heavy-tailed object sizes, and client sessions that map
+// naturally onto persistent connections with pipelined batches.
+type SynthConfig struct {
+	Seed uint64
+
+	// Pages and Objects set the document population; the working set is
+	// roughly Pages*meanPageSize + Objects*meanObjectSize.
+	Pages   int
+	Objects int
+
+	// ObjectsPerPage is the mean number of embedded objects per page.
+	ObjectsPerPage float64
+
+	// ZipfAlpha shapes page popularity (higher = more skew).
+	ZipfAlpha float64
+
+	// Size model: lognormal body with a Pareto tail.
+	PageLogMu      float64
+	PageLogSigma   float64
+	ObjectLogMu    float64
+	ObjectLogSigma float64
+	TailProb       float64
+	TailAlpha      float64
+	TailScale      float64
+	MinSize        int64
+	MaxSize        int64
+
+	// Clients is the population of distinct client hosts.
+	Clients int
+
+	// Connections is the number of persistent connections to generate.
+	Connections int
+
+	// PagesPerConn is the mean number of page visits per connection
+	// (each visit = one single-request batch plus batches of embedded
+	// objects).
+	PagesPerConn float64
+
+	// ResumeProb is the probability that a connection resumes an
+	// interrupted page visit, making an embedded object its first
+	// request. Real logs show this (the 15 s idle close cuts sessions
+	// mid-page); it also seeds the dispatcher's mapping table with
+	// object targets.
+	ResumeProb float64
+
+	// MaxBatch caps pipelined batch size (browsers bound parallelism).
+	MaxBatch int
+}
+
+// DefaultSynthConfig returns the calibrated default: ~60k targets, ~500 MB
+// working set (about 6x one back-end's 85 MB cache, so a single node
+// thrashes while a mid-sized cluster's aggregate cache holds it), mean
+// response under 13 KB, and a popularity skew under which one 85 MB cache
+// covers roughly half the requests — reproducing the paper's disk-bound WRR.
+func DefaultSynthConfig() SynthConfig {
+	return SynthConfig{
+		Seed:           1,
+		Pages:          12000,
+		Objects:        28000,
+		ObjectsPerPage: 6,
+		ZipfAlpha:      0.78,
+		PageLogMu:      8.7, // median ~6 KB
+		PageLogSigma:   1.0,
+		ObjectLogMu:    8.0, // median ~3 KB
+		ObjectLogSigma: 1.1,
+		TailProb:       0.01,
+		TailAlpha:      1.3,
+		TailScale:      64 << 10,
+		MinSize:        96,
+		MaxSize:        4 << 20,
+		Clients:        2500,
+		Connections:    60000,
+		PagesPerConn:   1.3,
+		ResumeProb:     0.25,
+		MaxBatch:       4,
+	}
+}
+
+// SmallSynthConfig returns a scaled-down configuration for tests: ~2k
+// targets, a few thousand connections.
+func SmallSynthConfig() SynthConfig {
+	c := DefaultSynthConfig()
+	c.Pages = 600
+	c.Objects = 1400
+	c.Clients = 300
+	c.Connections = 4000
+	return c
+}
+
+// pageTarget and objectTarget name documents deterministically.
+func pageTarget(i int) core.Target   { return core.Target(fmt.Sprintf("/docs/page%05d.html", i)) }
+func objectTarget(i int) core.Target { return core.Target(fmt.Sprintf("/img/obj%05d", i)) }
+
+// Synth is an instantiated generator: the document catalog plus the
+// popularity and session models. Build one with NewSynth, then call
+// Generate (structured trace) or GenerateEntries (CLF log records).
+type Synth struct {
+	cfg      SynthConfig
+	rng      *simcore.RNG
+	zipf     *simcore.Zipf
+	pageSize []int64
+	objSize  []int64
+	embedded [][]int // page -> object indices
+}
+
+// NewSynth builds the catalog: deterministic sizes and per-page embedded
+// object lists drawn from a skewed object popularity (shared objects such
+// as logos appear on many pages).
+func NewSynth(cfg SynthConfig) *Synth {
+	if cfg.Pages <= 0 || cfg.Objects <= 0 || cfg.Connections < 0 {
+		panic("trace: SynthConfig with non-positive population")
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 4
+	}
+	rng := simcore.NewRNG(cfg.Seed)
+	s := &Synth{
+		cfg:      cfg,
+		rng:      rng,
+		zipf:     simcore.NewZipf(rng, cfg.Pages, cfg.ZipfAlpha),
+		pageSize: make([]int64, cfg.Pages),
+		objSize:  make([]int64, cfg.Objects),
+		embedded: make([][]int, cfg.Pages),
+	}
+	for i := range s.pageSize {
+		s.pageSize[i] = s.sample(cfg.PageLogMu, cfg.PageLogSigma)
+	}
+	for i := range s.objSize {
+		s.objSize[i] = s.sample(cfg.ObjectLogMu, cfg.ObjectLogSigma)
+	}
+	// Object popularity across pages: Zipf over object indices.
+	objPop := simcore.NewZipf(rng, cfg.Objects, 0.6)
+	for p := range s.embedded {
+		k := rng.Geometric(cfg.ObjectsPerPage)
+		seen := map[int]bool{}
+		for len(s.embedded[p]) < k {
+			o := objPop.Next()
+			if seen[o] {
+				o = rng.Intn(cfg.Objects) // fall back to uniform on repeat
+				if seen[o] {
+					break
+				}
+			}
+			seen[o] = true
+			s.embedded[p] = append(s.embedded[p], o)
+		}
+	}
+	return s
+}
+
+func (s *Synth) sample(mu, sigma float64) int64 {
+	var v float64
+	if s.rng.Float64() < s.cfg.TailProb {
+		v = s.rng.Pareto(s.cfg.TailScale, s.cfg.TailAlpha)
+	} else {
+		v = s.rng.LogNormal(mu, sigma)
+	}
+	sz := int64(v)
+	if sz < s.cfg.MinSize {
+		sz = s.cfg.MinSize
+	}
+	if sz > s.cfg.MaxSize {
+		sz = s.cfg.MaxSize
+	}
+	return sz
+}
+
+// Sizes returns the full catalog (target → size) without generating traffic.
+func (s *Synth) Sizes() map[core.Target]int64 {
+	m := make(map[core.Target]int64, len(s.pageSize)+len(s.objSize))
+	for i, sz := range s.pageSize {
+		m[pageTarget(i)] = sz
+	}
+	for i, sz := range s.objSize {
+		m[objectTarget(i)] = sz
+	}
+	return m
+}
+
+// Generate produces the structured P-HTTP trace directly.
+func (s *Synth) Generate() *Trace {
+	t := &Trace{Sizes: make(map[core.Target]int64)}
+	for i := 0; i < s.cfg.Connections; i++ {
+		conn := s.genConnection()
+		t.Conns = append(t.Conns, conn)
+		for _, b := range conn.Batches {
+			for _, r := range b {
+				t.Sizes[r.Target] = r.Size
+			}
+		}
+	}
+	return t
+}
+
+// genConnection generates one persistent connection: optionally the resumed
+// tail of an interrupted page visit (object requests only), then a sequence
+// of page visits, each a single-request batch (the page) followed by
+// pipelined batches of its embedded objects.
+func (s *Synth) genConnection() core.Connection {
+	var conn core.Connection
+	if s.rng.Float64() < s.cfg.ResumeProb {
+		p := s.zipf.Next()
+		if objs := s.embedded[p]; len(objs) > 0 {
+			// Resume partway through the page's objects. The first
+			// request of a connection always stands alone (the client
+			// cannot pipeline before its first round trip), matching
+			// the reconstruction heuristic.
+			from := s.rng.Intn(len(objs))
+			conn.Batches = append(conn.Batches, core.Batch{{
+				Target: objectTarget(objs[from]),
+				Size:   s.objSize[objs[from]],
+			}})
+			s.appendObjectBatches(&conn, objs[from+1:])
+		}
+	}
+	visits := s.rng.Geometric(s.cfg.PagesPerConn)
+	for v := 0; v < visits; v++ {
+		p := s.zipf.Next()
+		conn.Batches = append(conn.Batches, core.Batch{{
+			Target: pageTarget(p),
+			Size:   s.pageSize[p],
+		}})
+		s.appendObjectBatches(&conn, s.embedded[p])
+	}
+	return conn
+}
+
+// appendObjectBatches splits objs into pipelined batches of at most MaxBatch
+// requests and appends them to conn.
+func (s *Synth) appendObjectBatches(conn *core.Connection, objs []int) {
+	for start := 0; start < len(objs); start += s.cfg.MaxBatch {
+		end := start + s.cfg.MaxBatch
+		if end > len(objs) {
+			end = len(objs)
+		}
+		var b core.Batch
+		for _, o := range objs[start:end] {
+			b = append(b, core.Request{
+				Target: objectTarget(o),
+				Size:   s.objSize[o],
+			})
+		}
+		conn.Batches = append(conn.Batches, b)
+	}
+}
+
+// GenerateEntries produces per-request log entries whose timestamps encode
+// the connection/batch structure under the paper's reconstruction
+// heuristics: requests within a batch are spaced well under the batch
+// window, batches are separated by 1-10 s, and connections from the same
+// client are separated by more than the idle timeout. Feeding the result to
+// Reconstruct recovers the structured trace (a property the tests verify).
+func (s *Synth) GenerateEntries() []Entry {
+	entries, _ := s.GenerateBoth()
+	return entries
+}
+
+// GenerateBoth produces the log entries and the structured trace they
+// encode from the same generator draw, so the two views describe the
+// identical workload.
+func (s *Synth) GenerateBoth() ([]Entry, *Trace) {
+	var entries []Entry
+	tr := &Trace{Sizes: make(map[core.Target]int64)}
+	// Per-client running clocks ensure the >=15 s separation.
+	clientClock := make([]core.Micros, s.cfg.Clients)
+	for i := 0; i < s.cfg.Connections; i++ {
+		client := s.rng.Intn(s.cfg.Clients)
+		now := clientClock[client]
+		// Stagger clients so connection start order interleaves.
+		now += core.Micros(s.rng.Intn(2000)) * core.Millisecond
+
+		conn := s.genConnection()
+		tr.Conns = append(tr.Conns, conn)
+		for bi, b := range conn.Batches {
+			if bi > 0 {
+				// Inter-batch gap: client parses and requests more,
+				// 1.2-9 s (>= batch window, < idle timeout).
+				now += core.Micros(1200+s.rng.Intn(7800)) * core.Millisecond
+			}
+			for ri, r := range b {
+				if ri > 0 {
+					// Pipelined spacing well inside the window.
+					now += core.Micros(20+s.rng.Intn(200)) * core.Millisecond
+				}
+				tr.Sizes[r.Target] = r.Size
+				entries = append(entries, Entry{
+					Client: fmt.Sprintf("client%04d.example.edu", client),
+					Time:   now,
+					Target: r.Target,
+					Size:   r.Size,
+					Status: 200,
+				})
+			}
+		}
+		// Next connection from this client comes after the idle timeout.
+		clientClock[client] = now + DefaultIdleTimeout + core.Micros(1+s.rng.Intn(30))*core.Second
+	}
+	return entries, tr
+}
