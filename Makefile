@@ -1,0 +1,31 @@
+# Developer entry points; CI (.github/workflows/ci.yml) runs the same
+# commands.
+
+GO ?= go
+
+.PHONY: all build test race bench fmt vet check
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The -race acceptance surface: the concurrent dispatch engine and the
+# prototype cluster that drives it from parallel client handlers.
+race:
+	$(GO) test -race ./internal/dispatch/... ./internal/cluster/...
+
+# Parallel dispatch throughput vs the serialized (global-lock) baseline.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkDispatch' -cpu 1,4 ./internal/dispatch/
+
+fmt:
+	gofmt -l .
+
+vet:
+	$(GO) vet ./...
+
+check: fmt vet build test race

@@ -18,6 +18,7 @@ import (
 
 	"phttp/internal/cluster"
 	"phttp/internal/core"
+	"phttp/internal/dispatch"
 	"phttp/internal/policy"
 )
 
@@ -39,7 +40,7 @@ func main() {
 	var backends backendFlags
 	var (
 		listen  = flag.String("listen", "127.0.0.1:8080", "client listen address")
-		polName = flag.String("policy", "extlard", "wrr, lard or extlard")
+		polName = flag.String("policy", "extlard", "dispatch policy: "+strings.Join(dispatch.Names(), ", "))
 		mech    = flag.String("mechanism", "beforward", "singlehandoff, beforward or relay")
 		cacheMB = flag.Int64("cache-mb", cluster.PrototypeCacheBytes>>20, "per-node cache estimate for the mapping model (MB)")
 		idle    = flag.Duration("idle-timeout", 15*time.Second, "persistent connection idle close interval")
@@ -76,7 +77,7 @@ func main() {
 	}
 	defer fe.Close()
 	fmt.Printf("frontend up: clients=%s policy=%s mechanism=%s nodes=%d\n",
-		fe.Addr(), *polName, m, len(backends))
+		fe.Addr(), fe.PolicyName(), m, len(backends))
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -10,9 +10,10 @@
 // evaluation figures, and a runnable prototype cluster whose TCP handoff is
 // emulated with SCM_RIGHTS file-descriptor passing.
 //
-// Start with README.md (usage), DESIGN.md (system inventory and documented
-// substitutions) and EXPERIMENTS.md (paper-vs-measured results). The root
-// package holds only this documentation and the per-figure benchmark
+// Start with DESIGN.md: the system inventory, the documented substitutions
+// for 1999-era infrastructure, and the shared dispatch engine
+// (internal/dispatch) that drives both the simulator and the prototype. The
+// root package holds only this documentation and the per-figure benchmark
 // harness (bench_test.go); the implementation lives under internal/ and the
 // executables under cmd/.
 package phttp

@@ -1,0 +1,3 @@
+module phttp
+
+go 1.22

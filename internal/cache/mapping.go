@@ -11,16 +11,22 @@ import "phttp/internal/core"
 // so mappings age out the way the real cache replaces content. A target may
 // be mapped to several nodes at once (replication, which extended LARD's
 // caching heuristic deliberately permits).
+//
+// Each per-node model is a ShardedLRU striped by target hash, so the mapping
+// is safe for parallel dispatchers without a global lock: concurrent lookups
+// and updates of different targets touch different stripes, while eviction
+// stays exact global LRU per node (identical to the single-lock model the
+// simulator's determinism depends on).
 type Mapping struct {
-	perNode []*LRU
+	perNode []*ShardedLRU
 }
 
 // NewMapping returns a mapping model for n nodes, each modeled as an LRU of
-// cacheBytes capacity.
+// cacheBytes capacity striped over DefaultShards locks.
 func NewMapping(n int, cacheBytes int64) *Mapping {
-	m := &Mapping{perNode: make([]*LRU, n)}
+	m := &Mapping{perNode: make([]*ShardedLRU, n)}
 	for i := range m.perNode {
-		m.perNode[i] = NewLRU(cacheBytes)
+		m.perNode[i] = NewShardedLRU(cacheBytes, DefaultShards)
 	}
 	return m
 }
@@ -43,10 +49,7 @@ func (m *Mapping) Map(t core.Target, size int64, n core.NodeID) {
 // Touch promotes target in n's model if mapped (the front-end saw another
 // request for it served there).
 func (m *Mapping) Touch(t core.Target, n core.NodeID) {
-	if m.perNode[n].Contains(t) {
-		m.perNode[n].Lookup(t)
-		m.perNode[n].ResetStats() // Touch is not a statistical lookup
-	}
+	m.perNode[n].Touch(t)
 }
 
 // Unmap removes the belief that node n caches target.

@@ -1,0 +1,266 @@
+package cache
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"phttp/internal/core"
+)
+
+// ShardedLRU is a concurrency-safe LRU of targets under a byte budget,
+// striped by target hash so parallel dispatchers rarely contend: each target
+// lives in exactly one shard, guarded by that shard's lock, and the common
+// operations (Contains, Insert of a resident target, Touch, Remove) take
+// only that one lock.
+//
+// Unlike a per-shard-budget design, eviction is *globally* least recently
+// used: every promotion stamps the entry from one shared atomic clock, each
+// shard's list stays ordered by stamp, and the eviction path (taken only
+// when the shared byte budget is exceeded) locks the shards and removes the
+// entry with the globally smallest stamp. Single-threaded callers therefore
+// observe exactly the semantics of LRU, which keeps the simulator
+// deterministic and bit-identical to the unsharded model.
+type ShardedLRU struct {
+	capacity int64
+	bytes    atomic.Int64
+	count    atomic.Int64
+	clock    atomic.Uint64
+	shards   []lruShard
+	mask     uint32
+}
+
+type lruShard struct {
+	mu      sync.Mutex
+	entries map[core.Target]*shardEntry
+	// head is the most recently stamped entry, tail the least; stamps are
+	// monotonic, so the list is always sorted by stamp.
+	head, tail *shardEntry
+}
+
+type shardEntry struct {
+	target     core.Target
+	size       int64
+	stamp      uint64
+	prev, next *shardEntry
+}
+
+// DefaultShards is the shard count used by NewShardedLRU and NewMapping: a
+// small power of two that spreads a dispatch engine's worth of goroutines
+// without bloating tiny test caches.
+const DefaultShards = 16
+
+// NewShardedLRU returns an empty sharded cache holding at most capacity
+// bytes across all shards. shards is rounded up to a power of two; values
+// below 1 use DefaultShards. A target larger than the capacity is never
+// cached.
+func NewShardedLRU(capacity int64, shards int) *ShardedLRU {
+	if capacity < 0 {
+		panic("cache: negative capacity")
+	}
+	if shards < 1 {
+		shards = DefaultShards
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	c := &ShardedLRU{capacity: capacity, shards: make([]lruShard, n), mask: uint32(n - 1)}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[core.Target]*shardEntry)
+	}
+	return c
+}
+
+// fnv1a is the 32-bit FNV-1a hash; deterministic across processes (unlike
+// maphash) so sharding never perturbs simulation reproducibility.
+func fnv1a(s core.Target) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+func (c *ShardedLRU) shardFor(t core.Target) *lruShard {
+	return &c.shards[fnv1a(t)&c.mask]
+}
+
+// Capacity returns the byte budget.
+func (c *ShardedLRU) Capacity() int64 { return c.capacity }
+
+// Bytes returns the bytes currently cached.
+func (c *ShardedLRU) Bytes() int64 { return c.bytes.Load() }
+
+// Len returns the number of cached targets.
+func (c *ShardedLRU) Len() int { return int(c.count.Load()) }
+
+func (s *lruShard) unlink(e *shardEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (s *lruShard) pushFront(e *shardEntry) {
+	e.next = s.head
+	e.prev = nil
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+// Contains reports whether target is cached, without promoting it.
+func (c *ShardedLRU) Contains(t core.Target) bool {
+	s := c.shardFor(t)
+	s.mu.Lock()
+	_, ok := s.entries[t]
+	s.mu.Unlock()
+	return ok
+}
+
+// Touch promotes target to most recently used if cached.
+func (c *ShardedLRU) Touch(t core.Target) {
+	s := c.shardFor(t)
+	s.mu.Lock()
+	if e, ok := s.entries[t]; ok {
+		e.stamp = c.clock.Add(1)
+		if s.head != e {
+			s.unlink(e)
+			s.pushFront(e)
+		}
+	}
+	s.mu.Unlock()
+}
+
+// Insert caches target with the given size, evicting globally
+// least-recently-used entries as needed. If the target is already present it
+// is promoted and resized. Targets larger than the capacity are not cached
+// and nothing is evicted for them.
+func (c *ShardedLRU) Insert(t core.Target, size int64) {
+	if size < 0 {
+		panic("cache: negative size")
+	}
+	s := c.shardFor(t)
+	s.mu.Lock()
+	if e, ok := s.entries[t]; ok {
+		c.bytes.Add(size - e.size)
+		e.size = size
+		e.stamp = c.clock.Add(1)
+		if s.head != e {
+			s.unlink(e)
+			s.pushFront(e)
+		}
+		s.mu.Unlock()
+		c.evictOver()
+		return
+	}
+	if size > c.capacity {
+		s.mu.Unlock()
+		return
+	}
+	e := &shardEntry{target: t, size: size, stamp: c.clock.Add(1)}
+	s.entries[t] = e
+	s.pushFront(e)
+	c.bytes.Add(size)
+	c.count.Add(1)
+	s.mu.Unlock()
+	c.evictOver()
+}
+
+// evictOver removes globally least-recently-stamped entries until the byte
+// budget is respected. A full cache is the steady state of an LRU, so on a
+// warm mapping every insert of a new target comes through here; the path
+// must therefore not serialize the shards. It scans the shard tails one
+// lock at a time for the minimum stamp, then re-locks only the victim's
+// shard to evict, re-checking the stamp in case a racing promotion moved
+// the tail. Single-threaded this picks exactly the global LRU victim;
+// under concurrency a lost race retries, and two racing evictors can at
+// worst evict one entry more than strictly needed — benign for a mapping
+// model, and the byte/count accounting stays exact either way.
+func (c *ShardedLRU) evictOver() {
+	for c.bytes.Load() > c.capacity && c.count.Load() > 1 {
+		var vs *lruShard
+		var minStamp uint64
+		for i := range c.shards {
+			s := &c.shards[i]
+			s.mu.Lock()
+			if s.tail != nil && (vs == nil || s.tail.stamp < minStamp) {
+				vs, minStamp = s, s.tail.stamp
+			}
+			s.mu.Unlock()
+		}
+		if vs == nil {
+			return
+		}
+		vs.mu.Lock()
+		victim := vs.tail
+		if victim != nil && victim.stamp == minStamp &&
+			c.bytes.Load() > c.capacity && c.count.Load() > 1 {
+			vs.unlink(victim)
+			delete(vs.entries, victim.target)
+			c.bytes.Add(-victim.size)
+			c.count.Add(-1)
+		}
+		vs.mu.Unlock()
+	}
+}
+
+// Remove evicts target if present, reporting whether it was cached.
+func (c *ShardedLRU) Remove(t core.Target) bool {
+	s := c.shardFor(t)
+	s.mu.Lock()
+	e, ok := s.entries[t]
+	if !ok {
+		s.mu.Unlock()
+		return false
+	}
+	s.unlink(e)
+	delete(s.entries, t)
+	c.bytes.Add(-e.size)
+	c.count.Add(-1)
+	s.mu.Unlock()
+	return true
+}
+
+// Targets returns the cached targets from most to least recently used.
+// Intended for tests and diagnostics; it locks every shard.
+func (c *ShardedLRU) Targets() []core.Target {
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+	}
+	defer func() {
+		for i := range c.shards {
+			c.shards[i].mu.Unlock()
+		}
+	}()
+	cursors := make([]*shardEntry, len(c.shards))
+	for i := range c.shards {
+		cursors[i] = c.shards[i].head
+	}
+	var out []core.Target
+	for {
+		best := -1
+		for i, e := range cursors {
+			if e != nil && (best < 0 || e.stamp > cursors[best].stamp) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return out
+		}
+		out = append(out, cursors[best].target)
+		cursors[best] = cursors[best].next
+	}
+}

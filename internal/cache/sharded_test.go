@@ -1,0 +1,195 @@
+package cache
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"phttp/internal/core"
+)
+
+func TestShardedLRUBasics(t *testing.T) {
+	c := NewShardedLRU(100, 4)
+	if c.Contains("/a") {
+		t.Error("empty cache contains /a")
+	}
+	c.Insert("/a", 40)
+	if !c.Contains("/a") {
+		t.Error("inserted target missing")
+	}
+	if c.Bytes() != 40 || c.Len() != 1 {
+		t.Errorf("Bytes=%d Len=%d, want 40/1", c.Bytes(), c.Len())
+	}
+	c.Insert("/a", 60) // resize in place
+	if c.Bytes() != 60 || c.Len() != 1 {
+		t.Errorf("Bytes=%d Len=%d after resize, want 60/1", c.Bytes(), c.Len())
+	}
+	if !c.Remove("/a") || c.Remove("/a") {
+		t.Error("Remove semantics wrong")
+	}
+	if c.Bytes() != 0 || c.Len() != 0 {
+		t.Error("residue after Remove")
+	}
+}
+
+func TestShardedLRUEvictsGlobalLRU(t *testing.T) {
+	c := NewShardedLRU(100, 4)
+	c.Insert("/a", 40)
+	c.Insert("/b", 40)
+	c.Touch("/a") // /b is now globally least recent
+	c.Insert("/c", 40)
+	if c.Contains("/b") {
+		t.Error("/b survived, eviction is not globally LRU")
+	}
+	if !c.Contains("/a") || !c.Contains("/c") {
+		t.Error("wrong survivors after eviction")
+	}
+}
+
+func TestShardedLRUOversizeNotCached(t *testing.T) {
+	c := NewShardedLRU(100, 4)
+	c.Insert("/a", 40)
+	c.Insert("/huge", 200)
+	if c.Contains("/huge") {
+		t.Error("oversize target cached")
+	}
+	if !c.Contains("/a") {
+		t.Error("oversize insert disturbed existing entries")
+	}
+}
+
+func TestShardedLRUTargetsOrder(t *testing.T) {
+	c := NewShardedLRU(1000, 4)
+	c.Insert("/a", 1)
+	c.Insert("/b", 1)
+	c.Insert("/c", 1)
+	c.Touch("/a")
+	got := c.Targets()
+	want := []core.Target{"/a", "/c", "/b"}
+	if len(got) != len(want) {
+		t.Fatalf("Targets() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Targets()[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// Property: single-threaded, a ShardedLRU behaves exactly like the plain LRU
+// for any insert/touch/remove mix — same membership, bytes and count. This
+// is the equivalence the simulator's determinism rests on.
+func TestShardedLRUMatchesLRU(t *testing.T) {
+	const capacity = 1000
+	f := func(ops []uint16, shardBits uint8) bool {
+		shards := 1 << (shardBits % 6)
+		sc := NewShardedLRU(capacity, shards)
+		ref := NewLRU(capacity)
+		for _, op := range ops {
+			target := core.Target(fmt.Sprintf("/t%d", op%50))
+			size := int64(op%300) + 1
+			switch op % 3 {
+			case 0:
+				sc.Insert(target, size)
+				ref.Insert(target, size)
+			case 1:
+				sc.Touch(target)
+				if ref.Contains(target) {
+					ref.Lookup(target)
+				}
+			case 2:
+				sc.Remove(target)
+				ref.Remove(target)
+			}
+			if sc.Bytes() != ref.Bytes() || sc.Len() != ref.Len() {
+				return false
+			}
+		}
+		refTargets := ref.Targets()
+		scTargets := sc.Targets()
+		if len(refTargets) != len(scTargets) {
+			return false
+		}
+		for i := range refTargets {
+			if refTargets[i] != scTargets[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Concurrent hammer: the byte budget is never exceeded by more than the
+// in-flight slack, and after the dust settles the atomic byte/count
+// accounting matches the shard contents exactly.
+func TestShardedLRUConcurrentInvariants(t *testing.T) {
+	const (
+		goroutines = 8
+		opsPer     = 5000
+		capacity   = 1 << 20
+	)
+	c := NewShardedLRU(capacity, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < opsPer; i++ {
+				target := core.Target(fmt.Sprintf("/t%d", rng.Intn(2000)))
+				switch rng.Intn(4) {
+				case 0, 1:
+					c.Insert(target, int64(rng.Intn(4096))+1)
+				case 2:
+					c.Touch(target)
+				case 3:
+					if rng.Intn(8) == 0 {
+						c.Remove(target)
+					} else {
+						c.Contains(target)
+					}
+				}
+			}
+		}(int64(g) + 1)
+	}
+	wg.Wait()
+
+	if got := c.Bytes(); got > capacity {
+		t.Errorf("Bytes() = %d exceeds capacity %d after quiescence", got, capacity)
+	}
+	var sum int64
+	var n int
+	for i := range c.shards {
+		s := &c.shards[i]
+		for tgt, e := range s.entries {
+			sum += e.size
+			n++
+			if e.target != tgt {
+				t.Errorf("entry key %q holds target %q", tgt, e.target)
+			}
+		}
+		// The shard list must contain exactly the map entries, in
+		// descending stamp order.
+		var listN int
+		for e := s.head; e != nil; e = e.next {
+			listN++
+			if e.next != nil && e.next.stamp > e.stamp {
+				t.Error("shard list out of stamp order")
+			}
+		}
+		if listN != len(s.entries) {
+			t.Errorf("shard list has %d entries, map has %d", listN, len(s.entries))
+		}
+	}
+	if sum != c.Bytes() {
+		t.Errorf("entry sizes sum to %d, Bytes() reports %d", sum, c.Bytes())
+	}
+	if n != c.Len() {
+		t.Errorf("%d entries present, Len() reports %d", n, c.Len())
+	}
+}

@@ -17,7 +17,7 @@ import (
 // assemble the same pieces across processes.
 type Config struct {
 	Nodes     int
-	Policy    string // "wrr", "lard", "extlard"
+	Policy    string // dispatch registry name: "wrr", "lard", "lardr", "extlard"
 	Mechanism core.Mechanism
 	Params    policy.Params
 

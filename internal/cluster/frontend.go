@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"phttp/internal/core"
+	"phttp/internal/dispatch"
 	"phttp/internal/httpmsg"
 	"phttp/internal/policy"
 )
@@ -22,7 +23,8 @@ import (
 type FrontEndConfig struct {
 	// Nodes is the number of back-ends.
 	Nodes int
-	// Policy is "wrr", "lard" or "extlard".
+	// Policy is a dispatch registry name: "wrr", "lard", "lardr" or
+	// "extlard".
 	Policy string
 	// Mechanism is the distribution mechanism. The prototype implements
 	// SingleHandoff, BEForwarding (the paper's choice) and RelayFrontEnd;
@@ -65,17 +67,16 @@ type beLink struct {
 	data net.Conn // relay data connection (reads only at FE)
 }
 
-// FrontEnd is the running front-end node: client listener, dispatcher
-// (policy), forwarding module, and per-back-end control sessions.
+// FrontEnd is the running front-end node: client listener, dispatch engine,
+// forwarding module, and per-back-end control sessions. Dispatch runs
+// concurrently per client connection — the engine's policy state is safe
+// for parallel callers, so there is no front-end-wide policy lock.
 type FrontEnd struct {
 	cfg   FrontEndConfig
 	ln    net.Listener
 	links []*beLink
 
-	polMu sync.Mutex
-	pol   core.Policy
-
-	nextID atomic.Int64
+	eng *dispatch.Engine
 
 	// relayConns routes relay frames back to client connections.
 	relayMu    sync.Mutex
@@ -86,7 +87,6 @@ type FrontEnd struct {
 	busyNanos atomic.Int64
 	started   time.Time
 
-	reqs  atomic.Int64
 	conns atomic.Int64
 
 	closed  chan struct{}
@@ -111,13 +111,19 @@ func NewFrontEnd(cfg FrontEndConfig, backends []BackendEndpoints) (*FrontEnd, er
 	if err := validateFEConfig(cfg, len(backends)); err != nil {
 		return nil, err
 	}
-	pol, err := buildPolicy(cfg)
+	eng, err := dispatch.NewEngine(dispatch.Spec{
+		Policy:     cfg.Policy,
+		Nodes:      cfg.Nodes,
+		CacheBytes: cfg.CacheBytes,
+		Params:     cfg.Params,
+		Mechanism:  cfg.Mechanism,
+	})
 	if err != nil {
 		return nil, err
 	}
 	fe := &FrontEnd{
 		cfg:        cfg,
-		pol:        pol,
+		eng:        eng,
 		relayConns: make(map[core.ConnID]*relayConn),
 		started:    time.Now(),
 		closed:     make(chan struct{}),
@@ -151,24 +157,9 @@ func validateFEConfig(cfg FrontEndConfig, backends int) error {
 	default:
 		return fmt.Errorf("cluster: prototype does not implement mechanism %v (simulator only)", cfg.Mechanism)
 	}
-	switch cfg.Policy {
-	case "wrr", "lard", "extlard":
-	default:
-		return fmt.Errorf("cluster: unknown policy %q", cfg.Policy)
-	}
+	// Policy names are validated by the dispatch registry when the engine
+	// is built; no second list of valid names lives here.
 	return nil
-}
-
-func buildPolicy(cfg FrontEndConfig) (core.Policy, error) {
-	switch cfg.Policy {
-	case "wrr":
-		return policy.NewWRR(cfg.Nodes), nil
-	case "lard":
-		return policy.NewLARD(cfg.Nodes, cfg.CacheBytes, cfg.Params), nil
-	case "extlard":
-		return policy.NewExtLARD(cfg.Nodes, cfg.CacheBytes, cfg.Params, cfg.Mechanism), nil
-	}
-	return nil, fmt.Errorf("cluster: unknown policy %q", cfg.Policy)
 }
 
 // dial establishes the control session (HELLO CTRL), the relay data session
@@ -227,20 +218,31 @@ func (fe *FrontEnd) dial(id core.NodeID, ep BackendEndpoints) (*beLink, error) {
 func (fe *FrontEnd) Addr() string { return fe.ln.Addr().String() }
 
 // Policy exposes the dispatcher's policy (metrics, tests).
-func (fe *FrontEnd) Policy() core.Policy { return fe.pol }
+func (fe *FrontEnd) Policy() core.Policy { return fe.eng.Policy() }
 
-// Requests returns the number of client requests dispatched.
-func (fe *FrontEnd) Requests() int64 { return fe.reqs.Load() }
+// PolicyName returns the canonical dispatch-registry name of the running
+// policy ("wrr", "lard", "lardr" or "extlard").
+func (fe *FrontEnd) PolicyName() string { return fe.eng.PolicyName() }
 
-// Connections returns the number of client connections accepted.
+// Requests returns the number of client requests assigned by the dispatch
+// engine (the engine's counter is authoritative; the front-end keeps no
+// duplicate).
+func (fe *FrontEnd) Requests() int64 { return fe.eng.Requests() }
+
+// Connections returns the number of client connections accepted. This can
+// exceed the engine's opened-connection count: a client that connects but
+// never sends a request is accepted yet never dispatched.
 func (fe *FrontEnd) Connections() int64 { return fe.conns.Load() }
 
-// Utilization returns the fraction of wall time the front-end's serial
-// dispatcher resource was occupied since start — the prototype analogue of
-// the paper's front-end CPU utilization ("about 60% at six back-ends" on
-// 300 MHz hardware). On modern hardware the absolute number is small; the
-// reproducible claim is its roughly linear growth with cluster size, which
-// is what bounds how many back-ends one front-end supports.
+// Utilization returns the dispatcher's busy time as a fraction of wall time
+// since start — the prototype analogue of the paper's front-end CPU
+// utilization ("about 60% at six back-ends" on 300 MHz hardware). Dispatch
+// now runs concurrently per client connection, so busy time sums across
+// goroutines and the figure is an aggregate occupancy (clamped at 1), no
+// longer the occupancy of one serial resource. On modern hardware the
+// absolute number is small; the reproducible claim is its roughly linear
+// growth with cluster size, which is what bounds how many back-ends one
+// front-end supports.
 func (fe *FrontEnd) Utilization() float64 {
 	wall := time.Since(fe.started).Nanoseconds()
 	if wall <= 0 {
@@ -285,9 +287,9 @@ func (fe *FrontEnd) ctrlReadLoop(link *beLink) {
 			return
 		}
 		if msg.Kind == "DISKQ" {
-			unlock := fe.lockPolicy()
-			fe.pol.ReportDiskQueue(link.id, msg.Depth)
-			unlock()
+			done := fe.trackDispatch()
+			fe.eng.ReportDiskQueue(link.id, msg.Depth)
+			done()
 		}
 	}
 }
@@ -369,7 +371,7 @@ func (fe *FrontEnd) acceptLoop() {
 // feConn tracks one client connection at the front-end.
 type feConn struct {
 	id    core.ConnID
-	cs    *core.ConnState
+	ec    *dispatch.Conn // nil until openConn admits the connection
 	conn  net.Conn
 	br    *bufio.Reader
 	relay *relayConn
@@ -385,12 +387,10 @@ type feConn struct {
 // through the policy, tag and forward to back-ends.
 func (fe *FrontEnd) serveClient(conn net.Conn) {
 	c := &feConn{
-		id:       core.ConnID(fe.nextID.Add(1)),
 		conn:     conn,
 		br:       bufio.NewReaderSize(conn, 16<<10),
 		reqNodes: make(map[core.NodeID]bool),
 	}
-	c.cs = core.NewConnState(c.id)
 	defer fe.closeClient(c)
 
 	opened := false
@@ -411,16 +411,14 @@ func (fe *FrontEnd) serveClient(conn net.Conn) {
 	}
 }
 
-// lockPolicy serializes dispatcher work and accounts the held time toward
-// the front-end utilization figure. Client handlers parallelize freely on a
-// modern host, but the dispatcher — like the paper's front-end CPU — is one
-// serial resource; its occupancy is the meaningful utilization metric.
-func (fe *FrontEnd) lockPolicy() func() {
-	fe.polMu.Lock()
+// trackDispatch accounts the time spent in a dispatch-engine call toward
+// the front-end utilization figure. Unlike the old polMu design, dispatch
+// work is not serialized: client handlers call the engine concurrently and
+// the busy time simply accumulates across goroutines.
+func (fe *FrontEnd) trackDispatch() func() {
 	t0 := time.Now()
 	return func() {
 		fe.busyNanos.Add(time.Since(t0).Nanoseconds())
-		fe.polMu.Unlock()
 	}
 }
 
@@ -481,9 +479,11 @@ const nominalMappingSize = 8 << 10
 // openConn assigns the handling node for the first request and performs
 // the handoff (or registers the relay route).
 func (fe *FrontEnd) openConn(c *feConn, first core.Request) error {
-	unlock := fe.lockPolicy()
-	handling := fe.pol.ConnOpen(c.cs, first)
-	unlock()
+	done := fe.trackDispatch()
+	ec, handling := fe.eng.ConnOpen(first)
+	done()
+	c.ec = ec
+	c.id = ec.ID()
 
 	if fe.cfg.Mechanism == core.RelayFrontEnd {
 		rc := &relayConn{out: c.conn}
@@ -516,10 +516,10 @@ func (fe *FrontEnd) openConn(c *feConn, first core.Request) error {
 
 // dispatchBatch assigns a batch and forwards the tagged requests.
 func (fe *FrontEnd) dispatchBatch(c *feConn, batch core.Batch, reqs []*httpmsg.Request) error {
-	unlock := fe.lockPolicy()
-	assignments := fe.pol.AssignBatch(c.cs, batch)
-	handling := c.cs.Handling
-	unlock()
+	done := fe.trackDispatch()
+	assignments := fe.eng.AssignBatch(c.ec, batch)
+	handling := c.ec.Handling()
+	done()
 
 	for i, a := range assignments {
 		req := reqs[i]
@@ -548,7 +548,6 @@ func (fe *FrontEnd) dispatchBatch(c *feConn, batch core.Batch, reqs []*httpmsg.R
 		if err := fe.sendCtrl(dest, line); err != nil {
 			return err
 		}
-		fe.reqs.Add(1)
 	}
 	return nil
 }
@@ -578,9 +577,11 @@ func (fe *FrontEnd) closeClient(c *feConn) {
 		delete(fe.relayConns, c.id)
 		fe.relayMu.Unlock()
 	}
-	unlock := fe.lockPolicy()
-	fe.pol.ConnClose(c.cs)
-	unlock()
+	if c.ec != nil {
+		done := fe.trackDispatch()
+		fe.eng.ConnClose(c.ec)
+		done()
+	}
 	c.conn.Close()
 }
 

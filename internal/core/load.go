@@ -1,44 +1,67 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+)
 
 // LoadTracker maintains the front-end's per-node load estimate in the
 // paper's load units: one unit per active connection handled by the node,
 // plus 1/N of a unit per remote node serving a pipelined batch of N requests
 // under BE forwarding, charged for the duration of the batch.
 //
-// LoadTracker is not goroutine safe; the prototype front-end serializes
-// policy calls through the dispatcher, and the simulator is single threaded.
+// LoadTracker is safe for concurrent use: connection counts are atomic
+// integers and load units are atomic floats (compare-and-swap on the bit
+// pattern), so parallel dispatchers update it without a global lock. Reads
+// (Load, Least, Total) are unsynchronized snapshots — a policy deciding on
+// slightly stale load is exactly the paper's front-end, whose estimates lag
+// the back-ends anyway. Per-connection bookkeeping (ClearBatch, ChargeBatch)
+// mutates the ConnState as well and must be serialized per connection by the
+// caller, as the dispatch engine does.
 type LoadTracker struct {
-	load  []float64
-	conns []int
+	load  []atomic.Uint64 // float64 bit patterns
+	conns []atomic.Int64
 }
 
 // NewLoadTracker returns a tracker for n nodes, all idle.
 func NewLoadTracker(n int) *LoadTracker {
-	return &LoadTracker{load: make([]float64, n), conns: make([]int, n)}
+	return &LoadTracker{load: make([]atomic.Uint64, n), conns: make([]atomic.Int64, n)}
 }
 
 // Nodes returns the number of nodes tracked.
 func (lt *LoadTracker) Nodes() int { return len(lt.load) }
 
 // Load returns the current load estimate of node n in load units.
-func (lt *LoadTracker) Load(n NodeID) float64 { return lt.load[n] }
+func (lt *LoadTracker) Load(n NodeID) float64 {
+	return math.Float64frombits(lt.load[n].Load())
+}
+
+// addLoad atomically adds f load units to node n.
+func (lt *LoadTracker) addLoad(n NodeID, f float64) {
+	slot := &lt.load[n]
+	for {
+		old := slot.Load()
+		new := math.Float64bits(math.Float64frombits(old) + f)
+		if slot.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
 
 // Conns returns the number of active connections handled by node n.
-func (lt *LoadTracker) Conns(n NodeID) int { return lt.conns[n] }
+func (lt *LoadTracker) Conns(n NodeID) int { return int(lt.conns[n].Load()) }
 
 // AddConn charges one load unit to n for a newly handled connection.
 func (lt *LoadTracker) AddConn(n NodeID) {
-	lt.load[n]++
-	lt.conns[n]++
+	lt.addLoad(n, 1)
+	lt.conns[n].Add(1)
 }
 
 // RemoveConn releases the connection unit charged by AddConn.
 func (lt *LoadTracker) RemoveConn(n NodeID) {
-	lt.load[n]--
-	lt.conns[n]--
-	if lt.conns[n] < 0 {
+	lt.addLoad(n, -1)
+	if lt.conns[n].Add(-1) < 0 {
 		panic(fmt.Sprintf("core: connection count of %v went negative", n))
 	}
 }
@@ -50,16 +73,16 @@ func (lt *LoadTracker) MoveConn(old, new NodeID) {
 }
 
 // AddFraction charges f load units to n (remote batch accounting).
-func (lt *LoadTracker) AddFraction(n NodeID, f float64) { lt.load[n] += f }
+func (lt *LoadTracker) AddFraction(n NodeID, f float64) { lt.addLoad(n, f) }
 
 // RemoveFraction releases f load units from n.
-func (lt *LoadTracker) RemoveFraction(n NodeID, f float64) { lt.load[n] -= f }
+func (lt *LoadTracker) RemoveFraction(n NodeID, f float64) { lt.addLoad(n, -f) }
 
 // Least returns the least-loaded node, breaking ties toward lower IDs.
 func (lt *LoadTracker) Least() NodeID {
 	best := NodeID(0)
 	for i := 1; i < len(lt.load); i++ {
-		if lt.load[i] < lt.load[best] {
+		if lt.Load(NodeID(i)) < lt.Load(best) {
 			best = NodeID(i)
 		}
 	}
@@ -69,8 +92,8 @@ func (lt *LoadTracker) Least() NodeID {
 // Total returns the summed load across nodes.
 func (lt *LoadTracker) Total() float64 {
 	var t float64
-	for _, l := range lt.load {
-		t += l
+	for i := range lt.load {
+		t += lt.Load(NodeID(i))
 	}
 	return t
 }

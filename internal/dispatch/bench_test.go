@@ -1,0 +1,120 @@
+package dispatch
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"phttp/internal/core"
+	"phttp/internal/policy"
+)
+
+// benchSpec sizes the engine like a prototype front-end over 8 back-ends:
+// the mapping budget comfortably holds the benchmark's Zipf target universe
+// so steady state measures the dispatch path, not mapping eviction.
+func benchSpec(pol string, mech core.Mechanism) Spec {
+	return Spec{
+		Policy:     pol,
+		Nodes:      8,
+		CacheBytes: 1 << 30,
+		Params:     policy.DefaultParams(),
+		Mechanism:  mech,
+	}
+}
+
+// dispatchConn runs one full connection lifecycle against the engine: open
+// on a Zipf-popular target, assign one pipelined batch of four requests,
+// close. Every call goes through lock, when non-nil — that is the
+// serialized baseline, the old front-end design with one polMu around the
+// policy.
+func dispatchConn(eng *Engine, lock *sync.Mutex, zipf *rand.Zipf) {
+	first := core.Request{Target: core.Target(fmt.Sprintf("/z%d", zipf.Uint64())), Size: 8 << 10}
+	batch := make(core.Batch, 4)
+	batch[0] = first
+	for i := 1; i < len(batch); i++ {
+		batch[i] = core.Request{Target: core.Target(fmt.Sprintf("/z%d", zipf.Uint64())), Size: 8 << 10}
+	}
+	if lock != nil {
+		lock.Lock()
+	}
+	c, _ := eng.ConnOpen(first)
+	if lock != nil {
+		lock.Unlock()
+		lock.Lock()
+	}
+	eng.AssignBatch(c, batch)
+	if lock != nil {
+		lock.Unlock()
+		lock.Lock()
+	}
+	eng.ConnClose(c)
+	if lock != nil {
+		lock.Unlock()
+	}
+}
+
+func runDispatchBench(b *testing.B, pol string, mech core.Mechanism, serialized bool) {
+	eng, err := NewEngine(benchSpec(pol, mech))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var lock *sync.Mutex
+	if serialized {
+		lock = &sync.Mutex{}
+	}
+	var seed atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(seed.Add(1)))
+		zipf := rand.NewZipf(rng, 1.2, 1, 1<<14)
+		for pb.Next() {
+			dispatchConn(eng, lock, zipf)
+		}
+	})
+}
+
+// BenchmarkDispatch measures parallel dispatch throughput through the
+// concurrency-safe engine: mixed ConnOpen / AssignBatch / ConnClose over a
+// Zipf target distribution from GOMAXPROCS goroutines.
+//
+//	go test -run '^$' -bench 'BenchmarkDispatch' -cpu 1,4 ./internal/dispatch/
+//
+// At -cpu 1 the engine and the serialized baseline are equivalent; at -cpu 4
+// and beyond the engine's ns/op should drop while the baseline's stays flat
+// or worsens under lock contention — the throughput headroom the paper needs
+// the front-end to have.
+func BenchmarkDispatch(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		mech core.Mechanism
+	}{
+		{"wrr", core.SingleHandoff},
+		{"lard", core.SingleHandoff},
+		{"extlard", core.BEForwarding},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			runDispatchBench(b, tc.name, tc.mech, false)
+		})
+	}
+}
+
+// BenchmarkDispatchSerialized is the pre-refactor baseline: the identical
+// workload with every engine call behind one global mutex, exactly the old
+// polMu design of the prototype front-end.
+func BenchmarkDispatchSerialized(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		mech core.Mechanism
+	}{
+		{"wrr", core.SingleHandoff},
+		{"lard", core.SingleHandoff},
+		{"extlard", core.BEForwarding},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			runDispatchBench(b, tc.name, tc.mech, true)
+		})
+	}
+}

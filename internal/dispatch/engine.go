@@ -1,0 +1,119 @@
+package dispatch
+
+import (
+	"sync/atomic"
+
+	"phttp/internal/core"
+)
+
+// Engine is the concurrency-safe dispatch engine: it owns the policy
+// instance, allocates connection IDs, tracks live connection state, and
+// exposes the dispatch lifecycle to parallel callers.
+//
+// Concurrency contract: calls for *different* connections may run fully in
+// parallel — the underlying policy state (atomic load tracker, hash-sharded
+// mapping) needs no engine-level lock. Calls for a *single* connection
+// (ConnOpen → AssignBatch* → BatchDone? → ConnClose) must be issued in
+// order by one caller at a time, which both drivers do naturally: the
+// prototype front-end runs one goroutine per client connection, and the
+// simulator is single-threaded.
+type Engine struct {
+	spec Spec
+	name string // canonical registry name
+	pol  core.Policy
+
+	nextID atomic.Int64
+	live   atomic.Int64
+
+	conns atomic.Int64 // connections opened, cumulative
+	reqs  atomic.Int64 // requests assigned, cumulative
+}
+
+// Conn is the engine's handle for one live client connection.
+type Conn struct {
+	cs     *core.ConnState
+	closed atomic.Bool
+}
+
+// ID returns the connection's engine-assigned identifier.
+func (c *Conn) ID() core.ConnID { return c.cs.ID }
+
+// Handling returns the connection-handling node (NoNode after close).
+func (c *Conn) Handling() core.NodeID { return c.cs.Handling }
+
+// State exposes the underlying connection state for metrics and tests.
+func (c *Conn) State() *core.ConnState { return c.cs }
+
+// NewEngine builds the policy named by spec through the registry and
+// returns an engine dispatching through it.
+func NewEngine(spec Spec) (*Engine, error) {
+	name, err := Canonical(spec.Policy)
+	if err != nil {
+		return nil, err
+	}
+	pol, err := Build(spec)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{spec: spec, name: name, pol: pol}, nil
+}
+
+// Policy exposes the engine's policy (metrics, tests).
+func (e *Engine) Policy() core.Policy { return e.pol }
+
+// PolicyName returns the canonical registry name of the engine's policy
+// ("wrr", "lard", "lardr" or "extlard").
+func (e *Engine) PolicyName() string { return e.name }
+
+// Nodes returns the number of back-end nodes dispatched over.
+func (e *Engine) Nodes() int { return e.spec.Nodes }
+
+// Connections returns the cumulative number of connections opened.
+func (e *Engine) Connections() int64 { return e.conns.Load() }
+
+// Requests returns the cumulative number of requests assigned.
+func (e *Engine) Requests() int64 { return e.reqs.Load() }
+
+// Active returns the number of currently open connections.
+func (e *Engine) Active() int64 { return e.live.Load() }
+
+// ConnOpen admits a new client connection: it allocates the connection
+// state, asks the policy for the handling node based on the first request,
+// and begins tracking the connection.
+func (e *Engine) ConnOpen(first core.Request) (*Conn, core.NodeID) {
+	c := &Conn{cs: core.NewConnState(core.ConnID(e.nextID.Add(1)))}
+	handling := e.pol.ConnOpen(c.cs, first)
+	e.live.Add(1)
+	e.conns.Add(1)
+	return c, handling
+}
+
+// AssignBatch assigns every request of a pipelined batch arriving on c and
+// performs the paper's 1/N load accounting. It returns one Assignment per
+// request, in order.
+func (e *Engine) AssignBatch(c *Conn, batch core.Batch) []core.Assignment {
+	as := e.pol.AssignBatch(c.cs, batch)
+	e.reqs.Add(int64(len(batch)))
+	return as
+}
+
+// BatchDone tells the policy the connection went idle after its current
+// batch, releasing fractional remote loads early.
+func (e *Engine) BatchDone(c *Conn) { e.pol.BatchDone(c.cs) }
+
+// ConnClose releases all load held by c and stops tracking it. It is
+// idempotent: double closes (teardown races in a real front-end) are
+// absorbed here rather than corrupting the load accounting.
+func (e *Engine) ConnClose(c *Conn) {
+	if c == nil || !c.closed.CompareAndSwap(false, true) {
+		return
+	}
+	e.pol.ConnClose(c.cs)
+	e.live.Add(-1)
+}
+
+// ReportDiskQueue delivers a back-end's disk queue length to the policy
+// (the prototype's control-session feedback).
+func (e *Engine) ReportDiskQueue(n core.NodeID, queued int) {
+	e.pol.ReportDiskQueue(n, queued)
+}

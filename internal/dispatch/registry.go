@@ -1,0 +1,91 @@
+// Package dispatch owns the full dispatch lifecycle shared by the
+// trace-driven simulator and the cluster prototype: a single policy
+// registry (the one source of truth for the "wrr" / "lard" / "lardr" /
+// "extlard" names), connection-state tracking, and a concurrency-safe
+// engine API (ConnOpen / AssignBatch / ConnClose / ReportDiskQueue).
+//
+// The paper's central artifact is exactly this module: one policy
+// implementation drives both the simulation study and the FreeBSD
+// prototype. Here the same Spec builds the same policy object for both
+// drivers, so a policy/params combination is defined once and behaves
+// identically in simulation and in the prototype.
+package dispatch
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"phttp/internal/core"
+	"phttp/internal/policy"
+)
+
+// Spec names a policy and its construction parameters. It is the single
+// currency for building policies anywhere in the system.
+type Spec struct {
+	// Policy is the registry name: "wrr", "lard", "lardr" or "extlard"
+	// (case-insensitive; see Names).
+	Policy string
+	// Nodes is the number of back-end nodes.
+	Nodes int
+	// CacheBytes sizes the per-node target→node mapping model for the
+	// LARD family; WRR ignores it.
+	CacheBytes int64
+	// Params are the LARD-family tuning constants.
+	Params policy.Params
+	// Mechanism is the distribution mechanism the policy drives; only
+	// extended LARD changes behavior with it.
+	Mechanism core.Mechanism
+}
+
+// builders is the policy registry. Keys are the canonical lower-case names
+// used in config files, flags, and figure data.
+var builders = map[string]func(Spec) core.Policy{
+	"wrr": func(s Spec) core.Policy {
+		return policy.NewWRR(s.Nodes)
+	},
+	"lard": func(s Spec) core.Policy {
+		return policy.NewLARD(s.Nodes, s.CacheBytes, s.Params)
+	},
+	"lardr": func(s Spec) core.Policy {
+		return policy.NewLARDR(s.Nodes, s.CacheBytes, s.Params)
+	},
+	"extlard": func(s Spec) core.Policy {
+		return policy.NewExtLARD(s.Nodes, s.CacheBytes, s.Params, s.Mechanism)
+	},
+}
+
+// Names returns the canonical policy names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(builders))
+	for name := range builders {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Canonical normalizes name to its registry form, or returns an error
+// listing the valid names.
+func Canonical(name string) (string, error) {
+	c := strings.ToLower(strings.TrimSpace(name))
+	if _, ok := builders[c]; !ok {
+		return "", fmt.Errorf("dispatch: unknown policy %q (valid policies: %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	return c, nil
+}
+
+// Build instantiates the policy named by spec. It is the only policy
+// construction path in the system: the simulator and the prototype
+// front-end both come through here.
+func Build(spec Spec) (core.Policy, error) {
+	name, err := Canonical(spec.Policy)
+	if err != nil {
+		return nil, err
+	}
+	if spec.Nodes <= 0 {
+		return nil, fmt.Errorf("dispatch: policy %q needs at least one node, got %d", name, spec.Nodes)
+	}
+	return builders[name](spec), nil
+}

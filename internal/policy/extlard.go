@@ -2,6 +2,7 @@ package policy
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"phttp/internal/cache"
 	"phttp/internal/core"
@@ -36,18 +37,26 @@ import (
 //
 // On an HTTP/1.0 workload every connection carries one request, so ExtLARD
 // is equivalent to LARD, as the paper notes.
+//
+// ExtLARD is safe for concurrent dispatch: the cost computation reads the
+// atomic load tracker and the hash-sharded mapping without any policy-wide
+// critical section, disk-queue reports land in atomic slots, and the
+// decision counters are atomic. Calls for a single connection must be
+// serialized by the caller (the dispatch engine's contract); racing
+// decisions across connections see slightly stale load/mapping state, which
+// is the paper's front-end exactly.
 type ExtLARD struct {
 	params  Params
 	mech    core.Mechanism
 	loads   *core.LoadTracker
 	mapping *cache.Mapping
-	diskQ   []int
+	diskQ   []atomic.Int64
 
 	// stats
-	localServes   int64
-	remoteServes  int64
-	migrations    int64
-	cacheBypasses int64
+	localServes   atomic.Int64
+	remoteServes  atomic.Int64
+	migrations    atomic.Int64
+	cacheBypasses atomic.Int64
 }
 
 var _ core.Policy = (*ExtLARD)(nil)
@@ -60,7 +69,7 @@ func NewExtLARD(n int, cacheBytes int64, params Params, mech core.Mechanism) *Ex
 		mech:    mech,
 		loads:   core.NewLoadTracker(n),
 		mapping: cache.NewMapping(n, cacheBytes),
-		diskQ:   make([]int, n),
+		diskQ:   make([]atomic.Int64, n),
 	}
 }
 
@@ -76,13 +85,13 @@ func (e *ExtLARD) Mapping() *cache.Mapping { return e.mapping }
 // Stats returns (local serves, remote serves, migrations, cache bypasses)
 // accumulated across assignments.
 func (e *ExtLARD) Stats() (local, remote, migrations, bypasses int64) {
-	return e.localServes, e.remoteServes, e.migrations, e.cacheBypasses
+	return e.localServes.Load(), e.remoteServes.Load(), e.migrations.Load(), e.cacheBypasses.Load()
 }
 
 // diskLow reports whether node n's disk utilization is low per the paper's
 // heuristic (fewer than DiskQueueLow queued disk events).
 func (e *ExtLARD) diskLow(n core.NodeID) bool {
-	return e.diskQ[n] < e.params.DiskQueueLow
+	return int(e.diskQ[n].Load()) < e.params.DiskQueueLow
 }
 
 // ConnOpen chooses the handling node with the basic LARD strategy.
@@ -109,7 +118,7 @@ func (e *ExtLARD) AssignBatch(c *core.ConnState, batch core.Batch) []core.Assign
 		if c.Requests == 0 {
 			// The handoff decision already placed this request.
 			a = core.Assignment{Node: c.Handling, CacheLocally: true}
-			e.localServes++
+			e.localServes.Add(1)
 		} else {
 			a = e.assignNext(c, r)
 		}
@@ -130,7 +139,7 @@ func (e *ExtLARD) assignNext(c *core.ConnState, r core.Request) core.Assignment 
 	h := c.Handling
 	switch e.mech {
 	case core.SingleHandoff:
-		e.localServes++
+		e.localServes.Add(1)
 		return core.Assignment{Node: h, CacheLocally: true}
 
 	case core.BEForwarding, core.MultipleHandoff:
@@ -140,7 +149,7 @@ func (e *ExtLARD) assignNext(c *core.ConnState, r core.Request) core.Assignment 
 			// or the local disk is idle enough that reading it (and
 			// thereby caching it — replication) beats the forwarding
 			// overhead.
-			e.localServes++
+			e.localServes.Add(1)
 			e.mapping.Map(r.Target, r.Size, h)
 			return core.Assignment{Node: h, CacheLocally: true}
 		}
@@ -153,13 +162,13 @@ func (e *ExtLARD) assignNext(c *core.ConnState, r core.Request) core.Assignment 
 			// disk read regardless of any policy preference, and the
 			// mapping is updated on every fetch from a back-end, so the
 			// dispatcher records the target as cached here.
-			e.localServes++
+			e.localServes.Add(1)
 			e.mapping.Map(r.Target, r.Size, h)
 			return core.Assignment{Node: h, CacheLocally: true}
 		}
 		if e.mech == core.MultipleHandoff {
 			// Migrate the connection to the node caching the target.
-			e.migrations++
+			e.migrations.Add(1)
 			e.loads.MoveConn(h, win)
 			c.Handling = win
 			e.mapping.Touch(r.Target, win)
@@ -168,7 +177,7 @@ func (e *ExtLARD) assignNext(c *core.ConnState, r core.Request) core.Assignment 
 		// Lateral fetch. NFS client caching is disabled in the paper's
 		// prototype, so forwarded content is never cached at the
 		// handling node.
-		e.remoteServes++
+		e.remoteServes.Add(1)
 		e.mapping.Touch(r.Target, win)
 		return core.Assignment{Node: win, Forward: true, CacheLocally: false}
 
@@ -177,10 +186,10 @@ func (e *ExtLARD) assignNext(c *core.ConnState, r core.Request) core.Assignment 
 		win := pick(e.params, e.loads, e.mapping, r.Target, allNodes(e.loads.Nodes()))
 		e.mapping.Map(r.Target, r.Size, win)
 		if win == h {
-			e.localServes++
+			e.localServes.Add(1)
 			return core.Assignment{Node: h, CacheLocally: true}
 		}
-		e.migrations++
+		e.migrations.Add(1)
 		e.loads.MoveConn(h, win)
 		c.Handling = win
 		return core.Assignment{Node: win, Migrate: true, From: h, CacheLocally: true}
@@ -204,7 +213,7 @@ func (e *ExtLARD) ConnClose(c *core.ConnState) {
 
 // ReportDiskQueue records node n's queued disk events.
 func (e *ExtLARD) ReportDiskQueue(n core.NodeID, queued int) {
-	e.diskQ[n] = queued
+	e.diskQ[n].Store(int64(queued))
 }
 
 // Loads implements core.Policy.

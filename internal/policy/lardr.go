@@ -1,6 +1,8 @@
 package policy
 
 import (
+	"sync"
+
 	"phttp/internal/cache"
 	"phttp/internal/core"
 )
@@ -33,6 +35,12 @@ type LARDR struct {
 	GrowInterval   int
 	ShrinkInterval int
 
+	// mu guards the replication state: the server-set grow/shrink decision
+	// is a read-modify-write over per-target counters and the mapping, so
+	// concurrent ConnOpens serialize here. The lock covers only connection
+	// establishment; the per-request path (AssignBatch) touches nothing
+	// shared beyond the atomic load tracker.
+	mu    sync.Mutex
 	state map[core.Target]*replState
 }
 
@@ -71,6 +79,8 @@ func (l *LARDR) ConnOpen(c *core.ConnState, first core.Request) core.NodeID {
 }
 
 func (l *LARDR) assign(r core.Request) core.NodeID {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	set := l.mapping.NodesFor(r.Target)
 	if len(set) == 0 {
 		// Unmapped: send to the overall least-loaded node and map it.
@@ -85,6 +95,7 @@ func (l *LARDR) assign(r core.Request) core.NodeID {
 		l.state[r.Target] = st
 	}
 	st.assignments++
+	l.pruneStale()
 
 	n := l.leastOf(set)
 	switch {
@@ -111,6 +122,26 @@ func (l *LARDR) assign(r core.Request) core.NodeID {
 	}
 	l.mapping.Touch(r.Target, n)
 	return n
+}
+
+// pruneStale drops replication state for a few targets that have aged out
+// of the mapping entirely. Deleting such entries never changes a decision —
+// an unmapped target takes the len(set)==0 path, which resets its state —
+// but without pruning the map grows one entry per distinct target forever,
+// which a long-lived front-end serving an unbounded URL space cannot
+// afford. Amortized over assigns (a handful of entries per call, via Go's
+// randomized map iteration), the map stays proportional to the mapped
+// working set. Callers hold l.mu.
+func (l *LARDR) pruneStale() {
+	checked := 0
+	for t := range l.state {
+		if len(l.mapping.NodesFor(t)) == 0 {
+			delete(l.state, t)
+		}
+		if checked++; checked >= 4 {
+			break
+		}
+	}
 }
 
 func (l *LARDR) leastOf(set []core.NodeID) core.NodeID {

@@ -2,6 +2,7 @@ package policy
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"phttp/internal/core"
 )
@@ -12,10 +13,15 @@ import (
 // weights for heterogeneous clusters), with no regard for the requested
 // content. All requests on a connection stay on the handling node (the WRR
 // mechanism is equivalent to simple TCP handoff).
+//
+// WRR is safe for concurrent dispatch: loads are atomic and the round-robin
+// cursor is an atomic hint — two racing ConnOpens may read the same cursor
+// and break ties identically, which skews nothing (the load comparison, not
+// the cursor, carries the balancing).
 type WRR struct {
 	loads   *core.LoadTracker
 	weights []float64
-	next    core.NodeID // round-robin tie-break cursor
+	next    atomic.Int64 // round-robin tie-break cursor
 }
 
 var _ core.Policy = (*WRR)(nil)
@@ -49,16 +55,17 @@ func (w *WRR) Name() string { return "WRR" }
 // ties round-robin, and charges it one load unit.
 func (w *WRR) ConnOpen(c *core.ConnState, _ core.Request) core.NodeID {
 	n := w.loads.Nodes()
+	cursor := int(w.next.Load())
 	best := core.NoNode
 	bestLoad := 0.0
 	for i := 0; i < n; i++ {
-		cand := core.NodeID((int(w.next) + i) % n)
+		cand := core.NodeID((cursor + i) % n)
 		l := w.loads.Load(cand) / w.weights[cand]
 		if best == core.NoNode || l < bestLoad {
 			best, bestLoad = cand, l
 		}
 	}
-	w.next = core.NodeID((int(best) + 1) % n)
+	w.next.Store(int64((int(best) + 1) % n))
 	c.Handling = best
 	w.loads.AddConn(best)
 	return best

@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"phttp/internal/core"
+	"phttp/internal/dispatch"
 	"phttp/internal/policy"
 	"phttp/internal/server"
 )
@@ -117,20 +118,29 @@ func DefaultConfig(n int, combo Combo) Config {
 	}
 }
 
-// buildPolicy instantiates the combo's policy.
-func (c Config) buildPolicy() (core.Policy, error) {
-	switch c.Combo.Policy {
-	case "wrr":
-		return policy.NewWRR(c.Nodes), nil
-	case "lard":
-		return policy.NewLARD(c.Nodes, c.CacheBytes, c.Params), nil
-	case "lardr":
-		return policy.NewLARDR(c.Nodes, c.CacheBytes, c.Params), nil
-	case "extlard":
-		return policy.NewExtLARD(c.Nodes, c.CacheBytes, c.Params, c.Combo.Mechanism), nil
-	default:
-		return nil, fmt.Errorf("sim: unknown policy %q", c.Combo.Policy)
+// dispatchSpec maps the configuration onto the shared dispatch registry:
+// the same Spec the prototype front-end builds its engine from, so a
+// policy/params combination behaves identically in both drivers.
+func (c Config) dispatchSpec() dispatch.Spec {
+	return dispatch.Spec{
+		Policy:     c.Combo.Policy,
+		Nodes:      c.Nodes,
+		CacheBytes: c.CacheBytes,
+		Params:     c.Params,
+		Mechanism:  c.Combo.Mechanism,
 	}
+}
+
+// buildPolicy instantiates the combo's policy through the dispatch
+// registry.
+func (c Config) buildPolicy() (core.Policy, error) {
+	return dispatch.Build(c.dispatchSpec())
+}
+
+// PolicyName returns the canonical dispatch-registry name of the combo's
+// policy, or an error listing the valid names.
+func (c Config) PolicyName() (string, error) {
+	return dispatch.Canonical(c.Combo.Policy)
 }
 
 // Validate reports configuration errors early.

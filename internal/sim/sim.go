@@ -5,6 +5,7 @@ import (
 
 	"phttp/internal/cache"
 	"phttp/internal/core"
+	"phttp/internal/dispatch"
 	"phttp/internal/policy"
 	"phttp/internal/simcore"
 	"phttp/internal/trace"
@@ -19,13 +20,12 @@ type node struct {
 
 // Sim is one simulation run in progress.
 type Sim struct {
-	cfg    Config
-	eng    *simcore.Engine
-	nodes  []*node
-	fe     simcore.Resource
-	pol    core.Policy
-	trace  *trace.Trace
-	nextID core.ConnID
+	cfg   Config
+	eng   *simcore.Engine
+	nodes []*node
+	fe    simcore.Resource
+	disp  *dispatch.Engine
+	trace *trace.Trace
 
 	nextConn int // next trace connection to admit
 	active   int
@@ -55,14 +55,14 @@ func Run(cfg Config, tr *trace.Trace) (Result, error) {
 	if !cfg.Combo.PHTTP {
 		workload = tr.Flatten10()
 	}
-	pol, err := cfg.buildPolicy()
+	disp, err := dispatch.NewEngine(cfg.dispatchSpec())
 	if err != nil {
 		return Result{}, err
 	}
 	s := &Sim{
 		cfg:   cfg,
 		eng:   simcore.NewEngine(),
-		pol:   pol,
+		disp:  disp,
 		trace: workload,
 	}
 	s.nodes = make([]*node, cfg.Nodes)
@@ -95,15 +95,14 @@ func (s *Sim) admit() bool {
 		return s.admit()
 	}
 	s.active++
-	s.nextID++
-	cr := &connRun{sim: s, conn: conn, cs: core.NewConnState(s.nextID)}
+	cr := &connRun{sim: s, conn: conn}
 	cr.open()
 	return true
 }
 
 // connDone finishes a connection's lifecycle and admits the next.
 func (s *Sim) connDone(cr *connRun) {
-	s.pol.ConnClose(cr.cs)
+	s.disp.ConnClose(cr.ec)
 	s.active--
 	s.doneConns++
 	if !s.warmed && s.doneConns >= s.warmConns {
@@ -155,10 +154,10 @@ func (s *Sim) feDo(cost core.Micros, fn func()) {
 func (s *Sim) diskDo(n core.NodeID, size int64, fn func()) {
 	nd := s.nodes[n]
 	done := nd.disk.Schedule(s.eng.Now(), s.cfg.Disk.ReadTime(size))
-	s.pol.ReportDiskQueue(n, nd.disk.Queued())
+	s.disp.ReportDiskQueue(n, nd.disk.Queued())
 	s.eng.At(done, func() {
 		nd.disk.Release()
-		s.pol.ReportDiskQueue(n, nd.disk.Queued())
+		s.disp.ReportDiskQueue(n, nd.disk.Queued())
 		if fn != nil {
 			fn()
 		}
@@ -169,7 +168,7 @@ func (s *Sim) diskDo(n core.NodeID, size int64, fn func()) {
 type connRun struct {
 	sim  *Sim
 	conn core.Connection
-	cs   *core.ConnState
+	ec   *dispatch.Conn
 
 	batchIdx    int
 	outstanding int
@@ -182,7 +181,8 @@ type connRun struct {
 func (c *connRun) open() {
 	s := c.sim
 	first := c.conn.Batches[0][0]
-	handling := s.pol.ConnOpen(c.cs, first)
+	var handling core.NodeID
+	c.ec, handling = s.disp.ConnOpen(first)
 	costs := s.cfg.Server
 	switch s.cfg.Combo.Mechanism {
 	case core.RelayFrontEnd:
@@ -205,7 +205,7 @@ func (c *connRun) open() {
 func (c *connRun) serveBatch() {
 	s := c.sim
 	batch := c.conn.Batches[c.batchIdx]
-	assignments := s.pol.AssignBatch(c.cs, batch)
+	assignments := s.disp.AssignBatch(c.ec, batch)
 	c.outstanding = len(batch)
 	c.batchStart = s.eng.Now()
 	for i, r := range batch {
@@ -235,7 +235,7 @@ func (c *connRun) requestDone(size int64) {
 		s.feDo(costs.FEConn, func() { s.connDone(c) })
 		return
 	}
-	s.cpuDo(c.cs.Handling, costs.ConnTeardown, func() { s.connDone(c) })
+	s.cpuDo(c.ec.Handling(), costs.ConnTeardown, func() { s.connDone(c) })
 }
 
 // serveRequest models one request under the mechanism-specific data path.
@@ -256,7 +256,7 @@ func (c *connRun) serveRequest(r core.Request, a core.Assignment) {
 		// BE forwarding: FE forwards the tagged request to the handling
 		// node; the remote node produces the content; the handling node
 		// receives and retransmits it.
-		h := c.cs.Handling
+		h := c.ec.Handling()
 		remote := a.Node
 		s.feDo(costs.FEPerRequest, func() {
 			s.cpuDo(remote, costs.PerRequest+costs.ForwardPerRequest, func() {
@@ -338,6 +338,8 @@ func (s *Sim) result() Result {
 		Requests: served,
 		SimTime:  elapsed,
 	}
+	// The config validated through the registry before the run started.
+	res.Policy, _ = s.cfg.PolicyName()
 	if elapsed > 0 {
 		res.Throughput = float64(served) / elapsed.Seconds()
 		res.BandwidthMbps = float64(s.servedBytes-s.warmBytes) * 8 / 1e6 / elapsed.Seconds()
@@ -360,7 +362,7 @@ func (s *Sim) result() Result {
 	if hits+misses > 0 {
 		res.HitRate = float64(hits) / float64(hits+misses)
 	}
-	if ext, ok := s.pol.(*policy.ExtLARD); ok {
+	if ext, ok := s.disp.Policy().(*policy.ExtLARD); ok {
 		res.LocalServes, res.RemoteServes, res.Migrations, res.CacheBypasses = ext.Stats()
 	}
 	return res
