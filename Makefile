@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fmt vet check
+.PHONY: all build test race bench bench-smoke fmt vet check
 
 all: build
 
@@ -13,14 +13,24 @@ build:
 test:
 	$(GO) test ./...
 
-# The -race acceptance surface: the concurrent dispatch engine and the
-# prototype cluster that drives it from parallel client handlers.
+# The -race acceptance surface: the concurrent dispatch engine, the
+# prototype cluster that drives it from parallel client handlers, and the
+# parallel sweep drivers sharing one trace.
 race:
-	$(GO) test -race ./internal/dispatch/... ./internal/cluster/...
+	$(GO) test -race ./internal/dispatch/... ./internal/cluster/... ./internal/sim/...
 
-# Parallel dispatch throughput vs the serialized (global-lock) baseline.
+# Performance trajectory: the simulator's reference ClusterSweep (written
+# to BENCH_sim.json: ns/event, allocs/event, events/sec, wall-clock, and
+# speedup vs the recorded baseline), plus the dispatch microbenchmark
+# against its serialized baseline.
 bench:
+	$(GO) run ./cmd/phttp-bench -sim-bench BENCH_sim.json
 	$(GO) test -run '^$$' -bench 'BenchmarkDispatch' -cpu 1,4 ./internal/dispatch/
+
+# One-iteration pass over every benchmark so the harnesses cannot rot; CI
+# runs this on each push.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
 
 fmt:
 	gofmt -l .

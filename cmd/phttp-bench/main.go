@@ -5,13 +5,21 @@
 //
 //	phttp-bench                      # Figure 13, 1-6 nodes
 //	phttp-bench -time-scale 20       # faster wall clock, same shape
+//	phttp-bench -sim-bench BENCH_sim.json   # simulator perf trajectory
 //
 // Simulated CPU/disk latencies are divided by -time-scale; reported
 // throughput is normalized back (multiplied by 1/scale) so the numbers are
 // comparable to the paper's 300 MHz-era hardware.
+//
+// -sim-bench skips the prototype and instead measures the trace-driven
+// simulator's reference ClusterSweep (serial and parallel), writing the
+// ns/event, allocs/event, events/sec and wall-clock trajectory to the named
+// JSON file alongside the recorded pre-optimization baseline (see DESIGN.md
+// §10 for the methodology).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,8 +29,61 @@ import (
 	"phttp/internal/core"
 	"phttp/internal/loadgen"
 	"phttp/internal/metrics"
+	"phttp/internal/sim"
 	"phttp/internal/trace"
 )
+
+// simBaseline is the reference ClusterSweep measured at the pre-optimization
+// commit ("PR 1" head: container/heap of *Event closures, string-keyed
+// caches, serial sweeps) on the same reference configuration
+// (sim.DefaultBenchConfig). Events is left 0 — the old engine did not count
+// events — and is filled from the current serial run, which is valid
+// because the optimization is event-count preserving (golden tests pin
+// result equality). Re-measure when moving the trajectory to new hardware.
+var simBaseline = sim.BenchPoint{
+	WallMs:  15322,
+	Mallocs: 88045813,
+}
+
+const simBaselineDescription = "serial sweep at PR1 head (closure event heap, string-keyed caches), same machine"
+
+// runSimBench measures the simulator reference sweep and writes the
+// BENCH_sim.json trajectory.
+func runSimBench(path string, seed uint64) {
+	cfg := sim.DefaultBenchConfig()
+	cfg.Seed = seed
+	fmt.Fprintf(os.Stderr, "sim-bench: reference sweep (%d combos × %d cluster sizes, %d connections)...\n",
+		cfg.Combos, len(cfg.Nodes), cfg.Connections)
+	rep, err := sim.RunBench(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "phttp-bench: sim-bench: %v\n", err)
+		os.Exit(1)
+	}
+	if seed == 1 {
+		// The recorded baseline used the reference seed; a different seed
+		// changes the workload, so the comparison would be meaningless.
+		rep.AttachBaseline(simBaseline, simBaselineDescription)
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "phttp-bench: sim-bench: %v\n", err)
+		os.Exit(1)
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "phttp-bench: sim-bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr,
+		"sim-bench: serial %.0f ms (%.0f ns/event, %.2f allocs/event), parallel %.0f ms on %d procs\n",
+		rep.Serial.WallMs, rep.Serial.NsPerEvent, rep.Serial.AllocsPerEvent,
+		rep.Parallel.WallMs, rep.GoMaxProcs)
+	if rep.Baseline != nil {
+		fmt.Fprintf(os.Stderr, "sim-bench: %.2fx wall-clock vs baseline, %.2fx events/sec per run, %.1fx fewer allocs/event\n",
+			rep.SpeedupWallClock, rep.PerRunEventsPerSec, rep.PerEventAllocsRatio)
+	}
+	fmt.Printf("wrote %s\n", path)
+}
 
 // protoCombo is one prototype policy/mechanism/workload combination of
 // Figure 13.
@@ -52,8 +113,14 @@ func main() {
 		clients  = flag.Int("clients", 0, "concurrent clients (0 = 32 per node)")
 		cacheMB  = flag.Int64("cache-mb", cluster.PrototypeCacheBytes>>20, "per-node cache (MB); scale it with -connections so the touched working set stays ~5x one cache")
 		only     = flag.String("only", "", "run only the named combination (e.g. BEforward-extLARD-PHTTP)")
+		simBench = flag.String("sim-bench", "", "measure the simulator's reference ClusterSweep and write the perf trajectory to this JSON file (skips the prototype benchmark)")
 	)
 	flag.Parse()
+
+	if *simBench != "" {
+		runSimBench(*simBench, *seed)
+		return
+	}
 
 	tcfg := trace.DefaultSynthConfig()
 	tcfg.Seed = *seed

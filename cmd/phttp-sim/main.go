@@ -34,6 +34,7 @@ func main() {
 		verbose  = flag.Bool("v", false, "print per-run details (hit rate, utilizations)")
 		list     = flag.Bool("list", false, "list the available policy/mechanism combinations and exit")
 		plot     = flag.Bool("plot", false, "append an ASCII rendering of the figure")
+		workers  = flag.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS, 1 = serial); output is identical either way")
 	)
 	flag.Parse()
 
@@ -87,7 +88,7 @@ func main() {
 		fmt.Println(res)
 	case 3:
 		loads := []int{1, 2, 4, 8, 16, 24, 32, 48, 64, 96, 128, 192, 256}
-		thr, delay, err := sim.DelaySweep(kind, loads, tr)
+		thr, delay, err := sim.DelaySweepParallel(kind, loads, tr, *workers)
 		if err != nil {
 			fatalf("%v", err)
 		}
@@ -98,7 +99,7 @@ func main() {
 		for n := 1; n <= *maxNodes; n++ {
 			ns = append(ns, n)
 		}
-		series, results, err := sim.ClusterSweep(kind, ns, sim.Combos(), tr)
+		series, results, err := sim.ClusterSweepParallel(kind, ns, sim.Combos(), tr, *workers)
 		if err != nil {
 			fatalf("%v", err)
 		}

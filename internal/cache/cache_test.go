@@ -180,41 +180,46 @@ func TestLRUNegativePanics(t *testing.T) {
 
 func TestMappingBasics(t *testing.T) {
 	m := NewMapping(3, 100)
-	m.Map("/a", 40, 1)
-	if !m.IsMapped("/a", 1) || m.IsMapped("/a", 0) {
+	m.Map(idA, 40, 1)
+	if !m.IsMapped(idA, 1) || m.IsMapped(idA, 0) {
 		t.Error("mapping state wrong after Map")
 	}
-	m.Map("/a", 40, 2)
-	nodes := m.NodesFor("/a")
+	m.Map(idA, 40, 2)
+	nodes := m.NodesFor(idA)
 	if len(nodes) != 2 || nodes[0] != 1 || nodes[1] != 2 {
 		t.Errorf("NodesFor = %v, want [be1 be2]", nodes)
 	}
-	m.Unmap("/a", 1)
-	if m.IsMapped("/a", 1) {
+	buf := make([]core.NodeID, 0, 4)
+	into := m.AppendNodesFor(buf, idA)
+	if len(into) != 2 || &into[0] != &buf[:1][0] {
+		t.Errorf("AppendNodesFor did not reuse the buffer: %v", into)
+	}
+	m.Unmap(idA, 1)
+	if m.IsMapped(idA, 1) {
 		t.Error("Unmap did not remove mapping")
 	}
 }
 
 func TestMappingAgesOutUnderBudget(t *testing.T) {
 	m := NewMapping(1, 100)
-	m.Map("/a", 60, 0)
-	m.Map("/b", 60, 0) // /a must age out
-	if m.IsMapped("/a", 0) {
-		t.Error("/a still mapped beyond budget")
+	m.Map(idA, 60, 0)
+	m.Map(idB, 60, 0) // idA must age out
+	if m.IsMapped(idA, 0) {
+		t.Error("idA still mapped beyond budget")
 	}
-	if !m.IsMapped("/b", 0) {
-		t.Error("/b not mapped")
+	if !m.IsMapped(idB, 0) {
+		t.Error("idB not mapped")
 	}
 }
 
 func TestMappingTouchPromotes(t *testing.T) {
 	m := NewMapping(1, 100)
-	m.Map("/a", 50, 0)
-	m.Map("/b", 50, 0)
-	m.Touch("/a", 0)   // /a most recent, /b is LRU
-	m.Map("/c", 50, 0) // evicts /b
-	if !m.IsMapped("/a", 0) || m.IsMapped("/b", 0) {
-		t.Error("Touch did not promote /a over /b")
+	m.Map(idA, 50, 0)
+	m.Map(idB, 50, 0)
+	m.Touch(idA, 0)   // idA most recent, idB is LRU
+	m.Map(idC, 50, 0) // evicts idB
+	if !m.IsMapped(idA, 0) || m.IsMapped(idB, 0) {
+		t.Error("Touch did not promote idA over idB")
 	}
 	if got := m.MappedTargets(0); got != 2 {
 		t.Errorf("MappedTargets = %d, want 2", got)

@@ -1,0 +1,132 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"phttp/internal/core"
+)
+
+func TestIDLRUBasicInsertLookup(t *testing.T) {
+	c := NewIDLRU(100)
+	if c.Lookup(idA) {
+		t.Error("empty cache reported a hit")
+	}
+	c.Insert(idA, 40)
+	if !c.Lookup(idA) {
+		t.Error("inserted target missed")
+	}
+	if c.Bytes() != 40 || c.Len() != 1 {
+		t.Errorf("Bytes=%d Len=%d, want 40/1", c.Bytes(), c.Len())
+	}
+	if c.Hits() != 1 || c.Misses() != 1 {
+		t.Errorf("hits=%d misses=%d, want 1/1", c.Hits(), c.Misses())
+	}
+	c.ResetStats()
+	if c.Hits() != 0 || c.Misses() != 0 {
+		t.Error("ResetStats did not zero counters")
+	}
+}
+
+func TestIDLRUEvictsLeastRecentlyUsed(t *testing.T) {
+	c := NewIDLRU(100)
+	c.Insert(idA, 40)
+	c.Insert(idB, 40)
+	c.Lookup(idA) // promote idA; idB is now LRU
+	c.Insert(idC, 40)
+	if !c.Contains(idA) || !c.Contains(idC) || c.Contains(idB) {
+		t.Error("wrong survivors after eviction")
+	}
+}
+
+func TestIDLRUOversizeTargetNotCached(t *testing.T) {
+	c := NewIDLRU(100)
+	c.Insert(idA, 40)
+	c.Insert(idB, 200)
+	if c.Contains(idB) {
+		t.Error("oversize target cached")
+	}
+	if !c.Contains(idA) {
+		t.Error("oversize insert disturbed existing entries")
+	}
+}
+
+func TestIDLRUPanicsOnNoTarget(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Lookup(NoTarget) did not panic")
+		}
+	}()
+	NewIDLRU(100).Lookup(core.NoTarget)
+}
+
+// Property: IDLRU behaves exactly like the string-keyed LRU for any
+// lookup/insert/remove mix — same membership, bytes, count, hit/miss
+// counters, and most-to-least-recent order. The simulator swaps one for the
+// other on this equivalence.
+func TestIDLRUMatchesLRU(t *testing.T) {
+	const capacity = 1000
+	f := func(ops []uint16) bool {
+		idc := NewIDLRU(capacity)
+		ref := NewLRU(capacity)
+		for _, op := range ops {
+			id := core.TargetID(op%50) + 1
+			size := int64(op%300) + 1
+			switch op % 3 {
+			case 0:
+				idc.Insert(id, size)
+				ref.Insert(refTarget(id), size)
+			case 1:
+				if idc.Lookup(id) != ref.Lookup(refTarget(id)) {
+					return false
+				}
+			case 2:
+				if idc.Remove(id) != ref.Remove(refTarget(id)) {
+					return false
+				}
+			}
+			if idc.Bytes() != ref.Bytes() || idc.Len() != ref.Len() {
+				return false
+			}
+			if idc.Hits() != ref.Hits() || idc.Misses() != ref.Misses() {
+				return false
+			}
+		}
+		refTargets := ref.Targets()
+		ids := idc.IDs()
+		if len(refTargets) != len(ids) {
+			return false
+		}
+		for i := range refTargets {
+			if refTargets[i] != refTarget(ids[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Steady state on a full cache must allocate nothing: the slab, free list
+// and pos index absorb the insert/evict churn.
+func TestIDLRUSteadyStateZeroAllocs(t *testing.T) {
+	c := NewIDLRU(100)
+	for id := core.TargetID(1); id <= 50; id++ {
+		c.Insert(id, 10) // warm: grows slab and pos, fills to eviction
+	}
+	next := core.TargetID(1)
+	avg := testing.AllocsPerRun(2000, func() {
+		if !c.Lookup(next) {
+			c.Insert(next, 10)
+		}
+		next++
+		if next > 50 {
+			next = 1
+		}
+	})
+	if avg != 0 {
+		t.Errorf("steady-state lookup/insert allocates %.2f allocs/op, want 0", avg)
+	}
+}

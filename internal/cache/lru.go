@@ -23,6 +23,9 @@ type LRU struct {
 	entries  map[core.Target]*lruEntry
 	// head is most recent, tail least recent; sentinel-free list.
 	head, tail *lruEntry
+	// free chains evicted nodes for reuse: a warm cache at steady state
+	// (every insert evicts) allocates no entry nodes at all.
+	free *lruEntry
 
 	hits, misses int64
 }
@@ -130,7 +133,8 @@ func (c *LRU) Insert(t core.Target, size int64) []core.Target {
 	if size > c.capacity {
 		return nil
 	}
-	e := &lruEntry{target: t, size: size}
+	e := c.getEntry()
+	e.target, e.size = t, size
 	c.entries[t] = e
 	c.pushFront(e)
 	c.bytes += size
@@ -149,8 +153,26 @@ func (c *LRU) evictOver() []core.Target {
 		delete(c.entries, victim.target)
 		c.bytes -= victim.size
 		evicted = append(evicted, victim.target)
+		c.putEntry(victim)
 	}
 	return evicted
+}
+
+// getEntry takes a node from the free list or allocates one.
+func (c *LRU) getEntry() *lruEntry {
+	if e := c.free; e != nil {
+		c.free = e.next
+		e.next = nil
+		return e
+	}
+	return &lruEntry{}
+}
+
+// putEntry returns an unlinked node to the free list, clearing the target
+// string so the cache never pins evicted keys.
+func (c *LRU) putEntry(e *lruEntry) {
+	*e = lruEntry{next: c.free}
+	c.free = e
 }
 
 // Remove evicts target if present, reporting whether it was cached.
@@ -162,11 +184,18 @@ func (c *LRU) Remove(t core.Target) bool {
 	c.unlink(e)
 	delete(c.entries, t)
 	c.bytes -= e.size
+	c.putEntry(e)
 	return true
 }
 
-// Clear empties the cache, keeping the capacity and counters.
+// Clear empties the cache, keeping the capacity and counters. Entry nodes
+// move to the free list for reuse.
 func (c *LRU) Clear() {
+	for e := c.head; e != nil; {
+		next := e.next
+		c.putEntry(e)
+		e = next
+	}
 	c.entries = make(map[core.Target]*lruEntry)
 	c.head, c.tail = nil, nil
 	c.bytes = 0

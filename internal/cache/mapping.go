@@ -12,11 +12,15 @@ import "phttp/internal/core"
 // be mapped to several nodes at once (replication, which extended LARD's
 // caching heuristic deliberately permits).
 //
-// Each per-node model is a ShardedLRU striped by target hash, so the mapping
-// is safe for parallel dispatchers without a global lock: concurrent lookups
-// and updates of different targets touch different stripes, while eviction
-// stays exact global LRU per node (identical to the single-lock model the
-// simulator's determinism depends on).
+// Targets are identified by interned TargetID throughout — the policies sit
+// on the per-event path of both the simulator and the prototype front-end,
+// and an ID comparison is the difference between an array probe and a
+// string hash per mapping touch. Each per-node model is a ShardedLRU
+// striped by ID hash, so the mapping is safe for parallel dispatchers
+// without a global lock: concurrent lookups and updates of different
+// targets touch different stripes, while eviction stays exact global LRU
+// per node (identical to the single-lock model the simulator's determinism
+// depends on).
 type Mapping struct {
 	perNode []*ShardedLRU
 }
@@ -36,36 +40,44 @@ func (m *Mapping) Nodes() int { return len(m.perNode) }
 
 // IsMapped reports whether target is believed cached at node n, without
 // promoting it.
-func (m *Mapping) IsMapped(t core.Target, n core.NodeID) bool {
-	return m.perNode[n].Contains(t)
+func (m *Mapping) IsMapped(id core.TargetID, n core.NodeID) bool {
+	return m.perNode[n].Contains(id)
 }
 
 // Map records that node n fetched (and now caches) target of the given
 // size, promoting it and aging out colder mappings under n's budget.
-func (m *Mapping) Map(t core.Target, size int64, n core.NodeID) {
-	m.perNode[n].Insert(t, size)
+func (m *Mapping) Map(id core.TargetID, size int64, n core.NodeID) {
+	m.perNode[n].Insert(id, size)
 }
 
 // Touch promotes target in n's model if mapped (the front-end saw another
 // request for it served there).
-func (m *Mapping) Touch(t core.Target, n core.NodeID) {
-	m.perNode[n].Touch(t)
+func (m *Mapping) Touch(id core.TargetID, n core.NodeID) {
+	m.perNode[n].Touch(id)
 }
 
 // Unmap removes the belief that node n caches target.
-func (m *Mapping) Unmap(t core.Target, n core.NodeID) {
-	m.perNode[n].Remove(t)
+func (m *Mapping) Unmap(id core.TargetID, n core.NodeID) {
+	m.perNode[n].Remove(id)
 }
 
-// NodesFor returns every node believed to cache target, in node order.
-func (m *Mapping) NodesFor(t core.Target) []core.NodeID {
-	var out []core.NodeID
+// NodesFor returns every node believed to cache target, in node order. It
+// allocates; the per-event paths use AppendNodesFor.
+func (m *Mapping) NodesFor(id core.TargetID) []core.NodeID {
+	return m.AppendNodesFor(nil, id)
+}
+
+// AppendNodesFor appends every node believed to cache target to buf (in
+// node order) and returns it. Policies pass a per-connection or
+// lock-guarded scratch buffer, truncated by the caller, so the per-request
+// path allocates nothing.
+func (m *Mapping) AppendNodesFor(buf []core.NodeID, id core.TargetID) []core.NodeID {
 	for i, lru := range m.perNode {
-		if lru.Contains(t) {
-			out = append(out, core.NodeID(i))
+		if lru.Contains(id) {
+			buf = append(buf, core.NodeID(i))
 		}
 	}
-	return out
+	return buf
 }
 
 // MappedBytes returns the bytes of content believed cached at node n.

@@ -8,10 +8,12 @@ import (
 )
 
 // ShardedLRU is a concurrency-safe LRU of targets under a byte budget,
-// striped by target hash so parallel dispatchers rarely contend: each target
-// lives in exactly one shard, guarded by that shard's lock, and the common
-// operations (Contains, Insert of a resident target, Touch, Remove) take
-// only that one lock.
+// striped by interned TargetID so parallel dispatchers rarely contend: each
+// target lives in exactly one shard, guarded by that shard's lock, and the
+// common operations (Contains, Insert of a resident target, Touch, Remove)
+// take only that one lock. Keys are dense interned IDs, so the per-event
+// path never hashes a target string — the shard index is one integer
+// multiply and the in-shard lookup an int-keyed map probe.
 //
 // Unlike a per-shard-budget design, eviction is *globally* least recently
 // used: every promotion stamps the entry from one shared atomic clock, each
@@ -20,6 +22,10 @@ import (
 // entry with the globally smallest stamp. Single-threaded callers therefore
 // observe exactly the semantics of LRU, which keeps the simulator
 // deterministic and bit-identical to the unsharded model.
+//
+// Evicted entries go on a per-shard free list and are reused by later
+// inserts, so a warm cache at its steady state (every new insert evicts)
+// allocates nothing per operation.
 type ShardedLRU struct {
 	capacity int64
 	bytes    atomic.Int64
@@ -31,14 +37,15 @@ type ShardedLRU struct {
 
 type lruShard struct {
 	mu      sync.Mutex
-	entries map[core.Target]*shardEntry
+	entries map[core.TargetID]*shardEntry
 	// head is the most recently stamped entry, tail the least; stamps are
 	// monotonic, so the list is always sorted by stamp.
 	head, tail *shardEntry
+	free       *shardEntry
 }
 
 type shardEntry struct {
-	target     core.Target
+	id         core.TargetID
 	size       int64
 	stamp      uint64
 	prev, next *shardEntry
@@ -66,24 +73,23 @@ func NewShardedLRU(capacity int64, shards int) *ShardedLRU {
 	}
 	c := &ShardedLRU{capacity: capacity, shards: make([]lruShard, n), mask: uint32(n - 1)}
 	for i := range c.shards {
-		c.shards[i].entries = make(map[core.Target]*shardEntry)
+		c.shards[i].entries = make(map[core.TargetID]*shardEntry)
 	}
 	return c
 }
 
-// fnv1a is the 32-bit FNV-1a hash; deterministic across processes (unlike
-// maphash) so sharding never perturbs simulation reproducibility.
-func fnv1a(s core.Target) uint32 {
-	h := uint32(2166136261)
-	for i := 0; i < len(s); i++ {
-		h ^= uint32(s[i])
-		h *= 16777619
-	}
-	return h
+// idHash mixes a dense TargetID into the shard space (Fibonacci hashing);
+// deterministic across processes so sharding never perturbs simulation
+// reproducibility.
+func idHash(id core.TargetID) uint32 {
+	return uint32(id) * 2654435761
 }
 
-func (c *ShardedLRU) shardFor(t core.Target) *lruShard {
-	return &c.shards[fnv1a(t)&c.mask]
+func (c *ShardedLRU) shardFor(id core.TargetID) *lruShard {
+	if id == core.NoTarget {
+		panic("cache: ShardedLRU operation on NoTarget; intern the request first")
+	}
+	return &c.shards[idHash(id)&c.mask]
 }
 
 // Capacity returns the byte budget.
@@ -121,20 +127,38 @@ func (s *lruShard) pushFront(e *shardEntry) {
 	}
 }
 
+// getEntry takes an entry from the shard's free list or allocates one.
+// Callers hold the shard lock.
+func (s *lruShard) getEntry() *shardEntry {
+	if e := s.free; e != nil {
+		s.free = e.next
+		e.next = nil
+		return e
+	}
+	return &shardEntry{}
+}
+
+// putEntry returns an evicted entry to the free list. Callers hold the
+// shard lock.
+func (s *lruShard) putEntry(e *shardEntry) {
+	*e = shardEntry{next: s.free}
+	s.free = e
+}
+
 // Contains reports whether target is cached, without promoting it.
-func (c *ShardedLRU) Contains(t core.Target) bool {
-	s := c.shardFor(t)
+func (c *ShardedLRU) Contains(id core.TargetID) bool {
+	s := c.shardFor(id)
 	s.mu.Lock()
-	_, ok := s.entries[t]
+	_, ok := s.entries[id]
 	s.mu.Unlock()
 	return ok
 }
 
 // Touch promotes target to most recently used if cached.
-func (c *ShardedLRU) Touch(t core.Target) {
-	s := c.shardFor(t)
+func (c *ShardedLRU) Touch(id core.TargetID) {
+	s := c.shardFor(id)
 	s.mu.Lock()
-	if e, ok := s.entries[t]; ok {
+	if e, ok := s.entries[id]; ok {
 		e.stamp = c.clock.Add(1)
 		if s.head != e {
 			s.unlink(e)
@@ -148,13 +172,13 @@ func (c *ShardedLRU) Touch(t core.Target) {
 // least-recently-used entries as needed. If the target is already present it
 // is promoted and resized. Targets larger than the capacity are not cached
 // and nothing is evicted for them.
-func (c *ShardedLRU) Insert(t core.Target, size int64) {
+func (c *ShardedLRU) Insert(id core.TargetID, size int64) {
 	if size < 0 {
 		panic("cache: negative size")
 	}
-	s := c.shardFor(t)
+	s := c.shardFor(id)
 	s.mu.Lock()
-	if e, ok := s.entries[t]; ok {
+	if e, ok := s.entries[id]; ok {
 		c.bytes.Add(size - e.size)
 		e.size = size
 		e.stamp = c.clock.Add(1)
@@ -170,8 +194,9 @@ func (c *ShardedLRU) Insert(t core.Target, size int64) {
 		s.mu.Unlock()
 		return
 	}
-	e := &shardEntry{target: t, size: size, stamp: c.clock.Add(1)}
-	s.entries[t] = e
+	e := s.getEntry()
+	e.id, e.size, e.stamp = id, size, c.clock.Add(1)
+	s.entries[id] = e
 	s.pushFront(e)
 	c.bytes.Add(size)
 	c.count.Add(1)
@@ -209,34 +234,36 @@ func (c *ShardedLRU) evictOver() {
 		if victim != nil && victim.stamp == minStamp &&
 			c.bytes.Load() > c.capacity && c.count.Load() > 1 {
 			vs.unlink(victim)
-			delete(vs.entries, victim.target)
+			delete(vs.entries, victim.id)
 			c.bytes.Add(-victim.size)
 			c.count.Add(-1)
+			vs.putEntry(victim)
 		}
 		vs.mu.Unlock()
 	}
 }
 
 // Remove evicts target if present, reporting whether it was cached.
-func (c *ShardedLRU) Remove(t core.Target) bool {
-	s := c.shardFor(t)
+func (c *ShardedLRU) Remove(id core.TargetID) bool {
+	s := c.shardFor(id)
 	s.mu.Lock()
-	e, ok := s.entries[t]
+	e, ok := s.entries[id]
 	if !ok {
 		s.mu.Unlock()
 		return false
 	}
 	s.unlink(e)
-	delete(s.entries, t)
+	delete(s.entries, id)
 	c.bytes.Add(-e.size)
 	c.count.Add(-1)
+	s.putEntry(e)
 	s.mu.Unlock()
 	return true
 }
 
-// Targets returns the cached targets from most to least recently used.
+// IDs returns the cached target IDs from most to least recently used.
 // Intended for tests and diagnostics; it locks every shard.
-func (c *ShardedLRU) Targets() []core.Target {
+func (c *ShardedLRU) IDs() []core.TargetID {
 	for i := range c.shards {
 		c.shards[i].mu.Lock()
 	}
@@ -249,7 +276,7 @@ func (c *ShardedLRU) Targets() []core.Target {
 	for i := range c.shards {
 		cursors[i] = c.shards[i].head
 	}
-	var out []core.Target
+	var out []core.TargetID
 	for {
 		best := -1
 		for i, e := range cursors {
@@ -260,7 +287,7 @@ func (c *ShardedLRU) Targets() []core.Target {
 		if best < 0 {
 			return out
 		}
-		out = append(out, cursors[best].target)
+		out = append(out, cursors[best].id)
 		cursors[best] = cursors[best].next
 	}
 }

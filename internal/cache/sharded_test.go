@@ -10,23 +10,30 @@ import (
 	"phttp/internal/core"
 )
 
+// Shorthand IDs for readability: interned IDs are 1-based.
+const (
+	idA core.TargetID = 1
+	idB core.TargetID = 2
+	idC core.TargetID = 3
+)
+
 func TestShardedLRUBasics(t *testing.T) {
 	c := NewShardedLRU(100, 4)
-	if c.Contains("/a") {
-		t.Error("empty cache contains /a")
+	if c.Contains(idA) {
+		t.Error("empty cache contains idA")
 	}
-	c.Insert("/a", 40)
-	if !c.Contains("/a") {
+	c.Insert(idA, 40)
+	if !c.Contains(idA) {
 		t.Error("inserted target missing")
 	}
 	if c.Bytes() != 40 || c.Len() != 1 {
 		t.Errorf("Bytes=%d Len=%d, want 40/1", c.Bytes(), c.Len())
 	}
-	c.Insert("/a", 60) // resize in place
+	c.Insert(idA, 60) // resize in place
 	if c.Bytes() != 60 || c.Len() != 1 {
 		t.Errorf("Bytes=%d Len=%d after resize, want 60/1", c.Bytes(), c.Len())
 	}
-	if !c.Remove("/a") || c.Remove("/a") {
+	if !c.Remove(idA) || c.Remove(idA) {
 		t.Error("Remove semantics wrong")
 	}
 	if c.Bytes() != 0 || c.Len() != 0 {
@@ -36,51 +43,66 @@ func TestShardedLRUBasics(t *testing.T) {
 
 func TestShardedLRUEvictsGlobalLRU(t *testing.T) {
 	c := NewShardedLRU(100, 4)
-	c.Insert("/a", 40)
-	c.Insert("/b", 40)
-	c.Touch("/a") // /b is now globally least recent
-	c.Insert("/c", 40)
-	if c.Contains("/b") {
-		t.Error("/b survived, eviction is not globally LRU")
+	c.Insert(idA, 40)
+	c.Insert(idB, 40)
+	c.Touch(idA) // idB is now globally least recent
+	c.Insert(idC, 40)
+	if c.Contains(idB) {
+		t.Error("idB survived, eviction is not globally LRU")
 	}
-	if !c.Contains("/a") || !c.Contains("/c") {
+	if !c.Contains(idA) || !c.Contains(idC) {
 		t.Error("wrong survivors after eviction")
 	}
 }
 
 func TestShardedLRUOversizeNotCached(t *testing.T) {
 	c := NewShardedLRU(100, 4)
-	c.Insert("/a", 40)
-	c.Insert("/huge", 200)
-	if c.Contains("/huge") {
+	c.Insert(idA, 40)
+	c.Insert(idB, 200)
+	if c.Contains(idB) {
 		t.Error("oversize target cached")
 	}
-	if !c.Contains("/a") {
+	if !c.Contains(idA) {
 		t.Error("oversize insert disturbed existing entries")
 	}
 }
 
-func TestShardedLRUTargetsOrder(t *testing.T) {
+func TestShardedLRUIDsOrder(t *testing.T) {
 	c := NewShardedLRU(1000, 4)
-	c.Insert("/a", 1)
-	c.Insert("/b", 1)
-	c.Insert("/c", 1)
-	c.Touch("/a")
-	got := c.Targets()
-	want := []core.Target{"/a", "/c", "/b"}
+	c.Insert(idA, 1)
+	c.Insert(idB, 1)
+	c.Insert(idC, 1)
+	c.Touch(idA)
+	got := c.IDs()
+	want := []core.TargetID{idA, idC, idB}
 	if len(got) != len(want) {
-		t.Fatalf("Targets() = %v, want %v", got, want)
+		t.Fatalf("IDs() = %v, want %v", got, want)
 	}
 	for i := range want {
 		if got[i] != want[i] {
-			t.Errorf("Targets()[%d] = %v, want %v", i, got[i], want[i])
+			t.Errorf("IDs()[%d] = %v, want %v", i, got[i], want[i])
 		}
 	}
 }
 
-// Property: single-threaded, a ShardedLRU behaves exactly like the plain LRU
-// for any insert/touch/remove mix — same membership, bytes and count. This
-// is the equivalence the simulator's determinism rests on.
+func TestShardedLRUPanicsOnNoTarget(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Insert(NoTarget) did not panic")
+		}
+	}()
+	NewShardedLRU(100, 4).Insert(core.NoTarget, 1)
+}
+
+// refTarget maps a test ID to the string key used by the reference LRU.
+func refTarget(id core.TargetID) core.Target {
+	return core.Target(fmt.Sprintf("/t%d", id))
+}
+
+// Property: single-threaded, a ShardedLRU behaves exactly like the plain
+// string-keyed LRU for any insert/touch/remove mix — same membership, bytes
+// and count, and the same most-to-least-recent order. This is the
+// equivalence the simulator's determinism rests on.
 func TestShardedLRUMatchesLRU(t *testing.T) {
 	const capacity = 1000
 	f := func(ops []uint16, shardBits uint8) bool {
@@ -88,32 +110,32 @@ func TestShardedLRUMatchesLRU(t *testing.T) {
 		sc := NewShardedLRU(capacity, shards)
 		ref := NewLRU(capacity)
 		for _, op := range ops {
-			target := core.Target(fmt.Sprintf("/t%d", op%50))
+			id := core.TargetID(op%50) + 1
 			size := int64(op%300) + 1
 			switch op % 3 {
 			case 0:
-				sc.Insert(target, size)
-				ref.Insert(target, size)
+				sc.Insert(id, size)
+				ref.Insert(refTarget(id), size)
 			case 1:
-				sc.Touch(target)
-				if ref.Contains(target) {
-					ref.Lookup(target)
+				sc.Touch(id)
+				if ref.Contains(refTarget(id)) {
+					ref.Lookup(refTarget(id))
 				}
 			case 2:
-				sc.Remove(target)
-				ref.Remove(target)
+				sc.Remove(id)
+				ref.Remove(refTarget(id))
 			}
 			if sc.Bytes() != ref.Bytes() || sc.Len() != ref.Len() {
 				return false
 			}
 		}
 		refTargets := ref.Targets()
-		scTargets := sc.Targets()
-		if len(refTargets) != len(scTargets) {
+		scIDs := sc.IDs()
+		if len(refTargets) != len(scIDs) {
 			return false
 		}
 		for i := range refTargets {
-			if refTargets[i] != scTargets[i] {
+			if refTargets[i] != refTarget(scIDs[i]) {
 				return false
 			}
 		}
@@ -141,17 +163,17 @@ func TestShardedLRUConcurrentInvariants(t *testing.T) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(seed))
 			for i := 0; i < opsPer; i++ {
-				target := core.Target(fmt.Sprintf("/t%d", rng.Intn(2000)))
+				id := core.TargetID(rng.Intn(2000)) + 1
 				switch rng.Intn(4) {
 				case 0, 1:
-					c.Insert(target, int64(rng.Intn(4096))+1)
+					c.Insert(id, int64(rng.Intn(4096))+1)
 				case 2:
-					c.Touch(target)
+					c.Touch(id)
 				case 3:
 					if rng.Intn(8) == 0 {
-						c.Remove(target)
+						c.Remove(id)
 					} else {
-						c.Contains(target)
+						c.Contains(id)
 					}
 				}
 			}
@@ -166,11 +188,11 @@ func TestShardedLRUConcurrentInvariants(t *testing.T) {
 	var n int
 	for i := range c.shards {
 		s := &c.shards[i]
-		for tgt, e := range s.entries {
+		for id, e := range s.entries {
 			sum += e.size
 			n++
-			if e.target != tgt {
-				t.Errorf("entry key %q holds target %q", tgt, e.target)
+			if e.id != id {
+				t.Errorf("entry key %d holds id %d", id, e.id)
 			}
 		}
 		// The shard list must contain exactly the map entries, in

@@ -138,8 +138,53 @@ func TestChargeBatchAndClear(t *testing.T) {
 	if lt.Load(1) != 0 || lt.Load(2) != 0 {
 		t.Errorf("after ClearBatch: loads %v, %v, want 0, 0", lt.Load(1), lt.Load(2))
 	}
-	if c.RemoteLoad != nil {
+	if len(c.RemoteLoad) != 0 {
 		t.Error("RemoteLoad not cleared")
+	}
+}
+
+func TestInternerAssignsDenseIDs(t *testing.T) {
+	in := NewInterner()
+	a := in.Intern("/a")
+	b := in.Intern("/b")
+	if a != 1 || b != 2 {
+		t.Errorf("first IDs = %d, %d, want 1, 2", a, b)
+	}
+	if got := in.Intern("/a"); got != a {
+		t.Errorf("re-intern changed ID: %d != %d", got, a)
+	}
+	if in.Len() != 2 {
+		t.Errorf("Len() = %d, want 2", in.Len())
+	}
+	if in.Name(a) != "/a" || in.Name(b) != "/b" {
+		t.Errorf("Name round trip failed: %q, %q", in.Name(a), in.Name(b))
+	}
+	if id, ok := in.Lookup("/b"); !ok || id != b {
+		t.Errorf("Lookup(/b) = %d, %v", id, ok)
+	}
+	if _, ok := in.Lookup("/missing"); ok {
+		t.Error("Lookup invented an ID")
+	}
+}
+
+func TestInternerNamePanicsOnNoTarget(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Name(NoTarget) did not panic")
+		}
+	}()
+	NewInterner().Name(NoTarget)
+}
+
+func TestEnsureIDPrefersExisting(t *testing.T) {
+	in := NewInterner()
+	preset := Request{Target: "/x", ID: 7, Size: 1}
+	if got := in.EnsureID(preset); got != 7 {
+		t.Errorf("EnsureID ignored preset ID: %d", got)
+	}
+	raw := Request{Target: "/x", Size: 1}
+	if got := in.EnsureID(raw); got != 1 {
+		t.Errorf("EnsureID(raw) = %d, want 1", got)
 	}
 }
 

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+)
+
+// TargetID is a dense integer name for a Target. The interner assigns IDs
+// starting at 1; NoTarget (0) marks a request whose target has not been
+// interned yet. Dense IDs let the per-event paths of the simulator and the
+// policies index slices instead of hashing target strings: a cache lookup is
+// an array load, a mapping update touches no map.
+type TargetID int32
+
+// NoTarget is the zero value of TargetID: "not interned". Constructors that
+// build Requests from raw strings (trace parsing, the prototype protocol)
+// leave the ID at NoTarget; the dispatch engine or the trace loader interns
+// before any policy or cache sees the request.
+const NoTarget TargetID = 0
+
+// Interner maps Target strings to dense TargetIDs and back. IDs are assigned
+// sequentially from 1 in first-intern order, so a trace interned
+// single-threaded always yields the same IDs for the same trace — simulation
+// results stay reproducible.
+//
+// Interner is safe for concurrent use: the prototype front-end interns
+// request targets from parallel connection handlers. Lookups of
+// already-interned targets take only a read lock.
+//
+// IDs are never recycled: memory grows with the number of distinct targets
+// ever interned. That is exactly right for trace-driven simulation (the
+// population is the trace's catalog) and bounded for the prototype's
+// benchmark runs, but a front-end serving an unbounded URL space for weeks
+// would pin every URL it has ever seen — see the ROADMAP open item on
+// moving the prototype to an evictable interner before long-haul
+// deployments.
+type Interner struct {
+	mu    sync.RWMutex
+	ids   map[Target]TargetID
+	names []Target // names[id-1] is the target of id
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner {
+	return &Interner{ids: make(map[Target]TargetID)}
+}
+
+// Intern returns the ID for t, assigning the next dense ID if t is new.
+func (in *Interner) Intern(t Target) TargetID {
+	in.mu.RLock()
+	id, ok := in.ids[t]
+	in.mu.RUnlock()
+	if ok {
+		return id
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if id, ok := in.ids[t]; ok {
+		return id
+	}
+	in.names = append(in.names, t)
+	id = TargetID(len(in.names))
+	in.ids[t] = id
+	return id
+}
+
+// Lookup returns the ID for t without interning, and whether it was present.
+func (in *Interner) Lookup(t Target) (TargetID, bool) {
+	in.mu.RLock()
+	id, ok := in.ids[t]
+	in.mu.RUnlock()
+	return id, ok
+}
+
+// Name returns the target string of id. It panics on NoTarget or an ID this
+// interner never assigned: both are driver bugs, not data.
+func (in *Interner) Name(id TargetID) Target {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	if id <= 0 || int(id) > len(in.names) {
+		panic(fmt.Sprintf("core: Name of unassigned TargetID %d", id))
+	}
+	return in.names[id-1]
+}
+
+// Len returns the number of interned targets. Valid IDs are 1..Len().
+func (in *Interner) Len() int {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	return len(in.names)
+}
+
+// EnsureID returns r.ID if set, interning r.Target otherwise. It does not
+// mutate r.
+func (in *Interner) EnsureID(r Request) TargetID {
+	if r.ID != NoTarget {
+		return r.ID
+	}
+	return in.Intern(r.Target)
+}

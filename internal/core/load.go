@@ -101,12 +101,13 @@ func (lt *LoadTracker) Total() float64 {
 // ClearBatch releases the fractional remote loads recorded on c. Called when
 // a new batch arrives on the connection (all previous requests are assumed
 // finished, per the paper's estimate) or when the connection goes idle or
-// closes.
+// closes. The charge slice is truncated, not freed, so the next batch's
+// accounting reuses it.
 func (lt *LoadTracker) ClearBatch(c *ConnState) {
-	for n, f := range c.RemoteLoad {
-		lt.RemoveFraction(n, f)
+	for _, rc := range c.RemoteLoad {
+		lt.RemoveFraction(rc.Node, rc.Frac)
 	}
-	c.RemoteLoad = nil
+	c.RemoteLoad = c.RemoteLoad[:0]
 }
 
 // ChargeBatch charges each remote node in nodes 1/batchSize of a load unit
@@ -123,10 +124,17 @@ func (lt *LoadTracker) ChargeBatch(c *ConnState, handling NodeID, nodes []NodeID
 		if n == handling || n == NoNode {
 			continue
 		}
-		if c.RemoteLoad == nil {
-			c.RemoteLoad = make(map[NodeID]float64)
-		}
 		lt.AddFraction(n, frac)
-		c.RemoteLoad[n] += frac
+		found := false
+		for i := range c.RemoteLoad {
+			if c.RemoteLoad[i].Node == n {
+				c.RemoteLoad[i].Frac += frac
+				found = true
+				break
+			}
+		}
+		if !found {
+			c.RemoteLoad = append(c.RemoteLoad, RemoteCharge{Node: n, Frac: frac})
+		}
 	}
 }

@@ -21,6 +21,17 @@ package core
 // Policies also consume back-end feedback (disk queue lengths, conveyed by
 // the prototype's control sessions) and maintain the target→node mapping
 // table that records which back-end caches are believed to hold each target.
+//
+// Two hot-path contracts, both enforced by the dispatch engine:
+//
+//   - Requests reaching a policy carry interned targets (Request.ID !=
+//     NoTarget). Drivers intern at the edge — the trace loader for the
+//     simulator, the dispatch engine for the prototype — so policies never
+//     hash target strings.
+//   - AssignBatch may return a slice backed by the connection's reusable
+//     buffer (ConnState.AssignBuf); it is valid only until the next
+//     AssignBatch call on the same connection, and callers consume it
+//     immediately.
 type Policy interface {
 	// Name returns the policy's short name as used in figure legends,
 	// e.g. "LARD", "extLARD", "WRR".

@@ -58,8 +58,15 @@ type Target string
 // Request is one HTTP request: a target plus the size of the response body
 // it produces. Traces carry the response size (as Web server logs do), so
 // both the simulator and the prototype doc store can reproduce the transfer.
+//
+// ID is the interned form of Target (see Interner). The trace loader for the
+// simulator and the dispatch engine for the prototype fill it in before any
+// policy or cache model sees the request; NoTarget means "not interned yet".
+// Everything on the per-event path keys off ID, so the hot loops never hash
+// the target string.
 type Request struct {
 	Target Target
+	ID     TargetID
 	Size   int64 // response body bytes
 }
 
@@ -157,6 +164,13 @@ func (m Mechanism) PerRequest() bool { return m != SingleHandoff }
 // ConnID identifies a live client connection at the front-end.
 type ConnID int64
 
+// RemoteCharge is one node's fractional load charged for the in-flight
+// batch (the paper's 1/N accounting).
+type RemoteCharge struct {
+	Node NodeID
+	Frac float64
+}
+
 // ConnState is the front-end dispatcher's view of one live client
 // connection. Policies mutate the embedded bookkeeping; drivers (simulator,
 // prototype front-end) own the lifecycle.
@@ -167,14 +181,35 @@ type ConnState struct {
 	Batches  int    // batches assigned so far
 
 	// RemoteLoad records the fractional load currently charged to remote
-	// nodes for the in-flight batch (the paper's 1/N accounting). It is
-	// cleared when the next batch arrives or the connection goes idle.
-	RemoteLoad map[NodeID]float64
+	// nodes for the in-flight batch. It is cleared (truncated, keeping its
+	// backing array for the next batch) when the next batch arrives or the
+	// connection goes idle, so steady-state batch accounting allocates
+	// nothing.
+	RemoteLoad []RemoteCharge
+
+	// Assignments and Scratch are reusable buffers owned by the connection.
+	// Calls for one connection are serialized (the dispatch engine's
+	// contract), so policies use them to return per-batch assignments and
+	// to collect candidate nodes without allocating per batch. Callers of
+	// AssignBatch must consume the returned slice before the next call on
+	// the same connection.
+	Assignments []Assignment
+	Scratch     []NodeID
 }
 
 // NewConnState returns a fresh connection record.
 func NewConnState(id ConnID) *ConnState {
 	return &ConnState{ID: id, Handling: NoNode}
+}
+
+// AssignBuf returns a length-n assignment slice backed by the connection's
+// reusable buffer.
+func (c *ConnState) AssignBuf(n int) []Assignment {
+	if cap(c.Assignments) < n {
+		c.Assignments = make([]Assignment, n)
+	}
+	c.Assignments = c.Assignments[:n]
+	return c.Assignments
 }
 
 // Assignment is a policy decision for a single request.

@@ -18,9 +18,10 @@ import (
 // prototype front-end runs one goroutine per client connection, and the
 // simulator is single-threaded.
 type Engine struct {
-	spec Spec
-	name string // canonical registry name
-	pol  core.Policy
+	spec     Spec
+	name     string // canonical registry name
+	pol      core.Policy
+	interner *core.Interner
 
 	nextID atomic.Int64
 	live   atomic.Int64
@@ -33,6 +34,7 @@ type Engine struct {
 type Conn struct {
 	cs     *core.ConnState
 	closed atomic.Bool
+	reqBuf []core.Request // scratch for interning un-IDed batches
 }
 
 // ID returns the connection's engine-assigned identifier.
@@ -55,8 +57,16 @@ func NewEngine(spec Spec) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{spec: spec, name: name, pol: pol}, nil
+	in := spec.Interner
+	if in == nil {
+		in = core.NewInterner()
+	}
+	return &Engine{spec: spec, name: name, pol: pol, interner: in}, nil
 }
+
+// Interner exposes the engine's target interner (shared with the driver
+// when the Spec supplied one).
+func (e *Engine) Interner() *core.Interner { return e.interner }
 
 // Policy exposes the engine's policy (metrics, tests).
 func (e *Engine) Policy() core.Policy { return e.pol }
@@ -78,10 +88,12 @@ func (e *Engine) Requests() int64 { return e.reqs.Load() }
 func (e *Engine) Active() int64 { return e.live.Load() }
 
 // ConnOpen admits a new client connection: it allocates the connection
-// state, asks the policy for the handling node based on the first request,
-// and begins tracking the connection.
+// state, interns the first request's target if the caller has not, asks the
+// policy for the handling node based on that request, and begins tracking
+// the connection.
 func (e *Engine) ConnOpen(first core.Request) (*Conn, core.NodeID) {
 	c := &Conn{cs: core.NewConnState(core.ConnID(e.nextID.Add(1)))}
+	first.ID = e.interner.EnsureID(first)
 	handling := e.pol.ConnOpen(c.cs, first)
 	e.live.Add(1)
 	e.conns.Add(1)
@@ -90,11 +102,39 @@ func (e *Engine) ConnOpen(first core.Request) (*Conn, core.NodeID) {
 
 // AssignBatch assigns every request of a pipelined batch arriving on c and
 // performs the paper's 1/N load accounting. It returns one Assignment per
-// request, in order.
+// request, in order; the slice may be backed by the connection's reusable
+// buffer and is valid until the next AssignBatch on c.
+//
+// Batches from a pre-interned workload (every Request.ID set) pass through
+// untouched — in particular the simulator's shared trace is never written
+// to, so parallel sweep workers can replay one trace concurrently. A batch
+// with missing IDs is copied into the connection's scratch and interned
+// there.
 func (e *Engine) AssignBatch(c *Conn, batch core.Batch) []core.Assignment {
+	for i := range batch {
+		if batch[i].ID == core.NoTarget {
+			batch = e.internBatch(c, batch)
+			break
+		}
+	}
 	as := e.pol.AssignBatch(c.cs, batch)
 	e.reqs.Add(int64(len(batch)))
 	return as
+}
+
+// internBatch copies batch into c's scratch buffer with every target
+// interned. Calls for one connection are serialized (the engine's
+// concurrency contract), so the buffer is safe to reuse.
+func (e *Engine) internBatch(c *Conn, batch core.Batch) core.Batch {
+	if cap(c.reqBuf) < len(batch) {
+		c.reqBuf = make([]core.Request, len(batch))
+	}
+	c.reqBuf = c.reqBuf[:len(batch)]
+	for i, r := range batch {
+		r.ID = e.interner.EnsureID(r)
+		c.reqBuf[i] = r
+	}
+	return c.reqBuf
 }
 
 // BatchDone tells the policy the connection went idle after its current

@@ -36,6 +36,12 @@ type Spec struct {
 	// Mechanism is the distribution mechanism the policy drives; only
 	// extended LARD changes behavior with it.
 	Mechanism core.Mechanism
+	// Interner resolves target strings to the dense TargetIDs the policies
+	// and mapping tables are keyed by. Drivers that pre-intern their
+	// workload (the simulator's trace loader) pass theirs so IDs agree;
+	// when nil the engine creates a private one and interns lazily (the
+	// prototype front-end path).
+	Interner *core.Interner
 }
 
 // builders is the policy registry. Keys are the canonical lower-case names

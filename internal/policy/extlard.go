@@ -50,6 +50,7 @@ type ExtLARD struct {
 	mech    core.Mechanism
 	loads   *core.LoadTracker
 	mapping *cache.Mapping
+	all     []core.NodeID // precomputed 0..n-1, read-only
 	diskQ   []atomic.Int64
 
 	// stats
@@ -69,6 +70,7 @@ func NewExtLARD(n int, cacheBytes int64, params Params, mech core.Mechanism) *Ex
 		mech:    mech,
 		loads:   core.NewLoadTracker(n),
 		mapping: cache.NewMapping(n, cacheBytes),
+		all:     allNodes(n),
 		diskQ:   make([]atomic.Int64, n),
 	}
 }
@@ -96,23 +98,28 @@ func (e *ExtLARD) diskLow(n core.NodeID) bool {
 
 // ConnOpen chooses the handling node with the basic LARD strategy.
 func (e *ExtLARD) ConnOpen(c *core.ConnState, first core.Request) core.NodeID {
-	n := pick(e.params, e.loads, e.mapping, first.Target, allNodes(e.loads.Nodes()))
+	n := pick(e.params, e.loads, e.mapping, first.ID, e.all)
 	c.Handling = n
 	e.loads.AddConn(n)
-	e.mapping.Map(first.Target, first.Size, n)
+	e.mapping.Map(first.ID, first.Size, n)
 	return n
 }
 
 // AssignBatch implements core.Policy. The first request ever assigned on the
 // connection always lands on the handling node (it determined the handoff);
-// subsequent requests follow the mechanism-specific logic above.
+// subsequent requests follow the mechanism-specific logic above. The
+// returned slice is the connection's reusable buffer: valid until the next
+// AssignBatch on the same connection.
 func (e *ExtLARD) AssignBatch(c *core.ConnState, batch core.Batch) []core.Assignment {
 	if c.Handling == core.NoNode {
 		panic("policy: AssignBatch before ConnOpen")
 	}
 	e.loads.ClearBatch(c)
-	out := make([]core.Assignment, len(batch))
-	remote := make([]core.NodeID, 0, len(batch))
+	out := c.AssignBuf(len(batch))
+	// Remote serving nodes of this batch collect in the connection's
+	// scratch buffer (calls for one connection are serialized, so reuse is
+	// safe); the buffer is handed back below so its capacity persists.
+	remote := c.Scratch[:0]
 	for i, r := range batch {
 		var a core.Assignment
 		if c.Requests == 0 {
@@ -131,6 +138,7 @@ func (e *ExtLARD) AssignBatch(c *core.ConnState, batch core.Batch) []core.Assign
 	c.Batches++
 	// Charge each remote serving node 1/N of a unit for the batch.
 	e.loads.ChargeBatch(c, c.Handling, remote, len(batch))
+	c.Scratch = remote[:0]
 	return out
 }
 
@@ -143,19 +151,23 @@ func (e *ExtLARD) assignNext(c *core.ConnState, r core.Request) core.Assignment 
 		return core.Assignment{Node: h, CacheLocally: true}
 
 	case core.BEForwarding, core.MultipleHandoff:
-		mappedHere := e.mapping.IsMapped(r.Target, h)
+		mappedHere := e.mapping.IsMapped(r.ID, h)
 		if mappedHere || e.diskLow(h) {
 			// Serve locally: either the target is already cached here,
 			// or the local disk is idle enough that reading it (and
 			// thereby caching it — replication) beats the forwarding
 			// overhead.
 			e.localServes.Add(1)
-			e.mapping.Map(r.Target, r.Size, h)
+			e.mapping.Map(r.ID, r.Size, h)
 			return core.Assignment{Node: h, CacheLocally: true}
 		}
 		// Candidates: the handling node plus any node caching the target.
-		candidates := append([]core.NodeID{h}, e.mapping.NodesFor(r.Target)...)
-		win := pick(e.params, e.loads, e.mapping, r.Target, candidates)
+		// The stack buffer covers any realistic cluster; pick only reads
+		// the slice, so it stays off the heap.
+		var candBuf [33]core.NodeID
+		candidates := append(candBuf[:0], h)
+		candidates = e.mapping.AppendNodesFor(candidates, r.ID)
+		win := pick(e.params, e.loads, e.mapping, r.ID, candidates)
 		if win == h {
 			// No better holder: fetch from the local disk despite its
 			// high utilization. The unified buffer cache holds what the
@@ -163,7 +175,7 @@ func (e *ExtLARD) assignNext(c *core.ConnState, r core.Request) core.Assignment 
 			// mapping is updated on every fetch from a back-end, so the
 			// dispatcher records the target as cached here.
 			e.localServes.Add(1)
-			e.mapping.Map(r.Target, r.Size, h)
+			e.mapping.Map(r.ID, r.Size, h)
 			return core.Assignment{Node: h, CacheLocally: true}
 		}
 		if e.mech == core.MultipleHandoff {
@@ -171,20 +183,20 @@ func (e *ExtLARD) assignNext(c *core.ConnState, r core.Request) core.Assignment 
 			e.migrations.Add(1)
 			e.loads.MoveConn(h, win)
 			c.Handling = win
-			e.mapping.Touch(r.Target, win)
+			e.mapping.Touch(r.ID, win)
 			return core.Assignment{Node: win, Migrate: true, From: h, CacheLocally: true}
 		}
 		// Lateral fetch. NFS client caching is disabled in the paper's
 		// prototype, so forwarded content is never cached at the
 		// handling node.
 		e.remoteServes.Add(1)
-		e.mapping.Touch(r.Target, win)
+		e.mapping.Touch(r.ID, win)
 		return core.Assignment{Node: win, Forward: true, CacheLocally: false}
 
 	case core.ZeroCostHandoff, core.RelayFrontEnd:
 		// Per-request basic LARD over all nodes.
-		win := pick(e.params, e.loads, e.mapping, r.Target, allNodes(e.loads.Nodes()))
-		e.mapping.Map(r.Target, r.Size, win)
+		win := pick(e.params, e.loads, e.mapping, r.ID, e.all)
+		e.mapping.Map(r.ID, r.Size, win)
 		if win == h {
 			e.localServes.Add(1)
 			return core.Assignment{Node: h, CacheLocally: true}

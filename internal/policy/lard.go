@@ -15,10 +15,16 @@ import (
 // connection is served by the handling node chosen from the connection's
 // first request. Running it on an HTTP/1.0 workload gives the paper's
 // "simple-LARD" curves; on a P-HTTP workload it gives "simple-LARD-PHTTP".
+//
+// Policies identify targets by interned ID (core.TargetID): drivers intern
+// at the edge (the trace loader for the simulator, the dispatch engine for
+// the prototype), so the per-request path here never hashes a target
+// string. Requests reaching a policy must carry a non-zero ID.
 type LARD struct {
 	params  Params
 	loads   *core.LoadTracker
 	mapping *cache.Mapping
+	all     []core.NodeID // precomputed 0..n-1, read-only
 }
 
 var _ core.Policy = (*LARD)(nil)
@@ -30,6 +36,7 @@ func NewLARD(n int, cacheBytes int64, params Params) *LARD {
 		params:  params,
 		loads:   core.NewLoadTracker(n),
 		mapping: cache.NewMapping(n, cacheBytes),
+		all:     allNodes(n),
 	}
 }
 
@@ -43,11 +50,11 @@ func (l *LARD) Mapping() *cache.Mapping { return l.mapping }
 // candidates, breaking ties toward lower load and then lower ID. If every
 // candidate is overloaded (infinite cost), the least-loaded candidate is
 // returned: the connection has to go somewhere.
-func pick(p Params, loads *core.LoadTracker, mapping *cache.Mapping, t core.Target, candidates []core.NodeID) core.NodeID {
+func pick(p Params, loads *core.LoadTracker, mapping *cache.Mapping, id core.TargetID, candidates []core.NodeID) core.NodeID {
 	best := core.NoNode
 	bestCost := 0.0
 	for _, n := range candidates {
-		cost := p.Aggregate(loads.Load(n), mapping.IsMapped(t, n))
+		cost := p.Aggregate(loads.Load(n), mapping.IsMapped(id, n))
 		if best == core.NoNode || cost < bestCost ||
 			(cost == bestCost && loads.Load(n) < loads.Load(best)) {
 			best, bestCost = n, cost
@@ -77,17 +84,19 @@ func allNodes(n int) []core.NodeID {
 // ConnOpen chooses the handling node by minimum aggregate cost over all
 // nodes and records that the first target will be cached there.
 func (l *LARD) ConnOpen(c *core.ConnState, first core.Request) core.NodeID {
-	n := pick(l.params, l.loads, l.mapping, first.Target, allNodes(l.loads.Nodes()))
+	n := pick(l.params, l.loads, l.mapping, first.ID, l.all)
 	c.Handling = n
 	l.loads.AddConn(n)
-	l.mapping.Map(first.Target, first.Size, n)
+	l.mapping.Map(first.ID, first.Size, n)
 	return n
 }
 
 // AssignBatch sends every request to the handling node (connection
-// granularity; the single handoff mechanism permits nothing else).
+// granularity; the single handoff mechanism permits nothing else). The
+// returned slice is the connection's reusable buffer: valid until the next
+// AssignBatch on the same connection.
 func (l *LARD) AssignBatch(c *core.ConnState, batch core.Batch) []core.Assignment {
-	out := make([]core.Assignment, len(batch))
+	out := c.AssignBuf(len(batch))
 	for i := range batch {
 		out[i] = core.Assignment{Node: c.Handling, CacheLocally: true}
 		c.Requests++

@@ -30,6 +30,7 @@ type LARDR struct {
 	params  Params
 	loads   *core.LoadTracker
 	mapping *cache.Mapping
+	all     []core.NodeID
 
 	// GrowInterval and ShrinkInterval are assignment counts (see above).
 	GrowInterval   int
@@ -40,13 +41,15 @@ type LARDR struct {
 	// concurrent ConnOpens serialize here. The lock covers only connection
 	// establishment; the per-request path (AssignBatch) touches nothing
 	// shared beyond the atomic load tracker.
-	mu    sync.Mutex
-	state map[core.Target]*replState
-}
-
-// replState tracks a target's server-set dynamics.
-type replState struct {
-	assignments int // since last growth
+	mu sync.Mutex
+	// assigns[id] counts assignments of target id since its last growth.
+	// Indexed by dense interned TargetID, it replaces the old string-keyed
+	// state map: bounded by the interned population, no pruning needed,
+	// and the per-connection path allocates nothing once grown. A target
+	// whose mapping aged out entirely re-enters through the empty-set path
+	// below, which resets its counter — exactly the old semantics.
+	assigns []int32
+	setBuf  []core.NodeID // scratch for server sets, guarded by mu
 }
 
 var _ core.Policy = (*LARDR)(nil)
@@ -57,9 +60,12 @@ func NewLARDR(n int, cacheBytes int64, params Params) *LARDR {
 		params:         params,
 		loads:          core.NewLoadTracker(n),
 		mapping:        cache.NewMapping(n, cacheBytes),
+		all:            allNodes(n),
 		GrowInterval:   20,
 		ShrinkInterval: 200,
-		state:          make(map[core.Target]*replState),
+		// Server sets never exceed the node count, so a cap-n scratch
+		// buffer makes every AppendNodesFor below allocation-free.
+		setBuf: make([]core.NodeID, 0, n),
 	}
 }
 
@@ -78,35 +84,41 @@ func (l *LARDR) ConnOpen(c *core.ConnState, first core.Request) core.NodeID {
 	return n
 }
 
+// counter returns a pointer to id's assignment counter, growing the dense
+// index as new targets appear. Callers hold l.mu.
+func (l *LARDR) counter(id core.TargetID) *int32 {
+	if int(id) >= len(l.assigns) {
+		grown := make([]int32, int(id)+1+len(l.assigns)/2)
+		copy(grown, l.assigns)
+		l.assigns = grown
+	}
+	return &l.assigns[id]
+}
+
 func (l *LARDR) assign(r core.Request) core.NodeID {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	set := l.mapping.NodesFor(r.Target)
+	set := l.mapping.AppendNodesFor(l.setBuf[:0], r.ID)
 	if len(set) == 0 {
 		// Unmapped: send to the overall least-loaded node and map it.
-		n := l.leastOf(allNodes(l.loads.Nodes()))
-		l.mapping.Map(r.Target, r.Size, n)
-		l.state[r.Target] = &replState{}
+		n := l.leastOf(l.all)
+		l.mapping.Map(r.ID, r.Size, n)
+		*l.counter(r.ID) = 0
 		return n
 	}
-	st := l.state[r.Target]
-	if st == nil {
-		st = &replState{}
-		l.state[r.Target] = st
-	}
-	st.assignments++
-	l.pruneStale()
+	st := l.counter(r.ID)
+	*st++
 
 	n := l.leastOf(set)
 	switch {
 	case l.loads.Load(n) >= l.params.LOverload && len(set) < l.loads.Nodes() &&
-		st.assignments >= l.GrowInterval:
+		int(*st) >= l.GrowInterval:
 		// Even the lightest replica is overloaded: replicate.
 		grown := l.leastExcluding(set)
-		l.mapping.Map(r.Target, r.Size, grown)
-		st.assignments = 0
+		l.mapping.Map(r.ID, r.Size, grown)
+		*st = 0
 		return grown
-	case len(set) > 1 && st.assignments >= l.ShrinkInterval:
+	case len(set) > 1 && int(*st) >= l.ShrinkInterval:
 		// Stable for a long time: decay one replica (the most loaded).
 		drop := set[0]
 		for _, m := range set[1:] {
@@ -114,34 +126,15 @@ func (l *LARDR) assign(r core.Request) core.NodeID {
 				drop = m
 			}
 		}
-		l.mapping.Unmap(r.Target, drop)
-		st.assignments = 0
+		l.mapping.Unmap(r.ID, drop)
+		*st = 0
 		if drop == n {
-			n = l.leastOf(l.mapping.NodesFor(r.Target))
+			set = l.mapping.AppendNodesFor(set[:0], r.ID)
+			n = l.leastOf(set)
 		}
 	}
-	l.mapping.Touch(r.Target, n)
+	l.mapping.Touch(r.ID, n)
 	return n
-}
-
-// pruneStale drops replication state for a few targets that have aged out
-// of the mapping entirely. Deleting such entries never changes a decision —
-// an unmapped target takes the len(set)==0 path, which resets its state —
-// but without pruning the map grows one entry per distinct target forever,
-// which a long-lived front-end serving an unbounded URL space cannot
-// afford. Amortized over assigns (a handful of entries per call, via Go's
-// randomized map iteration), the map stays proportional to the mapped
-// working set. Callers hold l.mu.
-func (l *LARDR) pruneStale() {
-	checked := 0
-	for t := range l.state {
-		if len(l.mapping.NodesFor(t)) == 0 {
-			delete(l.state, t)
-		}
-		if checked++; checked >= 4 {
-			break
-		}
-	}
 }
 
 func (l *LARDR) leastOf(set []core.NodeID) core.NodeID {
@@ -154,15 +147,21 @@ func (l *LARDR) leastOf(set []core.NodeID) core.NodeID {
 	return best
 }
 
+// leastExcluding returns the least-loaded node outside set. Server sets are
+// at most a handful of nodes, so the membership test is a linear scan — no
+// per-call map.
 func (l *LARDR) leastExcluding(set []core.NodeID) core.NodeID {
-	member := make(map[core.NodeID]bool, len(set))
-	for _, n := range set {
-		member[n] = true
-	}
 	best := core.NoNode
 	for i := 0; i < l.loads.Nodes(); i++ {
 		n := core.NodeID(i)
-		if member[n] {
+		member := false
+		for _, m := range set {
+			if m == n {
+				member = true
+				break
+			}
+		}
+		if member {
 			continue
 		}
 		if best == core.NoNode || l.loads.Load(n) < l.loads.Load(best) {
@@ -173,9 +172,10 @@ func (l *LARDR) leastExcluding(set []core.NodeID) core.NodeID {
 }
 
 // AssignBatch sends every request to the handling node (connection
-// granularity, as with basic LARD).
+// granularity, as with basic LARD). The returned slice is the connection's
+// reusable buffer: valid until the next AssignBatch on the same connection.
 func (l *LARDR) AssignBatch(c *core.ConnState, batch core.Batch) []core.Assignment {
-	out := make([]core.Assignment, len(batch))
+	out := c.AssignBuf(len(batch))
 	for i := range batch {
 		out[i] = core.Assignment{Node: c.Handling, CacheLocally: true}
 		c.Requests++

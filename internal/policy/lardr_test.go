@@ -11,10 +11,10 @@ func TestLARDRUnmappedGoesToLeastLoaded(t *testing.T) {
 	l.Loads().AddFraction(0, 5)
 	l.Loads().AddFraction(1, 3)
 	c := core.NewConnState(1)
-	if n := l.ConnOpen(c, core.Request{Target: "/new", Size: 100}); n != 2 {
+	if n := l.ConnOpen(c, req("/new", 100)); n != 2 {
 		t.Errorf("unmapped target went to %v, want least-loaded be2", n)
 	}
-	if !l.Mapping().IsMapped("/new", 2) {
+	if !l.Mapping().IsMapped(tid("/new"), 2) {
 		t.Error("target not mapped after first assignment")
 	}
 }
@@ -25,7 +25,7 @@ func TestLARDRSticksWhileUnderloaded(t *testing.T) {
 	first := core.NoNode
 	for i := 0; i < 15; i++ {
 		c := core.NewConnState(core.ConnID(i))
-		n := l.ConnOpen(c, core.Request{Target: "/hot", Size: 100})
+		n := l.ConnOpen(c, req("/hot", 100))
 		conns = append(conns, c)
 		if first == core.NoNode {
 			first = n
@@ -42,7 +42,7 @@ func TestLARDRReplicatesUnderOverload(t *testing.T) {
 	p := DefaultParams()
 	l := NewLARDR(2, testCache, p)
 	c0 := core.NewConnState(0)
-	home := l.ConnOpen(c0, core.Request{Target: "/hot", Size: 100})
+	home := l.ConnOpen(c0, req("/hot", 100))
 	// Pin the home node past the overload knee.
 	for l.Loads().Load(home) < p.LOverload {
 		l.Loads().AddFraction(home, 10)
@@ -51,12 +51,12 @@ func TestLARDRReplicatesUnderOverload(t *testing.T) {
 	var got core.NodeID = home
 	for i := 1; i <= l.GrowInterval+1; i++ {
 		c := core.NewConnState(core.ConnID(i))
-		got = l.ConnOpen(c, core.Request{Target: "/hot", Size: 100})
+		got = l.ConnOpen(c, req("/hot", 100))
 	}
 	if got == home {
 		t.Fatal("server set never grew despite overload")
 	}
-	if nodes := l.Mapping().NodesFor("/hot"); len(nodes) != 2 {
+	if nodes := l.Mapping().NodesFor(tid("/hot")); len(nodes) != 2 {
 		t.Errorf("server set = %v, want both nodes", nodes)
 	}
 }
@@ -65,16 +65,16 @@ func TestLARDRShrinksStableSets(t *testing.T) {
 	l := NewLARDR(2, testCache, DefaultParams())
 	l.GrowInterval = 1
 	l.ShrinkInterval = 10
-	// Manually replicate /warm on both nodes.
-	l.Mapping().Map("/warm", 100, 0)
-	l.Mapping().Map("/warm", 100, 1)
-	l.state["/warm"] = &replState{}
+	// Manually replicate /warm on both nodes; the assignment counter
+	// starts at zero on its own (dense slice, zero value).
+	l.Mapping().Map(tid("/warm"), 100, 0)
+	l.Mapping().Map(tid("/warm"), 100, 1)
 	for i := 0; i < l.ShrinkInterval+2; i++ {
 		c := core.NewConnState(core.ConnID(i))
-		l.ConnOpen(c, core.Request{Target: "/warm", Size: 100})
+		l.ConnOpen(c, req("/warm", 100))
 		l.ConnClose(c)
 	}
-	if nodes := l.Mapping().NodesFor("/warm"); len(nodes) != 1 {
+	if nodes := l.Mapping().NodesFor(tid("/warm")); len(nodes) != 1 {
 		t.Errorf("stable set did not shrink: %v", nodes)
 	}
 }
@@ -82,8 +82,8 @@ func TestLARDRShrinksStableSets(t *testing.T) {
 func TestLARDRBatchSticksToHandling(t *testing.T) {
 	l := NewLARDR(3, testCache, DefaultParams())
 	c := core.NewConnState(1)
-	h := l.ConnOpen(c, core.Request{Target: "/a", Size: 100})
-	for _, a := range l.AssignBatch(c, core.Batch{{Target: "/b", Size: 1}, {Target: "/c", Size: 1}}) {
+	h := l.ConnOpen(c, req("/a", 100))
+	for _, a := range l.AssignBatch(c, core.Batch{req("/b", 1), req("/c", 1)}) {
 		if a.Node != h || a.Forward || a.Migrate {
 			t.Errorf("LARD/R assignment %+v, want pinned to %v", a, h)
 		}

@@ -9,6 +9,20 @@ import (
 
 const testCache = 1 << 20
 
+// testInterner gives the direct-call policy tests the interned IDs the
+// dispatch engine would normally supply; one shared interner keeps IDs
+// consistent across the policies a test compares.
+var testInterner = core.NewInterner()
+
+// req builds an interned request the way the dispatch engine hands them to
+// policies.
+func req(target core.Target, size int64) core.Request {
+	return core.Request{Target: target, ID: testInterner.Intern(target), Size: size}
+}
+
+// tid is the interned ID of target, for mapping assertions.
+func tid(target core.Target) core.TargetID { return testInterner.Intern(target) }
+
 // --- Figure 4 cost metrics ---
 
 func TestCostBalancing(t *testing.T) {
@@ -80,7 +94,7 @@ func TestWRRBalancesConnections(t *testing.T) {
 	var conns []*core.ConnState
 	for i := 0; i < 40; i++ {
 		c := core.NewConnState(core.ConnID(i))
-		w.ConnOpen(c, core.Request{Target: "/same", Size: 1})
+		w.ConnOpen(c, req("/same", 1))
 		conns = append(conns, c)
 	}
 	for n := 0; n < 4; n++ {
@@ -100,9 +114,9 @@ func TestWRRIgnoresContent(t *testing.T) {
 	w := NewWRR(2)
 	// The same target must alternate nodes: WRR is content-blind.
 	c1 := core.NewConnState(1)
-	n1 := w.ConnOpen(c1, core.Request{Target: "/x", Size: 1})
+	n1 := w.ConnOpen(c1, req("/x", 1))
 	c2 := core.NewConnState(2)
-	n2 := w.ConnOpen(c2, core.Request{Target: "/x", Size: 1})
+	n2 := w.ConnOpen(c2, req("/x", 1))
 	if n1 == n2 {
 		t.Errorf("WRR sent both connections for /x to %v", n1)
 	}
@@ -111,8 +125,8 @@ func TestWRRIgnoresContent(t *testing.T) {
 func TestWRRBatchSticksToHandling(t *testing.T) {
 	w := NewWRR(3)
 	c := core.NewConnState(1)
-	h := w.ConnOpen(c, core.Request{Target: "/a", Size: 1})
-	batch := core.Batch{{Target: "/b", Size: 1}, {Target: "/c", Size: 1}}
+	h := w.ConnOpen(c, req("/a", 1))
+	batch := core.Batch{req("/b", 1), req("/c", 1)}
 	for _, a := range w.AssignBatch(c, batch) {
 		if a.Node != h || a.Forward || a.Migrate {
 			t.Errorf("WRR assignment %+v, want plain local serve at %v", a, h)
@@ -124,7 +138,7 @@ func TestWRRBatchSticksToHandling(t *testing.T) {
 
 func openLARD(l *LARD, id core.ConnID, target core.Target) (*core.ConnState, core.NodeID) {
 	c := core.NewConnState(id)
-	n := l.ConnOpen(c, core.Request{Target: target, Size: 1000})
+	n := l.ConnOpen(c, req(target, 1000))
 	return c, n
 }
 
@@ -180,13 +194,13 @@ func TestLARDEquivalentPoliciesHTTP10(t *testing.T) {
 		target := core.Target(rune('A' + i%23))
 		cl := core.NewConnState(core.ConnID(i))
 		ce := core.NewConnState(core.ConnID(i))
-		nl := lard.ConnOpen(cl, core.Request{Target: target, Size: 500})
-		ne := ext.ConnOpen(ce, core.Request{Target: target, Size: 500})
+		nl := lard.ConnOpen(cl, req(target, 500))
+		ne := ext.ConnOpen(ce, req(target, 500))
 		if nl != ne {
 			t.Fatalf("conn %d (%q): LARD chose %v, extLARD chose %v", i, target, nl, ne)
 		}
-		lard.AssignBatch(cl, core.Batch{{Target: target, Size: 500}})
-		ext.AssignBatch(ce, core.Batch{{Target: target, Size: 500}})
+		lard.AssignBatch(cl, core.Batch{req(target, 500)})
+		ext.AssignBatch(ce, core.Batch{req(target, 500)})
 		lard.ConnClose(cl)
 		ext.ConnClose(ce)
 	}
@@ -197,8 +211,8 @@ func TestLARDEquivalentPoliciesHTTP10(t *testing.T) {
 func TestExtLARDFirstRequestStaysOnHandling(t *testing.T) {
 	e := NewExtLARD(4, testCache, DefaultParams(), core.BEForwarding)
 	c := core.NewConnState(1)
-	h := e.ConnOpen(c, core.Request{Target: "/page", Size: 1000})
-	as := e.AssignBatch(c, core.Batch{{Target: "/page", Size: 1000}})
+	h := e.ConnOpen(c, req("/page", 1000))
+	as := e.AssignBatch(c, core.Batch{req("/page", 1000)})
 	if as[0].Node != h || as[0].Forward {
 		t.Errorf("first request assignment %+v, want local at %v", as[0], h)
 	}
@@ -208,21 +222,21 @@ func TestExtLARDServesLocallyWhenDiskIdle(t *testing.T) {
 	e := NewExtLARD(2, testCache, DefaultParams(), core.BEForwarding)
 	// Map /obj on node 1 via another connection.
 	other := core.NewConnState(7)
-	e.ConnOpen(other, core.Request{Target: "/obj", Size: 1000})
+	e.ConnOpen(other, req("/obj", 1000))
 	objNode := other.Handling
 
 	c := core.NewConnState(1)
-	e.ConnOpen(c, core.Request{Target: "/page", Size: 1000})
+	e.ConnOpen(c, req("/page", 1000))
 	if c.Handling == objNode {
 		t.Skip("both targets landed on one node; pick a different layout")
 	}
 	// Disk idle everywhere (no reports): serve locally, replicate.
-	e.AssignBatch(c, core.Batch{{Target: "/page", Size: 1000}})
-	as := e.AssignBatch(c, core.Batch{{Target: "/obj", Size: 1000}})
+	e.AssignBatch(c, core.Batch{req("/page", 1000)})
+	as := e.AssignBatch(c, core.Batch{req("/obj", 1000)})
 	if as[0].Node != c.Handling || as[0].Forward {
 		t.Errorf("disk-idle subsequent request: %+v, want local serve", as[0])
 	}
-	if !e.Mapping().IsMapped("/obj", c.Handling) {
+	if !e.Mapping().IsMapped(tid("/obj"), c.Handling) {
 		t.Error("locally served target not replicated into the mapping")
 	}
 }
@@ -230,19 +244,19 @@ func TestExtLARDServesLocallyWhenDiskIdle(t *testing.T) {
 func TestExtLARDForwardsWhenDiskBusyAndMappedElsewhere(t *testing.T) {
 	e := NewExtLARD(2, testCache, DefaultParams(), core.BEForwarding)
 	other := core.NewConnState(7)
-	e.ConnOpen(other, core.Request{Target: "/obj", Size: 1000})
+	e.ConnOpen(other, req("/obj", 1000))
 	objNode := other.Handling
 
 	c := core.NewConnState(1)
-	e.ConnOpen(c, core.Request{Target: "/page", Size: 1000})
+	e.ConnOpen(c, req("/page", 1000))
 	h := c.Handling
 	if h == objNode {
 		t.Skip("layout collision")
 	}
-	e.AssignBatch(c, core.Batch{{Target: "/page", Size: 1000}})
+	e.AssignBatch(c, core.Batch{req("/page", 1000)})
 	// Handling node's disk is busy: the policy must forward to objNode.
 	e.ReportDiskQueue(h, 10)
-	as := e.AssignBatch(c, core.Batch{{Target: "/obj", Size: 1000}})
+	as := e.AssignBatch(c, core.Batch{req("/obj", 1000)})
 	if !as[0].Forward || as[0].Node != objNode {
 		t.Errorf("busy-disk foreign request: %+v, want forward to %v", as[0], objNode)
 	}
@@ -256,7 +270,7 @@ func TestExtLARDForwardsWhenDiskBusyAndMappedElsewhere(t *testing.T) {
 	}
 	// The next batch releases the fractional charge.
 	e.ReportDiskQueue(h, 0)
-	e.AssignBatch(c, core.Batch{{Target: "/page", Size: 1000}})
+	e.AssignBatch(c, core.Batch{req("/page", 1000)})
 	if got := e.Loads().Load(objNode); got != 1 {
 		t.Errorf("remote node load = %v after next batch, want 1.0", got)
 	}
@@ -265,12 +279,12 @@ func TestExtLARDForwardsWhenDiskBusyAndMappedElsewhere(t *testing.T) {
 func TestExtLARDServesColdTargetLocallyUnderBusyDisk(t *testing.T) {
 	e := NewExtLARD(2, testCache, DefaultParams(), core.BEForwarding)
 	c := core.NewConnState(1)
-	e.ConnOpen(c, core.Request{Target: "/page", Size: 1000})
+	e.ConnOpen(c, req("/page", 1000))
 	h := c.Handling
-	e.AssignBatch(c, core.Batch{{Target: "/page", Size: 1000}})
+	e.AssignBatch(c, core.Batch{req("/page", 1000)})
 	e.ReportDiskQueue(h, 10)
 	// /cold is mapped nowhere: only candidate is the handling node.
-	as := e.AssignBatch(c, core.Batch{{Target: "/cold", Size: 1000}})
+	as := e.AssignBatch(c, core.Batch{req("/cold", 1000)})
 	if as[0].Node != h || as[0].Forward {
 		t.Errorf("cold target under busy disk: %+v, want local serve", as[0])
 	}
@@ -280,23 +294,23 @@ func TestExtLARDOneNNLoadAccounting(t *testing.T) {
 	e := NewExtLARD(3, testCache, DefaultParams(), core.BEForwarding)
 	// Map /o1 -> some node, /o2 -> another.
 	a := core.NewConnState(10)
-	e.ConnOpen(a, core.Request{Target: "/o1", Size: 100})
+	e.ConnOpen(a, req("/o1", 100))
 	b := core.NewConnState(11)
-	e.ConnOpen(b, core.Request{Target: "/o2", Size: 100})
+	e.ConnOpen(b, req("/o2", 100))
 	n1, n2 := a.Handling, b.Handling
 
 	c := core.NewConnState(1)
-	e.ConnOpen(c, core.Request{Target: "/page", Size: 100})
+	e.ConnOpen(c, req("/page", 100))
 	h := c.Handling
 	if h == n1 || h == n2 || n1 == n2 {
 		t.Skip("layout collision")
 	}
-	e.AssignBatch(c, core.Batch{{Target: "/page", Size: 100}})
+	e.AssignBatch(c, core.Batch{req("/page", 100)})
 	e.ReportDiskQueue(h, 10)
 	// Batch of 4: two forwarded to n1, one to n2, one local.
 	batch := core.Batch{
-		{Target: "/o1", Size: 100}, {Target: "/o1", Size: 100},
-		{Target: "/o2", Size: 100}, {Target: "/page", Size: 100},
+		req("/o1", 100), req("/o1", 100),
+		req("/o2", 100), req("/page", 100),
 	}
 	e.AssignBatch(c, batch)
 	if got, want := e.Loads().Load(n1), 1+2.0/4; got != want {
@@ -314,18 +328,18 @@ func TestExtLARDOneNNLoadAccounting(t *testing.T) {
 func TestExtLARDMultiHandoffMigrates(t *testing.T) {
 	e := NewExtLARD(2, testCache, DefaultParams(), core.MultipleHandoff)
 	other := core.NewConnState(7)
-	e.ConnOpen(other, core.Request{Target: "/obj", Size: 1000})
+	e.ConnOpen(other, req("/obj", 1000))
 	objNode := other.Handling
 
 	c := core.NewConnState(1)
-	e.ConnOpen(c, core.Request{Target: "/page", Size: 1000})
+	e.ConnOpen(c, req("/page", 1000))
 	h := c.Handling
 	if h == objNode {
 		t.Skip("layout collision")
 	}
-	e.AssignBatch(c, core.Batch{{Target: "/page", Size: 1000}})
+	e.AssignBatch(c, core.Batch{req("/page", 1000)})
 	e.ReportDiskQueue(h, 10)
-	as := e.AssignBatch(c, core.Batch{{Target: "/obj", Size: 1000}})
+	as := e.AssignBatch(c, core.Batch{req("/obj", 1000)})
 	if !as[0].Migrate || as[0].Node != objNode || as[0].From != h {
 		t.Errorf("multi-handoff assignment %+v, want migration %v->%v", as[0], h, objNode)
 	}
@@ -340,17 +354,17 @@ func TestExtLARDMultiHandoffMigrates(t *testing.T) {
 func TestExtLARDZeroCostReassignsFreely(t *testing.T) {
 	e := NewExtLARD(2, testCache, DefaultParams(), core.ZeroCostHandoff)
 	other := core.NewConnState(7)
-	e.ConnOpen(other, core.Request{Target: "/obj", Size: 1000})
+	e.ConnOpen(other, req("/obj", 1000))
 	objNode := other.Handling
 
 	c := core.NewConnState(1)
-	e.ConnOpen(c, core.Request{Target: "/page", Size: 1000})
+	e.ConnOpen(c, req("/page", 1000))
 	if c.Handling == objNode {
 		t.Skip("layout collision")
 	}
-	e.AssignBatch(c, core.Batch{{Target: "/page", Size: 1000}})
+	e.AssignBatch(c, core.Batch{req("/page", 1000)})
 	// Even with idle disks, zero-cost reassignment chases locality.
-	as := e.AssignBatch(c, core.Batch{{Target: "/obj", Size: 1000}})
+	as := e.AssignBatch(c, core.Batch{req("/obj", 1000)})
 	if as[0].Node != objNode {
 		t.Errorf("zero-cost assignment went to %v, want %v", as[0].Node, objNode)
 	}
@@ -359,11 +373,11 @@ func TestExtLARDZeroCostReassignsFreely(t *testing.T) {
 func TestExtLARDSingleHandoffNeverMoves(t *testing.T) {
 	e := NewExtLARD(4, testCache, DefaultParams(), core.SingleHandoff)
 	c := core.NewConnState(1)
-	h := e.ConnOpen(c, core.Request{Target: "/page", Size: 1000})
+	h := e.ConnOpen(c, req("/page", 1000))
 	e.ReportDiskQueue(h, 50)
 	batch := core.Batch{
-		{Target: "/page", Size: 1000}, {Target: "/x", Size: 1},
-		{Target: "/y", Size: 1}, {Target: "/z", Size: 1},
+		req("/page", 1000), req("/x", 1),
+		req("/y", 1), req("/z", 1),
 	}
 	for _, a := range e.AssignBatch(c, batch) {
 		if a.Node != h || a.Forward || a.Migrate {
@@ -375,13 +389,13 @@ func TestExtLARDSingleHandoffNeverMoves(t *testing.T) {
 func TestExtLARDConnCloseReleasesEverything(t *testing.T) {
 	e := NewExtLARD(2, testCache, DefaultParams(), core.BEForwarding)
 	other := core.NewConnState(7)
-	e.ConnOpen(other, core.Request{Target: "/obj", Size: 1000})
+	e.ConnOpen(other, req("/obj", 1000))
 
 	c := core.NewConnState(1)
-	e.ConnOpen(c, core.Request{Target: "/page", Size: 1000})
-	e.AssignBatch(c, core.Batch{{Target: "/page", Size: 1000}})
+	e.ConnOpen(c, req("/page", 1000))
+	e.AssignBatch(c, core.Batch{req("/page", 1000)})
 	e.ReportDiskQueue(c.Handling, 10)
-	e.AssignBatch(c, core.Batch{{Target: "/obj", Size: 1000}})
+	e.AssignBatch(c, core.Batch{req("/obj", 1000)})
 	e.ConnClose(c)
 	e.ConnClose(other)
 	if e.Loads().Total() != 0 {
@@ -396,7 +410,7 @@ func TestExtLARDAssignBeforeOpenPanics(t *testing.T) {
 		}
 	}()
 	e := NewExtLARD(2, testCache, DefaultParams(), core.BEForwarding)
-	e.AssignBatch(core.NewConnState(1), core.Batch{{Target: "/x", Size: 1}})
+	e.AssignBatch(core.NewConnState(1), core.Batch{req("/x", 1)})
 }
 
 // Property: every assignment names a valid node, and loads never go
@@ -414,14 +428,14 @@ func TestExtLARDAssignmentsAlwaysValid(t *testing.T) {
 			target := core.Target(rune('a' + b%17))
 			if i%4 == 0 || len(conns) == 0 {
 				c := core.NewConnState(core.ConnID(i))
-				n := e.ConnOpen(c, core.Request{Target: target, Size: 100})
+				n := e.ConnOpen(c, req(target, 100))
 				if n < 0 || int(n) >= 3 {
 					return false
 				}
 				conns = append(conns, c)
 			}
 			c := conns[int(b)%len(conns)]
-			for _, a := range e.AssignBatch(c, core.Batch{{Target: target, Size: 100}}) {
+			for _, a := range e.AssignBatch(c, core.Batch{req(target, 100)}) {
 				if a.Node < 0 || int(a.Node) >= 3 {
 					return false
 				}
@@ -452,7 +466,7 @@ func TestPickAvoidsInfiniteCost(t *testing.T) {
 		lt.AddFraction(0, 10)
 	}
 	c := core.NewConnState(1)
-	if n := e.ConnOpen(c, core.Request{Target: "/t", Size: 1}); n == 0 {
+	if n := e.ConnOpen(c, req("/t", 1)); n == 0 {
 		t.Error("ConnOpen chose the overloaded node")
 	}
 }

@@ -71,9 +71,11 @@ func (w *WRR) ConnOpen(c *core.ConnState, _ core.Request) core.NodeID {
 	return best
 }
 
-// AssignBatch sends every request to the handling node.
+// AssignBatch sends every request to the handling node. The returned slice
+// is the connection's reusable buffer: valid until the next AssignBatch on
+// the same connection.
 func (w *WRR) AssignBatch(c *core.ConnState, batch core.Batch) []core.Assignment {
-	out := make([]core.Assignment, len(batch))
+	out := c.AssignBuf(len(batch))
 	for i := range batch {
 		out[i] = core.Assignment{Node: c.Handling, CacheLocally: true}
 		c.Requests++

@@ -1,0 +1,164 @@
+package sim
+
+import (
+	"runtime"
+	"time"
+
+	"phttp/internal/core"
+	"phttp/internal/trace"
+)
+
+// The benchmark harness behind `make bench` / `phttp-bench -sim-bench`: it
+// measures the reference ClusterSweep and emits the numbers BENCH_sim.json
+// records, so every change to the simulator hot path leaves a trajectory
+// (ns/event, allocs/event, simulated events/sec, sweep wall-clock) that can
+// be compared across commits on the same machine.
+
+// BenchPoint is one measured execution of the reference sweep.
+type BenchPoint struct {
+	// WallMs is the sweep's wall-clock time in milliseconds.
+	WallMs float64 `json:"wall_ms"`
+	// Mallocs is the number of heap allocations during the sweep.
+	Mallocs uint64 `json:"mallocs"`
+	// Events and Requests are summed over all grid points.
+	Events   int64 `json:"events"`
+	Requests int64 `json:"requests"`
+	// NsPerEvent and AllocsPerEvent are WallMs and Mallocs normalized by
+	// Events — the per-event cost of the simulator across the whole sweep
+	// (workers included, so parallel points divide wall-clock across
+	// cores).
+	NsPerEvent     float64 `json:"ns_per_event"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	// EventsPerSec is the aggregate simulated-event throughput.
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+func newBenchPoint(wall time.Duration, mallocs uint64, events, requests int64) BenchPoint {
+	p := BenchPoint{
+		WallMs:   float64(wall.Milliseconds()),
+		Mallocs:  mallocs,
+		Events:   events,
+		Requests: requests,
+	}
+	if events > 0 {
+		p.NsPerEvent = float64(wall.Nanoseconds()) / float64(events)
+		p.AllocsPerEvent = float64(mallocs) / float64(events)
+	}
+	if wall > 0 {
+		p.EventsPerSec = float64(events) / wall.Seconds()
+	}
+	return p
+}
+
+// BenchConfig describes the reference sweep. The defaults are the fixed
+// reference every BENCH_sim.json entry uses, so numbers stay comparable
+// across commits.
+type BenchConfig struct {
+	Server      core.ServerKind `json:"-"`
+	ServerName  string          `json:"server"`
+	Nodes       []int           `json:"nodes"`
+	Connections int             `json:"connections"`
+	Seed        uint64          `json:"seed"`
+	Combos      int             `json:"combos"`
+}
+
+// DefaultBenchConfig is the reference sweep: all seven Figure 7 combos over
+// 1-6 Apache nodes on a 12000-connection synthetic trace.
+func DefaultBenchConfig() BenchConfig {
+	return BenchConfig{
+		Server:      core.Apache,
+		ServerName:  core.Apache.String(),
+		Nodes:       []int{1, 2, 3, 4, 5, 6},
+		Connections: 12000,
+		Seed:        1,
+		Combos:      len(Combos()),
+	}
+}
+
+// BenchReport is the payload of BENCH_sim.json.
+type BenchReport struct {
+	Reference  BenchConfig `json:"reference"`
+	GoMaxProcs int         `json:"gomaxprocs"`
+	// Serial runs the sweep on one worker; Parallel on GOMAXPROCS.
+	Serial   BenchPoint `json:"serial"`
+	Parallel BenchPoint `json:"parallel"`
+	// Baseline, when set, is the recorded pre-optimization measurement of
+	// the same reference sweep (serial; the baseline code had no parallel
+	// path), and the Speedup fields compare against it.
+	Baseline             *BenchPoint `json:"baseline,omitempty"`
+	SpeedupWallClock     float64     `json:"speedup_wall_clock,omitempty"`
+	PerRunEventsPerSec   float64     `json:"per_run_events_per_sec_gain,omitempty"`
+	PerEventAllocsRatio  float64     `json:"alloc_reduction_factor,omitempty"`
+	BaselineDescription  string      `json:"baseline_description,omitempty"`
+	MeasuredAtUnixMillis int64       `json:"measured_at_unix_ms"`
+}
+
+// measureSweep runs the reference sweep once with the given worker count.
+func measureSweep(cfg BenchConfig, tr *trace.Trace, workers int) (BenchPoint, error) {
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	_, results, err := ClusterSweepParallel(cfg.Server, cfg.Nodes, Combos(), tr, workers)
+	wall := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	if err != nil {
+		return BenchPoint{}, err
+	}
+	var events, requests int64
+	for _, r := range results {
+		events += r.Events
+		requests += r.Requests
+	}
+	return newBenchPoint(wall, ms1.Mallocs-ms0.Mallocs, events, requests), nil
+}
+
+// RunBench generates the reference trace, measures the sweep serially and in
+// parallel, and returns the report (without baseline comparison; callers
+// attach recorded baselines via AttachBaseline).
+func RunBench(cfg BenchConfig) (BenchReport, error) {
+	tcfg := trace.DefaultSynthConfig()
+	tcfg.Seed = cfg.Seed
+	tcfg.Connections = cfg.Connections
+	tr := trace.NewSynth(tcfg).Generate()
+
+	rep := BenchReport{
+		Reference:            cfg,
+		GoMaxProcs:           runtime.GOMAXPROCS(0),
+		MeasuredAtUnixMillis: time.Now().UnixMilli(),
+	}
+	var err error
+	if rep.Serial, err = measureSweep(cfg, tr, 1); err != nil {
+		return rep, err
+	}
+	if rep.Parallel, err = measureSweep(cfg, tr, 0); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
+
+// AttachBaseline records a pre-optimization measurement and derives the
+// speedup metrics: wall-clock of the baseline (serial, the only mode it
+// had) against the current parallel sweep, and per-run simulated-event
+// throughput serial-vs-serial so the win cannot come from parallelism
+// alone. A baseline with unknown event count (the pre-refactor engine did
+// not report one) may pass Events=0 and have it filled from the current
+// serial run — valid because the refactor is result- and event-count
+// preserving (the golden tests pin this).
+func (r *BenchReport) AttachBaseline(b BenchPoint, description string) {
+	if b.Events == 0 {
+		b = newBenchPoint(time.Duration(b.WallMs)*time.Millisecond, b.Mallocs,
+			r.Serial.Events, r.Serial.Requests)
+	}
+	r.Baseline = &b
+	r.BaselineDescription = description
+	if r.Parallel.WallMs > 0 {
+		r.SpeedupWallClock = b.WallMs / r.Parallel.WallMs
+	}
+	if b.EventsPerSec > 0 {
+		r.PerRunEventsPerSec = r.Serial.EventsPerSec / b.EventsPerSec
+	}
+	if r.Serial.AllocsPerEvent > 0 {
+		r.PerEventAllocsRatio = b.AllocsPerEvent / r.Serial.AllocsPerEvent
+	}
+}

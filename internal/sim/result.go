@@ -19,6 +19,11 @@ type Result struct {
 	// Requests served and simulated time after warmup.
 	Requests int64
 	SimTime  core.Micros
+	// Events is the total number of discrete events the engine processed
+	// over the whole run (including warmup) — the denominator of the
+	// ns/event and events/sec benchmark metrics. Deterministic for a given
+	// (config, trace): identical across serial and parallel sweeps.
+	Events int64
 
 	// Throughput is requests/second, the paper's primary metric.
 	Throughput float64

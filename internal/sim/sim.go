@@ -11,11 +11,50 @@ import (
 	"phttp/internal/trace"
 )
 
+// The simulator's event flow is an explicit state machine over pooled
+// run records instead of nested closures: every scheduled event is a
+// closure-free simcore.Call carrying a *connRun or *reqRun plus a phase
+// code and the node whose resource the event completes on. Combined with
+// the engine's slab-backed queue, the ID-keyed node caches and the
+// policies' reusable buffers, steady-state stepping allocates nothing per
+// event — the allocation profile that used to dominate sweep time (one
+// closure and one heap event per scheduled step, one string-keyed map
+// probe per cache touch) is gone.
+//
+// The phase graph reproduces the old closure nesting exactly — each
+// closure became one phase, scheduled in the same order with the same
+// costs — so (time, seq) event ordering, and therefore every simulation
+// result, is bit-identical to the previous implementation.
+
+// Connection-level phases (connStep).
+const (
+	cpOpenFE  = iota // front-end accept (+ handoff) finished
+	cpOpenBE         // back-end connection setup finished
+	cpCloseFE        // relaying FE teardown finished
+	cpCloseBE        // back-end teardown finished
+)
+
+// Request-level phases (reqStep).
+const (
+	rqFE         = iota // front-end per-request work finished
+	rqLocalCPU          // serving node's per-request CPU finished
+	rqLocalDisk         // serving node's disk read finished
+	rqLocalXmit         // serving node's transmit finished
+	rqRelayOut          // relaying FE's response transmit finished
+	rqRemoteCPU         // remote node's request+forward CPU finished
+	rqRemoteDisk        // remote node's disk read finished
+	rqFwdXmit           // handling node's receive+retransmit finished
+	rqMigFE             // FE's migration coordination finished
+	rqMigNewCPU         // new handling node's handoff work finished
+)
+
 // node is one simulated back-end: CPU, disk, main-memory cache.
 type node struct {
-	cpu   simcore.Resource
-	disk  simcore.Resource
-	cache *cache.LRU
+	cpu  simcore.Resource
+	disk simcore.Resource
+	// cache is keyed by interned TargetID: the per-request lookup/insert
+	// path is a slice index, not a string hash.
+	cache *cache.IDLRU
 }
 
 // Sim is one simulation run in progress.
@@ -29,6 +68,12 @@ type Sim struct {
 
 	nextConn int // next trace connection to admit
 	active   int
+
+	// freeConns and freeReqs pool the per-connection and per-request run
+	// records; a drained record is reused by the next admission instead of
+	// burdening the garbage collector.
+	freeConns []*connRun
+	freeReqs  []*reqRun
 
 	// measurement
 	served       int64
@@ -46,16 +91,36 @@ type Sim struct {
 	warmDiskBusy []core.Micros
 }
 
-// Run simulates the trace under cfg and returns the measured result.
+// Run simulates the trace under cfg and returns the measured result. For
+// non-P-HTTP combos the trace is flattened to HTTP/1.0 form per call; sweep
+// drivers flatten once and use runOn.
+//
+// Traces built by the loaders (Synth.Generate, Reconstruct) arrive interned
+// and are only read, so concurrent Run calls may share one. A hand-built
+// trace (Interner == nil) is interned in place on first use — run it once,
+// or call EnsureIDs yourself, before sharing it across goroutines.
 func Run(cfg Config, tr *trace.Trace) (Result, error) {
-	if err := cfg.Validate(); err != nil {
-		return Result{}, err
+	if tr.Interner == nil {
+		tr.EnsureIDs()
 	}
 	workload := tr
 	if !cfg.Combo.PHTTP {
 		workload = tr.Flatten10()
 	}
-	disp, err := dispatch.NewEngine(cfg.dispatchSpec())
+	return runOn(cfg, workload)
+}
+
+// runOn simulates an already-prepared workload: interned (EnsureIDs) and
+// pre-flattened when the combo wants HTTP/1.0. The workload is only read,
+// so parallel sweep workers share one across runs. Validation lives here —
+// the one entry point every run, direct or sweep-spawned, passes through.
+func runOn(cfg Config, workload *trace.Trace) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	spec := cfg.dispatchSpec()
+	spec.Interner = workload.Interner
+	disp, err := dispatch.NewEngine(spec)
 	if err != nil {
 		return Result{}, err
 	}
@@ -67,7 +132,7 @@ func Run(cfg Config, tr *trace.Trace) (Result, error) {
 	}
 	s.nodes = make([]*node, cfg.Nodes)
 	for i := range s.nodes {
-		s.nodes[i] = &node{cache: cache.NewLRU(cfg.CacheBytes)}
+		s.nodes[i] = &node{cache: cache.NewIDLRU(cfg.CacheBytes)}
 	}
 	s.warmConns = int(cfg.WarmupFrac * float64(len(workload.Conns)))
 	s.warmCPUBusy = make([]core.Micros, cfg.Nodes)
@@ -76,11 +141,95 @@ func Run(cfg Config, tr *trace.Trace) (Result, error) {
 	inFlight := cfg.ConnsPerNode * cfg.Nodes
 	for i := 0; i < inFlight && s.admit(); i++ {
 	}
-	s.eng.Run(0)
+	events := s.eng.Run(0)
 	if s.active != 0 || s.nextConn != len(workload.Conns) {
 		return Result{}, fmt.Errorf("sim: deadlock, %d connections still active after event queue drained", s.active)
 	}
-	return s.result(), nil
+	res := s.result()
+	res.Events = int64(events)
+	return res, nil
+}
+
+// --- typed event dispatch ---
+
+// connStep and reqStep are the two Actions every simulator event uses;
+// package-level functions, so scheduling them allocates nothing.
+func connStep(obj any, phase, node int64) {
+	obj.(*connRun).step(int(phase), core.NodeID(node))
+}
+
+func reqStep(obj any, phase, node int64) {
+	obj.(*reqRun).step(int(phase), core.NodeID(node))
+}
+
+// releaseCPU is the fire-and-forget completion of CPU work with no
+// continuation (the old node's side of a migration handoff).
+func releaseCPU(obj any, _, node int64) {
+	obj.(*Sim).nodes[node].cpu.Release()
+}
+
+// feCall schedules cost on the front-end CPU (scaled by the configured
+// front-end speedup) and dispatches act(obj, phase, -1) at completion; the
+// handler releases the front-end.
+func (s *Sim) feCall(cost core.Micros, act simcore.Action, obj any, phase int64) {
+	if s.cfg.FESpeedup > 1 {
+		cost = core.Micros(float64(cost) / s.cfg.FESpeedup)
+	}
+	done := s.fe.Schedule(s.eng.Now(), cost)
+	s.eng.Call(done, act, obj, phase, -1)
+}
+
+// cpuCall schedules cost on node n's CPU and dispatches act(obj, phase, n)
+// at completion; the handler releases the CPU.
+func (s *Sim) cpuCall(n core.NodeID, cost core.Micros, act simcore.Action, obj any, phase int64) {
+	done := s.nodes[n].cpu.Schedule(s.eng.Now(), cost)
+	s.eng.Call(done, act, obj, phase, int64(n))
+}
+
+// diskCall schedules a read of size bytes on node n's disk, keeping the
+// policy's view of the disk queue current (the prototype's control-session
+// reports, idealized to instantaneous); the handler releases the disk and
+// reports again.
+func (s *Sim) diskCall(n core.NodeID, size int64, act simcore.Action, obj any, phase int64) {
+	nd := s.nodes[n]
+	done := nd.disk.Schedule(s.eng.Now(), s.cfg.Disk.ReadTime(size))
+	s.disp.ReportDiskQueue(n, nd.disk.Queued())
+	s.eng.Call(done, act, obj, phase, int64(n))
+}
+
+// --- run-record pools ---
+
+func (s *Sim) getConn() *connRun {
+	if n := len(s.freeConns); n > 0 {
+		cr := s.freeConns[n-1]
+		s.freeConns = s.freeConns[:n-1]
+		return cr
+	}
+	return &connRun{sim: s}
+}
+
+func (s *Sim) putConn(cr *connRun) {
+	cr.conn = core.Connection{}
+	cr.ec = nil
+	cr.batchIdx, cr.outstanding, cr.batchStart = 0, 0, 0
+	s.freeConns = append(s.freeConns, cr)
+}
+
+func (s *Sim) getReq(cr *connRun, r core.Request, a core.Assignment) *reqRun {
+	var rr *reqRun
+	if n := len(s.freeReqs); n > 0 {
+		rr = s.freeReqs[n-1]
+		s.freeReqs = s.freeReqs[:n-1]
+	} else {
+		rr = &reqRun{}
+	}
+	*rr = reqRun{cr: cr, id: r.ID, size: r.Size, a: a}
+	return rr
+}
+
+func (s *Sim) putReq(rr *reqRun) {
+	rr.cr = nil
+	s.freeReqs = append(s.freeReqs, rr)
 }
 
 // admit starts the next trace connection; it reports whether one was
@@ -95,12 +244,14 @@ func (s *Sim) admit() bool {
 		return s.admit()
 	}
 	s.active++
-	cr := &connRun{sim: s, conn: conn}
+	cr := s.getConn()
+	cr.conn = conn
 	cr.open()
 	return true
 }
 
-// connDone finishes a connection's lifecycle and admits the next.
+// connDone finishes a connection's lifecycle, admits the next, and recycles
+// the run record.
 func (s *Sim) connDone(cr *connRun) {
 	s.disp.ConnClose(cr.ec)
 	s.active--
@@ -118,50 +269,8 @@ func (s *Sim) connDone(cr *connRun) {
 			n.cache.ResetStats()
 		}
 	}
+	s.putConn(cr)
 	s.admit()
-}
-
-// cpuDo schedules cost on node n's CPU and runs fn at completion.
-func (s *Sim) cpuDo(n core.NodeID, cost core.Micros, fn func()) {
-	nd := s.nodes[n]
-	done := nd.cpu.Schedule(s.eng.Now(), cost)
-	s.eng.At(done, func() {
-		nd.cpu.Release()
-		if fn != nil {
-			fn()
-		}
-	})
-}
-
-// feDo schedules cost on the front-end CPU, scaled by the configured
-// front-end speedup.
-func (s *Sim) feDo(cost core.Micros, fn func()) {
-	if s.cfg.FESpeedup > 1 {
-		cost = core.Micros(float64(cost) / s.cfg.FESpeedup)
-	}
-	done := s.fe.Schedule(s.eng.Now(), cost)
-	s.eng.At(done, func() {
-		s.fe.Release()
-		if fn != nil {
-			fn()
-		}
-	})
-}
-
-// diskDo schedules a read of size bytes on node n's disk, keeping the
-// policy's view of the disk queue current (the prototype's control-session
-// reports, idealized to instantaneous).
-func (s *Sim) diskDo(n core.NodeID, size int64, fn func()) {
-	nd := s.nodes[n]
-	done := nd.disk.Schedule(s.eng.Now(), s.cfg.Disk.ReadTime(size))
-	s.disp.ReportDiskQueue(n, nd.disk.Queued())
-	s.eng.At(done, func() {
-		nd.disk.Release()
-		s.disp.ReportDiskQueue(n, nd.disk.Queued())
-		if fn != nil {
-			fn()
-		}
-	})
 }
 
 // connRun drives one client connection through its batches.
@@ -181,27 +290,48 @@ type connRun struct {
 func (c *connRun) open() {
 	s := c.sim
 	first := c.conn.Batches[0][0]
-	var handling core.NodeID
-	c.ec, handling = s.disp.ConnOpen(first)
+	c.ec, _ = s.disp.ConnOpen(first)
 	costs := s.cfg.Server
-	switch s.cfg.Combo.Mechanism {
-	case core.RelayFrontEnd:
+	if s.cfg.Combo.Mechanism == core.RelayFrontEnd {
 		// The front-end terminates the client connection itself and
 		// reuses persistent back-end connections; back-ends see no
 		// per-connection work.
-		s.feDo(costs.FEConn, func() { c.serveBatch() })
+		s.feCall(costs.FEConn, connStep, c, cpOpenFE)
+		return
+	}
+	s.feCall(costs.FEConn+costs.HandoffFE, connStep, c, cpOpenFE)
+}
+
+// step advances the connection lifecycle after the event (phase, node).
+func (c *connRun) step(phase int, n core.NodeID) {
+	s := c.sim
+	costs := s.cfg.Server
+	switch phase {
+	case cpOpenFE:
+		s.fe.Release()
+		if s.cfg.Combo.Mechanism == core.RelayFrontEnd {
+			c.serveBatch()
+			return
+		}
+		s.cpuCall(c.ec.Handling(), costs.HandoffBE+costs.ConnSetup, connStep, c, cpOpenBE)
+	case cpOpenBE:
+		s.nodes[n].cpu.Release()
+		c.serveBatch()
+	case cpCloseFE:
+		s.fe.Release()
+		s.connDone(c)
+	case cpCloseBE:
+		s.nodes[n].cpu.Release()
+		s.connDone(c)
 	default:
-		s.feDo(costs.FEConn+costs.HandoffFE, func() {
-			s.cpuDo(handling, costs.HandoffBE+costs.ConnSetup, func() {
-				c.serveBatch()
-			})
-		})
+		panic(fmt.Sprintf("sim: unknown connection phase %d", phase))
 	}
 }
 
 // serveBatch assigns and serves the current batch; when all its responses
 // are done the next batch arrives (the closed-loop client sends it
-// immediately).
+// immediately). The assignment slice is the policy's reusable buffer,
+// consumed within the loop.
 func (c *connRun) serveBatch() {
 	s := c.sim
 	batch := c.conn.Batches[c.batchIdx]
@@ -213,12 +343,157 @@ func (c *connRun) serveBatch() {
 	}
 }
 
-// requestDone accounts one finished response and advances the connection.
-func (c *connRun) requestDone(size int64) {
+// serveRequest schedules the first event of one request's mechanism-specific
+// data path.
+func (c *connRun) serveRequest(r core.Request, a core.Assignment) {
+	s := c.sim
+	costs := s.cfg.Server
+	rr := s.getReq(c, r, a)
+	switch {
+	case s.cfg.Combo.Mechanism == core.RelayFrontEnd:
+		// Request relayed by FE, served at a.Node, response relayed by
+		// FE to the client.
+		s.feCall(costs.FEPerRequest, reqStep, rr, rqFE)
+
+	case a.Forward:
+		// BE forwarding: FE forwards the tagged request to the handling
+		// node; the remote node produces the content; the handling node
+		// receives and retransmits it.
+		rr.aux = c.ec.Handling()
+		s.feCall(costs.FEPerRequest, reqStep, rr, rqFE)
+
+	case a.Migrate && s.cfg.Combo.Mechanism == core.MultipleHandoff:
+		// Migration: FE coordinates, both back-ends do handoff work,
+		// then the new handling node serves the request.
+		s.feCall(costs.HandoffFE, reqStep, rr, rqMigFE)
+
+	default:
+		// Local serve at the assigned node (covers single handoff,
+		// zero-cost reassignment, and non-migrating requests).
+		s.feCall(costs.FEPerRequest, reqStep, rr, rqFE)
+	}
+}
+
+// reqRun is one in-flight request's state: the mechanism path is encoded in
+// the assignment and the phase codes, aux carries the handling node on the
+// forwarding path.
+type reqRun struct {
+	cr   *connRun
+	id   core.TargetID
+	size int64
+	a    core.Assignment
+	aux  core.NodeID
+}
+
+// step advances the request's data path after the event (phase, node).
+func (rr *reqRun) step(phase int, n core.NodeID) {
+	c := rr.cr
+	s := c.sim
+	costs := s.cfg.Server
+	switch phase {
+	case rqFE:
+		s.fe.Release()
+		if rr.a.Forward {
+			remote := rr.a.Node
+			s.cpuCall(remote, costs.PerRequest+costs.ForwardPerRequest, reqStep, rr, rqRemoteCPU)
+			return
+		}
+		rr.startLocal(rr.a.Node)
+
+	case rqLocalCPU:
+		// Normal serve path at node n: cache lookup, disk on a miss, then
+		// transmit to the client. Local disk reads always populate the
+		// node's cache — FreeBSD's unified buffer cache offers no bypass —
+		// whatever the policy's mapping chose to record.
+		s.nodes[n].cpu.Release()
+		if s.nodes[n].cache.Lookup(rr.id) {
+			s.cpuCall(n, costs.Transmit(rr.size), reqStep, rr, rqLocalXmit)
+			return
+		}
+		s.diskCall(n, rr.size, reqStep, rr, rqLocalDisk)
+
+	case rqLocalDisk:
+		nd := s.nodes[n]
+		nd.disk.Release()
+		s.disp.ReportDiskQueue(n, nd.disk.Queued())
+		nd.cache.Insert(rr.id, rr.size)
+		s.cpuCall(n, costs.Transmit(rr.size), reqStep, rr, rqLocalXmit)
+
+	case rqLocalXmit:
+		s.nodes[n].cpu.Release()
+		if s.cfg.Combo.Mechanism == core.RelayFrontEnd {
+			s.feCall(costs.Relay(rr.size), reqStep, rr, rqRelayOut)
+			return
+		}
+		rr.done()
+
+	case rqRelayOut:
+		s.fe.Release()
+		rr.done()
+
+	case rqRemoteCPU:
+		// The remote side of a lateral fetch produces the content (cache
+		// hit or disk read, inserting on a miss).
+		s.nodes[n].cpu.Release()
+		if s.nodes[n].cache.Lookup(rr.id) {
+			rr.contentReady()
+			return
+		}
+		s.diskCall(n, rr.size, reqStep, rr, rqRemoteDisk)
+
+	case rqRemoteDisk:
+		nd := s.nodes[n]
+		nd.disk.Release()
+		s.disp.ReportDiskQueue(n, nd.disk.Queued())
+		nd.cache.Insert(rr.id, rr.size)
+		rr.contentReady()
+
+	case rqFwdXmit:
+		s.nodes[n].cpu.Release()
+		if rr.a.CacheLocally {
+			s.nodes[n].cache.Insert(rr.id, rr.size)
+		}
+		rr.done()
+
+	case rqMigFE:
+		s.fe.Release()
+		oldNode, newNode := rr.a.From, rr.a.Node
+		s.cpuCall(oldNode, costs.HandoffBE, releaseCPU, s, 0) // old node releases state
+		s.cpuCall(newNode, costs.HandoffBE, reqStep, rr, rqMigNewCPU)
+
+	case rqMigNewCPU:
+		s.nodes[n].cpu.Release()
+		rr.startLocal(n)
+
+	default:
+		panic(fmt.Sprintf("sim: unknown request phase %d", phase))
+	}
+}
+
+// startLocal begins the normal serve path at node n (per-request CPU, then
+// cache/disk/transmit via rqLocalCPU).
+func (rr *reqRun) startLocal(n core.NodeID) {
+	s := rr.cr.sim
+	s.cpuCall(n, s.cfg.Server.PerRequest, reqStep, rr, rqLocalCPU)
+}
+
+// contentReady continues the forwarding path once the remote node has the
+// content: the handling node receives and retransmits it.
+func (rr *reqRun) contentReady() {
+	s := rr.cr.sim
+	costs := s.cfg.Server
+	s.cpuCall(rr.aux, costs.ForwardPerRequest+costs.ForwardRecv(rr.size)+costs.Transmit(rr.size), reqStep, rr, rqFwdXmit)
+}
+
+// done accounts one finished response, recycles the request record, and
+// advances the connection.
+func (rr *reqRun) done() {
+	c := rr.cr
 	s := c.sim
 	s.served++
-	s.servedBytes += size
+	s.servedBytes += rr.size
 	s.delaySum += s.eng.Now() - c.batchStart
+	s.putReq(rr)
 	c.outstanding--
 	if c.outstanding > 0 {
 		return
@@ -232,99 +507,10 @@ func (c *connRun) requestDone(size int64) {
 	// relaying front-end, which pays it on its own CPU).
 	costs := s.cfg.Server
 	if s.cfg.Combo.Mechanism == core.RelayFrontEnd {
-		s.feDo(costs.FEConn, func() { s.connDone(c) })
+		s.feCall(costs.FEConn, connStep, c, cpCloseFE)
 		return
 	}
-	s.cpuDo(c.ec.Handling(), costs.ConnTeardown, func() { s.connDone(c) })
-}
-
-// serveRequest models one request under the mechanism-specific data path.
-func (c *connRun) serveRequest(r core.Request, a core.Assignment) {
-	s := c.sim
-	costs := s.cfg.Server
-	switch {
-	case s.cfg.Combo.Mechanism == core.RelayFrontEnd:
-		// Request relayed by FE, served at a.Node, response relayed by
-		// FE to the client.
-		s.feDo(costs.FEPerRequest, func() {
-			c.serveLocal(a.Node, r, func() {
-				s.feDo(costs.Relay(r.Size), func() { c.requestDone(r.Size) })
-			})
-		})
-
-	case a.Forward:
-		// BE forwarding: FE forwards the tagged request to the handling
-		// node; the remote node produces the content; the handling node
-		// receives and retransmits it.
-		h := c.ec.Handling()
-		remote := a.Node
-		s.feDo(costs.FEPerRequest, func() {
-			s.cpuDo(remote, costs.PerRequest+costs.ForwardPerRequest, func() {
-				c.withContent(remote, r, true, func() {
-					s.cpuDo(h, costs.ForwardPerRequest+costs.ForwardRecv(r.Size)+costs.Transmit(r.Size), func() {
-						if a.CacheLocally {
-							s.nodes[h].cache.Insert(r.Target, r.Size)
-						}
-						c.requestDone(r.Size)
-					})
-				})
-			})
-		})
-
-	case a.Migrate && s.cfg.Combo.Mechanism == core.MultipleHandoff:
-		// Migration: FE coordinates, both back-ends do handoff work,
-		// then the new handling node serves the request.
-		newNode, oldNode := a.Node, a.From
-		s.feDo(costs.HandoffFE, func() {
-			s.cpuDo(oldNode, costs.HandoffBE, nil) // old node releases state
-			s.cpuDo(newNode, costs.HandoffBE, func() {
-				c.serveLocal(newNode, r, func() { c.requestDone(r.Size) })
-			})
-		})
-
-	default:
-		// Local serve at the assigned node (covers single handoff,
-		// zero-cost reassignment, and non-migrating requests).
-		s.feDo(costs.FEPerRequest, func() {
-			c.serveLocal(a.Node, r, func() { c.requestDone(r.Size) })
-		})
-	}
-}
-
-// serveLocal models the normal serve path at node n: per-request CPU, cache
-// lookup, disk on a miss, then transmit to the client. Local disk reads
-// always populate the node's cache — FreeBSD's unified buffer cache offers
-// no bypass — whatever the policy's mapping chose to record.
-func (c *connRun) serveLocal(n core.NodeID, r core.Request, done func()) {
-	s := c.sim
-	costs := s.cfg.Server
-	s.cpuDo(n, costs.PerRequest, func() {
-		if s.nodes[n].cache.Lookup(r.Target) {
-			s.cpuDo(n, costs.Transmit(r.Size), done)
-			return
-		}
-		s.diskDo(n, r.Size, func() {
-			s.nodes[n].cache.Insert(r.Target, r.Size)
-			s.cpuDo(n, costs.Transmit(r.Size), done)
-		})
-	})
-}
-
-// withContent produces r's content at node n (cache hit or disk read),
-// inserting it into n's cache when insert is set, then calls done. Used for
-// the remote side of lateral fetches.
-func (c *connRun) withContent(n core.NodeID, r core.Request, insert bool, done func()) {
-	s := c.sim
-	if s.nodes[n].cache.Lookup(r.Target) {
-		done()
-		return
-	}
-	s.diskDo(n, r.Size, func() {
-		if insert {
-			s.nodes[n].cache.Insert(r.Target, r.Size)
-		}
-		done()
-	})
+	s.cpuCall(c.ec.Handling(), costs.ConnTeardown, connStep, c, cpCloseBE)
 }
 
 // result assembles the measured Result after the event queue drains.

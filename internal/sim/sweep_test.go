@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"phttp/internal/core"
+	"phttp/internal/metrics"
+	"phttp/internal/trace"
+)
+
+// sweepTrace is a smaller workload than testTrace: the golden comparisons
+// below run full sweeps several times over.
+var (
+	sweepTraceOnce sync.Once
+	sweepTraceVal  *trace.Trace
+)
+
+func sweepTrace() *trace.Trace {
+	sweepTraceOnce.Do(func() {
+		cfg := trace.SmallSynthConfig()
+		cfg.Connections = 3000
+		sweepTraceVal = trace.NewSynth(cfg).Generate()
+	})
+	return sweepTraceVal
+}
+
+// TestParallelClusterSweepMatchesSerial is the golden determinism test: the
+// parallel sweep must produce byte-identical output — every Result field
+// and the rendered series table — to the serial path.
+func TestParallelClusterSweepMatchesSerial(t *testing.T) {
+	tr := sweepTrace()
+	nodes := []int{1, 2, 3}
+	serialSeries, serialResults, err := ClusterSweepParallel(core.Apache, nodes, Combos(), tr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parSeries, parResults, err := ClusterSweepParallel(core.Apache, nodes, Combos(), tr, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serialResults, parResults) {
+		for i := range serialResults {
+			if serialResults[i] != parResults[i] {
+				t.Errorf("result %d differs:\nserial:   %+v\nparallel: %+v", i, serialResults[i], parResults[i])
+			}
+		}
+		t.Fatal("parallel ClusterSweep results differ from serial")
+	}
+	got := metrics.Table("nodes", parSeries...)
+	want := metrics.Table("nodes", serialSeries...)
+	if got != want {
+		t.Errorf("rendered series differ:\nserial:\n%s\nparallel:\n%s", want, got)
+	}
+}
+
+// TestParallelDelaySweepMatchesSerial pins the Figure 3 sweep the same way.
+func TestParallelDelaySweepMatchesSerial(t *testing.T) {
+	tr := sweepTrace()
+	loads := []int{1, 8, 32}
+	sThr, sDelay, err := DelaySweepParallel(core.Apache, loads, tr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pThr, pDelay, err := DelaySweepParallel(core.Apache, loads, tr, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sThr, pThr) || !reflect.DeepEqual(sDelay, pDelay) {
+		t.Errorf("parallel DelaySweep differs from serial:\n%v\n%v\nvs\n%v\n%v",
+			pThr, pDelay, sThr, sDelay)
+	}
+}
+
+// TestRunRepeatedOnSharedTraceIsStable replays one shared trace many times
+// concurrently (what the sweep workers do) and demands identical results —
+// this would catch any hidden mutation of the shared workload.
+func TestRunRepeatedOnSharedTraceIsStable(t *testing.T) {
+	tr := sweepTrace()
+	combo, err := ComboByName("BEforward-extLARD-PHTTP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Run(DefaultConfig(3, combo), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	results := make([]Result, 6)
+	errs := make([]error, 6)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = Run(DefaultConfig(3, combo), tr)
+		}(i)
+	}
+	wg.Wait()
+	for i := range results {
+		if errs[i] != nil {
+			t.Fatalf("concurrent run %d: %v", i, errs[i])
+		}
+		if results[i] != ref {
+			t.Errorf("concurrent run %d diverged:\n%+v\nvs\n%+v", i, results[i], ref)
+		}
+	}
+}
+
+// TestSweepPropagatesValidationErrors pins the error path: an invalid grid
+// point must surface Config.Validate's message from both the serial and the
+// parallel sweep, not a downstream deadlock report.
+func TestSweepPropagatesValidationErrors(t *testing.T) {
+	tr := sweepTrace()
+	bad := []Combo{{Name: "bogus", Policy: "nonsense", Mechanism: core.SingleHandoff, PHTTP: true}}
+	for _, workers := range []int{1, 4} {
+		if _, _, err := ClusterSweepParallel(core.Apache, []int{1, 2}, bad, tr, workers); err == nil {
+			t.Errorf("workers=%d: unknown policy did not error", workers)
+		}
+		if _, _, err := DelaySweepParallel(core.Apache, []int{0}, tr, workers); err == nil {
+			t.Errorf("workers=%d: zero load point did not error", workers)
+		}
+	}
+}
+
+// TestRunInternsRawTrace covers the edge where a caller hands Run a trace
+// built by hand (no loader, no interned IDs).
+func TestRunInternsRawTrace(t *testing.T) {
+	raw := &trace.Trace{
+		Sizes: map[core.Target]int64{"/a": 1000, "/b": 2000},
+		Conns: []core.Connection{
+			{Batches: []core.Batch{{{Target: "/a", Size: 1000}}, {{Target: "/b", Size: 2000}}}},
+			{Batches: []core.Batch{{{Target: "/a", Size: 1000}}}},
+		},
+	}
+	combo, err := ComboByName("simple-LARD-PHTTP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(1, combo)
+	cfg.WarmupFrac = 0
+	res, err := Run(cfg, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The warmup snapshot excludes the first completed connection's
+	// requests, so only post-warmup requests are counted here.
+	if res.Requests < 1 || res.Events == 0 {
+		t.Errorf("raw-trace run measured nothing: %+v", res)
+	}
+	if raw.Interner == nil || raw.Interner.Len() != 2 {
+		t.Error("Run did not intern the raw trace")
+	}
+}

@@ -1,84 +1,196 @@
 // Package simcore provides the discrete-event machinery underneath the
-// cluster simulator: a binary-heap event queue with a deterministic
+// cluster simulator: a zero-allocation event queue with a deterministic
 // tie-break order, a simulated clock, and busy-server resource helpers.
+//
+// The queue is a value-typed 4-ary min-heap of small (time, seq, slot) keys
+// ordered exactly as the original binary heap of *Event pointers was — by
+// time, ties broken by scheduling order — plus a free-listed slab of event
+// bodies. A body carries either a typed callback (an Action plus a pointer
+// payload and two integer arguments, the closure-free fast path the
+// simulator's hot loop uses) or a plain func() for convenience callers.
+// Steady-state scheduling and stepping through Call/Step touches only the
+// heap slice and the slab, so it performs zero heap allocations per event
+// once the engine has warmed up to its peak queue depth.
 package simcore
 
 import (
-	"container/heap"
-
 	"phttp/internal/core"
 )
 
-// Event is a callback scheduled at a simulated time. Events at equal times
-// fire in scheduling order (Seq), which keeps runs deterministic.
-type Event struct {
-	At  core.Micros
-	Seq uint64
-	Fn  func()
+// Action is a closure-free event callback: obj is an arbitrary pointer
+// payload and a, b are small integer arguments (a phase code, a node index —
+// whatever the caller encodes). Using a package-level function or a method
+// expression as an Action allocates nothing at schedule time, unlike a
+// closure.
+type Action func(obj any, a, b int64)
+
+// heapKey is one 4-ary heap element: the ordering key plus the slab slot of
+// the event's body. Keeping the key small makes sift swaps cheap. Events at
+// equal times fire in scheduling order (seq), which keeps runs
+// deterministic.
+type heapKey struct {
+	at   core.Micros
+	seq  uint64
+	slot int32
 }
 
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].At != h[j].At {
-		return h[i].At < h[j].At
-	}
-	return h[i].Seq < h[j].Seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*Event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+// body is the out-of-line payload of a scheduled event. Exactly one of
+// action/fn is set. next links free slots.
+type body struct {
+	action Action
+	obj    any
+	a, b   int64
+	fn     func()
+	next   int32
 }
 
-// Engine owns the clock and the pending-event heap.
+const noSlot int32 = -1
+
+// Engine owns the clock, the pending-event heap and the body slab.
 type Engine struct {
 	now    core.Micros
 	seq    uint64
-	events eventHeap
+	keys   []heapKey
+	bodies []body
+	free   int32
 }
 
 // NewEngine returns an engine with the clock at zero.
 func NewEngine() *Engine {
-	e := &Engine{}
-	heap.Init(&e.events)
-	return e
+	return &Engine{free: noSlot}
 }
 
 // Now returns the current simulated time.
 func (e *Engine) Now() core.Micros { return e.now }
 
 // Pending returns the number of scheduled events.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return len(e.keys) }
 
-// At schedules fn to run at absolute time t. Scheduling in the past panics:
-// that is always a modelling bug, not a recoverable condition.
-func (e *Engine) At(t core.Micros, fn func()) {
+// alloc acquires a body slot from the free list, growing the slab only when
+// the queue exceeds its historical peak depth.
+func (e *Engine) alloc() int32 {
+	if e.free == noSlot {
+		e.bodies = append(e.bodies, body{})
+		return int32(len(e.bodies) - 1)
+	}
+	s := e.free
+	e.free = e.bodies[s].next
+	return s
+}
+
+// push schedules body slot s at time t, preserving the exact (time, seq)
+// order of the original container/heap implementation.
+func (e *Engine) push(t core.Micros, s int32) {
 	if t < e.now {
 		panic("simcore: event scheduled in the past")
 	}
 	e.seq++
-	heap.Push(&e.events, &Event{At: t, Seq: e.seq, Fn: fn})
+	e.keys = append(e.keys, heapKey{at: t, seq: e.seq, slot: s})
+	e.siftUp(len(e.keys) - 1)
+}
+
+func (k heapKey) less(o heapKey) bool {
+	if k.at != o.at {
+		return k.at < o.at
+	}
+	return k.seq < o.seq
+}
+
+func (e *Engine) siftUp(i int) {
+	keys := e.keys
+	k := keys[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !k.less(keys[parent]) {
+			break
+		}
+		keys[i] = keys[parent]
+		i = parent
+	}
+	keys[i] = k
+}
+
+func (e *Engine) siftDown(i int) {
+	keys := e.keys
+	n := len(keys)
+	k := keys[i]
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if keys[c].less(keys[min]) {
+				min = c
+			}
+		}
+		if !keys[min].less(k) {
+			break
+		}
+		keys[i] = keys[min]
+		i = min
+	}
+	keys[i] = k
+}
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// that is always a modelling bug, not a recoverable condition. The closure
+// path is kept for convenience callers and tests; the simulator's hot loop
+// uses Call, which allocates nothing.
+func (e *Engine) At(t core.Micros, fn func()) {
+	s := e.alloc()
+	e.bodies[s] = body{fn: fn, next: noSlot}
+	e.push(t, s)
 }
 
 // After schedules fn to run d after the current time.
 func (e *Engine) After(d core.Micros, fn func()) { e.At(e.now+d, fn) }
 
+// Call schedules the closure-free event act(obj, a, b) at absolute time t.
+func (e *Engine) Call(t core.Micros, act Action, obj any, a, b int64) {
+	if act == nil {
+		panic("simcore: Call with nil Action")
+	}
+	s := e.alloc()
+	e.bodies[s] = body{action: act, obj: obj, a: a, b: b, next: noSlot}
+	e.push(t, s)
+}
+
+// CallAfter schedules act(obj, a, b) to run d after the current time.
+func (e *Engine) CallAfter(d core.Micros, act Action, obj any, a, b int64) {
+	e.Call(e.now+d, act, obj, a, b)
+}
+
 // Step runs the earliest pending event, advancing the clock. It reports
 // whether an event ran.
 func (e *Engine) Step() bool {
-	if len(e.events) == 0 {
+	if len(e.keys) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(*Event)
-	e.now = ev.At
-	ev.Fn()
+	top := e.keys[0]
+	n := len(e.keys) - 1
+	e.keys[0] = e.keys[n]
+	e.keys = e.keys[:n]
+	if n > 0 {
+		e.siftDown(0)
+	}
+	// Copy the body out and release the slot before dispatching, clearing
+	// the references so the slab never retains dead payloads; the callback
+	// may schedule new events into the freed slot.
+	b := e.bodies[top.slot]
+	e.bodies[top.slot] = body{next: e.free}
+	e.free = top.slot
+	e.now = top.at
+	if b.action != nil {
+		b.action(b.obj, b.a, b.b)
+	} else {
+		b.fn()
+	}
 	return true
 }
 

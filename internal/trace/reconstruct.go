@@ -83,7 +83,7 @@ func Reconstruct(entries []Entry, idleTimeout, batchWindow core.Micros) *Trace {
 	for _, p := range conns {
 		t.Conns = append(t.Conns, p.conn)
 	}
-	return t
+	return t.EnsureIDs()
 }
 
 // buildConnection splits one connection's ordered entries into batches: the

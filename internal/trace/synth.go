@@ -189,7 +189,8 @@ func (s *Synth) Sizes() map[core.Target]int64 {
 	return m
 }
 
-// Generate produces the structured P-HTTP trace directly.
+// Generate produces the structured P-HTTP trace directly, with every
+// request's target interned.
 func (s *Synth) Generate() *Trace {
 	t := &Trace{Sizes: make(map[core.Target]int64)}
 	for i := 0; i < s.cfg.Connections; i++ {
@@ -201,7 +202,7 @@ func (s *Synth) Generate() *Trace {
 			}
 		}
 	}
-	return t
+	return t.EnsureIDs()
 }
 
 // genConnection generates one persistent connection: optionally the resumed
@@ -307,5 +308,5 @@ func (s *Synth) GenerateBoth() ([]Entry, *Trace) {
 		// Next connection from this client comes after the idle timeout.
 		clientClock[client] = now + DefaultIdleTimeout + core.Micros(1+s.rng.Intn(30))*core.Second
 	}
-	return entries, tr
+	return entries, tr.EnsureIDs()
 }

@@ -30,9 +30,37 @@ type Entry struct {
 // Trace is a reconstructed workload: an ordered sequence of client
 // connections (each a sequence of pipelined batches) plus the table of
 // target sizes, which doubles as the synthetic document store's catalog.
+//
+// Interner holds the dense TargetIDs stamped onto every Request by
+// EnsureIDs. The loaders (synthetic generator, log reconstruction) intern
+// at build time, so everything downstream — simulator caches, policies,
+// mapping tables — runs on integer IDs and only the edges ever see target
+// strings.
 type Trace struct {
-	Conns []core.Connection
-	Sizes map[core.Target]int64
+	Conns    []core.Connection
+	Sizes    map[core.Target]int64
+	Interner *core.Interner
+}
+
+// EnsureIDs interns every request's target, assigning dense IDs in trace
+// order (first appearance wins), and returns the trace for chaining. It is
+// idempotent and must be called — or inherited from the loader — before the
+// trace is replayed. Not safe to call concurrently with replay: parallel
+// sweep drivers intern once up front and then share the trace read-only.
+func (t *Trace) EnsureIDs() *Trace {
+	if t.Interner == nil {
+		t.Interner = core.NewInterner()
+	}
+	for _, c := range t.Conns {
+		for _, b := range c.Batches {
+			for i := range b {
+				if b[i].ID == core.NoTarget {
+					b[i].ID = t.Interner.Intern(b[i].Target)
+				}
+			}
+		}
+	}
+	return t
 }
 
 // Requests returns the total request count.
@@ -64,9 +92,10 @@ func (t *Trace) WorkingSetBytes() int64 {
 
 // Flatten10 converts the trace to HTTP/1.0 form: every request becomes its
 // own single-request connection, in the original order. This produces the
-// paper's "HTTP/1.0 workload" from the same request stream.
+// paper's "HTTP/1.0 workload" from the same request stream. Interned IDs
+// carry over with the requests.
 func (t *Trace) Flatten10() *Trace {
-	out := &Trace{Sizes: t.Sizes}
+	out := &Trace{Sizes: t.Sizes, Interner: t.Interner}
 	for _, c := range t.Conns {
 		for _, b := range c.Batches {
 			for _, r := range b {
