@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke fmt vet check
+.PHONY: all build test race bench bench-smoke cover fuzz-smoke fmt vet check
 
 all: build
 
@@ -31,6 +31,20 @@ bench:
 # runs this on each push.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
+
+# Total statement coverage against the recorded baseline
+# (.github/coverage-baseline.txt); CI fails when it drops.
+cover:
+	$(GO) test -count=1 -coverprofile=cover.out -coverpkg=./internal/... ./...
+	$(GO) tool cover -func=cover.out | tail -1
+
+# Short coverage-guided runs of the httpmsg parser fuzz targets; CI runs
+# the same on each push. Longer local sessions: go test -fuzz <target>
+# -fuzztime 5m ./internal/httpmsg/
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz 'FuzzReadRequest$$' -fuzztime=10s ./internal/httpmsg/
+	$(GO) test -run '^$$' -fuzz 'FuzzReadRequestInterned$$' -fuzztime=10s ./internal/httpmsg/
+	$(GO) test -run '^$$' -fuzz 'FuzzReadResponse$$' -fuzztime=10s ./internal/httpmsg/
 
 fmt:
 	gofmt -l .

@@ -44,6 +44,7 @@ func main() {
 		mech    = flag.String("mechanism", "beforward", "singlehandoff, beforward or relay")
 		cacheMB = flag.Int64("cache-mb", cluster.PrototypeCacheBytes>>20, "per-node cache estimate for the mapping model (MB)")
 		idle    = flag.Duration("idle-timeout", 15*time.Second, "persistent connection idle close interval")
+		maxTgts = flag.Int("max-targets", 0, "cap the dispatcher's target table (evictable interner with ID recycling) for long-haul deployments facing an unbounded URL space; 0 pins every target ever seen")
 	)
 	flag.Var(&backends, "backend", "back-end endpoint as ctrlAddr,handoffPath (repeat per node)")
 	flag.Parse()
@@ -69,6 +70,7 @@ func main() {
 		Mechanism:    m,
 		Params:       policy.DefaultParams(),
 		CacheBytes:   *cacheMB << 20,
+		MaxTargets:   *maxTgts,
 		IdleTimeout:  *idle,
 		ClientListen: *listen,
 	}, backends)

@@ -13,12 +13,18 @@ type IDLRU struct {
 	capacity int64
 	bytes    int64
 	// pos[id] is the slab slot of id plus one; 0 means not cached. It grows
-	// to the highest ID seen, which is bounded by the interner's population.
+	// to the highest ID seen, which is bounded by the interner's population
+	// (and, under an evictable interner, by its cap — see Compact).
 	pos   []int32
 	slots []idEntry
 	free  int32 // head of the slot free list, -1 if empty
 	head  int32 // most recently used, -1 if empty
 	tail  int32 // least recently used, -1 if empty
+
+	// rc, when set, pins interned targets for as long as they are cached:
+	// Acquire on insert, Release on evict. Nil (the simulator's pinned
+	// workloads) costs nothing.
+	rc core.RefCounter
 
 	hits, misses int64
 }
@@ -39,6 +45,12 @@ func NewIDLRU(capacity int64) *IDLRU {
 	}
 	return &IDLRU{capacity: capacity, free: noEntry, head: noEntry, tail: noEntry}
 }
+
+// SetRefCounter wires the lifecycle hook called as entries come and go:
+// rc.Acquire when a target is cached, rc.Release when it is evicted or
+// removed, so an evictable interner never recycles an ID this cache still
+// holds. Set it before first use; it is not safe to change under traffic.
+func (c *IDLRU) SetRefCounter(rc core.RefCounter) { c.rc = rc }
 
 // Capacity returns the byte budget.
 func (c *IDLRU) Capacity() int64 { return c.capacity }
@@ -163,6 +175,9 @@ func (c *IDLRU) Insert(id core.TargetID, size int64) {
 	c.setPos(id, s)
 	c.pushFront(s)
 	c.bytes += size
+	if c.rc != nil {
+		c.rc.Acquire(id)
+	}
 	c.evictOver()
 }
 
@@ -185,6 +200,9 @@ func (c *IDLRU) removeSlot(s int32) {
 	c.bytes -= e.size
 	c.slots[s] = idEntry{next: c.free}
 	c.free = s
+	if c.rc != nil {
+		c.rc.Release(e.id)
+	}
 }
 
 // Remove evicts target if present, reporting whether it was cached.
@@ -195,6 +213,29 @@ func (c *IDLRU) Remove(id core.TargetID) bool {
 	}
 	c.removeSlot(s)
 	return true
+}
+
+// Compact shrinks the dense position table to the highest ID still cached
+// (but never below highWater, the interner's current ID bound, so the next
+// insert does not immediately regrow it). Call it from the same maintenance
+// hook that compacts the interner — after target churn the table otherwise
+// stays sized for the all-time peak ID. Returns the retained position-table
+// length.
+func (c *IDLRU) Compact(highWater core.TargetID) int {
+	maxID := int32(highWater)
+	for s := c.head; s != noEntry; s = c.slots[s].next {
+		if id := int32(c.slots[s].id); id > maxID {
+			maxID = id
+		}
+	}
+	want := int(maxID) + 1
+	if want < len(c.pos) && cap(c.pos) > 2*want+64 {
+		c.pos = append(make([]int32, 0, want), c.pos[:want]...)
+	} else if want < len(c.pos) {
+		clear(c.pos[want:])
+		c.pos = c.pos[:want]
+	}
+	return len(c.pos)
 }
 
 // IDs returns the cached target IDs from most to least recently used.

@@ -35,6 +35,17 @@ func NewMapping(n int, cacheBytes int64) *Mapping {
 	return m
 }
 
+// SetRefCounter wires the target-lifecycle hook into every per-node model:
+// a target acquires one reference per node believed to cache it and
+// releases it when the mapping ages out, so an evictable interner never
+// recycles an ID the dispatcher still has beliefs about. Set it before
+// traffic (the dispatch engine does, right after building the policy).
+func (m *Mapping) SetRefCounter(rc core.RefCounter) {
+	for _, lru := range m.perNode {
+		lru.SetRefCounter(rc)
+	}
+}
+
 // Nodes returns the number of nodes modeled.
 func (m *Mapping) Nodes() int { return len(m.perNode) }
 

@@ -33,6 +33,12 @@ type ShardedLRU struct {
 	clock    atomic.Uint64
 	shards   []lruShard
 	mask     uint32
+
+	// rc, when set, pins interned targets while cached: Acquire on insert,
+	// Release on evict, called under the owning shard's lock (the interner
+	// takes its own lock and never calls back into the cache, so the
+	// ordering is acyclic). Nil skips the calls.
+	rc core.RefCounter
 }
 
 type lruShard struct {
@@ -91,6 +97,11 @@ func (c *ShardedLRU) shardFor(id core.TargetID) *lruShard {
 	}
 	return &c.shards[idHash(id)&c.mask]
 }
+
+// SetRefCounter wires the lifecycle hook called as entries come and go, so
+// an evictable interner never recycles an ID this cache still holds. Set it
+// before first use; it is not safe to change under traffic.
+func (c *ShardedLRU) SetRefCounter(rc core.RefCounter) { c.rc = rc }
 
 // Capacity returns the byte budget.
 func (c *ShardedLRU) Capacity() int64 { return c.capacity }
@@ -200,6 +211,9 @@ func (c *ShardedLRU) Insert(id core.TargetID, size int64) {
 	s.pushFront(e)
 	c.bytes.Add(size)
 	c.count.Add(1)
+	if c.rc != nil {
+		c.rc.Acquire(id)
+	}
 	s.mu.Unlock()
 	c.evictOver()
 }
@@ -237,7 +251,11 @@ func (c *ShardedLRU) evictOver() {
 			delete(vs.entries, victim.id)
 			c.bytes.Add(-victim.size)
 			c.count.Add(-1)
+			evicted := victim.id
 			vs.putEntry(victim)
+			if c.rc != nil {
+				c.rc.Release(evicted)
+			}
 		}
 		vs.mu.Unlock()
 	}
@@ -257,6 +275,9 @@ func (c *ShardedLRU) Remove(id core.TargetID) bool {
 	c.bytes.Add(-e.size)
 	c.count.Add(-1)
 	s.putEntry(e)
+	if c.rc != nil {
+		c.rc.Release(id)
+	}
 	s.mu.Unlock()
 	return true
 }

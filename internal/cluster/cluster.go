@@ -23,6 +23,9 @@ type Config struct {
 
 	Catalog    map[core.Target]int64
 	CacheBytes int64
+	// MaxTargets caps the front-end's target interner (see
+	// FrontEndConfig.MaxTargets); 0 pins every target.
+	MaxTargets int
 	Disk       server.DiskParams
 	Costs      server.Costs
 
@@ -114,6 +117,7 @@ func Start(cfg Config) (*Cluster, error) {
 		Mechanism:   cfg.Mechanism,
 		Params:      cfg.Params,
 		CacheBytes:  cfg.CacheBytes,
+		MaxTargets:  cfg.MaxTargets,
 		IdleTimeout: cfg.IdleTimeout,
 		BatchWindow: cfg.BatchWindow,
 	}, eps)

@@ -34,6 +34,14 @@ type FrontEndConfig struct {
 	Params policy.Params
 	// CacheBytes sizes the mapping model per node.
 	CacheBytes int64
+	// MaxTargets, when positive, bounds the dispatcher's target interner:
+	// IDs are refcounted (mapping entries and in-flight requests pin
+	// them), recycled after churn, and compacted periodically, so a
+	// front-end facing an unbounded URL space (query strings, crawlers)
+	// holds a bounded table instead of pinning every URL ever seen. Zero
+	// keeps the pinned interner, which is right for benchmark runs and
+	// trace replay.
+	MaxTargets int
 	// IdleTimeout closes persistent connections with no request activity
 	// (the paper's configurable interval, typically 15 s).
 	IdleTimeout time.Duration
@@ -117,6 +125,7 @@ func NewFrontEnd(cfg FrontEndConfig, backends []BackendEndpoints) (*FrontEnd, er
 		CacheBytes: cfg.CacheBytes,
 		Params:     cfg.Params,
 		Mechanism:  cfg.Mechanism,
+		MaxTargets: cfg.MaxTargets,
 	})
 	if err != nil {
 		return nil, err
@@ -219,6 +228,9 @@ func (fe *FrontEnd) Addr() string { return fe.ln.Addr().String() }
 
 // Policy exposes the dispatcher's policy (metrics, tests).
 func (fe *FrontEnd) Policy() core.Policy { return fe.eng.Policy() }
+
+// Engine exposes the dispatch engine (interner diagnostics, soak tests).
+func (fe *FrontEnd) Engine() *dispatch.Engine { return fe.eng }
 
 // PolicyName returns the canonical dispatch-registry name of the running
 // policy ("wrr", "lard", "lardr" or "extlard").
@@ -399,16 +411,29 @@ func (fe *FrontEnd) serveClient(conn net.Conn) {
 		if err != nil || len(batch) == 0 {
 			return
 		}
-		if !opened {
-			if err := fe.openConn(c, batch[0]); err != nil {
-				return
-			}
-			opened = true
-		}
-		if err := fe.dispatchBatch(c, batch, reqs); err != nil {
+		err = fe.serveBatch(c, batch, reqs, &opened)
+		// The parse-time interner references are dropped once the batch
+		// has been dispatched (or abandoned): the mapping holds its own
+		// references and back-ends address content by target string, so
+		// under a capped interner unpopular URLs become recyclable the
+		// moment their requests are on the wire.
+		fe.eng.ReleaseBatch(batch)
+		if err != nil {
 			return
 		}
 	}
+}
+
+// serveBatch admits the connection on its first batch and dispatches the
+// batch's requests.
+func (fe *FrontEnd) serveBatch(c *feConn, batch core.Batch, reqs []*httpmsg.Request, opened *bool) error {
+	if !*opened {
+		if err := fe.openConn(c, batch[0]); err != nil {
+			return err
+		}
+		*opened = true
+	}
+	return fe.dispatchBatch(c, batch, reqs)
 }
 
 // trackDispatch accounts the time spent in a dispatch-engine call toward
@@ -435,12 +460,13 @@ func (fe *FrontEnd) readBatch(c *feConn) (core.Batch, []*httpmsg.Request, error)
 		window = 2 * time.Millisecond
 	}
 
+	in := fe.eng.Interner()
 	c.conn.SetReadDeadline(time.Now().Add(idle))
-	first, err := httpmsg.ReadRequest(c.br)
+	first, err := httpmsg.ReadRequestInterned(c.br, in)
 	if err != nil {
 		return nil, nil, err
 	}
-	batch := core.Batch{fe.toRequest(first)}
+	batch := core.Batch{toRequest(first)}
 	reqs := []*httpmsg.Request{first}
 	for {
 		if c.br.Buffered() == 0 {
@@ -453,22 +479,24 @@ func (fe *FrontEnd) readBatch(c *feConn) (core.Batch, []*httpmsg.Request, error)
 			}
 		}
 		c.conn.SetReadDeadline(time.Now().Add(window))
-		req, err := httpmsg.ReadRequest(c.br)
+		req, err := httpmsg.ReadRequestInterned(c.br, in)
 		if err != nil {
 			break
 		}
-		batch = append(batch, fe.toRequest(req))
+		batch = append(batch, toRequest(req))
 		reqs = append(reqs, req)
 	}
 	c.conn.SetReadDeadline(time.Time{})
 	return batch, reqs, nil
 }
 
-// toRequest converts a parsed request into the policy's vocabulary. The
-// response size is not known to a real front-end; LARD only uses it to size
-// mapping entries, so the dispatcher estimates with a nominal value.
-func (fe *FrontEnd) toRequest(r *httpmsg.Request) core.Request {
-	return core.Request{Target: core.Target(r.Target), Size: nominalMappingSize}
+// toRequest converts a parsed request into the policy's vocabulary,
+// carrying the parse-time interned ID so dispatch never hashes the target
+// string. The response size is not known to a real front-end; LARD only
+// uses it to size mapping entries, so the dispatcher estimates with a
+// nominal value.
+func toRequest(r *httpmsg.Request) core.Request {
+	return core.Request{Target: core.Target(r.Target), ID: r.ID, Size: nominalMappingSize}
 }
 
 // nominalMappingSize is the per-target size estimate used by the

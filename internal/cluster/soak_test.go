@@ -1,0 +1,260 @@
+package cluster_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"phttp/internal/cluster"
+	"phttp/internal/core"
+	"phttp/internal/dispatch"
+	"phttp/internal/loadgen"
+	"phttp/internal/policy"
+	"phttp/internal/server"
+	"phttp/internal/trace"
+)
+
+// TestCappedDispatchMatchesPinnedReference replays one unbounded-URL
+// workload through two dispatch engines in lockstep — one with a capped,
+// recycling interner (the long-haul front-end configuration) and one with
+// the pinned interner whose IDs are a stable 1:1 image of the target
+// strings — and asserts every dispatch decision is identical. ID recycling
+// must be invisible to policy behavior: the mapping tables age by byte
+// budget and the refcount protocol guarantees a recycled ID carries no
+// stale mapping state, so the capped engine's decisions match the
+// string-keyed reference exactly while its tables stay bounded.
+func TestCappedDispatchMatchesPinnedReference(t *testing.T) {
+	const (
+		maxTargets = 512
+		nodes      = 4
+		hotSet     = 64
+		reqSize    = 8 << 10 // the front-end's nominal mapping size
+	)
+	conns := 12_000
+	if testing.Short() {
+		conns = 1_500
+	}
+	for _, tc := range []struct {
+		name string
+		mech core.Mechanism
+	}{
+		{"lard", core.SingleHandoff},
+		{"lardr", core.SingleHandoff},
+		{"extlard", core.BEForwarding},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			mkEngine := func(maxT int) *dispatch.Engine {
+				eng, err := dispatch.NewEngine(dispatch.Spec{
+					Policy:     tc.name,
+					Nodes:      nodes,
+					CacheBytes: 256 << 10, // 32 mapping entries per node: refs stay far under the cap
+					Params:     policy.DefaultParams(),
+					Mechanism:  tc.mech,
+					MaxTargets: maxT,
+					// A prime off-cycle period so compaction lands at
+					// arbitrary points of the connection stream.
+					MaintainEvery: 97,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return eng
+			}
+			capped := mkEngine(maxTargets)
+			pinned := mkEngine(0)
+			if !capped.Interner().Evictable() || pinned.Interner().Evictable() {
+				t.Fatal("engine interner modes wired wrong")
+			}
+
+			rng := rand.New(rand.NewSource(7))
+			next := func(i int) core.Target {
+				if rng.Intn(2) == 0 {
+					return core.Target(fmt.Sprintf("/hot%d", rng.Intn(hotSet)))
+				}
+				return core.Target(fmt.Sprintf("/once-%d-%d", i, rng.Intn(1<<20)))
+			}
+			for i := 0; i < conns; i++ {
+				nBatches := rng.Intn(3) + 1
+				var cc, cp *dispatch.Conn
+				for b := 0; b < nBatches; b++ {
+					batchC := make(core.Batch, rng.Intn(4)+1)
+					batchP := make(core.Batch, len(batchC))
+					for j := range batchC {
+						tgt := next(i)
+						batchC[j] = core.Request{Target: tgt, ID: capped.Interner().Intern(tgt), Size: reqSize}
+						batchP[j] = core.Request{Target: tgt, ID: pinned.Interner().Intern(tgt), Size: reqSize}
+					}
+					if b == 0 {
+						var hc, hp core.NodeID
+						cc, hc = capped.ConnOpen(batchC[0])
+						cp, hp = pinned.ConnOpen(batchP[0])
+						if hc != hp {
+							t.Fatalf("conn %d: handling diverged: capped %v, reference %v", i, hc, hp)
+						}
+					}
+					ac := capped.AssignBatch(cc, batchC)
+					ap := pinned.AssignBatch(cp, batchP)
+					for j := range ac {
+						if ac[j] != ap[j] {
+							t.Fatalf("conn %d batch %d req %d (%q): capped %+v, reference %+v",
+								i, b, j, batchC[j].Target, ac[j], ap[j])
+						}
+					}
+					capped.ReleaseBatch(batchC)
+					pinned.ReleaseBatch(batchP)
+				}
+				if rng.Intn(64) == 0 {
+					// Same disk feedback to both: flips extLARD between
+					// serve-local and forward.
+					n, q := core.NodeID(rng.Intn(nodes)), rng.Intn(2*policy.DefaultParams().DiskQueueLow)
+					capped.ReportDiskQueue(n, q)
+					pinned.ReportDiskQueue(n, q)
+				}
+				capped.ConnClose(cc)
+				pinned.ConnClose(cp)
+			}
+
+			in := capped.Interner()
+			capped.Maintain()
+			if got := in.Len(); got > maxTargets {
+				t.Errorf("capped table holds %d targets, cap %d", got, maxTargets)
+			}
+			if hw := int(in.HighWater()); hw > maxTargets {
+				t.Errorf("capped ID space grew to %d, cap %d", hw, maxTargets)
+			}
+			if in.Recycles() == 0 {
+				t.Error("no recycling despite unbounded URL stream")
+			}
+			if ref := pinned.Interner().Len(); ref <= maxTargets {
+				t.Fatalf("reference interner saw only %d targets; workload not unbounded enough", ref)
+			}
+		})
+	}
+}
+
+// churnTrace builds the soak workload: every connection mixes requests for
+// a small hot set with URLs never seen before (all servable, so end-to-end
+// verification covers them), giving the front-end an effectively unbounded
+// target stream.
+func churnTrace(conns, hotSet int) *trace.Trace {
+	rng := rand.New(rand.NewSource(11))
+	tr := &trace.Trace{Sizes: make(map[core.Target]int64)}
+	for i := 0; i < hotSet; i++ {
+		tr.Sizes[core.Target(fmt.Sprintf("/hot%d", i))] = int64(rng.Intn(8<<10)) + 512
+	}
+	uniq := 0
+	for i := 0; i < conns; i++ {
+		var batches []core.Batch
+		for b := rng.Intn(2) + 1; b > 0; b-- {
+			batch := make(core.Batch, rng.Intn(3)+1)
+			for j := range batch {
+				var tgt core.Target
+				if rng.Intn(3) == 0 {
+					tgt = core.Target(fmt.Sprintf("/hot%d", rng.Intn(hotSet)))
+				} else {
+					tgt = core.Target(fmt.Sprintf("/soak/%d", uniq))
+					uniq++
+				}
+				size, ok := tr.Sizes[tgt]
+				if !ok {
+					size = int64(rng.Intn(4<<10)) + 256
+					tr.Sizes[tgt] = size
+				}
+				batch[j] = core.Request{Target: tgt, Size: size}
+			}
+			batches = append(batches, batch)
+		}
+		tr.Conns = append(tr.Conns, core.Connection{Batches: batches})
+	}
+	return tr
+}
+
+// TestFrontEndUnboundedURLSoak is the acceptance soak: an unbounded-URL
+// workload replayed through the real prototype front-end (parse-time
+// interning, capped interner, handoff data path) with end-to-end
+// verification on — every response must match the string-keyed catalog,
+// byte for byte — while the dispatcher's target table and ID space stay
+// bounded by the configured cap.
+func TestFrontEndUnboundedURLSoak(t *testing.T) {
+	const maxTargets = 256
+	conns := 1_000
+	if testing.Short() {
+		conns = 250
+	}
+	tr := churnTrace(conns, 32)
+
+	cfg := cluster.DefaultConfig(2, tr.Sizes)
+	cfg.Policy = "lard"
+	cfg.Mechanism = core.SingleHandoff
+	// A small mapping budget keeps the dispatcher's live references (32
+	// mapping entries per node at the 8 KB nominal size, plus in-flight
+	// batches) far below the cap, so the ≤-cap assertions are exact.
+	cfg.CacheBytes = 256 << 10
+	cfg.MaxTargets = maxTargets
+	cfg.SimulateCPU = false
+	cfg.TimeScale = 200
+	cfg.Disk = server.DefaultDisk()
+	cfg.BatchWindow = time.Millisecond
+	cl, err := cluster.Start(cfg)
+	if err != nil {
+		t.Fatalf("start cluster: %v", err)
+	}
+	defer cl.Close()
+
+	eng := cl.FE.Engine()
+	if !eng.Interner().Evictable() {
+		t.Fatal("front-end did not build an evictable interner from MaxTargets")
+	}
+
+	res, err := loadgen.Run(loadgen.Config{
+		Addr:        cl.Addr(),
+		Trace:       tr,
+		Concurrency: 8,
+		Verify:      true,
+		IOTimeout:   20 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("loadgen: %v", err)
+	}
+	if res.Errors != 0 {
+		t.Errorf("%d responses diverged from the string-keyed reference catalog", res.Errors)
+	}
+	if want := int64(tr.Requests()); res.Requests != want {
+		t.Errorf("served %d requests, want %d", res.Requests, want)
+	}
+	if got := cl.FE.PolicyName(); got != "lard" {
+		t.Errorf("PolicyName() = %q, want lard", got)
+	}
+	if got := cl.FE.Connections(); got < int64(conns) {
+		t.Errorf("front-end accepted %d connections, want ≥ %d", got, conns)
+	}
+	if u := cl.FE.Utilization(); u < 0 || u > 1 {
+		t.Errorf("Utilization() = %v, want within [0,1]", u)
+	}
+
+	eng.Maintain()
+	in := eng.Interner()
+	if got := in.Len(); got > maxTargets {
+		t.Errorf("interner table holds %d targets after soak, cap %d", got, maxTargets)
+	}
+	if hw := int(in.HighWater()); hw > maxTargets {
+		t.Errorf("per-ID slice bound (high water) is %d after soak, cap %d", hw, maxTargets)
+	}
+	if in.Recycles() == 0 {
+		t.Error("no ID recycling despite unbounded URL stream")
+	}
+	if distinct := len(tr.Sizes); distinct <= maxTargets {
+		t.Fatalf("workload has only %d distinct targets; soak is not unbounded", distinct)
+	}
+	// The cap must not have cost correctness of the live set: every node's
+	// mapping entries reference live interned targets (Name panics on a
+	// recycled ID, so this loop is itself the no-aliasing check).
+	if m, ok := cl.FE.Policy().(*policy.LARD); ok {
+		for n := 0; n < m.Mapping().Nodes(); n++ {
+			if b := m.Mapping().MappedBytes(core.NodeID(n)); b > cfg.CacheBytes {
+				t.Errorf("node %d mapping over budget: %d > %d", n, b, cfg.CacheBytes)
+			}
+		}
+	}
+}

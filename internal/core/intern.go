@@ -14,9 +14,26 @@ type TargetID int32
 
 // NoTarget is the zero value of TargetID: "not interned". Constructors that
 // build Requests from raw strings (trace parsing, the prototype protocol)
-// leave the ID at NoTarget; the dispatch engine or the trace loader interns
+// leave the ID at NoTarget; the HTTP parser or the trace loader interns
 // before any policy or cache sees the request.
 const NoTarget TargetID = 0
+
+// RefCounter is the lifecycle hook an ID-keyed structure uses to pin the
+// interned targets it holds: Acquire when an entry keyed by id is inserted,
+// Release when it is evicted or removed. *Interner implements it; structures
+// with a nil RefCounter skip the calls entirely, so the simulator's pinned
+// workloads pay nothing.
+type RefCounter interface {
+	Acquire(id TargetID)
+	Release(id TargetID)
+}
+
+// Sentinel slot values for the interner's lifecycle state. Slots are id-1.
+const (
+	nilSlot    int32 = -1 // list terminator / empty list
+	notInLimbo int32 = -2 // entry is referenced (or dead), not in the limbo list
+	deadRef    int32 = -1 // refs value marking a recycled (dead) slot
+)
 
 // Interner maps Target strings to dense TargetIDs and back. IDs are assigned
 // sequentially from 1 in first-intern order, so a trace interned
@@ -25,46 +42,246 @@ const NoTarget TargetID = 0
 //
 // Interner is safe for concurrent use: the prototype front-end interns
 // request targets from parallel connection handlers. Lookups of
-// already-interned targets take only a read lock.
+// already-interned targets take only a read lock in pinned mode.
 //
-// IDs are never recycled: memory grows with the number of distinct targets
-// ever interned. That is exactly right for trace-driven simulation (the
-// population is the trace's catalog) and bounded for the prototype's
-// benchmark runs, but a front-end serving an unbounded URL space for weeks
-// would pin every URL it has ever seen — see the ROADMAP open item on
-// moving the prototype to an evictable interner before long-haul
-// deployments.
+// # Pinned vs evictable
+//
+// NewInterner returns a *pinned* interner: IDs are never recycled and memory
+// grows with the number of distinct targets ever interned. That is exactly
+// right for trace-driven simulation (the population is the trace's catalog)
+// and bounded for the prototype's benchmark runs. Acquire and Release are
+// no-ops, so the refcount protocol costs nothing on pinned workloads, and ID
+// assignment order is byte-for-byte what it was before lifecycle management
+// existed — simulation goldens are unaffected.
+//
+// NewEvictableInterner(max) returns a *capped* interner for front-ends
+// facing an unbounded URL space (query strings, crawlers): every interned
+// target carries a reference count, zero-ref targets sit on an LRU "limbo"
+// list, and when the table is at its cap a new target recycles the ID of the
+// least-recently-released limbo entry. The protocol:
+//
+//   - Intern returns the ID holding one reference; the caller releases it
+//     when the request that carried it has been dispatched.
+//   - ID-keyed structures (mapping tables, caches) Acquire on insert and
+//     Release on evict, so an ID is never recycled while any structure still
+//     holds an entry under it — recycling cannot alias two live targets.
+//   - When every interned target is referenced the cap is exceeded rather
+//     than failing: live references bound the overflow, and the table
+//     shrinks back to the cap as references drain.
+//
+// Dead IDs go on a free list and are reused before new IDs are minted, so
+// the dense per-ID slices downstream (cache position tables, policy
+// counters) stay bounded by the cap instead of growing with target churn.
+// Compact reclaims trailing dead slots after a churn burst.
 type Interner struct {
 	mu    sync.RWMutex
 	ids   map[Target]TargetID
 	names []Target // names[id-1] is the target of id
+
+	// Lifecycle state, active only in capped mode (max > 0).
+	max  int
+	refs []int32    // refs[id-1]; deadRef marks a recycled slot
+	free []TargetID // dead IDs awaiting reuse
+
+	// Limbo is the LRU list of zero-ref entries, intrusively linked through
+	// per-slot prev/next so releases and revivals never allocate. head is
+	// most recently released, tail the recycling victim.
+	limboPrev, limboNext []int32
+	limboHead, limboTail int32
+	limboLen             int
+
+	recycles int64
 }
 
-// NewInterner returns an empty interner.
+// NewInterner returns an empty pinned interner: IDs live forever.
 func NewInterner() *Interner {
-	return &Interner{ids: make(map[Target]TargetID)}
+	return &Interner{ids: make(map[Target]TargetID), limboHead: nilSlot, limboTail: nilSlot}
 }
 
-// Intern returns the ID for t, assigning the next dense ID if t is new.
+// NewEvictableInterner returns an empty capped interner holding at most max
+// targets (see the type comment for the reference protocol). max must be
+// positive.
+func NewEvictableInterner(max int) *Interner {
+	if max <= 0 {
+		panic("core: evictable interner needs a positive target cap")
+	}
+	in := NewInterner()
+	in.max = max
+	return in
+}
+
+// Evictable reports whether this interner recycles IDs (capped mode).
+func (in *Interner) Evictable() bool { return in.max > 0 }
+
+// Cap returns the target cap (0 for a pinned interner).
+func (in *Interner) Cap() int { return in.max }
+
+// Intern returns the ID for t, assigning an ID if t is new: a recycled dead
+// ID when one is free, the next dense ID otherwise. In capped mode the
+// returned ID holds one reference that the caller must Release when done;
+// in pinned mode references are not tracked and Release is a no-op, so
+// callers may follow the same protocol unconditionally.
 func (in *Interner) Intern(t Target) TargetID {
-	in.mu.RLock()
-	id, ok := in.ids[t]
-	in.mu.RUnlock()
-	if ok {
+	if in.max == 0 {
+		// Pinned fast path: read lock for the common re-intern.
+		in.mu.RLock()
+		id, ok := in.ids[t]
+		in.mu.RUnlock()
+		if ok {
+			return id
+		}
+		in.mu.Lock()
+		defer in.mu.Unlock()
+		if id, ok := in.ids[t]; ok {
+			return id
+		}
+		in.names = append(in.names, t)
+		id = TargetID(len(in.names))
+		in.ids[t] = id
 		return id
 	}
+
+	// Capped mode mutates refcounts (and possibly recycles) on every call,
+	// so it takes the write lock outright. Dispatch work dominates a
+	// front-end's request cost; one short critical section per parsed
+	// request is in the noise.
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	if id, ok := in.ids[t]; ok {
+		s := int32(id) - 1
+		if in.refs[s] == 0 {
+			in.limboRemove(s)
+		}
+		in.refs[s]++
+		return id
+	}
+	return in.assignLocked(t)
+}
+
+// assignLocked binds a new target to an ID in capped mode, recycling before
+// growing. Callers hold the write lock.
+func (in *Interner) assignLocked(t Target) TargetID {
+	// At the cap: evict the least-recently-released zero-ref target and
+	// reuse its ID. Its refcount is zero, so no cache or mapping holds an
+	// entry keyed by the ID — reuse cannot alias.
+	if len(in.ids) >= in.max && in.limboTail != nilSlot {
+		s := in.limboTail
+		in.limboRemove(s)
+		delete(in.ids, in.names[s])
+		in.names[s] = t
+		in.refs[s] = 1
+		id := TargetID(s + 1)
+		in.ids[t] = id
+		in.recycles++
+		return id
+	}
+	// Below the cap (or every target is referenced — the documented
+	// overflow): prefer a dead slot from the free list so the ID space
+	// stays dense.
+	if n := len(in.free); n > 0 {
+		id := in.free[n-1]
+		in.free = in.free[:n-1]
+		s := int32(id) - 1
+		in.names[s] = t
+		in.refs[s] = 1
+		in.ids[t] = id
 		return id
 	}
 	in.names = append(in.names, t)
-	id = TargetID(len(in.names))
+	in.refs = append(in.refs, 1)
+	in.limboPrev = append(in.limboPrev, notInLimbo)
+	in.limboNext = append(in.limboNext, notInLimbo)
+	id := TargetID(len(in.names))
 	in.ids[t] = id
 	return id
 }
 
+// Acquire adds a reference to id (no-op on a pinned interner). Acquiring a
+// zero-ref ID revives it from limbo. It panics on a dead or never-assigned
+// ID: by the reference protocol a caller can only acquire an ID it resolved
+// through Intern or received alongside a live entry.
+func (in *Interner) Acquire(id TargetID) {
+	if in.max == 0 {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	s := in.slotLocked(id, "Acquire")
+	if in.refs[s] == 0 {
+		in.limboRemove(s)
+	}
+	in.refs[s]++
+}
+
+// Release drops a reference to id (no-op on a pinned interner). When the
+// last reference drains, the target parks on the limbo list: it is still
+// resolvable (a re-Intern revives it) until table pressure recycles its ID.
+func (in *Interner) Release(id TargetID) {
+	if in.max == 0 {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	s := in.slotLocked(id, "Release")
+	if in.refs[s] == 0 {
+		panic(fmt.Sprintf("core: Release of unreferenced TargetID %d (%q)", id, in.names[s]))
+	}
+	in.refs[s]--
+	if in.refs[s] == 0 {
+		in.limboPush(s)
+	}
+}
+
+// slotLocked validates id against the live table and returns its slot.
+func (in *Interner) slotLocked(id TargetID, op string) int32 {
+	if id <= 0 || int(id) > len(in.names) {
+		panic(fmt.Sprintf("core: %s of unassigned TargetID %d", op, id))
+	}
+	s := int32(id) - 1
+	if in.refs[s] == deadRef {
+		panic(fmt.Sprintf("core: %s of recycled TargetID %d", op, id))
+	}
+	return s
+}
+
+// limboPush parks slot s at the MRU end of the limbo list.
+func (in *Interner) limboPush(s int32) {
+	in.limboPrev[s] = nilSlot
+	in.limboNext[s] = in.limboHead
+	if in.limboHead != nilSlot {
+		in.limboPrev[in.limboHead] = s
+	}
+	in.limboHead = s
+	if in.limboTail == nilSlot {
+		in.limboTail = s
+	}
+	in.limboLen++
+}
+
+// limboRemove unlinks slot s from the limbo list.
+func (in *Interner) limboRemove(s int32) {
+	prev, next := in.limboPrev[s], in.limboNext[s]
+	if prev == notInLimbo || next == notInLimbo {
+		panic(fmt.Sprintf("core: limbo unlink of non-limbo slot %d", s))
+	}
+	if prev != nilSlot {
+		in.limboNext[prev] = next
+	} else {
+		in.limboHead = next
+	}
+	if next != nilSlot {
+		in.limboPrev[next] = prev
+	} else {
+		in.limboTail = prev
+	}
+	in.limboPrev[s], in.limboNext[s] = notInLimbo, notInLimbo
+	in.limboLen--
+}
+
 // Lookup returns the ID for t without interning, and whether it was present.
+// In capped mode it takes no reference, so the binding is only stable while
+// the caller otherwise holds the ID alive — use it for diagnostics, not on
+// the dispatch path.
 func (in *Interner) Lookup(t Target) (TargetID, bool) {
 	in.mu.RLock()
 	id, ok := in.ids[t]
@@ -72,26 +289,119 @@ func (in *Interner) Lookup(t Target) (TargetID, bool) {
 	return id, ok
 }
 
-// Name returns the target string of id. It panics on NoTarget or an ID this
-// interner never assigned: both are driver bugs, not data.
+// Name returns the target string of id. It panics on NoTarget, a recycled
+// ID, or an ID this interner never assigned: all are driver bugs, not data.
 func (in *Interner) Name(id TargetID) Target {
 	in.mu.RLock()
 	defer in.mu.RUnlock()
 	if id <= 0 || int(id) > len(in.names) {
 		panic(fmt.Sprintf("core: Name of unassigned TargetID %d", id))
 	}
+	if in.max > 0 && in.refs[id-1] == deadRef {
+		panic(fmt.Sprintf("core: Name of recycled TargetID %d", id))
+	}
 	return in.names[id-1]
 }
 
-// Len returns the number of interned targets. Valid IDs are 1..Len().
+// Len returns the number of currently interned targets (live plus limbo).
+// On a pinned interner valid IDs are exactly 1..Len(); on a capped interner
+// the live ID range is 1..HighWater() with dead slots interspersed.
 func (in *Interner) Len() int {
 	in.mu.RLock()
 	defer in.mu.RUnlock()
-	return len(in.names)
+	return len(in.ids)
+}
+
+// HighWater returns the largest ID ever assigned and not yet compacted
+// away: dense per-ID slices downstream need exactly this many slots.
+func (in *Interner) HighWater() TargetID {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	return TargetID(len(in.names))
+}
+
+// Limbo returns the number of interned targets with no references (eviction
+// candidates). Always 0 on a pinned interner.
+func (in *Interner) Limbo() int {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	return in.limboLen
+}
+
+// Recycles returns how many IDs have been recycled for a new target.
+func (in *Interner) Recycles() int64 {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	return in.recycles
+}
+
+// Refs returns id's reference count (0 for limbo entries), or -1 if the
+// slot is dead. On a pinned interner it always reports 0. Diagnostics and
+// tests only.
+func (in *Interner) Refs(id TargetID) int {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	if in.max == 0 || id <= 0 || int(id) > len(in.names) {
+		return 0
+	}
+	return int(in.refs[id-1])
+}
+
+// Compact is the periodic maintenance hook: it first shrinks the table
+// back to the cap — an overflow while every target was referenced grows the
+// table past it, and the excess dies here (LRU-first from limbo) once
+// references have drained — then reclaims trailing dead slots, and returns
+// the new high water. Dead IDs go on the free list for reuse. The ID space
+// only ever shrinks from the top — live IDs are never renumbered, so
+// ID-keyed structures stay valid and may trim their own dense slices to the
+// returned bound (see IDLRU.Compact and LARDR.CompactTargets). When the
+// retained storage is mostly slack the backing arrays are reallocated
+// tight, returning the memory of a departed working set to the heap. No-op
+// on a pinned interner.
+func (in *Interner) Compact() TargetID {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.max == 0 {
+		return TargetID(len(in.names))
+	}
+	for len(in.ids) > in.max && in.limboTail != nilSlot {
+		s := in.limboTail
+		in.limboRemove(s)
+		delete(in.ids, in.names[s])
+		in.names[s] = ""
+		in.refs[s] = deadRef
+		in.free = append(in.free, TargetID(s+1))
+	}
+	n := len(in.names)
+	for n > 0 && in.refs[n-1] == deadRef {
+		n--
+	}
+	if n != len(in.names) {
+		in.names = in.names[:n]
+		in.refs = in.refs[:n]
+		in.limboPrev = in.limboPrev[:n]
+		in.limboNext = in.limboNext[:n]
+		// Drop freed IDs that now lie beyond the table.
+		kept := in.free[:0]
+		for _, id := range in.free {
+			if int(id) <= n {
+				kept = append(kept, id)
+			}
+		}
+		in.free = kept
+	}
+	if cap(in.names) > 2*n+64 {
+		in.names = append(make([]Target, 0, n), in.names...)
+		in.refs = append(make([]int32, 0, n), in.refs...)
+		in.limboPrev = append(make([]int32, 0, n), in.limboPrev...)
+		in.limboNext = append(make([]int32, 0, n), in.limboNext...)
+	}
+	return TargetID(n)
 }
 
 // EnsureID returns r.ID if set, interning r.Target otherwise. It does not
-// mutate r.
+// mutate r. On a capped interner the fresh-intern path takes a reference
+// the caller owns (see Intern).
 func (in *Interner) EnsureID(r Request) TargetID {
 	if r.ID != NoTarget {
 		return r.ID

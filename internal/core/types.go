@@ -202,6 +202,20 @@ func NewConnState(id ConnID) *ConnState {
 	return &ConnState{ID: id, Handling: NoNode}
 }
 
+// Reset prepares a recycled connection record for a new connection: the
+// bookkeeping is zeroed while the reusable buffers (RemoteLoad,
+// Assignments, Scratch) keep their backing arrays, so a pooled record's
+// steady-state lifecycle allocates nothing.
+func (c *ConnState) Reset(id ConnID) {
+	c.ID = id
+	c.Handling = NoNode
+	c.Requests = 0
+	c.Batches = 0
+	c.RemoteLoad = c.RemoteLoad[:0]
+	c.Assignments = c.Assignments[:0]
+	c.Scratch = c.Scratch[:0]
+}
+
 // AssignBuf returns a length-n assignment slice backed by the connection's
 // reusable buffer.
 func (c *ConnState) AssignBuf(n int) []Assignment {

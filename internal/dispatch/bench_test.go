@@ -26,16 +26,18 @@ func benchSpec(pol string, mech core.Mechanism) Spec {
 
 // dispatchConn runs one full connection lifecycle against the engine: open
 // on a Zipf-popular target, assign one pipelined batch of four requests,
-// close. Every call goes through lock, when non-nil — that is the
-// serialized baseline, the old front-end design with one polMu around the
-// policy.
+// close. Requests are interned through the engine's interner before
+// dispatch, as the prototype's HTTP parser does. Every call goes through
+// lock, when non-nil — that is the serialized baseline, the old front-end
+// design with one polMu around the policy.
 func dispatchConn(eng *Engine, lock *sync.Mutex, zipf *rand.Zipf) {
-	first := core.Request{Target: core.Target(fmt.Sprintf("/z%d", zipf.Uint64())), Size: 8 << 10}
+	in := eng.Interner()
 	batch := make(core.Batch, 4)
-	batch[0] = first
-	for i := 1; i < len(batch); i++ {
-		batch[i] = core.Request{Target: core.Target(fmt.Sprintf("/z%d", zipf.Uint64())), Size: 8 << 10}
+	for i := range batch {
+		t := core.Target(fmt.Sprintf("/z%d", zipf.Uint64()))
+		batch[i] = core.Request{Target: t, ID: in.Intern(t), Size: 8 << 10}
 	}
+	first := batch[0]
 	if lock != nil {
 		lock.Lock()
 	}

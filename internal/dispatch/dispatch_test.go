@@ -12,6 +12,13 @@ import (
 	"phttp/internal/policy"
 )
 
+// internedReq builds a request interned through in, as the drivers do at
+// the edge (trace loader, HTTP parser).
+func internedReq(in *core.Interner, target string, size int64) core.Request {
+	t := core.Target(target)
+	return core.Request{Target: t, ID: in.Intern(t), Size: size}
+}
+
 func testSpec(pol string) Spec {
 	return Spec{
 		Policy:     pol,
@@ -88,14 +95,15 @@ func TestEngineLifecycle(t *testing.T) {
 			if eng.PolicyName() != name {
 				t.Errorf("PolicyName() = %q, want %q", eng.PolicyName(), name)
 			}
+			in := eng.Interner()
 			var conns []*Conn
 			for i := 0; i < 16; i++ {
-				first := core.Request{Target: core.Target(fmt.Sprintf("/t%d", i)), Size: 4 << 10}
+				first := internedReq(in, fmt.Sprintf("/t%d", i), 4<<10)
 				c, handling := eng.ConnOpen(first)
 				if handling == core.NoNode || c.Handling() != handling {
 					t.Fatalf("ConnOpen: handling %v, conn says %v", handling, c.Handling())
 				}
-				as := eng.AssignBatch(c, core.Batch{first, {Target: "/shared", Size: 4 << 10}})
+				as := eng.AssignBatch(c, core.Batch{first, internedReq(in, "/shared", 4<<10)})
 				if len(as) != 2 {
 					t.Fatalf("AssignBatch returned %d assignments, want 2", len(as))
 				}
@@ -165,20 +173,15 @@ func TestEngineConcurrentStress(t *testing.T) {
 					defer wg.Done()
 					rng := rand.New(rand.NewSource(seed))
 					zipf := rand.NewZipf(rng, 1.3, 1, 4096)
+					in := eng.Interner()
 					for i := 0; i < connsPerGoro; i++ {
-						first := core.Request{
-							Target: core.Target(fmt.Sprintf("/z%d", zipf.Uint64())),
-							Size:   int64(rng.Intn(16<<10)) + 1,
-						}
+						first := internedReq(in, fmt.Sprintf("/z%d", zipf.Uint64()), int64(rng.Intn(16<<10))+1)
 						c, _ := eng.ConnOpen(first)
 						batches := rng.Intn(3) + 1
 						for b := 0; b < batches; b++ {
 							batch := make(core.Batch, rng.Intn(4)+1)
 							for j := range batch {
-								batch[j] = core.Request{
-									Target: core.Target(fmt.Sprintf("/z%d", zipf.Uint64())),
-									Size:   int64(rng.Intn(16<<10)) + 1,
-								}
+								batch[j] = internedReq(in, fmt.Sprintf("/z%d", zipf.Uint64()), int64(rng.Intn(16<<10))+1)
 							}
 							eng.AssignBatch(c, batch)
 						}

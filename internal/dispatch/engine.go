@@ -1,8 +1,11 @@
 package dispatch
 
 import (
+	"fmt"
+	"sync"
 	"sync/atomic"
 
+	"phttp/internal/cache"
 	"phttp/internal/core"
 )
 
@@ -17,6 +20,13 @@ import (
 // order by one caller at a time, which both drivers do naturally: the
 // prototype front-end runs one goroutine per client connection, and the
 // simulator is single-threaded.
+//
+// Requests reaching the engine must be interned (Request.ID set): the
+// simulator's trace loader interns at build time and the prototype's HTTP
+// parser interns at parse time (httpmsg.ReadRequestInterned), so no
+// per-request target hashing survives on any hot path. ConnOpen checks the
+// first request and panics on a missing ID — the one cheap guard that
+// catches a mis-wired driver before the policies corrupt their tables.
 type Engine struct {
 	spec     Spec
 	name     string // canonical registry name
@@ -26,15 +36,33 @@ type Engine struct {
 	nextID atomic.Int64
 	live   atomic.Int64
 
-	conns atomic.Int64 // connections opened, cumulative
-	reqs  atomic.Int64 // requests assigned, cumulative
+	conns  atomic.Int64 // connections opened, cumulative
+	reqs   atomic.Int64 // requests assigned, cumulative
+	closes atomic.Int64 // connections closed, cumulative
+
+	// connPool recycles Conn records across the run: the record and its
+	// embedded buffers (assignment, scratch, remote-load) survive from one
+	// client connection to the next, so a warmed engine opens and closes
+	// connections without allocating. One brief lock per open/close is
+	// noise next to the dispatch work between them.
+	poolMu   sync.Mutex
+	connPool []*Conn
+
+	// maintainEvery triggers Maintain every that many connection closes
+	// when the interner is evictable (0 = never).
+	maintainEvery int64
+
+	// compact is the policy's optional dense-slice trim hook, resolved once.
+	compact interface{ CompactTargets(core.TargetID) }
 }
 
-// Conn is the engine's handle for one live client connection.
+// Conn is the engine's handle for one live client connection. The
+// connection state is embedded by value: one allocation covers the handle,
+// the bookkeeping and (after warmup) the policy buffers, and the pool above
+// makes even that allocation a one-time cost.
 type Conn struct {
-	cs     *core.ConnState
+	cs     core.ConnState
 	closed atomic.Bool
-	reqBuf []core.Request // scratch for interning un-IDed batches
 }
 
 // ID returns the connection's engine-assigned identifier.
@@ -44,10 +72,18 @@ func (c *Conn) ID() core.ConnID { return c.cs.ID }
 func (c *Conn) Handling() core.NodeID { return c.cs.Handling }
 
 // State exposes the underlying connection state for metrics and tests.
-func (c *Conn) State() *core.ConnState { return c.cs }
+func (c *Conn) State() *core.ConnState { return &c.cs }
+
+// maintainDefault is how many connection closes separate two maintenance
+// passes when a Spec with an evictable interner does not say otherwise.
+const maintainDefault = 1024
 
 // NewEngine builds the policy named by spec through the registry and
-// returns an engine dispatching through it.
+// returns an engine dispatching through it. When the spec carries a target
+// cap (MaxTargets) and no interner, an evictable interner is created; an
+// evictable interner (supplied or created) is wired into the policy's
+// mapping tables as the target-lifecycle refcounter and compacted
+// periodically as connections close.
 func NewEngine(spec Spec) (*Engine, error) {
 	name, err := Canonical(spec.Policy)
 	if err != nil {
@@ -59,9 +95,24 @@ func NewEngine(spec Spec) (*Engine, error) {
 	}
 	in := spec.Interner
 	if in == nil {
-		in = core.NewInterner()
+		if spec.MaxTargets > 0 {
+			in = core.NewEvictableInterner(spec.MaxTargets)
+		} else {
+			in = core.NewInterner()
+		}
 	}
-	return &Engine{spec: spec, name: name, pol: pol, interner: in}, nil
+	e := &Engine{spec: spec, name: name, pol: pol, interner: in}
+	if in.Evictable() {
+		if m, ok := pol.(interface{ Mapping() *cache.Mapping }); ok {
+			m.Mapping().SetRefCounter(in)
+		}
+		e.compact, _ = pol.(interface{ CompactTargets(core.TargetID) })
+		e.maintainEvery = int64(spec.MaintainEvery)
+		if e.maintainEvery <= 0 {
+			e.maintainEvery = maintainDefault
+		}
+	}
+	return e, nil
 }
 
 // Interner exposes the engine's target interner (shared with the driver
@@ -87,14 +138,38 @@ func (e *Engine) Requests() int64 { return e.reqs.Load() }
 // Active returns the number of currently open connections.
 func (e *Engine) Active() int64 { return e.live.Load() }
 
-// ConnOpen admits a new client connection: it allocates the connection
-// state, interns the first request's target if the caller has not, asks the
-// policy for the handling node based on that request, and begins tracking
-// the connection.
+// getConn pops a recycled connection record or allocates the run's next one.
+func (e *Engine) getConn() *Conn {
+	e.poolMu.Lock()
+	if n := len(e.connPool); n > 0 {
+		c := e.connPool[n-1]
+		e.connPool = e.connPool[:n-1]
+		e.poolMu.Unlock()
+		return c
+	}
+	e.poolMu.Unlock()
+	return &Conn{}
+}
+
+// putConn returns a closed connection record to the pool.
+func (e *Engine) putConn(c *Conn) {
+	e.poolMu.Lock()
+	e.connPool = append(e.connPool, c)
+	e.poolMu.Unlock()
+}
+
+// ConnOpen admits a new client connection: it recycles (or allocates) the
+// connection state, asks the policy for the handling node based on the
+// first request, and begins tracking the connection. The first request must
+// be interned.
 func (e *Engine) ConnOpen(first core.Request) (*Conn, core.NodeID) {
-	c := &Conn{cs: core.NewConnState(core.ConnID(e.nextID.Add(1)))}
-	first.ID = e.interner.EnsureID(first)
-	handling := e.pol.ConnOpen(c.cs, first)
+	if first.ID == core.NoTarget {
+		panic(fmt.Sprintf("dispatch: ConnOpen with un-interned request %q; intern at the edge (trace loader / HTTP parser)", first.Target))
+	}
+	c := e.getConn()
+	c.cs.Reset(core.ConnID(e.nextID.Add(1)))
+	c.closed.Store(false)
+	handling := e.pol.ConnOpen(&c.cs, first)
 	e.live.Add(1)
 	e.conns.Add(1)
 	return c, handling
@@ -103,53 +178,73 @@ func (e *Engine) ConnOpen(first core.Request) (*Conn, core.NodeID) {
 // AssignBatch assigns every request of a pipelined batch arriving on c and
 // performs the paper's 1/N load accounting. It returns one Assignment per
 // request, in order; the slice may be backed by the connection's reusable
-// buffer and is valid until the next AssignBatch on c.
-//
-// Batches from a pre-interned workload (every Request.ID set) pass through
-// untouched — in particular the simulator's shared trace is never written
-// to, so parallel sweep workers can replay one trace concurrently. A batch
-// with missing IDs is copied into the connection's scratch and interned
-// there.
+// buffer and is valid until the next AssignBatch on c. Every request must
+// be interned — batches pass through untouched, so the simulator's shared
+// trace is never written to and parallel sweep workers can replay one trace
+// concurrently.
 func (e *Engine) AssignBatch(c *Conn, batch core.Batch) []core.Assignment {
-	for i := range batch {
-		if batch[i].ID == core.NoTarget {
-			batch = e.internBatch(c, batch)
-			break
-		}
-	}
-	as := e.pol.AssignBatch(c.cs, batch)
+	as := e.pol.AssignBatch(&c.cs, batch)
 	e.reqs.Add(int64(len(batch)))
 	return as
 }
 
-// internBatch copies batch into c's scratch buffer with every target
-// interned. Calls for one connection are serialized (the engine's
-// concurrency contract), so the buffer is safe to reuse.
-func (e *Engine) internBatch(c *Conn, batch core.Batch) core.Batch {
-	if cap(c.reqBuf) < len(batch) {
-		c.reqBuf = make([]core.Request, len(batch))
+// ReleaseBatch drops the parse-time interner references of a dispatched
+// batch (no-op unless the interner is evictable). The prototype front-end
+// calls it once the batch's requests have been forwarded: back-ends address
+// content by target string, so nothing downstream of dispatch needs the
+// IDs alive.
+func (e *Engine) ReleaseBatch(batch core.Batch) {
+	if !e.interner.Evictable() {
+		return
 	}
-	c.reqBuf = c.reqBuf[:len(batch)]
-	for i, r := range batch {
-		r.ID = e.interner.EnsureID(r)
-		c.reqBuf[i] = r
+	for i := range batch {
+		if batch[i].ID != core.NoTarget {
+			e.interner.Release(batch[i].ID)
+		}
 	}
-	return c.reqBuf
 }
 
 // BatchDone tells the policy the connection went idle after its current
 // batch, releasing fractional remote loads early.
-func (e *Engine) BatchDone(c *Conn) { e.pol.BatchDone(c.cs) }
+func (e *Engine) BatchDone(c *Conn) { e.pol.BatchDone(&c.cs) }
 
-// ConnClose releases all load held by c and stops tracking it. It is
-// idempotent: double closes (teardown races in a real front-end) are
-// absorbed here rather than corrupting the load accounting.
+// ConnClose releases all load held by c and recycles the record. An
+// immediate duplicate close is absorbed through the closed flag, but
+// pooling makes the handle single-shot: after the close that the
+// connection's owner issues, the record may be reissued to a new
+// connection, and a stale close on the old handle would then close the
+// new connection's state — the same use-after-Put contract as sync.Pool.
+// Both drivers satisfy it structurally (the sim closes in connDone, the
+// front-end in its one deferred closeClient); a future driver with
+// teardown races must funnel closes through one owner per connection,
+// which the engine's per-connection serialization contract already
+// requires.
 func (e *Engine) ConnClose(c *Conn) {
 	if c == nil || !c.closed.CompareAndSwap(false, true) {
 		return
 	}
-	e.pol.ConnClose(c.cs)
+	e.pol.ConnClose(&c.cs)
 	e.live.Add(-1)
+	e.putConn(c)
+	if n := e.closes.Add(1); e.maintainEvery > 0 && n%e.maintainEvery == 0 {
+		e.Maintain()
+	}
+}
+
+// Maintain is the periodic compaction hook for long-haul deployments: it
+// shrinks the evictable interner back to its cap, reclaims trailing dead
+// IDs, and trims the policy's dense per-target slices to the surviving ID
+// range. The engine runs it automatically every Spec.MaintainEvery
+// connection closes; drivers may also call it directly (a front-end ticking
+// on wall clock, tests). No-op with a pinned interner.
+func (e *Engine) Maintain() {
+	if !e.interner.Evictable() {
+		return
+	}
+	high := e.interner.Compact()
+	if e.compact != nil {
+		e.compact.CompactTargets(high)
+	}
 }
 
 // ReportDiskQueue delivers a back-end's disk queue length to the policy

@@ -39,9 +39,21 @@ type Spec struct {
 	// Interner resolves target strings to the dense TargetIDs the policies
 	// and mapping tables are keyed by. Drivers that pre-intern their
 	// workload (the simulator's trace loader) pass theirs so IDs agree;
-	// when nil the engine creates a private one and interns lazily (the
-	// prototype front-end path).
+	// when nil the engine creates a private one — pinned, or evictable
+	// when MaxTargets is set — and the driver interns through it at the
+	// edge (the prototype parses with httpmsg.ReadRequestInterned).
 	Interner *core.Interner
+	// MaxTargets, when positive and Interner is nil, makes the engine's
+	// private interner evictable with that target cap: IDs are refcounted
+	// from the mapping tables and in-flight requests, recycled after
+	// churn, and the table stays bounded for front-ends facing an
+	// unbounded URL space. Zero keeps the pinned interner (simulation,
+	// trace replay, benchmarks).
+	MaxTargets int
+	// MaintainEvery is how many connection closes separate two automatic
+	// compaction passes (interner + policy dense slices) when the interner
+	// is evictable; 0 means the engine default.
+	MaintainEvery int
 }
 
 // builders is the policy registry. Keys are the canonical lower-case names

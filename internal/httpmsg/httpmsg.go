@@ -18,6 +18,8 @@ import (
 	"io"
 	"strconv"
 	"strings"
+
+	"phttp/internal/core"
 )
 
 // Limits protect the parsers from malformed or hostile input.
@@ -48,8 +50,14 @@ type Header struct {
 
 // Request is a parsed HTTP request.
 type Request struct {
-	Method  string
-	Target  string // origin-form request target (path + optional query)
+	Method string
+	Target string // origin-form request target (path + optional query)
+	// ID is the interned form of Target, set when the request was parsed
+	// through ReadRequestInterned; NoTarget after a plain ReadRequest.
+	// Carrying the dense ID out of the parser lets the prototype
+	// front-end dispatch on IDs exactly like the simulator, with no
+	// per-request target hashing downstream of the parse.
+	ID      core.TargetID
 	Proto   string // "HTTP/1.0" or "HTTP/1.1"
 	Headers []Header
 }
@@ -96,11 +104,14 @@ func readHeaders(br *bufio.Reader) ([]Header, error) {
 			return nil, ErrHeadersTooLarge
 		}
 		name, value, ok := strings.Cut(line, ":")
+		name = strings.TrimSpace(name)
+		// The trimmed name must be non-empty, or the field would not
+		// survive a serialize/reparse round trip (" : v" is not a header).
 		if !ok || name == "" {
 			return nil, fmt.Errorf("%w: header %q", ErrMalformed, line)
 		}
 		hs = append(hs, Header{
-			Name:  strings.TrimSpace(name),
+			Name:  name,
 			Value: strings.TrimSpace(value),
 		})
 	}
@@ -140,6 +151,22 @@ func ReadRequest(br *bufio.Reader) (*Request, error) {
 	if err != nil {
 		return nil, err
 	}
+	return req, nil
+}
+
+// ReadRequestInterned parses one request head like ReadRequest and interns
+// the target, stamping the dense TargetID onto the returned request — the
+// prototype front-end's parse path, which keeps everything downstream of
+// the parser (dispatch, policies, mapping tables) on integer IDs. On an
+// evictable interner the returned ID holds one reference that the caller
+// releases once the request has been dispatched (the front-end does so via
+// the engine's ReleaseBatch).
+func ReadRequestInterned(br *bufio.Reader, in *core.Interner) (*Request, error) {
+	req, err := ReadRequest(br)
+	if err != nil {
+		return nil, err
+	}
+	req.ID = in.Intern(core.Target(req.Target))
 	return req, nil
 }
 
