@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke cover fuzz-smoke fmt vet check
+.PHONY: all build test race bench bench-smoke cover fuzz-smoke fmt vet check trace-cache
 
 all: build
 
@@ -14,10 +14,18 @@ test:
 	$(GO) test ./...
 
 # The -race acceptance surface: the concurrent dispatch engine, the
-# prototype cluster that drives it from parallel client handlers, and the
-# parallel sweep drivers sharing one trace.
+# prototype cluster that drives it from parallel client handlers, the
+# parallel sweep drivers sharing one trace, and the block-parallel trace
+# generator.
 race:
-	$(GO) test -race ./internal/dispatch/... ./internal/cluster/... ./internal/sim/...
+	$(GO) test -race ./internal/dispatch/... ./internal/cluster/... ./internal/sim/... ./internal/trace/...
+
+# Pre-generate the default workload into the on-disk trace cache
+# (.trace-cache/): both cached forms (P-HTTP and flattened HTTP/1.0) are
+# written, and phttp-sim / phttp-bench / phttp-loadgen runs pointed at the
+# directory with -trace-cache load in milliseconds instead of regenerating.
+trace-cache:
+	$(GO) run ./cmd/phttp-tracegen -cache .trace-cache
 
 # Performance trajectory: the simulator's reference ClusterSweep (written
 # to BENCH_sim.json: ns/event, allocs/event, events/sec, wall-clock, and

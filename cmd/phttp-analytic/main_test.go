@@ -1,0 +1,29 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestHelpAndRunSmoke(t *testing.T) {
+	bin := filepath.Join(t.TempDir(), "phttp-analytic")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	if out, err := exec.Command(bin, "-h").CombinedOutput(); err != nil {
+		t.Fatalf("-h: %v\n%s", err, out)
+	}
+	// The analysis is pure computation: run it for real.
+	out, err := exec.Command(bin, "-server", "apache", "-max-kb", "20").Output()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(string(out), "crossover") && len(out) == 0 {
+		t.Errorf("empty analysis output")
+	}
+	if bad, err := exec.Command(bin, "-server", "nonsense").CombinedOutput(); err == nil {
+		t.Errorf("unknown server model accepted:\n%s", bad)
+	}
+}

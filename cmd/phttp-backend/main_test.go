@@ -1,0 +1,17 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+func TestHelpSmoke(t *testing.T) {
+	bin := filepath.Join(t.TempDir(), "phttp-backend")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	if out, err := exec.Command(bin, "-h").CombinedOutput(); err != nil {
+		t.Fatalf("-h: %v\n%s", err, out)
+	}
+}

@@ -114,6 +114,7 @@ func main() {
 		cacheMB  = flag.Int64("cache-mb", cluster.PrototypeCacheBytes>>20, "per-node cache (MB); scale it with -connections so the touched working set stays ~5x one cache")
 		only     = flag.String("only", "", "run only the named combination (e.g. BEforward-extLARD-PHTTP)")
 		simBench = flag.String("sim-bench", "", "measure the simulator's reference ClusterSweep and write the perf trajectory to this JSON file (skips the prototype benchmark)")
+		cacheDir = flag.String("trace-cache", "", "trace cache directory: load the benchmark workload from disk, generating and persisting on miss")
 	)
 	flag.Parse()
 
@@ -125,7 +126,19 @@ func main() {
 	tcfg := trace.DefaultSynthConfig()
 	tcfg.Seed = *seed
 	tcfg.Connections = *conns
-	tr := trace.NewSynth(tcfg).Generate()
+	var wl *trace.Workload
+	if *cacheDir != "" {
+		w, hit, err := trace.LoadOrGenerate(*cacheDir, tcfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "phttp-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trace cache %s: hit=%v\n", *cacheDir, hit)
+		wl = w
+	} else {
+		wl = trace.NewWorkload(trace.NewSynth(tcfg).Generate())
+	}
+	tr := wl.PHTTP
 	fmt.Fprint(os.Stderr, trace.ComputeStats(tr))
 
 	var series []*metrics.Series
@@ -136,7 +149,7 @@ func main() {
 		}
 		s := &metrics.Series{Name: combo.name}
 		for n := 1; n <= *maxNodes; n++ {
-			thr, util, err := runOne(combo, n, tr, *scale, *clients, *cacheMB<<20)
+			thr, util, err := runOne(combo, n, wl, *scale, *clients, *cacheMB<<20)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "phttp-bench: %s n=%d: %v\n", combo.name, n, err)
 				os.Exit(1)
@@ -158,7 +171,8 @@ func main() {
 
 // runOne starts a cluster, replays the trace, and returns normalized
 // throughput (req/s on modeled hardware) and front-end utilization.
-func runOne(combo protoCombo, nodes int, tr *trace.Trace, scale float64, clients int, cacheBytes int64) (float64, float64, error) {
+func runOne(combo protoCombo, nodes int, wl *trace.Workload, scale float64, clients int, cacheBytes int64) (float64, float64, error) {
+	tr := wl.PHTTP
 	cfg := cluster.DefaultConfig(nodes, tr.Sizes)
 	cfg.Policy = combo.policy
 	cfg.Mechanism = combo.mech
@@ -173,10 +187,15 @@ func runOne(combo protoCombo, nodes int, tr *trace.Trace, scale float64, clients
 	if clients <= 0 {
 		clients = 32 * nodes
 	}
+	var flat *trace.Trace
+	if combo.http10 {
+		flat = wl.Flatten() // memoized: one flattening across all grid points
+	}
 	res, err := loadgen.Run(loadgen.Config{
 		Addr:        cl.Addr(),
 		Trace:       tr,
 		HTTP10:      combo.http10,
+		Flat:        flat,
 		Concurrency: clients,
 		WarmupFrac:  0.2,
 		IOTimeout:   2 * time.Minute,

@@ -39,12 +39,13 @@ func (b *backendFlags) Set(v string) error {
 func main() {
 	var backends backendFlags
 	var (
-		listen  = flag.String("listen", "127.0.0.1:8080", "client listen address")
-		polName = flag.String("policy", "extlard", "dispatch policy: "+strings.Join(dispatch.Names(), ", "))
-		mech    = flag.String("mechanism", "beforward", "singlehandoff, beforward or relay")
-		cacheMB = flag.Int64("cache-mb", cluster.PrototypeCacheBytes>>20, "per-node cache estimate for the mapping model (MB)")
-		idle    = flag.Duration("idle-timeout", 15*time.Second, "persistent connection idle close interval")
-		maxTgts = flag.Int("max-targets", 0, "cap the dispatcher's target table (evictable interner with ID recycling) for long-haul deployments facing an unbounded URL space; 0 pins every target ever seen")
+		listen   = flag.String("listen", "127.0.0.1:8080", "client listen address")
+		polName  = flag.String("policy", "extlard", "dispatch policy: "+strings.Join(dispatch.Names(), ", "))
+		mech     = flag.String("mechanism", "beforward", "singlehandoff, beforward or relay")
+		cacheMB  = flag.Int64("cache-mb", cluster.PrototypeCacheBytes>>20, "per-node cache estimate for the mapping model (MB)")
+		idle     = flag.Duration("idle-timeout", 15*time.Second, "persistent connection idle close interval")
+		maxTgts  = flag.Int("max-targets", 0, "cap the dispatcher's target table (evictable interner with ID recycling) for long-haul deployments facing an unbounded URL space; 0 pins every target ever seen")
+		maintain = flag.Duration("maintain-interval", cluster.DefaultMaintainInterval, "wall-clock bound on dispatcher maintenance staleness when no connections are closing (0 disables; only meaningful with -max-targets)")
 	)
 	flag.Var(&backends, "backend", "back-end endpoint as ctrlAddr,handoffPath (repeat per node)")
 	flag.Parse()
@@ -65,14 +66,15 @@ func main() {
 	}
 
 	fe, err := cluster.NewFrontEnd(cluster.FrontEndConfig{
-		Nodes:        len(backends),
-		Policy:       *polName,
-		Mechanism:    m,
-		Params:       policy.DefaultParams(),
-		CacheBytes:   *cacheMB << 20,
-		MaxTargets:   *maxTgts,
-		IdleTimeout:  *idle,
-		ClientListen: *listen,
+		Nodes:            len(backends),
+		Policy:           *polName,
+		Mechanism:        m,
+		Params:           policy.DefaultParams(),
+		CacheBytes:       *cacheMB << 20,
+		MaxTargets:       *maxTgts,
+		IdleTimeout:      *idle,
+		ClientListen:     *listen,
+		MaintainInterval: *maintain,
 	}, backends)
 	if err != nil {
 		fatalf("%v", err)

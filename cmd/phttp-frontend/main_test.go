@@ -1,0 +1,21 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+func TestHelpSmoke(t *testing.T) {
+	bin := filepath.Join(t.TempDir(), "phttp-frontend")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	if out, err := exec.Command(bin, "-h").CombinedOutput(); err != nil {
+		t.Fatalf("-h: %v\n%s", err, out)
+	}
+	// Without -backend the front-end must refuse to start.
+	if out, err := exec.Command(bin).CombinedOutput(); err == nil {
+		t.Errorf("started with no back-ends:\n%s", out)
+	}
+}

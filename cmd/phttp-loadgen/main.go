@@ -19,33 +19,61 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:8080", "front-end address")
-		clients = flag.Int("clients", 64, "concurrent simulated clients")
-		http10  = flag.Bool("http10", false, "speak HTTP/1.0 (one request per connection)")
-		conns   = flag.Int("connections", 10000, "trace connections to replay")
-		seed    = flag.Uint64("seed", 1, "workload seed (must match the back-ends)")
-		warmup  = flag.Float64("warmup", 0.2, "fraction of connections excluded from measurement")
-		verify  = flag.Bool("verify", true, "verify response sizes and content")
+		addr     = flag.String("addr", "127.0.0.1:8080", "front-end address")
+		clients  = flag.Int("clients", 64, "concurrent simulated clients")
+		http10   = flag.Bool("http10", false, "speak HTTP/1.0 (one request per connection)")
+		conns    = flag.Int("connections", 10000, "trace connections to replay")
+		seed     = flag.Uint64("seed", 1, "workload seed (must match the back-ends)")
+		warmup   = flag.Float64("warmup", 0.2, "fraction of connections excluded from measurement")
+		verify   = flag.Bool("verify", true, "verify response sizes and content")
+		in       = flag.String("in", "", "replay a binary trace file instead of generating the synthetic workload")
+		cacheDir = flag.String("trace-cache", "", "trace cache directory: load the workload (flattened form included) from disk, generating and persisting on miss")
 	)
 	flag.Parse()
 
 	cfg := trace.DefaultSynthConfig()
 	cfg.Seed = *seed
 	cfg.Connections = *conns
-	tr := trace.NewSynth(cfg).Generate()
+	var wl *trace.Workload
+	switch {
+	case *in != "":
+		f, err := os.Open(*in)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		tr, _, err := trace.ReadBinary(f)
+		f.Close()
+		if err != nil {
+			fatalf("read %s: %v", *in, err)
+		}
+		wl = trace.NewWorkload(tr)
+	case *cacheDir != "":
+		w, _, err := trace.LoadOrGenerate(*cacheDir, cfg)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		wl = w
+	default:
+		wl = trace.NewWorkload(trace.NewSynth(cfg).Generate())
+	}
 
 	start := time.Now()
 	res, err := loadgen.Run(loadgen.Config{
 		Addr:        *addr,
-		Trace:       tr,
+		Trace:       wl.PHTTP,
 		HTTP10:      *http10,
+		Flat:        wl.Flat,
 		Concurrency: *clients,
 		WarmupFrac:  *warmup,
 		Verify:      *verify,
 	})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "phttp-loadgen: %v\n", err)
-		os.Exit(1)
+		fatalf("%v", err)
 	}
 	fmt.Printf("%v (wall %v)\n", res, time.Since(start).Round(time.Millisecond))
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "phttp-loadgen: "+format+"\n", args...)
+	os.Exit(1)
 }

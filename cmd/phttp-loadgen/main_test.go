@@ -1,0 +1,21 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+func TestHelpSmoke(t *testing.T) {
+	bin := filepath.Join(t.TempDir(), "phttp-loadgen")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	if out, err := exec.Command(bin, "-h").CombinedOutput(); err != nil {
+		t.Fatalf("-h: %v\n%s", err, out)
+	}
+	// A bad trace file must fail cleanly, not replay garbage.
+	if out, err := exec.Command(bin, "-in", filepath.Join(t.TempDir(), "missing.bin")).CombinedOutput(); err == nil {
+		t.Errorf("missing -in file accepted:\n%s", out)
+	}
+}

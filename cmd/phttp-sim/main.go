@@ -35,6 +35,7 @@ func main() {
 		list     = flag.Bool("list", false, "list the available policy/mechanism combinations and exit")
 		plot     = flag.Bool("plot", false, "append an ASCII rendering of the figure")
 		workers  = flag.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS, 1 = serial); output is identical either way")
+		cacheDir = flag.String("trace-cache", "", "trace cache directory: load the workload (P-HTTP and flattened forms) from disk, generating and persisting on miss")
 	)
 	flag.Parse()
 
@@ -53,8 +54,20 @@ func main() {
 	if *conns > 0 {
 		cfg.Connections = *conns
 	}
-	fmt.Fprintf(os.Stderr, "generating workload (%d connections, seed %d)...\n", cfg.Connections, cfg.Seed)
-	tr := trace.NewSynth(cfg).Generate()
+	var wl *trace.Workload
+	if *cacheDir != "" {
+		w, hit, err := trace.LoadOrGenerate(*cacheDir, cfg)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "workload (%d connections, seed %d): cache %s\n",
+			cfg.Connections, cfg.Seed, map[bool]string{true: "hit", false: "miss (generated and persisted)"}[hit])
+		wl = w
+	} else {
+		fmt.Fprintf(os.Stderr, "generating workload (%d connections, seed %d)...\n", cfg.Connections, cfg.Seed)
+		wl = trace.NewWorkload(trace.NewSynth(cfg).Generate())
+	}
+	tr := wl.PHTTP
 	fmt.Fprint(os.Stderr, trace.ComputeStats(tr))
 
 	kind := core.Apache
@@ -99,7 +112,7 @@ func main() {
 		for n := 1; n <= *maxNodes; n++ {
 			ns = append(ns, n)
 		}
-		series, results, err := sim.ClusterSweepParallel(kind, ns, sim.Combos(), tr, *workers)
+		series, results, err := sim.ClusterSweepWorkload(kind, ns, sim.Combos(), wl, *workers)
 		if err != nil {
 			fatalf("%v", err)
 		}

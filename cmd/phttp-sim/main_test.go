@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func buildBinary(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "phttp-sim")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func TestHelpSmoke(t *testing.T) {
+	if out, err := exec.Command(buildBinary(t), "-h").CombinedOutput(); err != nil {
+		t.Fatalf("-h: %v\n%s", err, out)
+	}
+}
+
+func TestListSmoke(t *testing.T) {
+	out, err := exec.Command(buildBinary(t), "-list").Output()
+	if err != nil {
+		t.Fatalf("-list: %v", err)
+	}
+	if !strings.Contains(string(out), "BEforward-extLARD-PHTTP") {
+		t.Errorf("-list missing the paper's headline combo:\n%s", out)
+	}
+}
+
+// TestSingleRunWithTraceCache drives a tiny single simulation twice through
+// the trace cache: the hit run must report the identical result.
+func TestSingleRunWithTraceCache(t *testing.T) {
+	bin := buildBinary(t)
+	cache := t.TempDir()
+	run := func() string {
+		out, err := exec.Command(bin,
+			"-connections", "300", "-fig", "0", "-nodes", "2",
+			"-trace-cache", cache).Output()
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return string(out)
+	}
+	if miss, hit := run(), run(); miss != hit {
+		t.Errorf("cache-hit run diverged:\n%s\nvs\n%s", miss, hit)
+	}
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+func buildBinary(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "phttp-tracegen")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func TestHelpSmoke(t *testing.T) {
+	if out, err := exec.Command(buildBinary(t), "-h").CombinedOutput(); err != nil {
+		t.Fatalf("-h: %v\n%s", err, out)
+	}
+}
+
+// TestBinaryTraceRoundTripEndToEnd is the cmd-level acceptance run: write
+// a small workload in the binary format, read it back, and demand the
+// printed statistics are identical; then corrupt the file and demand the
+// reader rejects it.
+func TestBinaryTraceRoundTripEndToEnd(t *testing.T) {
+	bin := buildBinary(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.bin")
+
+	gen := exec.Command(bin, "-connections", "200", "-out", path, "-stats")
+	genOut, err := gen.Output()
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("-out did not write the trace: %v", err)
+	}
+
+	read := exec.Command(bin, "-in", path)
+	readOut, err := read.Output()
+	if err != nil {
+		t.Fatalf("read back: %v", err)
+	}
+	if string(genOut) != string(readOut) {
+		t.Errorf("round-trip stats differ:\ngenerated:\n%s\nloaded:\n%s", genOut, readOut)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x10
+	corrupt := filepath.Join(dir, "corrupt.bin")
+	if err := os.WriteFile(corrupt, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := exec.Command(bin, "-in", corrupt).CombinedOutput(); err == nil {
+		t.Errorf("corrupt trace accepted:\n%s", out)
+	}
+}
+
+// TestCacheFlagSmoke exercises -cache: a miss that generates and persists,
+// then a hit that loads the same workload.
+func TestCacheFlagSmoke(t *testing.T) {
+	bin := buildBinary(t)
+	cache := t.TempDir()
+	first, err := exec.Command(bin, "-connections", "200", "-cache", cache, "-stats").Output()
+	if err != nil {
+		t.Fatalf("cache miss run: %v", err)
+	}
+	if len(first) == 0 {
+		t.Fatal("cache miss run printed no stats")
+	}
+	second, err := exec.Command(bin, "-connections", "200", "-cache", cache, "-stats").Output()
+	if err != nil {
+		t.Fatalf("cache hit run: %v", err)
+	}
+	if string(first) != string(second) {
+		t.Errorf("cache hit stats differ from miss:\n%s\nvs\n%s", first, second)
+	}
+}

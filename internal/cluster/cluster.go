@@ -37,6 +37,9 @@ type Config struct {
 
 	IdleTimeout time.Duration
 	BatchWindow time.Duration
+	// MaintainInterval is the front-end's wall-clock maintenance ticker
+	// (see FrontEndConfig.MaintainInterval); 0 disables it.
+	MaintainInterval time.Duration
 }
 
 // PrototypeCacheBytes is the default prototype back-end cache: the paper's
@@ -59,6 +62,8 @@ func DefaultConfig(nodes int, catalog map[core.Target]int64) Config {
 		TimeScale:   1,
 		IdleTimeout: 15 * time.Second,
 		BatchWindow: 2 * time.Millisecond,
+
+		MaintainInterval: DefaultMaintainInterval,
 	}
 }
 
@@ -112,14 +117,15 @@ func Start(cfg Config) (*Cluster, error) {
 		eps[i] = BackendEndpoints{Ctrl: be.CtrlAddr(), Handoff: be.HandoffPath()}
 	}
 	fe, err := NewFrontEnd(FrontEndConfig{
-		Nodes:       cfg.Nodes,
-		Policy:      cfg.Policy,
-		Mechanism:   cfg.Mechanism,
-		Params:      cfg.Params,
-		CacheBytes:  cfg.CacheBytes,
-		MaxTargets:  cfg.MaxTargets,
-		IdleTimeout: cfg.IdleTimeout,
-		BatchWindow: cfg.BatchWindow,
+		Nodes:            cfg.Nodes,
+		Policy:           cfg.Policy,
+		Mechanism:        cfg.Mechanism,
+		Params:           cfg.Params,
+		CacheBytes:       cfg.CacheBytes,
+		MaxTargets:       cfg.MaxTargets,
+		IdleTimeout:      cfg.IdleTimeout,
+		BatchWindow:      cfg.BatchWindow,
+		MaintainInterval: cfg.MaintainInterval,
 	}, eps)
 	if err != nil {
 		c.Close()

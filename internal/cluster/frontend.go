@@ -42,6 +42,16 @@ type FrontEndConfig struct {
 	// keeps the pinned interner, which is right for benchmark runs and
 	// trace replay.
 	MaxTargets int
+	// MaintainInterval bounds maintenance staleness by wall clock. The
+	// dispatch engine compacts its evictable interner every
+	// Spec.MaintainEvery connection closes — which never fires on an idle
+	// front-end, so a limbo bloated by a traffic burst used to persist
+	// indefinitely once the burst ended. A positive interval runs a ticker
+	// that calls Engine.Maintain whenever no maintenance pass has run
+	// since the previous tick; 0 disables the ticker (cluster.DefaultConfig
+	// and phttp-frontend default it to DefaultMaintainInterval). No-op
+	// without MaxTargets: maintenance on a pinned interner does nothing.
+	MaintainInterval time.Duration
 	// IdleTimeout closes persistent connections with no request activity
 	// (the paper's configurable interval, typically 15 s).
 	IdleTimeout time.Duration
@@ -154,7 +164,44 @@ func NewFrontEnd(cfg FrontEndConfig, backends []BackendEndpoints) (*FrontEnd, er
 	}
 	fe.wg.Add(1)
 	go fe.acceptLoop()
+	if cfg.MaintainInterval > 0 {
+		fe.wg.Add(1)
+		go fe.maintainLoop()
+	}
 	return fe, nil
+}
+
+// DefaultMaintainInterval is the wall-clock maintenance period the
+// calibrated configurations use.
+const DefaultMaintainInterval = 5 * time.Second
+
+// maintainLoop bounds maintenance staleness on an idle front-end: each
+// tick it runs Engine.Maintain unless a maintenance pass already ran
+// since the previous tick — a busy front-end's close-driven maintenance
+// (every Spec.MaintainEvery closes) needs no second pass from here, but
+// a slow trickle of closes that never reaches MaintainEvery must not
+// suppress the wall-clock bound, so the skip keys on Maintains, not on
+// close activity.
+func (fe *FrontEnd) maintainLoop() {
+	defer fe.wg.Done()
+	ticker := time.NewTicker(fe.cfg.MaintainInterval)
+	defer ticker.Stop()
+	last := fe.eng.Maintains()
+	for {
+		select {
+		case <-fe.closed:
+			return
+		case <-ticker.C:
+			if n := fe.eng.Maintains(); n != last {
+				last = n
+				continue
+			}
+			done := fe.trackDispatch()
+			fe.eng.Maintain()
+			done()
+			last = fe.eng.Maintains()
+		}
+	}
 }
 
 func validateFEConfig(cfg FrontEndConfig, backends int) error {

@@ -98,6 +98,25 @@ func NewInterner() *Interner {
 	return &Interner{ids: make(map[Target]TargetID), limboHead: nilSlot, limboTail: nilSlot}
 }
 
+// NewInternerFromNames builds a pinned interner whose table is exactly
+// names in order (names[i] ↔ ID i+1). This is the bulk path for loaders
+// that already hold a trace's target table — one presized map fill instead
+// of a lock round trip per target. Duplicate names collapse to the first
+// occurrence; callers that must reject duplicates compare Len() against
+// len(names).
+func NewInternerFromNames(names []Target) *Interner {
+	in := &Interner{
+		ids:       make(map[Target]TargetID, len(names)),
+		names:     append(make([]Target, 0, len(names)), names...),
+		limboHead: nilSlot,
+		limboTail: nilSlot,
+	}
+	for i := len(names) - 1; i >= 0; i-- {
+		in.ids[names[i]] = TargetID(i + 1)
+	}
+	return in
+}
+
 // NewEvictableInterner returns an empty capped interner holding at most max
 // targets (see the type comment for the reference protocol). max must be
 // positive.
@@ -276,6 +295,16 @@ func (in *Interner) limboRemove(s int32) {
 	}
 	in.limboPrev[s], in.limboNext[s] = notInLimbo, notInLimbo
 	in.limboLen--
+}
+
+// AppendNames appends the interner's targets in ID order (names[i] is the
+// target of ID i+1) to dst and returns it: the bulk accessor loaders use
+// to compare or adopt a table without a lock round trip per entry. On a
+// capped interner dead slots appear as empty strings.
+func (in *Interner) AppendNames(dst []Target) []Target {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	return append(dst, in.names...)
 }
 
 // Lookup returns the ID for t without interning, and whether it was present.

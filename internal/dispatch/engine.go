@@ -36,9 +36,10 @@ type Engine struct {
 	nextID atomic.Int64
 	live   atomic.Int64
 
-	conns  atomic.Int64 // connections opened, cumulative
-	reqs   atomic.Int64 // requests assigned, cumulative
-	closes atomic.Int64 // connections closed, cumulative
+	conns     atomic.Int64 // connections opened, cumulative
+	reqs      atomic.Int64 // requests assigned, cumulative
+	closes    atomic.Int64 // connections closed, cumulative
+	maintains atomic.Int64 // Maintain passes run, cumulative
 
 	// connPool recycles Conn records across the run: the record and its
 	// embedded buffers (assignment, scratch, remote-load) survive from one
@@ -134,6 +135,17 @@ func (e *Engine) Connections() int64 { return e.conns.Load() }
 
 // Requests returns the cumulative number of requests assigned.
 func (e *Engine) Requests() int64 { return e.reqs.Load() }
+
+// Closes returns the cumulative number of connections closed.
+func (e *Engine) Closes() int64 { return e.closes.Load() }
+
+// Maintains returns the cumulative number of Maintain passes run (from
+// any trigger). Drivers running a wall-clock maintenance ticker compare
+// it across ticks to tell an engine whose close-driven maintenance is
+// keeping up from one that has gone stale — counting closes instead
+// would let a slow trickle of closes (well under MaintainEvery per tick)
+// suppress the ticker indefinitely.
+func (e *Engine) Maintains() int64 { return e.maintains.Load() }
 
 // Active returns the number of currently open connections.
 func (e *Engine) Active() int64 { return e.live.Load() }
@@ -241,6 +253,7 @@ func (e *Engine) Maintain() {
 	if !e.interner.Evictable() {
 		return
 	}
+	e.maintains.Add(1)
 	high := e.interner.Compact()
 	if e.compact != nil {
 		e.compact.CompactTargets(high)

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"fmt"
+	"os"
 	"runtime"
 	"time"
 
@@ -75,6 +77,33 @@ func DefaultBenchConfig() BenchConfig {
 	}
 }
 
+// TraceGenReport captures sweep-startup cost: how long the reference
+// workload takes to draw serially, to draw across GOMAXPROCS workers
+// (identical output — the generator's per-block RNG streams carry the
+// determinism), and to come out of the on-disk binary trace cache. Startup
+// used to be invisible in the trajectory while per-event cost fell 4.5x;
+// this records it per commit alongside the sweep numbers.
+type TraceGenReport struct {
+	// SerialMs and ParallelMs time Synth.GenerateParallel(1) and (0);
+	// FlattenMs times the Flatten10 derivation — regenerating the sweep
+	// workload from scratch costs SerialMs + FlattenMs.
+	SerialMs   float64 `json:"serial_ms"`
+	ParallelMs float64 `json:"parallel_ms"`
+	FlattenMs  float64 `json:"flatten_ms"`
+	// CacheColdMs is LoadOrGenerate into an empty cache directory
+	// (generation plus flattening plus writing both cached forms);
+	// CacheHitMs is the subsequent load of the same workload, flattened
+	// form included.
+	CacheColdMs float64 `json:"cache_cold_ms"`
+	CacheHitMs  float64 `json:"cache_hit_ms"`
+	// CacheHitSpeedup is (SerialMs+FlattenMs)/CacheHitMs: how much faster
+	// a sweep acquires its workload (both forms) from the cache than by
+	// regenerating it.
+	CacheHitSpeedup float64 `json:"cache_hit_speedup_vs_regen"`
+	// ParallelSpeedup is SerialMs/ParallelMs (≈1 on one CPU).
+	ParallelSpeedup float64 `json:"parallel_speedup"`
+}
+
 // BenchReport is the payload of BENCH_sim.json.
 type BenchReport struct {
 	Reference  BenchConfig `json:"reference"`
@@ -82,6 +111,8 @@ type BenchReport struct {
 	// Serial runs the sweep on one worker; Parallel on GOMAXPROCS.
 	Serial   BenchPoint `json:"serial"`
 	Parallel BenchPoint `json:"parallel"`
+	// TraceGen times workload construction (sweep startup).
+	TraceGen TraceGenReport `json:"trace_gen"`
 	// Baseline, when set, is the recorded pre-optimization measurement of
 	// the same reference sweep (serial; the baseline code had no parallel
 	// path), and the Speedup fields compare against it.
@@ -113,21 +144,102 @@ func measureSweep(cfg BenchConfig, tr *trace.Trace, workers int) (BenchPoint, er
 	return newBenchPoint(wall, ms1.Mallocs-ms0.Mallocs, events, requests), nil
 }
 
-// RunBench generates the reference trace, measures the sweep serially and in
-// parallel, and returns the report (without baseline comparison; callers
-// attach recorded baselines via AttachBaseline).
+// measureTraceGen times the four ways the reference workload can be
+// constructed. The cache measurements use a throwaway directory so the
+// bench never mixes with (or pollutes) a real trace cache.
+func measureTraceGen(tcfg trace.SynthConfig) (TraceGenReport, *trace.Trace, error) {
+	var g TraceGenReport
+	ms := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+	// Each phase starts from a collected heap: a single-sample timing
+	// right after the previous phase grew the heap mostly measures the
+	// GC scanning that phase's garbage.
+	timed := func(f func() error) (float64, error) {
+		runtime.GC()
+		start := time.Now()
+		err := f()
+		return ms(time.Since(start)), err
+	}
+
+	var err error
+	if g.SerialMs, err = timed(func() error {
+		trace.NewSynth(tcfg).GenerateParallel(1)
+		return nil
+	}); err != nil {
+		return g, nil, err
+	}
+	var tr *trace.Trace
+	if g.ParallelMs, err = timed(func() error {
+		tr = trace.NewSynth(tcfg).GenerateParallel(0)
+		return nil
+	}); err != nil {
+		return g, nil, err
+	}
+	if g.FlattenMs, err = timed(func() error {
+		tr.Flatten10()
+		return nil
+	}); err != nil {
+		return g, nil, err
+	}
+
+	dir, err := os.MkdirTemp("", "phttp-bench-cache-")
+	if err != nil {
+		return g, nil, err
+	}
+	defer os.RemoveAll(dir)
+	if g.CacheColdMs, err = timed(func() error {
+		_, _, err := trace.LoadOrGenerate(dir, tcfg)
+		return err
+	}); err != nil {
+		return g, nil, err
+	}
+	// Best of three: the hit path is short enough that one stray GC or
+	// page-cache miss would dominate a single sample.
+	for i := 0; i < 3; i++ {
+		hitMs, err := timed(func() error {
+			_, hit, err := trace.LoadOrGenerate(dir, tcfg)
+			if err == nil && !hit {
+				return fmt.Errorf("sim: bench cache did not hit on reload")
+			}
+			return err
+		})
+		if err != nil {
+			return g, nil, err
+		}
+		if g.CacheHitMs == 0 || hitMs < g.CacheHitMs {
+			g.CacheHitMs = hitMs
+		}
+	}
+
+	if g.CacheHitMs > 0 {
+		g.CacheHitSpeedup = (g.SerialMs + g.FlattenMs) / g.CacheHitMs
+	}
+	if g.ParallelMs > 0 {
+		g.ParallelSpeedup = g.SerialMs / g.ParallelMs
+	}
+	return g, tr, nil
+}
+
+// RunBench generates the reference trace (timing serial, parallel and
+// cached construction), measures the sweep serially and in parallel, and
+// returns the report (without baseline comparison; callers attach recorded
+// baselines via AttachBaseline).
 func RunBench(cfg BenchConfig) (BenchReport, error) {
 	tcfg := trace.DefaultSynthConfig()
 	tcfg.Seed = cfg.Seed
 	tcfg.Connections = cfg.Connections
-	tr := trace.NewSynth(tcfg).Generate()
 
 	rep := BenchReport{
 		Reference:            cfg,
 		GoMaxProcs:           runtime.GOMAXPROCS(0),
 		MeasuredAtUnixMillis: time.Now().UnixMilli(),
 	}
-	var err error
+	var (
+		tr  *trace.Trace
+		err error
+	)
+	if rep.TraceGen, tr, err = measureTraceGen(tcfg); err != nil {
+		return rep, err
+	}
 	if rep.Serial, err = measureSweep(cfg, tr, 1); err != nil {
 		return rep, err
 	}

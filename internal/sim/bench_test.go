@@ -1,0 +1,31 @@
+package sim
+
+import "testing"
+
+// TestRunBenchSmall exercises the whole bench harness — trace-generation
+// timing (serial, parallel, cache cold/hit), both sweep measurements, and
+// baseline attachment — on a scaled-down reference so the reporting path
+// cannot rot between `make bench` runs.
+func TestRunBenchSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench harness run")
+	}
+	cfg := DefaultBenchConfig()
+	cfg.Connections = 300
+	cfg.Nodes = []int{1}
+	rep, err := RunBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Serial.Events <= 0 || rep.Parallel.Events != rep.Serial.Events {
+		t.Errorf("event counts: serial %d, parallel %d", rep.Serial.Events, rep.Parallel.Events)
+	}
+	g := rep.TraceGen
+	if g.SerialMs < 0 || g.ParallelMs < 0 || g.CacheColdMs <= 0 || g.CacheHitMs < 0 {
+		t.Errorf("trace-gen timings not recorded: %+v", g)
+	}
+	rep.AttachBaseline(BenchPoint{WallMs: 1000, Mallocs: 1 << 20}, "test baseline")
+	if rep.Baseline == nil || rep.SpeedupWallClock <= 0 {
+		t.Errorf("baseline attachment: %+v", rep)
+	}
+}

@@ -27,8 +27,11 @@ type sweepJob struct {
 }
 
 // runJobs executes jobs across workers goroutines (capped to the job count;
-// values below 1 mean GOMAXPROCS), filling results by slot. The first error
-// wins.
+// values below 1 mean GOMAXPROCS), filling results by slot. The
+// lowest-slot error among jobs that ran wins. On error the results slice
+// is zeroed before returning: jobs that completed after the failure flag
+// was raised may have written their slots, and callers must never read a
+// partially-filled grid.
 func runJobs(jobs []sweepJob, results []Result, workers int) error {
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
@@ -40,6 +43,7 @@ func runJobs(jobs []sweepJob, results []Result, workers int) error {
 		for _, j := range jobs {
 			res, err := runOn(j.cfg, j.workload)
 			if err != nil {
+				clear(results)
 				return err
 			}
 			results[j.slot] = res
@@ -81,6 +85,7 @@ func runJobs(jobs []sweepJob, results []Result, workers int) error {
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
+			clear(results)
 			return err
 		}
 	}
@@ -100,17 +105,29 @@ func ClusterSweep(kind core.ServerKind, nodes []int, combos []Combo, tr *trace.T
 // 1 forces the serial path (the golden tests pin parallel output to it),
 // 0 means GOMAXPROCS.
 func ClusterSweepParallel(kind core.ServerKind, nodes []int, combos []Combo, tr *trace.Trace, workers int) ([]*metrics.Series, []Result, error) {
+	return ClusterSweepWorkload(kind, nodes, combos, trace.NewWorkload(tr), workers)
+}
+
+// ClusterSweepWorkload runs the sweep over a prepared workload — e.g. one
+// loaded from the on-disk trace cache — so the HTTP/1.0 flattening is
+// taken from the cache instead of being re-derived per sweep. Results are
+// identical to ClusterSweepParallel on the same P-HTTP trace.
+func ClusterSweepWorkload(kind core.ServerKind, nodes []int, combos []Combo, wl *trace.Workload, workers int) ([]*metrics.Series, []Result, error) {
 	// Prepare the shared workloads once, before any worker starts: interned
 	// IDs for the P-HTTP trace, and a single HTTP/1.0 flattening shared by
 	// every non-P-HTTP grid point (the serial code used to re-flatten the
 	// trace at every (combo, nodes) pair).
+	tr := wl.PHTTP
 	if tr.Interner == nil {
 		tr.EnsureIDs()
 	}
 	var flat *trace.Trace
 	for _, combo := range combos {
 		if !combo.PHTTP {
-			flat = tr.Flatten10()
+			flat = wl.Flatten()
+			if flat.Interner == nil {
+				flat.EnsureIDs()
+			}
 			break
 		}
 	}

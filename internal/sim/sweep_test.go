@@ -123,6 +123,93 @@ func TestSweepPropagatesValidationErrors(t *testing.T) {
 	}
 }
 
+// TestSweepErrorReturnsNoResults pins the failure contract: a grid with
+// one failing combo among valid ones must return nil series and nil
+// results — never a partially-filled grid — from both the serial and the
+// parallel path. (Jobs that complete after the failure flag is raised
+// used to leave their slots populated.)
+func TestSweepErrorReturnsNoResults(t *testing.T) {
+	tr := sweepTrace()
+	combos := []Combo{
+		{Name: "ok", Policy: "wrr", Mechanism: core.SingleHandoff, PHTTP: true},
+		{Name: "bogus", Policy: "nonsense", Mechanism: core.SingleHandoff, PHTTP: true},
+	}
+	for _, workers := range []int{1, 4} {
+		series, results, err := ClusterSweepParallel(core.Apache, []int{1, 2}, combos, tr, workers)
+		if err == nil {
+			t.Fatalf("workers=%d: failing combo did not error", workers)
+		}
+		if series != nil || results != nil {
+			t.Errorf("workers=%d: error path leaked series=%v results=%v", workers, series, results)
+		}
+	}
+}
+
+// TestRunJobsZeroesResultsOnError drives runJobs directly: jobs that
+// complete after another job fails must not leave readable slots behind.
+func TestRunJobsZeroesResultsOnError(t *testing.T) {
+	tr := sweepTrace()
+	good, err := ComboByName("WRR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		jobs := make([]sweepJob, 0, 6)
+		for i := 0; i < 6; i++ {
+			cfg := DefaultConfig(1, good)
+			if i == 2 {
+				cfg.Combo.Policy = "nonsense" // fails validation inside runOn
+			}
+			jobs = append(jobs, sweepJob{cfg: cfg, workload: tr, slot: i})
+		}
+		results := make([]Result, len(jobs))
+		if err := runJobs(jobs, results, workers); err == nil {
+			t.Fatalf("workers=%d: bad job did not error", workers)
+		}
+		for i, r := range results {
+			if r != (Result{}) {
+				t.Errorf("workers=%d: slot %d left populated after error: %+v", workers, i, r)
+			}
+		}
+	}
+}
+
+// TestClusterSweepWorkloadMatchesDirect pins the cache wiring: a sweep
+// over a workload loaded from the binary trace cache produces results
+// identical to one over the freshly generated trace.
+func TestClusterSweepWorkloadMatchesDirect(t *testing.T) {
+	tr := sweepTrace()
+	_, direct, err := ClusterSweepParallel(core.Apache, []int{1, 2}, Combos(), tr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := trace.SmallSynthConfig()
+	cfg.Connections = 3000 // must mirror sweepTrace()
+	dir := t.TempDir()
+	if _, hit, err := trace.LoadOrGenerate(dir, cfg); err != nil {
+		t.Fatal(err)
+	} else if hit {
+		t.Fatal("fresh cache dir reported a hit")
+	}
+	// Reload so the sweep runs over traces that went through the binary
+	// format, not the in-memory originals.
+	wl, hit, err := trace.LoadOrGenerate(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatal("second load missed the cache")
+	}
+	_, cached, err := ClusterSweepWorkload(core.Apache, []int{1, 2}, Combos(), wl, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(direct, cached) {
+		t.Error("sweep over cached workload diverged from direct trace")
+	}
+}
+
 // TestRunInternsRawTrace covers the edge where a caller hands Run a trace
 // built by hand (no loader, no interned IDs).
 func TestRunInternsRawTrace(t *testing.T) {

@@ -19,6 +19,28 @@ func NewRNG(seed uint64) *RNG {
 	return &RNG{state: seed}
 }
 
+// NewRNGStream returns an independent child generator for (seed, stream):
+// SplitMix-style child seeding where the child's initial state is the
+// splitmix64 finalizer applied to the parent seed offset by the stream
+// index times the golden-gamma increment. Distinct streams of one seed are
+// decorrelated from each other and from NewRNG(seed) itself, and the
+// mapping is a pure function of (seed, stream) — parallel workers drawing
+// from per-block streams reproduce a serial run exactly, whichever worker
+// generates which block.
+func NewRNGStream(seed, stream uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	z := seed + (stream+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 0x9e3779b97f4a7c15
+	}
+	return &RNG{state: z}
+}
+
 // Uint64 returns the next 64 pseudo-random bits.
 func (r *RNG) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15
@@ -113,6 +135,13 @@ func NewZipf(rng *RNG, n int, alpha float64) *Zipf {
 		cdf[i] /= sum
 	}
 	return &Zipf{cdf: cdf, rng: rng}
+}
+
+// With returns a sampler sharing z's inverted-CDF table but drawing from
+// r. Building the CDF is O(n); With is O(1), so per-block generators can
+// reuse one catalog-wide popularity table with their own RNG streams.
+func (z *Zipf) With(r *RNG) *Zipf {
+	return &Zipf{cdf: z.cdf, rng: r}
 }
 
 // Next returns the next rank sample in [0, n).

@@ -160,6 +160,77 @@ func TestRNGDeterminism(t *testing.T) {
 	}
 }
 
+func TestRNGStreamDeterminism(t *testing.T) {
+	a, b := NewRNGStream(42, 7), NewRNGStream(42, 7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same (seed, stream) produced different sequences")
+		}
+	}
+}
+
+func TestRNGStreamsAreDistinct(t *testing.T) {
+	// Every pair among a handful of streams of one seed — and the base
+	// NewRNG sequence — must diverge within a few draws.
+	const seed, draws = 42, 8
+	seqs := [][]uint64{}
+	base := NewRNG(seed)
+	var bs []uint64
+	for i := 0; i < draws; i++ {
+		bs = append(bs, base.Uint64())
+	}
+	seqs = append(seqs, bs)
+	for stream := uint64(0); stream < 16; stream++ {
+		r := NewRNGStream(seed, stream)
+		var s []uint64
+		for i := 0; i < draws; i++ {
+			s = append(s, r.Uint64())
+		}
+		seqs = append(seqs, s)
+	}
+	for i := range seqs {
+		for j := i + 1; j < len(seqs); j++ {
+			same := true
+			for k := 0; k < draws; k++ {
+				if seqs[i][k] != seqs[j][k] {
+					same = false
+					break
+				}
+			}
+			if same {
+				t.Fatalf("sequences %d and %d identical over %d draws", i, j, draws)
+			}
+		}
+	}
+	// Different seeds give different streams too.
+	x, y := NewRNGStream(1, 3), NewRNGStream(2, 3)
+	if x.Uint64() == y.Uint64() && x.Uint64() == y.Uint64() {
+		t.Error("different seeds produced identical stream 3")
+	}
+}
+
+func TestRNGStreamZeroSeedNonDegenerate(t *testing.T) {
+	r := NewRNGStream(0, 0)
+	a, b := r.Uint64(), r.Uint64()
+	if a == 0 && b == 0 {
+		t.Error("zero seed produced a degenerate stream")
+	}
+}
+
+func TestZipfWithSharesCDF(t *testing.T) {
+	rng := NewRNG(5)
+	z := NewZipf(rng, 100, 0.8)
+	// A child sampler on its own stream must match a freshly built sampler
+	// driven by an identical stream: With only swaps the RNG.
+	zw := z.With(NewRNGStream(5, 2))
+	ref := NewZipf(NewRNGStream(5, 2), 100, 0.8)
+	for i := 0; i < 1000; i++ {
+		if a, b := zw.Next(), ref.Next(); a != b {
+			t.Fatalf("draw %d: With sampler %d, reference %d", i, a, b)
+		}
+	}
+}
+
 func TestRNGFloat64Range(t *testing.T) {
 	r := NewRNG(7)
 	for i := 0; i < 10000; i++ {

@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Sweep-startup benchmarks: catalog build plus connection generation
+// (serial and block-parallel) and the cache-hit load path. BENCH_sim.json
+// records the same quantities for the full-size reference workload via
+// `make bench`; these keep the paths under bench-smoke in CI.
+
+func benchSynthConfig() SynthConfig {
+	cfg := SmallSynthConfig()
+	cfg.Connections = 2000
+	return cfg
+}
+
+func BenchmarkSynthGenerateSerial(b *testing.B) {
+	cfg := benchSynthConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		NewSynth(cfg).GenerateParallel(1)
+	}
+}
+
+func BenchmarkSynthGenerateParallel(b *testing.B) {
+	cfg := benchSynthConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		NewSynth(cfg).GenerateParallel(0)
+	}
+}
+
+func BenchmarkTraceCacheHit(b *testing.B) {
+	cfg := benchSynthConfig()
+	dir := b.TempDir()
+	if _, _, err := LoadOrGenerate(dir, cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, hit, err := LoadOrGenerate(dir, cfg); err != nil || !hit {
+			b.Fatalf("hit=%v err=%v", hit, err)
+		}
+	}
+}
+
+// The decode benchmarks isolate ReadBinaryBytes per cached form: the
+// nested P-HTTP structure and the layoutSingle flattened form.
+
+func benchEncoded(b *testing.B, flat bool) []byte {
+	b.Helper()
+	tr := NewSynth(benchSynthConfig()).Generate()
+	if flat {
+		tr = tr.Flatten10()
+	}
+	var buf bytes.Buffer
+	if _, err := WriteBinary(&buf, tr, 1); err != nil {
+		b.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func BenchmarkReadBinaryPHTTP(b *testing.B) {
+	data := benchEncoded(b, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ReadBinaryBytes(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadBinaryFlat(b *testing.B) {
+	data := benchEncoded(b, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ReadBinaryBytes(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLoadOrGenerateHitReference(b *testing.B) {
+	cfg := DefaultSynthConfig()
+	cfg.Connections = 12000
+	dir := b.TempDir()
+	if _, _, err := LoadOrGenerate(dir, cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, hit, err := LoadOrGenerate(dir, cfg); err != nil || !hit {
+			b.Fatalf("hit=%v err=%v", hit, err)
+		}
+	}
+}

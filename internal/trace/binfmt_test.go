@@ -1,0 +1,196 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+
+	"phttp/internal/core"
+)
+
+func binTestTrace(t *testing.T) *Trace {
+	t.Helper()
+	cfg := SmallSynthConfig()
+	cfg.Connections = 600
+	return NewSynth(cfg).Generate()
+}
+
+// TestBinaryRoundTrip is the bit-exactness acceptance test: write → read →
+// deep-equal on connections (IDs included), sizes and interner contents.
+func TestBinaryRoundTrip(t *testing.T) {
+	tr := binTestTrace(t)
+	var buf bytes.Buffer
+	n, err := WriteBinary(&buf, tr, 0xdeadbeef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteBinary reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, hash, err := ReadBinary(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hash != 0xdeadbeef {
+		t.Errorf("config hash round trip = %x", hash)
+	}
+	if !reflect.DeepEqual(tr.Conns, got.Conns) {
+		t.Error("connections did not round-trip")
+	}
+	if !reflect.DeepEqual(tr.Sizes, got.Sizes) {
+		t.Error("sizes table did not round-trip")
+	}
+	if tr.Interner.Len() != got.Interner.Len() {
+		t.Fatalf("interner table %d targets, want %d", got.Interner.Len(), tr.Interner.Len())
+	}
+	for id := core.TargetID(1); int(id) <= tr.Interner.Len(); id++ {
+		if tr.Interner.Name(id) != got.Interner.Name(id) {
+			t.Fatalf("ID %d names %q, want %q", id, got.Interner.Name(id), tr.Interner.Name(id))
+		}
+	}
+}
+
+// TestBinaryWriterToReaderFrom covers the io.WriterTo / io.ReaderFrom
+// face of the same format.
+func TestBinaryWriterToReaderFrom(t *testing.T) {
+	tr := binTestTrace(t)
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got Trace
+	n, err := got.ReadFrom(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("ReadFrom consumed %d bytes of %d", n, buf.Len())
+	}
+	if !reflect.DeepEqual(tr.Conns, got.Conns) || !reflect.DeepEqual(tr.Sizes, got.Sizes) {
+		t.Error("WriterTo/ReaderFrom round trip mismatch")
+	}
+}
+
+// TestBinaryChecksumRejectsCorruption flips single bytes across the file —
+// header, target table, connection payload, trailer — and demands every
+// corruption is rejected.
+func TestBinaryChecksumRejectsCorruption(t *testing.T) {
+	tr := binTestTrace(t)
+	var buf bytes.Buffer
+	if _, err := WriteBinary(&buf, tr, 42); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.Bytes()
+	for _, pos := range []int{5, 20, 200, len(clean) / 2, len(clean) - 2} {
+		corrupt := append([]byte(nil), clean...)
+		corrupt[pos] ^= 0x40
+		if _, _, err := ReadBinary(bytes.NewReader(corrupt)); err == nil {
+			t.Errorf("corruption at byte %d of %d was not detected", pos, len(clean))
+		}
+	}
+}
+
+func TestBinaryRejectsTruncation(t *testing.T) {
+	tr := binTestTrace(t)
+	var buf bytes.Buffer
+	if _, err := WriteBinary(&buf, tr, 0); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.Bytes()
+	for _, n := range []int{0, 3, 15, 16, 40, len(clean) - 3} {
+		if _, _, err := ReadBinary(bytes.NewReader(clean[:n])); !errors.Is(err, ErrCorruptTrace) {
+			t.Errorf("truncation to %d bytes: err = %v, want ErrCorruptTrace", n, err)
+		}
+	}
+}
+
+func TestBinaryRejectsBadMagicAndVersion(t *testing.T) {
+	tr := binTestTrace(t)
+	var buf bytes.Buffer
+	if _, err := WriteBinary(&buf, tr, 0); err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), buf.Bytes()...)
+	bad[0] = 'X'
+	if _, _, err := ReadBinary(bytes.NewReader(bad)); !errors.Is(err, ErrCorruptTrace) {
+		t.Errorf("bad magic: %v", err)
+	}
+	future := append([]byte(nil), buf.Bytes()...)
+	future[4] = BinFormatVersion + 1
+	if _, _, err := ReadBinary(bytes.NewReader(future)); err == nil {
+		t.Error("future format version accepted")
+	}
+}
+
+// TestBinaryHugeCountDoesNotAllocate crafts a header declaring 2^50
+// targets; the reader must fail on truncation without trying to allocate
+// for the declared count.
+func TestBinaryHugeCountDoesNotAllocate(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte("PHTB"))
+	buf.Write([]byte{1, 0, 0, 0})                         // version
+	buf.Write(make([]byte, 8))                            // config hash
+	buf.Write([]byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80}) // truncated huge uvarint
+	if _, _, err := ReadBinary(bytes.NewReader(buf.Bytes())); !errors.Is(err, ErrCorruptTrace) {
+		t.Errorf("huge count: %v", err)
+	}
+}
+
+// TestBinaryRejectsPerTargetSizeConflict pins the documented invariant:
+// one size per target.
+func TestBinaryRejectsPerTargetSizeConflict(t *testing.T) {
+	tr := &Trace{
+		Sizes: map[core.Target]int64{"/a": 10},
+		Conns: []core.Connection{
+			{Batches: []core.Batch{{{Target: "/a", Size: 10}}}},
+			{Batches: []core.Batch{{{Target: "/a", Size: 20}}}},
+		},
+	}
+	if _, err := WriteBinary(io.Discard, tr, 0); err == nil {
+		t.Error("conflicting per-target sizes accepted")
+	}
+}
+
+// TestBinaryPreservesExtraSizes covers catalog entries never requested
+// (the extras section) and requested targets missing from Sizes.
+func TestBinaryPreservesExtraSizes(t *testing.T) {
+	tr := &Trace{
+		Sizes: map[core.Target]int64{"/a": 10, "/never-requested": 777, "/zzz": 1},
+		Conns: []core.Connection{
+			{Batches: []core.Batch{{{Target: "/a", Size: 10}, {Target: "/uncataloged", Size: 5}}}},
+		},
+	}
+	var buf bytes.Buffer
+	if _, err := WriteBinary(&buf, tr, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr.Sizes, got.Sizes) {
+		t.Errorf("sizes round trip:\ngot  %v\nwant %v", got.Sizes, tr.Sizes)
+	}
+	if !reflect.DeepEqual(tr.Conns, got.Conns) {
+		t.Errorf("conns round trip:\ngot  %+v\nwant %+v", got.Conns, tr.Conns)
+	}
+}
+
+// TestBinaryFlattenedRoundTrip checks the second cached form: the
+// flattened HTTP/1.0 trace round-trips with IDs intact.
+func TestBinaryFlattenedRoundTrip(t *testing.T) {
+	flat := binTestTrace(t).Flatten10()
+	var buf bytes.Buffer
+	if _, err := WriteBinary(&buf, flat, 7); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(flat.Conns, got.Conns) || !reflect.DeepEqual(flat.Sizes, got.Sizes) {
+		t.Error("flattened trace did not round-trip")
+	}
+}

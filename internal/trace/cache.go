@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+)
+
+// The trace cache persists generated workloads (DESIGN.md §12): figure
+// regeneration and benchmark sweeps ask for the same (config, BlockSize)
+// workload over and over, and loading the binary format is several times
+// faster than re-drawing it — even with the parallel generator. Both views
+// the drivers need are cached: the structured P-HTTP trace and its
+// Flatten10 HTTP/1.0 form.
+
+// Workload pairs the P-HTTP trace with its HTTP/1.0 flattening so sweep
+// drivers and load generators take whichever form a grid point needs
+// without re-flattening per sweep.
+type Workload struct {
+	// PHTTP is the structured persistent-connection trace.
+	PHTTP *Trace
+	// Flat is the HTTP/1.0 form (one request per connection); nil until
+	// first needed when the workload was built outside the cache.
+	Flat *Trace
+}
+
+// NewWorkload wraps a trace as a workload with the flattening derived
+// lazily.
+func NewWorkload(tr *Trace) *Workload { return &Workload{PHTTP: tr} }
+
+// Flatten returns the HTTP/1.0 form, deriving and memoizing it on first
+// use. Not safe for concurrent first calls; prepare the workload before
+// fanning out workers (the sweep drivers do).
+func (w *Workload) Flatten() *Trace {
+	if w.Flat == nil {
+		w.Flat = w.PHTTP.Flatten10()
+	}
+	return w.Flat
+}
+
+// ConfigHash fingerprints everything the deterministic draw depends on:
+// every SynthConfig field (with defaults resolved, so a zero BlockSize and
+// an explicit DefaultBlockSize hash identically), plus the binary format
+// version. Cache entries whose recorded hash differs are regenerated.
+func ConfigHash(cfg SynthConfig) uint64 {
+	cfg.GenVersion = cfg.genVersion()
+	cfg.BlockSize = cfg.blockSize()
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 4 // NewSynth's default
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "bin%d|%+v", BinFormatVersion, cfg)
+	return h.Sum64()
+}
+
+// CachePaths returns the cache file paths for cfg under dir: the P-HTTP
+// trace and the flattened HTTP/1.0 trace.
+func CachePaths(dir string, cfg SynthConfig) (phttp, flat string) {
+	h := ConfigHash(cfg)
+	return filepath.Join(dir, fmt.Sprintf("synth-%016x.phttp.trace", h)),
+		filepath.Join(dir, fmt.Sprintf("synth-%016x.http10.trace", h))
+}
+
+// LoadOrGenerate returns the workload for cfg, loading both cached forms
+// from dir when present and valid (checksum and config hash verified), and
+// otherwise generating the workload — blocks in parallel — and writing the
+// cache for next time. The second return reports a cache hit. Invalid or
+// corrupt cache files are regenerated, not errors; only generation or
+// write failures surface.
+func LoadOrGenerate(dir string, cfg SynthConfig) (*Workload, bool, error) {
+	h := ConfigHash(cfg)
+	pPath, fPath := CachePaths(dir, cfg)
+	if p, err := loadCached(pPath, h, nil); err == nil {
+		// The flattened form shares the P-HTTP trace's interner and sizes
+		// table on disk as in memory (Flatten10 semantics), so it loads
+		// against the already-built table instead of rebuilding one.
+		if f, err := loadCached(fPath, h, p); err == nil {
+			return &Workload{PHTTP: p, Flat: f}, true, nil
+		}
+	}
+
+	tr := NewSynth(cfg).Generate()
+	flat := tr.Flatten10()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, false, fmt.Errorf("trace: cache dir: %w", err)
+	}
+	if err := writeCached(pPath, tr, h); err != nil {
+		return nil, false, err
+	}
+	if err := writeCached(fPath, flat, h); err != nil {
+		return nil, false, err
+	}
+	return &Workload{PHTTP: tr, Flat: flat}, false, nil
+}
+
+// loadCached reads one cached trace, demanding the recorded config hash.
+// A non-nil donor lends its target table (see readBinaryShared).
+func loadCached(path string, want uint64, donor *Trace) (*Trace, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	t, got, err := readBinaryShared(data, donor)
+	if err != nil {
+		return nil, err
+	}
+	if got != want {
+		return nil, fmt.Errorf("trace: cache file %s has config hash %016x, want %016x", path, got, want)
+	}
+	return t, nil
+}
+
+// writeCached writes one trace atomically (temp file + rename), so a
+// crashed or concurrent writer never leaves a torn cache entry — readers
+// see the old file, the new file, or a checksum-failing temp they ignore.
+func writeCached(path string, t *Trace, configHash uint64) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("trace: cache write: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := WriteBinary(tmp, t, configHash); err != nil {
+		tmp.Close()
+		return fmt.Errorf("trace: cache write %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("trace: cache write %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("trace: cache write: %w", err)
+	}
+	return nil
+}

@@ -2,6 +2,9 @@ package trace
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"phttp/internal/core"
 	"phttp/internal/simcore"
@@ -57,6 +60,43 @@ type SynthConfig struct {
 
 	// MaxBatch caps pipelined batch size (browsers bound parallelism).
 	MaxBatch int
+
+	// GenVersion pins the deterministic draw scheme so a (config, trace)
+	// pair stays reproducible across releases. Version 2 — the current and
+	// only supported scheme — builds the catalog from the base seed and
+	// generates connections in independent blocks, each on its own RNG
+	// stream seeded by (Seed, block index). 0 means GenVersionBlocks.
+	GenVersion int
+
+	// BlockSize is the number of connections per generation block — the
+	// unit of determinism. Output is a pure function of (config, BlockSize)
+	// and independent of how many workers generate the blocks. 0 means
+	// DefaultBlockSize.
+	BlockSize int
+}
+
+// GenVersionBlocks is the block-seeded generation scheme (see
+// SynthConfig.GenVersion).
+const GenVersionBlocks = 2
+
+// DefaultBlockSize is the default generation block size: small enough that
+// the default 60k-connection workload spreads over ~60 blocks (ample
+// parallelism), large enough that per-block stream setup is noise.
+const DefaultBlockSize = 1024
+
+// genVersion and blockSize resolve the zero defaults.
+func (c SynthConfig) genVersion() int {
+	if c.GenVersion == 0 {
+		return GenVersionBlocks
+	}
+	return c.GenVersion
+}
+
+func (c SynthConfig) blockSize() int {
+	if c.BlockSize <= 0 {
+		return DefaultBlockSize
+	}
+	return c.BlockSize
 }
 
 // DefaultSynthConfig returns the calibrated default: ~60k targets, ~500 MB
@@ -106,14 +146,26 @@ func objectTarget(i int) core.Target { return core.Target(fmt.Sprintf("/img/obj%
 // Synth is an instantiated generator: the document catalog plus the
 // popularity and session models. Build one with NewSynth, then call
 // Generate (structured trace) or GenerateEntries (CLF log records).
+//
+// The catalog (sizes, embedded-object lists, popularity tables) is built
+// once from the base seed; connection generation draws from per-block RNG
+// streams (see SynthConfig.GenVersion), so Generate can fan blocks out over
+// worker goroutines and still produce the identical trace.
 type Synth struct {
 	cfg      SynthConfig
-	rng      *simcore.RNG
-	zipf     *simcore.Zipf
+	zipf     *simcore.Zipf // page popularity; per-block generators view it through their own streams
 	pageSize []int64
 	objSize  []int64
 	embedded [][]int // page -> object indices
 }
+
+// embedRetries bounds the uniform redraws used when the popularity-skewed
+// object draw collides with an object the page already embeds. The skewed
+// head collides often (that is the point of shared logos), so a single
+// fallback draw used to under-fill pages silently; a bounded retry keeps
+// the mean embedded count tracking ObjectsPerPage without risking an
+// unbounded loop when a page approaches the whole object population.
+const embedRetries = 16
 
 // NewSynth builds the catalog: deterministic sizes and per-page embedded
 // object lists drawn from a skewed object popularity (shared objects such
@@ -122,36 +174,41 @@ func NewSynth(cfg SynthConfig) *Synth {
 	if cfg.Pages <= 0 || cfg.Objects <= 0 || cfg.Connections < 0 {
 		panic("trace: SynthConfig with non-positive population")
 	}
+	if v := cfg.genVersion(); v != GenVersionBlocks {
+		panic(fmt.Sprintf("trace: unsupported SynthConfig.GenVersion %d (want %d)", v, GenVersionBlocks))
+	}
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = 4
 	}
 	rng := simcore.NewRNG(cfg.Seed)
 	s := &Synth{
 		cfg:      cfg,
-		rng:      rng,
 		zipf:     simcore.NewZipf(rng, cfg.Pages, cfg.ZipfAlpha),
 		pageSize: make([]int64, cfg.Pages),
 		objSize:  make([]int64, cfg.Objects),
 		embedded: make([][]int, cfg.Pages),
 	}
 	for i := range s.pageSize {
-		s.pageSize[i] = s.sample(cfg.PageLogMu, cfg.PageLogSigma)
+		s.pageSize[i] = s.sample(rng, cfg.PageLogMu, cfg.PageLogSigma)
 	}
 	for i := range s.objSize {
-		s.objSize[i] = s.sample(cfg.ObjectLogMu, cfg.ObjectLogSigma)
+		s.objSize[i] = s.sample(rng, cfg.ObjectLogMu, cfg.ObjectLogSigma)
 	}
 	// Object popularity across pages: Zipf over object indices.
 	objPop := simcore.NewZipf(rng, cfg.Objects, 0.6)
 	for p := range s.embedded {
 		k := rng.Geometric(cfg.ObjectsPerPage)
-		seen := map[int]bool{}
+		if k > cfg.Objects {
+			k = cfg.Objects
+		}
+		seen := make(map[int]bool, k)
 		for len(s.embedded[p]) < k {
 			o := objPop.Next()
-			if seen[o] {
+			for try := 0; seen[o] && try < embedRetries; try++ {
 				o = rng.Intn(cfg.Objects) // fall back to uniform on repeat
-				if seen[o] {
-					break
-				}
+			}
+			if seen[o] {
+				break // population effectively exhausted for this page
 			}
 			seen[o] = true
 			s.embedded[p] = append(s.embedded[p], o)
@@ -160,12 +217,12 @@ func NewSynth(cfg SynthConfig) *Synth {
 	return s
 }
 
-func (s *Synth) sample(mu, sigma float64) int64 {
+func (s *Synth) sample(rng *simcore.RNG, mu, sigma float64) int64 {
 	var v float64
-	if s.rng.Float64() < s.cfg.TailProb {
-		v = s.rng.Pareto(s.cfg.TailScale, s.cfg.TailAlpha)
+	if rng.Float64() < s.cfg.TailProb {
+		v = rng.Pareto(s.cfg.TailScale, s.cfg.TailAlpha)
 	} else {
-		v = s.rng.LogNormal(mu, sigma)
+		v = rng.LogNormal(mu, sigma)
 	}
 	sz := int64(v)
 	if sz < s.cfg.MinSize {
@@ -189,14 +246,103 @@ func (s *Synth) Sizes() map[core.Target]int64 {
 	return m
 }
 
+// Stream indices. Connection block b draws from stream b+1; stream 0 is
+// reserved for the timing/client draws of GenerateBoth, so the structured
+// trace is identical whether or not log entries are generated alongside it.
+const timingStream = 0
+
+// blockGen is one block's generation context: an independent RNG stream
+// plus a per-stream view of the shared page-popularity table.
+type blockGen struct {
+	s    *Synth
+	rng  *simcore.RNG
+	zipf *simcore.Zipf
+}
+
+func (s *Synth) blockGen(block int) blockGen {
+	rng := simcore.NewRNGStream(s.cfg.Seed, uint64(block)+1)
+	return blockGen{s: s, rng: rng, zipf: s.zipf.With(rng)}
+}
+
+// genBlock fills conns[block*BlockSize : ...] from the block's own stream.
+func (s *Synth) genBlock(block int, conns []core.Connection) {
+	g := s.blockGen(block)
+	lo := block * s.cfg.blockSize()
+	hi := lo + s.cfg.blockSize()
+	if hi > len(conns) {
+		hi = len(conns)
+	}
+	for i := lo; i < hi; i++ {
+		conns[i] = g.genConnection()
+	}
+}
+
+// generateConns produces the connection sequence: blocks are generated
+// independently (in parallel when workers allows) and spliced in block
+// order, so the result is deterministic for a (config, BlockSize) pair
+// regardless of worker count. workers < 1 means GOMAXPROCS.
+func (s *Synth) generateConns(workers int) []core.Connection {
+	n := s.cfg.Connections
+	if n == 0 {
+		return nil
+	}
+	conns := make([]core.Connection, n)
+	blocks := (n + s.cfg.blockSize() - 1) / s.cfg.blockSize()
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > blocks {
+		workers = blocks
+	}
+	if workers <= 1 {
+		for b := 0; b < blocks; b++ {
+			s.genBlock(b, conns)
+		}
+		return conns
+	}
+	var (
+		next atomic.Int64
+		wg   sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				b := int(next.Add(1) - 1)
+				if b >= blocks {
+					return
+				}
+				s.genBlock(b, conns)
+			}
+		}()
+	}
+	wg.Wait()
+	return conns
+}
+
 // Generate produces the structured P-HTTP trace directly, with every
-// request's target interned.
+// request's target interned. Blocks are generated across GOMAXPROCS
+// workers; the output is identical to GenerateParallel(1).
 func (s *Synth) Generate() *Trace {
-	t := &Trace{Sizes: make(map[core.Target]int64)}
-	for i := 0; i < s.cfg.Connections; i++ {
-		conn := s.genConnection()
-		t.Conns = append(t.Conns, conn)
-		for _, b := range conn.Batches {
+	return s.GenerateParallel(0)
+}
+
+// GenerateParallel is Generate with an explicit worker count (1 forces
+// serial generation, 0 means GOMAXPROCS). The trace is byte-identical for
+// every worker count: determinism comes from the per-block RNG streams,
+// not from scheduling.
+func (s *Synth) GenerateParallel(workers int) *Trace {
+	return s.assemble(s.generateConns(workers))
+}
+
+// assemble wraps generated connections as a Trace: the sizes table is
+// collected from the requests actually drawn, and targets are interned in
+// trace order.
+func (s *Synth) assemble(conns []core.Connection) *Trace {
+	t := &Trace{Conns: conns, Sizes: make(map[core.Target]int64)}
+	for _, c := range conns {
+		for _, b := range c.Batches {
 			for _, r := range b {
 				t.Sizes[r.Target] = r.Size
 			}
@@ -209,40 +355,41 @@ func (s *Synth) Generate() *Trace {
 // tail of an interrupted page visit (object requests only), then a sequence
 // of page visits, each a single-request batch (the page) followed by
 // pipelined batches of its embedded objects.
-func (s *Synth) genConnection() core.Connection {
+func (g blockGen) genConnection() core.Connection {
+	s := g.s
 	var conn core.Connection
-	if s.rng.Float64() < s.cfg.ResumeProb {
-		p := s.zipf.Next()
+	if g.rng.Float64() < s.cfg.ResumeProb {
+		p := g.zipf.Next()
 		if objs := s.embedded[p]; len(objs) > 0 {
 			// Resume partway through the page's objects. The first
 			// request of a connection always stands alone (the client
 			// cannot pipeline before its first round trip), matching
 			// the reconstruction heuristic.
-			from := s.rng.Intn(len(objs))
+			from := g.rng.Intn(len(objs))
 			conn.Batches = append(conn.Batches, core.Batch{{
 				Target: objectTarget(objs[from]),
 				Size:   s.objSize[objs[from]],
 			}})
-			s.appendObjectBatches(&conn, objs[from+1:])
+			g.appendObjectBatches(&conn, objs[from+1:])
 		}
 	}
-	visits := s.rng.Geometric(s.cfg.PagesPerConn)
+	visits := g.rng.Geometric(s.cfg.PagesPerConn)
 	for v := 0; v < visits; v++ {
-		p := s.zipf.Next()
+		p := g.zipf.Next()
 		conn.Batches = append(conn.Batches, core.Batch{{
 			Target: pageTarget(p),
 			Size:   s.pageSize[p],
 		}})
-		s.appendObjectBatches(&conn, s.embedded[p])
+		g.appendObjectBatches(&conn, s.embedded[p])
 	}
 	return conn
 }
 
 // appendObjectBatches splits objs into pipelined batches of at most MaxBatch
 // requests and appends them to conn.
-func (s *Synth) appendObjectBatches(conn *core.Connection, objs []int) {
-	for start := 0; start < len(objs); start += s.cfg.MaxBatch {
-		end := start + s.cfg.MaxBatch
+func (g blockGen) appendObjectBatches(conn *core.Connection, objs []int) {
+	for start := 0; start < len(objs); start += g.s.cfg.MaxBatch {
+		end := start + g.s.cfg.MaxBatch
 		if end > len(objs) {
 			end = len(objs)
 		}
@@ -250,7 +397,7 @@ func (s *Synth) appendObjectBatches(conn *core.Connection, objs []int) {
 		for _, o := range objs[start:end] {
 			b = append(b, core.Request{
 				Target: objectTarget(o),
-				Size:   s.objSize[o],
+				Size:   g.s.objSize[o],
 			})
 		}
 		conn.Batches = append(conn.Batches, b)
@@ -270,32 +417,32 @@ func (s *Synth) GenerateEntries() []Entry {
 
 // GenerateBoth produces the log entries and the structured trace they
 // encode from the same generator draw, so the two views describe the
-// identical workload.
+// identical workload. The connection draws come from the per-block streams
+// — the returned trace equals Generate()'s — while client assignment and
+// timestamps draw from the reserved timing stream.
 func (s *Synth) GenerateBoth() ([]Entry, *Trace) {
+	conns := s.generateConns(0)
+	trng := simcore.NewRNGStream(s.cfg.Seed, timingStream)
 	var entries []Entry
-	tr := &Trace{Sizes: make(map[core.Target]int64)}
 	// Per-client running clocks ensure the >=15 s separation.
 	clientClock := make([]core.Micros, s.cfg.Clients)
-	for i := 0; i < s.cfg.Connections; i++ {
-		client := s.rng.Intn(s.cfg.Clients)
+	for _, conn := range conns {
+		client := trng.Intn(s.cfg.Clients)
 		now := clientClock[client]
 		// Stagger clients so connection start order interleaves.
-		now += core.Micros(s.rng.Intn(2000)) * core.Millisecond
+		now += core.Micros(trng.Intn(2000)) * core.Millisecond
 
-		conn := s.genConnection()
-		tr.Conns = append(tr.Conns, conn)
 		for bi, b := range conn.Batches {
 			if bi > 0 {
 				// Inter-batch gap: client parses and requests more,
 				// 1.2-9 s (>= batch window, < idle timeout).
-				now += core.Micros(1200+s.rng.Intn(7800)) * core.Millisecond
+				now += core.Micros(1200+trng.Intn(7800)) * core.Millisecond
 			}
 			for ri, r := range b {
 				if ri > 0 {
 					// Pipelined spacing well inside the window.
-					now += core.Micros(20+s.rng.Intn(200)) * core.Millisecond
+					now += core.Micros(20+trng.Intn(200)) * core.Millisecond
 				}
-				tr.Sizes[r.Target] = r.Size
 				entries = append(entries, Entry{
 					Client: fmt.Sprintf("client%04d.example.edu", client),
 					Time:   now,
@@ -306,7 +453,7 @@ func (s *Synth) GenerateBoth() ([]Entry, *Trace) {
 			}
 		}
 		// Next connection from this client comes after the idle timeout.
-		clientClock[client] = now + DefaultIdleTimeout + core.Micros(1+s.rng.Intn(30))*core.Second
+		clientClock[client] = now + DefaultIdleTimeout + core.Micros(1+trng.Intn(30))*core.Second
 	}
-	return entries, tr.EnsureIDs()
+	return entries, s.assemble(conns)
 }

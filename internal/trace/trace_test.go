@@ -203,6 +203,86 @@ func TestSynthDeterminism(t *testing.T) {
 	}
 }
 
+// TestSynthParallelDeterminism is the generation golden: for a fixed
+// (config, BlockSize), the trace must be identical whatever the worker
+// count — block streams, not scheduling, carry the randomness.
+func TestSynthParallelDeterminism(t *testing.T) {
+	cfg := SmallSynthConfig()
+	cfg.Connections = 3000
+	cfg.BlockSize = 256
+	ref := NewSynth(cfg).GenerateParallel(1)
+	for _, workers := range []int{2, 3, 8, 0} {
+		got := NewSynth(cfg).GenerateParallel(workers)
+		if !reflect.DeepEqual(ref.Conns, got.Conns) {
+			t.Fatalf("workers=%d produced a different trace than serial", workers)
+		}
+		if !reflect.DeepEqual(ref.Sizes, got.Sizes) {
+			t.Fatalf("workers=%d produced a different sizes table", workers)
+		}
+		if ref.Interner.Len() != got.Interner.Len() {
+			t.Fatalf("workers=%d interned %d targets, serial %d",
+				workers, got.Interner.Len(), ref.Interner.Len())
+		}
+	}
+}
+
+// TestSynthBlockSizePinsDraw documents that BlockSize is part of the
+// deterministic format: changing it changes the draw (each block is an
+// independent stream), which is why the cache key hashes it.
+func TestSynthBlockSizePinsDraw(t *testing.T) {
+	cfg := SmallSynthConfig()
+	cfg.Connections = 2000
+	cfg.BlockSize = 256
+	a := NewSynth(cfg).Generate()
+	cfg.BlockSize = 512
+	b := NewSynth(cfg).Generate()
+	if reflect.DeepEqual(a.Conns, b.Conns) {
+		t.Error("different block sizes produced identical traces; BlockSize is not pinning the draw")
+	}
+}
+
+func TestSynthUnsupportedGenVersionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewSynth accepted an unsupported GenVersion")
+		}
+	}()
+	cfg := SmallSynthConfig()
+	cfg.GenVersion = 1
+	NewSynth(cfg)
+}
+
+// TestGenerateBothMatchesGenerate pins the stream split: connection draws
+// come from the block streams and timing from the reserved timing stream,
+// so the structured trace is the same with or without entry generation.
+func TestGenerateBothMatchesGenerate(t *testing.T) {
+	cfg := SmallSynthConfig()
+	cfg.Connections = 800
+	_, both := NewSynth(cfg).GenerateBoth()
+	direct := NewSynth(cfg).Generate()
+	if !reflect.DeepEqual(both.Conns, direct.Conns) {
+		t.Error("GenerateBoth's trace differs from Generate's")
+	}
+}
+
+// TestSynthEmbeddedObjectsTrackMean guards the bounded-retry fix: the
+// popularity-skewed draw collides constantly on the hot head, and the old
+// single-fallback break under-filled pages, dragging the mean embedded
+// count well below ObjectsPerPage.
+func TestSynthEmbeddedObjectsTrackMean(t *testing.T) {
+	cfg := DefaultSynthConfig()
+	cfg.Connections = 0 // catalog only
+	s := NewSynth(cfg)
+	total := 0
+	for _, objs := range s.embedded {
+		total += len(objs)
+	}
+	mean := float64(total) / float64(len(s.embedded))
+	if rel := mean/cfg.ObjectsPerPage - 1; rel < -0.05 || rel > 0.05 {
+		t.Errorf("mean embedded objects/page = %.2f, want %.1f ±5%%", mean, cfg.ObjectsPerPage)
+	}
+}
+
 func TestSynthTraceShape(t *testing.T) {
 	tr := NewSynth(SmallSynthConfig()).Generate()
 	st := ComputeStats(tr)
