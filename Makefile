@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke cover fuzz-smoke fmt vet check trace-cache
+.PHONY: all build test race bench bench-smoke cover fuzz-smoke fmt vet check trace-cache scenarios-smoke
 
 all: build
 
@@ -15,10 +15,20 @@ test:
 
 # The -race acceptance surface: the concurrent dispatch engine, the
 # prototype cluster that drives it from parallel client handlers, the
-# parallel sweep drivers sharing one trace, and the block-parallel trace
-# generator.
+# parallel sweep drivers sharing one trace, the block-parallel trace
+# generator, and the scenario layer that compiles and drives all of them.
 race:
-	$(GO) test -race ./internal/dispatch/... ./internal/cluster/... ./internal/sim/... ./internal/trace/...
+	$(GO) test -race ./internal/dispatch/... ./internal/cluster/... ./internal/sim/... ./internal/trace/... ./internal/scenario/...
+
+# Run every builtin scenario for one grid point through the -scenario
+# path: validation failures, registry drift and (for the figure
+# scenarios) compile drift against the legacy flag path all fail here.
+# CI runs the same loop on each push.
+scenarios-smoke:
+	@set -e; for s in $$($(GO) run ./cmd/phttp-sim -list-scenarios | awk '{print $$1}'); do \
+		echo "== scenario $$s"; \
+		$(GO) run ./cmd/phttp-sim -scenario $$s -smoke > /dev/null; \
+	done
 
 # Pre-generate the default workload into the on-disk trace cache
 # (.trace-cache/): both cached forms (P-HTTP and flattened HTTP/1.0) are

@@ -16,15 +16,17 @@ import (
 	"phttp/internal/analytic"
 	"phttp/internal/core"
 	"phttp/internal/metrics"
+	"phttp/internal/scenario"
 )
 
 func main() {
 	var (
-		srv   = flag.String("server", "apache", "server model: apache or flash")
-		maxKB = flag.Int("max-kb", 100, "largest mean file size (KB)")
-		nodes = flag.Int("nodes", 4, "cluster size (the paper uses 4)")
-		reqs  = flag.Int("reqs-per-conn", 6, "average requests per persistent connection")
-		plot  = flag.Bool("plot", false, "append an ASCII rendering of the figure")
+		srv      = flag.String("server", "apache", "server model: apache or flash")
+		maxKB    = flag.Int("max-kb", 100, "largest mean file size (KB)")
+		nodes    = flag.Int("nodes", 4, "cluster size (the paper uses 4)")
+		reqs     = flag.Int("reqs-per-conn", 6, "average requests per persistent connection")
+		plot     = flag.Bool("plot", false, "append an ASCII rendering of the figure")
+		scenFlag = flag.String("scenario", "", "take cluster size and server model from a scenario (builtin name or JSON file); explicitly set flags override it")
 	)
 	flag.Parse()
 
@@ -36,6 +38,25 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "phttp-analytic: unknown -server %q\n", *srv)
 		os.Exit(1)
+	}
+
+	if *scenFlag != "" {
+		spec, err := scenario.LoadOrBuiltin(*scenFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "phttp-analytic: %v\n", err)
+			os.Exit(1)
+		}
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if !set["server"] {
+			if kind, err = spec.ServerKind(); err != nil {
+				fmt.Fprintf(os.Stderr, "phttp-analytic: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if !set["nodes"] && spec.Cluster.Nodes > 0 {
+			*nodes = spec.Cluster.Nodes
+		}
 	}
 
 	cfg := analytic.DefaultConfig(kind)

@@ -1,7 +1,7 @@
 // phttp-backend runs one prototype back-end node as its own process. The
-// catalog is regenerated deterministically from the workload seed, so every
-// node (and the load generator) agrees on target sizes without shipping
-// files around.
+// catalog is regenerated deterministically from the workload seed (or from
+// a scenario's workload section, with -scenario), so every node (and the
+// load generator) agrees on target sizes without shipping files around.
 //
 //	phttp-backend -id 0 -ctrl 127.0.0.1:7100 -peer 127.0.0.1:7200 \
 //	              -handoff /tmp/phttp/be0.sock -peers 1=127.0.0.1:7201
@@ -22,6 +22,7 @@ import (
 
 	"phttp/internal/cluster"
 	"phttp/internal/core"
+	"phttp/internal/scenario"
 	"phttp/internal/server"
 	"phttp/internal/trace"
 )
@@ -37,21 +38,63 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "workload seed (must match the load generator)")
 		scale     = flag.Float64("time-scale", 1, "divide simulated CPU/disk latencies")
 		simCPU    = flag.Bool("sim-cpu", true, "simulate Apache CPU costs")
+		scenFlag  = flag.String("scenario", "", "take catalog (workload), cache budget, cost model and time scale from a scenario (builtin name or JSON file); explicitly set flags override it")
 	)
 	flag.Parse()
 	if *handoff == "" {
 		fatalf("-handoff is required")
 	}
 
-	catalog := trace.NewSynth(synthCfg(*seed)).Sizes()
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
+	cacheBytes := *cacheMB << 20
+	costs := server.ApacheCosts()
+	timeScale := *scale
+	var catalog map[core.Target]int64
+	if *scenFlag != "" {
+		spec, err := scenario.LoadOrBuiltin(*scenFlag)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if spec.Workload.TraceFile != "" {
+			// The catalog must describe the trace actually replayed: a
+			// trace-file workload carries its own target sizes, which the
+			// synth defaults would not reproduce.
+			wl, _, err := spec.LoadWorkload()
+			if err != nil {
+				fatalf("%v", err)
+			}
+			catalog = wl.PHTTP.Sizes
+		} else {
+			catalogCfg := spec.SynthConfig()
+			if set["seed"] {
+				catalogCfg.Seed = *seed
+			}
+			catalog = trace.NewSynth(catalogCfg).Sizes()
+		}
+		kind, err := spec.ServerKind()
+		if err != nil {
+			fatalf("%v", err)
+		}
+		costs = server.CostsFor(kind)
+		if !set["cache-mb"] && spec.Cluster.CacheMB > 0 {
+			cacheBytes = spec.Cluster.CacheMB << 20
+		}
+		if !set["time-scale"] && spec.Cluster.TimeScale > 0 {
+			timeScale = spec.Cluster.TimeScale
+		}
+	} else {
+		catalog = trace.NewSynth(synthCfg(*seed)).Sizes()
+	}
 	be, err := cluster.NewBackend(cluster.BackendConfig{
 		ID:            core.NodeID(*id),
 		Catalog:       catalog,
-		CacheBytes:    *cacheMB << 20,
+		CacheBytes:    cacheBytes,
 		Disk:          server.DefaultDisk(),
-		Costs:         server.ApacheCosts(),
+		Costs:         costs,
 		SimulateCPU:   *simCPU,
-		TimeScale:     *scale,
+		TimeScale:     timeScale,
 		HandoffSocket: *handoff,
 		CtrlListen:    *ctrl,
 		PeerListen:    *peer,

@@ -29,6 +29,7 @@ import (
 	"phttp/internal/core"
 	"phttp/internal/loadgen"
 	"phttp/internal/metrics"
+	"phttp/internal/scenario"
 	"phttp/internal/sim"
 	"phttp/internal/trace"
 )
@@ -115,11 +116,16 @@ func main() {
 		only     = flag.String("only", "", "run only the named combination (e.g. BEforward-extLARD-PHTTP)")
 		simBench = flag.String("sim-bench", "", "measure the simulator's reference ClusterSweep and write the perf trajectory to this JSON file (skips the prototype benchmark)")
 		cacheDir = flag.String("trace-cache", "", "trace cache directory: load the benchmark workload from disk, generating and persisting on miss")
+		scenFlag = flag.String("scenario", "", "benchmark the prototype for a declarative scenario (builtin name or JSON file): policy, options, mechanism, workload and node axis come from the spec")
 	)
 	flag.Parse()
 
 	if *simBench != "" {
 		runSimBench(*simBench, *seed)
+		return
+	}
+	if *scenFlag != "" {
+		runScenarioBench(*scenFlag, *scale, *clients)
 		return
 	}
 
@@ -167,6 +173,82 @@ func main() {
 	fmt.Print(metrics.Table("nodes", series...))
 	fmt.Printf("\n# Section 8.2: front-end utilization under BEforward-extLARD-PHTTP\n")
 	fmt.Print(metrics.Table("nodes", feUtil))
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "phttp-bench: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// runScenarioBench drives the prototype cluster for one declarative
+// scenario: the same spec that runs in the simulator (phttp-sim -scenario)
+// runs here against real sockets, over the scenario's node axis.
+func runScenarioBench(arg string, scale float64, clients int) {
+	spec, err := scenario.LoadOrBuiltin(arg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if _, _, isCombos, _ := spec.CombosSweep(); isCombos {
+		fatalf("scenario %q sweeps legacy combos; the prototype benchmark needs a policy scenario (run it with -fig style combos via the flag path)", arg)
+	}
+	// An explicitly passed -time-scale wins over the scenario's value; the
+	// scenario wins over the flag's default.
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if set["time-scale"] || spec.Cluster.TimeScale <= 0 {
+		spec.Cluster.TimeScale = scale
+	}
+	wl, _, err := spec.LoadWorkload()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Fprint(os.Stderr, trace.ComputeStats(wl.PHTTP))
+
+	nodesAxis := []int{spec.Cluster.Nodes}
+	if spec.Sweep != nil && len(spec.Sweep.Nodes) > 0 {
+		nodesAxis = spec.Sweep.Nodes
+	}
+	label := spec.Name
+	if label == "" {
+		label = spec.Policy.Name
+	}
+	s := &metrics.Series{Name: label}
+	for _, n := range nodesAxis {
+		spec.Cluster.Nodes = n
+		clCfg, err := spec.ToClusterConfig(wl.PHTTP.Sizes)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		cl, err := cluster.Start(clCfg)
+		if err != nil {
+			fatalf("n=%d: %v", n, err)
+		}
+		lgCfg, err := spec.ToLoadgenConfig(cl.Addr(), wl)
+		if err != nil {
+			cl.Close()
+			fatalf("%v", err)
+		}
+		if clients > 0 {
+			lgCfg.Concurrency = clients
+		} else if lgCfg.Concurrency == 0 {
+			lgCfg.Concurrency = 32 * n
+		}
+		lgCfg.IOTimeout = 2 * time.Minute
+		res, err := loadgen.Run(lgCfg)
+		util := cl.FE.Utilization()
+		cl.Close()
+		if err != nil {
+			fatalf("n=%d: %v", n, err)
+		}
+		if res.Errors > 0 {
+			fatalf("n=%d: %d request errors", n, res.Errors)
+		}
+		thr := res.Throughput / clCfg.TimeScale
+		s.Add(float64(n), thr)
+		fmt.Fprintf(os.Stderr, "%-26s n=%d  %8.1f req/s (normalized)  FE %4.1f%%\n", label, n, thr, 100*util)
+	}
+	fmt.Printf("# Scenario %s: prototype throughput (req/s, normalized to modeled hardware) vs nodes\n", label)
+	fmt.Print(metrics.Table("nodes", s))
 }
 
 // runOne starts a cluster, replays the trace, and returns normalized

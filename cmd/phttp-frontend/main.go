@@ -1,10 +1,17 @@
 // phttp-frontend runs the prototype front-end as its own process: it
-// accepts client connections, runs the dispatcher (WRR / LARD / extended
-// LARD) and hands connections off to the back-ends.
+// accepts client connections, runs the dispatcher (any registered policy:
+// WRR / LARD / extended LARD / p2c / bounded-load consistent hashing) and
+// hands connections off to the back-ends.
 //
 //	phttp-frontend -listen 127.0.0.1:8080 -policy extlard -mechanism beforward \
 //	               -backend 127.0.0.1:7100,/tmp/phttp/be0.sock \
 //	               -backend 127.0.0.1:7101,/tmp/phttp/be1.sock
+//
+// A declarative scenario can supply the dispatcher configuration (policy,
+// options, mechanism, cache model, interner cap); explicitly set flags
+// still override it:
+//
+//	phttp-frontend -scenario p2c -backend 127.0.0.1:7100,/tmp/phttp/be0.sock
 package main
 
 import (
@@ -20,6 +27,7 @@ import (
 	"phttp/internal/core"
 	"phttp/internal/dispatch"
 	"phttp/internal/policy"
+	"phttp/internal/scenario"
 )
 
 // backendFlags collects repeated -backend flags.
@@ -46,6 +54,7 @@ func main() {
 		idle     = flag.Duration("idle-timeout", 15*time.Second, "persistent connection idle close interval")
 		maxTgts  = flag.Int("max-targets", 0, "cap the dispatcher's target table (evictable interner with ID recycling) for long-haul deployments facing an unbounded URL space; 0 pins every target ever seen")
 		maintain = flag.Duration("maintain-interval", cluster.DefaultMaintainInterval, "wall-clock bound on dispatcher maintenance staleness when no connections are closing (0 disables; only meaningful with -max-targets)")
+		scenFlag = flag.String("scenario", "", "take the dispatcher configuration (policy, options, mechanism, cache model, target cap) from a scenario: builtin name or JSON file; explicitly set flags override it")
 	)
 	flag.Var(&backends, "backend", "back-end endpoint as ctrlAddr,handoffPath (repeat per node)")
 	flag.Parse()
@@ -53,35 +62,60 @@ func main() {
 		fatalf("at least one -backend is required")
 	}
 
-	var m core.Mechanism
-	switch strings.ToLower(*mech) {
-	case "singlehandoff":
-		m = core.SingleHandoff
-	case "beforward":
-		m = core.BEForwarding
-	case "relay":
-		m = core.RelayFrontEnd
-	default:
-		fatalf("unknown -mechanism %q", *mech)
-	}
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 
-	fe, err := cluster.NewFrontEnd(cluster.FrontEndConfig{
-		Nodes:            len(backends),
-		Policy:           *polName,
-		Mechanism:        m,
-		Params:           policy.DefaultParams(),
-		CacheBytes:       *cacheMB << 20,
-		MaxTargets:       *maxTgts,
-		IdleTimeout:      *idle,
-		ClientListen:     *listen,
-		MaintainInterval: *maintain,
-	}, backends)
+	var cfg cluster.FrontEndConfig
+	if *scenFlag != "" {
+		spec, err := scenario.LoadOrBuiltin(*scenFlag)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		cfg, err = spec.ToFrontEndConfig(len(backends))
+		if err != nil {
+			fatalf("%v", err)
+		}
+	} else {
+		cfg = cluster.FrontEndConfig{
+			Nodes:            len(backends),
+			Params:           policy.DefaultParams(),
+			MaintainInterval: cluster.DefaultMaintainInterval,
+		}
+		set["policy"], set["mechanism"], set["cache-mb"] = true, true, true
+		set["idle-timeout"], set["max-targets"] = true, true
+	}
+	if set["policy"] {
+		cfg.Policy = *polName
+		cfg.PolicyOptions = nil // flag policy names carry no options
+	}
+	if set["mechanism"] {
+		m, err := core.ParseMechanism(*mech)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		cfg.Mechanism = m
+	}
+	if set["cache-mb"] {
+		cfg.CacheBytes = *cacheMB << 20
+	}
+	if set["idle-timeout"] {
+		cfg.IdleTimeout = *idle
+	}
+	if set["max-targets"] {
+		cfg.MaxTargets = *maxTgts
+	}
+	if set["maintain-interval"] {
+		cfg.MaintainInterval = *maintain
+	}
+	cfg.ClientListen = *listen
+
+	fe, err := cluster.NewFrontEnd(cfg, backends)
 	if err != nil {
 		fatalf("%v", err)
 	}
 	defer fe.Close()
 	fmt.Printf("frontend up: clients=%s policy=%s mechanism=%s nodes=%d\n",
-		fe.Addr(), fe.PolicyName(), m, len(backends))
+		fe.Addr(), fe.PolicyName(), cfg.Mechanism, len(backends))
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -5,6 +5,7 @@
 //
 //	phttp-loadgen -addr 127.0.0.1:8080 -clients 64
 //	phttp-loadgen -addr 127.0.0.1:8080 -http10
+//	phttp-loadgen -addr 127.0.0.1:8080 -scenario p2c   # workload + client shape from a scenario
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"time"
 
 	"phttp/internal/loadgen"
+	"phttp/internal/scenario"
 	"phttp/internal/trace"
 )
 
@@ -28,8 +30,18 @@ func main() {
 		verify   = flag.Bool("verify", true, "verify response sizes and content")
 		in       = flag.String("in", "", "replay a binary trace file instead of generating the synthetic workload")
 		cacheDir = flag.String("trace-cache", "", "trace cache directory: load the workload (flattened form included) from disk, generating and persisting on miss")
+		scenFlag = flag.String("scenario", "", "take workload, client concurrency, warmup and HTTP flavor from a scenario (builtin name or JSON file); -addr and explicitly set flags still apply")
 	)
 	flag.Parse()
+
+	if *scenFlag != "" {
+		runScenario(scenarioArgs{
+			arg: *scenFlag, addr: *addr, clients: *clients, verify: *verify,
+			http10: *http10, warmup: *warmup, in: *in, cacheDir: *cacheDir,
+			seed: *seed, conns: *conns,
+		})
+		return
+	}
 
 	cfg := trace.DefaultSynthConfig()
 	cfg.Seed = *seed
@@ -67,6 +79,83 @@ func main() {
 		WarmupFrac:  *warmup,
 		Verify:      *verify,
 	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("%v (wall %v)\n", res, time.Since(start).Round(time.Millisecond))
+}
+
+// scenarioArgs carries the flag values runScenario may need to overlay on
+// the spec.
+type scenarioArgs struct {
+	arg, addr, in, cacheDir string
+	clients, conns          int
+	seed                    uint64
+	warmup                  float64
+	verify, http10          bool
+}
+
+// runScenario compiles the load-generation half of a scenario and replays
+// its workload against addr. Explicitly set flags win over the scenario's
+// values — both the client-shape flags (-clients, -verify, -http10,
+// -warmup) and the workload-source flags (-in, -trace-cache, -seed,
+// -connections), which are folded into the spec before the workload
+// loads.
+func runScenario(a scenarioArgs) {
+	spec, err := scenario.LoadOrBuiltin(a.arg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if set["in"] {
+		spec.Workload.TraceFile = a.in
+		spec.Workload.TraceCache = ""
+		spec.Workload.Synth = nil
+	}
+	if set["trace-cache"] && spec.Workload.TraceFile == "" {
+		spec.Workload.TraceCache = a.cacheDir
+	}
+	if set["seed"] || set["connections"] {
+		if spec.Workload.TraceFile != "" {
+			fatalf("-seed/-connections do not apply to a trace-file workload")
+		}
+		if spec.Workload.Synth == nil {
+			spec.Workload.Synth = &scenario.SynthSpec{}
+		}
+		if set["seed"] {
+			spec.Workload.Synth.Seed = a.seed
+		}
+		if set["connections"] {
+			spec.Workload.Synth.Connections = a.conns
+		}
+	}
+	wl, _, err := spec.LoadWorkload()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	cfg, err := spec.ToLoadgenConfig(a.addr, wl)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if set["clients"] {
+		cfg.Concurrency = a.clients
+	}
+	if set["verify"] {
+		cfg.Verify = a.verify
+	}
+	if set["http10"] {
+		cfg.HTTP10 = a.http10
+		cfg.Flat = nil
+		if a.http10 {
+			cfg.Flat = wl.Flatten()
+		}
+	}
+	if set["warmup"] {
+		cfg.WarmupFrac = a.warmup
+	}
+	start := time.Now()
+	res, err := loadgen.Run(cfg)
 	if err != nil {
 		fatalf("%v", err)
 	}

@@ -6,6 +6,13 @@
 //	phttp-sim -fig 3                  # single-node delay/throughput curve
 //	phttp-sim -combo BEforward-extLARD-PHTTP -nodes 4
 //
+// Experiments can also be described declaratively (see DESIGN.md §13):
+//
+//	phttp-sim -scenario fig7          # builtin scenario, same output as -fig 7
+//	phttp-sim -scenario p2c           # open-registry policy across cluster sizes
+//	phttp-sim -scenario myexp.json    # scenario file
+//	phttp-sim -list-scenarios         # builtin scenario names
+//
 // Output is a tab-separated table, one series per figure curve.
 package main
 
@@ -13,10 +20,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"sync"
 
 	"phttp/internal/core"
 	"phttp/internal/metrics"
+	"phttp/internal/scenario"
 	"phttp/internal/server"
 	"phttp/internal/sim"
 	"phttp/internal/trace"
@@ -24,28 +34,44 @@ import (
 
 func main() {
 	var (
-		fig      = flag.Int("fig", 0, "figure to regenerate: 3, 7 or 8 (0 = single run)")
-		combo    = flag.String("combo", "BEforward-extLARD-PHTTP", "policy/mechanism combination for a single run")
-		nodes    = flag.Int("nodes", 4, "cluster size for a single run")
-		maxNodes = flag.Int("max-nodes", 10, "largest cluster size in figure sweeps")
-		srv      = flag.String("server", "", "server model: apache or flash (overrides the figure default)")
-		conns    = flag.Int("connections", 0, "trace connections (0 = generator default)")
-		seed     = flag.Uint64("seed", 1, "workload seed")
-		verbose  = flag.Bool("v", false, "print per-run details (hit rate, utilizations)")
-		list     = flag.Bool("list", false, "list the available policy/mechanism combinations and exit")
-		plot     = flag.Bool("plot", false, "append an ASCII rendering of the figure")
-		workers  = flag.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS, 1 = serial); output is identical either way")
-		cacheDir = flag.String("trace-cache", "", "trace cache directory: load the workload (P-HTTP and flattened forms) from disk, generating and persisting on miss")
+		fig       = flag.Int("fig", 0, "figure to regenerate: 3, 7 or 8 (0 = single run)")
+		combo     = flag.String("combo", "BEforward-extLARD-PHTTP", "policy/mechanism combination for a single run (see -list)")
+		nodes     = flag.Int("nodes", 4, "cluster size for a single run")
+		maxNodes  = flag.Int("max-nodes", 10, "largest cluster size in figure sweeps")
+		srv       = flag.String("server", "", "server model: apache or flash (overrides the figure default)")
+		conns     = flag.Int("connections", 0, "trace connections (0 = generator default)")
+		seed      = flag.Uint64("seed", 1, "workload seed")
+		verbose   = flag.Bool("v", false, "print per-run details (hit rate, utilizations)")
+		list      = flag.Bool("list", false, "list the available policy/mechanism combinations and exit")
+		plot      = flag.Bool("plot", false, "append an ASCII rendering of the figure")
+		workers   = flag.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS, 1 = serial); output is identical either way")
+		cacheDir  = flag.String("trace-cache", "", "trace cache directory: load the workload (P-HTTP and flattened forms) from disk, generating and persisting on miss")
+		scenFlag  = flag.String("scenario", "", "run a declarative scenario: a builtin name (see -list-scenarios) or a JSON file")
+		scenList  = flag.Bool("list-scenarios", false, "list the builtin scenarios and exit")
+		scenSmoke = flag.Bool("smoke", false, "with -scenario: verify the scenario (builtins are checked against the legacy path for compile drift), then run only its first grid point on a small workload")
 	)
 	flag.Parse()
 
 	if *list {
-		for _, c := range sim.Combos() {
-			fmt.Println(c.Name)
+		// The one canonical combo listing: everything ComboByName accepts
+		// is printed here, nothing hidden.
+		for _, name := range sim.ComboNames() {
+			fmt.Println(name)
 		}
-		fmt.Println("relayFE-extLARD-PHTTP")
-		fmt.Println("simple-LARDR")
-		fmt.Println("simple-LARDR-PHTTP")
+		return
+	}
+	if *scenList {
+		for _, name := range scenario.BuiltinNames() {
+			s, err := scenario.Builtin(name)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			fmt.Printf("%-12s %s\n", name, s.Doc)
+		}
+		return
+	}
+	if *scenFlag != "" {
+		runScenario(*scenFlag, *scenSmoke, *workers, *cacheDir, *plot, *verbose)
 		return
 	}
 
@@ -130,6 +156,227 @@ func main() {
 		}
 	default:
 		fatalf("unknown -fig %d (want 3, 7 or 8)", *fig)
+	}
+}
+
+// runScenario executes a declarative scenario end to end: resolve, verify
+// (smoke), load the workload, and run whichever grid shape the spec
+// defines.
+func runScenario(arg string, smoke bool, workers int, cacheDir string, plot, verbose bool) {
+	spec, err := scenario.LoadOrBuiltin(arg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if smoke {
+		// Actual builtins are additionally held to the legacy flag path:
+		// any compile drift fails the run before anything executes. The
+		// gate is the argument's resolution, not the spec's name field —
+		// a user file calling itself "fig7" gets no false verification.
+		if scenario.IsBuiltin(arg) {
+			if err := scenario.VerifyBuiltin(arg); err != nil {
+				fatalf("%v", err)
+			}
+			fmt.Fprintf(os.Stderr, "scenario %s: verified against the legacy path\n", spec.Name)
+		}
+		shrinkForSmoke(spec)
+	}
+	if cacheDir != "" && spec.Workload.TraceCache == "" && spec.Workload.TraceFile == "" {
+		spec.Workload.TraceCache = cacheDir
+	}
+
+	wl, hit, err := spec.LoadWorkload()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if spec.Workload.TraceCache != "" {
+		fmt.Fprintf(os.Stderr, "workload: cache %s\n",
+			map[bool]string{true: "hit", false: "miss (generated and persisted)"}[hit])
+	}
+	fmt.Fprint(os.Stderr, trace.ComputeStats(wl.PHTTP))
+	kind, err := spec.ServerKind()
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	// A combos sweep with no cluster overrides reuses the parallel sweep
+	// driver, so its output is byte-identical to the corresponding -fig
+	// run. Combos sweeps that override cluster knobs (cacheMB, conns per
+	// node, ...) fall through to the generic grid runner below, which
+	// compiles through ToSimGrid and therefore honors every override.
+	combos, ns, isCombos, err := spec.CombosSweep()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if isCombos && !hasSimOverrides(spec) {
+		series, results, err := sim.ClusterSweepWorkload(kind, ns, combos, wl, workers)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		printNodesTable(spec.Name, kind, series, plot)
+		if verbose {
+			fmt.Println()
+			for _, r := range results {
+				fmt.Println(r)
+			}
+		}
+		return
+	}
+
+	points, err := spec.ToSimGrid()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	results, err := runGrid(points, wl, workers)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if verbose {
+		for _, r := range results {
+			fmt.Fprintln(os.Stderr, r)
+		}
+	}
+	if _, isLoads := spec.LoadsSweep(); isLoads {
+		thr := &metrics.Series{Name: "throughput(req/s)"}
+		delay := &metrics.Series{Name: "delay(ms)"}
+		for i, p := range points {
+			thr.Add(p.X, results[i].Throughput)
+			delay.Add(p.X, float64(results[i].MeanDelay)/float64(core.Millisecond))
+		}
+		fmt.Printf("# Scenario %s (%s): throughput and delay vs offered load\n", spec.Name, kind)
+		fmt.Print(metrics.Table("load(conns)", thr, delay))
+		return
+	}
+	if len(points) == 1 {
+		fmt.Println(results[0])
+		return
+	}
+	printNodesTable(spec.Name, kind, groupSeries(points, results), plot)
+}
+
+// hasSimOverrides reports whether the scenario changes any simulator
+// cluster knob away from the calibrated defaults.
+func hasSimOverrides(spec *scenario.Spec) bool {
+	c := spec.Cluster
+	return c.ConnsPerNode > 0 || c.CacheMB > 0 || c.WarmupFrac != nil || c.FESpeedup > 0
+}
+
+// runGrid executes grid points across workers (0 = GOMAXPROCS, 1 =
+// serial), filling results by point index so output order — and, because
+// each run is deterministic in isolation, every value — is independent of
+// the worker count. The workload is shared read-only, as in the sweep
+// drivers.
+func runGrid(points []scenario.SimPoint, wl *trace.Workload, workers int) ([]sim.Result, error) {
+	tr := wl.PHTTP
+	if tr.Interner == nil {
+		tr.EnsureIDs()
+	}
+	// Flatten once (memoized on the workload, like the sweep drivers do)
+	// rather than per HTTP/1.0 grid point inside sim.Run.
+	var flat *trace.Trace
+	for _, p := range points {
+		if !p.Config.Combo.PHTTP {
+			flat = wl.Flatten()
+			if flat.Interner == nil {
+				flat.EnsureIDs()
+			}
+			break
+		}
+	}
+	workloadFor := func(p scenario.SimPoint) *trace.Trace {
+		if p.Config.Combo.PHTTP {
+			return tr
+		}
+		return flat
+	}
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(points) {
+		workers = len(points)
+	}
+	results := make([]sim.Result, len(points))
+	errs := make([]error, len(points))
+	if workers <= 1 {
+		for i, p := range points {
+			res, err := sim.RunPrepared(p.Config, workloadFor(p))
+			if err != nil {
+				return nil, err
+			}
+			results[i] = res
+		}
+		return results, nil
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i], errs[i] = sim.RunPrepared(points[i].Config, workloadFor(points[i]))
+			}
+		}()
+	}
+	for i := range points {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// groupSeries folds grid results into one series per label, in first-seen
+// order.
+func groupSeries(points []scenario.SimPoint, results []sim.Result) []*metrics.Series {
+	byLabel := make(map[string]*metrics.Series)
+	var series []*metrics.Series
+	for i, p := range points {
+		s := byLabel[p.Label]
+		if s == nil {
+			s = &metrics.Series{Name: p.Label}
+			byLabel[p.Label] = s
+			series = append(series, s)
+		}
+		s.Add(p.X, results[i].Throughput)
+	}
+	return series
+}
+
+func printNodesTable(name string, kind core.ServerKind, series []*metrics.Series, plot bool) {
+	fmt.Printf("# Scenario %s (%s): cluster throughput (req/s) vs nodes\n", name, kind)
+	fmt.Print(metrics.Table("nodes", series...))
+	if plot {
+		fmt.Println()
+		fmt.Print(metrics.Plot(60, 16, series...))
+	}
+}
+
+// shrinkForSmoke cuts a scenario down to one cheap grid point: the CI
+// scenarios-smoke step runs every builtin through here on each push.
+func shrinkForSmoke(spec *scenario.Spec) {
+	synth := spec.Workload.Synth
+	if synth == nil {
+		synth = &scenario.SynthSpec{}
+		spec.Workload.Synth = synth
+	}
+	if spec.Workload.TraceFile == "" {
+		synth.Connections = 400
+		synth.Pages = 120
+		synth.Objects = 260
+		synth.Clients = 60
+	}
+	if spec.Sweep != nil {
+		if len(spec.Sweep.Nodes) > 1 {
+			spec.Sweep.Nodes = spec.Sweep.Nodes[:1]
+		}
+		if len(spec.Sweep.Loads) > 1 {
+			spec.Sweep.Loads = spec.Sweep.Loads[:1]
+		}
 	}
 }
 

@@ -30,6 +30,59 @@ func TestListSmoke(t *testing.T) {
 	if !strings.Contains(string(out), "BEforward-extLARD-PHTTP") {
 		t.Errorf("-list missing the paper's headline combo:\n%s", out)
 	}
+	// The listing is canonical: the extension combos ComboByName accepts
+	// must be listed too, not hidden (they used to be).
+	for _, name := range []string{"relayFE-extLARD-PHTTP", "simple-LARDR", "simple-LARDR-PHTTP"} {
+		if !strings.Contains(string(out), name) {
+			t.Errorf("-list missing extension combo %s:\n%s", name, out)
+		}
+	}
+}
+
+func TestUnknownComboErrorListsNames(t *testing.T) {
+	out, err := exec.Command(buildBinary(t), "-combo", "WRR-TELNET").CombinedOutput()
+	if err == nil {
+		t.Fatal("unknown combo accepted")
+	}
+	for _, name := range []string{"BEforward-extLARD-PHTTP", "simple-LARDR"} {
+		if !strings.Contains(string(out), name) {
+			t.Errorf("unknown-combo error does not list %s:\n%s", name, out)
+		}
+	}
+}
+
+func TestListScenariosSmoke(t *testing.T) {
+	out, err := exec.Command(buildBinary(t), "-list-scenarios").Output()
+	if err != nil {
+		t.Fatalf("-list-scenarios: %v", err)
+	}
+	for _, name := range []string{"fig3", "fig7", "fig8", "p2c", "boundedch"} {
+		if !strings.Contains(string(out), name) {
+			t.Errorf("-list-scenarios missing %s:\n%s", name, out)
+		}
+	}
+}
+
+// TestScenarioSmoke runs a builtin scenario end to end through the binary
+// in -smoke mode (the CI scenarios-smoke loop runs all of them).
+func TestScenarioSmoke(t *testing.T) {
+	out, err := exec.Command(buildBinary(t), "-scenario", "p2c", "-smoke").Output()
+	if err != nil {
+		t.Fatalf("-scenario p2c -smoke: %v", err)
+	}
+	if !strings.Contains(string(out), "p2c-PHTTP") {
+		t.Errorf("scenario output missing the policy series:\n%s", out)
+	}
+}
+
+func TestScenarioUnknown(t *testing.T) {
+	out, err := exec.Command(buildBinary(t), "-scenario", "fig99").CombinedOutput()
+	if err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	if !strings.Contains(string(out), "fig7") {
+		t.Errorf("unknown-scenario error does not list builtins:\n%s", out)
+	}
 }
 
 // TestSingleRunWithTraceCache drives a tiny single simulation twice through

@@ -9,6 +9,7 @@
 //	phttp-tracegen -in trace.bin               # inspect a binary trace (stats)
 //	phttp-tracegen -in a.bin -out b.bin        # round-trip (re-encode; add -stats to also print)
 //	phttp-tracegen -cache .trace-cache -stats  # load-or-generate via the cache
+//	phttp-tracegen -scenario p2c -cache .trace-cache  # pre-generate a scenario's workload
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"fmt"
 	"os"
 
+	"phttp/internal/scenario"
 	"phttp/internal/trace"
 )
 
@@ -30,8 +32,20 @@ func main() {
 		cacheDir = flag.String("cache", "", "trace cache directory: load the workload from it, generating and persisting both cached forms on miss")
 		workers  = flag.Int("gen-workers", 0, "generation workers (0 = GOMAXPROCS, 1 = serial); the trace is identical either way")
 		block    = flag.Int("block-size", 0, "connections per generation block (0 = default); part of the deterministic format")
+		scenFlag = flag.String("scenario", "", "generate the workload a scenario describes (builtin name or JSON file); -seed/-connections override its synth section")
 	)
 	flag.Parse()
+
+	if *scenFlag != "" {
+		spec, err := scenario.LoadOrBuiltin(*scenFlag)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		scenarioSpec = spec
+		if *cacheDir == "" && spec.Workload.TraceCache != "" {
+			*cacheDir = spec.Workload.TraceCache
+		}
+	}
 
 	var tr *trace.Trace
 	switch {
@@ -101,9 +115,19 @@ func main() {
 	}
 }
 
+// scenarioSpec resolves the -scenario flag once at startup (nil without it).
+var scenarioSpec *scenario.Spec
+
 func synthConfig(seed uint64, conns, block int) trace.SynthConfig {
 	cfg := trace.DefaultSynthConfig()
-	cfg.Seed = seed
+	if scenarioSpec != nil {
+		cfg = scenarioSpec.SynthConfig()
+	}
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if scenarioSpec == nil || set["seed"] {
+		cfg.Seed = seed
+	}
 	if conns > 0 {
 		cfg.Connections = conns
 	}

@@ -10,6 +10,14 @@
 // evaluation figures, and a runnable prototype cluster whose TCP handoff is
 // emulated with SCM_RIGHTS file-descriptor passing.
 //
+// Policies live behind an open registry (dispatch.Register; p2c and
+// bounded-load consistent hashing ship registered through it, and
+// examples/custom-policy adds one from outside the tree), and whole
+// experiments are declarative: internal/scenario compiles one versioned
+// JSON spec to simulator, prototype and load-generator configuration, with
+// the paper's figure experiments embedded as named scenarios
+// (scenario.Builtin, phttp-sim -scenario fig7). See DESIGN.md §13.
+//
 // Start with DESIGN.md: the system inventory, the documented substitutions
 // for 1999-era infrastructure, and the shared dispatch engine
 // (internal/dispatch) that drives both the simulator and the prototype. The

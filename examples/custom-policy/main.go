@@ -1,0 +1,167 @@
+// custom-policy shows the open policy registry end to end: a third-party
+// dispatch policy — defined entirely in this example, outside
+// internal/dispatch — registers itself with a typed option schema through
+// the public API, and a declarative scenario file runs it in the
+// simulator next to a built-in baseline. The same registration makes it
+// runnable in the prototype (phttp-frontend reads the same registry) and
+// the same scenario file drives phttp-sim / phttp-bench / phttp-loadgen.
+//
+//	go run ./examples/custom-policy
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"phttp/internal/core"
+	"phttp/internal/dispatch"
+	"phttp/internal/scenario"
+	"phttp/internal/sim"
+)
+
+// HashAffinity is the example policy: each target's interned ID hashes to
+// a fixed home node, and the connection goes there unless the home is
+// more than `spill-factor` times as loaded as the least-loaded node, in
+// which case it spills to that node. A two-line idea — but with full
+// cache affinity, an overload valve, and a knob — registered and swept
+// like the paper's own policies.
+type HashAffinity struct {
+	loads *core.LoadTracker
+	spill float64
+}
+
+var _ core.Policy = (*HashAffinity)(nil)
+
+func (h *HashAffinity) Name() string { return "hashAffinity" }
+
+func (h *HashAffinity) home(id core.TargetID) core.NodeID {
+	x := uint64(uint32(id)) * 0x9e3779b97f4a7c15
+	return core.NodeID((x >> 32) % uint64(h.loads.Nodes()))
+}
+
+func (h *HashAffinity) ConnOpen(c *core.ConnState, first core.Request) core.NodeID {
+	n := h.home(first.ID)
+	if least := h.loads.Least(); least != n &&
+		h.loads.Load(n) > h.spill*(h.loads.Load(least)+1) {
+		n = least // the home node is drowning: spill this connection
+	}
+	c.Handling = n
+	h.loads.AddConn(n)
+	return n
+}
+
+func (h *HashAffinity) AssignBatch(c *core.ConnState, batch core.Batch) []core.Assignment {
+	out := c.AssignBuf(len(batch))
+	for i := range batch {
+		out[i] = core.Assignment{Node: c.Handling, CacheLocally: true}
+		c.Requests++
+	}
+	c.Batches++
+	return out
+}
+
+func (h *HashAffinity) BatchDone(*core.ConnState) {}
+
+func (h *HashAffinity) ConnClose(c *core.ConnState) {
+	if c.Handling != core.NoNode {
+		h.loads.RemoveConn(c.Handling)
+		c.Handling = core.NoNode
+	}
+}
+
+func (h *HashAffinity) ReportDiskQueue(core.NodeID, int) {}
+func (h *HashAffinity) Loads() *core.LoadTracker         { return h.loads }
+
+func init() {
+	// The registration is the entire integration surface: name, help,
+	// option schema, constructor. Nothing inside internal/dispatch knows
+	// this policy exists.
+	dispatch.MustRegister("hashaffinity", dispatch.Builder{
+		Help: "target-hash home node with a load spill valve (examples/custom-policy)",
+		Options: []dispatch.OptionSpec{
+			{Key: "spill-factor", Kind: dispatch.KindFloat, Default: 3.0,
+				Help: "spill to the least-loaded node when the home node is this many times as loaded"},
+		},
+		New: func(a dispatch.BuildArgs) (core.Policy, error) {
+			return &HashAffinity{
+				loads: core.NewLoadTracker(a.Nodes),
+				spill: a.Float("spill-factor"),
+			}, nil
+		},
+	})
+}
+
+// scenarioJSON is the scenario file for the new policy: written to disk
+// and loaded back through scenario.Load, exactly the path `phttp-sim
+// -scenario myexp.json` takes.
+const scenarioJSON = `{
+  "version": 1,
+  "name": "hashaffinity-demo",
+  "doc": "third-party hash-affinity policy, small workload, 4 nodes",
+  "workload": {"synth": {"connections": 12000, "pages": 2000, "objects": 4500, "clients": 500}},
+  "policy": {"name": "hashaffinity", "options": {"spill-factor": 2.5}},
+  "mechanism": "singleHandoff",
+  "cluster": {"nodes": 4, "cacheMB": 16},
+  "server": {"model": "apache"}
+}`
+
+func main() {
+	// Introspect the registered policy: Describe is what -h and the docs
+	// render, straight from the registration.
+	d, err := dispatch.Describe("hashaffinity")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("registered policy %q: %s\n", d.Name, d.Help)
+	for _, o := range d.Options {
+		fmt.Printf("  option %-14s %-7v default %-6v %s\n", o.Key, o.Kind, o.Default, o.Help)
+	}
+
+	path := filepath.Join(os.TempDir(), "hashaffinity-demo.json")
+	if err := os.WriteFile(path, []byte(scenarioJSON), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	defer os.Remove(path)
+	spec, err := scenario.Load(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	wl, _, err := spec.LoadWorkload()
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg, err := spec.ToSimConfig()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nsimulating %q on %d nodes (vs built-in baselines):\n\n", spec.Name, cfg.Nodes)
+	res, err := sim.Run(cfg, wl.PHTTP)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res)
+
+	// Baselines through the same scenario compiler: swap the policy name,
+	// keep everything else declarative.
+	for _, baseline := range []string{"wrr", "lard"} {
+		spec.Policy = scenario.PolicySpec{Name: baseline}
+		bcfg, err := spec.ToSimConfig()
+		if err != nil {
+			log.Fatal(err)
+		}
+		bres, err := sim.Run(bcfg, wl.PHTTP)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(bres)
+	}
+
+	fmt.Println("\nreading the rows: hash affinity gets LARD-like hit rates on a")
+	fmt.Println("skew-friendly workload (content-keyed placement aggregates the node")
+	fmt.Println("caches) without a mapping table; the spill valve keeps the hot-page")
+	fmt.Println("node from saturating like a pure mod-N hash would.")
+}

@@ -520,14 +520,7 @@ func (b *Backend) writeResponse(c *beConn, msg ctrlMsg, size int64, body func(io
 	if out == nil {
 		return errors.New("cluster: response with no client socket")
 	}
-	bw := bufio.NewWriterSize(out, 32<<10)
-	if _, err := bw.WriteString(head); err != nil {
-		return err
-	}
-	if err := body(bw); err != nil {
-		return err
-	}
-	return bw.Flush()
+	return writeBuffered(out, head, body, int64(len(head))+size)
 }
 
 // writeError emits a minimal error response.
@@ -559,17 +552,18 @@ func (b *Backend) writeRelayFrame(c *beConn, msg ctrlMsg, head string, size int6
 		return errors.New("cluster: relay response with no data connection")
 	}
 	total := int64(len(head)) + size
-	bw := bufio.NewWriterSize(b.data, 32<<10)
-	if _, err := fmt.Fprintf(bw, "RESP %d %d %d\n", c.id, msg.Seq, total); err != nil {
+	cw := newChunkWriter(b.data, total+64)
+	defer cw.release()
+	if _, err := fmt.Fprintf(cw, "RESP %d %d %d\n", c.id, msg.Seq, total); err != nil {
 		return err
 	}
-	if _, err := bw.WriteString(head); err != nil {
+	if _, err := cw.WriteString(head); err != nil {
 		return err
 	}
-	if err := body(bw); err != nil {
+	if err := body(cw); err != nil {
 		return err
 	}
-	return bw.Flush()
+	return cw.Flush()
 }
 
 // reportDiskLoop periodically reports the disk queue depth to the

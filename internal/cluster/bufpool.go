@@ -1,0 +1,155 @@
+package cluster
+
+import (
+	"io"
+	"sync"
+)
+
+// Response body buffering used to allocate a fresh 32 KB bufio.Writer per
+// request on every back-end write path — the last per-request allocation of
+// the serving loop (ROADMAP: "the doc store still allocates response
+// buffers per request"). chunkWriter replaces it with size-classed pooled
+// buffers: a response checks out the smallest class covering it (or the
+// largest class, streamed through repeatedly, for bodies beyond it) and
+// returns it once the response is on the wire. Steady-state serving
+// allocates nothing for buffering, whatever mix of body sizes the workload
+// produces.
+
+// chunkClasses are the pooled buffer sizes. The smallest covers the
+// response head plus the workload's median bodies (~3-6 KB), the middle
+// one the bulk of the size distribution, the largest matches the old fixed
+// bufio size so large transfers keep their syscall batching.
+var chunkClasses = [...]int{4 << 10, 16 << 10, 64 << 10}
+
+// chunkWriter buffers writes into its size-classed chunk, flushing to the
+// underlying writer whenever the chunk fills — bufio.Writer semantics
+// minus the per-response allocations. The buffer lives with the writer
+// across checkouts (a sync.Pool of writer pointers boxes nothing), so a
+// warmed pool serves responses with zero buffering allocations. Not safe
+// for concurrent use; one response owns it from checkout to release.
+type chunkWriter struct {
+	w     io.Writer
+	buf   []byte
+	n     int
+	class int
+}
+
+// chunkWriters pools one writer (with its attached buffer) per size class,
+// shared by every backend in the process (in-process harnesses run
+// several).
+var chunkWriters [len(chunkClasses)]sync.Pool
+
+// chunkClassFor returns the index of the smallest class covering hint, or
+// the largest class (streamed through repeatedly) beyond it.
+func chunkClassFor(hint int64) int {
+	for i, size := range chunkClasses {
+		if hint <= int64(size) {
+			return i
+		}
+	}
+	return len(chunkClasses) - 1
+}
+
+// newChunkWriter checks a writer sized for a total response of hint bytes
+// out of the pool. Callers must call release when done.
+func newChunkWriter(w io.Writer, hint int64) *chunkWriter {
+	class := chunkClassFor(hint)
+	cw, ok := chunkWriters[class].Get().(*chunkWriter)
+	if !ok {
+		cw = &chunkWriter{buf: make([]byte, chunkClasses[class]), class: class}
+	}
+	cw.w = w
+	cw.n = 0
+	return cw
+}
+
+// release returns the writer (and its buffer) to its class pool. It does
+// not flush; callers flush explicitly so write errors stay visible.
+func (cw *chunkWriter) release() {
+	cw.w = nil
+	chunkWriters[cw.class].Put(cw)
+}
+
+// Write implements io.Writer.
+func (cw *chunkWriter) Write(p []byte) (int, error) {
+	total := 0
+	for len(p) > 0 {
+		if cw.n == len(cw.buf) {
+			if err := cw.Flush(); err != nil {
+				return total, err
+			}
+		}
+		c := copy(cw.buf[cw.n:], p)
+		cw.n += c
+		p = p[c:]
+		total += c
+	}
+	return total, nil
+}
+
+// WriteString implements io.StringWriter without a byte-slice conversion
+// allocation.
+func (cw *chunkWriter) WriteString(s string) (int, error) {
+	total := 0
+	for len(s) > 0 {
+		if cw.n == len(cw.buf) {
+			if err := cw.Flush(); err != nil {
+				return total, err
+			}
+		}
+		c := copy(cw.buf[cw.n:], s)
+		cw.n += c
+		s = s[c:]
+		total += c
+	}
+	return total, nil
+}
+
+// ReadFrom implements io.ReaderFrom, reading directly into the pooled
+// chunk. Without it, io.Copy/CopyN (the lateral-fetch forwarding path)
+// would fall back to allocating its own 32 KB copy buffer per response —
+// the very allocation this pool removes.
+func (cw *chunkWriter) ReadFrom(r io.Reader) (int64, error) {
+	var total int64
+	for {
+		if cw.n == len(cw.buf) {
+			if err := cw.Flush(); err != nil {
+				return total, err
+			}
+		}
+		m, err := r.Read(cw.buf[cw.n:])
+		cw.n += m
+		total += int64(m)
+		if err == io.EOF {
+			return total, nil
+		}
+		if err != nil {
+			return total, err
+		}
+	}
+}
+
+// Flush writes the buffered bytes through.
+func (cw *chunkWriter) Flush() error {
+	if cw.n == 0 {
+		return nil
+	}
+	_, err := cw.w.Write(cw.buf[:cw.n])
+	cw.n = 0
+	return err
+}
+
+// writeBuffered produces one buffered response — head plus body — on w
+// through a pooled chunk: the shared serving path of the handed-off client
+// socket, the relay frame and the peer lateral-fetch server.
+func writeBuffered(w io.Writer, head string, body func(io.Writer) error, hint int64) error {
+	cw := newChunkWriter(w, hint)
+	defer cw.release()
+	if _, err := cw.WriteString(head); err != nil {
+		return err
+	}
+	if err := body(cw); err != nil {
+		return err
+	}
+	return cw.Flush()
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"phttp/internal/core"
+	"phttp/internal/dispatch"
 	"phttp/internal/policy"
 	"phttp/internal/server"
 )
@@ -16,10 +17,13 @@ import (
 // programs. The standalone binaries (cmd/phttp-frontend, cmd/phttp-backend)
 // assemble the same pieces across processes.
 type Config struct {
-	Nodes     int
-	Policy    string // dispatch registry name: "wrr", "lard", "lardr", "extlard"
-	Mechanism core.Mechanism
-	Params    policy.Params
+	Nodes  int
+	Policy string // dispatch registry name (see dispatch.Names)
+	// PolicyOptions are generic policy options forwarded to the dispatch
+	// registry (see FrontEndConfig.PolicyOptions).
+	PolicyOptions dispatch.Options
+	Mechanism     core.Mechanism
+	Params        policy.Params
 
 	Catalog    map[core.Target]int64
 	CacheBytes int64
@@ -119,6 +123,7 @@ func Start(cfg Config) (*Cluster, error) {
 	fe, err := NewFrontEnd(FrontEndConfig{
 		Nodes:            cfg.Nodes,
 		Policy:           cfg.Policy,
+		PolicyOptions:    cfg.PolicyOptions,
 		Mechanism:        cfg.Mechanism,
 		Params:           cfg.Params,
 		CacheBytes:       cfg.CacheBytes,

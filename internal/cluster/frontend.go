@@ -23,9 +23,15 @@ import (
 type FrontEndConfig struct {
 	// Nodes is the number of back-ends.
 	Nodes int
-	// Policy is a dispatch registry name: "wrr", "lard", "lardr" or
-	// "extlard".
+	// Policy is a dispatch registry name ("wrr", "lard", "lardr",
+	// "extlard", "p2c", "boundedch", or any policy added via
+	// dispatch.Register).
 	Policy string
+	// PolicyOptions are generic policy construction options forwarded to
+	// the dispatch registry (validated against the policy's schema); they
+	// override the typed fields below per key. Scenario-driven front-ends
+	// are configured through them.
+	PolicyOptions dispatch.Options
 	// Mechanism is the distribution mechanism. The prototype implements
 	// SingleHandoff, BEForwarding (the paper's choice) and RelayFrontEnd;
 	// multiple handoff exists only in the simulator, as in the paper.
@@ -132,6 +138,7 @@ func NewFrontEnd(cfg FrontEndConfig, backends []BackendEndpoints) (*FrontEnd, er
 	eng, err := dispatch.NewEngine(dispatch.Spec{
 		Policy:     cfg.Policy,
 		Nodes:      cfg.Nodes,
+		Options:    cfg.PolicyOptions,
 		CacheBytes: cfg.CacheBytes,
 		Params:     cfg.Params,
 		Mechanism:  cfg.Mechanism,

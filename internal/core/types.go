@@ -9,7 +9,10 @@
 // simulation study and the FreeBSD prototype.
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Micros is a duration or point in time measured in microseconds. The
 // simulator's clock, all CPU cost constants and all disk service times are
@@ -155,6 +158,28 @@ func (m Mechanism) String() string {
 	default:
 		return fmt.Sprintf("Mechanism(%d)", int(m))
 	}
+}
+
+// ParseMechanism resolves a mechanism name to its value. It accepts the
+// String() forms ("singleHandoff", "multiHandoff", "BEforward", "relayFE",
+// "zeroCost") case-insensitively, plus the abbreviations the command-line
+// flags have always taken ("beforward", "relay"). This is the single parser
+// for every config surface — scenario files, policy options and flags — so
+// a mechanism name means the same thing everywhere.
+func ParseMechanism(s string) (Mechanism, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "singlehandoff", "single":
+		return SingleHandoff, nil
+	case "multihandoff", "multi":
+		return MultipleHandoff, nil
+	case "beforward", "beforwarding":
+		return BEForwarding, nil
+	case "relayfe", "relay":
+		return RelayFrontEnd, nil
+	case "zerocost", "zerocosthandoff":
+		return ZeroCostHandoff, nil
+	}
+	return 0, fmt.Errorf("core: unknown mechanism %q (valid: singleHandoff, multiHandoff, BEforward, relayFE, zeroCost)", s)
 }
 
 // PerRequest reports whether the mechanism can direct individual requests of

@@ -1,0 +1,116 @@
+package dispatch
+
+import (
+	"fmt"
+
+	"phttp/internal/core"
+	"phttp/internal/policy"
+)
+
+// The built-in policies register through the same public Register API a
+// third-party policy uses (see examples/custom-policy): nothing below
+// touches registry internals, so the registration path stays honest.
+
+// lardOptions is the option schema shared by the LARD family. Defaults are
+// the calibrated policy.DefaultParams values (see DESIGN.md §6), so a
+// scenario that sets no options runs the paper's configuration.
+func lardOptions() []OptionSpec {
+	d := policy.DefaultParams()
+	return []OptionSpec{
+		{Key: "cache-bytes", Kind: KindInt64, Default: int64(0),
+			Help: "per-node cache size assumed by the target→node mapping model (bytes)"},
+		{Key: "l-idle", Kind: KindFloat, Default: d.LIdle,
+			Help: "load below which a node counts as underutilized (T_low)"},
+		{Key: "l-overload", Kind: KindFloat, Default: d.LOverload,
+			Help: "load at which the balancing cost becomes infinite (T_high)"},
+		{Key: "miss-cost", Kind: KindFloat, Default: d.MissCost,
+			Help: "delay penalty of a cache miss, in load units"},
+		{Key: "disk-queue-low", Kind: KindInt, Default: d.DiskQueueLow,
+			Help: "queued-disk-events threshold under which a node's disk counts as idle"},
+	}
+}
+
+// lardParams assembles the LARD-family tuning constants from resolved
+// options.
+func lardParams(a BuildArgs) policy.Params {
+	return policy.Params{
+		LIdle:        a.Float("l-idle"),
+		LOverload:    a.Float("l-overload"),
+		MissCost:     a.Float("miss-cost"),
+		DiskQueueLow: a.Int("disk-queue-low"),
+	}
+}
+
+func init() {
+	MustRegister("wrr", Builder{
+		Help: "weighted round-robin over connection counts, content-blind (commercial layer-4 front-ends)",
+		New: func(a BuildArgs) (core.Policy, error) {
+			return policy.NewWRR(a.Nodes), nil
+		},
+	})
+
+	MustRegister("lard", Builder{
+		Help:    "locality-aware request distribution at connection granularity (Pai et al., ASPLOS '98)",
+		Options: lardOptions(),
+		New: func(a BuildArgs) (core.Policy, error) {
+			return policy.NewLARD(a.Nodes, a.Int64("cache-bytes"), lardParams(a)), nil
+		},
+	})
+
+	MustRegister("lardr", Builder{
+		Help:    "LARD with replicated server sets (the ASPLOS '98 companion strategy)",
+		Options: lardOptions(),
+		New: func(a BuildArgs) (core.Policy, error) {
+			return policy.NewLARDR(a.Nodes, a.Int64("cache-bytes"), lardParams(a)), nil
+		},
+	})
+
+	MustRegister("extlard", Builder{
+		Help: "extended LARD for persistent connections, per-request distribution through the configured mechanism (Section 4.2)",
+		Options: append(lardOptions(), OptionSpec{
+			Key: "mechanism", Kind: KindString, Default: core.SingleHandoff.String(),
+			Help: "distribution mechanism the policy drives: singleHandoff, multiHandoff, BEforward, relayFE or zeroCost",
+		}),
+		New: func(a BuildArgs) (core.Policy, error) {
+			mech, err := a.Mechanism("mechanism")
+			if err != nil {
+				return nil, err
+			}
+			return policy.NewExtLARD(a.Nodes, a.Int64("cache-bytes"), lardParams(a), mech), nil
+		},
+	})
+
+	MustRegister("p2c", Builder{
+		Help: "power-of-two-choices: two target-keyed hash candidates, the less loaded wins (Mitzenmacher '96)",
+		Options: []OptionSpec{
+			{Key: "seed", Kind: KindInt64, Default: int64(1),
+				Help: "hash seed for the two candidate choices (deterministic per target)"},
+		},
+		New: func(a BuildArgs) (core.Policy, error) {
+			return policy.NewP2C(a.Nodes, uint64(a.Int64("seed"))), nil
+		},
+	})
+
+	MustRegister("boundedch", Builder{
+		Help: "consistent hashing with bounded loads: ring walk from the target's hash, first node under c× mean load wins (Mirrokni et al. '17)",
+		Options: []OptionSpec{
+			{Key: "bound", Kind: KindFloat, Default: 1.25,
+				Help: "load bound factor c (≥ 1): no node accepts more than ceil(c × mean) connections"},
+			{Key: "replicas", Kind: KindInt, Default: 128,
+				Help: "virtual ring points per node"},
+			{Key: "seed", Kind: KindInt64, Default: int64(1),
+				Help: "hash seed for the ring and target placement"},
+		},
+		New: func(a BuildArgs) (core.Policy, error) {
+			bound := a.Float("bound")
+			if bound < 1 {
+				return nil, fmt.Errorf("boundedch: bound must be >= 1, got %g", bound)
+			}
+			replicas := a.Int("replicas")
+			if replicas <= 0 {
+				return nil, fmt.Errorf("boundedch: replicas must be positive, got %d", replicas)
+			}
+			return policy.NewBoundedCH(a.Nodes, replicas, bound, uint64(a.Int64("seed"))), nil
+		},
+	})
+}

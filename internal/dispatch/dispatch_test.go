@@ -30,7 +30,7 @@ func testSpec(pol string) Spec {
 }
 
 func TestRegistryNames(t *testing.T) {
-	want := []string{"extlard", "lard", "lardr", "wrr"}
+	want := []string{"boundedch", "extlard", "lard", "lardr", "p2c", "wrr"}
 	got := Names()
 	if len(got) != len(want) {
 		t.Fatalf("Names() = %v, want %v", got, want)
@@ -148,10 +148,12 @@ func TestEngineLifecycle(t *testing.T) {
 // path.
 func TestEngineConcurrentStress(t *testing.T) {
 	mechs := map[string]core.Mechanism{
-		"wrr":     core.SingleHandoff,
-		"lard":    core.SingleHandoff,
-		"lardr":   core.SingleHandoff,
-		"extlard": core.BEForwarding,
+		"wrr":       core.SingleHandoff,
+		"lard":      core.SingleHandoff,
+		"lardr":     core.SingleHandoff,
+		"extlard":   core.BEForwarding,
+		"p2c":       core.SingleHandoff,
+		"boundedch": core.SingleHandoff,
 	}
 	for _, name := range Names() {
 		t.Run(name, func(t *testing.T) {

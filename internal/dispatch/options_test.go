@@ -1,0 +1,124 @@
+package dispatch
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"phttp/internal/core"
+)
+
+// unregisterForTest removes a test-registered policy so tests that
+// enumerate Names() (and the exactness test for the built-in set) are
+// unaffected by registration tests, whatever order they run in.
+func unregisterForTest(t *testing.T, name string) {
+	t.Cleanup(func() {
+		registry.Lock()
+		delete(registry.builders, name)
+		registry.Unlock()
+	})
+}
+
+func TestOptionKindStrings(t *testing.T) {
+	for kind, want := range map[OptionKind]string{
+		KindBool: "bool", KindInt: "int", KindInt64: "int64",
+		KindFloat: "float", KindString: "string", OptionKind(99): "OptionKind(99)",
+	} {
+		if got := kind.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(kind), got, want)
+		}
+	}
+}
+
+func TestMustRegisterPanicsOnDuplicate(t *testing.T) {
+	MustRegister("must-dup", stubBuilder())
+	unregisterForTest(t, "must-dup")
+	defer func() {
+		if recover() == nil {
+			t.Error("MustRegister did not panic on duplicate")
+		}
+	}()
+	MustRegister("must-dup", stubBuilder())
+}
+
+func TestDescribeUnknown(t *testing.T) {
+	if _, err := Describe("no-such"); err == nil {
+		t.Error("Describe accepted unknown policy")
+	}
+}
+
+// TestCoercionMatrix drives the numeric/boolean coercion rules through a
+// policy declaring every option kind: the representations a value can
+// arrive in (Go literals, JSON float64s) against the declared kinds.
+func TestCoercionMatrix(t *testing.T) {
+	unregisterForTest(t, "kinds-stub")
+	unregisterForTest(t, "accessor-stub")
+	MustRegister("kinds-stub", stubBuilder(
+		OptionSpec{Key: "b", Kind: KindBool, Default: true, Help: "bool knob"},
+		OptionSpec{Key: "i", Kind: KindInt, Default: 2, Help: "int knob"},
+		OptionSpec{Key: "i64", Kind: KindInt64, Default: int64(3), Help: "int64 knob"},
+		OptionSpec{Key: "f", Kind: KindFloat, Default: 1.5, Help: "float knob"},
+		OptionSpec{Key: "s", Kind: KindString, Default: "x", Help: "string knob"},
+	))
+	ok := []Options{
+		{"b": false, "i": int32(7), "i64": 9, "f": float32(2), "s": "y"},
+		{"i": 7.0, "i64": uint64(12), "f": 3}, // JSON-style integral floats, Go ints
+		{"f": int64(4)},                       // int64 into float
+	}
+	for _, opts := range ok {
+		if _, err := Build(Spec{Policy: "kinds-stub", Nodes: 1, Options: opts}); err != nil {
+			t.Errorf("Build rejected valid options %v: %v", opts, err)
+		}
+	}
+	bad := []Options{
+		{"b": "true"},            // string into bool
+		{"i": 1.5},               // fractional float into int
+		{"i64": uint64(1) << 63}, // overflows int64
+		{"f": "wide"},            // string into float
+		{"s": 3},                 // number into string
+	}
+	for _, opts := range bad {
+		if _, err := Build(Spec{Policy: "kinds-stub", Nodes: 1, Options: opts}); err == nil {
+			t.Errorf("Build accepted mistyped options %v", opts)
+		}
+	}
+	// The resolved values arrive typed through the BuildArgs accessors.
+	MustRegister("accessor-stub", Builder{
+		Options: []OptionSpec{
+			{Key: "b", Kind: KindBool, Default: true, Help: "h"},
+			{Key: "i", Kind: KindInt, Default: 2, Help: "h"},
+		},
+		New: func(a BuildArgs) (core.Policy, error) {
+			if !a.Bool("b") || a.Int("i") != 5 {
+				return nil, fmt.Errorf("accessors saw b=%v i=%v", a.Bool("b"), a.Int("i"))
+			}
+			return stubBuilder().New(a)
+		},
+	})
+	if _, err := Build(Spec{Policy: "accessor-stub", Nodes: 1, Options: Options{"i": 5.0}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildArgsPanicsOnUndeclaredKey(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("accessor did not panic on undeclared key")
+		}
+	}()
+	BuildArgs{Options: Options{}}.Int("ghost")
+}
+
+func TestUnknownOptionErrorListsValidKeys(t *testing.T) {
+	spec := testSpec("boundedch")
+	spec.Options = Options{"replica": 3}
+	_, err := Build(spec)
+	if err == nil {
+		t.Fatal("unknown key accepted")
+	}
+	for _, want := range []string{"bound", "replicas", "seed"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q should list valid key %q", err, want)
+		}
+	}
+}

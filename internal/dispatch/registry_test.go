@@ -1,0 +1,251 @@
+package dispatch
+
+import (
+	"strings"
+	"testing"
+
+	"phttp/internal/core"
+	"phttp/internal/policy"
+)
+
+// stubPolicy is the minimal core.Policy for registration tests.
+type stubPolicy struct{ loads *core.LoadTracker }
+
+func (s *stubPolicy) Name() string { return "stub" }
+func (s *stubPolicy) ConnOpen(c *core.ConnState, _ core.Request) core.NodeID {
+	c.Handling = 0
+	s.loads.AddConn(0)
+	return 0
+}
+func (s *stubPolicy) AssignBatch(c *core.ConnState, batch core.Batch) []core.Assignment {
+	out := c.AssignBuf(len(batch))
+	for i := range batch {
+		out[i] = core.Assignment{Node: c.Handling, CacheLocally: true}
+	}
+	return out
+}
+func (s *stubPolicy) BatchDone(*core.ConnState) {}
+func (s *stubPolicy) ConnClose(c *core.ConnState) {
+	if c.Handling != core.NoNode {
+		s.loads.RemoveConn(c.Handling)
+		c.Handling = core.NoNode
+	}
+}
+func (s *stubPolicy) ReportDiskQueue(core.NodeID, int) {}
+func (s *stubPolicy) Loads() *core.LoadTracker         { return s.loads }
+
+func stubBuilder(opts ...OptionSpec) Builder {
+	return Builder{
+		Help:    "test stub",
+		Options: opts,
+		New: func(a BuildArgs) (core.Policy, error) {
+			return &stubPolicy{loads: core.NewLoadTracker(a.Nodes)}, nil
+		},
+	}
+}
+
+func TestRegisterDuplicateFails(t *testing.T) {
+	if err := Register("dup-policy", stubBuilder()); err != nil {
+		t.Fatalf("first Register: %v", err)
+	}
+	unregisterForTest(t, "dup-policy")
+	err := Register("Dup-Policy", stubBuilder()) // canonicalized to the same name
+	if err == nil || !strings.Contains(err.Error(), "already registered") {
+		t.Fatalf("duplicate Register error = %v, want 'already registered'", err)
+	}
+}
+
+func TestRegisterRejectsMalformedBuilders(t *testing.T) {
+	cases := map[string]struct {
+		name string
+		b    Builder
+	}{
+		"empty name":       {"", stubBuilder()},
+		"nil constructor":  {"nilnew", Builder{}},
+		"empty option key": {"emptykey", stubBuilder(OptionSpec{Key: "", Kind: KindInt, Default: 1})},
+		"duplicate option key": {"dupkey", stubBuilder(
+			OptionSpec{Key: "x", Kind: KindInt, Default: 1},
+			OptionSpec{Key: "x", Kind: KindInt, Default: 2})},
+		"mistyped default": {"baddefault", stubBuilder(OptionSpec{Key: "x", Kind: KindInt, Default: "nope"})},
+	}
+	for label, tc := range cases {
+		if err := Register(tc.name, tc.b); err == nil {
+			t.Errorf("%s: Register accepted a malformed builder", label)
+		}
+	}
+}
+
+func TestBuildUnknownPolicy(t *testing.T) {
+	_, err := Build(Spec{Policy: "no-such-policy", Nodes: 2})
+	if err == nil {
+		t.Fatal("Build accepted unknown policy")
+	}
+	// The error must list the valid names so a typo is self-diagnosing.
+	if !strings.Contains(err.Error(), "p2c") || !strings.Contains(err.Error(), "extlard") {
+		t.Errorf("unknown-policy error does not list registered names: %v", err)
+	}
+}
+
+func TestBuildRejectsUnknownOptionKey(t *testing.T) {
+	spec := testSpec("lard")
+	spec.Options = Options{"cache-byts": int64(1 << 20)} // typo
+	_, err := Build(spec)
+	if err == nil {
+		t.Fatal("Build accepted an unknown option key")
+	}
+	for _, want := range []string{"cache-byts", "cache-bytes"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("unknown-key error %q should mention %q", err, want)
+		}
+	}
+}
+
+func TestBuildRejectsMistypedOption(t *testing.T) {
+	cases := []struct {
+		policy string
+		opts   Options
+	}{
+		{"lard", Options{"cache-bytes": "a lot"}},
+		{"lard", Options{"disk-queue-low": 1.5}}, // non-integral float
+		{"extlard", Options{"mechanism": 7}},
+		{"boundedch", Options{"bound": "wide"}},
+	}
+	for _, tc := range cases {
+		spec := testSpec(tc.policy)
+		spec.Options = tc.opts
+		if _, err := Build(spec); err == nil {
+			t.Errorf("Build(%s, %v) accepted a mistyped option", tc.policy, tc.opts)
+		}
+	}
+}
+
+func TestBuildValidatesMechanismName(t *testing.T) {
+	spec := testSpec("extlard")
+	spec.Options = Options{"mechanism": "teleport"}
+	if _, err := Build(spec); err == nil {
+		t.Error("Build accepted an unknown mechanism name")
+	}
+}
+
+// TestDescribeDefaultsRoundTrip feeds every policy's Describe output back
+// into Build as explicit Options: the schema's defaults must themselves be
+// valid values (correct kind, accepted by the constructor), so help text
+// and behavior cannot drift apart.
+func TestDescribeDefaultsRoundTrip(t *testing.T) {
+	for _, name := range Names() {
+		d, err := Describe(name)
+		if err != nil {
+			t.Fatalf("Describe(%q): %v", name, err)
+		}
+		if d.Name != name {
+			t.Errorf("Describe(%q).Name = %q", name, d.Name)
+		}
+		opts := make(Options, len(d.Options))
+		for _, o := range d.Options {
+			opts[o.Key] = o.Default
+		}
+		pol, err := Build(Spec{Policy: name, Nodes: 4, Options: opts})
+		if err != nil {
+			t.Errorf("Build(%q) with Describe defaults: %v", name, err)
+			continue
+		}
+		if pol.Loads().Nodes() != 4 {
+			t.Errorf("Build(%q) with defaults returned a wrong-sized policy", name)
+		}
+	}
+}
+
+// TestResolveOptionsLegacyAliases pins the Spec compatibility contract:
+// typed legacy fields map onto option keys, explicit Options win, and an
+// untouched legacy Spec resolves to exactly its field values.
+func TestResolveOptionsLegacyAliases(t *testing.T) {
+	spec := Spec{
+		Policy:     "extlard",
+		Nodes:      4,
+		CacheBytes: 1 << 20,
+		Params:     policy.Params{LIdle: 10, LOverload: 90, MissCost: 30, DiskQueueLow: 3},
+		Mechanism:  core.BEForwarding,
+	}
+	opts, err := ResolveOptions(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key, want := range map[string]any{
+		"cache-bytes":    int64(1 << 20),
+		"l-idle":         10.0,
+		"l-overload":     90.0,
+		"miss-cost":      30.0,
+		"disk-queue-low": 3,
+		"mechanism":      "BEforward",
+	} {
+		if got := opts[key]; got != want {
+			t.Errorf("resolved %q = %v (%T), want %v", key, got, got, want)
+		}
+	}
+
+	// Explicit Options override the legacy alias.
+	spec.Options = Options{"miss-cost": 55.0}
+	opts, err = ResolveOptions(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts["miss-cost"] != 55.0 {
+		t.Errorf("explicit option lost to legacy alias: %v", opts["miss-cost"])
+	}
+	if opts["l-idle"] != 10.0 {
+		t.Errorf("sibling alias disturbed by explicit option: %v", opts["l-idle"])
+	}
+
+	// A Spec with zero legacy fields resolves to schema defaults.
+	d := policy.DefaultParams()
+	opts, err = ResolveOptions(Spec{Policy: "lard", Nodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts["l-idle"] != d.LIdle || opts["miss-cost"] != d.MissCost {
+		t.Errorf("zero-Spec resolution = %v, want DefaultParams defaults", opts)
+	}
+}
+
+// TestRegisteredPolicyRunsThroughEngine registers a policy through the
+// public API only and drives it through the dispatch engine — the
+// extensibility contract of the open registry.
+func TestRegisteredPolicyRunsThroughEngine(t *testing.T) {
+	if err := Register("engine-stub", stubBuilder(
+		OptionSpec{Key: "knob", Kind: KindFloat, Default: 1.5, Help: "test knob"},
+	)); err != nil {
+		t.Fatal(err)
+	}
+	unregisterForTest(t, "engine-stub")
+	eng, err := NewEngine(Spec{Policy: "engine-stub", Nodes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := eng.Interner()
+	c, handling := eng.ConnOpen(internedReq(in, "/x", 1<<10))
+	if handling != 0 {
+		t.Fatalf("stub policy assigned node %v, want 0", handling)
+	}
+	if as := eng.AssignBatch(c, core.Batch{internedReq(in, "/y", 1<<10)}); len(as) != 1 {
+		t.Fatalf("AssignBatch returned %d assignments", len(as))
+	}
+	eng.ConnClose(c)
+	if eng.Active() != 0 {
+		t.Errorf("Active() = %d after close", eng.Active())
+	}
+}
+
+// TestJSONNumericCoercion pins the scenario-file path: JSON decodes every
+// number as float64, and integral floats must coerce to the declared
+// integer kinds.
+func TestJSONNumericCoercion(t *testing.T) {
+	spec := testSpec("boundedch")
+	spec.Options = Options{"replicas": 64.0, "bound": 2.0, "seed": 7.0}
+	pol, err := Build(spec)
+	if err != nil {
+		t.Fatalf("Build with JSON-style numbers: %v", err)
+	}
+	if pol.Name() != "boundedCH" {
+		t.Errorf("built %q", pol.Name())
+	}
+}

@@ -1,0 +1,46 @@
+package policy
+
+import "phttp/internal/core"
+
+// connGranular is the embeddable core of a connection-granularity policy:
+// every request of a persistent connection is served by the handling node
+// chosen at ConnOpen, one load unit per live connection, no fractional
+// batch accounting and no disk feedback. Policies embedding it (P2C,
+// BoundedCH — and any future placement-only strategy) supply just Name and
+// ConnOpen; the shared lifecycle lives here once instead of being copied
+// per policy.
+type connGranular struct {
+	loads *core.LoadTracker
+}
+
+// AssignBatch sends every request to the handling node (connection
+// granularity; the single handoff mechanism permits nothing else). The
+// returned slice is the connection's reusable buffer: valid until the
+// next AssignBatch on the same connection.
+func (g *connGranular) AssignBatch(c *core.ConnState, batch core.Batch) []core.Assignment {
+	out := c.AssignBuf(len(batch))
+	for i := range batch {
+		out[i] = core.Assignment{Node: c.Handling, CacheLocally: true}
+		c.Requests++
+	}
+	c.Batches++
+	return out
+}
+
+// BatchDone is a no-op: connection-granularity policies never charge
+// fractional loads.
+func (g *connGranular) BatchDone(*core.ConnState) {}
+
+// ConnClose releases the connection's load unit.
+func (g *connGranular) ConnClose(c *core.ConnState) {
+	if c.Handling != core.NoNode {
+		g.loads.RemoveConn(c.Handling)
+		c.Handling = core.NoNode
+	}
+}
+
+// ReportDiskQueue is ignored: these policies use load counts only.
+func (g *connGranular) ReportDiskQueue(core.NodeID, int) {}
+
+// Loads implements core.Policy.
+func (g *connGranular) Loads() *core.LoadTracker { return g.loads }

@@ -1,0 +1,299 @@
+package scenario
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"phttp/internal/cluster"
+	"phttp/internal/core"
+	"phttp/internal/loadgen"
+	"phttp/internal/sim"
+	"phttp/internal/trace"
+)
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+// smallScenario is a policy-driven scenario over a tiny synthetic workload,
+// written to disk and loaded back — the full user path.
+func smallScenario(t *testing.T, policyJSON string) *Spec {
+	t.Helper()
+	path := t.TempDir() + "/s.json"
+	src := `{"version":1,
+		"workload":{"synth":{"connections":800,"pages":120,"objects":260,"clients":60}},
+		"policy":` + policyJSON + `,
+		"mechanism":"singleHandoff",
+		"cluster":{"nodes":3,"cacheMB":4,"timeScale":2000,"clients":24,"warmupFrac":0.1}}`
+	if err := writeFile(path, src); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestNewPoliciesSimAndPrototypeFromOneScenario is the acceptance test of
+// the tentpole: the two policies registered through the open API (p2c,
+// boundedch) run in the trace-driven simulator AND in the networked
+// prototype cluster from the same scenario file, with no dispatch-internal
+// edits beyond their registry calls.
+func TestNewPoliciesSimAndPrototypeFromOneScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("starts real cluster sockets")
+	}
+	for _, tc := range []struct {
+		policyJSON string
+		wantPolicy string
+	}{
+		{`{"name":"p2c","options":{"seed":3}}`, "p2c"},
+		{`{"name":"boundedch","options":{"bound":1.5,"replicas":64}}`, "boundedch"},
+	} {
+		s := smallScenario(t, tc.policyJSON)
+
+		// Simulator leg.
+		simCfg, err := s.ToSimConfig()
+		if err != nil {
+			t.Fatalf("%s: ToSimConfig: %v", tc.wantPolicy, err)
+		}
+		wl, _, err := s.LoadWorkload()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(simCfg, wl.PHTTP)
+		if err != nil {
+			t.Fatalf("%s: sim.Run: %v", tc.wantPolicy, err)
+		}
+		if res.Policy != tc.wantPolicy {
+			t.Errorf("sim ran policy %q, want %q", res.Policy, tc.wantPolicy)
+		}
+		if res.Requests == 0 || res.Throughput <= 0 {
+			t.Errorf("%s: sim served nothing: %+v", tc.wantPolicy, res)
+		}
+
+		// Prototype leg: same spec compiles the cluster and the load
+		// generator; the run must complete with zero errors.
+		clCfg, err := s.ToClusterConfig(wl.PHTTP.Sizes)
+		if err != nil {
+			t.Fatalf("%s: ToClusterConfig: %v", tc.wantPolicy, err)
+		}
+		if clCfg.Policy != tc.wantPolicy || clCfg.TimeScale != 2000 {
+			t.Fatalf("%s: compiled cluster config %+v", tc.wantPolicy, clCfg)
+		}
+		cl, err := cluster.Start(clCfg)
+		if err != nil {
+			t.Fatalf("%s: cluster.Start: %v", tc.wantPolicy, err)
+		}
+		if got := cl.FE.PolicyName(); got != tc.wantPolicy {
+			t.Errorf("front-end runs %q, want %q", got, tc.wantPolicy)
+		}
+		lgCfg, err := s.ToLoadgenConfig(cl.Addr(), wl)
+		if err != nil {
+			t.Fatalf("%s: ToLoadgenConfig: %v", tc.wantPolicy, err)
+		}
+		lgCfg.IOTimeout = time.Minute
+		lres, err := loadgen.Run(lgCfg)
+		cl.Close()
+		if err != nil {
+			t.Fatalf("%s: loadgen.Run: %v", tc.wantPolicy, err)
+		}
+		if lres.Errors != 0 {
+			t.Errorf("%s: prototype run had %d request errors", tc.wantPolicy, lres.Errors)
+		}
+		if lres.Requests == 0 {
+			t.Errorf("%s: prototype served nothing", tc.wantPolicy)
+		}
+	}
+}
+
+func TestToClusterConfigDefaults(t *testing.T) {
+	s, err := Parse([]byte(`{"version":1,"workload":{},"policy":{"name":"extlard"},
+		"mechanism":"beforward","cluster":{"nodes":2}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	catalog := map[core.Target]int64{"/x": 1 << 10}
+	cfg, err := s.ToClusterConfig(catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cluster.DefaultConfig(2, catalog)
+	want.Policy = "extlard"
+	want.Mechanism = core.BEForwarding
+	if cfg.CacheBytes != want.CacheBytes || cfg.Mechanism != want.Mechanism ||
+		cfg.Policy != want.Policy || cfg.TimeScale != want.TimeScale ||
+		cfg.MaintainInterval != want.MaintainInterval {
+		t.Errorf("compiled %+v, want defaults %+v", cfg, want)
+	}
+}
+
+func TestToClusterConfigRejectsCombosSweep(t *testing.T) {
+	s := mustBuiltin(t, "fig7")
+	if _, err := s.ToClusterConfig(map[core.Target]int64{"/x": 1}); err == nil {
+		t.Error("combos sweep compiled for the prototype")
+	}
+	if _, err := s.ToFrontEndConfig(2); err == nil {
+		t.Error("combos sweep compiled for the front-end")
+	}
+}
+
+func TestToFrontEndConfig(t *testing.T) {
+	s, err := Parse([]byte(`{"version":1,"workload":{},
+		"policy":{"name":"p2c","options":{"seed":5}},
+		"cluster":{"nodes":3,"cacheMB":8,"maxTargets":1000}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := s.ToFrontEndConfig(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Policy != "p2c" || cfg.CacheBytes != 8<<20 || cfg.MaxTargets != 1000 || cfg.Nodes != 3 {
+		t.Errorf("compiled %+v", cfg)
+	}
+	if cfg.PolicyOptions["seed"] == nil {
+		t.Errorf("policy options lost: %v", cfg.PolicyOptions)
+	}
+}
+
+func TestToLoadgenConfigFlattens(t *testing.T) {
+	s, err := Parse([]byte(`{"version":1,"workload":{"http10":true},
+		"policy":{"name":"wrr"},"cluster":{"nodes":2,"clients":16}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := trace.SmallSynthConfig()
+	cfg.Connections = 300
+	wl := trace.NewWorkload(trace.NewSynth(cfg).Generate())
+	lg, err := s.ToLoadgenConfig("127.0.0.1:1", wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lg.HTTP10 || lg.Flat == nil || lg.Concurrency != 16 || lg.Addr != "127.0.0.1:1" {
+		t.Errorf("compiled %+v", lg)
+	}
+}
+
+func TestLoadWorkloadTraceCache(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Parse([]byte(`{"version":1,
+		"workload":{"synth":{"connections":300,"pages":80,"objects":150,"clients":40},"traceCache":"` + dir + `"},
+		"policy":{"name":"wrr"},"cluster":{"nodes":1}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, hit, err := s.LoadWorkload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Error("first load reported a cache hit")
+	}
+	wl2, hit2, err := s.LoadWorkload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit2 {
+		t.Error("second load missed the cache")
+	}
+	if wl.PHTTP.Requests() != wl2.PHTTP.Requests() {
+		t.Errorf("cache round trip changed the workload: %d vs %d requests",
+			wl.PHTTP.Requests(), wl2.PHTTP.Requests())
+	}
+}
+
+func TestLoadWorkloadTraceFile(t *testing.T) {
+	cfg := trace.SmallSynthConfig()
+	cfg.Connections = 200
+	tr := trace.NewSynth(cfg).Generate()
+	path := t.TempDir() + "/t.bin"
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := trace.WriteBinary(f, tr, trace.ConfigHash(cfg)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s, err := Parse([]byte(`{"version":1,"workload":{"traceFile":"` + path + `"},
+		"policy":{"name":"wrr"},"cluster":{"nodes":1}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, hit, err := s.LoadWorkload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Error("trace file load reported a cache hit")
+	}
+	if wl.PHTTP.Requests() != tr.Requests() {
+		t.Errorf("trace file round trip: %d vs %d requests", wl.PHTTP.Requests(), tr.Requests())
+	}
+
+	s.Workload.TraceFile = path + ".missing"
+	if _, _, err := s.LoadWorkload(); err == nil {
+		t.Error("missing trace file accepted")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load("/no/such/scenario.json"); err == nil {
+		t.Error("Load accepted a missing file")
+	}
+	path := t.TempDir() + "/bad.json"
+	if err := writeFile(path, "{not json"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Error("Load accepted malformed JSON")
+	}
+}
+
+// TestGenericNodesSweep covers the policy-driven node-axis grid (the shape
+// the p2c/boundedch builtins use) plus the HTTP/1.0 label default.
+func TestGenericNodesSweep(t *testing.T) {
+	s, err := Parse([]byte(`{"version":1,"workload":{"http10":true},
+		"policy":{"name":"lardr"},"sweep":{"nodes":[1,2,4]}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := s.ToSimGrid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("grid has %d points, want 3", len(points))
+	}
+	for i, wantN := range []int{1, 2, 4} {
+		p := points[i]
+		if p.Config.Nodes != wantN || p.X != float64(wantN) {
+			t.Errorf("point %d: nodes %d x %g", i, p.Config.Nodes, p.X)
+		}
+		if p.Label != "lardr" || p.Config.Combo.PHTTP {
+			t.Errorf("point %d: label %q PHTTP %v (http10 workload)", i, p.Label, p.Config.Combo.PHTTP)
+		}
+	}
+}
+
+// TestLoadgenConfigMatchesLegacyDefaults pins the loadgen compile against
+// the flag path's defaults (verify on, warmup 0.2).
+func TestLoadgenConfigMatchesLegacyDefaults(t *testing.T) {
+	s, err := Parse([]byte(minimal()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := trace.NewWorkload(trace.NewSynth(trace.SmallSynthConfig()).Generate())
+	lg, err := s.ToLoadgenConfig("addr", wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := loadgen.Config{Addr: "addr", Trace: wl.PHTTP, WarmupFrac: 0.2, Verify: true}
+	if lg.WarmupFrac != want.WarmupFrac || lg.Verify != want.Verify || lg.Trace != want.Trace || lg.HTTP10 {
+		t.Errorf("compiled %+v, want %+v", lg, want)
+	}
+}

@@ -1,0 +1,353 @@
+// Package scenario is the declarative experiment layer: one versioned JSON
+// spec describes workload, policy, mechanism, cluster shape, server cost
+// model and sweep axes, and compiles to the configuration of every driver —
+// the trace-driven simulator (ToSimGrid / ToSimConfig), the networked
+// prototype cluster (ToClusterConfig) and the load generator
+// (ToLoadgenConfig). The paper's figure experiments ship as embedded named
+// scenarios (Builtin("fig7")) that compile byte-identically to the legacy
+// flag-driven path, and the same file that drives a simulation drives the
+// prototype: the acceptance property of the paper's "one policy, two
+// drivers" design, extended to whole experiments.
+//
+// The JSON schema (version 1) is documented field by field in DESIGN.md
+// §13.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"phttp/internal/core"
+	"phttp/internal/dispatch"
+	"phttp/internal/trace"
+)
+
+// SpecVersion is the schema version this package reads and writes.
+const SpecVersion = 1
+
+// Spec is one declarative experiment: the unit of Load/Parse/Validate and
+// the source every To*Config compiler reads.
+type Spec struct {
+	// Version is the schema version; must be SpecVersion.
+	Version int `json:"version"`
+	// Name identifies the scenario in listings and output headers.
+	Name string `json:"name,omitempty"`
+	// Doc is a one-line description.
+	Doc string `json:"doc,omitempty"`
+	// Workload selects the request trace.
+	Workload WorkloadSpec `json:"workload"`
+	// Policy selects the dispatch policy; unused (and disallowed) when
+	// Sweep.Combos names legacy combinations instead.
+	Policy PolicySpec `json:"policy,omitempty"`
+	// Mechanism is the distribution mechanism name (core.ParseMechanism);
+	// empty means singleHandoff.
+	Mechanism string `json:"mechanism,omitempty"`
+	// Cluster shapes the cluster under test.
+	Cluster ClusterSpec `json:"cluster,omitempty"`
+	// Server selects the back-end CPU cost model.
+	Server ServerSpec `json:"server,omitempty"`
+	// Sweep, when present, turns the scenario into a grid of runs.
+	Sweep *SweepSpec `json:"sweep,omitempty"`
+}
+
+// WorkloadSpec selects the request trace: a synthetic-generator
+// configuration (the default), a trace-cache directory keyed by that
+// configuration, or a binary trace file. HTTP10 flattens the trace to one
+// request per connection.
+type WorkloadSpec struct {
+	// Synth overrides the synthetic generator's defaults.
+	Synth *SynthSpec `json:"synth,omitempty"`
+	// TraceCache is an on-disk trace cache directory (trace.LoadOrGenerate):
+	// the workload keyed by the synth configuration is loaded from it,
+	// generated and persisted on miss.
+	TraceCache string `json:"traceCache,omitempty"`
+	// TraceFile is a binary trace file (trace.ReadBinary) replayed as-is.
+	TraceFile string `json:"traceFile,omitempty"`
+	// HTTP10 flattens the trace to HTTP/1.0 (one request per connection).
+	HTTP10 bool `json:"http10,omitempty"`
+}
+
+// SynthSpec overrides the synthetic workload generator's calibrated
+// defaults (trace.DefaultSynthConfig); zero fields keep the default.
+type SynthSpec struct {
+	Seed        uint64 `json:"seed,omitempty"`
+	Connections int    `json:"connections,omitempty"`
+	Pages       int    `json:"pages,omitempty"`
+	Objects     int    `json:"objects,omitempty"`
+	Clients     int    `json:"clients,omitempty"`
+}
+
+// PolicySpec names a dispatch-registry policy and its options.
+type PolicySpec struct {
+	// Name is a dispatch registry name (dispatch.Names).
+	Name string `json:"name,omitempty"`
+	// Label overrides the series label derived from name and workload
+	// flavor (the figure legends' "single-node" style).
+	Label string `json:"label,omitempty"`
+	// Options are policy construction options, validated against the
+	// policy's registered schema (dispatch.Describe). The "mechanism" key
+	// is disallowed here: the top-level Mechanism field is the one source,
+	// so the policy's view and the forwarding module's wire behavior
+	// cannot diverge.
+	Options map[string]any `json:"options,omitempty"`
+}
+
+// ClusterSpec shapes the cluster under test. Zero fields keep each
+// driver's calibrated default.
+type ClusterSpec struct {
+	// Nodes is the number of back-end nodes (ignored by node-axis sweeps).
+	Nodes int `json:"nodes,omitempty"`
+	// ConnsPerNode is the simulator's closed-loop concurrency per node
+	// (default 32).
+	ConnsPerNode int `json:"connsPerNode,omitempty"`
+	// CacheMB is the per-node cache budget in MB (simulator default 85,
+	// prototype default 60).
+	CacheMB int64 `json:"cacheMB,omitempty"`
+	// WarmupFrac is the fraction of connections treated as warmup
+	// (default 0.2); pointer so an explicit 0 is distinguishable.
+	WarmupFrac *float64 `json:"warmupFrac,omitempty"`
+	// FESpeedup scales the simulated front-end CPU (default 1).
+	FESpeedup float64 `json:"feSpeedup,omitempty"`
+	// MaxTargets caps the prototype dispatcher's target interner
+	// (0 pins every target).
+	MaxTargets int `json:"maxTargets,omitempty"`
+	// TimeScale divides the prototype's simulated latencies (default 1).
+	TimeScale float64 `json:"timeScale,omitempty"`
+	// Clients is the load generator's concurrency (default: loadgen's).
+	Clients int `json:"clients,omitempty"`
+}
+
+// ServerSpec selects the back-end CPU cost model.
+type ServerSpec struct {
+	// Model is "apache" (default) or "flash".
+	Model string `json:"model,omitempty"`
+}
+
+// SweepSpec turns a scenario into a grid. Exactly one axis family applies:
+// Combos×Nodes (the paper's cluster-size figures) or Loads (the offered-
+// load delay figure); Nodes alone sweeps cluster sizes for the scenario's
+// own policy.
+type SweepSpec struct {
+	// Nodes is the cluster-size axis.
+	Nodes []int `json:"nodes,omitempty"`
+	// Combos names legacy policy/mechanism/workload combinations
+	// (sim.ComboNames) to sweep over Nodes.
+	Combos []string `json:"combos,omitempty"`
+	// Loads is the offered-load axis (connections in flight), run at
+	// Cluster.Nodes (default 1).
+	Loads []int `json:"loads,omitempty"`
+}
+
+// Parse decodes and validates a scenario spec. Unknown fields are errors:
+// a misspelled key must fail loudly, not silently fall back to a default.
+func Parse(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	// Content after the spec object (a stray brace, a concatenated second
+	// object from a botched merge) is as much an error as an unknown
+	// field: the file would otherwise run a possibly-wrong experiment.
+	if _, err := dec.Token(); err != io.EOF {
+		return nil, fmt.Errorf("scenario: trailing content after the spec object")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Load reads and parses a scenario file.
+func Load(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	s, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %s: %s", path, strings.TrimPrefix(err.Error(), "scenario: "))
+	}
+	return s, nil
+}
+
+// Validate checks the spec against the schema: version, workload source,
+// policy name and options (via the dispatch registry), mechanism and
+// server names, sweep axis consistency, and numeric ranges.
+func (s *Spec) Validate() error {
+	if s.Version != SpecVersion {
+		return fmt.Errorf("scenario: unsupported version %d (want %d)", s.Version, SpecVersion)
+	}
+	if s.Workload.TraceFile != "" && s.Workload.TraceCache != "" {
+		return fmt.Errorf("scenario: workload names both traceFile and traceCache; pick one")
+	}
+	if s.Workload.TraceFile != "" && s.Workload.Synth != nil {
+		return fmt.Errorf("scenario: workload names both traceFile and synth; pick one")
+	}
+	if _, err := s.ServerKind(); err != nil {
+		return err
+	}
+	if _, err := s.mechanism(); err != nil {
+		return err
+	}
+
+	combosSweep := s.Sweep != nil && len(s.Sweep.Combos) > 0
+	if combosSweep {
+		if s.Policy.Name != "" || len(s.Policy.Options) > 0 {
+			return fmt.Errorf("scenario: sweep.combos and policy are mutually exclusive (combos carry their own policies)")
+		}
+		// Each combo carries its own mechanism and workload flavor, so a
+		// top-level mechanism or http10 flag would be silently ignored —
+		// reject it rather than run a different experiment than written.
+		if s.Mechanism != "" {
+			return fmt.Errorf("scenario: sweep.combos and mechanism are mutually exclusive (combos carry their own mechanisms)")
+		}
+		if s.Workload.HTTP10 {
+			return fmt.Errorf("scenario: sweep.combos and workload.http10 are mutually exclusive (combos carry their own workload flavor)")
+		}
+		if len(s.Sweep.Loads) > 0 {
+			return fmt.Errorf("scenario: sweep.combos and sweep.loads are mutually exclusive")
+		}
+		if len(s.Sweep.Nodes) == 0 {
+			return fmt.Errorf("scenario: sweep.combos needs a sweep.nodes axis")
+		}
+		for _, name := range s.Sweep.Combos {
+			if _, err := simComboByName(name); err != nil {
+				return fmt.Errorf("scenario: %w", err)
+			}
+		}
+	} else {
+		if s.Policy.Name == "" {
+			return fmt.Errorf("scenario: policy.name is required (or name legacy combos in sweep.combos)")
+		}
+		if _, ok := s.Policy.Options["mechanism"]; ok {
+			return fmt.Errorf("scenario: set the top-level mechanism field, not policy.options[\"mechanism\"]")
+		}
+		if _, err := dispatch.ResolveOptions(dispatch.Spec{
+			Policy:  s.Policy.Name,
+			Options: dispatch.Options(s.Policy.Options),
+		}); err != nil {
+			return fmt.Errorf("scenario: %w", err)
+		}
+	}
+	if s.Sweep != nil {
+		if len(s.Sweep.Loads) > 0 && len(s.Sweep.Nodes) > 0 {
+			return fmt.Errorf("scenario: sweep.loads and sweep.nodes are mutually exclusive")
+		}
+		for _, n := range s.Sweep.Nodes {
+			if n <= 0 {
+				return fmt.Errorf("scenario: sweep.nodes entry %d must be positive", n)
+			}
+		}
+		for _, l := range s.Sweep.Loads {
+			if l <= 0 {
+				return fmt.Errorf("scenario: sweep.loads entry %d must be positive", l)
+			}
+		}
+	}
+	nodeAxis := s.Sweep != nil && len(s.Sweep.Nodes) > 0
+	if !nodeAxis && s.Cluster.Nodes <= 0 {
+		return fmt.Errorf("scenario: cluster.nodes is required without a sweep.nodes axis")
+	}
+	c := s.Cluster
+	if c.Nodes < 0 || c.ConnsPerNode < 0 || c.CacheMB < 0 || c.MaxTargets < 0 || c.Clients < 0 {
+		return fmt.Errorf("scenario: negative cluster dimension")
+	}
+	if c.WarmupFrac != nil && (*c.WarmupFrac < 0 || *c.WarmupFrac >= 1) {
+		return fmt.Errorf("scenario: cluster.warmupFrac must be in [0,1), got %g", *c.WarmupFrac)
+	}
+	if c.FESpeedup < 0 || c.TimeScale < 0 {
+		return fmt.Errorf("scenario: negative cluster scale factor")
+	}
+	w := s.Workload.Synth
+	if w != nil && (w.Connections < 0 || w.Pages < 0 || w.Objects < 0 || w.Clients < 0) {
+		return fmt.Errorf("scenario: negative workload dimension")
+	}
+	return nil
+}
+
+// mechanism resolves the mechanism field (empty = singleHandoff).
+func (s *Spec) mechanism() (core.Mechanism, error) {
+	if s.Mechanism == "" {
+		return core.SingleHandoff, nil
+	}
+	m, err := core.ParseMechanism(s.Mechanism)
+	if err != nil {
+		return 0, fmt.Errorf("scenario: %w", err)
+	}
+	return m, nil
+}
+
+// ServerKind resolves the server model (empty = apache).
+func (s *Spec) ServerKind() (core.ServerKind, error) {
+	switch strings.ToLower(strings.TrimSpace(s.Server.Model)) {
+	case "", "apache":
+		return core.Apache, nil
+	case "flash":
+		return core.Flash, nil
+	}
+	return 0, fmt.Errorf("scenario: unknown server model %q (want apache or flash)", s.Server.Model)
+}
+
+// SynthConfig returns the workload generator configuration: the calibrated
+// defaults with the spec's synth overrides applied.
+func (s *Spec) SynthConfig() trace.SynthConfig {
+	cfg := trace.DefaultSynthConfig()
+	if w := s.Workload.Synth; w != nil {
+		if w.Seed != 0 {
+			cfg.Seed = w.Seed
+		}
+		if w.Connections > 0 {
+			cfg.Connections = w.Connections
+		}
+		if w.Pages > 0 {
+			cfg.Pages = w.Pages
+		}
+		if w.Objects > 0 {
+			cfg.Objects = w.Objects
+		}
+		if w.Clients > 0 {
+			cfg.Clients = w.Clients
+		}
+	}
+	return cfg
+}
+
+// LoadWorkload materializes the scenario's workload: a binary trace file,
+// the trace cache (generating and persisting on miss — the bool reports a
+// cache hit), or a fresh synthetic generation.
+func (s *Spec) LoadWorkload() (*trace.Workload, bool, error) {
+	switch {
+	case s.Workload.TraceFile != "":
+		f, err := os.Open(s.Workload.TraceFile)
+		if err != nil {
+			return nil, false, fmt.Errorf("scenario: %w", err)
+		}
+		defer f.Close()
+		tr, _, err := trace.ReadBinary(f)
+		if err != nil {
+			return nil, false, fmt.Errorf("scenario: read %s: %w", s.Workload.TraceFile, err)
+		}
+		return trace.NewWorkload(tr), false, nil
+	case s.Workload.TraceCache != "":
+		return trace.LoadOrGenerate(s.Workload.TraceCache, s.SynthConfig())
+	default:
+		return trace.NewWorkload(trace.NewSynth(s.SynthConfig()).Generate()), false, nil
+	}
+}
+
+// label is the series label for policy-driven scenarios: the explicit
+// Label, or "<policy>[-PHTTP]" in the figure legends' style.
+func (s *Spec) label() string {
+	if s.Policy.Label != "" {
+		return s.Policy.Label
+	}
+	if s.Workload.HTTP10 {
+		return s.Policy.Name
+	}
+	return s.Policy.Name + "-PHTTP"
+}

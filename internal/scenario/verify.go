@@ -1,0 +1,86 @@
+package scenario
+
+import (
+	"fmt"
+	"reflect"
+
+	"phttp/internal/core"
+	"phttp/internal/server"
+	"phttp/internal/sim"
+)
+
+// legacyGrid reconstructs the flag-driven path's configuration grid for a
+// builtin figure scenario — exactly what `phttp-sim -fig N` hands the sweep
+// drivers — so VerifyBuiltin can hold the compiled scenario to it.
+func legacyGrid(name string) ([]SimPoint, bool) {
+	switch name {
+	case "fig7", "fig8":
+		kind := core.Apache
+		if name == "fig8" {
+			kind = core.Flash
+		}
+		var points []SimPoint
+		for _, combo := range sim.Combos() {
+			for n := 1; n <= 10; n++ {
+				cfg := sim.DefaultConfig(n, combo)
+				cfg.Server = server.CostsFor(kind)
+				points = append(points, SimPoint{Label: combo.Name, X: float64(n), Config: cfg})
+			}
+		}
+		return points, true
+	case "fig3":
+		combo := sim.Combo{
+			Name: "single-node", Policy: "wrr",
+			Mechanism: core.SingleHandoff, PHTTP: true,
+		}
+		var points []SimPoint
+		for _, l := range []int{1, 2, 4, 8, 16, 24, 32, 48, 64, 96, 128, 192, 256} {
+			cfg := sim.DefaultConfig(1, combo)
+			cfg.Server = server.CostsFor(core.Apache)
+			cfg.ConnsPerNode = l
+			points = append(points, SimPoint{Label: combo.Name, X: float64(l), Config: cfg})
+		}
+		return points, true
+	}
+	return nil, false
+}
+
+// VerifyBuiltin validates and compiles the named builtin scenario; for the
+// paper's figure scenarios it additionally checks the compiled grid is
+// identical — point for point, config for config — to the legacy flag
+// path. Any drift between the declarative and the flag-driven experiment
+// definitions fails here (the golden test and the CI scenarios-smoke step
+// both call it).
+func VerifyBuiltin(name string) error {
+	s, err := Builtin(name)
+	if err != nil {
+		return err
+	}
+	grid, err := s.ToSimGrid()
+	if err != nil {
+		return err
+	}
+	if len(grid) == 0 {
+		return fmt.Errorf("scenario: builtin %q compiled to an empty grid", name)
+	}
+	for _, p := range grid {
+		if err := p.Config.Validate(); err != nil {
+			return fmt.Errorf("scenario: builtin %q point (%s, %g): %w", name, p.Label, p.X, err)
+		}
+	}
+	legacy, pinned := legacyGrid(name)
+	if !pinned {
+		return nil
+	}
+	if len(grid) != len(legacy) {
+		return fmt.Errorf("scenario: builtin %q compiles to %d points, legacy path has %d",
+			name, len(grid), len(legacy))
+	}
+	for i := range grid {
+		if !reflect.DeepEqual(grid[i], legacy[i]) {
+			return fmt.Errorf("scenario: builtin %q drifted from the legacy path at point %d (%s, x=%g):\n  scenario: %+v\n  legacy:   %+v",
+				name, i, legacy[i].Label, legacy[i].X, grid[i], legacy[i])
+		}
+	}
+	return nil
+}

@@ -14,6 +14,7 @@ package sim
 
 import (
 	"fmt"
+	"strings"
 
 	"phttp/internal/core"
 	"phttp/internal/dispatch"
@@ -50,24 +51,46 @@ func Combos() []Combo {
 	}
 }
 
-// ComboByName returns the named combination.
+// ExtraCombos returns the extension combinations beyond the paper's figure
+// legends: the Section 6.1 relaying front-end variant and the LARD/R
+// (replication) baselines from the ASPLOS '98 companion strategy. They run
+// in every driver but are not part of the default figure sweeps.
+func ExtraCombos() []Combo {
+	return []Combo{
+		{Name: "relayFE-extLARD-PHTTP", Policy: "extlard", Mechanism: core.RelayFrontEnd, PHTTP: true},
+		{Name: "simple-LARDR", Policy: "lardr", Mechanism: core.SingleHandoff, PHTTP: false},
+		{Name: "simple-LARDR-PHTTP", Policy: "lardr", Mechanism: core.SingleHandoff, PHTTP: true},
+	}
+}
+
+// AllCombos is the one canonical enumeration of every named combination —
+// Combos() in legend order followed by ExtraCombos(). Help text, error
+// messages and the scenario registry all derive from it, so no combo can
+// exist that a listing does not show.
+func AllCombos() []Combo {
+	return append(Combos(), ExtraCombos()...)
+}
+
+// ComboNames returns the names of AllCombos, in order.
+func ComboNames() []string {
+	all := AllCombos()
+	names := make([]string, len(all))
+	for i, c := range all {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// ComboByName returns the named combination. The error lists every valid
+// name (the same canonical set ComboNames reports).
 func ComboByName(name string) (Combo, error) {
-	for _, c := range Combos() {
+	for _, c := range AllCombos() {
 		if c.Name == name {
 			return c, nil
 		}
 	}
-	switch name {
-	case "relayFE-extLARD-PHTTP":
-		return Combo{Name: name, Policy: "extlard", Mechanism: core.RelayFrontEnd, PHTTP: true}, nil
-	case "simple-LARDR":
-		// LARD with replication (ASPLOS '98 companion policy), provided
-		// as an extension baseline; not one of the paper's curves.
-		return Combo{Name: name, Policy: "lardr", Mechanism: core.SingleHandoff, PHTTP: false}, nil
-	case "simple-LARDR-PHTTP":
-		return Combo{Name: name, Policy: "lardr", Mechanism: core.SingleHandoff, PHTTP: true}, nil
-	}
-	return Combo{}, fmt.Errorf("sim: unknown combo %q", name)
+	return Combo{}, fmt.Errorf("sim: unknown combo %q (valid combos: %s)",
+		name, strings.Join(ComboNames(), ", "))
 }
 
 // Config parameterizes one simulation run.
@@ -82,6 +105,12 @@ type Config struct {
 	CacheBytes int64
 	// Params are the LARD-family policy constants.
 	Params policy.Params
+	// PolicyOptions are generic policy construction options forwarded to
+	// the dispatch registry (validated against the policy's schema). They
+	// override the typed fields above per key; policies registered through
+	// the open API (p2c, boundedch, third parties) are configured solely
+	// through them. Nil for the paper's figure configurations.
+	PolicyOptions dispatch.Options
 	// Combo selects policy, mechanism and workload flavor.
 	Combo Combo
 	// ConnsPerNode sets the closed-loop concurrency: ConnsPerNode*Nodes
@@ -125,6 +154,7 @@ func (c Config) dispatchSpec() dispatch.Spec {
 	return dispatch.Spec{
 		Policy:     c.Combo.Policy,
 		Nodes:      c.Nodes,
+		Options:    c.PolicyOptions,
 		CacheBytes: c.CacheBytes,
 		Params:     c.Params,
 		Mechanism:  c.Combo.Mechanism,

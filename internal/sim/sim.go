@@ -110,6 +110,16 @@ func Run(cfg Config, tr *trace.Trace) (Result, error) {
 	return runOn(cfg, workload)
 }
 
+// RunPrepared simulates an already-prepared workload: interned
+// (EnsureIDs) and pre-flattened when the combo wants HTTP/1.0. It is the
+// sweep drivers' per-point entry, exported so external grid runners (the
+// scenario layer) can share one flattening across points instead of
+// paying Run's per-call Flatten10. Results are identical to Run on the
+// corresponding P-HTTP trace.
+func RunPrepared(cfg Config, workload *trace.Trace) (Result, error) {
+	return runOn(cfg, workload)
+}
+
 // runOn simulates an already-prepared workload: interned (EnsureIDs) and
 // pre-flattened when the combo wants HTTP/1.0. The workload is only read,
 // so parallel sweep workers share one across runs. Validation lives here —
