@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke cover fuzz-smoke fmt vet check trace-cache scenarios-smoke
+.PHONY: all build test race bench bench-smoke bench-scaling cover fuzz-smoke fmt vet lint check trace-cache scenarios-smoke
 
 all: build
 
@@ -50,6 +50,14 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
 
+# Multi-core scaling curve: the reference sweep at worker counts
+# 1..GOMAXPROCS, recorded into BENCH_sim.json's scaling section. On a
+# 1-CPU machine the section gets an explicit "skipped_nproc=1" marker,
+# and a previously recorded multi-core curve in the file is preserved
+# (phttp-bench -force overrides).
+bench-scaling:
+	$(GO) run ./cmd/phttp-bench -sim-bench BENCH_sim.json -scaling
+
 # Total statement coverage against the recorded baseline
 # (.github/coverage-baseline.txt); CI fails when it drops.
 cover:
@@ -69,5 +77,18 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# Static scrutiny for the pointer-heavy mmap/unsafe code (and everything
+# else): gofmt and go vet always fail the target; golangci-lint runs too
+# when installed (CI has it available; the dev container may not).
+lint:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; fi
+	$(GO) vet ./...
+	@if command -v golangci-lint >/dev/null 2>&1; then \
+		golangci-lint run ./...; \
+	else \
+		echo "golangci-lint not installed; gofmt+vet only"; \
+	fi
 
 check: fmt vet build test race

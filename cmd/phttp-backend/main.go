@@ -65,7 +65,7 @@ func main() {
 			if err != nil {
 				fatalf("%v", err)
 			}
-			catalog = wl.PHTTP.Sizes
+			catalog = wl.PHTTP.Catalog()
 		} else {
 			catalogCfg := spec.SynthConfig()
 			if set["seed"] {

@@ -23,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"phttp/internal/cluster"
@@ -48,9 +49,32 @@ var simBaseline = sim.BenchPoint{
 
 const simBaselineDescription = "serial sweep at PR1 head (closure event heap, string-keyed caches), same machine"
 
+// keepRecordedScaling decides what the new report's scaling section should
+// be, given what the output file already records. A multi-core curve is
+// expensive to come by (this dev loop usually runs on one core), so a run
+// that measured nothing better — no -scaling, or a 1-CPU skip marker —
+// preserves the recorded curve instead of clobbering it; -force overrides.
+func keepRecordedScaling(path string, rep *sim.BenchReport, force bool) {
+	if force || rep.Scaling.MultiCore() {
+		return
+	}
+	prev, err := os.ReadFile(path)
+	if err != nil {
+		return
+	}
+	var old sim.BenchReport
+	if json.Unmarshal(prev, &old) != nil || !old.Scaling.MultiCore() {
+		return
+	}
+	fmt.Fprintf(os.Stderr,
+		"sim-bench: keeping recorded %d-worker scaling curve (this run has %d CPU(s); -force overwrites)\n",
+		old.Scaling.GoMaxProcs, rep.Parallel.NumCPU)
+	rep.Scaling = old.Scaling
+}
+
 // runSimBench measures the simulator reference sweep and writes the
 // BENCH_sim.json trajectory.
-func runSimBench(path string, seed uint64) {
+func runSimBench(path string, seed uint64, scaling, force bool) {
 	cfg := sim.DefaultBenchConfig()
 	cfg.Seed = seed
 	fmt.Fprintf(os.Stderr, "sim-bench: reference sweep (%d combos × %d cluster sizes, %d connections)...\n",
@@ -65,6 +89,27 @@ func runSimBench(path string, seed uint64) {
 		// changes the workload, so the comparison would be meaningless.
 		rep.AttachBaseline(simBaseline, simBaselineDescription)
 	}
+	if scaling {
+		// The curve needs the reference trace only when there are cores
+		// to measure; the 1-CPU skip marker costs nothing.
+		var tr *trace.Trace
+		if runtime.GOMAXPROCS(0) > 1 {
+			tcfg := trace.DefaultSynthConfig()
+			tcfg.Seed = cfg.Seed
+			tcfg.Connections = cfg.Connections
+			tr = trace.NewSynth(tcfg).Generate()
+		}
+		sc, err := sim.MeasureScaling(cfg, tr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "phttp-bench: sim-bench: scaling: %v\n", err)
+			os.Exit(1)
+		}
+		rep.Scaling = &sc
+		if sc.Skipped != "" {
+			fmt.Fprintf(os.Stderr, "sim-bench: scaling curve %s\n", sc.Skipped)
+		}
+	}
+	keepRecordedScaling(path, &rep, force)
 	out, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "phttp-bench: sim-bench: %v\n", err)
@@ -78,10 +123,17 @@ func runSimBench(path string, seed uint64) {
 	fmt.Fprintf(os.Stderr,
 		"sim-bench: serial %.0f ms (%.0f ns/event, %.2f allocs/event), parallel %.0f ms on %d procs\n",
 		rep.Serial.WallMs, rep.Serial.NsPerEvent, rep.Serial.AllocsPerEvent,
-		rep.Parallel.WallMs, rep.GoMaxProcs)
+		rep.Parallel.WallMs, rep.Parallel.GoMaxProcs)
+	fmt.Fprintf(os.Stderr,
+		"sim-bench: cache hit %.1f allocs mapped vs %.1f copied (%.1fx reduction)\n",
+		rep.TraceGen.CacheHitAllocs, rep.TraceGen.CacheHitCopyAllocs, rep.TraceGen.CacheHitAllocReduction)
 	if rep.Baseline != nil {
 		fmt.Fprintf(os.Stderr, "sim-bench: %.2fx wall-clock vs baseline, %.2fx events/sec per run, %.1fx fewer allocs/event\n",
 			rep.SpeedupWallClock, rep.PerRunEventsPerSec, rep.PerEventAllocsRatio)
+	}
+	if rep.Scaling.MultiCore() {
+		last := rep.Scaling.Points[len(rep.Scaling.Points)-1]
+		fmt.Fprintf(os.Stderr, "sim-bench: scaling %.2fx at %d workers\n", last.Speedup, last.Workers)
 	}
 	fmt.Printf("wrote %s\n", path)
 }
@@ -117,11 +169,13 @@ func main() {
 		simBench = flag.String("sim-bench", "", "measure the simulator's reference ClusterSweep and write the perf trajectory to this JSON file (skips the prototype benchmark)")
 		cacheDir = flag.String("trace-cache", "", "trace cache directory: load the benchmark workload from disk, generating and persisting on miss")
 		scenFlag = flag.String("scenario", "", "benchmark the prototype for a declarative scenario (builtin name or JSON file): policy, options, mechanism, workload and node axis come from the spec")
+		scaling  = flag.Bool("scaling", false, "with -sim-bench: run the reference sweep at worker counts 1..GOMAXPROCS and record the scaling section (skip marker on 1 CPU)")
+		force    = flag.Bool("force", false, "with -sim-bench: allow a run without a multi-core scaling curve to overwrite one already recorded in the output file")
 	)
 	flag.Parse()
 
 	if *simBench != "" {
-		runSimBench(*simBench, *seed)
+		runSimBench(*simBench, *seed, *scaling, *force)
 		return
 	}
 	if *scenFlag != "" {
@@ -215,7 +269,7 @@ func runScenarioBench(arg string, scale float64, clients int) {
 	s := &metrics.Series{Name: label}
 	for _, n := range nodesAxis {
 		spec.Cluster.Nodes = n
-		clCfg, err := spec.ToClusterConfig(wl.PHTTP.Sizes)
+		clCfg, err := spec.ToClusterConfig(wl.PHTTP.Catalog())
 		if err != nil {
 			fatalf("%v", err)
 		}
@@ -255,7 +309,7 @@ func runScenarioBench(arg string, scale float64, clients int) {
 // throughput (req/s on modeled hardware) and front-end utilization.
 func runOne(combo protoCombo, nodes int, wl *trace.Workload, scale float64, clients int, cacheBytes int64) (float64, float64, error) {
 	tr := wl.PHTTP
-	cfg := cluster.DefaultConfig(nodes, tr.Sizes)
+	cfg := cluster.DefaultConfig(nodes, tr.Catalog())
 	cfg.Policy = combo.policy
 	cfg.Mechanism = combo.mech
 	cfg.TimeScale = scale

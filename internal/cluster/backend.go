@@ -189,9 +189,19 @@ func (b *Backend) Served() int64 {
 	return b.served
 }
 
+// addServed is called before the response bytes go out and subServed backs
+// it out if the write fails: a client that has read a complete response can
+// then never observe a Served() count that has not caught up yet (drivers
+// assert the count the moment the load generator returns).
 func (b *Backend) addServed() {
 	b.servedM.Lock()
 	b.served++
+	b.servedM.Unlock()
+}
+
+func (b *Backend) subServed() {
+	b.servedM.Lock()
+	b.served--
 	b.servedM.Unlock()
 }
 
@@ -468,12 +478,13 @@ func (b *Backend) serveRequest(c *beConn, msg ctrlMsg) error {
 		return b.writeError(c, msg, 404)
 	}
 	b.cpu.use(costs.PerRequest + costs.Transmit(size))
+	b.addServed()
 	if err := b.writeResponse(c, msg, size, func(w io.Writer) error {
 		return WriteContent(w, msg.Target, size)
 	}); err != nil {
+		b.subServed()
 		return err
 	}
-	b.addServed()
 	return nil
 }
 
@@ -497,13 +508,14 @@ func (b *Backend) serveForwarded(c *beConn, msg ctrlMsg) error {
 	defer body.Close()
 	b.cpu.use(costs.PerRequest + costs.ForwardPerRequest +
 		costs.ForwardRecv(size) + costs.Transmit(size))
+	b.addServed()
 	if err := b.writeResponse(c, msg, size, func(w io.Writer) error {
 		_, err := io.CopyN(w, body, size)
 		return err
 	}); err != nil {
+		b.subServed()
 		return err
 	}
-	b.addServed()
 	return nil
 }
 

@@ -97,7 +97,7 @@ func NewEngine(spec Spec) (*Engine, error) {
 	in := spec.Interner
 	if in == nil {
 		if spec.MaxTargets > 0 {
-			in = core.NewEvictableInterner(spec.MaxTargets)
+			in = core.NewEvictableInternerStripes(spec.MaxTargets, spec.InternStripes)
 		} else {
 			in = core.NewInterner()
 		}

@@ -1,0 +1,42 @@
+package policy
+
+import (
+	"testing"
+
+	"phttp/internal/core"
+)
+
+// TestPolicyNamesAndNoOpHooks pins the display names the analytic output
+// keys on, and exercises the hook methods that are deliberate no-ops for
+// the non-extended policies (extLARD's real implementations are covered by
+// the dispatch tests).
+func TestPolicyNamesAndNoOpHooks(t *testing.T) {
+	wrr := NewWRR(4)
+	lard := NewLARD(4, testCache, DefaultParams())
+	lardr := NewLARDR(4, testCache, DefaultParams())
+	ext := NewExtLARD(4, testCache, DefaultParams(), core.BEForwarding)
+
+	names := map[string]string{
+		wrr.Name():   "WRR",
+		lard.Name():  "LARD",
+		lardr.Name(): "LARD/R",
+		ext.Name():   "extLARD",
+	}
+	for got, want := range names {
+		if got != want {
+			t.Errorf("Name() = %q, want %q", got, want)
+		}
+	}
+	if ext.Mechanism() != core.BEForwarding {
+		t.Errorf("Mechanism() = %v, want BEForwarding", ext.Mechanism())
+	}
+
+	// The no-op hooks must accept any input without state changes.
+	conn := &core.ConnState{}
+	wrr.BatchDone(conn)
+	lard.BatchDone(conn)
+	lardr.BatchDone(conn)
+	wrr.ReportDiskQueue(0, 3)
+	lard.ReportDiskQueue(1, 0)
+	lardr.ReportDiskQueue(2, 7)
+}

@@ -76,7 +76,7 @@ func TestNewPoliciesSimAndPrototypeFromOneScenario(t *testing.T) {
 
 		// Prototype leg: same spec compiles the cluster and the load
 		// generator; the run must complete with zero errors.
-		clCfg, err := s.ToClusterConfig(wl.PHTTP.Sizes)
+		clCfg, err := s.ToClusterConfig(wl.PHTTP.Catalog())
 		if err != nil {
 			t.Fatalf("%s: ToClusterConfig: %v", tc.wantPolicy, err)
 		}

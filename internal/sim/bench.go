@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"time"
 
 	"phttp/internal/core"
@@ -16,8 +17,24 @@ import (
 // (ns/event, allocs/event, simulated events/sec, sweep wall-clock) that can
 // be compared across commits on the same machine.
 
+// EnvInfo stamps the execution environment onto each report section:
+// a parallel_speedup of ~1.0 means nothing without knowing the run had
+// one core, so every section is self-describing instead of inheriting a
+// single top-level gomaxprocs.
+type EnvInfo struct {
+	// GoMaxProcs is runtime.GOMAXPROCS(0) at measurement time; NumCPU is
+	// the machine's core count (nproc).
+	GoMaxProcs int `json:"gomaxprocs,omitempty"`
+	NumCPU     int `json:"nproc,omitempty"`
+}
+
+func env() EnvInfo {
+	return EnvInfo{GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()}
+}
+
 // BenchPoint is one measured execution of the reference sweep.
 type BenchPoint struct {
+	EnvInfo
 	// WallMs is the sweep's wall-clock time in milliseconds.
 	WallMs float64 `json:"wall_ms"`
 	// Mallocs is the number of heap allocations during the sweep.
@@ -84,6 +101,7 @@ func DefaultBenchConfig() BenchConfig {
 // used to be invisible in the trajectory while per-event cost fell 4.5x;
 // this records it per commit alongside the sweep numbers.
 type TraceGenReport struct {
+	EnvInfo
 	// SerialMs and ParallelMs time Synth.GenerateParallel(1) and (0);
 	// FlattenMs times the Flatten10 derivation — regenerating the sweep
 	// workload from scratch costs SerialMs + FlattenMs.
@@ -102,17 +120,89 @@ type TraceGenReport struct {
 	CacheHitSpeedup float64 `json:"cache_hit_speedup_vs_regen"`
 	// ParallelSpeedup is SerialMs/ParallelMs (≈1 on one CPU).
 	ParallelSpeedup float64 `json:"parallel_speedup"`
+	// CacheHitAllocs is the heap allocations of one mapped cache hit (both
+	// forms), measured with the collector parked so ambient GC assists are
+	// excluded. CacheHitCopyMs / CacheHitCopyAllocs measure the copying
+	// loader (NoMmap) with the catalog map and the interner's name→ID map
+	// forced — the fully materialized load every cache hit paid before the
+	// zero-copy path. CacheHitAllocReduction is copy ÷ mapped, the factor
+	// the mmap acceptance gate tracks (≥10×).
+	CacheHitAllocs         float64 `json:"cache_hit_allocs"`
+	CacheHitCopyMs         float64 `json:"cache_hit_copy_ms"`
+	CacheHitCopyAllocs     float64 `json:"cache_hit_copy_allocs"`
+	CacheHitAllocReduction float64 `json:"cache_hit_alloc_reduction"`
 }
 
-// BenchReport is the payload of BENCH_sim.json.
+// ScalingPoint is one worker count of the multi-core scaling curve.
+type ScalingPoint struct {
+	Workers      int     `json:"workers"`
+	WallMs       float64 `json:"wall_ms"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	// Speedup is wall-clock relative to the 1-worker run of the same curve.
+	Speedup float64 `json:"speedup_vs_1_worker"`
+}
+
+// ScalingReport is the `scaling` section of BENCH_sim.json: the reference
+// sweep at every worker count 1..GOMAXPROCS. On a single-core machine the
+// curve would be meaningless (every point times the same serial schedule),
+// so the section records an explicit skip marker instead of fake numbers.
+type ScalingReport struct {
+	EnvInfo
+	// Skipped is "skipped_nproc=1" when the environment had one core and
+	// no curve was measured; empty otherwise.
+	Skipped string         `json:"skipped,omitempty"`
+	Points  []ScalingPoint `json:"points,omitempty"`
+}
+
+// MultiCore reports whether the section holds a measured multi-core curve
+// (as opposed to a skip marker) — the curves phttp-bench refuses to
+// clobber from a single-core run without -force.
+func (s *ScalingReport) MultiCore() bool {
+	return s != nil && s.Skipped == "" && len(s.Points) > 0 && s.GoMaxProcs > 1
+}
+
+// MeasureScaling runs the reference sweep at worker counts 1..GOMAXPROCS
+// over a prepared trace and returns the scaling curve. With one core it
+// returns only the skip marker; callers decide whether that may replace a
+// recorded multi-core curve.
+func MeasureScaling(cfg BenchConfig, tr *trace.Trace) (ScalingReport, error) {
+	rep := ScalingReport{EnvInfo: env()}
+	if rep.GoMaxProcs <= 1 {
+		rep.Skipped = "skipped_nproc=1"
+		return rep, nil
+	}
+	var base float64
+	for w := 1; w <= rep.GoMaxProcs; w++ {
+		p, err := measureSweep(cfg, tr, w)
+		if err != nil {
+			return rep, err
+		}
+		sp := ScalingPoint{Workers: w, WallMs: p.WallMs, EventsPerSec: p.EventsPerSec}
+		if w == 1 {
+			base = p.WallMs
+		}
+		if p.WallMs > 0 {
+			sp.Speedup = base / p.WallMs
+		}
+		rep.Points = append(rep.Points, sp)
+	}
+	return rep, nil
+}
+
+// BenchReport is the payload of BENCH_sim.json. Every section carries its
+// own gomaxprocs/nproc stamp (EnvInfo) rather than one top-level value, so
+// a section measured on one core is self-describing even when another —
+// e.g. a preserved multi-core scaling curve — was not.
 type BenchReport struct {
-	Reference  BenchConfig `json:"reference"`
-	GoMaxProcs int         `json:"gomaxprocs"`
+	Reference BenchConfig `json:"reference"`
 	// Serial runs the sweep on one worker; Parallel on GOMAXPROCS.
 	Serial   BenchPoint `json:"serial"`
 	Parallel BenchPoint `json:"parallel"`
 	// TraceGen times workload construction (sweep startup).
 	TraceGen TraceGenReport `json:"trace_gen"`
+	// Scaling is the multi-core worker-count curve (or its skip marker);
+	// nil when the run did not ask for one (phttp-bench -scaling).
+	Scaling *ScalingReport `json:"scaling,omitempty"`
 	// Baseline, when set, is the recorded pre-optimization measurement of
 	// the same reference sweep (serial; the baseline code had no parallel
 	// path), and the Speedup fields compare against it.
@@ -141,7 +231,31 @@ func measureSweep(cfg BenchConfig, tr *trace.Trace, workers int) (BenchPoint, er
 		events += r.Events
 		requests += r.Requests
 	}
-	return newBenchPoint(wall, ms1.Mallocs-ms0.Mallocs, events, requests), nil
+	p := newBenchPoint(wall, ms1.Mallocs-ms0.Mallocs, events, requests)
+	p.EnvInfo = env()
+	return p, nil
+}
+
+// measureAllocs returns the steady-state heap allocations of one call to
+// f, averaged over a few runs with the collector parked: f's transient
+// garbage (a reference workload materializes ~18 MB per load) otherwise
+// triggers GC assists whose bookkeeping allocations land in the caller's
+// count and drown the signal being measured.
+func measureAllocs(n int, f func() error) (float64, error) {
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	runtime.GC()
+	if err := f(); err != nil { // warm caches and lazy init off the books
+		return 0, err
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < n; i++ {
+		if err := f(); err != nil {
+			return 0, err
+		}
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(n), nil
 }
 
 // measureTraceGen times the four ways the reference workload can be
@@ -210,12 +324,54 @@ func measureTraceGen(tcfg trace.SynthConfig) (TraceGenReport, *trace.Trace, erro
 		}
 	}
 
+	// The copying loader, with both deferred tables forced (the catalog
+	// map and the interner's name→ID map), is what every cache hit cost
+	// before the zero-copy path — the honest comparator for the alloc
+	// reduction the mmap gate tracks.
+	loadCopied := func() error {
+		wl, hit, err := trace.LoadOrGenerateWith(dir, tcfg, trace.LoadOptions{NoMmap: true})
+		if err != nil {
+			return err
+		}
+		if !hit {
+			return fmt.Errorf("sim: bench cache did not hit on reload")
+		}
+		wl.PHTTP.Catalog()
+		wl.PHTTP.Interner.Lookup("/")
+		return nil
+	}
+	for i := 0; i < 3; i++ {
+		copyMs, err := timed(loadCopied)
+		if err != nil {
+			return g, nil, err
+		}
+		if g.CacheHitCopyMs == 0 || copyMs < g.CacheHitCopyMs {
+			g.CacheHitCopyMs = copyMs
+		}
+	}
+	if g.CacheHitAllocs, err = measureAllocs(5, func() error {
+		_, hit, err := trace.LoadOrGenerate(dir, tcfg)
+		if err == nil && !hit {
+			return fmt.Errorf("sim: bench cache did not hit on reload")
+		}
+		return err
+	}); err != nil {
+		return g, nil, err
+	}
+	if g.CacheHitCopyAllocs, err = measureAllocs(5, loadCopied); err != nil {
+		return g, nil, err
+	}
+	if g.CacheHitAllocs > 0 {
+		g.CacheHitAllocReduction = g.CacheHitCopyAllocs / g.CacheHitAllocs
+	}
+
 	if g.CacheHitMs > 0 {
 		g.CacheHitSpeedup = (g.SerialMs + g.FlattenMs) / g.CacheHitMs
 	}
 	if g.ParallelMs > 0 {
 		g.ParallelSpeedup = g.SerialMs / g.ParallelMs
 	}
+	g.EnvInfo = env()
 	return g, tr, nil
 }
 
@@ -230,7 +386,6 @@ func RunBench(cfg BenchConfig) (BenchReport, error) {
 
 	rep := BenchReport{
 		Reference:            cfg,
-		GoMaxProcs:           runtime.GOMAXPROCS(0),
 		MeasuredAtUnixMillis: time.Now().UnixMilli(),
 	}
 	var (

@@ -1,11 +1,17 @@
 package sim
 
-import "testing"
+import (
+	"runtime"
+	"testing"
+
+	"phttp/internal/trace"
+)
 
 // TestRunBenchSmall exercises the whole bench harness — trace-generation
-// timing (serial, parallel, cache cold/hit), both sweep measurements, and
-// baseline attachment — on a scaled-down reference so the reporting path
-// cannot rot between `make bench` runs.
+// timing (serial, parallel, cache cold/hit), the mapped-vs-copying alloc
+// probes, both sweep measurements, and baseline attachment — on a
+// scaled-down reference so the reporting path cannot rot between
+// `make bench` runs.
 func TestRunBenchSmall(t *testing.T) {
 	if testing.Short() {
 		t.Skip("bench harness run")
@@ -20,12 +26,109 @@ func TestRunBenchSmall(t *testing.T) {
 	if rep.Serial.Events <= 0 || rep.Parallel.Events != rep.Serial.Events {
 		t.Errorf("event counts: serial %d, parallel %d", rep.Serial.Events, rep.Parallel.Events)
 	}
+	if rep.Serial.GoMaxProcs <= 0 || rep.Serial.NumCPU <= 0 {
+		t.Errorf("serial section missing env stamp: %+v", rep.Serial.EnvInfo)
+	}
 	g := rep.TraceGen
 	if g.SerialMs < 0 || g.ParallelMs < 0 || g.CacheColdMs <= 0 || g.CacheHitMs < 0 {
 		t.Errorf("trace-gen timings not recorded: %+v", g)
 	}
+	if g.GoMaxProcs <= 0 {
+		t.Errorf("trace-gen section missing env stamp: %+v", g.EnvInfo)
+	}
+	if g.CacheHitAllocs <= 0 || g.CacheHitCopyAllocs <= 0 {
+		t.Errorf("cache-hit alloc probes not recorded: %+v", g)
+	}
+	if trMapped := g.CacheHitAllocReduction; trMapped < 1 {
+		// At test scale (300 connections) the absolute counts are small,
+		// but the mapped load must never allocate more than the copying
+		// one; the ≥10× gate is checked at reference scale by make bench.
+		t.Errorf("mapped cache hit allocates more than copying load: %.1f vs %.1f",
+			g.CacheHitAllocs, g.CacheHitCopyAllocs)
+	}
 	rep.AttachBaseline(BenchPoint{WallMs: 1000, Mallocs: 1 << 20}, "test baseline")
 	if rep.Baseline == nil || rep.SpeedupWallClock <= 0 {
 		t.Errorf("baseline attachment: %+v", rep)
+	}
+}
+
+// TestMeasureScaling pins the scaling section's two shapes — an explicit
+// skip marker on one core (never fake numbers), and a full 1..GOMAXPROCS
+// curve with speedups relative to the 1-worker point otherwise — by
+// forcing GOMAXPROCS to each shape's trigger, so both run on any machine
+// (extra procs on a 1-core box are legal, just oversubscribed).
+func TestMeasureScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench harness run")
+	}
+	cfg := DefaultBenchConfig()
+	cfg.Connections = 300
+	cfg.Nodes = []int{1}
+
+	t.Run("skip-on-1cpu", func(t *testing.T) {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+		rep, err := MeasureScaling(cfg, nil) // trace unused on the skip path
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.GoMaxProcs != 1 || rep.NumCPU <= 0 {
+			t.Errorf("env stamp: %+v", rep.EnvInfo)
+		}
+		if rep.Skipped != "skipped_nproc=1" || len(rep.Points) != 0 {
+			t.Errorf("1-CPU run must record the skip marker and no points: %+v", rep)
+		}
+		if rep.MultiCore() {
+			t.Error("skip marker classified as a multi-core curve")
+		}
+	})
+
+	t.Run("curve", func(t *testing.T) {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(2))
+		tcfg := trace.DefaultSynthConfig()
+		tcfg.Seed = cfg.Seed
+		tcfg.Connections = cfg.Connections
+		tr := trace.NewSynth(tcfg).Generate()
+		rep, err := MeasureScaling(cfg, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.GoMaxProcs != 2 || rep.NumCPU <= 0 {
+			t.Errorf("env stamp: %+v", rep.EnvInfo)
+		}
+		if rep.Skipped != "" || len(rep.Points) != 2 {
+			t.Fatalf("curve: %+v", rep)
+		}
+		if !rep.MultiCore() {
+			t.Error("measured curve not classified as multi-core")
+		}
+		if rep.Points[0].Workers != 1 || rep.Points[0].Speedup != 1 {
+			t.Errorf("1-worker point must anchor speedup at 1.0: %+v", rep.Points[0])
+		}
+		for i, p := range rep.Points {
+			if p.Workers != i+1 || p.WallMs < 0 || p.Speedup <= 0 {
+				t.Errorf("point %d: %+v", i, p)
+			}
+		}
+	})
+}
+
+// TestScalingReportMultiCore covers the clobber guard's classification:
+// only a measured multi-core curve is worth preserving.
+func TestScalingReportMultiCore(t *testing.T) {
+	cases := []struct {
+		name string
+		rep  *ScalingReport
+		want bool
+	}{
+		{"nil", nil, false},
+		{"skip-marker", &ScalingReport{EnvInfo: EnvInfo{GoMaxProcs: 1, NumCPU: 1}, Skipped: "skipped_nproc=1"}, false},
+		{"empty-points", &ScalingReport{EnvInfo: EnvInfo{GoMaxProcs: 4, NumCPU: 4}}, false},
+		{"curve", &ScalingReport{EnvInfo: EnvInfo{GoMaxProcs: 4, NumCPU: 4},
+			Points: []ScalingPoint{{Workers: 1, Speedup: 1}, {Workers: 2, Speedup: 1.7}}}, true},
+	}
+	for _, tc := range cases {
+		if got := tc.rep.MultiCore(); got != tc.want {
+			t.Errorf("%s: MultiCore() = %v, want %v", tc.name, got, tc.want)
+		}
 	}
 }

@@ -125,6 +125,16 @@ func RunPrepared(cfg Config, workload *trace.Trace) (Result, error) {
 // so parallel sweep workers share one across runs. Validation lives here —
 // the one entry point every run, direct or sweep-spawned, passes through.
 func runOn(cfg Config, workload *trace.Trace) (Result, error) {
+	return runOnEngine(cfg, workload, nil)
+}
+
+// runOnEngine is runOn with a caller-owned event engine: sweep workers
+// hand each job the same worker-local engine (reset between runs), so a
+// worker's heap and event-body slabs are grown once and reused across its
+// grid points instead of being reallocated per run. Slabs stay strictly
+// worker-local — no cross-worker sharing, no pool contention. A nil
+// engine means allocate a fresh one (the single-run entry points).
+func runOnEngine(cfg Config, workload *trace.Trace, eng *simcore.Engine) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -134,9 +144,14 @@ func runOn(cfg Config, workload *trace.Trace) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	if eng == nil {
+		eng = simcore.NewEngine()
+	} else {
+		eng.Reset()
+	}
 	s := &Sim{
 		cfg:   cfg,
-		eng:   simcore.NewEngine(),
+		eng:   eng,
 		disp:  disp,
 		trace: workload,
 	}

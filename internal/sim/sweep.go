@@ -8,6 +8,7 @@ import (
 	"phttp/internal/core"
 	"phttp/internal/metrics"
 	"phttp/internal/server"
+	"phttp/internal/simcore"
 	"phttp/internal/trace"
 )
 
@@ -40,8 +41,9 @@ func runJobs(jobs []sweepJob, results []Result, workers int) error {
 		workers = len(jobs)
 	}
 	if workers <= 1 {
+		eng := simcore.NewEngine()
 		for _, j := range jobs {
-			res, err := runOn(j.cfg, j.workload)
+			res, err := runOnEngine(j.cfg, j.workload, eng)
 			if err != nil {
 				clear(results)
 				return err
@@ -64,11 +66,17 @@ func runJobs(jobs []sweepJob, results []Result, workers int) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Each worker owns one engine: its event heap and body slab
+			// grow to the largest grid point it runs and are reused for
+			// the rest. Strictly worker-local — sharing slabs across
+			// workers (e.g. through a sync.Pool) would bounce their cache
+			// lines between cores for no benefit.
+			eng := simcore.NewEngine()
 			for j := range ch {
 				if failed.Load() {
 					continue
 				}
-				res, err := runOn(j.cfg, j.workload)
+				res, err := runOnEngine(j.cfg, j.workload, eng)
 				if err != nil {
 					errs[j.slot] = err
 					failed.Store(true)

@@ -7,6 +7,7 @@ import (
 
 	"phttp/internal/core"
 	"phttp/internal/metrics"
+	"phttp/internal/server"
 	"phttp/internal/trace"
 )
 
@@ -237,5 +238,47 @@ func TestRunInternsRawTrace(t *testing.T) {
 	}
 	if raw.Interner == nil || raw.Interner.Len() != 2 {
 		t.Error("Run did not intern the raw trace")
+	}
+}
+
+// TestSweepEntryWrappers pins the thin public entries against the
+// parallel driver they delegate to: ClusterSweep (default workers) and
+// RunPrepared (single prepared grid point) must reproduce the same
+// results as the explicitly-parameterized paths.
+func TestSweepEntryWrappers(t *testing.T) {
+	tr := sweepTrace()
+	nodes := []int{1, 2}
+	combos := Combos()[:2]
+	wantSeries, wantResults, err := ClusterSweepParallel(core.Apache, nodes, combos, tr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotSeries, gotResults, err := ClusterSweep(core.Apache, nodes, combos, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(wantResults, gotResults) {
+		t.Error("ClusterSweep differs from ClusterSweepParallel")
+	}
+	if metrics.Table("nodes", gotSeries...) != metrics.Table("nodes", wantSeries...) {
+		t.Error("ClusterSweep series differ from ClusterSweepParallel")
+	}
+
+	cfg := DefaultConfig(1, combos[0])
+	cfg.Server = server.CostsFor(core.Apache)
+	direct, err := Run(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	workload := tr
+	if !combos[0].PHTTP {
+		workload = tr.Flatten10()
+	}
+	prepared, err := RunPrepared(cfg, workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct != prepared {
+		t.Errorf("RunPrepared differs from Run:\ndirect:   %+v\nprepared: %+v", direct, prepared)
 	}
 }

@@ -324,3 +324,63 @@ func TestZipfPanicsOnEmpty(t *testing.T) {
 	}()
 	NewZipf(NewRNG(1), 0, 1)
 }
+
+// TestEngineResetReusesSlabs pins the sweep-pool contract: a reset engine
+// is observably identical to a fresh one (clock, order, results) while
+// keeping its arenas, so per-worker engines reused across grid points
+// cannot perturb determinism.
+func TestEngineResetReusesSlabs(t *testing.T) {
+	run := func(e *Engine) []int {
+		var got []int
+		e.After(30, func() { got = append(got, 3) })
+		e.After(10, func() { got = append(got, 1) })
+		e.At(20, func() { got = append(got, 2) })
+		e.Run(0)
+		return got
+	}
+	eng := NewEngine()
+	first := run(eng)
+	eng.Reset()
+	if eng.Now() != 0 || eng.Pending() != 0 {
+		t.Fatalf("reset engine: now=%v pending=%d", eng.Now(), eng.Pending())
+	}
+	second := run(eng)
+	fresh := run(NewEngine())
+	for i := range fresh {
+		if first[i] != fresh[i] || second[i] != fresh[i] {
+			t.Fatalf("reused engine diverged: first=%v second=%v fresh=%v", first, second, fresh)
+		}
+	}
+	// Reset with events still pending must drop them.
+	eng.After(5, func() { t.Error("event survived Reset") })
+	eng.Reset()
+	if n := eng.Run(0); n != 0 {
+		t.Errorf("ran %d events after Reset", n)
+	}
+}
+
+// TestResourceAccessors covers the diagnostic getters the cluster
+// utilization reporting reads.
+func TestResourceAccessors(t *testing.T) {
+	var r Resource
+	if r.BusyUntil() != 0 || r.BusyTotal() != 0 || r.Queued() != 0 {
+		t.Fatalf("zero resource: %+v", r)
+	}
+	if got := r.Utilization(0); got != 0 {
+		t.Errorf("Utilization with no elapsed time = %v, want 0", got)
+	}
+	done := r.Schedule(10, 30)
+	if done != 40 || r.BusyUntil() != 40 || r.Queued() != 1 {
+		t.Errorf("Schedule: done=%v busyUntil=%v queued=%d", done, r.BusyUntil(), r.Queued())
+	}
+	if got := r.Utilization(60); got != 0.5 {
+		t.Errorf("Utilization = %v, want 0.5", got)
+	}
+	if got := r.Utilization(15); got != 1 {
+		t.Errorf("Utilization clamps at 1, got %v", got)
+	}
+	r.Release()
+	if r.Queued() != 0 {
+		t.Errorf("Queued after Release = %d", r.Queued())
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"hash"
 	"hash/crc32"
+	"hash/maphash"
 	"io"
 
 	"phttp/internal/core"
@@ -90,6 +91,7 @@ func (cw *countWriter) Write(p []byte) (int, error) {
 // was not already (EnsureIDs). It returns the bytes written.
 func WriteBinary(w io.Writer, t *Trace, configHash uint64) (int64, error) {
 	t.EnsureIDs()
+	catalog := t.Catalog()
 	nTargets := int(t.Interner.HighWater())
 
 	// One size per target, from the requests (validated uniform) and
@@ -148,12 +150,12 @@ func WriteBinary(w io.Writer, t *Trace, configHash uint64) (int64, error) {
 	putUvarint(uint64(nTargets))
 	for slot := 0; slot < nTargets; slot++ {
 		name := t.Interner.Name(core.TargetID(slot + 1))
-		catalog, inSizes := t.Sizes[name]
-		if inSizes && seen[slot] && catalog != sizes[slot] {
-			return 0, fmt.Errorf("trace: target %q requested with size %d but cataloged at %d", name, sizes[slot], catalog)
+		cataloged, inSizes := catalog[name]
+		if inSizes && seen[slot] && cataloged != sizes[slot] {
+			return 0, fmt.Errorf("trace: target %q requested with size %d but cataloged at %d", name, sizes[slot], cataloged)
 		}
 		if !seen[slot] {
-			sizes[slot] = catalog
+			sizes[slot] = cataloged
 		}
 		putString(string(name))
 		putUvarint(uint64(sizes[slot]))
@@ -165,7 +167,7 @@ func WriteBinary(w io.Writer, t *Trace, configHash uint64) (int64, error) {
 	}
 
 	extras := make([]core.Target, 0)
-	for name := range t.Sizes {
+	for name := range catalog {
 		if _, ok := t.Interner.Lookup(name); !ok {
 			extras = append(extras, name)
 		}
@@ -174,7 +176,7 @@ func WriteBinary(w io.Writer, t *Trace, configHash uint64) (int64, error) {
 	putUvarint(uint64(len(extras)))
 	for _, name := range extras {
 		putString(string(name))
-		putUvarint(uint64(t.Sizes[name]))
+		putUvarint(uint64(catalog[name]))
 	}
 
 	putUvarint(uint64(len(t.Conns)))
@@ -215,7 +217,9 @@ func WriteBinary(w io.Writer, t *Trace, configHash uint64) (int64, error) {
 // streaming decoder spent more time in interface dispatch than the
 // generator spends drawing samples. A trace's in-memory form is larger
 // than its file, so the transient buffer never dominates. Callers that
-// already hold the bytes (os.ReadFile) should use ReadBinaryBytes.
+// already hold the bytes (os.ReadFile) should use ReadBinaryBytes; callers
+// loading a cache file should use ReadBinaryMapped, which skips the copy
+// entirely on platforms with mmap.
 func ReadBinary(r io.Reader) (*Trace, uint64, error) {
 	data, err := io.ReadAll(bufio.NewReaderSize(r, 1<<16))
 	if err != nil {
@@ -226,7 +230,37 @@ func ReadBinary(r io.Reader) (*Trace, uint64, error) {
 
 // ReadBinaryBytes is ReadBinary over an in-memory encoding.
 func ReadBinaryBytes(data []byte) (*Trace, uint64, error) {
-	return readBinary(data, nil)
+	return readBinary(data, nil, false)
+}
+
+// ReadBinaryMapped reads one binary trace file through a read-only memory
+// mapping: the checksum is verified once over the mapped bytes, then the
+// decoder builds the trace in place — target strings alias the mapped file
+// instead of being copied, so a cache hit costs a fixed handful of
+// allocations regardless of table size. The returned trace pins the
+// mapping (and traces sharing its interner, like a donor-loaded flattening,
+// inherit the pin); the mapped strings are valid for as long as the trace
+// is reachable, and a finalizer unmaps afterwards. Callers that extract
+// names to outlive the trace must copy them. On platforms without mmap
+// this degrades to the copying loader.
+func ReadBinaryMapped(path string) (*Trace, uint64, error) {
+	m, data, err := mapFile(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: %v", ErrCorruptTrace, err)
+	}
+	t, configHash, err := readBinary(data, nil, mmapSupported)
+	if err != nil {
+		m.unmap()
+		return nil, 0, err
+	}
+	t.mapping = m
+	if t.cat != nil {
+		// The deferred catalog's columns alias the mapping too; pin it
+		// there as well so materialization is safe even if the collector
+		// proves the trace itself dead mid-call.
+		t.cat.mapping = m
+	}
+	return t, configHash, nil
 }
 
 // readBinaryShared reads a trace whose target table must byte-for-byte
@@ -235,10 +269,62 @@ func ReadBinaryBytes(data []byte) (*Trace, uint64, error) {
 // fast path for loading the flattened half of a cached workload pair. A
 // table mismatch is reported as corruption.
 func readBinaryShared(data []byte, donor *Trace) (*Trace, uint64, error) {
-	return readBinary(data, donor)
+	return readBinary(data, donor, false)
 }
 
-func readBinary(data []byte, donor *Trace) (*Trace, uint64, error) {
+// binDecoder walks a binary trace payload. Methods on a local struct
+// replace the closure-based helpers an earlier version used: the mapped
+// cache-hit path budgets every allocation, and three escaping closures per
+// load were a measurable slice of its fixed cost.
+type binDecoder struct {
+	rest []byte
+}
+
+func (d *binDecoder) uvarint() (uint64, error) {
+	// One-byte fast path: popular targets get low slots (first
+	// appearance under a Zipf-skewed draw), so most varints in the
+	// hot connection section are single bytes.
+	if len(d.rest) > 0 && d.rest[0] < 0x80 {
+		v := uint64(d.rest[0])
+		d.rest = d.rest[1:]
+		return v, nil
+	}
+	v, n := binary.Uvarint(d.rest)
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: truncated varint", ErrCorruptTrace)
+	}
+	d.rest = d.rest[n:]
+	return v, nil
+}
+
+func (d *binDecoder) bytes() ([]byte, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxBinString || n > uint64(len(d.rest)) {
+		return nil, fmt.Errorf("%w: %d-byte string with %d bytes left", ErrCorruptTrace, n, len(d.rest))
+	}
+	b := d.rest[:n]
+	d.rest = d.rest[n:]
+	return b, nil
+}
+
+// capHint bounds a preallocation by what the declared count could
+// plausibly be: every encoded item takes at least one byte, so a count
+// beyond the remaining payload is corruption, not a reason to allocate.
+func (d *binDecoder) capHint(n uint64) int {
+	if n > uint64(len(d.rest)) {
+		return len(d.rest)
+	}
+	return int(n)
+}
+
+// readBinary decodes one encoded trace. A non-nil donor lends its target
+// table (see readBinaryShared). alias makes target strings alias data
+// itself instead of copying through a blob — only valid when data outlives
+// the trace, i.e. for a pinned mapping (ReadBinaryMapped).
+func readBinary(data []byte, donor *Trace, alias bool) (*Trace, uint64, error) {
 	if len(data) < 20 {
 		return nil, 0, fmt.Errorf("%w: %d-byte file", ErrCorruptTrace, len(data))
 	}
@@ -253,60 +339,22 @@ func readBinary(data []byte, donor *Trace) (*Trace, uint64, error) {
 		return nil, 0, fmt.Errorf("trace: binary format version %d, this build reads %d", v, BinFormatVersion)
 	}
 	configHash := binary.LittleEndian.Uint64(payload[8:16])
-	rest := payload[16:]
+	d := binDecoder{rest: payload[16:]}
 
-	getUvarint := func() (uint64, error) {
-		// One-byte fast path: popular targets get low slots (first
-		// appearance under a Zipf-skewed draw), so most varints in the
-		// hot connection section are single bytes.
-		if len(rest) > 0 && rest[0] < 0x80 {
-			v := uint64(rest[0])
-			rest = rest[1:]
-			return v, nil
-		}
-		v, n := binary.Uvarint(rest)
-		if n <= 0 {
-			return 0, fmt.Errorf("%w: truncated varint", ErrCorruptTrace)
-		}
-		rest = rest[n:]
-		return v, nil
-	}
-	getBytes := func() ([]byte, error) {
-		n, err := getUvarint()
-		if err != nil {
-			return nil, err
-		}
-		if n > maxBinString || n > uint64(len(rest)) {
-			return nil, fmt.Errorf("%w: %d-byte string with %d bytes left", ErrCorruptTrace, n, len(rest))
-		}
-		b := rest[:n]
-		rest = rest[n:]
-		return b, nil
-	}
-	// capHint bounds a preallocation by what the declared count could
-	// plausibly be: every encoded item takes at least one byte, so a count
-	// beyond the remaining payload is corruption, not a reason to allocate.
-	capHint := func(n uint64) int {
-		if n > uint64(len(rest)) {
-			return len(rest)
-		}
-		return int(n)
-	}
-
-	totalBatches, err := getUvarint()
+	totalBatches, err := d.uvarint()
 	if err != nil {
 		return nil, 0, err
 	}
-	totalRequests, err := getUvarint()
+	totalRequests, err := d.uvarint()
 	if err != nil {
 		return nil, 0, err
 	}
 	// Every batch and request takes at least one payload byte, so totals
 	// beyond the payload are corruption, not allocation requests.
-	if totalBatches > uint64(len(rest)) || totalRequests > uint64(len(rest)) {
+	if totalBatches > uint64(len(d.rest)) || totalRequests > uint64(len(d.rest)) {
 		return nil, 0, fmt.Errorf("%w: totals (%d batches, %d requests) exceed payload", ErrCorruptTrace, totalBatches, totalRequests)
 	}
-	layout, err := getUvarint()
+	layout, err := d.uvarint()
 	if err != nil {
 		return nil, 0, err
 	}
@@ -314,62 +362,120 @@ func readBinary(data []byte, donor *Trace) (*Trace, uint64, error) {
 		return nil, 0, fmt.Errorf("%w: unknown connection layout %d", ErrCorruptTrace, layout)
 	}
 
-	nTargets, err := getUvarint()
+	nTargets, err := d.uvarint()
 	if err != nil {
 		return nil, 0, err
 	}
 	var (
 		t     *Trace
 		names []core.Target
+		sizes []int64
 	)
-	sizes := make([]int64, 0, capHint(nTargets))
 	if donor != nil {
-		// Adopt the donor's table: verify each encoded name against the
+		// Adopt the donor's table: verify each encoded entry against the
 		// donor's (byte compare, no per-entry string allocation or map
-		// insert) and share its Interner and Sizes outright.
-		names = donor.Interner.AppendNames(nil)
+		// insert) and share its Interner and Sizes outright. The donor's
+		// mapping pin (if any) carries over — the shared table may alias
+		// the donor's mapped file, and this trace keeps it reachable. A
+		// lazily-loaded donor lends its name table and columnar sizes too,
+		// so this decode allocates nothing per table entry at all.
+		names = donor.Interner.BulkNames()
+		if names == nil {
+			names = donor.Interner.AppendNames(nil)
+		}
 		if uint64(len(names)) != nTargets {
 			return nil, 0, fmt.Errorf("%w: table has %d targets, donor %d", ErrCorruptTrace, nTargets, len(names))
 		}
-		t = &Trace{Sizes: donor.Sizes, Interner: donor.Interner}
+		t = &Trace{Sizes: donor.Sizes, Interner: donor.Interner, cat: donor.cat, mapping: donor.mapping}
+		var donorSizes []int64
+		if donor.cat != nil && len(donor.cat.sizes) >= len(names) {
+			donorSizes = donor.cat.sizes
+		} else {
+			sizes = make([]int64, 0, len(names))
+		}
 		for i := uint64(0); i < nTargets; i++ {
-			name, err := getBytes()
+			name, err := d.bytes()
 			if err != nil {
 				return nil, 0, err
 			}
 			if string(name) != string(names[i]) {
 				return nil, 0, fmt.Errorf("%w: table entry %d is %q, donor has %q", ErrCorruptTrace, i, name, names[i])
 			}
-			size, err := getUvarint()
+			size, err := d.uvarint()
 			if err != nil {
 				return nil, 0, err
 			}
-			if _, err := getUvarint(); err != nil { // flags, encoded in donor's Sizes
+			if _, err := d.uvarint(); err != nil { // flags, encoded in donor's Sizes
 				return nil, 0, err
 			}
-			sizes = append(sizes, int64(size))
+			if donorSizes != nil {
+				if donorSizes[i] != int64(size) {
+					return nil, 0, fmt.Errorf("%w: table entry %d sized %d, donor has %d", ErrCorruptTrace, i, size, donorSizes[i])
+				}
+			} else {
+				sizes = append(sizes, int64(size))
+			}
 		}
+		if donorSizes != nil {
+			sizes = donorSizes
+		}
+	} else if alias {
+		// Zero-copy table: every name aliases the mapped file's bytes (the
+		// caller pins the mapping in the returned trace), and the Sizes
+		// catalog stays columnar — names/sizes/flags slices — until some
+		// caller asks for the map form (Trace.Catalog). Replay never does,
+		// so a cache hit skips building a catalog map at all: on the
+		// reference workload that map alone is ~70 allocated objects.
+		names = make([]core.Target, 0, d.capHint(nTargets))
+		sizes = make([]int64, 0, d.capHint(nTargets))
+		flags := make([]uint8, 0, d.capHint(nTargets))
+		for i := uint64(0); i < nTargets; i++ {
+			nameB, err := d.bytes()
+			if err != nil {
+				return nil, 0, err
+			}
+			size, err := d.uvarint()
+			if err != nil {
+				return nil, 0, err
+			}
+			fl, err := d.uvarint()
+			if err != nil {
+				return nil, 0, err
+			}
+			names = append(names, core.Target(aliasString(nameB)))
+			sizes = append(sizes, int64(size))
+			flags = append(flags, uint8(fl))
+		}
+		if hasDuplicate(names) {
+			return nil, 0, fmt.Errorf("%w: duplicate target in table", ErrCorruptTrace)
+		}
+		t = &Trace{cat: &lazyCatalog{names: names, sizes: sizes, flags: flags}}
+		// Rebuild the interner as a deferred bulk fill: the ID→name side is
+		// ready immediately (that is all replay touches) and the name→ID map
+		// materializes only if someone interns or looks up by name.
+		t.Interner = core.NewInternerFromNames(names)
 	} else {
-		t = &Trace{Sizes: make(map[core.Target]int64, capHint(nTargets))}
+		t = &Trace{Sizes: make(map[core.Target]int64, d.capHint(nTargets))}
+		sizes = make([]int64, 0, d.capHint(nTargets))
 		// All names share one backing blob (sliced after the scan) — one
 		// allocation instead of one per target.
 		var (
 			nameData  []byte
-			offs      = make([]int, 1, capHint(nTargets)+1)
-			entryFlag = make([]uint8, 0, capHint(nTargets))
+			offs      = make([]int, 1, d.capHint(nTargets)+1)
+			entryFlag = make([]uint8, 0, d.capHint(nTargets))
 		)
 		for i := uint64(0); i < nTargets; i++ {
-			name, err := getBytes()
+			name, err := d.bytes()
 			if err != nil {
 				return nil, 0, err
 			}
 			nameData = append(nameData, name...)
 			offs = append(offs, len(nameData))
-			size, err := getUvarint()
+			size, err := d.uvarint()
 			if err != nil {
 				return nil, 0, err
 			}
-			flags, err := getUvarint()
+			flags, err := d.uvarint()
 			if err != nil {
 				return nil, 0, err
 			}
@@ -384,35 +490,44 @@ func readBinary(data []byte, donor *Trace) (*Trace, uint64, error) {
 				t.Sizes[names[i]] = sizes[i]
 			}
 		}
+		if hasDuplicate(names) {
+			return nil, 0, fmt.Errorf("%w: duplicate target in table", ErrCorruptTrace)
+		}
 		// Rebuild the interner in one presized bulk fill — per-target
 		// Intern calls pay a lock round trip and incremental map growth,
 		// which dominated the load profile.
 		t.Interner = core.NewInternerFromNames(names)
-		if t.Interner.Len() != len(names) {
-			return nil, 0, fmt.Errorf("%w: duplicate target in table", ErrCorruptTrace)
-		}
 	}
 
-	nExtras, err := getUvarint()
+	nExtras, err := d.uvarint()
 	if err != nil {
 		return nil, 0, err
 	}
 	for i := uint64(0); i < nExtras; i++ {
-		name, err := getBytes()
+		name, err := d.bytes()
 		if err != nil {
 			return nil, 0, err
 		}
-		size, err := getUvarint()
+		size, err := d.uvarint()
 		if err != nil {
 			return nil, 0, err
 		}
-		if donor == nil {
+		switch {
+		case donor != nil:
+			// The extras are already in the donor's shared catalog.
+		case t.cat != nil:
+			// Alias mode keeps the catalog columnar; extras are copied (not
+			// aliased) — generated workloads have none, so pinning map keys
+			// to the mapping would buy nothing.
+			t.cat.names = append(t.cat.names, core.Target(string(name)))
+			t.cat.sizes = append(t.cat.sizes, int64(size))
+			t.cat.flags = append(t.cat.flags, flagInSizes)
+		default:
 			t.Sizes[core.Target(name)] = int64(size)
 		}
-		// With a donor the extras are already in the shared Sizes map.
 	}
 
-	nConns, err := getUvarint()
+	nConns, err := d.uvarint()
 	if err != nil {
 		return nil, 0, err
 	}
@@ -429,7 +544,7 @@ func readBinary(data []byte, donor *Trace) (*Trace, uint64, error) {
 			return nil, 0, fmt.Errorf("%w: single-request layout totals mismatch", ErrCorruptTrace)
 		}
 		conns := make([]core.Connection, nConns)
-		p, pos := rest, 0
+		p, pos := d.rest, 0
 		for i := range conns {
 			var slot uint64
 			if pos < len(p) && p[pos] < 0x80 {
@@ -453,16 +568,15 @@ func readBinary(data []byte, donor *Trace) (*Trace, uint64, error) {
 			batchSlab[i] = core.Batch(reqSlab[i : i+1 : i+1])
 			conns[i] = core.Connection{Batches: batchSlab[i : i+1 : i+1]}
 		}
-		rest = p[pos:]
 		t.Conns = conns
-		if len(rest) != 0 {
+		if rest := p[pos:]; len(rest) != 0 {
 			return nil, 0, fmt.Errorf("%w: %d bytes of trailing garbage", ErrCorruptTrace, len(rest))
 		}
 		return t, configHash, nil
 	}
-	t.Conns = make([]core.Connection, 0, capHint(nConns))
+	t.Conns = make([]core.Connection, 0, d.capHint(nConns))
 	for i := uint64(0); i < nConns; i++ {
-		nBatches, err := getUvarint()
+		nBatches, err := d.uvarint()
 		if err != nil {
 			return nil, 0, err
 		}
@@ -475,7 +589,7 @@ func readBinary(data []byte, donor *Trace) (*Trace, uint64, error) {
 			batchSlab = batchSlab[nBatches:]
 		}
 		for j := range batches {
-			nReqs, err := getUvarint()
+			nReqs, err := d.uvarint()
 			if err != nil {
 				return nil, 0, err
 			}
@@ -488,7 +602,7 @@ func readBinary(data []byte, donor *Trace) (*Trace, uint64, error) {
 				reqSlab = reqSlab[nReqs:]
 			}
 			for k := range batch {
-				slot, err := getUvarint()
+				slot, err := d.uvarint()
 				if err != nil {
 					return nil, 0, err
 				}
@@ -509,8 +623,8 @@ func readBinary(data []byte, donor *Trace) (*Trace, uint64, error) {
 		return nil, 0, fmt.Errorf("%w: header totals exceed encoded batches/requests", ErrCorruptTrace)
 	}
 
-	if len(rest) != 0 {
-		return nil, 0, fmt.Errorf("%w: %d bytes of trailing garbage", ErrCorruptTrace, len(rest))
+	if len(d.rest) != 0 {
+		return nil, 0, fmt.Errorf("%w: %d bytes of trailing garbage", ErrCorruptTrace, len(d.rest))
 	}
 	return t, configHash, nil
 }
@@ -545,6 +659,40 @@ func (cr *countReader) Read(p []byte) (int, error) {
 	n, err := cr.r.Read(p)
 	cr.n += int64(n)
 	return n, err
+}
+
+// dupSeed keys the hasDuplicate probe; one process-wide seed is fine
+// because the table is an ephemeral local.
+var dupSeed = maphash.MakeSeed()
+
+// hasDuplicate reports whether names repeats a target, via one
+// open-addressed probe table instead of a map: the mapped cache-hit path
+// budgets allocations, and a map over the reference table costs ~70
+// allocated objects where this costs exactly one.
+func hasDuplicate(names []core.Target) bool {
+	if len(names) < 2 {
+		return false
+	}
+	size := 1
+	for size < 2*len(names) {
+		size <<= 1
+	}
+	idx := make([]int, size)
+	mask := uint64(size - 1)
+	for i, n := range names {
+		h := maphash.String(dupSeed, string(n))
+		for p := h & mask; ; p = (p + 1) & mask {
+			j := idx[p]
+			if j == 0 {
+				idx[p] = i + 1
+				break
+			}
+			if names[j-1] == n {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // sortTargets sorts targets lexicographically (insertion sort is fine: the

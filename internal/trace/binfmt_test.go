@@ -2,8 +2,12 @@ package trace
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"io"
+	"os"
+	"path/filepath"
 	"reflect"
 	"testing"
 
@@ -73,68 +77,139 @@ func TestBinaryWriterToReaderFrom(t *testing.T) {
 	}
 }
 
-// TestBinaryChecksumRejectsCorruption flips single bytes across the file —
-// header, target table, connection payload, trailer — and demands every
-// corruption is rejected.
-func TestBinaryChecksumRejectsCorruption(t *testing.T) {
+// binReaders enumerates both decode paths — the in-memory copying reader
+// and the mmap-backed zero-copy reader — so corruption and failure-mode
+// tests run identically against each. On platforms without mmap the
+// "mapped" entry exercises the copying fallback through the same API.
+func binReaders() []struct {
+	name string
+	read func(t *testing.T, data []byte) (*Trace, uint64, error)
+} {
+	return []struct {
+		name string
+		read func(t *testing.T, data []byte) (*Trace, uint64, error)
+	}{
+		{"bytes", func(t *testing.T, data []byte) (*Trace, uint64, error) {
+			t.Helper()
+			return ReadBinaryBytes(data)
+		}},
+		{"mapped", func(t *testing.T, data []byte) (*Trace, uint64, error) {
+			t.Helper()
+			path := filepath.Join(t.TempDir(), "corrupt.trace")
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			return ReadBinaryMapped(path)
+		}},
+	}
+}
+
+// restamp recomputes the CRC trailer after a deliberate payload mutation,
+// so tests can exercise semantic validation (duplicate targets, bad
+// layouts) that sits behind the checksum.
+func restamp(data []byte) []byte {
+	crc := crc32.Checksum(data[:len(data)-4], crcTable)
+	binary.LittleEndian.PutUint32(data[len(data)-4:], crc)
+	return data
+}
+
+// TestBinaryRejectsCorruption is the shared failure-mode suite: every
+// case mutates a clean encoding, and both decode paths (copying and
+// mapped) must reject it. Flip cases check the one-pass CRC (including
+// "CRC mismatch after map"); truncations check bounds handling; the
+// huge-count case must fail without allocating for the declared count;
+// the duplicate-target case restamps the checksum so the semantic check
+// itself is what fires.
+func TestBinaryRejectsCorruption(t *testing.T) {
 	tr := binTestTrace(t)
 	var buf bytes.Buffer
 	if _, err := WriteBinary(&buf, tr, 42); err != nil {
 		t.Fatal(err)
 	}
 	clean := buf.Bytes()
-	for _, pos := range []int{5, 20, 200, len(clean) / 2, len(clean) - 2} {
-		corrupt := append([]byte(nil), clean...)
-		corrupt[pos] ^= 0x40
-		if _, _, err := ReadBinary(bytes.NewReader(corrupt)); err == nil {
-			t.Errorf("corruption at byte %d of %d was not detected", pos, len(clean))
+	flip := func(pos int) func(*testing.T, []byte) []byte {
+		return func(_ *testing.T, b []byte) []byte { b[pos] ^= 0x40; return b }
+	}
+	truncate := func(n int) func(*testing.T, []byte) []byte {
+		return func(_ *testing.T, b []byte) []byte { return b[:n] }
+	}
+	cases := []struct {
+		name string
+		// mutate owns its argument (a fresh copy of clean).
+		mutate func(*testing.T, []byte) []byte
+		// anyError accepts any error (e.g. version mismatch is not
+		// ErrCorruptTrace); otherwise errors.Is(err, ErrCorruptTrace).
+		anyError bool
+	}{
+		{name: "flip-header", mutate: flip(5)},
+		{name: "flip-table", mutate: flip(20)},
+		{name: "flip-payload", mutate: flip(200)},
+		{name: "flip-middle", mutate: flip(len(clean) / 2)},
+		{name: "flip-trailer", mutate: flip(len(clean) - 2)},
+		{name: "empty-file", mutate: truncate(0)},
+		{name: "truncated-magic", mutate: truncate(3)},
+		{name: "truncated-header", mutate: truncate(15)},
+		{name: "header-only", mutate: truncate(16)},
+		{name: "truncated-table", mutate: truncate(40)},
+		{name: "truncated-tail", mutate: truncate(len(clean) - 3)},
+		{name: "bad-magic", mutate: func(_ *testing.T, b []byte) []byte { b[0] = 'X'; return b }},
+		{name: "future-version", mutate: func(_ *testing.T, b []byte) []byte { b[4] = BinFormatVersion + 1; return b }, anyError: true},
+		{name: "huge-count", mutate: func(*testing.T, []byte) []byte {
+			// A header declaring ~2^42 batches with no payload behind it:
+			// the reader must fail on truncation without allocating.
+			return []byte("PHTB\x01\x00\x00\x00" + "\x00\x00\x00\x00\x00\x00\x00\x00" +
+				"\x80\x80\x80\x80\x80\x80")
+		}},
+		{name: "duplicate-target", mutate: func(t *testing.T, b []byte) []byte {
+			// Walk the target table for two equal-length names, overwrite
+			// the second with the first, and restamp the checksum — only
+			// the duplicate check itself can reject the result.
+			d := binDecoder{rest: b[16:]}
+			for i := 0; i < 3; i++ { // totals ×2, layout
+				if _, err := d.uvarint(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			nTargets, err := d.uvarint()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var prev []byte
+			for i := uint64(0); i < nTargets; i++ {
+				name, err := d.bytes()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if prev != nil && len(prev) == len(name) && !bytes.Equal(prev, name) {
+					copy(name, prev)
+					return restamp(b)
+				}
+				prev = name
+				if _, err := d.uvarint(); err != nil { // size
+					t.Fatal(err)
+				}
+				if _, err := d.uvarint(); err != nil { // flags
+					t.Fatal(err)
+				}
+			}
+			t.Skip("no equal-length adjacent table entries to duplicate")
+			return nil
+		}},
+	}
+	for _, rd := range binReaders() {
+		for _, tc := range cases {
+			t.Run(rd.name+"/"+tc.name, func(t *testing.T) {
+				data := tc.mutate(t, append([]byte(nil), clean...))
+				_, _, err := rd.read(t, data)
+				if tc.anyError {
+					if err == nil {
+						t.Error("corruption accepted")
+					}
+				} else if !errors.Is(err, ErrCorruptTrace) {
+					t.Errorf("err = %v, want ErrCorruptTrace", err)
+				}
+			})
 		}
-	}
-}
-
-func TestBinaryRejectsTruncation(t *testing.T) {
-	tr := binTestTrace(t)
-	var buf bytes.Buffer
-	if _, err := WriteBinary(&buf, tr, 0); err != nil {
-		t.Fatal(err)
-	}
-	clean := buf.Bytes()
-	for _, n := range []int{0, 3, 15, 16, 40, len(clean) - 3} {
-		if _, _, err := ReadBinary(bytes.NewReader(clean[:n])); !errors.Is(err, ErrCorruptTrace) {
-			t.Errorf("truncation to %d bytes: err = %v, want ErrCorruptTrace", n, err)
-		}
-	}
-}
-
-func TestBinaryRejectsBadMagicAndVersion(t *testing.T) {
-	tr := binTestTrace(t)
-	var buf bytes.Buffer
-	if _, err := WriteBinary(&buf, tr, 0); err != nil {
-		t.Fatal(err)
-	}
-	bad := append([]byte(nil), buf.Bytes()...)
-	bad[0] = 'X'
-	if _, _, err := ReadBinary(bytes.NewReader(bad)); !errors.Is(err, ErrCorruptTrace) {
-		t.Errorf("bad magic: %v", err)
-	}
-	future := append([]byte(nil), buf.Bytes()...)
-	future[4] = BinFormatVersion + 1
-	if _, _, err := ReadBinary(bytes.NewReader(future)); err == nil {
-		t.Error("future format version accepted")
-	}
-}
-
-// TestBinaryHugeCountDoesNotAllocate crafts a header declaring 2^50
-// targets; the reader must fail on truncation without trying to allocate
-// for the declared count.
-func TestBinaryHugeCountDoesNotAllocate(t *testing.T) {
-	var buf bytes.Buffer
-	buf.Write([]byte("PHTB"))
-	buf.Write([]byte{1, 0, 0, 0})                         // version
-	buf.Write(make([]byte, 8))                            // config hash
-	buf.Write([]byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80}) // truncated huge uvarint
-	if _, _, err := ReadBinary(bytes.NewReader(buf.Bytes())); !errors.Is(err, ErrCorruptTrace) {
-		t.Errorf("huge count: %v", err)
 	}
 }
 

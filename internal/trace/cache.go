@@ -5,6 +5,7 @@ import (
 	"hash/fnv"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 )
 
 // The trace cache persists generated workloads (DESIGN.md §12): figure
@@ -57,9 +58,50 @@ func ConfigHash(cfg SynthConfig) uint64 {
 // CachePaths returns the cache file paths for cfg under dir: the P-HTTP
 // trace and the flattened HTTP/1.0 trace.
 func CachePaths(dir string, cfg SynthConfig) (phttp, flat string) {
-	h := ConfigHash(cfg)
-	return filepath.Join(dir, fmt.Sprintf("synth-%016x.phttp.trace", h)),
-		filepath.Join(dir, fmt.Sprintf("synth-%016x.http10.trace", h))
+	return cachePaths(dir, ConfigHash(cfg))
+}
+
+// pathMemo remembers the last cache-entry paths built: sweeps and
+// benchmark loops load the same workload config over and over, and the
+// hit path budgets allocations.
+var pathMemo atomic.Pointer[pathMemoEntry]
+
+type pathMemoEntry struct {
+	dir         string
+	h           uint64
+	phttp, flat string
+}
+
+// cachePaths builds the pair from an already-computed hash, so the hit
+// path hashes the config once (hex16 instead of Sprintf for the same
+// reason: the %x verbs cost a boxing allocation each).
+func cachePaths(dir string, h uint64) (phttp, flat string) {
+	if e := pathMemo.Load(); e != nil && e.h == h && e.dir == dir {
+		return e.phttp, e.flat
+	}
+	hex := hex16(h)
+	phttp = filepath.Join(dir, "synth-"+hex+".phttp.trace")
+	flat = filepath.Join(dir, "synth-"+hex+".http10.trace")
+	pathMemo.Store(&pathMemoEntry{dir: dir, h: h, phttp: phttp, flat: flat})
+	return phttp, flat
+}
+
+// hex16 formats h as 16 lowercase hex digits, matching fmt's %016x.
+func hex16(h uint64) string {
+	const digits = "0123456789abcdef"
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = digits[h&0xf]
+		h >>= 4
+	}
+	return string(b[:])
+}
+
+// LoadOptions tunes how LoadOrGenerateWith loads cached workloads.
+type LoadOptions struct {
+	// NoMmap forces the copying loader even where mmap is available —
+	// the benchmark rig loads both ways to report what zero-copy saves.
+	NoMmap bool
 }
 
 // LoadOrGenerate returns the workload for cfg, loading both cached forms
@@ -68,23 +110,41 @@ func CachePaths(dir string, cfg SynthConfig) (phttp, flat string) {
 // cache for next time. The second return reports a cache hit. Invalid or
 // corrupt cache files are regenerated, not errors; only generation or
 // write failures surface.
+//
+// Cache hits are memory-mapped where the platform allows (see
+// ReadBinaryMapped): the returned traces alias the mapped files and pin
+// the mappings for their lifetime. Concurrent misses for the same config —
+// parallel benchmark jobs, a sweep racing a figure script — serialize on
+// an advisory lock next to the cache entry, so the workload is generated
+// once and the losers load it as a hit.
 func LoadOrGenerate(dir string, cfg SynthConfig) (*Workload, bool, error) {
+	return LoadOrGenerateWith(dir, cfg, LoadOptions{})
+}
+
+// LoadOrGenerateWith is LoadOrGenerate with explicit load options.
+func LoadOrGenerateWith(dir string, cfg SynthConfig, opts LoadOptions) (*Workload, bool, error) {
 	h := ConfigHash(cfg)
-	pPath, fPath := CachePaths(dir, cfg)
-	if p, err := loadCached(pPath, h, nil); err == nil {
-		// The flattened form shares the P-HTTP trace's interner and sizes
-		// table on disk as in memory (Flatten10 semantics), so it loads
-		// against the already-built table instead of rebuilding one.
-		if f, err := loadCached(fPath, h, p); err == nil {
-			return &Workload{PHTTP: p, Flat: f}, true, nil
+	pPath, fPath := cachePaths(dir, h)
+	if wl, ok := loadPair(pPath, fPath, h, opts); ok {
+		return wl, true, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, false, fmt.Errorf("trace: cache dir: %w", err)
+	}
+	// Serialize generators for this entry. A lock failure degrades to the
+	// pre-lock behavior — concurrent generation stays correct through
+	// writeCached's atomic rename, just duplicated — so it is not an error.
+	if unlock, err := lockFile(lockPath(dir, h)); err == nil {
+		defer unlock()
+		// Whoever held the lock may have generated the entry while we
+		// waited; loading their files is still a cache hit.
+		if wl, ok := loadPair(pPath, fPath, h, opts); ok {
+			return wl, true, nil
 		}
 	}
 
 	tr := NewSynth(cfg).Generate()
 	flat := tr.Flatten10()
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, false, fmt.Errorf("trace: cache dir: %w", err)
-	}
 	if err := writeCached(pPath, tr, h); err != nil {
 		return nil, false, err
 	}
@@ -94,16 +154,65 @@ func LoadOrGenerate(dir string, cfg SynthConfig) (*Workload, bool, error) {
 	return &Workload{PHTTP: tr, Flat: flat}, false, nil
 }
 
+// lockPath is the advisory generation lock for a cache entry. The file
+// stays behind (empty) — removing it would race new lockers.
+func lockPath(dir string, h uint64) string {
+	return filepath.Join(dir, "synth-"+hex16(h)+".lock")
+}
+
+// loadPair loads both cached forms, the flattened one against the P-HTTP
+// trace's table (see LoadOrGenerate). Any failure is a miss.
+func loadPair(pPath, fPath string, h uint64, opts LoadOptions) (*Workload, bool) {
+	p, err := loadCached(pPath, h, nil, opts)
+	if err != nil {
+		return nil, false
+	}
+	// The flattened form shares the P-HTTP trace's interner and sizes
+	// table on disk as in memory (Flatten10 semantics), so it loads
+	// against the already-built table instead of rebuilding one.
+	f, err := loadCached(fPath, h, p, opts)
+	if err != nil {
+		return nil, false
+	}
+	return &Workload{PHTTP: p, Flat: f}, true
+}
+
 // loadCached reads one cached trace, demanding the recorded config hash.
 // A non-nil donor lends its target table (see readBinaryShared).
-func loadCached(path string, want uint64, donor *Trace) (*Trace, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	t, got, err := readBinaryShared(data, donor)
-	if err != nil {
-		return nil, err
+func loadCached(path string, want uint64, donor *Trace, opts LoadOptions) (*Trace, error) {
+	var (
+		t   *Trace
+		got uint64
+	)
+	switch {
+	case opts.NoMmap || !mmapSupported:
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		t, got, err = readBinaryShared(data, donor)
+		if err != nil {
+			return nil, err
+		}
+	case donor != nil:
+		// The donor decode only verifies this file's table against the
+		// donor's and takes every retained string from the donor, so the
+		// mapping can be dropped as soon as the decode returns.
+		m, data, err := mapFile(path)
+		if err != nil {
+			return nil, err
+		}
+		t, got, err = readBinaryShared(data, donor)
+		m.unmap()
+		if err != nil {
+			return nil, err
+		}
+	default:
+		var err error
+		t, got, err = ReadBinaryMapped(path)
+		if err != nil {
+			return nil, err
+		}
 	}
 	if got != want {
 		return nil, fmt.Errorf("trace: cache file %s has config hash %016x, want %016x", path, got, want)

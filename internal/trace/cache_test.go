@@ -31,7 +31,7 @@ func TestLoadOrGenerateRoundTrip(t *testing.T) {
 		t.Fatal("second load missed the cache")
 	}
 	if !reflect.DeepEqual(cold.PHTTP.Conns, warm.PHTTP.Conns) ||
-		!reflect.DeepEqual(cold.PHTTP.Sizes, warm.PHTTP.Sizes) {
+		!reflect.DeepEqual(cold.PHTTP.Catalog(), warm.PHTTP.Catalog()) {
 		t.Error("cached P-HTTP trace differs from generated")
 	}
 	if warm.Flat == nil {

@@ -1,0 +1,34 @@
+//go:build !(darwin || dragonfly || freebsd || linux || netbsd || openbsd)
+
+package trace
+
+import "os"
+
+// Fallback for platforms without mmap/flock in the syscall package: cache
+// files are read whole (copy-on-load) and concurrent generators are not
+// serialized — writeCached's atomic rename keeps them correct, just
+// duplicating work.
+
+const mmapSupported = false
+
+const flockSupported = false
+
+// mapping is a no-op pin: the fallback loader owns ordinary heap bytes.
+type mapping struct{}
+
+// mapFile reads path whole; the "mapping" pins nothing.
+func mapFile(path string) (*mapping, []byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &mapping{}, data, nil
+}
+
+func (m *mapping) unmap() {}
+
+// aliasString copies: without a mapping to pin there is nothing to alias.
+func aliasString(b []byte) string { return string(b) }
+
+// lockFile is a no-op unlock; see the package note above.
+func lockFile(path string) (func(), error) { return func() {}, nil }

@@ -1,0 +1,209 @@
+package trace
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"phttp/internal/core"
+)
+
+// writeTraceFile writes tr in the binary format under a temp dir.
+func writeTraceFile(t *testing.T, tr *Trace, configHash uint64) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "mapped.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteBinary(f, tr, configHash); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestReadBinaryMappedRoundTrip is the zero-copy counterpart of
+// TestBinaryRoundTrip: a mapped load must be observably identical to the
+// written trace — connections with IDs, the (lazily materialized) catalog,
+// and the interner's two directions.
+func TestReadBinaryMappedRoundTrip(t *testing.T) {
+	tr := binTestTrace(t)
+	path := writeTraceFile(t, tr, 0xfeedface)
+	got, hash, err := ReadBinaryMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hash != 0xfeedface {
+		t.Errorf("config hash round trip = %x", hash)
+	}
+	if !reflect.DeepEqual(tr.Conns, got.Conns) {
+		t.Error("connections did not round-trip through the mapping")
+	}
+	if !reflect.DeepEqual(tr.Sizes, got.Catalog()) {
+		t.Error("catalog did not round-trip through the mapping")
+	}
+	if tr.Interner.Len() != got.Interner.Len() {
+		t.Fatalf("interner table %d targets, want %d", got.Interner.Len(), tr.Interner.Len())
+	}
+	for id := core.TargetID(1); int(id) <= tr.Interner.Len(); id++ {
+		name := got.Interner.Name(id)
+		if tr.Interner.Name(id) != name {
+			t.Fatalf("ID %d names %q, want %q", id, name, tr.Interner.Name(id))
+		}
+		if back, ok := got.Interner.Lookup(name); !ok || back != id {
+			t.Fatalf("Lookup(%q) = %d,%v, want %d", name, back, ok, id)
+		}
+	}
+}
+
+// TestReadBinaryMappedConcurrentReaders drives many goroutines over one
+// mapped trace — replaying connections, materializing the catalog,
+// interning and looking up names — so the race detector can vet the
+// mapping-aliased strings and the lazily materialized tables.
+func TestReadBinaryMappedConcurrentReaders(t *testing.T) {
+	tr := binTestTrace(t)
+	path := writeTraceFile(t, tr, 1)
+	got, _, err := ReadBinaryMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var bytes int64
+			for _, c := range got.Conns {
+				for _, b := range c.Batches {
+					for _, r := range b {
+						bytes += r.Size
+						if got.Interner.Name(r.ID) != r.Target {
+							t.Errorf("worker %d: ID %d resolves to %q, want %q", w, r.ID, got.Interner.Name(r.ID), r.Target)
+							return
+						}
+					}
+				}
+			}
+			if bytes != tr.Bytes() {
+				t.Errorf("worker %d: replayed %d bytes, want %d", w, bytes, tr.Bytes())
+			}
+			// Exercise the lazily materialized sides concurrently too.
+			if len(got.Catalog()) != len(tr.Sizes) {
+				t.Errorf("worker %d: catalog has %d entries, want %d", w, len(got.Catalog()), len(tr.Sizes))
+			}
+			if _, ok := got.Interner.Lookup(got.Conns[w].Batches[0][0].Target); !ok {
+				t.Errorf("worker %d: Lookup missed a table target", w)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestLoadOrGenerateNoMmapMatchesMapped pins the fallback path: the
+// copying loader must produce a workload observably identical to the
+// zero-copy one.
+func TestLoadOrGenerateNoMmapMatchesMapped(t *testing.T) {
+	dir := t.TempDir()
+	cfg := cacheTestConfig()
+	if _, _, err := LoadOrGenerate(dir, cfg); err != nil {
+		t.Fatal(err)
+	}
+	mapped, hit, err := LoadOrGenerate(dir, cfg)
+	if err != nil || !hit {
+		t.Fatalf("hit=%v err=%v", hit, err)
+	}
+	copied, hit, err := LoadOrGenerateWith(dir, cfg, LoadOptions{NoMmap: true})
+	if err != nil || !hit {
+		t.Fatalf("NoMmap: hit=%v err=%v", hit, err)
+	}
+	if !reflect.DeepEqual(mapped.PHTTP.Conns, copied.PHTTP.Conns) ||
+		!reflect.DeepEqual(mapped.Flat.Conns, copied.Flat.Conns) {
+		t.Error("NoMmap load differs from mapped load")
+	}
+	if !reflect.DeepEqual(mapped.PHTTP.Catalog(), copied.PHTTP.Catalog()) {
+		t.Error("NoMmap catalog differs from mapped catalog")
+	}
+}
+
+// TestLoadOrGenerateSharesMapping (white-box) pins the mapping lifetime
+// contract of DESIGN.md §14: on mmap platforms the flattened form adopts
+// the P-HTTP trace's mapping pin (its shared interner aliases that file),
+// and Flatten10 of a mapped trace carries the pin as well.
+func TestLoadOrGenerateSharesMapping(t *testing.T) {
+	if !mmapSupported {
+		t.Skip("no mmap on this platform")
+	}
+	dir := t.TempDir()
+	cfg := cacheTestConfig()
+	if _, _, err := LoadOrGenerate(dir, cfg); err != nil {
+		t.Fatal(err)
+	}
+	wl, hit, err := LoadOrGenerate(dir, cfg)
+	if err != nil || !hit {
+		t.Fatalf("hit=%v err=%v", hit, err)
+	}
+	if wl.PHTTP.mapping == nil {
+		t.Fatal("mapped cache hit holds no mapping pin")
+	}
+	if wl.Flat.mapping != wl.PHTTP.mapping {
+		t.Error("flattened form does not share the P-HTTP trace's mapping pin")
+	}
+	if reflat := wl.PHTTP.Flatten10(); reflat.mapping != wl.PHTTP.mapping {
+		t.Error("Flatten10 dropped the mapping pin")
+	}
+}
+
+// TestLoadOrGenerateConcurrentLoaders races two loaders against a cold
+// cache. Both must return the identical workload; with flock support the
+// loser of the generation lock must load the winner's files as a cache
+// hit instead of regenerating (the satellite fix for the duplicate-work
+// race — flock contends between goroutines of one process too, since
+// locks are per open file description).
+func TestLoadOrGenerateConcurrentLoaders(t *testing.T) {
+	dir := t.TempDir()
+	cfg := cacheTestConfig()
+	type result struct {
+		wl  *Workload
+		hit bool
+		err error
+	}
+	results := make([]result, 2)
+	var wg sync.WaitGroup
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			wl, hit, err := LoadOrGenerate(dir, cfg)
+			results[i] = result{wl, hit, err}
+		}(i)
+	}
+	wg.Wait()
+	for i, r := range results {
+		if r.err != nil {
+			t.Fatalf("loader %d: %v", i, r.err)
+		}
+		if r.wl.PHTTP.Requests() == 0 {
+			t.Fatalf("loader %d returned an empty workload", i)
+		}
+	}
+	if !reflect.DeepEqual(results[0].wl.PHTTP.Conns, results[1].wl.PHTTP.Conns) ||
+		!reflect.DeepEqual(results[0].wl.Flat.Conns, results[1].wl.Flat.Conns) {
+		t.Error("concurrent loaders returned different workloads")
+	}
+	if flockSupported {
+		hits := 0
+		for _, r := range results {
+			if r.hit {
+				hits++
+			}
+		}
+		if hits != 1 {
+			t.Errorf("%d cache hits from two concurrent cold loaders, want exactly 1 (lock serializes generation)", hits)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+//go:build darwin || dragonfly || freebsd || linux || netbsd || openbsd
+
+package trace
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"syscall"
+	"unsafe"
+)
+
+// Zero-copy cache loads (DESIGN.md §14): on platforms with mmap and flock
+// the cache-hit path maps the trace file read-only and decodes in place —
+// target strings alias the mapped bytes instead of being copied through a
+// blob, and the kernel pages the file in on demand. The mapping outlives
+// the load: the returned Trace pins it (Trace.mapping) and a finalizer
+// unmaps once nothing reachable can alias the file.
+
+// mmapSupported reports whether this build maps cache files instead of
+// copying them (and, with flockSupported, selects the zero-copy loader).
+const mmapSupported = true
+
+// flockSupported reports whether LoadOrGenerate serializes concurrent
+// generators on an advisory file lock.
+const flockSupported = true
+
+// mapping pins one read-only file mapping. Strings produced by aliasString
+// over its bytes are valid exactly as long as the mapping object is
+// reachable; the Trace that owns them keeps the pointer.
+type mapping struct {
+	data []byte
+}
+
+// mapFile maps path read-only and returns the pinning mapping plus its
+// bytes. An empty file maps to nil bytes (the decoder rejects it as a
+// 0-byte trace). Concurrent cache rewrites are safe: writeCached replaces
+// the file by rename, which leaves existing mappings on the old inode
+// untouched.
+func mapFile(path string) (*mapping, []byte, error) {
+	// Raw syscalls instead of the os package: an os.File plus its FileInfo
+	// is four allocations per open on a path that budgets ~30 total.
+	fd, err := syscall.Open(path, syscall.O_RDONLY|syscall.O_CLOEXEC, 0)
+	if err != nil {
+		return nil, nil, &os.PathError{Op: "open", Path: path, Err: err}
+	}
+	defer syscall.Close(fd)
+	var st syscall.Stat_t
+	if err := syscall.Fstat(fd, &st); err != nil {
+		return nil, nil, &os.PathError{Op: "stat", Path: path, Err: err}
+	}
+	size := st.Size
+	if size == 0 {
+		return &mapping{}, nil, nil
+	}
+	if int64(int(size)) != size {
+		return nil, nil, fmt.Errorf("trace: %s: %d bytes exceeds the address space", path, size)
+	}
+	b, err := syscall.Mmap(fd, 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, fmt.Errorf("trace: mmap %s: %w", path, err)
+	}
+	m := &mapping{data: b}
+	runtime.SetFinalizer(m, (*mapping).unmap)
+	return m, b, nil
+}
+
+// unmap releases the mapping early (callers that provably retain no alias)
+// or from the finalizer. Idempotent.
+func (m *mapping) unmap() {
+	if m.data != nil {
+		syscall.Munmap(m.data)
+		m.data = nil
+	}
+}
+
+// aliasString returns a string aliasing b, which must be bytes of a live
+// mapping (or any buffer outliving every use of the string). This is the
+// one unsafe corner of the loader, kept behind the build tag so the
+// fallback build stays pure.
+func aliasString(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(&b[0], len(b))
+}
+
+// lockFile takes an exclusive advisory lock on path (creating it if
+// absent), blocking until the lock is granted, and returns the unlock
+// function. Locks are per open file description, so two goroutines of one
+// process contend exactly like two processes.
+func lockFile(path string) (func(), error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() {
+		syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+		f.Close()
+	}, nil
+}

@@ -444,3 +444,29 @@ func TestReconstructPreservesRequests(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestStatsString pins the Section 6-style rendering: one coverage line
+// per requested point, sizes in MB.
+func TestStatsString(t *testing.T) {
+	cfg := SmallSynthConfig()
+	cfg.Connections = 400
+	st := ComputeStats(NewSynth(cfg).Generate(), 0.5, 1.0)
+	out := st.String()
+	for _, want := range []string{"connections", "working set", "cover 50%", "cover 100%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Stats.String() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestGenerateEntriesMatchesBoth pins the convenience wrapper to the
+// two-view generator it delegates to.
+func TestGenerateEntriesMatchesBoth(t *testing.T) {
+	cfg := SmallSynthConfig()
+	cfg.Connections = 400
+	entries := NewSynth(cfg).GenerateEntries()
+	both, _ := NewSynth(cfg).GenerateBoth()
+	if !reflect.DeepEqual(entries, both) {
+		t.Error("GenerateEntries differs from GenerateBoth's entries")
+	}
+}
