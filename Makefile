@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke bench-scaling cover fuzz-smoke fmt vet lint check trace-cache scenarios-smoke
+.PHONY: all build test race bench bench-smoke bench-scaling cover fuzz-smoke fmt vet lint check trace-cache scenarios-smoke chaos
 
 all: build
 
@@ -16,9 +16,20 @@ test:
 # The -race acceptance surface: the concurrent dispatch engine, the
 # prototype cluster that drives it from parallel client handlers, the
 # parallel sweep drivers sharing one trace, the block-parallel trace
-# generator, and the scenario layer that compiles and drives all of them.
+# generator, the scenario layer that compiles and drives all of them,
+# and the membership table feeding failure detection into all three.
 race:
-	$(GO) test -race ./internal/dispatch/... ./internal/cluster/... ./internal/sim/... ./internal/trace/... ./internal/scenario/...
+	$(GO) test -race ./internal/dispatch/... ./internal/cluster/... ./internal/sim/... ./internal/trace/... ./internal/scenario/... ./internal/membership/...
+
+# Churn acceptance (DESIGN.md §15): membership state-machine properties,
+# the engine's up/down/drain view, the simulator's deterministic churn
+# events (including the worker-count bit-identity golden), the scenario
+# churn schema, and the prototype crash/drain/503/partial-start
+# end-to-end tests — all under -race, since churn is exactly where the
+# concurrent paths cross.
+chaos:
+	$(GO) test -race -count=1 ./internal/membership/...
+	$(GO) test -race -count=1 -run 'Membership|Churn|Crash|Drain|NoUpBackends|StartTolerates|StartFails' ./internal/dispatch/... ./internal/policy/... ./internal/sim/... ./internal/scenario/... ./internal/cluster/...
 
 # Run every builtin scenario for one grid point through the -scenario
 # path: validation failures, registry drift and (for the figure

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+
+	"phttp/internal/cluster"
+	"phttp/internal/core"
+)
+
+// adminServer exposes the front-end's membership surface over HTTP:
+//
+//	GET  /membership            — per-slot states plus churn counters
+//	POST /backends/add          — ?slot=N&ctrl=addr&handoff=path: (re)connect a slot
+//	POST /backends/remove       — ?slot=N: drain a slot gracefully
+//
+// It listens on its own address so cluster operations never compete with
+// client traffic for the data-path listener.
+func startAdmin(addr string, fe *cluster.FrontEnd) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("admin listen: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/membership", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		states := fe.Membership().Snapshot()
+		out := struct {
+			Nodes        []string `json:"nodes"`
+			Up           int      `json:"up"`
+			Unavailable  int64    `json:"unavailable503"`
+			Redispatches int64    `json:"redispatches"`
+		}{
+			Nodes:        make([]string, len(states)),
+			Up:           fe.Membership().UpCount(),
+			Unavailable:  fe.Unavailable(),
+			Redispatches: fe.Redispatches(),
+		}
+		for i, s := range states {
+			out.Nodes[i] = s.String()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(out)
+	})
+	mux.HandleFunc("/backends/add", func(w http.ResponseWriter, r *http.Request) {
+		slot, ok := adminSlot(w, r)
+		if !ok {
+			return
+		}
+		ep := cluster.BackendEndpoints{
+			Ctrl:    r.FormValue("ctrl"),
+			Handoff: r.FormValue("handoff"),
+		}
+		if err := fe.AddBackend(slot, ep); err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		fmt.Fprintf(w, "slot %d up: %s\n", slot, ep.Ctrl)
+	})
+	mux.HandleFunc("/backends/remove", func(w http.ResponseWriter, r *http.Request) {
+		slot, ok := adminSlot(w, r)
+		if !ok {
+			return
+		}
+		if err := fe.RemoveBackend(slot); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		fmt.Fprintf(w, "slot %d draining\n", slot)
+	})
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return ln, nil
+}
+
+// adminSlot parses and bounds-checks the slot parameter of a POST.
+func adminSlot(w http.ResponseWriter, r *http.Request) (core.NodeID, bool) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return 0, false
+	}
+	n, err := strconv.Atoi(r.FormValue("slot"))
+	if err != nil || n < 0 {
+		http.Error(w, "slot must be a non-negative integer", http.StatusBadRequest)
+		return 0, false
+	}
+	return core.NodeID(n), true
+}

@@ -56,6 +56,10 @@ func main() {
 		stripes  = flag.Int("intern-stripes", 0, "shard the capped target table into this many stripes (power of two) so parallel connection handlers don't serialize on one lock; 0 picks a default from -max-targets")
 		maintain = flag.Duration("maintain-interval", cluster.DefaultMaintainInterval, "wall-clock bound on dispatcher maintenance staleness when no connections are closing (0 disables; only meaningful with -max-targets)")
 		scenFlag = flag.String("scenario", "", "take the dispatcher configuration (policy, options, mechanism, cache model, target cap) from a scenario: builtin name or JSON file; explicitly set flags override it")
+		admin    = flag.String("admin", "", "admin listen address for the membership surface (GET /membership, POST /backends/add, POST /backends/remove); empty disables it")
+		hbTO     = flag.Duration("heartbeat-timeout", 0, "mark a back-end Suspect after this much control-link silence (0 = membership default)")
+		confirm  = flag.Duration("confirm-window", 0, "confirm a Suspect back-end Down after this long (0 = membership default)")
+		retryBud = flag.Int("retry-budget", 0, "re-dispatch attempts per in-flight request after its node dies, relay mechanism only (0 = default)")
 	)
 	flag.Var(&backends, "backend", "back-end endpoint as ctrlAddr,handoffPath (repeat per node)")
 	flag.Parse()
@@ -112,6 +116,9 @@ func main() {
 		cfg.MaintainInterval = *maintain
 	}
 	cfg.ClientListen = *listen
+	cfg.HeartbeatTimeout = *hbTO
+	cfg.ConfirmWindow = *confirm
+	cfg.RetryBudget = *retryBud
 
 	fe, err := cluster.NewFrontEnd(cfg, backends)
 	if err != nil {
@@ -120,6 +127,14 @@ func main() {
 	defer fe.Close()
 	fmt.Printf("frontend up: clients=%s policy=%s mechanism=%s nodes=%d\n",
 		fe.Addr(), fe.PolicyName(), cfg.Mechanism, len(backends))
+	if *admin != "" {
+		ln, err := startAdmin(*admin, fe)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer ln.Close()
+		fmt.Printf("frontend admin: %s\n", ln.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -215,6 +215,16 @@ func (c *IDLRU) Remove(id core.TargetID) bool {
 	return true
 }
 
+// Clear evicts every entry (releasing interner references, keeping the
+// slab for reuse) without touching the hit/miss counters. The simulator
+// uses it when a node crashes: the restarted back-end comes back with a
+// cold main-memory cache.
+func (c *IDLRU) Clear() {
+	for c.head != noEntry {
+		c.removeSlot(c.head)
+	}
+}
+
 // Compact shrinks the dense position table to the highest ID still cached
 // (but never below highWater, the interner's current ID bound, so the next
 // insert does not immediately regrow it). Call it from the same maintenance

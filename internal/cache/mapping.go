@@ -91,6 +91,16 @@ func (m *Mapping) AppendNodesFor(buf []core.NodeID, id core.TargetID) []core.Nod
 	return buf
 }
 
+// DropNode discards every belief about node n, releasing the interner
+// references those beliefs held. This is the cold-start handling of a
+// Down node: a crashed back-end restarts with an empty cache, so the
+// model must not keep steering its old targets back to it when it
+// rejoins. (Warm-up handling — a drained node that kept its cache —
+// simply skips this call.)
+func (m *Mapping) DropNode(n core.NodeID) {
+	m.perNode[n].Clear()
+}
+
 // MappedBytes returns the bytes of content believed cached at node n.
 func (m *Mapping) MappedBytes(n core.NodeID) int64 { return m.perNode[n].Bytes() }
 

@@ -282,6 +282,32 @@ func (c *ShardedLRU) Remove(id core.TargetID) bool {
 	return true
 }
 
+// Clear evicts every entry, releasing interner references and keeping
+// the evicted entries on the per-shard free lists for reuse. It is the
+// cold-start membership action: when a node is confirmed Down, the
+// mapping model for that node is no longer believed and is dropped
+// wholesale (DESIGN.md §15).
+func (c *ShardedLRU) Clear() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for e := s.head; e != nil; {
+			next := e.next
+			delete(s.entries, e.id)
+			c.bytes.Add(-e.size)
+			c.count.Add(-1)
+			id := e.id
+			s.putEntry(e)
+			if c.rc != nil {
+				c.rc.Release(id)
+			}
+			e = next
+		}
+		s.head, s.tail = nil, nil
+		s.mu.Unlock()
+	}
+}
+
 // IDs returns the cached target IDs from most to least recently used.
 // Intended for tests and diagnostics; it locks every shard.
 func (c *ShardedLRU) IDs() []core.TargetID {

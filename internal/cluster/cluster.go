@@ -47,6 +47,16 @@ type Config struct {
 	// MaintainInterval is the front-end's wall-clock maintenance ticker
 	// (see FrontEndConfig.MaintainInterval); 0 disables it.
 	MaintainInterval time.Duration
+
+	// Membership knobs, passed through to the front-end (see the
+	// FrontEndConfig fields of the same names); zero values take the
+	// front-end defaults.
+	DialRetries      int
+	DialBackoff      time.Duration
+	HeartbeatTimeout time.Duration
+	ConfirmWindow    time.Duration
+	HealthInterval   time.Duration
+	RetryBudget      int
 }
 
 // PrototypeCacheBytes is the default prototype back-end cache: the paper's
@@ -79,6 +89,9 @@ type Cluster struct {
 	FE  *FrontEnd
 	BEs []*Backend
 	dir string
+
+	cfg Config
+	gen int // replacement generation, for unique handoff socket paths
 }
 
 // Start brings up the back-ends, wires their peer links, and starts the
@@ -94,7 +107,7 @@ func Start(cfg Config) (*Cluster, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cluster: handoff socket dir: %w", err)
 	}
-	c := &Cluster{dir: dir}
+	c := &Cluster{dir: dir, cfg: cfg}
 	for i := 0; i < cfg.Nodes; i++ {
 		be, err := NewBackend(BackendConfig{
 			ID:            core.NodeID(i),
@@ -135,6 +148,12 @@ func Start(cfg Config) (*Cluster, error) {
 		IdleTimeout:      cfg.IdleTimeout,
 		BatchWindow:      cfg.BatchWindow,
 		MaintainInterval: cfg.MaintainInterval,
+		DialRetries:      cfg.DialRetries,
+		DialBackoff:      cfg.DialBackoff,
+		HeartbeatTimeout: cfg.HeartbeatTimeout,
+		ConfirmWindow:    cfg.ConfirmWindow,
+		HealthInterval:   cfg.HealthInterval,
+		RetryBudget:      cfg.RetryBudget,
 	}, eps)
 	if err != nil {
 		c.Close()
@@ -168,6 +187,54 @@ func (c *Cluster) Served() int64 {
 		n += be.Served()
 	}
 	return n
+}
+
+// AddBackend replaces slot id with a freshly started back-end process
+// (cold cache) and reconnects the front-end to it — the prototype's
+// join/rejoin operation. The previous occupant, if any, is closed first.
+func (c *Cluster) AddBackend(id core.NodeID) (*Backend, error) {
+	if int(id) < 0 || int(id) >= len(c.BEs) {
+		return nil, fmt.Errorf("cluster: backend slot %v out of range [0,%d)", id, len(c.BEs))
+	}
+	if old := c.BEs[id]; old != nil {
+		old.Close()
+	}
+	c.gen++
+	be, err := NewBackend(BackendConfig{
+		ID:            id,
+		Catalog:       c.cfg.Catalog,
+		CacheBytes:    c.cfg.CacheBytes,
+		Disk:          c.cfg.Disk,
+		Costs:         c.cfg.Costs,
+		SimulateCPU:   c.cfg.SimulateCPU,
+		TimeScale:     c.cfg.TimeScale,
+		HandoffSocket: filepath.Join(c.dir, fmt.Sprintf("be%d-g%d.sock", id, c.gen)),
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.BEs[id] = be
+	// Re-wire lateral-fetch peers everywhere: the replacement listens on
+	// fresh ports, and the newcomer needs the full peer map itself.
+	peers := make(map[core.NodeID]string, len(c.BEs))
+	for i, b := range c.BEs {
+		peers[core.NodeID(i)] = b.PeerAddr()
+	}
+	for _, b := range c.BEs {
+		b.SetPeers(peers)
+	}
+	if err := c.FE.AddBackend(id, BackendEndpoints{Ctrl: be.CtrlAddr(), Handoff: be.HandoffPath()}); err != nil {
+		be.Close()
+		return nil, err
+	}
+	return be, nil
+}
+
+// RemoveBackend drains slot id at the front-end (graceful leave). The
+// back-end process keeps running until its work completes; callers close
+// it when done, or replace it via AddBackend.
+func (c *Cluster) RemoveBackend(id core.NodeID) error {
+	return c.FE.RemoveBackend(id)
 }
 
 // Close tears the cluster down: front-end first (stops traffic), then the

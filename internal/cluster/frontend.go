@@ -16,6 +16,8 @@ import (
 	"phttp/internal/core"
 	"phttp/internal/dispatch"
 	"phttp/internal/httpmsg"
+	"phttp/internal/membership"
+	"phttp/internal/metrics"
 	"phttp/internal/policy"
 )
 
@@ -73,7 +75,38 @@ type FrontEndConfig struct {
 	// ClientListen is the client-facing listen address; empty means an
 	// ephemeral loopback port.
 	ClientListen string
+
+	// DialRetries and DialBackoff bound the connection attempts per
+	// back-end at start (and in AddBackend): after 1+DialRetries failed
+	// attempts the node starts Down instead of aborting the front-end —
+	// start fails only when zero back-ends are reachable. Zero values
+	// take DefaultDialRetries / DefaultDialBackoff.
+	DialRetries int
+	DialBackoff time.Duration
+	// HeartbeatTimeout and ConfirmWindow parameterize failure detection
+	// (membership.Config): a back-end silent past HeartbeatTimeout — its
+	// periodic DISKQ reports double as heartbeats — turns Suspect, and a
+	// Suspect node unheard for ConfirmWindow is confirmed Down. Zero
+	// keeps the membership package defaults.
+	HeartbeatTimeout time.Duration
+	ConfirmWindow    time.Duration
+	// HealthInterval is the failure detector's evaluation cadence
+	// (membership.Table.Tick); zero takes DefaultHealthInterval.
+	HealthInterval time.Duration
+	// RetryBudget caps re-dispatch attempts per relayed request after its
+	// serving node is confirmed Down; past it the client connection is
+	// closed (the connection-close fallback). Zero takes
+	// DefaultRetryBudget; negative means no retries.
+	RetryBudget int
 }
+
+// Default knobs for the elastic-membership machinery.
+const (
+	DefaultDialRetries    = 3
+	DefaultDialBackoff    = 50 * time.Millisecond
+	DefaultHealthInterval = 100 * time.Millisecond
+	DefaultRetryBudget    = 2
+)
 
 // BackendEndpoints tells the front-end how to reach one back-end: the TCP
 // control address and the UNIX handoff socket path. Peer addresses are the
@@ -101,11 +134,28 @@ type beLink struct {
 // concurrently per client connection — the engine's policy state is safe
 // for parallel callers, so there is no front-end-wide policy lock.
 type FrontEnd struct {
-	cfg   FrontEndConfig
-	ln    net.Listener
-	links []*beLink
+	cfg       FrontEndConfig
+	ln        net.Listener
+	links     []*beLink
+	endpoints []BackendEndpoints
 
 	eng *dispatch.Engine
+	mem *membership.Table
+
+	// sweepCh hands nodes just confirmed Down from the membership
+	// listener (which runs under the table lock) to healthLoop, which
+	// re-dispatches their in-flight relayed requests.
+	sweepCh chan core.NodeID
+
+	// pending tracks relayed requests awaiting their response frame, by
+	// (connection, sequence) — the unit of re-dispatch when a node dies.
+	pendingMu sync.Mutex
+	pending   map[core.ConnID]map[int]*pendingReq
+
+	// unavailable counts connections refused with 503 (no Up back-end);
+	// redispatched counts in-flight requests re-sent after a node death.
+	unavailable  metrics.Counter
+	redispatched metrics.Counter
 
 	// relayConns routes relay frames back to client connections.
 	relayMu    sync.Mutex
@@ -156,10 +206,18 @@ func NewFrontEnd(cfg FrontEndConfig, backends []BackendEndpoints) (*FrontEnd, er
 	fe := &FrontEnd{
 		cfg:        cfg,
 		eng:        eng,
+		endpoints:  append([]BackendEndpoints(nil), backends...),
 		relayConns: make(map[core.ConnID]*relayConn),
+		pending:    make(map[core.ConnID]map[int]*pendingReq),
+		sweepCh:    make(chan core.NodeID, 4*cfg.Nodes),
 		started:    time.Now(),
 		closed:     make(chan struct{}),
 	}
+	fe.mem = membership.New(cfg.Nodes, membership.Config{
+		HeartbeatTimeout: cfg.HeartbeatTimeout,
+		ConfirmWindow:    cfg.ConfirmWindow,
+	}, time.Now())
+	fe.mem.OnChange(fe.onMembership)
 	listen := cfg.ClientListen
 	if listen == "" {
 		listen = "127.0.0.1:0"
@@ -167,16 +225,33 @@ func NewFrontEnd(cfg FrontEndConfig, backends []BackendEndpoints) (*FrontEnd, er
 	if fe.ln, err = net.Listen("tcp", listen); err != nil {
 		return nil, fmt.Errorf("cluster: frontend listen: %w", err)
 	}
+	// One refused back-end must not abort the whole front-end: each slot
+	// gets bounded retries with backoff, an unreachable (or vacant:
+	// empty Ctrl) slot starts Down, and start fails only when zero
+	// back-ends are reachable.
+	reachable := 0
+	var lastErr error
 	for i, ep := range backends {
-		link, err := fe.dial(core.NodeID(i), ep)
+		id := core.NodeID(i)
+		link, err := fe.dialRetry(id, ep)
 		if err != nil {
-			fe.Close()
-			return nil, err
+			lastErr = err
+			link = &beLink{id: id}
+			fe.mem.MarkDown(id)
+		} else {
+			reachable++
+			fe.mem.MarkUp(id, time.Now())
 		}
 		fe.links = append(fe.links, link)
 	}
+	if reachable == 0 {
+		fe.Close()
+		return nil, fmt.Errorf("cluster: no reachable back-end among %d: %w", len(backends), lastErr)
+	}
 	fe.wg.Add(1)
 	go fe.acceptLoop()
+	fe.wg.Add(1)
+	go fe.healthLoop()
 	if cfg.MaintainInterval > 0 {
 		fe.wg.Add(1)
 		go fe.maintainLoop()
@@ -231,6 +306,37 @@ func validateFEConfig(cfg FrontEndConfig, backends int) error {
 	return nil
 }
 
+// dialRetry dials one back-end with bounded retries and linear backoff.
+// A vacant slot (empty Ctrl) fails immediately: it is provisioned
+// capacity awaiting AddBackend, not a dial target.
+func (fe *FrontEnd) dialRetry(id core.NodeID, ep BackendEndpoints) (*beLink, error) {
+	if ep.Ctrl == "" {
+		return nil, fmt.Errorf("cluster: backend slot %v is vacant (no control endpoint)", id)
+	}
+	retries := fe.cfg.DialRetries
+	if retries == 0 {
+		retries = DefaultDialRetries
+	} else if retries < 0 {
+		retries = 0
+	}
+	backoff := fe.cfg.DialBackoff
+	if backoff <= 0 {
+		backoff = DefaultDialBackoff
+	}
+	var lastErr error
+	for attempt := 0; attempt <= retries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(time.Duration(attempt) * backoff)
+		}
+		link, err := fe.dial(id, ep)
+		if err == nil {
+			return link, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
 // dial establishes the control session (HELLO CTRL), the relay data session
 // when relaying, and the handoff socket to one back-end.
 func (fe *FrontEnd) dial(id core.NodeID, ep BackendEndpoints) (*beLink, error) {
@@ -247,7 +353,7 @@ func (fe *FrontEnd) dial(id core.NodeID, ep BackendEndpoints) (*beLink, error) {
 	fe.wg.Add(1)
 	go func() {
 		defer fe.wg.Done()
-		fe.ctrlReadLoop(link)
+		fe.ctrlReadLoop(link, ctrl)
 	}()
 
 	if fe.cfg.Mechanism == core.RelayFrontEnd {
@@ -265,7 +371,7 @@ func (fe *FrontEnd) dial(id core.NodeID, ep BackendEndpoints) (*beLink, error) {
 		fe.wg.Add(1)
 		go func() {
 			defer fe.wg.Done()
-			fe.relayReadLoop(link)
+			fe.relayReadLoop(link, data)
 		}()
 	} else {
 		raddr, err := net.ResolveUnixAddr("unix", ep.Handoff)
@@ -335,30 +441,39 @@ func (fe *FrontEnd) Close() {
 			fe.ln.Close()
 		}
 		for _, l := range fe.links {
+			l.ctrlMu.Lock()
 			if l.ctrl != nil {
 				l.ctrl.Close()
 			}
 			if l.data != nil {
 				l.data.Close()
 			}
+			l.ctrlMu.Unlock()
+			l.hoMu.Lock()
 			if l.handoff != nil {
 				l.handoff.Close()
 			}
+			l.hoMu.Unlock()
 		}
 	})
 	fe.wg.Wait()
 }
 
 // ctrlReadLoop consumes back-end → front-end control traffic (disk queue
-// reports) and feeds the policy.
-func (fe *FrontEnd) ctrlReadLoop(link *beLink) {
-	br := bufio.NewReader(link.ctrl)
+// reports) and feeds the policy. The conn is passed explicitly —
+// AddBackend swaps link conns in place, and a loop must drain exactly the
+// conn it was started for. Each DISKQ report doubles as a heartbeat; a
+// read error is liveness evidence and marks the node Suspect.
+func (fe *FrontEnd) ctrlReadLoop(link *beLink, conn net.Conn) {
+	br := bufio.NewReader(conn)
 	for {
 		msg, err := readCtrl(br)
 		if err != nil {
+			fe.suspect(link.id)
 			return
 		}
 		if msg.Kind == "DISKQ" {
+			fe.mem.Heartbeat(link.id, time.Now())
 			done := fe.trackDispatch()
 			fe.eng.ReportDiskQueue(link.id, msg.Depth)
 			done()
@@ -368,8 +483,9 @@ func (fe *FrontEnd) ctrlReadLoop(link *beLink) {
 
 // relayReadLoop consumes relay frames from one back-end and forwards them
 // to the owning client connection in sequence order.
-func (fe *FrontEnd) relayReadLoop(link *beLink) {
-	br := bufio.NewReaderSize(link.data, 64<<10)
+func (fe *FrontEnd) relayReadLoop(link *beLink, data net.Conn) {
+	defer fe.suspect(link.id)
+	br := bufio.NewReaderSize(data, 64<<10)
 	for {
 		line, err := br.ReadString('\n')
 		if err != nil {
@@ -396,6 +512,14 @@ func (fe *FrontEnd) relayReadLoop(link *beLink) {
 // deliverRelay writes the frame to the client in order, buffering
 // out-of-order responses of a pipelined batch served by different nodes.
 func (fe *FrontEnd) deliverRelay(id core.ConnID, seq int, frame []byte) {
+	fe.pendingMu.Lock()
+	if m := fe.pending[id]; m != nil {
+		delete(m, seq)
+		if len(m) == 0 {
+			delete(fe.pending, id)
+		}
+	}
+	fe.pendingMu.Unlock()
 	fe.relayMu.Lock()
 	rc := fe.relayConns[id]
 	fe.relayMu.Unlock()
@@ -449,9 +573,26 @@ type feConn struct {
 	relay *relayConn
 
 	// reqNodes is the set of back-ends that received requests, for CLOSE
-	// fan-out in relay mode.
+	// fan-out in relay mode. mu guards it: the health loop's re-dispatch
+	// touches it from outside the connection's own goroutine. seq stays
+	// owner-only (re-dispatch resends already-sequenced lines).
+	mu       sync.Mutex
 	reqNodes map[core.NodeID]bool
 	seq      int
+	// pendingMove is a re-dispatch-requested handling change (NoNode
+	// when none): the health loop records it, and the connection's own
+	// goroutine applies it — engine Conn state is owner-serialized.
+	pendingMove core.NodeID
+}
+
+// setReqNode records that dest received traffic for this connection and
+// reports whether it already had.
+func (c *feConn) setReqNode(dest core.NodeID) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	had := c.reqNodes[dest]
+	c.reqNodes[dest] = true
+	return had
 }
 
 // serveClient runs the forwarding-module read loop for one client
@@ -459,9 +600,10 @@ type feConn struct {
 // through the policy, tag and forward to back-ends.
 func (fe *FrontEnd) serveClient(conn net.Conn) {
 	c := &feConn{
-		conn:     conn,
-		br:       bufio.NewReaderSize(conn, 16<<10),
-		reqNodes: make(map[core.NodeID]bool),
+		conn:        conn,
+		br:          bufio.NewReaderSize(conn, 16<<10),
+		reqNodes:    make(map[core.NodeID]bool),
+		pendingMove: core.NoNode,
 	}
 	defer fe.closeClient(c)
 
@@ -564,9 +706,18 @@ func toRequest(r *httpmsg.Request) core.Request {
 // knowledge of response sizes when requests arrive.
 const nominalMappingSize = 8 << 10
 
+// unavailableResponse is the answer when no back-end is Up: the client
+// should back off briefly and retry, per the Retry-After hint.
+const unavailableResponse = "HTTP/1.1 503 Service Unavailable\r\nRetry-After: 1\r\nContent-Length: 0\r\nConnection: close\r\n\r\n"
+
 // openConn assigns the handling node for the first request and performs
 // the handoff (or registers the relay route).
 func (fe *FrontEnd) openConn(c *feConn, first core.Request) error {
+	if !fe.eng.HasUp() {
+		fe.unavailable.Inc()
+		io.WriteString(c.conn, unavailableResponse)
+		return fmt.Errorf("cluster: no Up back-end")
+	}
 	done := fe.trackDispatch()
 	ec, handling := fe.eng.ConnOpen(first)
 	done()
@@ -593,17 +744,31 @@ func (fe *FrontEnd) openConn(c *feConn, first core.Request) error {
 	defer f.Close()
 	link := fe.links[handling]
 	link.hoMu.Lock()
+	if link.handoff == nil {
+		link.hoMu.Unlock()
+		return fmt.Errorf("cluster: backend %v has no handoff socket", handling)
+	}
 	err = SendConnFD(link.handoff, c.id, f)
 	link.hoMu.Unlock()
 	if err != nil {
+		fe.suspect(handling)
 		return err
 	}
-	c.reqNodes[handling] = true
+	c.setReqNode(handling)
 	return nil
 }
 
 // dispatchBatch assigns a batch and forwards the tagged requests.
 func (fe *FrontEnd) dispatchBatch(c *feConn, batch core.Batch, reqs []*httpmsg.Request) error {
+	c.mu.Lock()
+	move := c.pendingMove
+	c.pendingMove = core.NoNode
+	c.mu.Unlock()
+	if move != core.NoNode && fe.eng.NodeIsDown(c.ec.Handling()) {
+		done := fe.trackDispatch()
+		fe.eng.MoveConn(c.ec, move)
+		done()
+	}
 	done := fe.trackDispatch()
 	assignments := fe.eng.AssignBatch(c.ec, batch)
 	handling := c.ec.Handling()
@@ -614,14 +779,12 @@ func (fe *FrontEnd) dispatchBatch(c *feConn, batch core.Batch, reqs []*httpmsg.R
 		keep := req.KeepAlive()
 		var line string
 		var dest core.NodeID
+		relay := fe.cfg.Mechanism == core.RelayFrontEnd
 		switch {
-		case fe.cfg.Mechanism == core.RelayFrontEnd:
+		case relay:
 			// Each request goes directly to its assigned node.
 			dest = a.Node
 			line = formatReq(c.id, c.seq, req.Proto, keep, core.NoNode, core.Target(req.Target))
-			if !c.reqNodes[dest] {
-				fe.sendCtrl(dest, formatRelay(c.id))
-			}
 		case a.Forward:
 			// Tag the request: the handling node must fetch it from
 			// the assigned node.
@@ -631,20 +794,44 @@ func (fe *FrontEnd) dispatchBatch(c *feConn, batch core.Batch, reqs []*httpmsg.R
 			dest = handling
 			line = formatReq(c.id, c.seq, req.Proto, keep, core.NoNode, core.Target(req.Target))
 		}
+		seq := c.seq
 		c.seq++
-		c.reqNodes[dest] = true
+		if !c.setReqNode(dest) && relay {
+			fe.sendCtrl(dest, formatRelay(c.id))
+		}
+		if relay {
+			// Register before sending: a node that dies between the
+			// write and its response must find the request sweepable.
+			fe.addPending(c, seq, dest, line)
+			if err := fe.sendCtrl(dest, line); err != nil {
+				// Write failure is liveness evidence; the request stays
+				// pending and is re-dispatched once the node is
+				// confirmed Down.
+				fe.suspect(dest)
+			}
+			continue
+		}
 		if err := fe.sendCtrl(dest, line); err != nil {
+			// With the client socket handed off (or forwarding through
+			// the handling node), the FE cannot replay the request
+			// elsewhere — connection close is the fallback.
+			fe.suspect(dest)
 			return err
 		}
 	}
 	return nil
 }
 
-// sendCtrl writes one control message to a back-end.
+// sendCtrl writes one control message to a back-end. A slot with no live
+// control link (unreachable at start, or torn down by AddBackend mid-swap)
+// fails fast instead of dereferencing a nil conn.
 func (fe *FrontEnd) sendCtrl(n core.NodeID, line string) error {
 	link := fe.links[n]
 	link.ctrlMu.Lock()
 	defer link.ctrlMu.Unlock()
+	if link.ctrl == nil {
+		return fmt.Errorf("cluster: backend %v not connected", n)
+	}
 	_, err := io.WriteString(link.ctrl, line)
 	return err
 }
@@ -652,14 +839,19 @@ func (fe *FrontEnd) sendCtrl(n core.NodeID, line string) error {
 // closeClient tears one client connection down on EOF, error or idle
 // timeout: back-ends are told to release it and the policy frees its load.
 func (fe *FrontEnd) closeClient(c *feConn) {
+	c.mu.Lock()
 	nodes := make([]core.NodeID, 0, len(c.reqNodes))
 	for n := range c.reqNodes {
 		nodes = append(nodes, n)
 	}
+	c.mu.Unlock()
 	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
 	for _, n := range nodes {
 		fe.sendCtrl(n, formatClose(c.id))
 	}
+	fe.pendingMu.Lock()
+	delete(fe.pending, c.id)
+	fe.pendingMu.Unlock()
 	if c.relay != nil {
 		fe.relayMu.Lock()
 		delete(fe.relayConns, c.id)

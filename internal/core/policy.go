@@ -61,3 +61,34 @@ type Policy interface {
 	// Loads exposes the policy's load tracker (for metrics and tests).
 	Loads() *LoadTracker
 }
+
+// MembershipPolicy is an optional extension interface: policies that
+// implement it receive cluster membership transitions from the dispatch
+// engine and adjust their candidate sets accordingly. The node universe
+// is fixed at construction (every per-node array is sized once); these
+// calls toggle which of those slots are eligible for new placements.
+//
+// The contract mirrors the paper's front-end view of the cluster:
+//
+//   - NodeDown(n): n crashed or was confirmed dead. The policy must stop
+//     assigning new work to n. LARD-family policies additionally decide
+//     what to do with mapping entries pointing at n (invalidate for a
+//     cold restart, or keep them for a warm rejoin — a policy option).
+//   - NodeDraining(n): n is leaving gracefully. No new connections or
+//     remote assignments land on n, but existing state is kept so
+//     in-flight work completes.
+//   - NodeUp(n): n (re)joined and may receive work again.
+//
+// Transitions are delivered from the same goroutine discipline as the
+// rest of the Policy interface in the simulator (single-threaded event
+// loop); the prototype delivers them concurrently with dispatch, so
+// implementations use atomics for the eligibility flags.
+//
+// Policies that do not implement the interface simply keep assigning to
+// every node; the engine still refuses to open connections when no node
+// is Up.
+type MembershipPolicy interface {
+	NodeUp(n NodeID)
+	NodeDown(n NodeID)
+	NodeDraining(n NodeID)
+}

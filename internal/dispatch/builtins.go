@@ -27,6 +27,8 @@ func lardOptions() []OptionSpec {
 			Help: "delay penalty of a cache miss, in load units"},
 		{Key: "disk-queue-low", Kind: KindInt, Default: d.DiskQueueLow,
 			Help: "queued-disk-events threshold under which a node's disk counts as idle"},
+		{Key: "down-cold-start", Kind: KindBool, Default: true,
+			Help: "on a node's Down transition, drop its mapping entries (cold restart); false keeps them for a warm rejoin"},
 	}
 }
 
@@ -53,7 +55,9 @@ func init() {
 		Help:    "locality-aware request distribution at connection granularity (Pai et al., ASPLOS '98)",
 		Options: lardOptions(),
 		New: func(a BuildArgs) (core.Policy, error) {
-			return policy.NewLARD(a.Nodes, a.Int64("cache-bytes"), lardParams(a)), nil
+			l := policy.NewLARD(a.Nodes, a.Int64("cache-bytes"), lardParams(a))
+			l.DownColdStart = a.Bool("down-cold-start")
+			return l, nil
 		},
 	})
 
@@ -61,7 +65,9 @@ func init() {
 		Help:    "LARD with replicated server sets (the ASPLOS '98 companion strategy)",
 		Options: lardOptions(),
 		New: func(a BuildArgs) (core.Policy, error) {
-			return policy.NewLARDR(a.Nodes, a.Int64("cache-bytes"), lardParams(a)), nil
+			l := policy.NewLARDR(a.Nodes, a.Int64("cache-bytes"), lardParams(a))
+			l.DownColdStart = a.Bool("down-cold-start")
+			return l, nil
 		},
 	})
 
@@ -76,7 +82,9 @@ func init() {
 			if err != nil {
 				return nil, err
 			}
-			return policy.NewExtLARD(a.Nodes, a.Int64("cache-bytes"), lardParams(a), mech), nil
+			e := policy.NewExtLARD(a.Nodes, a.Int64("cache-bytes"), lardParams(a), mech)
+			e.DownColdStart = a.Bool("down-cold-start")
+			return e, nil
 		},
 	})
 

@@ -55,6 +55,14 @@ type Engine struct {
 
 	// compact is the policy's optional dense-slice trim hook, resolved once.
 	compact interface{ CompactTargets(core.TargetID) }
+
+	// membership is the policy's optional membership-transition hook,
+	// resolved once (nil when the policy ignores churn). nodePhases and
+	// upNodes are the engine's own view, kept even for such policies so
+	// HasUp/PickUp still gate admission and re-dispatch.
+	membership core.MembershipPolicy
+	nodePhases []atomic.Int32
+	upNodes    atomic.Int32
 }
 
 // Conn is the engine's handle for one live client connection. The
@@ -103,6 +111,8 @@ func NewEngine(spec Spec) (*Engine, error) {
 		}
 	}
 	e := &Engine{spec: spec, name: name, pol: pol, interner: in}
+	e.membership, _ = pol.(core.MembershipPolicy)
+	e.initMembership(spec.Nodes)
 	if in.Evictable() {
 		if m, ok := pol.(interface{ Mapping() *cache.Mapping }); ok {
 			m.Mapping().SetRefCounter(in)

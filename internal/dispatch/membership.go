@@ -1,0 +1,129 @@
+package dispatch
+
+import (
+	"sync/atomic"
+
+	"phttp/internal/core"
+)
+
+// Membership support: the engine keeps its own per-node up/down/drain
+// view (independent of whether the policy cares) and forwards
+// transitions to policies implementing core.MembershipPolicy. Drivers —
+// the simulator's churn events and the prototype front-end's membership
+// table — call the SetNode* methods; the dispatch paths use HasUp /
+// PickUp / MoveConn to gate admission and re-dispatch work off dead
+// nodes.
+
+// nodePhase is the engine's coarse per-node view. It mirrors the
+// membership.Table states that matter to dispatch; Joining and Suspect
+// are front-end concerns (a Suspect node keeps receiving work until
+// confirmed Down).
+type nodePhase int32
+
+const (
+	phaseUp nodePhase = iota
+	phaseDraining
+	phaseDown
+)
+
+// initMembership sizes the engine's node-state array (all Up).
+func (e *Engine) initMembership(n int) {
+	e.nodePhases = make([]atomic.Int32, n)
+	e.upNodes.Store(int32(n))
+}
+
+// setPhase moves node n to phase p, maintaining the up-node count and
+// notifying the policy exactly once per actual transition. Safe for
+// concurrent callers; transitions are idempotent.
+func (e *Engine) setPhase(n core.NodeID, p nodePhase) {
+	for {
+		old := nodePhase(e.nodePhases[n].Load())
+		if old == p {
+			return
+		}
+		if !e.nodePhases[n].CompareAndSwap(int32(old), int32(p)) {
+			continue
+		}
+		if old == phaseUp {
+			e.upNodes.Add(-1)
+		}
+		if p == phaseUp {
+			e.upNodes.Add(1)
+		}
+		if e.membership != nil {
+			switch p {
+			case phaseUp:
+				e.membership.NodeUp(n)
+			case phaseDraining:
+				e.membership.NodeDraining(n)
+			case phaseDown:
+				e.membership.NodeDown(n)
+			}
+		}
+		return
+	}
+}
+
+// SetNodeUp marks node n eligible for new work ((re)join complete).
+func (e *Engine) SetNodeUp(n core.NodeID) { e.setPhase(n, phaseUp) }
+
+// SetNodeDraining starts a graceful leave: no new placements on n,
+// existing connections finish.
+func (e *Engine) SetNodeDraining(n core.NodeID) { e.setPhase(n, phaseDraining) }
+
+// SetNodeDown marks node n dead: policies drop it from candidate sets
+// (and, per their option, invalidate its mappings); the driver
+// re-dispatches n's in-flight work.
+func (e *Engine) SetNodeDown(n core.NodeID) { e.setPhase(n, phaseDown) }
+
+// NodeIsUp reports whether node n is currently Up in the engine's view.
+func (e *Engine) NodeIsUp(n core.NodeID) bool {
+	return nodePhase(e.nodePhases[n].Load()) == phaseUp
+}
+
+// NodeIsDown reports whether node n is confirmed Down.
+func (e *Engine) NodeIsDown(n core.NodeID) bool {
+	return nodePhase(e.nodePhases[n].Load()) == phaseDown
+}
+
+// UpNodes returns the number of Up nodes.
+func (e *Engine) UpNodes() int { return int(e.upNodes.Load()) }
+
+// HasUp reports whether any node can accept new work. Drivers gate
+// admission on it: the prototype answers 503 Service Unavailable, the
+// simulator fails the connection against the retry budget.
+func (e *Engine) HasUp() bool { return e.upNodes.Load() > 0 }
+
+// PickUp returns the least-loaded Up node other than exclude (pass
+// core.NoNode to exclude nothing), or NoNode when no node qualifies.
+// It is the engine-level re-dispatch target choice: deterministic given
+// the load state (ties break toward the lower node ID), policy-agnostic
+// — the policy already recorded the original placement; moving the
+// refugee work is a mechanism action.
+func (e *Engine) PickUp(exclude core.NodeID) core.NodeID {
+	loads := e.pol.Loads()
+	best := core.NoNode
+	for i := 0; i < e.spec.Nodes; i++ {
+		n := core.NodeID(i)
+		if n == exclude || !e.NodeIsUp(n) {
+			continue
+		}
+		if best == core.NoNode || loads.Load(n) < loads.Load(best) {
+			best = n
+		}
+	}
+	return best
+}
+
+// MoveConn forcibly reassigns connection c's handling node to `to`,
+// transferring its connection-load unit. Drivers call it when c's
+// handling node died and its traffic was re-dispatched — a mechanism
+// action, deliberately outside the policy (which finds out through the
+// load tracker it already reads). No-op on a closed connection.
+func (e *Engine) MoveConn(c *Conn, to core.NodeID) {
+	if c == nil || c.closed.Load() || c.cs.Handling == core.NoNode || c.cs.Handling == to {
+		return
+	}
+	e.pol.Loads().MoveConn(c.cs.Handling, to)
+	c.cs.Handling = to
+}

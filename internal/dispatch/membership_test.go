@@ -1,0 +1,113 @@
+package dispatch
+
+import (
+	"testing"
+
+	"phttp/internal/core"
+	"phttp/internal/policy"
+)
+
+func churnEngine(t *testing.T, pol string, nodes int, opts map[string]any) *Engine {
+	t.Helper()
+	e, err := NewEngine(Spec{Policy: pol, Nodes: nodes, CacheBytes: 1 << 20, Options: opts})
+	if err != nil {
+		t.Fatalf("NewEngine(%s): %v", pol, err)
+	}
+	return e
+}
+
+func TestEngineMembershipView(t *testing.T) {
+	e := churnEngine(t, "lard", 3, nil)
+	if !e.HasUp() || e.UpNodes() != 3 {
+		t.Fatalf("fresh engine: HasUp=%v UpNodes=%d", e.HasUp(), e.UpNodes())
+	}
+	e.SetNodeDown(1)
+	e.SetNodeDown(1) // idempotent
+	if e.UpNodes() != 2 || e.NodeIsUp(1) || !e.NodeIsDown(1) {
+		t.Fatalf("after down(1): UpNodes=%d up=%v down=%v", e.UpNodes(), e.NodeIsUp(1), e.NodeIsDown(1))
+	}
+	e.SetNodeDraining(2)
+	if e.UpNodes() != 1 || e.NodeIsDown(2) {
+		t.Fatalf("after drain(2): UpNodes=%d", e.UpNodes())
+	}
+	e.SetNodeDown(0)
+	if e.HasUp() {
+		t.Fatal("all nodes down/draining but HasUp still true")
+	}
+	e.SetNodeUp(1)
+	if !e.HasUp() || e.UpNodes() != 1 {
+		t.Fatalf("after rejoin: UpNodes=%d", e.UpNodes())
+	}
+}
+
+func TestEngineForwardsTransitionsToPolicy(t *testing.T) {
+	e := churnEngine(t, "lard", 2, nil)
+	r := internedReq(e.Interner(), "/m/a", 100)
+	c, n := e.ConnOpen(r)
+	l := e.Policy().(*policy.LARD)
+	if !l.Mapping().IsMapped(r.ID, n) {
+		t.Fatalf("target not mapped on %d", n)
+	}
+	e.SetNodeDown(n)
+	if l.Mapping().MappedTargets(n) != 0 {
+		t.Fatal("policy did not receive the down transition (mapping survived cold-start)")
+	}
+	e.ConnClose(c)
+}
+
+func TestEngineDownColdStartOption(t *testing.T) {
+	e := churnEngine(t, "lard", 2, map[string]any{"down-cold-start": false})
+	r := internedReq(e.Interner(), "/m/warm", 100)
+	c, n := e.ConnOpen(r)
+	e.SetNodeDown(n)
+	l := e.Policy().(*policy.LARD)
+	if !l.Mapping().IsMapped(r.ID, n) {
+		t.Fatal("down-cold-start=false still dropped the mapping")
+	}
+	e.ConnClose(c)
+}
+
+func TestEnginePickUp(t *testing.T) {
+	e := churnEngine(t, "wrr", 3, nil)
+	// Load node 0 so PickUp prefers an idle node.
+	c0, _ := e.ConnOpen(internedReq(e.Interner(), "/m/p0", 10))
+	if got := e.PickUp(core.NoNode); got == core.NoNode {
+		t.Fatal("PickUp found nothing on a healthy cluster")
+	}
+	e.SetNodeDown(1)
+	e.SetNodeDown(2)
+	if got := e.PickUp(core.NoNode); got != 0 {
+		t.Fatalf("PickUp = %d, want the only up node 0", got)
+	}
+	if got := e.PickUp(0); got != core.NoNode {
+		t.Fatalf("PickUp excluding the only up node = %d, want NoNode", got)
+	}
+	e.SetNodeDown(0)
+	if got := e.PickUp(core.NoNode); got != core.NoNode {
+		t.Fatalf("PickUp with no up nodes = %d, want NoNode", got)
+	}
+	e.ConnClose(c0)
+}
+
+func TestEngineMoveConn(t *testing.T) {
+	e := churnEngine(t, "wrr", 2, nil)
+	c, n := e.ConnOpen(internedReq(e.Interner(), "/m/mv", 10))
+	to := core.NodeID(1 - int(n))
+	loads := e.Policy().Loads()
+	if loads.Conns(n) != 1 || loads.Conns(to) != 0 {
+		t.Fatalf("pre-move conns: %d/%d", loads.Conns(n), loads.Conns(to))
+	}
+	e.MoveConn(c, to)
+	if c.Handling() != to {
+		t.Fatalf("Handling = %d after move, want %d", c.Handling(), to)
+	}
+	if loads.Conns(n) != 0 || loads.Conns(to) != 1 {
+		t.Fatalf("post-move conns: %d/%d", loads.Conns(n), loads.Conns(to))
+	}
+	e.MoveConn(c, to) // no-op: already there
+	e.ConnClose(c)
+	e.MoveConn(c, n) // no-op: closed
+	if loads.Conns(n) != 0 && loads.Conns(to) != 0 {
+		t.Fatal("MoveConn on closed connection re-charged a node")
+	}
+}

@@ -1,0 +1,212 @@
+package membership
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"phttp/internal/core"
+)
+
+var t0 = time.Unix(1000, 0)
+
+func at(d time.Duration) time.Time { return t0.Add(d) }
+
+func newTable(n int) *Table {
+	return New(n, Config{HeartbeatTimeout: time.Second, ConfirmWindow: time.Second}, t0)
+}
+
+func TestStateStrings(t *testing.T) {
+	want := map[State]string{
+		Joining: "joining", Up: "up", Draining: "draining",
+		Suspect: "suspect", Down: "down", State(42): "state(42)",
+	}
+	for s, str := range want {
+		if got := s.String(); got != str {
+			t.Errorf("State(%d).String() = %q, want %q", s, got, str)
+		}
+	}
+}
+
+func TestLifecycle(t *testing.T) {
+	tb := newTable(3)
+	if tb.Nodes() != 3 {
+		t.Fatalf("Nodes() = %d, want 3", tb.Nodes())
+	}
+	for n := core.NodeID(0); n < 3; n++ {
+		if got := tb.State(n); got != Joining {
+			t.Fatalf("node %d starts %v, want joining", n, got)
+		}
+	}
+	if tb.UpCount() != 0 {
+		t.Fatalf("UpCount = %d before any MarkUp", tb.UpCount())
+	}
+
+	tb.MarkUp(0, t0)
+	tb.MarkUp(1, t0)
+	if tb.UpCount() != 2 {
+		t.Fatalf("UpCount = %d after two MarkUp", tb.UpCount())
+	}
+
+	// Heartbeat silence: node 1 goes Suspect at the tick past the
+	// timeout, then Down after the confirm window.
+	tb.Heartbeat(0, at(2*time.Second))
+	tb.Tick(at(2 * time.Second))
+	if got := tb.State(0); got != Up {
+		t.Fatalf("heartbeated node 0 = %v, want up", got)
+	}
+	if got := tb.State(1); got != Suspect {
+		t.Fatalf("silent node 1 = %v, want suspect", got)
+	}
+	// Within the confirm window: still suspect.
+	tb.Tick(at(2*time.Second + 500*time.Millisecond))
+	if got := tb.State(1); got != Suspect {
+		t.Fatalf("node 1 inside confirm window = %v, want suspect", got)
+	}
+	tb.Heartbeat(0, at(3500*time.Millisecond))
+	tb.Tick(at(4 * time.Second))
+	if got := tb.State(1); got != Down {
+		t.Fatalf("node 1 past confirm window = %v, want down", got)
+	}
+
+	// Rejoin: MarkUp revives a Down node.
+	tb.MarkUp(1, at(5*time.Second))
+	if got := tb.State(1); got != Up {
+		t.Fatalf("rejoined node 1 = %v, want up", got)
+	}
+
+	snap := tb.Snapshot()
+	if len(snap) != 3 || snap[0] != Up || snap[1] != Up || snap[2] != Joining {
+		t.Fatalf("Snapshot = %v", snap)
+	}
+}
+
+func TestSuspectRecovery(t *testing.T) {
+	tb := newTable(1)
+	tb.MarkUp(0, t0)
+	tb.Suspect(0, at(time.Second))
+	if got := tb.State(0); got != Suspect {
+		t.Fatalf("after Suspect: %v", got)
+	}
+	// A heartbeat while Suspect revives the node and resets the clock.
+	tb.Heartbeat(0, at(1500*time.Millisecond))
+	if got := tb.State(0); got != Up {
+		t.Fatalf("heartbeat while suspect: %v, want up", got)
+	}
+	tb.Tick(at(2 * time.Second))
+	if got := tb.State(0); got != Up {
+		t.Fatalf("recently heartbeated: %v, want up", got)
+	}
+}
+
+func TestDrainAndSuspectInteraction(t *testing.T) {
+	tb := newTable(2)
+	tb.MarkUp(0, t0)
+	tb.Drain(0)
+	if got := tb.State(0); got != Draining {
+		t.Fatalf("after Drain: %v", got)
+	}
+	// Draining nodes are exempt from heartbeat-silence suspicion...
+	tb.Tick(at(time.Hour))
+	if got := tb.State(0); got != Draining {
+		t.Fatalf("draining node after long tick: %v", got)
+	}
+	// ...but a dead control link finishes the leave immediately.
+	tb.Suspect(0, at(time.Hour))
+	if got := tb.State(0); got != Down {
+		t.Fatalf("draining node with dead link: %v, want down", got)
+	}
+	// Drain on a Down node stays Down.
+	tb.Drain(0)
+	if got := tb.State(0); got != Down {
+		t.Fatalf("drain on down node: %v", got)
+	}
+	// Suspect on a Down node is a no-op.
+	tb.Suspect(0, at(2*time.Hour))
+	if got := tb.State(0); got != Down {
+		t.Fatalf("suspect on down node: %v", got)
+	}
+
+	// Joining nodes can be suspected (dial retries exhausted).
+	tb.Suspect(1, t0)
+	if got := tb.State(1); got != Suspect {
+		t.Fatalf("suspected joining node: %v", got)
+	}
+}
+
+func TestMarkDownImmediate(t *testing.T) {
+	tb := newTable(1)
+	tb.MarkUp(0, t0)
+	tb.MarkDown(0)
+	if got := tb.State(0); got != Down {
+		t.Fatalf("after MarkDown: %v", got)
+	}
+}
+
+func TestListeners(t *testing.T) {
+	tb := newTable(2)
+	var log []string
+	tb.OnChange(func(n core.NodeID, from, to State) {
+		log = append(log, fmt.Sprintf("%d:%v->%v", n, from, to))
+	})
+	tb.MarkUp(0, t0)
+	tb.MarkUp(0, t0) // duplicate: no transition, no callback
+	tb.Tick(at(2 * time.Second))
+	tb.Tick(at(4 * time.Second))
+	want := []string{"0:joining->up", "0:up->suspect", "0:suspect->down"}
+	if len(log) != len(want) {
+		t.Fatalf("listener log = %v, want %v", log, want)
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("listener log[%d] = %q, want %q", i, log[i], want[i])
+		}
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.HeartbeatTimeout != DefaultHeartbeatTimeout || cfg.ConfirmWindow != DefaultConfirmWindow {
+		t.Fatalf("withDefaults = %+v", cfg)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0, Config{}, t0)
+}
+
+// TestConcurrentAccess exercises the table under the race detector: the
+// prototype calls Heartbeat/Suspect from per-link goroutines while a
+// ticker runs Tick.
+func TestConcurrentAccess(t *testing.T) {
+	tb := newTable(4)
+	for n := core.NodeID(0); n < 4; n++ {
+		tb.MarkUp(n, t0)
+	}
+	var wg sync.WaitGroup
+	for n := core.NodeID(0); n < 4; n++ {
+		wg.Add(1)
+		go func(n core.NodeID) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				tb.Heartbeat(n, at(time.Duration(i)*time.Millisecond))
+				if i%100 == 99 {
+					tb.Suspect(n, at(time.Duration(i)*time.Millisecond))
+				}
+			}
+		}(n)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			tb.Tick(at(time.Duration(i) * 5 * time.Millisecond))
+			tb.UpCount()
+			tb.Snapshot()
+		}
+	}()
+	wg.Wait()
+}

@@ -38,7 +38,10 @@ type ringPoint struct {
 	node core.NodeID
 }
 
-var _ core.Policy = (*BoundedCH)(nil)
+var (
+	_ core.Policy           = (*BoundedCH)(nil)
+	_ core.MembershipPolicy = (*BoundedCH)(nil)
+)
 
 // NewBoundedCH returns a bounded-load consistent-hashing policy over n
 // nodes with the given virtual replica count per node and load bound
@@ -51,11 +54,11 @@ func NewBoundedCH(n, replicas int, bound float64, seed uint64) *BoundedCH {
 		replicas = 1
 	}
 	b := &BoundedCH{
-		connGranular: connGranular{loads: core.NewLoadTracker(n)},
-		bound:        bound,
-		seed:         seed,
-		ring:         make([]ringPoint, 0, n*replicas),
+		bound: bound,
+		seed:  seed,
+		ring:  make([]ringPoint, 0, n*replicas),
 	}
+	b.initConnGranular(n)
 	for node := 0; node < n; node++ {
 		for r := 0; r < replicas; r++ {
 			h := splitmix64(seed ^ uint64(node)<<32 ^ uint64(r))
@@ -78,13 +81,24 @@ func (b *BoundedCH) Name() string { return "boundedCH" }
 // ceil(c × (total+1) / n), the paper's bound with the incoming connection
 // counted. With c >= 1 at least one node is always below it (if every node
 // held ≥ cap connections the total would exceed c×(total+1) ≥ total+1).
-func (b *BoundedCH) capacity() int {
+// Under churn n is the eligible node count — the bound keeps its meaning
+// over the nodes that can actually accept work — while total still
+// counts every connection (those on draining nodes will finish and the
+// cap relaxes as they do).
+func (b *BoundedCH) capacity(mem *memberSet) int {
 	n := b.loads.Nodes()
 	total := 0
+	elig := 0
 	for i := 0; i < n; i++ {
 		total += b.loads.Conns(core.NodeID(i))
+		if mem == nil || mem.eligible(core.NodeID(i)) {
+			elig++
+		}
 	}
-	c := b.bound * float64(total+1) / float64(n)
+	if elig == 0 {
+		elig = n
+	}
+	c := b.bound * float64(total+1) / float64(elig)
 	limit := int(c)
 	if float64(limit) < c {
 		limit++
@@ -93,19 +107,29 @@ func (b *BoundedCH) capacity() int {
 }
 
 // pick walks the ring clockwise from the target's hash position and
-// returns the first node with spare capacity.
+// returns the first eligible node with spare capacity. Ineligible nodes'
+// ring points are skipped — removing a node shifts only its own arcs to
+// the next nodes clockwise, the consistent-hashing property.
 func (b *BoundedCH) pick(id core.TargetID) core.NodeID {
 	h := splitmix64(uint64(uint32(id)) ^ b.seed)
 	i := sort.Search(len(b.ring), func(i int) bool { return b.ring[i].hash >= h })
-	limit := b.capacity()
+	mem := b.active()
+	limit := b.capacity(mem)
 	for walked := 0; walked < len(b.ring); walked++ {
 		p := b.ring[(i+walked)%len(b.ring)]
+		if mem != nil && !mem.eligible(p.node) {
+			continue
+		}
 		if b.loads.Conns(p.node) < limit {
 			return p.node
 		}
 	}
 	// Unreachable with a correctly computed cap (see capacity); degrade to
-	// the least-loaded node rather than panicking on racy counts.
+	// the least-loaded (eligible, if any) node rather than panicking on
+	// racy counts.
+	if n := mem.leastEligibleAll(b.loads); n != core.NoNode {
+		return n
+	}
 	return b.loads.Least()
 }
 

@@ -10,7 +10,15 @@ import "phttp/internal/core"
 // ConnOpen; the shared lifecycle lives here once instead of being copied
 // per policy.
 type connGranular struct {
+	memberSet
 	loads *core.LoadTracker
+}
+
+// initConnGranular builds the shared base over n nodes, in place —
+// memberSet holds atomics, so a connGranular must never be copied.
+func (g *connGranular) initConnGranular(n int) {
+	g.loads = core.NewLoadTracker(n)
+	g.init(n)
 }
 
 // AssignBatch sends every request to the handling node (connection

@@ -52,6 +52,11 @@ type ExtLARD struct {
 	mapping *cache.Mapping
 	all     []core.NodeID // precomputed 0..n-1, read-only
 	diskQ   []atomic.Int64
+	mem     memberSet
+
+	// DownColdStart: as for LARD — NodeDown drops the dead node's
+	// mapping entries when set (the default). Set before traffic.
+	DownColdStart bool
 
 	// stats
 	localServes   atomic.Int64
@@ -60,18 +65,39 @@ type ExtLARD struct {
 	cacheBypasses atomic.Int64
 }
 
-var _ core.Policy = (*ExtLARD)(nil)
+var (
+	_ core.Policy           = (*ExtLARD)(nil)
+	_ core.MembershipPolicy = (*ExtLARD)(nil)
+)
 
 // NewExtLARD returns an extended LARD policy over n nodes driving the given
 // mechanism.
 func NewExtLARD(n int, cacheBytes int64, params Params, mech core.Mechanism) *ExtLARD {
-	return &ExtLARD{
-		params:  params,
-		mech:    mech,
-		loads:   core.NewLoadTracker(n),
-		mapping: cache.NewMapping(n, cacheBytes),
-		all:     allNodes(n),
-		diskQ:   make([]atomic.Int64, n),
+	e := &ExtLARD{
+		params:        params,
+		mech:          mech,
+		loads:         core.NewLoadTracker(n),
+		mapping:       cache.NewMapping(n, cacheBytes),
+		all:           allNodes(n),
+		diskQ:         make([]atomic.Int64, n),
+		DownColdStart: true,
+	}
+	e.mem.init(n)
+	return e
+}
+
+// NodeUp, NodeDown and NodeDraining implement core.MembershipPolicy.
+// Ineligible nodes drop out of every cost minimization — for the
+// zero-cost-handoff and relay mechanisms each per-request decision
+// naturally migrates traffic off a draining node; for BE forwarding and
+// multiple handoff a connection stuck on a draining handling node keeps
+// being served there (no new connections arrive) until it closes.
+func (e *ExtLARD) NodeUp(n core.NodeID)       { e.mem.setEligible(n, true) }
+func (e *ExtLARD) NodeDraining(n core.NodeID) { e.mem.setEligible(n, false) }
+func (e *ExtLARD) NodeDown(n core.NodeID) {
+	e.mem.setEligible(n, false)
+	if e.DownColdStart {
+		e.mapping.DropNode(n)
 	}
 }
 
@@ -98,7 +124,7 @@ func (e *ExtLARD) diskLow(n core.NodeID) bool {
 
 // ConnOpen chooses the handling node with the basic LARD strategy.
 func (e *ExtLARD) ConnOpen(c *core.ConnState, first core.Request) core.NodeID {
-	n := pick(e.params, e.loads, e.mapping, first.ID, e.all)
+	n := pick(e.params, e.loads, e.mapping, first.ID, e.all, &e.mem)
 	c.Handling = n
 	e.loads.AddConn(n)
 	e.mapping.Map(first.ID, first.Size, n)
@@ -167,7 +193,7 @@ func (e *ExtLARD) assignNext(c *core.ConnState, r core.Request) core.Assignment 
 		var candBuf [33]core.NodeID
 		candidates := append(candBuf[:0], h)
 		candidates = e.mapping.AppendNodesFor(candidates, r.ID)
-		win := pick(e.params, e.loads, e.mapping, r.ID, candidates)
+		win := pick(e.params, e.loads, e.mapping, r.ID, candidates, &e.mem)
 		if win == h {
 			// No better holder: fetch from the local disk despite its
 			// high utilization. The unified buffer cache holds what the
@@ -195,7 +221,7 @@ func (e *ExtLARD) assignNext(c *core.ConnState, r core.Request) core.Assignment 
 
 	case core.ZeroCostHandoff, core.RelayFrontEnd:
 		// Per-request basic LARD over all nodes.
-		win := pick(e.params, e.loads, e.mapping, r.ID, e.all)
+		win := pick(e.params, e.loads, e.mapping, r.ID, e.all, &e.mem)
 		e.mapping.Map(r.ID, r.Size, win)
 		if win == h {
 			e.localServes.Add(1)

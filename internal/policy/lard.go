@@ -25,18 +25,46 @@ type LARD struct {
 	loads   *core.LoadTracker
 	mapping *cache.Mapping
 	all     []core.NodeID // precomputed 0..n-1, read-only
+	mem     memberSet
+
+	// DownColdStart controls what NodeDown does with the mapping
+	// entries pointing at the dead node: true (the default, matching a
+	// crashed back-end restarting with an empty cache) drops them so
+	// the dispatcher stops believing the node holds anything; false
+	// keeps them for a warm rejoin (a drained node that kept its
+	// cache). Set before traffic.
+	DownColdStart bool
 }
 
-var _ core.Policy = (*LARD)(nil)
+var (
+	_ core.Policy           = (*LARD)(nil)
+	_ core.MembershipPolicy = (*LARD)(nil)
+)
 
 // NewLARD returns a basic LARD policy over n nodes whose mapping model
 // assumes each node caches about cacheBytes of content.
 func NewLARD(n int, cacheBytes int64, params Params) *LARD {
-	return &LARD{
-		params:  params,
-		loads:   core.NewLoadTracker(n),
-		mapping: cache.NewMapping(n, cacheBytes),
-		all:     allNodes(n),
+	l := &LARD{
+		params:        params,
+		loads:         core.NewLoadTracker(n),
+		mapping:       cache.NewMapping(n, cacheBytes),
+		all:           allNodes(n),
+		DownColdStart: true,
+	}
+	l.mem.init(n)
+	return l
+}
+
+// NodeUp, NodeDown and NodeDraining implement core.MembershipPolicy:
+// ineligible nodes disappear from the cost minimization, and a Down
+// node's mapping entries are invalidated when DownColdStart is set (the
+// interner references they held are released with them).
+func (l *LARD) NodeUp(n core.NodeID)       { l.mem.setEligible(n, true) }
+func (l *LARD) NodeDraining(n core.NodeID) { l.mem.setEligible(n, false) }
+func (l *LARD) NodeDown(n core.NodeID) {
+	l.mem.setEligible(n, false)
+	if l.DownColdStart {
+		l.mapping.DropNode(n)
 	}
 }
 
@@ -50,25 +78,37 @@ func (l *LARD) Mapping() *cache.Mapping { return l.mapping }
 // candidates, breaking ties toward lower load and then lower ID. If every
 // candidate is overloaded (infinite cost), the least-loaded candidate is
 // returned: the connection has to go somewhere.
-func pick(p Params, loads *core.LoadTracker, mapping *cache.Mapping, id core.TargetID, candidates []core.NodeID) core.NodeID {
+//
+// mem, when non-nil and not all-up, removes ineligible (Draining/Down)
+// nodes from consideration; if that removes every candidate, the pick
+// degrades to the unfiltered decision — an existing connection on a
+// draining node keeps being served there rather than going nowhere.
+func pick(p Params, loads *core.LoadTracker, mapping *cache.Mapping, id core.TargetID, candidates []core.NodeID, mem *memberSet) core.NodeID {
+	if mem != nil {
+		mem = mem.active()
+	}
+	if n := pickAmong(p, loads, mapping, id, candidates, mem); n != core.NoNode {
+		return n
+	}
+	return pickAmong(p, loads, mapping, id, candidates, nil)
+}
+
+func pickAmong(p Params, loads *core.LoadTracker, mapping *cache.Mapping, id core.TargetID, candidates []core.NodeID, mem *memberSet) core.NodeID {
 	best := core.NoNode
 	bestCost := 0.0
 	for _, n := range candidates {
+		if mem != nil && !mem.eligible(n) {
+			continue
+		}
 		cost := p.Aggregate(loads.Load(n), mapping.IsMapped(id, n))
 		if best == core.NoNode || cost < bestCost ||
 			(cost == bestCost && loads.Load(n) < loads.Load(best)) {
 			best, bestCost = n, cost
 		}
 	}
-	if bestCost == Infinite {
+	if best != core.NoNode && bestCost == Infinite {
 		// Everybody overloaded: degrade to pure load balancing.
-		least := candidates[0]
-		for _, n := range candidates[1:] {
-			if loads.Load(n) < loads.Load(least) {
-				least = n
-			}
-		}
-		return least
+		return mem.leastEligible(loads, candidates)
 	}
 	return best
 }
@@ -84,7 +124,7 @@ func allNodes(n int) []core.NodeID {
 // ConnOpen chooses the handling node by minimum aggregate cost over all
 // nodes and records that the first target will be cached there.
 func (l *LARD) ConnOpen(c *core.ConnState, first core.Request) core.NodeID {
-	n := pick(l.params, l.loads, l.mapping, first.ID, l.all)
+	n := pick(l.params, l.loads, l.mapping, first.ID, l.all, &l.mem)
 	c.Handling = n
 	l.loads.AddConn(n)
 	l.mapping.Map(first.ID, first.Size, n)

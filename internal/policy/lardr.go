@@ -32,9 +32,16 @@ type LARDR struct {
 	mapping *cache.Mapping
 	all     []core.NodeID
 
+	mem memberSet
+
 	// GrowInterval and ShrinkInterval are assignment counts (see above).
 	GrowInterval   int
 	ShrinkInterval int
+
+	// DownColdStart: as for LARD — NodeDown drops the dead node's
+	// server-set memberships when set (the default). Set before
+	// traffic.
+	DownColdStart bool
 
 	// mu guards the replication state: the server-set grow/shrink decision
 	// is a read-modify-write over per-target counters and the mapping, so
@@ -52,20 +59,39 @@ type LARDR struct {
 	setBuf  []core.NodeID // scratch for server sets, guarded by mu
 }
 
-var _ core.Policy = (*LARDR)(nil)
+var (
+	_ core.Policy           = (*LARDR)(nil)
+	_ core.MembershipPolicy = (*LARDR)(nil)
+)
 
 // NewLARDR returns a LARD/R policy over n nodes.
 func NewLARDR(n int, cacheBytes int64, params Params) *LARDR {
-	return &LARDR{
+	l := &LARDR{
 		params:         params,
 		loads:          core.NewLoadTracker(n),
 		mapping:        cache.NewMapping(n, cacheBytes),
 		all:            allNodes(n),
 		GrowInterval:   20,
 		ShrinkInterval: 200,
+		DownColdStart:  true,
 		// Server sets never exceed the node count, so a cap-n scratch
 		// buffer makes every AppendNodesFor below allocation-free.
 		setBuf: make([]core.NodeID, 0, n),
+	}
+	l.mem.init(n)
+	return l
+}
+
+// NodeUp, NodeDown and NodeDraining implement core.MembershipPolicy.
+// Server sets shrink to their eligible members at assignment time, so a
+// kept (warm) mapping on a Down node simply stops attracting traffic
+// until the node rejoins.
+func (l *LARDR) NodeUp(n core.NodeID)       { l.mem.setEligible(n, true) }
+func (l *LARDR) NodeDraining(n core.NodeID) { l.mem.setEligible(n, false) }
+func (l *LARDR) NodeDown(n core.NodeID) {
+	l.mem.setEligible(n, false)
+	if l.DownColdStart {
+		l.mapping.DropNode(n)
 	}
 }
 
@@ -98,10 +124,17 @@ func (l *LARDR) counter(id core.TargetID) *int32 {
 func (l *LARDR) assign(r core.Request) core.NodeID {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	set := l.mapping.AppendNodesFor(l.setBuf[:0], r.ID)
+	mem := l.mem.active()
+	set := l.filterEligible(l.mapping.AppendNodesFor(l.setBuf[:0], r.ID), mem)
 	if len(set) == 0 {
-		// Unmapped: send to the overall least-loaded node and map it.
-		n := l.leastOf(l.all)
+		// Unmapped (or mapped only on ineligible nodes): send to the
+		// least-loaded eligible node and map it. With zero eligible
+		// nodes — the driver gates dispatch on that — degrade to the
+		// unfiltered choice rather than returning NoNode.
+		n := mem.leastEligible(l.loads, l.all)
+		if n == core.NoNode {
+			n = l.leastOf(l.all)
+		}
 		l.mapping.Map(r.ID, r.Size, n)
 		*l.counter(r.ID) = 0
 		return n
@@ -114,7 +147,12 @@ func (l *LARDR) assign(r core.Request) core.NodeID {
 	case l.loads.Load(n) >= l.params.LOverload && len(set) < l.loads.Nodes() &&
 		int(*st) >= l.GrowInterval:
 		// Even the lightest replica is overloaded: replicate.
-		grown := l.leastExcluding(set)
+		grown := l.leastExcluding(set, mem)
+		if grown == core.NoNode {
+			// Every node outside the set is ineligible; nothing to
+			// replicate onto.
+			break
+		}
 		l.mapping.Map(r.ID, r.Size, grown)
 		*st = 0
 		return grown
@@ -129,7 +167,7 @@ func (l *LARDR) assign(r core.Request) core.NodeID {
 		l.mapping.Unmap(r.ID, drop)
 		*st = 0
 		if drop == n {
-			set = l.mapping.AppendNodesFor(set[:0], r.ID)
+			set = l.filterEligible(l.mapping.AppendNodesFor(set[:0], r.ID), mem)
 			n = l.leastOf(set)
 		}
 	}
@@ -147,13 +185,16 @@ func (l *LARDR) leastOf(set []core.NodeID) core.NodeID {
 	return best
 }
 
-// leastExcluding returns the least-loaded node outside set. Server sets are
-// at most a handful of nodes, so the membership test is a linear scan — no
-// per-call map.
-func (l *LARDR) leastExcluding(set []core.NodeID) core.NodeID {
+// leastExcluding returns the least-loaded eligible node outside set (or
+// NoNode when none exists). Server sets are at most a handful of nodes,
+// so the membership test is a linear scan — no per-call map.
+func (l *LARDR) leastExcluding(set []core.NodeID, mem *memberSet) core.NodeID {
 	best := core.NoNode
 	for i := 0; i < l.loads.Nodes(); i++ {
 		n := core.NodeID(i)
+		if mem != nil && !mem.eligible(n) {
+			continue
+		}
 		member := false
 		for _, m := range set {
 			if m == n {
@@ -169,6 +210,21 @@ func (l *LARDR) leastExcluding(set []core.NodeID) core.NodeID {
 		}
 	}
 	return best
+}
+
+// filterEligible removes ineligible nodes from set in place. A nil mem
+// (every node Up — the steady state) returns set untouched.
+func (l *LARDR) filterEligible(set []core.NodeID, mem *memberSet) []core.NodeID {
+	if mem == nil {
+		return set
+	}
+	kept := set[:0]
+	for _, n := range set {
+		if mem.eligible(n) {
+			kept = append(kept, n)
+		}
+	}
+	return kept
 }
 
 // CompactTargets trims the dense per-target assignment counters to the

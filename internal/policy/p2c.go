@@ -25,12 +25,17 @@ type P2C struct {
 	seed uint64
 }
 
-var _ core.Policy = (*P2C)(nil)
+var (
+	_ core.Policy           = (*P2C)(nil)
+	_ core.MembershipPolicy = (*P2C)(nil)
+)
 
 // NewP2C returns a power-of-two-choices policy over n nodes. seed
 // perturbs the target→candidates hash (same seed, same placement).
 func NewP2C(n int, seed uint64) *P2C {
-	return &P2C{connGranular: connGranular{loads: core.NewLoadTracker(n)}, seed: seed}
+	p := &P2C{seed: seed}
+	p.initConnGranular(n)
+	return p
 }
 
 // Name implements core.Policy.
@@ -65,12 +70,30 @@ func (p *P2C) candidates(id core.TargetID) (core.NodeID, core.NodeID) {
 }
 
 // ConnOpen sends the connection to the less loaded of the first target's
-// two candidate nodes and charges it one load unit.
+// two candidate nodes and charges it one load unit. Under churn an
+// ineligible candidate loses to the eligible one; when both candidates
+// are out, the connection goes to the least-loaded eligible node (the
+// target's locality is sacrificed, its fallback placement still
+// deterministic per the load state).
 func (p *P2C) ConnOpen(c *core.ConnState, first core.Request) core.NodeID {
 	a, b := p.candidates(first.ID)
 	best := a
 	if p.loads.Load(b) < p.loads.Load(a) {
 		best = b
+	}
+	if mem := p.active(); mem != nil {
+		switch {
+		case mem.eligible(a) && mem.eligible(b):
+			// keep best
+		case mem.eligible(a):
+			best = a
+		case mem.eligible(b):
+			best = b
+		default:
+			if n := mem.leastEligibleAll(p.loads); n != core.NoNode {
+				best = n
+			}
+		}
 	}
 	c.Handling = best
 	p.loads.AddConn(best)

@@ -19,12 +19,16 @@ import (
 // and break ties identically, which skews nothing (the load comparison, not
 // the cursor, carries the balancing).
 type WRR struct {
+	memberSet
 	loads   *core.LoadTracker
 	weights []float64
 	next    atomic.Int64 // round-robin tie-break cursor
 }
 
-var _ core.Policy = (*WRR)(nil)
+var (
+	_ core.Policy           = (*WRR)(nil)
+	_ core.MembershipPolicy = (*WRR)(nil)
+)
 
 // NewWRR returns a WRR policy over n equally weighted back-end nodes.
 func NewWRR(n int) *WRR {
@@ -45,24 +49,41 @@ func NewWeightedWRR(weights []float64) *WRR {
 			panic(fmt.Sprintf("policy: WRR weight %d is %v, must be positive", i, w))
 		}
 	}
-	return &WRR{loads: core.NewLoadTracker(len(weights)), weights: weights}
+	w := &WRR{loads: core.NewLoadTracker(len(weights)), weights: weights}
+	w.init(len(weights))
+	return w
 }
 
 // Name implements core.Policy.
 func (w *WRR) Name() string { return "WRR" }
 
-// ConnOpen assigns the connection to the least weighted-load node, breaking
-// ties round-robin, and charges it one load unit.
+// ConnOpen assigns the connection to the least weighted-load eligible
+// node, breaking ties round-robin, and charges it one load unit. With
+// every node ineligible (the driver gates dispatch on that) it degrades
+// to the unfiltered choice.
 func (w *WRR) ConnOpen(c *core.ConnState, _ core.Request) core.NodeID {
 	n := w.loads.Nodes()
 	cursor := int(w.next.Load())
+	mem := w.active()
 	best := core.NoNode
 	bestLoad := 0.0
 	for i := 0; i < n; i++ {
 		cand := core.NodeID((cursor + i) % n)
+		if mem != nil && !mem.eligible(cand) {
+			continue
+		}
 		l := w.loads.Load(cand) / w.weights[cand]
 		if best == core.NoNode || l < bestLoad {
 			best, bestLoad = cand, l
+		}
+	}
+	if best == core.NoNode {
+		for i := 0; i < n; i++ {
+			cand := core.NodeID((cursor + i) % n)
+			l := w.loads.Load(cand) / w.weights[cand]
+			if best == core.NoNode || l < bestLoad {
+				best, bestLoad = cand, l
+			}
 		}
 	}
 	w.next.Store(int64((int(best) + 1) % n))

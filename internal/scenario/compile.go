@@ -18,6 +18,33 @@ import (
 // canonical listing (sim.AllCombos).
 func simComboByName(name string) (sim.Combo, error) { return sim.ComboByName(name) }
 
+// parseChurnKind resolves a churn kind through the simulator's schema
+// spelling ("crash", "leave", "join").
+func parseChurnKind(s string) (sim.ChurnKind, error) { return sim.ParseChurnKind(s) }
+
+// compile lowers the validated schedule to the simulator's event list.
+func (c *ChurnSpec) compile() []sim.ChurnEvent {
+	evs := make([]sim.ChurnEvent, len(c.Events))
+	for i, e := range c.Events {
+		k, _ := parseChurnKind(e.Kind)
+		evs[i] = sim.ChurnEvent{
+			At:   core.Micros(e.AtMs * 1000),
+			Kind: k,
+			Node: core.NodeID(e.Node),
+		}
+	}
+	return evs
+}
+
+// retryBudget resolves the schedule's budget (default
+// DefaultChurnRetryBudget).
+func (c *ChurnSpec) retryBudget() int {
+	if c.RetryBudget != nil {
+		return *c.RetryBudget
+	}
+	return DefaultChurnRetryBudget
+}
+
 // SimPoint is one grid point of a compiled simulation scenario: the series
 // label, the x-axis value (cluster size, or offered load for a loads
 // sweep) and the fully resolved simulator configuration.
@@ -63,6 +90,12 @@ func (s *Spec) simBase(nodes int, combo sim.Combo, kind core.ServerKind) sim.Con
 	}
 	if len(s.Policy.Options) > 0 {
 		cfg.PolicyOptions = dispatch.Options(s.Policy.Options)
+	}
+	// Churn-free scenarios leave both fields zero, keeping the compiled
+	// config DeepEqual to the legacy grid (the goldens above).
+	if s.Churn != nil {
+		cfg.Churn = s.Churn.compile()
+		cfg.RetryBudget = s.Churn.retryBudget()
 	}
 	return cfg
 }
@@ -177,6 +210,9 @@ func (s *Spec) ToClusterConfig(catalog map[core.Target]int64) (cluster.Config, e
 	if s.Policy.Name == "" {
 		return cluster.Config{}, fmt.Errorf("scenario: prototype compilation needs policy.name (combos sweeps are simulator-only)")
 	}
+	if s.Churn != nil {
+		return cluster.Config{}, fmt.Errorf("scenario: churn schedules are simulator-only; churn a prototype cluster through the front-end's admin surface")
+	}
 	mech, err := s.mechanism()
 	if err != nil {
 		return cluster.Config{}, err
@@ -215,6 +251,9 @@ func (s *Spec) ToFrontEndConfig(nodes int) (cluster.FrontEndConfig, error) {
 	}
 	if s.Policy.Name == "" {
 		return cluster.FrontEndConfig{}, fmt.Errorf("scenario: front-end compilation needs policy.name (combos sweeps are simulator-only)")
+	}
+	if s.Churn != nil {
+		return cluster.FrontEndConfig{}, fmt.Errorf("scenario: churn schedules are simulator-only; churn a prototype cluster through the front-end's admin surface")
 	}
 	mech, err := s.mechanism()
 	if err != nil {

@@ -51,6 +51,11 @@ type Spec struct {
 	Server ServerSpec `json:"server,omitempty"`
 	// Sweep, when present, turns the scenario into a grid of runs.
 	Sweep *SweepSpec `json:"sweep,omitempty"`
+	// Churn, when present, schedules deterministic membership events
+	// (crash/leave/join) into every simulated grid point. Simulator-only:
+	// the prototype compilers reject it — live clusters churn through
+	// real crashes and the front-end's admin surface, not a schedule.
+	Churn *ChurnSpec `json:"churn,omitempty"`
 }
 
 // WorkloadSpec selects the request trace: a synthetic-generator
@@ -119,6 +124,38 @@ type ClusterSpec struct {
 	// Clients is the load generator's concurrency (default: loadgen's).
 	Clients int `json:"clients,omitempty"`
 }
+
+// ChurnSpec schedules deterministic membership events into a simulated
+// run: the simulator applies each transition at its scheduled time and
+// re-dispatches in-flight work off crashed nodes within the retry
+// budget. Results stay bit-reproducible — the schedule is part of the
+// configuration, not a random process.
+type ChurnSpec struct {
+	// Events is the membership-event schedule; at least one is required.
+	Events []ChurnEventSpec `json:"events"`
+	// RetryBudget caps crash re-dispatch attempts per request (and per
+	// connection open); work exceeding it fails and its connection
+	// closes. Pointer so an explicit 0 (fail on first loss) is
+	// distinguishable from the default (DefaultChurnRetryBudget).
+	RetryBudget *int `json:"retryBudget,omitempty"`
+}
+
+// ChurnEventSpec is one scheduled membership transition.
+type ChurnEventSpec struct {
+	// AtMs is the simulated time of the transition in milliseconds.
+	// Time 0 applies before any connection is admitted (a node can start
+	// the run down).
+	AtMs float64 `json:"atMs"`
+	// Kind is "crash" (node dies, cache restarts cold, in-flight work
+	// re-dispatched), "leave" (graceful drain) or "join" ((re)admission).
+	Kind string `json:"kind"`
+	// Node is the affected back-end index.
+	Node int `json:"node"`
+}
+
+// DefaultChurnRetryBudget is the re-dispatch budget a churn scenario
+// gets when it does not set one.
+const DefaultChurnRetryBudget = 2
 
 // ServerSpec selects the back-end CPU cost model.
 type ServerSpec struct {
@@ -266,6 +303,36 @@ func (s *Spec) Validate() error {
 	w := s.Workload.Synth
 	if w != nil && (w.Connections < 0 || w.Pages < 0 || w.Objects < 0 || w.Clients < 0) {
 		return fmt.Errorf("scenario: negative workload dimension")
+	}
+	if ch := s.Churn; ch != nil {
+		if len(ch.Events) == 0 {
+			return fmt.Errorf("scenario: churn.events is empty")
+		}
+		if ch.RetryBudget != nil && *ch.RetryBudget < 0 {
+			return fmt.Errorf("scenario: churn.retryBudget must be non-negative, got %d", *ch.RetryBudget)
+		}
+		// The schedule is shared by every grid point, so each event's
+		// node must exist in the smallest swept cluster.
+		minNodes := s.Cluster.Nodes
+		if s.Sweep != nil && len(s.Sweep.Nodes) > 0 {
+			minNodes = s.Sweep.Nodes[0]
+			for _, n := range s.Sweep.Nodes[1:] {
+				if n < minNodes {
+					minNodes = n
+				}
+			}
+		}
+		for i, ev := range ch.Events {
+			if ev.AtMs < 0 {
+				return fmt.Errorf("scenario: churn event %d: atMs must be non-negative, got %g", i, ev.AtMs)
+			}
+			if _, err := parseChurnKind(ev.Kind); err != nil {
+				return fmt.Errorf("scenario: churn event %d: %w", i, err)
+			}
+			if ev.Node < 0 || ev.Node >= minNodes {
+				return fmt.Errorf("scenario: churn event %d: node %d out of range for the smallest cluster in the grid (%d nodes)", i, ev.Node, minNodes)
+			}
+		}
 	}
 	return nil
 }

@@ -1,0 +1,240 @@
+package sim
+
+import (
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"phttp/internal/core"
+	"phttp/internal/trace"
+)
+
+// Churn (membership-event) behavior: crashes re-dispatch in-flight work
+// within the retry budget, drains finish gracefully, and the whole
+// schedule is deterministic.
+
+var (
+	churnTraceOnce sync.Once
+	churnTraceVal  *trace.Trace
+)
+
+func churnTrace() *trace.Trace {
+	churnTraceOnce.Do(func() {
+		cfg := trace.DefaultSynthConfig()
+		cfg.Connections = 4000
+		churnTraceVal = trace.NewSynth(cfg).Generate()
+	})
+	return churnTraceVal
+}
+
+func churnConfig(t *testing.T, comboName string) Config {
+	t.Helper()
+	combo, err := ComboByName(comboName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(4, combo)
+	// Measure the whole run: failures and re-dispatches are whole-run
+	// counters, so conservation checks need Requests to be one too.
+	cfg.WarmupFrac = 0
+	return cfg
+}
+
+// totalRequests sums the workload's requests as the simulator will see
+// them (flattened for non-P-HTTP combos).
+func totalRequests(cfg Config, tr *trace.Trace) int64 {
+	w := tr
+	if !cfg.Combo.PHTTP {
+		w = tr.Flatten10()
+	}
+	var n int64
+	for _, c := range w.Conns {
+		n += int64(c.Requests())
+	}
+	return n
+}
+
+// midRun returns a crash time roughly halfway through a churn-free run
+// of cfg.
+func midRun(t *testing.T, cfg Config) core.Micros {
+	t.Helper()
+	base := cfg
+	base.Churn = nil
+	res, err := Run(base, churnTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.SimTime / 2
+}
+
+func TestChurnCrashRedispatches(t *testing.T) {
+	cfg := churnConfig(t, "simple-LARD-PHTTP")
+	crashAt := midRun(t, cfg)
+	cfg.Churn = []ChurnEvent{{At: crashAt, Kind: ChurnCrash, Node: 1}}
+	cfg.RetryBudget = 2
+	res, err := Run(cfg, churnTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Redispatches == 0 {
+		t.Error("mid-run crash produced no re-dispatches")
+	}
+	if res.FailedRequests != 0 {
+		t.Errorf("crash with 3 healthy nodes failed %d requests", res.FailedRequests)
+	}
+	if got, want := res.Requests, totalRequests(cfg, churnTrace()); got != want {
+		t.Errorf("served %d of %d requests", got, want)
+	}
+}
+
+func TestChurnCrashZeroBudgetFails(t *testing.T) {
+	cfg := churnConfig(t, "simple-LARD-PHTTP")
+	crashAt := midRun(t, cfg)
+	cfg.Churn = []ChurnEvent{{At: crashAt, Kind: ChurnCrash, Node: 1}}
+	cfg.RetryBudget = 0
+	res, err := Run(cfg, churnTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Redispatches != 0 {
+		t.Errorf("zero retry budget still re-dispatched %d times", res.Redispatches)
+	}
+	if res.FailedRequests == 0 {
+		t.Error("zero retry budget after a crash failed no requests")
+	}
+	// Conservation: every request either completes or fails.
+	if got, want := res.Requests+res.FailedRequests, totalRequests(cfg, churnTrace()); got != want {
+		t.Errorf("served+failed = %d, want %d", got, want)
+	}
+}
+
+func TestChurnLeaveIsGraceful(t *testing.T) {
+	cfg := churnConfig(t, "simple-LARD-PHTTP")
+	leaveAt := midRun(t, cfg)
+	cfg.Churn = []ChurnEvent{{At: leaveAt, Kind: ChurnLeave, Node: 2}}
+	res, err := Run(cfg, churnTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Redispatches != 0 || res.FailedRequests != 0 {
+		t.Errorf("graceful drain re-dispatched %d / failed %d requests", res.Redispatches, res.FailedRequests)
+	}
+	if got, want := res.Requests, totalRequests(cfg, churnTrace()); got != want {
+		t.Errorf("served %d of %d requests", got, want)
+	}
+}
+
+func TestChurnCrashThenRejoin(t *testing.T) {
+	cfg := churnConfig(t, "simple-LARD-PHTTP")
+	crashAt := midRun(t, cfg)
+	cfg.Churn = []ChurnEvent{
+		{At: crashAt, Kind: ChurnCrash, Node: 1},
+		{At: crashAt + crashAt/2, Kind: ChurnJoin, Node: 1},
+	}
+	cfg.RetryBudget = 3
+	res, err := Run(cfg, churnTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FailedRequests != 0 {
+		t.Errorf("crash+rejoin failed %d requests", res.FailedRequests)
+	}
+	if got, want := res.Requests, totalRequests(cfg, churnTrace()); got != want {
+		t.Errorf("served %d of %d requests", got, want)
+	}
+}
+
+func TestChurnStartsDown(t *testing.T) {
+	// A time-0 crash applies before admission: the run proceeds on the
+	// surviving nodes without a single re-dispatch.
+	cfg := churnConfig(t, "simple-LARD-PHTTP")
+	cfg.Churn = []ChurnEvent{{At: 0, Kind: ChurnCrash, Node: 3}}
+	cfg.RetryBudget = 1
+	res, err := Run(cfg, churnTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Redispatches != 0 || res.FailedRequests != 0 {
+		t.Errorf("starts-down run re-dispatched %d / failed %d", res.Redispatches, res.FailedRequests)
+	}
+}
+
+func TestChurnAllMechanismsSurviveCrash(t *testing.T) {
+	for _, name := range []string{
+		"zeroCost-extLARD-PHTTP",
+		"multiHandoff-extLARD-PHTTP",
+		"BEforward-extLARD-PHTTP",
+		"relayFE-extLARD-PHTTP",
+		"WRR-PHTTP",
+		"simple-LARDR-PHTTP",
+	} {
+		cfg := churnConfig(t, name)
+		cfg.Churn = []ChurnEvent{{At: midRun(t, cfg), Kind: ChurnCrash, Node: 1}}
+		cfg.RetryBudget = 4
+		res, err := Run(cfg, churnTrace())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got, want := res.Requests+res.FailedRequests, totalRequests(cfg, churnTrace()); got != want {
+			t.Errorf("%s: served+failed = %d, want %d", name, got, want)
+		}
+	}
+}
+
+func TestChurnDeterministic(t *testing.T) {
+	cfg := churnConfig(t, "BEforward-extLARD-PHTTP")
+	cfg.Churn = []ChurnEvent{
+		{At: midRun(t, cfg), Kind: ChurnCrash, Node: 0},
+		{At: midRun(t, cfg) * 2, Kind: ChurnJoin, Node: 0},
+	}
+	cfg.RetryBudget = 2
+	a, err := Run(cfg, churnTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg, churnTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("churn run not deterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestChurnConfigValidation(t *testing.T) {
+	base := churnConfig(t, "simple-LARD-PHTTP")
+	cases := []struct {
+		name string
+		mut  func(*Config)
+		want string
+	}{
+		{"negative time", func(c *Config) { c.Churn = []ChurnEvent{{At: -1, Kind: ChurnCrash, Node: 0}} }, "time"},
+		{"bad kind", func(c *Config) { c.Churn = []ChurnEvent{{Kind: ChurnKind(9), Node: 0}} }, "kind"},
+		{"node out of range", func(c *Config) { c.Churn = []ChurnEvent{{Kind: ChurnJoin, Node: 4}} }, "out of range"},
+		{"negative budget", func(c *Config) { c.RetryBudget = -1 }, "RetryBudget"},
+	}
+	for _, tc := range cases {
+		cfg := base
+		tc.mut(&cfg)
+		err := cfg.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: Validate() = %v, want error containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestChurnKindStrings(t *testing.T) {
+	for _, k := range []ChurnKind{ChurnCrash, ChurnLeave, ChurnJoin} {
+		got, err := ParseChurnKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseChurnKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParseChurnKind("explode"); err == nil {
+		t.Error("ParseChurnKind accepted an unknown kind")
+	}
+	if s := ChurnKind(9).String(); !strings.Contains(s, "9") {
+		t.Errorf("ChurnKind(9).String() = %q", s)
+	}
+}

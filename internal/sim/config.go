@@ -93,6 +93,61 @@ func ComboByName(name string) (Combo, error) {
 		name, strings.Join(ComboNames(), ", "))
 }
 
+// ChurnKind classifies a scheduled membership event.
+type ChurnKind int
+
+const (
+	// ChurnCrash kills a node instantly: its cache restarts cold, its
+	// in-flight work is re-dispatched against the retry budget, and the
+	// dispatch policies stop placing work on it (dropping or keeping its
+	// mappings per the down-cold-start option).
+	ChurnCrash ChurnKind = iota
+	// ChurnLeave drains a node gracefully: no new placements, existing
+	// connections finish.
+	ChurnLeave
+	// ChurnJoin (re)admits a node as Up.
+	ChurnJoin
+)
+
+// String returns the schema spelling of the kind ("crash", "leave",
+// "join").
+func (k ChurnKind) String() string {
+	switch k {
+	case ChurnCrash:
+		return "crash"
+	case ChurnLeave:
+		return "leave"
+	case ChurnJoin:
+		return "join"
+	}
+	return fmt.Sprintf("ChurnKind(%d)", int(k))
+}
+
+// ParseChurnKind parses the schema spelling of a churn kind.
+func ParseChurnKind(s string) (ChurnKind, error) {
+	switch s {
+	case "crash":
+		return ChurnCrash, nil
+	case "leave":
+		return ChurnLeave, nil
+	case "join":
+		return ChurnJoin, nil
+	}
+	return 0, fmt.Errorf("sim: unknown churn kind %q (valid kinds: crash, leave, join)", s)
+}
+
+// ChurnEvent is one scheduled membership transition in a simulation run.
+type ChurnEvent struct {
+	// At is the simulated time the transition applies. Events at time 0
+	// are applied before any connection is admitted, so a node can start
+	// a run Down or Draining.
+	At core.Micros
+	// Kind is the transition.
+	Kind ChurnKind
+	// Node is the affected back-end.
+	Node core.NodeID
+}
+
 // Config parameterizes one simulation run.
 type Config struct {
 	// Nodes is the number of back-end nodes.
@@ -125,6 +180,17 @@ type Config struct {
 	// Section 6.1 posits a front-end powerful enough not to be the
 	// bottleneck; 1 means equal hardware.
 	FESpeedup float64
+	// Churn is the deterministic membership-event schedule. Empty (the
+	// paper's figure runs) leaves every down-node check off the event
+	// path, so churn-free results are bit-identical to a build without
+	// churn support.
+	Churn []ChurnEvent
+	// RetryBudget caps re-dispatch attempts per request (and per
+	// connection open) when the serving node crashes mid-flight; work
+	// exceeding it counts as failed and its connection closes — the
+	// simulator's analogue of the prototype's connection-close fallback.
+	// Only consulted when Churn is non-empty.
+	RetryBudget int
 }
 
 // DefaultCacheBytes is the simulator's back-end cache size: the paper's
@@ -186,6 +252,20 @@ func (c Config) Validate() error {
 	}
 	if c.WarmupFrac < 0 || c.WarmupFrac >= 1 {
 		return fmt.Errorf("sim: WarmupFrac must be in [0,1), got %g", c.WarmupFrac)
+	}
+	if c.RetryBudget < 0 {
+		return fmt.Errorf("sim: RetryBudget must be non-negative, got %d", c.RetryBudget)
+	}
+	for i, ev := range c.Churn {
+		if ev.At < 0 {
+			return fmt.Errorf("sim: churn event %d: time must be non-negative, got %d", i, ev.At)
+		}
+		if ev.Kind != ChurnCrash && ev.Kind != ChurnLeave && ev.Kind != ChurnJoin {
+			return fmt.Errorf("sim: churn event %d: invalid kind %d", i, int(ev.Kind))
+		}
+		if int(ev.Node) < 0 || int(ev.Node) >= c.Nodes {
+			return fmt.Errorf("sim: churn event %d: node %d out of range [0,%d)", i, ev.Node, c.Nodes)
+		}
 	}
 	if _, err := c.buildPolicy(); err != nil {
 		return err

@@ -48,6 +48,15 @@ type Result struct {
 	RemoteServes  int64
 	Migrations    int64
 	CacheBypasses int64
+
+	// Churn counters (zero for churn-free runs). Redispatches counts
+	// requests and connection opens re-sent to a live node after their
+	// serving node crashed; FailedRequests counts requests abandoned when
+	// the retry budget ran out or no node was up (the connection-close
+	// fallback). Both cover the whole run — a crash during warmup still
+	// shows up here.
+	Redispatches   int64
+	FailedRequests int64
 }
 
 // String renders a one-line summary.

@@ -69,6 +69,13 @@ type Sim struct {
 	nextConn int // next trace connection to admit
 	active   int
 
+	// hasChurn gates every down-node check: a churn-free run takes none
+	// of them, so its event sequence — and therefore its result — is
+	// bit-identical to a run of the pre-churn simulator.
+	hasChurn     bool
+	redispatches int64
+	failed       int64
+
 	// freeConns and freeReqs pool the per-connection and per-request run
 	// records; a drained record is reused by the next admission instead of
 	// burdening the garbage collector.
@@ -160,8 +167,27 @@ func runOnEngine(cfg Config, workload *trace.Trace, eng *simcore.Engine) (Result
 		s.nodes[i] = &node{cache: cache.NewIDLRU(cfg.CacheBytes)}
 	}
 	s.warmConns = int(cfg.WarmupFrac * float64(len(workload.Conns)))
+	if s.warmConns == 0 {
+		// No warmup: measure from time zero. Without this the snapshot
+		// would be taken at the first connection close, silently dropping
+		// that connection's requests from the measured counts.
+		s.warmed = true
+	}
 	s.warmCPUBusy = make([]core.Micros, cfg.Nodes)
 	s.warmDiskBusy = make([]core.Micros, cfg.Nodes)
+
+	if len(cfg.Churn) > 0 {
+		s.hasChurn = true
+		for i := range cfg.Churn {
+			if ev := cfg.Churn[i]; ev.At <= 0 {
+				// Applied before admission: the run starts with the node
+				// already down/draining.
+				s.applyChurn(ev)
+			} else {
+				s.eng.Call(ev.At, churnStep, s, int64(i), 0)
+			}
+		}
+	}
 
 	inFlight := cfg.ConnsPerNode * cfg.Nodes
 	for i := 0; i < inFlight && s.admit(); i++ {
@@ -191,6 +217,36 @@ func reqStep(obj any, phase, node int64) {
 // continuation (the old node's side of a migration handoff).
 func releaseCPU(obj any, _, node int64) {
 	obj.(*Sim).nodes[node].cpu.Release()
+}
+
+// churnStep fires one scheduled membership event (idx into cfg.Churn).
+func churnStep(obj any, idx, _ int64) {
+	s := obj.(*Sim)
+	s.applyChurn(s.cfg.Churn[idx])
+}
+
+// applyChurn performs one membership transition. A crash additionally
+// clears the node's main-memory cache: a later join models a cold
+// restart. In-flight work on a crashed node is not chased down here —
+// each of its events observes the Down state when it fires and
+// re-dispatches then (the prototype analogue: the front-end learns of
+// the crash from the broken control link, not from the requests).
+func (s *Sim) applyChurn(ev ChurnEvent) {
+	switch ev.Kind {
+	case ChurnJoin:
+		s.disp.SetNodeUp(ev.Node)
+	case ChurnLeave:
+		s.disp.SetNodeDraining(ev.Node)
+	case ChurnCrash:
+		s.disp.SetNodeDown(ev.Node)
+		s.nodes[ev.Node].cache.Clear()
+	}
+}
+
+// nodeLost reports whether node n crashed (gated on hasChurn so
+// churn-free runs never take the atomic load).
+func (s *Sim) nodeLost(n core.NodeID) bool {
+	return s.hasChurn && s.disp.NodeIsDown(n)
 }
 
 // feCall schedules cost on the front-end CPU (scaled by the configured
@@ -237,6 +293,7 @@ func (s *Sim) putConn(cr *connRun) {
 	cr.conn = core.Connection{}
 	cr.ec = nil
 	cr.batchIdx, cr.outstanding, cr.batchStart = 0, 0, 0
+	cr.tries, cr.aborted = 0, false
 	s.freeConns = append(s.freeConns, cr)
 }
 
@@ -307,6 +364,12 @@ type connRun struct {
 	batchIdx    int
 	outstanding int
 	batchStart  core.Micros
+
+	// tries counts crash re-dispatch attempts of the connection open;
+	// aborted marks a connection whose retry budget ran out (it closes
+	// after the current batch drains, unserved requests counted failed).
+	tries   int
+	aborted bool
 }
 
 // open runs the connection-establishment path: front-end accept + dispatch,
@@ -341,6 +404,10 @@ func (c *connRun) step(phase int, n core.NodeID) {
 		s.cpuCall(c.ec.Handling(), costs.HandoffBE+costs.ConnSetup, connStep, c, cpOpenBE)
 	case cpOpenBE:
 		s.nodes[n].cpu.Release()
+		if s.nodeLost(n) {
+			c.reopen(n)
+			return
+		}
 		c.serveBatch()
 	case cpCloseFE:
 		s.fe.Release()
@@ -351,6 +418,31 @@ func (c *connRun) step(phase int, n core.NodeID) {
 	default:
 		panic(fmt.Sprintf("sim: unknown connection phase %d", phase))
 	}
+}
+
+// reopen retries a connection open whose handling node crashed during
+// setup: the connection moves to the least-loaded up node and repeats
+// the back-end setup work there. Past the retry budget — or with no
+// node up — the client sees the connection closed; every request it
+// would have carried counts failed.
+func (c *connRun) reopen(dead core.NodeID) {
+	s := c.sim
+	c.tries++
+	t := core.NoNode
+	if c.tries <= s.cfg.RetryBudget {
+		t = s.disp.PickUp(dead)
+	}
+	if t == core.NoNode {
+		for _, b := range c.conn.Batches[c.batchIdx:] {
+			s.failed += int64(len(b))
+		}
+		s.connDone(c)
+		return
+	}
+	s.redispatches++
+	s.disp.MoveConn(c.ec, t)
+	costs := s.cfg.Server
+	s.cpuCall(t, costs.HandoffBE+costs.ConnSetup, connStep, c, cpOpenBE)
 }
 
 // serveBatch assigns and serves the current batch; when all its responses
@@ -408,6 +500,9 @@ type reqRun struct {
 	size int64
 	a    core.Assignment
 	aux  core.NodeID
+	// tries counts crash re-dispatch attempts (reset with the record in
+	// getReq).
+	tries int
 }
 
 // step advances the request's data path after the event (phase, node).
@@ -431,6 +526,10 @@ func (rr *reqRun) step(phase int, n core.NodeID) {
 		// node's cache — FreeBSD's unified buffer cache offers no bypass —
 		// whatever the policy's mapping chose to record.
 		s.nodes[n].cpu.Release()
+		if s.nodeLost(n) {
+			rr.redispatch(n)
+			return
+		}
 		if s.nodes[n].cache.Lookup(rr.id) {
 			s.cpuCall(n, costs.Transmit(rr.size), reqStep, rr, rqLocalXmit)
 			return
@@ -441,11 +540,21 @@ func (rr *reqRun) step(phase int, n core.NodeID) {
 		nd := s.nodes[n]
 		nd.disk.Release()
 		s.disp.ReportDiskQueue(n, nd.disk.Queued())
+		if s.nodeLost(n) {
+			// The read never reached the client and the node's cache
+			// restarts cold: no insert.
+			rr.redispatch(n)
+			return
+		}
 		nd.cache.Insert(rr.id, rr.size)
 		s.cpuCall(n, costs.Transmit(rr.size), reqStep, rr, rqLocalXmit)
 
 	case rqLocalXmit:
 		s.nodes[n].cpu.Release()
+		if s.nodeLost(n) {
+			rr.redispatch(n)
+			return
+		}
 		if s.cfg.Combo.Mechanism == core.RelayFrontEnd {
 			s.feCall(costs.Relay(rr.size), reqStep, rr, rqRelayOut)
 			return
@@ -460,6 +569,10 @@ func (rr *reqRun) step(phase int, n core.NodeID) {
 		// The remote side of a lateral fetch produces the content (cache
 		// hit or disk read, inserting on a miss).
 		s.nodes[n].cpu.Release()
+		if s.nodeLost(n) {
+			rr.redispatch(n)
+			return
+		}
 		if s.nodes[n].cache.Lookup(rr.id) {
 			rr.contentReady()
 			return
@@ -470,11 +583,19 @@ func (rr *reqRun) step(phase int, n core.NodeID) {
 		nd := s.nodes[n]
 		nd.disk.Release()
 		s.disp.ReportDiskQueue(n, nd.disk.Queued())
+		if s.nodeLost(n) {
+			rr.redispatch(n)
+			return
+		}
 		nd.cache.Insert(rr.id, rr.size)
 		rr.contentReady()
 
 	case rqFwdXmit:
 		s.nodes[n].cpu.Release()
+		if s.nodeLost(n) {
+			rr.redispatch(n)
+			return
+		}
 		if rr.a.CacheLocally {
 			s.nodes[n].cache.Insert(rr.id, rr.size)
 		}
@@ -488,6 +609,10 @@ func (rr *reqRun) step(phase int, n core.NodeID) {
 
 	case rqMigNewCPU:
 		s.nodes[n].cpu.Release()
+		if s.nodeLost(n) {
+			rr.redispatch(n)
+			return
+		}
 		rr.startLocal(n)
 
 	default:
@@ -510,21 +635,66 @@ func (rr *reqRun) contentReady() {
 	s.cpuCall(rr.aux, costs.ForwardPerRequest+costs.ForwardRecv(rr.size)+costs.Transmit(rr.size), reqStep, rr, rqFwdXmit)
 }
 
+// redispatch re-sends a request whose serving node crashed: the engine
+// picks the least-loaded up node and the front-end re-issues the request
+// there as a plain local serve (forward/migrate sub-paths are not
+// retried — the re-dispatch is the recovery path, not a policy
+// decision). If the connection's handling node is the dead one, the
+// connection moves with the request. Past the retry budget — or with no
+// node up — the request fails and its connection closes after the
+// in-flight batch drains.
+func (rr *reqRun) redispatch(dead core.NodeID) {
+	s := rr.cr.sim
+	rr.tries++
+	t := core.NoNode
+	if rr.tries <= s.cfg.RetryBudget {
+		t = s.disp.PickUp(dead)
+	}
+	if t == core.NoNode {
+		rr.fail()
+		return
+	}
+	s.redispatches++
+	if s.disp.NodeIsDown(rr.cr.ec.Handling()) {
+		s.disp.MoveConn(rr.cr.ec, t)
+	}
+	rr.a = core.Assignment{Node: t}
+	s.feCall(s.cfg.Server.FEPerRequest, reqStep, rr, rqFE)
+}
+
 // done accounts one finished response, recycles the request record, and
 // advances the connection.
-func (rr *reqRun) done() {
+func (rr *reqRun) done() { rr.finish(false) }
+
+// fail abandons a request whose retry budget ran out and marks the
+// connection for closure — the connection-close fallback.
+func (rr *reqRun) fail() {
+	rr.cr.sim.failed++
+	rr.cr.aborted = true
+	rr.finish(true)
+}
+
+func (rr *reqRun) finish(failed bool) {
 	c := rr.cr
 	s := c.sim
-	s.served++
-	s.servedBytes += rr.size
-	s.delaySum += s.eng.Now() - c.batchStart
+	if !failed {
+		s.served++
+		s.servedBytes += rr.size
+		s.delaySum += s.eng.Now() - c.batchStart
+	}
 	s.putReq(rr)
 	c.outstanding--
 	if c.outstanding > 0 {
 		return
 	}
 	c.batchIdx++
-	if c.batchIdx < len(c.conn.Batches) {
+	if c.aborted {
+		// Connection-close fallback: batches the client never got to send
+		// count as failed alongside the request that exhausted its budget.
+		for _, b := range c.conn.Batches[c.batchIdx:] {
+			s.failed += int64(len(b))
+		}
+	} else if c.batchIdx < len(c.conn.Batches) {
 		c.serveBatch()
 		return
 	}
@@ -576,5 +746,7 @@ func (s *Sim) result() Result {
 	if ext, ok := s.disp.Policy().(*policy.ExtLARD); ok {
 		res.LocalServes, res.RemoteServes, res.Migrations, res.CacheBypasses = ext.Stats()
 	}
+	res.Redispatches = s.redispatches
+	res.FailedRequests = s.failed
 	return res
 }

@@ -231,9 +231,8 @@ func TestRunInternsRawTrace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// The warmup snapshot excludes the first completed connection's
-	// requests, so only post-warmup requests are counted here.
-	if res.Requests < 1 || res.Events == 0 {
+	// WarmupFrac 0 measures from time zero: all three requests count.
+	if res.Requests != 3 || res.Events == 0 {
 		t.Errorf("raw-trace run measured nothing: %+v", res)
 	}
 	if raw.Interner == nil || raw.Interner.Len() != 2 {
