@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke bench-scaling cover fuzz-smoke fmt vet lint check trace-cache scenarios-smoke chaos
+.PHONY: all build test race bench bench-smoke bench-scaling cover fuzz-smoke fmt vet lint check trace-cache scenarios-smoke chaos slo
 
 all: build
 
@@ -82,6 +82,20 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz 'FuzzReadRequest$$' -fuzztime=10s ./internal/httpmsg/
 	$(GO) test -run '^$$' -fuzz 'FuzzReadRequestInterned$$' -fuzztime=10s ./internal/httpmsg/
 	$(GO) test -run '^$$' -fuzz 'FuzzReadResponse$$' -fuzztime=10s ./internal/httpmsg/
+
+# Tail-latency acceptance: the SLO-gated builtin scenarios (each run
+# exits non-zero when its p99 target or violation budget is broken) plus
+# the deterministic latency-regression gate against the recorded
+# per-combo p99 baseline (.github/latency-baseline.json). Virtual-time
+# latencies are bit-deterministic per (workload, config), so both gates
+# are machine-independent; on a 1-CPU box the gate's serial/parallel
+# cross-check prints an explicit skipped_nproc=1 marker instead of a
+# vacuous pass. Re-baseline deliberately with:
+#   go run ./cmd/phttp-bench -latency-record .github/latency-baseline.json
+slo:
+	$(GO) run ./cmd/phttp-sim -scenario slo-tail > /dev/null
+	$(GO) run ./cmd/phttp-sim -scenario churn-crash > /dev/null
+	$(GO) run ./cmd/phttp-bench -latency-gate .github/latency-baseline.json
 
 fmt:
 	gofmt -l .

@@ -78,4 +78,27 @@ func main() {
 	cross := cfg.Crossover(int64(*maxKB) << 10)
 	fmt.Printf("# crossover (multiple handoff overtakes BE forwarding): %.1f KB\n",
 		float64(cross)/1024)
+
+	// Per-request delay quantiles under the heavy-tailed size model: the
+	// bandwidth figures above work at the mean size, but the tail of the
+	// size distribution decides the tail of the delay — and the crossover
+	// splits the quantiles between the mechanisms (forwarding wins the
+	// median, handoff the p99 and beyond).
+	dist := analytic.DefaultSizeDist()
+	multiQ, forwardQ := cfg.DelayQuantiles(dist)
+	fmt.Printf("# per-request delay (ms) under bounded-Pareto sizes (min %d B, max %d KB, alpha %.1f, mean %.1f KB)\n",
+		dist.Min, dist.Max>>10, dist.Alpha, dist.Mean()/1024)
+	fmt.Printf("# %-22s %8s %8s %8s %8s %8s %8s\n",
+		"mechanism", "mean", "p50", "p95", "p99", "p999", "max")
+	for _, row := range []struct {
+		name string
+		q    analytic.DelayQuantiles
+	}{
+		{kind.String() + "-multiHandoff", multiQ},
+		{kind.String() + "-BEforward", forwardQ},
+	} {
+		fmt.Printf("  %-22s %8.3f %8.3f %8.3f %8.3f %8.3f %8.3f\n", row.name,
+			row.q.MeanUS/1e3, row.q.P50US/1e3, row.q.P95US/1e3,
+			row.q.P99US/1e3, row.q.P999US/1e3, row.q.MaxUS/1e3)
+	}
 }

@@ -138,6 +138,77 @@ func runSimBench(path string, seed uint64, scaling, force bool) {
 	fmt.Printf("wrote %s\n", path)
 }
 
+// runLatencyGate runs the deterministic latency gate sweep (the seven
+// reference combos at one cluster size) and either records the per-combo
+// p99 baseline or checks the run against it. Virtual-time latencies are
+// bit-deterministic per (workload, config), so the recorded baseline is
+// machine-independent — the gate fails only when simulated behavior
+// changes. On multi-core boxes the gate cross-checks that a serial sweep
+// reproduces the parallel one's latency summaries; with one CPU that
+// check is marked skipped, matching the scaling section's convention.
+func runLatencyGate(path string, record bool, cacheDir string) {
+	cfg := sim.GateBenchConfig()
+	tcfg := trace.DefaultSynthConfig()
+	tcfg.Seed = cfg.Seed
+	tcfg.Connections = cfg.Connections
+	var tr *trace.Trace
+	if cacheDir != "" {
+		wl, hit, err := trace.LoadOrGenerate(cacheDir, tcfg)
+		if err != nil {
+			fatalf("latency-gate: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "latency-gate: trace cache %s: hit=%v\n", cacheDir, hit)
+		tr = wl.PHTTP
+	} else {
+		tr = trace.NewSynth(tcfg).GenerateParallel(0)
+	}
+	_, results, err := sim.ClusterSweepParallel(cfg.Server, cfg.Nodes, sim.Combos(), tr, 0)
+	if err != nil {
+		fatalf("latency-gate: %v", err)
+	}
+	if record {
+		b := sim.NewLatencyBaseline(cfg, results, 5)
+		if err := b.Save(path); err != nil {
+			fatalf("latency-record: %v", err)
+		}
+		fmt.Printf("recorded latency baseline for %d combos to %s\n", len(b.P99Ms), path)
+		return
+	}
+	b, err := sim.LoadLatencyBaseline(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := b.CheckConfig(cfg); err != nil {
+		fatalf("%v", err)
+	}
+	for _, r := range results {
+		fmt.Fprintf(os.Stderr, "latency-gate: %-28s p99=%7.2fms (baseline %7.2fms)\n",
+			r.Combo, float64(r.Latency.P99)/float64(core.Millisecond), b.P99Ms[r.Combo])
+	}
+	if runtime.GOMAXPROCS(0) > 1 {
+		_, serial, err := sim.ClusterSweepParallel(cfg.Server, cfg.Nodes, sim.Combos(), tr, 1)
+		if err != nil {
+			fatalf("latency-gate: serial cross-check: %v", err)
+		}
+		for i := range serial {
+			if serial[i].Latency != results[i].Latency {
+				fatalf("latency-gate: serial and parallel sweeps disagree on %s: %+v vs %+v",
+					serial[i].Combo, serial[i].Latency, results[i].Latency)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "latency-gate: serial cross-check ok (%d points)\n", len(serial))
+	} else {
+		fmt.Fprintf(os.Stderr, "latency-gate: serial cross-check skipped_nproc=1\n")
+	}
+	if regressions := b.CheckResults(results); len(regressions) > 0 {
+		for _, msg := range regressions {
+			fmt.Fprintf(os.Stderr, "latency-gate: REGRESSION: %s\n", msg)
+		}
+		fatalf("latency gate failed: %d regression(s) against %s", len(regressions), path)
+	}
+	fmt.Printf("latency gate PASS: %d combos within %.0f%% of %s\n", len(b.P99Ms), b.TolerancePct, path)
+}
+
 // protoCombo is one prototype policy/mechanism/workload combination of
 // Figure 13.
 type protoCombo struct {
@@ -169,6 +240,8 @@ func main() {
 		simBench = flag.String("sim-bench", "", "measure the simulator's reference ClusterSweep and write the perf trajectory to this JSON file (skips the prototype benchmark)")
 		cacheDir = flag.String("trace-cache", "", "trace cache directory: load the benchmark workload from disk, generating and persisting on miss")
 		scenFlag = flag.String("scenario", "", "benchmark the prototype for a declarative scenario (builtin name or JSON file): policy, options, mechanism, workload and node axis come from the spec")
+		latGate  = flag.String("latency-gate", "", "run the deterministic latency gate sweep and fail (exit 1) if any combo's p99 exceeds the recorded baseline in this JSON file (skips the prototype benchmark)")
+		latRec   = flag.String("latency-record", "", "run the latency gate sweep and (re)write its baseline to this JSON file")
 		scaling  = flag.Bool("scaling", false, "with -sim-bench: run the reference sweep at worker counts 1..GOMAXPROCS and record the scaling section (skip marker on 1 CPU)")
 		force    = flag.Bool("force", false, "with -sim-bench: allow a run without a multi-core scaling curve to overwrite one already recorded in the output file")
 	)
@@ -176,6 +249,14 @@ func main() {
 
 	if *simBench != "" {
 		runSimBench(*simBench, *seed, *scaling, *force)
+		return
+	}
+	if *latRec != "" {
+		runLatencyGate(*latRec, true, *cacheDir)
+		return
+	}
+	if *latGate != "" {
+		runLatencyGate(*latGate, false, *cacheDir)
 		return
 	}
 	if *scenFlag != "" {

@@ -79,6 +79,21 @@ func startAdmin(addr string, fe *cluster.FrontEnd) (net.Listener, error) {
 	return ln, nil
 }
 
+// startStatus serves the Prometheus ops plane (GET /status) on its own
+// address, separate from both the data path and the admin surface so a
+// scraper can never interfere with either.
+func startStatus(addr string, fe *cluster.FrontEnd) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("status listen: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/status", fe.StatusHandler())
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return ln, nil
+}
+
 // adminSlot parses and bounds-checks the slot parameter of a POST.
 func adminSlot(w http.ResponseWriter, r *http.Request) (core.NodeID, bool) {
 	if r.Method != http.MethodPost {

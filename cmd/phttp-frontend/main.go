@@ -57,6 +57,7 @@ func main() {
 		maintain = flag.Duration("maintain-interval", cluster.DefaultMaintainInterval, "wall-clock bound on dispatcher maintenance staleness when no connections are closing (0 disables; only meaningful with -max-targets)")
 		scenFlag = flag.String("scenario", "", "take the dispatcher configuration (policy, options, mechanism, cache model, target cap) from a scenario: builtin name or JSON file; explicitly set flags override it")
 		admin    = flag.String("admin", "", "admin listen address for the membership surface (GET /membership, POST /backends/add, POST /backends/remove); empty disables it")
+		status   = flag.String("status", "", "ops listen address serving Prometheus text metrics at GET /status (per-request latency histogram, membership states, 503 and re-dispatch counters); empty disables it")
 		hbTO     = flag.Duration("heartbeat-timeout", 0, "mark a back-end Suspect after this much control-link silence (0 = membership default)")
 		confirm  = flag.Duration("confirm-window", 0, "confirm a Suspect back-end Down after this long (0 = membership default)")
 		retryBud = flag.Int("retry-budget", 0, "re-dispatch attempts per in-flight request after its node dies, relay mechanism only (0 = default)")
@@ -134,6 +135,14 @@ func main() {
 		}
 		defer ln.Close()
 		fmt.Printf("frontend admin: %s\n", ln.Addr())
+	}
+	if *status != "" {
+		ln, err := startStatus(*status, fe)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer ln.Close()
+		fmt.Printf("frontend status: http://%s/status\n", ln.Addr())
 	}
 
 	sig := make(chan os.Signal, 1)

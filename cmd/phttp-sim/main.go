@@ -127,12 +127,12 @@ func main() {
 		fmt.Println(res)
 	case 3:
 		loads := []int{1, 2, 4, 8, 16, 24, 32, 48, 64, 96, 128, 192, 256}
-		thr, delay, err := sim.DelaySweepParallel(kind, loads, tr, *workers)
+		results, err := sim.DelaySweepResults(kind, loads, tr, *workers)
 		if err != nil {
 			fatalf("%v", err)
 		}
 		fmt.Printf("# Figure 3 (%s): single back-end throughput and delay vs offered load\n", kind)
-		fmt.Print(metrics.Table("load(conns)", thr, delay))
+		fmt.Print(metrics.Table("load(conns)", loadsSeries(loads, results)...))
 	case 7, 8:
 		ns := make([]int, 0, *maxNodes)
 		for n := 1; n <= *maxNodes; n++ {
@@ -207,7 +207,10 @@ func runScenario(arg string, smoke bool, workers int, cacheDir string, plot, ver
 	if err != nil {
 		fatalf("%v", err)
 	}
-	if isCombos && !hasSimOverrides(spec) {
+	// An SLO gate needs configs compiled through ToSimGrid (which sets
+	// sim.Config.SLOTarget) and a verdict pass afterwards, so SLO-gated
+	// combos scenarios use the generic grid runner below.
+	if isCombos && !hasSimOverrides(spec) && spec.SLO == nil {
 		series, results, err := sim.ClusterSweepWorkload(kind, ns, combos, wl, workers)
 		if err != nil {
 			fatalf("%v", err)
@@ -236,21 +239,57 @@ func runScenario(arg string, smoke bool, workers int, cacheDir string, plot, ver
 		}
 	}
 	if _, isLoads := spec.LoadsSweep(); isLoads {
-		thr := &metrics.Series{Name: "throughput(req/s)"}
-		delay := &metrics.Series{Name: "delay(ms)"}
+		xs := make([]float64, len(points))
+		loads := make([]int, len(points))
 		for i, p := range points {
-			thr.Add(p.X, results[i].Throughput)
-			delay.Add(p.X, float64(results[i].MeanDelay)/float64(core.Millisecond))
+			xs[i], loads[i] = p.X, int(p.X)
 		}
 		fmt.Printf("# Scenario %s (%s): throughput and delay vs offered load\n", spec.Name, kind)
-		fmt.Print(metrics.Table("load(conns)", thr, delay))
-		return
-	}
-	if len(points) == 1 {
+		fmt.Print(metrics.Table("load(conns)", loadsSeries(loads, results)...))
+	} else if len(points) == 1 {
 		fmt.Println(results[0])
+	} else {
+		printNodesTable(spec.Name, kind, groupSeries(points, results), plot)
+	}
+	gateSLO(spec, points, results, smoke)
+}
+
+// loadsSeries builds the offered-load table columns: throughput, mean
+// delay, and the tail-quantile columns this delay figure historically
+// lacked.
+func loadsSeries(loads []int, results []sim.Result) []*metrics.Series {
+	thr := &metrics.Series{Name: "throughput(req/s)"}
+	delay := &metrics.Series{Name: "delay(ms)"}
+	xs := make([]float64, len(loads))
+	for i, l := range loads {
+		xs[i] = float64(l)
+		thr.Add(xs[i], results[i].Throughput)
+		delay.Add(xs[i], float64(results[i].MeanDelay)/float64(core.Millisecond))
+	}
+	p50, p95, p99, p999 := sim.TailSeries(xs, results)
+	return []*metrics.Series{thr, delay, p50, p95, p99, p999}
+}
+
+// gateSLO evaluates an SLO-gated scenario and exits non-zero on failure.
+// Smoke runs skip the evaluation: the shrunk workload's latencies are not
+// the ones the objective was written against.
+func gateSLO(spec *scenario.Spec, points []scenario.SimPoint, results []sim.Result, smoke bool) {
+	if spec.SLO == nil {
 		return
 	}
-	printNodesTable(spec.Name, kind, groupSeries(points, results), plot)
+	if smoke {
+		fmt.Fprintf(os.Stderr, "slo: evaluation skipped in -smoke mode (shrunk workload)\n")
+		return
+	}
+	verdicts, pass := spec.CheckSLO(points, results)
+	fmt.Printf("# SLO gate: p99 <= %gms, maxViolations = %d\n", spec.SLO.P99Ms, spec.SLO.MaxViolations)
+	for _, v := range verdicts {
+		fmt.Println(v)
+	}
+	if !pass {
+		fatalf("scenario %s failed its SLO gate", spec.Name)
+	}
+	fmt.Printf("# SLO gate: PASS (%d points)\n", len(verdicts))
 }
 
 // hasSimOverrides reports whether the scenario changes any simulator

@@ -1,0 +1,103 @@
+package analytic
+
+import "math"
+
+// SizeDist is a bounded-Pareto response-size distribution: the closed-form
+// stand-in for the synthetic workload's heavy-tailed size model (lognormal
+// body, Pareto tail with the same shape and cap). It gives the analytic
+// model a tail to talk about: the bandwidth analysis above works at the
+// mean size, but per-request delay is driven by the size quantiles, and a
+// heavy tail puts the upper quantiles far above the mean.
+type SizeDist struct {
+	// Min and Max bound the support in bytes.
+	Min, Max int64
+	// Alpha is the Pareto shape (smaller = heavier tail).
+	Alpha float64
+}
+
+// DefaultSizeDist matches the synthetic workload's tail: shape 1.3 and the
+// 4 MB cap from trace.DefaultSynthConfig, with the lower bound placed so
+// the distribution mean lands in the paper's sub-13 KB band (~8 KB).
+func DefaultSizeDist() SizeDist {
+	return SizeDist{Min: 2 << 10, Max: 4 << 20, Alpha: 1.3}
+}
+
+// trunc is the truncation mass 1 - (Min/Max)^Alpha dividing the CDF.
+func (d SizeDist) trunc() float64 {
+	return 1 - math.Pow(float64(d.Min)/float64(d.Max), d.Alpha)
+}
+
+// Quantile returns the size at quantile q (0 ≤ q ≤ 1) by the inverse CDF
+//
+//	F(x) = (1 - (Min/x)^Alpha) / (1 - (Min/Max)^Alpha).
+func (d SizeDist) Quantile(q float64) int64 {
+	if q <= 0 {
+		return d.Min
+	}
+	if q >= 1 {
+		return d.Max
+	}
+	x := float64(d.Min) / math.Pow(1-q*d.trunc(), 1/d.Alpha)
+	if x > float64(d.Max) {
+		return d.Max
+	}
+	return int64(x)
+}
+
+// Mean returns the distribution mean in bytes (closed form, Alpha ≠ 1).
+func (d SizeDist) Mean() float64 {
+	lo, hi, a := float64(d.Min), float64(d.Max), d.Alpha
+	return math.Pow(lo, a) / d.trunc() * a / (a - 1) *
+		(math.Pow(lo, 1-a) - math.Pow(hi, 1-a))
+}
+
+// Delay returns the per-request back-end CPU delay in microseconds each
+// mechanism charges for a response of size bytes — the latency floor the
+// model predicts for an unloaded cluster (no queueing). It is monotone
+// nondecreasing in size, which is what makes delay quantiles computable
+// from size quantiles.
+func (c Config) Delay(size int64) (multiUS, forwardUS float64) {
+	return c.aggregateCPU(size)
+}
+
+// DelayQuantiles summarizes one mechanism's per-request delay distribution
+// in microseconds, induced by a size distribution.
+type DelayQuantiles struct {
+	MeanUS float64
+	P50US  float64
+	P95US  float64
+	P99US  float64
+	P999US float64
+	MaxUS  float64
+}
+
+// delayStrata is the midpoint-quantile sample count for the mean; the
+// delay is monotone in size, so stratified sampling at this resolution
+// bounds the integration error far below the cost model's own calibration
+// error.
+const delayStrata = 4096
+
+// DelayQuantiles returns both mechanisms' delay summaries under sizes
+// drawn from d. Because Delay is monotone in size, the delay at quantile q
+// is exactly the delay of the size at quantile q; the mean is integrated
+// numerically over midpoint quantiles.
+//
+// The interesting structure is inherited from the bandwidth crossover:
+// below it BE forwarding is cheaper, above it multiple handoff is — so
+// with the default heavy-tailed sizes, forwarding wins the median delay
+// while handoff wins the p99 and beyond.
+func (c Config) DelayQuantiles(d SizeDist) (multi, forward DelayQuantiles) {
+	for i := 0; i < delayStrata; i++ {
+		q := (float64(i) + 0.5) / delayStrata
+		m, f := c.Delay(d.Quantile(q))
+		multi.MeanUS += m / delayStrata
+		forward.MeanUS += f / delayStrata
+	}
+	at := func(q float64) (float64, float64) { return c.Delay(d.Quantile(q)) }
+	multi.P50US, forward.P50US = at(0.50)
+	multi.P95US, forward.P95US = at(0.95)
+	multi.P99US, forward.P99US = at(0.99)
+	multi.P999US, forward.P999US = at(0.999)
+	multi.MaxUS, forward.MaxUS = at(1)
+	return multi, forward
+}

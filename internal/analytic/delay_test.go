@@ -1,0 +1,131 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+
+	"phttp/internal/core"
+)
+
+func TestSizeDistQuantileInverseCDF(t *testing.T) {
+	d := DefaultSizeDist()
+	if got := d.Quantile(0); got != d.Min {
+		t.Errorf("Quantile(0) = %d, want Min %d", got, d.Min)
+	}
+	if got := d.Quantile(1); got != d.Max {
+		t.Errorf("Quantile(1) = %d, want Max %d", got, d.Max)
+	}
+	// Monotone, and a round trip through the CDF recovers the quantile.
+	cdf := func(x float64) float64 {
+		return (1 - math.Pow(float64(d.Min)/x, d.Alpha)) / d.trunc()
+	}
+	prev := int64(0)
+	for _, q := range []float64{0.01, 0.1, 0.5, 0.9, 0.95, 0.99, 0.999} {
+		x := d.Quantile(q)
+		if x < prev {
+			t.Fatalf("Quantile not monotone at q=%v", q)
+		}
+		prev = x
+		if got := cdf(float64(x)); math.Abs(got-q) > 1e-3 {
+			t.Errorf("CDF(Quantile(%v)) = %v", q, got)
+		}
+	}
+}
+
+func TestSizeDistMeanClosedFormMatchesNumeric(t *testing.T) {
+	d := DefaultSizeDist()
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += float64(d.Quantile((float64(i) + 0.5) / n))
+	}
+	numeric := sum / n
+	if rel := math.Abs(d.Mean()-numeric) / numeric; rel > 0.005 {
+		t.Errorf("closed-form mean %.0f vs numeric %.0f (rel err %.4f)", d.Mean(), numeric, rel)
+	}
+	// The default distribution sits in the paper's mean-size band.
+	if m := d.Mean(); m < 6<<10 || m > 13<<10 {
+		t.Errorf("default mean size %.0f B outside the 6-13 KB band", m)
+	}
+}
+
+// TestDelayMonotoneInSize underwrites the whole quantile construction:
+// delay quantiles equal delays at size quantiles only if Delay never
+// decreases with size.
+func TestDelayMonotoneInSize(t *testing.T) {
+	for _, kind := range []core.ServerKind{core.Apache, core.Flash} {
+		cfg := DefaultConfig(kind)
+		prevM, prevF := 0.0, 0.0
+		for size := int64(0); size <= 1<<20; size += 777 {
+			m, f := cfg.Delay(size)
+			if m < prevM || f < prevF {
+				t.Fatalf("%v: delay decreased at size %d", kind, size)
+			}
+			prevM, prevF = m, f
+		}
+	}
+}
+
+// TestDelayQuantilesCrossoverSplit pins the headline structure: the
+// bandwidth crossover splits the delay quantiles between the mechanisms.
+// The median response is below the crossover, so BE forwarding wins the
+// p50; the p99 response is far above it, so multiple handoff wins the
+// tail — for both server models.
+func TestDelayQuantilesCrossoverSplit(t *testing.T) {
+	d := DefaultSizeDist()
+	for _, kind := range []core.ServerKind{core.Apache, core.Flash} {
+		cfg := DefaultConfig(kind)
+		multi, forward := cfg.DelayQuantiles(d)
+
+		if forward.P50US >= multi.P50US {
+			t.Errorf("%v: forwarding should win the median (%.0f vs %.0f µs)",
+				kind, forward.P50US, multi.P50US)
+		}
+		for _, q := range []struct {
+			name string
+			m, f float64
+		}{
+			{"p99", multi.P99US, forward.P99US},
+			{"p999", multi.P999US, forward.P999US},
+			{"max", multi.MaxUS, forward.MaxUS},
+		} {
+			if q.m >= q.f {
+				t.Errorf("%v: handoff should win the %s (%.0f vs %.0f µs)",
+					kind, q.name, q.m, q.f)
+			}
+		}
+
+		// Quantiles are nondecreasing and the mean sits inside the range.
+		for _, s := range []DelayQuantiles{multi, forward} {
+			if !(s.P50US <= s.P95US && s.P95US <= s.P99US &&
+				s.P99US <= s.P999US && s.P999US <= s.MaxUS) {
+				t.Errorf("%v: quantiles not monotone: %+v", kind, s)
+			}
+			if s.MeanUS < s.P50US/2 || s.MeanUS > s.MaxUS {
+				t.Errorf("%v: mean %.0f µs outside plausible range: %+v", kind, s.MeanUS, s)
+			}
+		}
+	}
+}
+
+// TestDelayQuantilesPinned pins the default Apache numbers to the
+// microsecond so a cost-model or distribution change cannot slip through
+// unnoticed (re-derive by running phttp-analytic).
+func TestDelayQuantilesPinned(t *testing.T) {
+	multi, forward := DefaultConfig(core.Apache).DelayQuantiles(DefaultSizeDist())
+	for _, p := range []struct {
+		name      string
+		got, want float64
+	}{
+		{"multi p50", multi.P50US, 1238},
+		{"multi p99", multi.P99US, 6478},
+		{"multi p999", multi.P999US, 32278},
+		{"forward p50", forward.P50US, 1071},
+		{"forward p99", forward.P99US, 10678},
+		{"forward p999", forward.P999US, 57978},
+	} {
+		if math.Abs(p.got-p.want) > 0.5 {
+			t.Errorf("%s = %.1f µs, want %.0f", p.name, p.got, p.want)
+		}
+	}
+}

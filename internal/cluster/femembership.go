@@ -23,6 +23,11 @@ type pendingReq struct {
 	node  core.NodeID
 	line  string
 	tries int
+	// start is the batch-completion instant of the request's original
+	// dispatch — the latency clock's zero. Re-dispatch never resets it,
+	// so a re-sent request's sample includes the detection and retry
+	// delay instead of being dropped.
+	start time.Time
 }
 
 // addPending registers a relayed request before it is written to its
@@ -34,7 +39,7 @@ func (fe *FrontEnd) addPending(c *feConn, seq int, n core.NodeID, line string) {
 		m = make(map[int]*pendingReq)
 		fe.pending[c.id] = m
 	}
-	m[seq] = &pendingReq{c: c, node: n, line: line}
+	m[seq] = &pendingReq{c: c, node: n, line: line, start: c.batchStart}
 	fe.pendingMu.Unlock()
 }
 

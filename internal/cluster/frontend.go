@@ -157,6 +157,16 @@ type FrontEnd struct {
 	unavailable  metrics.Counter
 	redispatched metrics.Counter
 
+	// lat is the wall-clock per-request latency histogram behind the
+	// /status endpoint, in microseconds from batch completion at the
+	// front-end. Relay records end-to-end at response delivery (a
+	// re-dispatched request keeps its original start, so the retry delay
+	// is in the sample, not dropped); handoff and BE forwarding record at
+	// request forward — the front-end never sees those responses — and a
+	// 503 refusal records the refusal itself rather than vanishing from
+	// the distribution.
+	lat *core.LatencyHist
+
 	// relayConns routes relay frames back to client connections.
 	relayMu    sync.Mutex
 	relayConns map[core.ConnID]*relayConn
@@ -210,6 +220,7 @@ func NewFrontEnd(cfg FrontEndConfig, backends []BackendEndpoints) (*FrontEnd, er
 		relayConns: make(map[core.ConnID]*relayConn),
 		pending:    make(map[core.ConnID]map[int]*pendingReq),
 		sweepCh:    make(chan core.NodeID, 4*cfg.Nodes),
+		lat:        core.NewLatencyHist(),
 		started:    time.Now(),
 		closed:     make(chan struct{}),
 	}
@@ -512,14 +523,23 @@ func (fe *FrontEnd) relayReadLoop(link *beLink, data net.Conn) {
 // deliverRelay writes the frame to the client in order, buffering
 // out-of-order responses of a pipelined batch served by different nodes.
 func (fe *FrontEnd) deliverRelay(id core.ConnID, seq int, frame []byte) {
+	var started time.Time
 	fe.pendingMu.Lock()
 	if m := fe.pending[id]; m != nil {
+		if p := m[seq]; p != nil {
+			started = p.start
+		}
 		delete(m, seq)
 		if len(m) == 0 {
 			delete(fe.pending, id)
 		}
 	}
 	fe.pendingMu.Unlock()
+	if !started.IsZero() {
+		// End-to-end relay latency; a re-dispatched request keeps the
+		// start of its original batch, so retries lengthen the sample.
+		fe.lat.Record(time.Since(started).Microseconds())
+	}
 	fe.relayMu.Lock()
 	rc := fe.relayConns[id]
 	fe.relayMu.Unlock()
@@ -571,6 +591,12 @@ type feConn struct {
 	conn  net.Conn
 	br    *bufio.Reader
 	relay *relayConn
+
+	// batchStart is when the current pipelined batch finished arriving —
+	// the latency clock's zero, matching the simulator's delay
+	// definition. Owner-goroutine only (stamped by readBatch; relayed
+	// requests copy it into their pendingReq before publication).
+	batchStart time.Time
 
 	// reqNodes is the set of back-ends that received requests, for CLOSE
 	// fan-out in relay mode. mu guards it: the health loop's re-dispatch
@@ -689,6 +715,7 @@ func (fe *FrontEnd) readBatch(c *feConn) (core.Batch, []*httpmsg.Request, error)
 		reqs = append(reqs, req)
 	}
 	c.conn.SetReadDeadline(time.Time{})
+	c.batchStart = time.Now()
 	return batch, reqs, nil
 }
 
@@ -716,6 +743,7 @@ func (fe *FrontEnd) openConn(c *feConn, first core.Request) error {
 	if !fe.eng.HasUp() {
 		fe.unavailable.Inc()
 		io.WriteString(c.conn, unavailableResponse)
+		fe.lat.Record(time.Since(c.batchStart).Microseconds())
 		return fmt.Errorf("cluster: no Up back-end")
 	}
 	done := fe.trackDispatch()
@@ -818,6 +846,9 @@ func (fe *FrontEnd) dispatchBatch(c *feConn, batch core.Batch, reqs []*httpmsg.R
 			fe.suspect(dest)
 			return err
 		}
+		// Handoff / BE forwarding: responses bypass the front-end, so the
+		// observable latency here is batch completion → request forwarded.
+		fe.lat.Record(time.Since(c.batchStart).Microseconds())
 	}
 	return nil
 }

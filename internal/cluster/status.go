@@ -1,0 +1,72 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+
+	"phttp/internal/core"
+	"phttp/internal/membership"
+	"phttp/internal/metrics"
+)
+
+// The front-end's Prometheus ops plane: one text-format endpoint carrying
+// the per-request latency histogram (the same HDR buckets the simulator
+// uses, coalesced per octave for exposition) plus the operational
+// counters that already existed piecemeal — membership states, 503
+// refusals, re-dispatches, utilization. Hand-rolled text format, no
+// client-library dependency (see metrics.PromWriter).
+
+// StatusHandler returns an http.Handler serving the front-end's metrics
+// in Prometheus text exposition format. Safe to scrape while the
+// front-end is serving traffic: every source is an atomic counter or the
+// lock-free latency histogram.
+func (fe *FrontEnd) StatusHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		var pw metrics.PromWriter
+		fe.writeStatus(&pw)
+		w.Header().Set("Content-Type", metrics.PromContentType)
+		fmt.Fprint(w, pw.String())
+	})
+}
+
+// writeStatus renders the metric families. Split from the handler so
+// tests can diff the exposition without an HTTP round trip.
+func (fe *FrontEnd) writeStatus(pw *metrics.PromWriter) {
+	pw.Counter("phttp_fe_requests_total",
+		"Client requests assigned by the dispatch engine.", fe.Requests())
+	pw.Counter("phttp_fe_connections_total",
+		"Client connections accepted.", fe.Connections())
+	pw.Counter("phttp_fe_unavailable_total",
+		"Connections refused with 503 because no back-end was Up.", fe.Unavailable())
+	pw.Counter("phttp_fe_redispatches_total",
+		"In-flight requests re-sent after their serving node was confirmed Down.", fe.Redispatches())
+	pw.Gauge("phttp_fe_utilization",
+		"Dispatcher busy time as a fraction of wall time.", fe.Utilization())
+
+	states := fe.mem.Snapshot()
+	counts := make(map[membership.State]int, 5)
+	for _, s := range states {
+		counts[s]++
+	}
+	samples := make([]metrics.LabeledValue, 0, 5)
+	for _, s := range []membership.State{membership.Joining, membership.Up,
+		membership.Draining, membership.Suspect, membership.Down} {
+		samples = append(samples, metrics.LabeledValue{
+			Label: fmt.Sprintf("state=%q", s.String()),
+			Value: float64(counts[s]),
+		})
+	}
+	pw.GaugeVec("phttp_fe_backends", "Back-end slots by membership state.", samples...)
+
+	pw.Histogram("phttp_fe_request_duration_seconds",
+		"Per-request latency from batch completion at the front-end: end-to-end for relay, forward time for handoff/BE-forwarding, refusal time for 503s.",
+		fe.lat, 1e-6) // recorded in microseconds
+}
+
+// Latency exposes the wall-clock latency histogram (status endpoint,
+// tests). Callers must not mutate it other than through Record.
+func (fe *FrontEnd) Latency() *core.LatencyHist { return fe.lat }

@@ -1,0 +1,183 @@
+package cluster_test
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"phttp/internal/cluster"
+	"phttp/internal/core"
+	"phttp/internal/loadgen"
+	"phttp/internal/metrics"
+)
+
+// scrapeStatus performs one GET against the front-end's status handler.
+func scrapeStatus(t *testing.T, fe *cluster.FrontEnd) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	fe.StatusHandler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/status", nil))
+	return rec
+}
+
+// TestStatusEndpoint drives traffic through a relay cluster and checks
+// the Prometheus exposition: content type, the expected metric families
+// (golden on the HELP/TYPE headers), counter values agreeing with the
+// front-end's accessors, and a well-formed cumulative latency histogram.
+func TestStatusEndpoint(t *testing.T) {
+	cfg, tr := testConfig(t, 2, "lard", core.RelayFrontEnd)
+	cl, err := cluster.Start(cfg)
+	if err != nil {
+		t.Fatalf("start cluster: %v", err)
+	}
+	defer cl.Close()
+	runLoad(t, cl.Addr(), tr, false)
+
+	rec := scrapeStatus(t, cl.FE)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != metrics.PromContentType {
+		t.Errorf("Content-Type = %q, want %q", ct, metrics.PromContentType)
+	}
+	body := rec.Body.String()
+
+	// Golden header sequence: the families and their types are the
+	// endpoint's contract with a scraper.
+	var headers []string
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			headers = append(headers, strings.TrimPrefix(line, "# TYPE "))
+		}
+	}
+	wantHeaders := []string{
+		"phttp_fe_requests_total counter",
+		"phttp_fe_connections_total counter",
+		"phttp_fe_unavailable_total counter",
+		"phttp_fe_redispatches_total counter",
+		"phttp_fe_utilization gauge",
+		"phttp_fe_backends gauge",
+		"phttp_fe_request_duration_seconds histogram",
+	}
+	if strings.Join(headers, ";") != strings.Join(wantHeaders, ";") {
+		t.Errorf("TYPE headers = %v, want %v", headers, wantHeaders)
+	}
+
+	wantReqs := int64(tr.Requests())
+	for _, probe := range []struct {
+		line string
+		want int64
+	}{
+		{"phttp_fe_requests_total", wantReqs},
+		{"phttp_fe_unavailable_total", 0},
+		{"phttp_fe_redispatches_total", 0},
+		{`phttp_fe_backends{state="up"}`, 2},
+		{`phttp_fe_backends{state="down"}`, 0},
+		{"phttp_fe_request_duration_seconds_count", wantReqs},
+	} {
+		if got, ok := promValue(body, probe.line); !ok || got != float64(probe.want) {
+			t.Errorf("%s = %v (found=%v), want %d", probe.line, got, ok, probe.want)
+		}
+	}
+
+	// The histogram must expose cumulative, monotone buckets ending at
+	// +Inf == count.
+	bucketRe := regexp.MustCompile(`(?m)^phttp_fe_request_duration_seconds_bucket\{le="([^"]+)"\} (\d+)$`)
+	matches := bucketRe.FindAllStringSubmatch(body, -1)
+	if len(matches) < 2 {
+		t.Fatalf("want ≥2 bucket lines, got %d in:\n%s", len(matches), body)
+	}
+	prevBound, prevCum := -1.0, int64(-1)
+	for _, m := range matches {
+		cum, _ := strconv.ParseInt(m[2], 10, 64)
+		if cum < prevCum {
+			t.Errorf("bucket counts not cumulative: %d after %d", cum, prevCum)
+		}
+		prevCum = cum
+		if m[1] == "+Inf" {
+			if cum != wantReqs {
+				t.Errorf("+Inf bucket = %d, want %d", cum, wantReqs)
+			}
+			continue
+		}
+		bound, err := strconv.ParseFloat(m[1], 64)
+		if err != nil || bound <= prevBound {
+			t.Errorf("bad le bound %q after %g (err=%v)", m[1], prevBound, err)
+		}
+		prevBound = bound
+	}
+}
+
+// promValue extracts an unlabeled (or exactly-labeled) sample value.
+func promValue(body, name string) (float64, bool) {
+	for _, line := range strings.Split(body, "\n") {
+		rest, ok := strings.CutPrefix(line, name+" ")
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseFloat(rest, 64)
+		return v, err == nil
+	}
+	return 0, false
+}
+
+func TestStatusMethodNotAllowed(t *testing.T) {
+	cfg, _ := testConfig(t, 2, "wrr", core.BEForwarding)
+	cl, err := cluster.Start(cfg)
+	if err != nil {
+		t.Fatalf("start cluster: %v", err)
+	}
+	defer cl.Close()
+	rec := httptest.NewRecorder()
+	cl.FE.StatusHandler().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/status", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST /status = %d, want %d", rec.Code, http.StatusMethodNotAllowed)
+	}
+}
+
+// TestStatusScrapeUnderLoad scrapes concurrently with live traffic; under
+// -race this proves the endpoint reads its sources without torn state.
+func TestStatusScrapeUnderLoad(t *testing.T) {
+	cfg, tr := testConfig(t, 2, "extlard", core.BEForwarding)
+	cl, err := cluster.Start(cfg)
+	if err != nil {
+		t.Fatalf("start cluster: %v", err)
+	}
+	defer cl.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if rec := scrapeStatus(t, cl.FE); rec.Code != http.StatusOK {
+				t.Errorf("scrape under load: %d", rec.Code)
+				return
+			}
+		}
+	}()
+	if _, err := loadgen.Run(loadgen.Config{
+		Addr:        cl.Addr(),
+		Trace:       tr,
+		Concurrency: 8,
+	}); err != nil {
+		t.Fatalf("loadgen: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+
+	// BE forwarding records one sample per dispatched request at
+	// forward time: the histogram must account for every request.
+	if got, want := cl.FE.Latency().Count(), cl.FE.Requests(); got != want {
+		t.Errorf("latency samples = %d, requests = %d", got, want)
+	}
+}

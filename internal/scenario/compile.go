@@ -97,6 +97,10 @@ func (s *Spec) simBase(nodes int, combo sim.Combo, kind core.ServerKind) sim.Con
 		cfg.Churn = s.Churn.compile()
 		cfg.RetryBudget = s.Churn.retryBudget()
 	}
+	// Likewise zero without an slo block, for the same golden guarantee.
+	if s.SLO != nil {
+		cfg.SLOTarget = s.SLO.Target()
+	}
 	return cfg
 }
 

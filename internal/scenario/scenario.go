@@ -56,6 +56,12 @@ type Spec struct {
 	// the prototype compilers reject it — live clusters churn through
 	// real crashes and the front-end's admin surface, not a schedule.
 	Churn *ChurnSpec `json:"churn,omitempty"`
+	// SLO, when present, turns the scenario into a pass/fail gate: every
+	// simulated grid point must hold the tail-latency objective.
+	// Simulated delays are deterministic per (workload, config), so an
+	// SLO-gated scenario is a reproducible regression test, not a flaky
+	// wall-clock assertion.
+	SLO *SLOSpec `json:"slo,omitempty"`
 }
 
 // WorkloadSpec selects the request trace: a synthetic-generator
@@ -156,6 +162,27 @@ type ChurnEventSpec struct {
 // DefaultChurnRetryBudget is the re-dispatch budget a churn scenario
 // gets when it does not set one.
 const DefaultChurnRetryBudget = 2
+
+// SLOSpec is a per-request tail-latency objective. A grid point passes
+// when its post-warmup p99 delay is at or under P99Ms and at most
+// MaxViolations requests exceeded the objective; the scenario passes
+// when every point does.
+type SLOSpec struct {
+	// P99Ms is the p99 per-request delay objective in milliseconds
+	// (batch arrival at the front-end to transmit completion, the same
+	// delay Figure 3 plots). Required, positive.
+	P99Ms float64 `json:"p99Ms"`
+	// MaxViolations is the number of post-warmup requests allowed over
+	// the objective before the point fails (0 = the p99 bound alone
+	// decides; by construction at most 1% of requests sit above a
+	// holding p99).
+	MaxViolations int64 `json:"maxViolations,omitempty"`
+}
+
+// Target is the objective as simulator time.
+func (o *SLOSpec) Target() core.Micros {
+	return core.Micros(o.P99Ms * float64(core.Millisecond))
+}
 
 // ServerSpec selects the back-end CPU cost model.
 type ServerSpec struct {
@@ -332,6 +359,14 @@ func (s *Spec) Validate() error {
 			if ev.Node < 0 || ev.Node >= minNodes {
 				return fmt.Errorf("scenario: churn event %d: node %d out of range for the smallest cluster in the grid (%d nodes)", i, ev.Node, minNodes)
 			}
+		}
+	}
+	if o := s.SLO; o != nil {
+		if o.P99Ms <= 0 {
+			return fmt.Errorf("scenario: slo.p99Ms must be positive, got %g", o.P99Ms)
+		}
+		if o.MaxViolations < 0 {
+			return fmt.Errorf("scenario: slo.maxViolations must be non-negative, got %d", o.MaxViolations)
 		}
 	}
 	return nil

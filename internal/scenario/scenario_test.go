@@ -6,7 +6,7 @@ import (
 )
 
 func TestBuiltinNames(t *testing.T) {
-	want := []string{"boundedch", "churn-crash", "fig3", "fig7", "fig8", "p2c"}
+	want := []string{"boundedch", "churn-crash", "fig3", "fig7", "fig8", "p2c", "slo-tail"}
 	got := BuiltinNames()
 	if len(got) != len(want) {
 		t.Fatalf("BuiltinNames() = %v, want %v", got, want)

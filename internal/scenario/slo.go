@@ -1,0 +1,61 @@
+package scenario
+
+import (
+	"fmt"
+
+	"phttp/internal/core"
+	"phttp/internal/sim"
+)
+
+// SLOVerdict is one grid point's result against the scenario's SLO.
+type SLOVerdict struct {
+	Label string
+	X     float64
+	// P99 is the point's measured post-warmup p99 delay.
+	P99 core.Micros
+	// Violations and Count are the requests over the objective and the
+	// post-warmup total they came from.
+	Violations int64
+	Count      int64
+	Pass       bool
+}
+
+// String renders the verdict as one gate-output line.
+func (v SLOVerdict) String() string {
+	status := "PASS"
+	if !v.Pass {
+		status = "FAIL"
+	}
+	return fmt.Sprintf("slo %s  %-28s x=%-6g p99=%7.2fms  violations=%d/%d",
+		status, v.Label, v.X, float64(v.P99)/float64(core.Millisecond), v.Violations, v.Count)
+}
+
+// CheckSLO judges each grid point's result against the scenario's SLO
+// block, returning one verdict per point and whether all passed. With no
+// SLO block it reports pass with no verdicts. Results must come from
+// configs compiled by this scenario (ToSimGrid), which set
+// sim.Config.SLOTarget so violation counts are against the objective.
+func (s *Spec) CheckSLO(points []SimPoint, results []sim.Result) ([]SLOVerdict, bool) {
+	if s.SLO == nil {
+		return nil, true
+	}
+	target := s.SLO.Target()
+	verdicts := make([]SLOVerdict, len(results))
+	all := true
+	for i, r := range results {
+		v := SLOVerdict{
+			P99:        r.Latency.P99,
+			Violations: r.Latency.SLOViolations,
+			Count:      r.Latency.Count,
+		}
+		if i < len(points) {
+			v.Label, v.X = points[i].Label, points[i].X
+		}
+		v.Pass = v.P99 <= target && v.Violations <= s.SLO.MaxViolations
+		if !v.Pass {
+			all = false
+		}
+		verdicts[i] = v
+	}
+	return verdicts, all
+}

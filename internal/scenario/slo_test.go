@@ -1,0 +1,131 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"phttp/internal/core"
+	"phttp/internal/sim"
+)
+
+// sloSpecJSON is a small SLO-gated scenario: a 3-node LARD cluster whose
+// every grid point must hold a 250 ms p99 with at most 10 violations.
+const sloSpecJSON = `{
+  "version": 1,
+  "name": "slo-test",
+  "workload": {"synth": {"connections": 2000}},
+  "policy": {"name": "lard"},
+  "cluster": {"nodes": 3},
+  "slo": {"p99Ms": 250, "maxViolations": 10}
+}`
+
+func TestSLOSpecParsesAndCompiles(t *testing.T) {
+	s, err := Parse([]byte(sloSpecJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.SLO == nil || s.SLO.P99Ms != 250 || s.SLO.MaxViolations != 10 {
+		t.Fatalf("slo block not parsed: %+v", s.SLO)
+	}
+	if got, want := s.SLO.Target(), 250*core.Micros(core.Millisecond); got != want {
+		t.Errorf("Target() = %v, want %v", got, want)
+	}
+	// Compilation must thread the objective into the simulator config so
+	// violation counts are measured against it.
+	grid, err := s.ToSimGrid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range grid {
+		if p.Config.SLOTarget != s.SLO.Target() {
+			t.Fatalf("compiled SLOTarget = %v, want %v", p.Config.SLOTarget, s.SLO.Target())
+		}
+	}
+}
+
+func TestSLOSpecValidation(t *testing.T) {
+	cases := []struct {
+		name, from, to, want string
+	}{
+		{"zero p99", `"p99Ms": 250`, `"p99Ms": 0`, "p99Ms"},
+		{"negative p99", `"p99Ms": 250`, `"p99Ms": -5`, "p99Ms"},
+		{"negative violations", `"maxViolations": 10`, `"maxViolations": -1`, "maxViolations"},
+		{"unknown field", `"maxViolations": 10`, `"maxViolation": 10`, "unknown field"},
+	}
+	for _, tc := range cases {
+		bad := strings.Replace(sloSpecJSON, tc.from, tc.to, 1)
+		if bad == sloSpecJSON {
+			t.Fatalf("%s: replacement %q not found", tc.name, tc.from)
+		}
+		_, err := Parse([]byte(bad))
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: Parse() err = %v, want error containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// sloResult fabricates one grid point's measurement.
+func sloResult(p99 core.Micros, violations int64) sim.Result {
+	var r sim.Result
+	r.Latency.P99 = p99
+	r.Latency.SLOViolations = violations
+	r.Latency.Count = 100000
+	return r
+}
+
+func TestCheckSLOVerdicts(t *testing.T) {
+	s, err := Parse([]byte(sloSpecJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := s.SLO.Target()
+	points := []SimPoint{{Label: "a", X: 3}, {Label: "b", X: 4}, {Label: "c", X: 5}, {Label: "d", X: 6}}
+
+	// All within objective (p99 at the target exactly is still a pass).
+	verdicts, ok := s.CheckSLO(points, []sim.Result{
+		sloResult(target/2, 0), sloResult(target, 10),
+		sloResult(target-1, 3), sloResult(target/4, 1),
+	})
+	if !ok || len(verdicts) != 4 {
+		t.Fatalf("all-pass run judged ok=%v verdicts=%v", ok, verdicts)
+	}
+	for i, v := range verdicts {
+		if !v.Pass || v.Label != points[i].Label || v.X != points[i].X {
+			t.Errorf("verdict %d = %+v, want pass with label %q", i, v, points[i].Label)
+		}
+	}
+
+	// One point over the p99 target fails the scenario; the others still
+	// read pass so the gate output names the offender.
+	verdicts, ok = s.CheckSLO(points[:2], []sim.Result{
+		sloResult(target+1, 0), sloResult(target/2, 0),
+	})
+	if ok || verdicts[0].Pass || !verdicts[1].Pass {
+		t.Errorf("p99 breach not isolated: ok=%v verdicts=%+v", ok, verdicts)
+	}
+	if !strings.Contains(verdicts[0].String(), "FAIL") || !strings.Contains(verdicts[1].String(), "PASS") {
+		t.Errorf("verdict strings wrong: %q / %q", verdicts[0], verdicts[1])
+	}
+
+	// The violation budget fails independently of the p99 bound.
+	verdicts, ok = s.CheckSLO(points[:1], []sim.Result{sloResult(target/2, 11)})
+	if ok || verdicts[0].Pass {
+		t.Errorf("violation-budget breach passed: %+v", verdicts)
+	}
+}
+
+func TestCheckSLOWithoutBlockIsVacuousPass(t *testing.T) {
+	s, err := Parse([]byte(strings.Replace(sloSpecJSON,
+		`,
+  "slo": {"p99Ms": 250, "maxViolations": 10}`, "", 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.SLO != nil {
+		t.Fatal("slo block not removed")
+	}
+	verdicts, ok := s.CheckSLO(nil, []sim.Result{sloResult(core.Micros(core.Second), 1<<20)})
+	if !ok || verdicts != nil {
+		t.Errorf("no-SLO scenario should vacuously pass: ok=%v verdicts=%v", ok, verdicts)
+	}
+}

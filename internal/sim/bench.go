@@ -173,7 +173,7 @@ func MeasureScaling(cfg BenchConfig, tr *trace.Trace) (ScalingReport, error) {
 	}
 	var base float64
 	for w := 1; w <= rep.GoMaxProcs; w++ {
-		p, err := measureSweep(cfg, tr, w)
+		p, _, err := measureSweep(cfg, tr, w)
 		if err != nil {
 			return rep, err
 		}
@@ -189,6 +189,52 @@ func MeasureScaling(cfg BenchConfig, tr *trace.Trace) (ScalingReport, error) {
 	return rep, nil
 }
 
+// LatencyComboPoint is one combo's tail digest at the reference sweep's
+// largest cluster size, in milliseconds.
+type LatencyComboPoint struct {
+	Combo  string  `json:"combo"`
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	P999Ms float64 `json:"p999_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+// LatencyReport is the `latency` section of BENCH_sim.json: per-combo
+// tail quantiles from the serial reference sweep. Virtual-time delays
+// are deterministic per (workload, config), so unlike the wall-clock
+// sections these numbers are machine-independent — they move only when
+// the simulated system's behavior moves.
+type LatencyReport struct {
+	Nodes  int                 `json:"nodes"`
+	Combos []LatencyComboPoint `json:"combos"`
+}
+
+func latencyReport(cfg BenchConfig, results []Result) *LatencyReport {
+	maxNodes := 0
+	for _, n := range cfg.Nodes {
+		if n > maxNodes {
+			maxNodes = n
+		}
+	}
+	rep := &LatencyReport{Nodes: maxNodes}
+	ms := func(v core.Micros) float64 { return float64(v) / float64(core.Millisecond) }
+	for _, r := range results {
+		if r.Nodes != maxNodes {
+			continue
+		}
+		rep.Combos = append(rep.Combos, LatencyComboPoint{
+			Combo:  r.Combo,
+			P50Ms:  ms(r.Latency.P50),
+			P95Ms:  ms(r.Latency.P95),
+			P99Ms:  ms(r.Latency.P99),
+			P999Ms: ms(r.Latency.P999),
+			MaxMs:  ms(r.Latency.Max),
+		})
+	}
+	return rep
+}
+
 // BenchReport is the payload of BENCH_sim.json. Every section carries its
 // own gomaxprocs/nproc stamp (EnvInfo) rather than one top-level value, so
 // a section measured on one core is self-describing even when another —
@@ -200,6 +246,9 @@ type BenchReport struct {
 	Parallel BenchPoint `json:"parallel"`
 	// TraceGen times workload construction (sweep startup).
 	TraceGen TraceGenReport `json:"trace_gen"`
+	// Latency is the per-combo tail digest of the serial sweep
+	// (deterministic: moves only with simulated behavior, not hardware).
+	Latency *LatencyReport `json:"latency,omitempty"`
 	// Scaling is the multi-core worker-count curve (or its skip marker);
 	// nil when the run did not ask for one (phttp-bench -scaling).
 	Scaling *ScalingReport `json:"scaling,omitempty"`
@@ -214,8 +263,11 @@ type BenchReport struct {
 	MeasuredAtUnixMillis int64       `json:"measured_at_unix_ms"`
 }
 
-// measureSweep runs the reference sweep once with the given worker count.
-func measureSweep(cfg BenchConfig, tr *trace.Trace, workers int) (BenchPoint, error) {
+// measureSweep runs the reference sweep once with the given worker count,
+// returning the measurement and the sweep's results (for the latency
+// section — the histograms record during the measured run, so their cost
+// is part of the numbers, as it is in production).
+func measureSweep(cfg BenchConfig, tr *trace.Trace, workers int) (BenchPoint, []Result, error) {
 	var ms0, ms1 runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&ms0)
@@ -224,7 +276,7 @@ func measureSweep(cfg BenchConfig, tr *trace.Trace, workers int) (BenchPoint, er
 	wall := time.Since(start)
 	runtime.ReadMemStats(&ms1)
 	if err != nil {
-		return BenchPoint{}, err
+		return BenchPoint{}, nil, err
 	}
 	var events, requests int64
 	for _, r := range results {
@@ -233,7 +285,7 @@ func measureSweep(cfg BenchConfig, tr *trace.Trace, workers int) (BenchPoint, er
 	}
 	p := newBenchPoint(wall, ms1.Mallocs-ms0.Mallocs, events, requests)
 	p.EnvInfo = env()
-	return p, nil
+	return p, results, nil
 }
 
 // measureAllocs returns the steady-state heap allocations of one call to
@@ -395,10 +447,12 @@ func RunBench(cfg BenchConfig) (BenchReport, error) {
 	if rep.TraceGen, tr, err = measureTraceGen(tcfg); err != nil {
 		return rep, err
 	}
-	if rep.Serial, err = measureSweep(cfg, tr, 1); err != nil {
+	var serialResults []Result
+	if rep.Serial, serialResults, err = measureSweep(cfg, tr, 1); err != nil {
 		return rep, err
 	}
-	if rep.Parallel, err = measureSweep(cfg, tr, 0); err != nil {
+	rep.Latency = latencyReport(cfg, serialResults)
+	if rep.Parallel, _, err = measureSweep(cfg, tr, 0); err != nil {
 		return rep, err
 	}
 	return rep, nil

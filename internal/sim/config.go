@@ -191,6 +191,11 @@ type Config struct {
 	// simulator's analogue of the prototype's connection-close fallback.
 	// Only consulted when Churn is non-empty.
 	RetryBudget int
+	// SLOTarget, when positive, is the per-request delay objective:
+	// Result.Latency.SLOViolations counts post-warmup requests slower
+	// than it. Zero (the figure configurations) disables the count; the
+	// latency histogram itself always records.
+	SLOTarget core.Micros
 }
 
 // DefaultCacheBytes is the simulator's back-end cache size: the paper's
@@ -255,6 +260,9 @@ func (c Config) Validate() error {
 	}
 	if c.RetryBudget < 0 {
 		return fmt.Errorf("sim: RetryBudget must be non-negative, got %d", c.RetryBudget)
+	}
+	if c.SLOTarget < 0 {
+		return fmt.Errorf("sim: SLOTarget must be non-negative, got %d", c.SLOTarget)
 	}
 	for i, ev := range c.Churn {
 		if ev.At < 0 {

@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"phttp/internal/core"
+)
+
+// The latency-regression gate: virtual-time delays are bit-deterministic
+// for a given (workload, config), so per-combo tail quantiles recorded in
+// a checked-in baseline are machine-independent regression tests — the
+// latency analogue of the coverage baseline CI already enforces. A
+// change that inflates any combo's p99 past the recorded value (plus a
+// small tolerance for intentional re-baselining slack) fails `make slo`.
+
+// GateBenchConfig is the reference configuration of the latency gate:
+// the seven Figure 7 combos at one cluster size on the reference
+// workload — a few seconds of simulation, cheap enough to run in CI on
+// every push (unlike the full bench sweep).
+func GateBenchConfig() BenchConfig {
+	cfg := DefaultBenchConfig()
+	cfg.Nodes = []int{4}
+	return cfg
+}
+
+// LatencyBaseline pins the per-combo p99 of the gate sweep. The workload
+// identity (connections, seed) and node count are recorded so a gate run
+// against a different reference fails loudly instead of comparing
+// incomparable numbers.
+type LatencyBaseline struct {
+	Nodes       int    `json:"nodes"`
+	Connections int    `json:"connections"`
+	Seed        uint64 `json:"seed"`
+	// TolerancePct is the allowed relative p99 increase before the gate
+	// fails. Virtual-time results are exactly reproducible, so this only
+	// absorbs histogram-bucket granularity if the bucket layout changes;
+	// it is not headroom for real regressions.
+	TolerancePct float64 `json:"tolerance_pct"`
+	// P99Ms maps combo name to its recorded p99 in milliseconds.
+	P99Ms map[string]float64 `json:"p99_ms"`
+}
+
+// NewLatencyBaseline digests gate-sweep results into a baseline.
+func NewLatencyBaseline(cfg BenchConfig, results []Result, tolerancePct float64) LatencyBaseline {
+	b := LatencyBaseline{
+		Nodes:        cfg.Nodes[0],
+		Connections:  cfg.Connections,
+		Seed:         cfg.Seed,
+		TolerancePct: tolerancePct,
+		P99Ms:        make(map[string]float64, len(results)),
+	}
+	for _, r := range results {
+		b.P99Ms[r.Combo] = float64(r.Latency.P99) / float64(core.Millisecond)
+	}
+	return b
+}
+
+// LoadLatencyBaseline reads a recorded baseline.
+func LoadLatencyBaseline(path string) (LatencyBaseline, error) {
+	var b LatencyBaseline
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return b, fmt.Errorf("sim: latency baseline: %w", err)
+	}
+	if err := json.Unmarshal(data, &b); err != nil {
+		return b, fmt.Errorf("sim: latency baseline %s: %w", path, err)
+	}
+	if len(b.P99Ms) == 0 {
+		return b, fmt.Errorf("sim: latency baseline %s records no combos", path)
+	}
+	return b, nil
+}
+
+// Save writes the baseline as indented JSON.
+func (b LatencyBaseline) Save(path string) error {
+	out, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// CheckConfig verifies the gate sweep ran the recorded reference.
+func (b LatencyBaseline) CheckConfig(cfg BenchConfig) error {
+	if len(cfg.Nodes) != 1 || cfg.Nodes[0] != b.Nodes ||
+		cfg.Connections != b.Connections || cfg.Seed != b.Seed {
+		return fmt.Errorf("sim: latency gate config (nodes=%v conns=%d seed=%d) does not match baseline (nodes=[%d] conns=%d seed=%d)",
+			cfg.Nodes, cfg.Connections, cfg.Seed, b.Nodes, b.Connections, b.Seed)
+	}
+	return nil
+}
+
+// CheckResults compares gate-sweep results against the baseline and
+// returns one message per regression (empty slice = gate passes). A
+// combo in the baseline but absent from the run is a regression — a
+// deleted combo must be re-baselined deliberately, not pass silently.
+func (b LatencyBaseline) CheckResults(results []Result) []string {
+	var regressions []string
+	seen := make(map[string]bool, len(results))
+	for _, r := range results {
+		base, ok := b.P99Ms[r.Combo]
+		if !ok {
+			// A new combo has no recorded expectation; it starts gating
+			// after the next -latency-record.
+			continue
+		}
+		seen[r.Combo] = true
+		got := float64(r.Latency.P99) / float64(core.Millisecond)
+		allowed := base * (1 + b.TolerancePct/100)
+		if got > allowed {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: p99 %.2fms exceeds baseline %.2fms (+%.0f%% tolerance = %.2fms)",
+					r.Combo, got, base, b.TolerancePct, allowed))
+		}
+	}
+	var missing []string
+	for combo := range b.P99Ms {
+		if !seen[combo] {
+			missing = append(missing, combo)
+		}
+	}
+	sort.Strings(missing)
+	for _, combo := range missing {
+		regressions = append(regressions,
+			fmt.Sprintf("%s: in baseline but absent from the gate sweep", combo))
+	}
+	return regressions
+}

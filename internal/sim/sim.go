@@ -83,9 +83,14 @@ type Sim struct {
 	freeReqs  []*reqRun
 
 	// measurement
-	served       int64
-	servedBytes  int64
-	delaySum     core.Micros
+	served      int64
+	servedBytes int64
+	delaySum    core.Micros
+	// hist records every served request's delay (no warmup gating on
+	// the record path); warmHist is its snapshot at the warm point, so
+	// the reported distribution is the subtraction of the two.
+	hist         *core.LatencyHist
+	warmHist     *core.LatencyHist
 	warmDelaySum core.Micros
 	warmConns    int
 	doneConns    int
@@ -161,6 +166,7 @@ func runOnEngine(cfg Config, workload *trace.Trace, eng *simcore.Engine) (Result
 		eng:   eng,
 		disp:  disp,
 		trace: workload,
+		hist:  core.NewLatencyHist(),
 	}
 	s.nodes = make([]*node, cfg.Nodes)
 	for i := range s.nodes {
@@ -343,6 +349,7 @@ func (s *Sim) connDone(cr *connRun) {
 		s.warmServed = s.served
 		s.warmBytes = s.servedBytes
 		s.warmDelaySum = s.delaySum
+		s.warmHist = s.hist.Clone()
 		s.warmTime = s.eng.Now()
 		s.warmFEBusy = s.fe.BusyTotal()
 		for i, n := range s.nodes {
@@ -680,7 +687,11 @@ func (rr *reqRun) finish(failed bool) {
 	if !failed {
 		s.served++
 		s.servedBytes += rr.size
-		s.delaySum += s.eng.Now() - c.batchStart
+		delay := s.eng.Now() - c.batchStart
+		s.delaySum += delay
+		// Redispatched requests land here too once they finally complete,
+		// with the retries' full delay — the tail keeps the truth.
+		s.hist.Record(int64(delay))
 	}
 	s.putReq(rr)
 	c.outstanding--
@@ -729,6 +740,12 @@ func (s *Sim) result() Result {
 	if served > 0 {
 		res.MeanDelay = (s.delaySum - s.warmDelaySum) / core.Micros(served)
 	}
+	delta := s.hist
+	if s.warmHist != nil {
+		delta = s.hist.Clone()
+		delta.Sub(s.warmHist)
+	}
+	res.Latency = Summarize(delta, s.cfg.SLOTarget)
 	var hits, misses int64
 	for i, n := range s.nodes {
 		hits += n.cache.Hits()

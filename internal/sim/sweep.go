@@ -180,6 +180,23 @@ func DelaySweep(kind core.ServerKind, loads []int, tr *trace.Trace) (throughput,
 // DelaySweepParallel is DelaySweep with an explicit worker count (1 forces
 // serial, 0 means GOMAXPROCS).
 func DelaySweepParallel(kind core.ServerKind, loads []int, tr *trace.Trace, workers int) (throughput, delay *metrics.Series, err error) {
+	results, err := DelaySweepResults(kind, loads, tr, workers)
+	if err != nil {
+		return nil, nil, err
+	}
+	throughput = &metrics.Series{Name: "throughput(req/s)"}
+	delay = &metrics.Series{Name: "delay(ms)"}
+	for i, l := range loads {
+		throughput.Add(float64(l), results[i].Throughput)
+		delay.Add(float64(l), float64(results[i].MeanDelay)/float64(core.Millisecond))
+	}
+	return throughput, delay, nil
+}
+
+// DelaySweepResults is the Figure 3 sweep returning the full per-point
+// Results — tail-latency summaries included — instead of pre-built mean
+// series. DelaySweepParallel derives its series from it.
+func DelaySweepResults(kind core.ServerKind, loads []int, tr *trace.Trace, workers int) ([]Result, error) {
 	if tr.Interner == nil {
 		tr.EnsureIDs()
 	}
@@ -195,13 +212,26 @@ func DelaySweepParallel(kind core.ServerKind, loads []int, tr *trace.Trace, work
 	}
 	results := make([]Result, len(jobs))
 	if err := runJobs(jobs, results, workers); err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	throughput = &metrics.Series{Name: "throughput(req/s)"}
-	delay = &metrics.Series{Name: "delay(ms)"}
-	for i, l := range loads {
-		throughput.Add(float64(l), results[i].Throughput)
-		delay.Add(float64(l), float64(results[i].MeanDelay)/float64(core.Millisecond))
+	return results, nil
+}
+
+// TailSeries folds per-point latency summaries into the p50/p95/p99/p999
+// columns (milliseconds) of a delay table, keyed by each result's slot in
+// xs. The figure 3 driver and the scenario loads path both print them
+// next to the mean-delay column.
+func TailSeries(xs []float64, results []Result) (p50, p95, p99, p999 *metrics.Series) {
+	ms := func(m core.Micros) float64 { return float64(m) / float64(core.Millisecond) }
+	p50 = &metrics.Series{Name: "p50(ms)"}
+	p95 = &metrics.Series{Name: "p95(ms)"}
+	p99 = &metrics.Series{Name: "p99(ms)"}
+	p999 = &metrics.Series{Name: "p999(ms)"}
+	for i, r := range results {
+		p50.Add(xs[i], ms(r.Latency.P50))
+		p95.Add(xs[i], ms(r.Latency.P95))
+		p99.Add(xs[i], ms(r.Latency.P99))
+		p999.Add(xs[i], ms(r.Latency.P999))
 	}
-	return throughput, delay, nil
+	return p50, p95, p99, p999
 }
