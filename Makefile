@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke bench-scaling cover fuzz-smoke fmt vet lint check trace-cache scenarios-smoke chaos slo
+.PHONY: all build test race bench bench-smoke bench-scaling cover fuzz-smoke fmt vet lint lint-phttp check trace-cache scenarios-smoke chaos slo
 
 all: build
 
@@ -103,17 +103,25 @@ fmt:
 vet:
 	$(GO) vet ./...
 
+# The repo's own invariant analyzers (DESIGN.md §17): determinism,
+# zero-alloc hot paths, paired interner refcounts, unmixed atomic
+# access. Standalone mode sees every package in one process; the same
+# binary also works as `go vet -vettool` (see cmd/phttp-lint).
+lint-phttp:
+	$(GO) run ./cmd/phttp-lint ./...
+
 # Static scrutiny for the pointer-heavy mmap/unsafe code (and everything
-# else): gofmt and go vet always fail the target; golangci-lint runs too
-# when installed (CI has it available; the dev container may not).
-lint:
+# else): gofmt, go vet and phttp-lint always fail the target;
+# golangci-lint (pinned config in .golangci.yml) runs too when installed
+# (CI installs it; the dev container may not have it).
+lint: lint-phttp
 	@out="$$(gofmt -l .)"; \
 	if [ -n "$$out" ]; then echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; fi
 	$(GO) vet ./...
 	@if command -v golangci-lint >/dev/null 2>&1; then \
 		golangci-lint run ./...; \
 	else \
-		echo "golangci-lint not installed; gofmt+vet only"; \
+		echo "golangci-lint not installed; gofmt+vet+phttp-lint only"; \
 	fi
 
-check: fmt vet build test race
+check: fmt vet lint-phttp build test race

@@ -146,6 +146,8 @@ func (c *IDLRU) Contains(id core.TargetID) bool { return c.slot(id) != noEntry }
 // entries as needed. If the target is already present it is promoted and
 // resized. Targets larger than the capacity are not cached and nothing is
 // evicted for them.
+//
+//phttp:holds the acquired ref pins the cached target; evict releases it
 func (c *IDLRU) Insert(id core.TargetID, size int64) {
 	if size < 0 {
 		panic("cache: negative size")

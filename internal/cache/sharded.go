@@ -183,6 +183,8 @@ func (c *ShardedLRU) Touch(id core.TargetID) {
 // least-recently-used entries as needed. If the target is already present it
 // is promoted and resized. Targets larger than the capacity are not cached
 // and nothing is evicted for them.
+//
+//phttp:holds the acquired ref pins the cached target; evict releases it
 func (c *ShardedLRU) Insert(id core.TargetID, size int64) {
 	if size < 0 {
 		panic("cache: negative size")

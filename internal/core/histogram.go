@@ -75,6 +75,8 @@ func histBounds(i int) (lo, hi int64) {
 // Record adds one sample. Negative values clamp to zero (virtual-time
 // delays are never negative; a wall-clock caller racing a clock step
 // must not fault). Safe for concurrent use.
+//
+//phttp:hotpath
 func (h *LatencyHist) Record(v int64) {
 	if v < 0 {
 		v = 0
@@ -197,14 +199,17 @@ func (h *LatencyHist) Sub(o *LatencyHist) {
 }
 
 // Clone returns an independent copy (one allocation; not for hot paths).
+// The copy's fields are populated with atomic stores even though it is
+// unpublished here: every field is accessed through sync/atomic, and
+// mixing in plain writes would break that invariant (and trip the race
+// detector if a caller ever shares the clone before this returns).
 func (h *LatencyHist) Clone() *LatencyHist {
-	c := &LatencyHist{
-		count: atomic.LoadInt64(&h.count),
-		sum:   atomic.LoadInt64(&h.sum),
-		max:   atomic.LoadInt64(&h.max),
-	}
+	c := &LatencyHist{}
+	atomic.StoreInt64(&c.count, atomic.LoadInt64(&h.count))
+	atomic.StoreInt64(&c.sum, atomic.LoadInt64(&h.sum))
+	atomic.StoreInt64(&c.max, atomic.LoadInt64(&h.max))
 	for i := range h.buckets {
-		c.buckets[i] = atomic.LoadInt64(&h.buckets[i])
+		atomic.StoreInt64(&c.buckets[i], atomic.LoadInt64(&h.buckets[i]))
 	}
 	return c
 }

@@ -434,6 +434,8 @@ func (in *Interner) Stripes() int { return len(in.stripes) }
 // The hit path is lock-free: a snapshot lookup plus (capped) a CAS on the
 // refcount, verified against the slot's current name so a recycled ID from
 // a stale snapshot can never alias a different target.
+//
+//phttp:hotpath
 func (in *Interner) Intern(t Target) TargetID {
 	st := in.stripeFor(t)
 	id, inSnap := (*st.snap.Load())[t]
@@ -452,6 +454,8 @@ func (in *Interner) Intern(t Target) TargetID {
 // it is positive, then confirm the slot still names t — it may have been
 // recycled since the snapshot was taken, in which case the spurious
 // reference is undone and the caller falls back to the locked path.
+//
+//phttp:hotpath
 func (in *Interner) tryAcquireHit(t Target, id TargetID) bool {
 	sl := in.arena.slotIfPresent(int32(id) - 1)
 	if sl == nil {
@@ -561,6 +565,8 @@ func (in *Interner) assignLocked(st *internStripe, t Target) TargetID {
 // zero-ref ID revives it from limbo. It panics on a dead or never-assigned
 // ID: by the reference protocol a caller can only acquire an ID it resolved
 // through Intern or received alongside a live entry.
+//
+//phttp:hotpath
 func (in *Interner) Acquire(id TargetID) {
 	if in.max == 0 {
 		return
@@ -575,14 +581,14 @@ func (in *Interner) Acquire(id TargetID) {
 			continue
 		}
 		if r == deadRef {
-			panic(fmt.Sprintf("core: Acquire of recycled TargetID %d", id))
+			panicBadID("Acquire", "recycled", id)
 		}
 		// Zero refs: the 0→1 revival must pair with the limbo unlink under
 		// the owning stripe's lock. The owner is named by the slot; confirm
 		// it under the lock since a concurrent recycle may rebind the slot.
 		name := sl.name.Load()
 		if name == nil {
-			panic(fmt.Sprintf("core: Acquire of unassigned TargetID %d", id))
+			panicBadID("Acquire", "unassigned", id)
 		}
 		st := in.stripeFor(*name)
 		st.mu.Lock()
@@ -604,6 +610,8 @@ func (in *Interner) Acquire(id TargetID) {
 // Release drops a reference to id (no-op on a pinned interner). When the
 // last reference drains, the target parks on the limbo list: it is still
 // resolvable (a re-Intern revives it) until table pressure recycles its ID.
+//
+//phttp:hotpath
 func (in *Interner) Release(id TargetID) {
 	if in.max == 0 {
 		return
@@ -615,6 +623,8 @@ func (in *Interner) Release(id TargetID) {
 // plain CAS; the final 1→0 transition happens under the owning stripe's
 // lock, paired atomically with the limbo push, so "refs == 0" and "parked
 // in limbo" can never disagree.
+//
+//phttp:hotpath
 func (in *Interner) releaseSlot(s int32, sl *islot) {
 	for {
 		r := sl.refs.Load()
@@ -625,11 +635,7 @@ func (in *Interner) releaseSlot(s int32, sl *islot) {
 			continue
 		}
 		if r <= 0 {
-			name := ""
-			if p := sl.name.Load(); p != nil {
-				name = string(*p)
-			}
-			panic(fmt.Sprintf("core: Release of unreferenced TargetID %d (%q)", s+1, name))
+			panicUnreferenced(s, sl)
 		}
 		// Our caller holds a reference, so the slot cannot be recycled out
 		// from under us and its name (hence its stripe) is stable.
@@ -645,18 +651,35 @@ func (in *Interner) releaseSlot(s int32, sl *islot) {
 }
 
 // slotChecked validates id against the live table and returns its slot.
+//
+//phttp:hotpath
 func (in *Interner) slotChecked(id TargetID, op string) *islot {
 	if id <= 0 || int32(id) > in.arena.length.Load() {
-		panic(fmt.Sprintf("core: %s of unassigned TargetID %d", op, id))
+		panicBadID(op, "unassigned", id)
 	}
 	sl := in.arena.slotIfPresent(int32(id) - 1)
 	if sl == nil {
-		panic(fmt.Sprintf("core: %s of unassigned TargetID %d", op, id))
+		panicBadID(op, "unassigned", id)
 	}
 	if sl.refs.Load() == deadRef {
-		panic(fmt.Sprintf("core: %s of recycled TargetID %d", op, id))
+		panicBadID(op, "recycled", id)
 	}
 	return sl
+}
+
+// panicBadID and panicUnreferenced are the cold formatting helpers for
+// the reference-protocol panics: the annotated hot paths above must not
+// call fmt themselves.
+func panicBadID(op, kind string, id TargetID) {
+	panic(fmt.Sprintf("core: %s of %s TargetID %d", op, kind, id))
+}
+
+func panicUnreferenced(s int32, sl *islot) {
+	name := ""
+	if p := sl.name.Load(); p != nil {
+		name = string(*p)
+	}
+	panic(fmt.Sprintf("core: Release of unreferenced TargetID %d (%q)", s+1, name))
 }
 
 // limboPushLocked parks slot s at the MRU end of the stripe's limbo list.

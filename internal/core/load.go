@@ -38,6 +38,8 @@ func (lt *LoadTracker) Load(n NodeID) float64 {
 }
 
 // addLoad atomically adds f load units to node n.
+//
+//phttp:hotpath
 func (lt *LoadTracker) addLoad(n NodeID, f float64) {
 	slot := &lt.load[n]
 	for {
@@ -53,17 +55,27 @@ func (lt *LoadTracker) addLoad(n NodeID, f float64) {
 func (lt *LoadTracker) Conns(n NodeID) int { return int(lt.conns[n].Load()) }
 
 // AddConn charges one load unit to n for a newly handled connection.
+//
+//phttp:hotpath
 func (lt *LoadTracker) AddConn(n NodeID) {
 	lt.addLoad(n, 1)
 	lt.conns[n].Add(1)
 }
 
 // RemoveConn releases the connection unit charged by AddConn.
+//
+//phttp:hotpath
 func (lt *LoadTracker) RemoveConn(n NodeID) {
 	lt.addLoad(n, -1)
 	if lt.conns[n].Add(-1) < 0 {
-		panic(fmt.Sprintf("core: connection count of %v went negative", n))
+		panicNegativeConns(n)
 	}
+}
+
+// panicNegativeConns is the cold formatting helper for RemoveConn's
+// invariant panic, kept out of the annotated hot path so fmt stays off it.
+func panicNegativeConns(n NodeID) {
+	panic(fmt.Sprintf("core: connection count of %v went negative", n))
 }
 
 // MoveConn transfers a connection unit from old to new on migration.
@@ -73,9 +85,13 @@ func (lt *LoadTracker) MoveConn(old, new NodeID) {
 }
 
 // AddFraction charges f load units to n (remote batch accounting).
+//
+//phttp:hotpath
 func (lt *LoadTracker) AddFraction(n NodeID, f float64) { lt.addLoad(n, f) }
 
 // RemoveFraction releases f load units from n.
+//
+//phttp:hotpath
 func (lt *LoadTracker) RemoveFraction(n NodeID, f float64) { lt.addLoad(n, -f) }
 
 // Least returns the least-loaded node, breaking ties toward lower IDs.
@@ -103,6 +119,8 @@ func (lt *LoadTracker) Total() float64 {
 // finished, per the paper's estimate) or when the connection goes idle or
 // closes. The charge slice is truncated, not freed, so the next batch's
 // accounting reuses it.
+//
+//phttp:hotpath
 func (lt *LoadTracker) ClearBatch(c *ConnState) {
 	for _, rc := range c.RemoteLoad {
 		lt.RemoveFraction(rc.Node, rc.Frac)
@@ -115,6 +133,8 @@ func (lt *LoadTracker) ClearBatch(c *ConnState) {
 // the pipelined batch), recording the charges on c so ClearBatch can undo
 // them. Entries equal to handling or NoNode are skipped: requests served by
 // the handling node are already covered by the connection unit.
+//
+//phttp:hotpath
 func (lt *LoadTracker) ChargeBatch(c *ConnState, handling NodeID, nodes []NodeID, batchSize int) {
 	if len(nodes) == 0 || batchSize <= 0 {
 		return

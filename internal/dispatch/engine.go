@@ -161,6 +161,8 @@ func (e *Engine) Maintains() int64 { return e.maintains.Load() }
 func (e *Engine) Active() int64 { return e.live.Load() }
 
 // getConn pops a recycled connection record or allocates the run's next one.
+//
+//phttp:hotpath
 func (e *Engine) getConn() *Conn {
 	e.poolMu.Lock()
 	if n := len(e.connPool); n > 0 {
@@ -174,6 +176,8 @@ func (e *Engine) getConn() *Conn {
 }
 
 // putConn returns a closed connection record to the pool.
+//
+//phttp:hotpath
 func (e *Engine) putConn(c *Conn) {
 	e.poolMu.Lock()
 	e.connPool = append(e.connPool, c)
@@ -184,9 +188,11 @@ func (e *Engine) putConn(c *Conn) {
 // connection state, asks the policy for the handling node based on the
 // first request, and begins tracking the connection. The first request must
 // be interned.
+//
+//phttp:hotpath
 func (e *Engine) ConnOpen(first core.Request) (*Conn, core.NodeID) {
 	if first.ID == core.NoTarget {
-		panic(fmt.Sprintf("dispatch: ConnOpen with un-interned request %q; intern at the edge (trace loader / HTTP parser)", first.Target))
+		panicUninterned(first.Target)
 	}
 	c := e.getConn()
 	c.cs.Reset(core.ConnID(e.nextID.Add(1)))
@@ -197,6 +203,12 @@ func (e *Engine) ConnOpen(first core.Request) (*Conn, core.NodeID) {
 	return c, handling
 }
 
+// panicUninterned is the cold formatting helper for ConnOpen's invariant
+// panic, kept out of the annotated hot path so fmt stays off it.
+func panicUninterned(target core.Target) {
+	panic(fmt.Sprintf("dispatch: ConnOpen with un-interned request %q; intern at the edge (trace loader / HTTP parser)", target))
+}
+
 // AssignBatch assigns every request of a pipelined batch arriving on c and
 // performs the paper's 1/N load accounting. It returns one Assignment per
 // request, in order; the slice may be backed by the connection's reusable
@@ -204,6 +216,8 @@ func (e *Engine) ConnOpen(first core.Request) (*Conn, core.NodeID) {
 // be interned — batches pass through untouched, so the simulator's shared
 // trace is never written to and parallel sweep workers can replay one trace
 // concurrently.
+//
+//phttp:hotpath
 func (e *Engine) AssignBatch(c *Conn, batch core.Batch) []core.Assignment {
 	as := e.pol.AssignBatch(&c.cs, batch)
 	e.reqs.Add(int64(len(batch)))
@@ -215,6 +229,8 @@ func (e *Engine) AssignBatch(c *Conn, batch core.Batch) []core.Assignment {
 // calls it once the batch's requests have been forwarded: back-ends address
 // content by target string, so nothing downstream of dispatch needs the
 // IDs alive.
+//
+//phttp:hotpath
 func (e *Engine) ReleaseBatch(batch core.Batch) {
 	if !e.interner.Evictable() {
 		return
@@ -228,6 +244,8 @@ func (e *Engine) ReleaseBatch(batch core.Batch) {
 
 // BatchDone tells the policy the connection went idle after its current
 // batch, releasing fractional remote loads early.
+//
+//phttp:hotpath
 func (e *Engine) BatchDone(c *Conn) { e.pol.BatchDone(&c.cs) }
 
 // ConnClose releases all load held by c and recycles the record. An
@@ -241,6 +259,8 @@ func (e *Engine) BatchDone(c *Conn) { e.pol.BatchDone(&c.cs) }
 // teardown races must funnel closes through one owner per connection,
 // which the engine's per-connection serialization contract already
 // requires.
+//
+//phttp:hotpath
 func (e *Engine) ConnClose(c *Conn) {
 	if c == nil || !c.closed.CompareAndSwap(false, true) {
 		return

@@ -1,0 +1,254 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NewHotpath returns the hotpath analyzer: a function whose doc comment
+// carries //phttp:hotpath must stay allocation-free in steady state.
+// Inside its body the analyzer rejects:
+//
+//   - function literals that capture enclosing variables (each closure
+//     instantiation heap-allocates its environment)
+//   - calls into fmt and log (formatting allocates; the fix is a cold
+//     non-annotated helper for panic/diagnostic paths)
+//   - string concatenation between non-constant operands
+//   - map literals (always heap-allocated)
+//   - interface boxing of non-pointer values: passing, assigning or
+//     returning a concrete int/struct/string/slice value where an
+//     interface is expected. Pointer-shaped values (pointers, channels,
+//     maps, funcs) and constants box without allocating and stay legal —
+//     which is exactly the contract of simcore's Action payloads.
+//
+// The gate is structural, not escape-analysis-precise: it can flag an
+// allocation the compiler would sink or prove dead (then restructure or
+// drop the annotation — a hot path should not rely on the optimizer),
+// and it does not model allocations hidden behind calls into
+// non-annotated helpers.
+func NewHotpath() *Analyzer {
+	a := &Analyzer{
+		Name: "hotpath",
+		Doc:  "forbid allocation idioms inside functions annotated //phttp:hotpath",
+	}
+	a.Run = func(pass *Pass) error {
+		for _, file := range pass.Files {
+			for _, decl := range file.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil || !funcDirective(fn, DirHotpath) {
+					continue
+				}
+				checkHotFunc(pass, fn)
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+func checkHotFunc(pass *Pass, fn *ast.FuncDecl) {
+	sig, _ := pass.TypesInfo.Defs[fn.Name].Type().(*types.Signature)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if capt := capturedVar(pass, n); capt != "" {
+				pass.Reportf(n.Pos(), "closure capturing %q in hot path %s: each instantiation allocates its environment", capt, fn.Name.Name)
+			}
+			return false // the literal runs elsewhere; only capture matters here
+		case *ast.CallExpr:
+			checkHotCall(pass, fn, n)
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isAllocatingConcat(pass, n) {
+				pass.Reportf(n.Pos(), "string concatenation in hot path %s allocates", fn.Name.Name)
+			}
+		case *ast.AssignStmt:
+			checkHotAssign(pass, fn, n)
+		case *ast.ValueSpec:
+			checkHotValueSpec(pass, fn, n)
+		case *ast.CompositeLit:
+			if tv, ok := pass.TypesInfo.Types[n]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					pass.Reportf(n.Pos(), "map literal in hot path %s allocates", fn.Name.Name)
+				}
+			}
+		case *ast.ReturnStmt:
+			checkHotReturn(pass, fn, sig, n)
+		}
+		return true
+	})
+}
+
+// capturedVar returns the name of a variable the literal captures from
+// its enclosing function, or "". Package-level variables are accessed
+// directly, not captured, and cost nothing.
+func capturedVar(pass *Pass, lit *ast.FuncLit) string {
+	captured := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Parent() == nil || v.Parent() == pass.Pkg.Scope() || v.Parent() == types.Universe {
+			return true
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			captured = v.Name()
+		}
+		return true
+	})
+	return captured
+}
+
+func checkHotCall(pass *Pass, fn *ast.FuncDecl, call *ast.CallExpr) {
+	if pkgPath, name := pkgFunc(pass, call); pkgPath == "fmt" || pkgPath == "log" {
+		pass.Reportf(call.Pos(), "%s.%s call in hot path %s allocates (move formatting to a cold helper)", pathBase(pkgPath), name, fn.Name.Name)
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok {
+		return
+	}
+	if tv.IsType() {
+		// Conversion: T(x). Boxing happens when T is an interface.
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 {
+			reportIfBoxes(pass, fn, call.Args[0], "conversion to interface")
+		}
+		return
+	}
+	// Builtins: panic(x) boxes its argument; the rest are free.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+			if id.Name == "panic" && len(call.Args) == 1 {
+				reportIfBoxes(pass, fn, call.Args[0], "panic argument")
+			}
+			return
+		}
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarding an existing slice: no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if types.IsInterface(pt) {
+			reportIfBoxes(pass, fn, arg, "argument")
+		}
+	}
+}
+
+func checkHotAssign(pass *Pass, fn *ast.FuncDecl, as *ast.AssignStmt) {
+	if as.Tok == token.ADD_ASSIGN && len(as.Lhs) == 1 {
+		if tv, ok := pass.TypesInfo.Types[as.Lhs[0]]; ok && isStringType(tv.Type) {
+			pass.Reportf(as.Pos(), "string concatenation in hot path %s allocates", fn.Name.Name)
+		}
+	}
+	if as.Tok != token.ASSIGN && as.Tok != token.DEFINE {
+		return
+	}
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i := range as.Lhs {
+		lt, ok := pass.TypesInfo.Types[as.Lhs[i]]
+		if !ok || !types.IsInterface(lt.Type) {
+			continue
+		}
+		reportIfBoxes(pass, fn, as.Rhs[i], "assignment to interface")
+	}
+}
+
+// checkHotValueSpec covers `var x any = v` declarations, the one
+// interface-assignment form AssignStmt does not see.
+func checkHotValueSpec(pass *Pass, fn *ast.FuncDecl, spec *ast.ValueSpec) {
+	for i, name := range spec.Names {
+		obj, ok := pass.TypesInfo.Defs[name].(*types.Var)
+		if !ok || !types.IsInterface(obj.Type()) {
+			continue
+		}
+		if i < len(spec.Values) {
+			reportIfBoxes(pass, fn, spec.Values[i], "assignment to interface")
+		}
+	}
+}
+
+func checkHotReturn(pass *Pass, fn *ast.FuncDecl, sig *types.Signature, ret *ast.ReturnStmt) {
+	if sig == nil || sig.Results().Len() != len(ret.Results) {
+		return
+	}
+	for i, res := range ret.Results {
+		if types.IsInterface(sig.Results().At(i).Type()) {
+			reportIfBoxes(pass, fn, res, "return of interface result")
+		}
+	}
+}
+
+// reportIfBoxes flags expr when storing it into an interface heap-boxes:
+// its concrete type is not pointer-shaped, it is not a constant (those
+// box into static data), and it is not already an interface.
+func reportIfBoxes(pass *Pass, fn *ast.FuncDecl, expr ast.Expr, context string) {
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.Value != nil || tv.IsNil() {
+		return
+	}
+	t := tv.Type
+	if types.IsInterface(t) || pointerShaped(t) {
+		return
+	}
+	pass.Reportf(expr.Pos(), "interface boxing of non-pointer %s value (%s) in hot path %s allocates", t.String(), context, fn.Name.Name)
+}
+
+// pointerShaped reports whether values of t fit an interface word
+// without allocating: pointers, channels, maps, funcs, unsafe pointers.
+func pointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return t.Underlying().(*types.Basic).Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isAllocatingConcat reports whether a + expression concatenates strings
+// with at least one non-constant operand (constant folding is free).
+func isAllocatingConcat(pass *Pass, be *ast.BinaryExpr) bool {
+	tv, ok := pass.TypesInfo.Types[be]
+	if !ok || !isStringType(tv.Type) {
+		return false
+	}
+	return tv.Value == nil // whole expression not constant-folded
+}
+
+func pathBase(p string) string {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] == '/' {
+			return p[i+1:]
+		}
+	}
+	return p
+}

@@ -1,0 +1,230 @@
+// Package linttest is the golden-test harness for the phttp-lint
+// analyzers, mirroring golang.org/x/tools/go/analysis/analysistest
+// (which this container cannot vendor): fixture packages live under
+// testdata/, and every line that must produce a diagnostic carries a
+//
+//	// want "regexp"
+//
+// comment (several per line allowed). Run type-checks the fixture under
+// a caller-chosen import path — that is how package-scoped analyzers
+// like nondeterm are pointed at determinism-critical paths — runs the
+// analyzers, and fails the test on any unmatched diagnostic or
+// unsatisfied expectation, so fixtures double as false-positive guards:
+// clean lines prove the analyzer stays quiet on legal code.
+package linttest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"phttp/internal/lint"
+)
+
+// Run type-checks the one fixture package in dir as importPath and
+// applies the analyzers, matching diagnostics against the fixture's
+// `// want` expectations.
+func Run(t *testing.T, dir, importPath string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	fset := token.NewFileSet()
+	matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no fixture files in %s (%v)", dir, err)
+	}
+	sort.Strings(matches)
+	exports, err := exportData(dir, matches)
+	if err != nil {
+		t.Fatalf("resolving fixture imports: %v", err)
+	}
+	pkg, err := lint.CheckFiles(fset, importPath, matches, func(path string) (string, bool) {
+		f, ok := exports[path]
+		return f, ok
+	})
+	if err != nil {
+		t.Fatalf("typecheck fixture %s: %v", dir, err)
+	}
+	diags, err := lint.Run([]*lint.Package{pkg}, analyzers)
+	if err != nil {
+		t.Fatalf("run analyzers: %v", err)
+	}
+	wants := collectWants(t, fset, pkg.Files)
+	matchWants(t, wants, diags)
+}
+
+// Check type-checks files as importPath (resolving imports from
+// moduleDir, which must contain go.mod) and returns the analyzers'
+// diagnostics. Tests that copy real repo packages aside and inject a
+// violation assert on the returned diagnostics directly instead of
+// using // want comments.
+func Check(t *testing.T, moduleDir string, files []string, importPath string, analyzers ...*lint.Analyzer) []lint.Diagnostic {
+	t.Helper()
+	exports, err := exportDataFrom(moduleDir, files)
+	if err != nil {
+		t.Fatalf("resolving imports: %v", err)
+	}
+	fset := token.NewFileSet()
+	pkg, err := lint.CheckFiles(fset, importPath, files, func(path string) (string, bool) {
+		f, ok := exports[path]
+		return f, ok
+	})
+	if err != nil {
+		t.Fatalf("typecheck %s: %v", importPath, err)
+	}
+	diags, err := lint.Run([]*lint.Package{pkg}, analyzers)
+	if err != nil {
+		t.Fatalf("run analyzers: %v", err)
+	}
+	return diags
+}
+
+// want is one expected diagnostic.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+var wantRE = regexp.MustCompile(`// want(( "(?:[^"\\]|\\.)*")+)`)
+var wantArgRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, arg := range wantArgRE.FindAllStringSubmatch(m[1], -1) {
+					pattern, err := strconv.Unquote(arg[0])
+					if err != nil {
+						t.Fatalf("%s: bad want string %s: %v", pos, arg[0], err)
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pattern, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, raw: pattern})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func matchWants(t *testing.T, wants []*want, diags []lint.Diagnostic) {
+	t.Helper()
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.hit || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// exportData resolves the fixture's imports to compiler export data via
+// one `go list -export` invocation (run from the module so the phttp
+// packages a fixture may import resolve too).
+func exportData(fixtureDir string, files []string) (map[string]string, error) {
+	return exportDataFrom(moduleRoot(fixtureDir), files)
+}
+
+func exportDataFrom(moduleDir string, files []string) (map[string]string, error) {
+	imports := map[string]bool{}
+	fset := token.NewFileSet()
+	for _, path := range files {
+		f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, err
+		}
+		for _, imp := range f.Imports {
+			p := strings.Trim(imp.Path.Value, `"`)
+			if p != "unsafe" {
+				imports[p] = true
+			}
+		}
+	}
+	exports := map[string]string{}
+	if len(imports) == 0 {
+		return exports, nil
+	}
+	args := []string{"list", "-export", "-deps", "-json"}
+	for p := range imports {
+		args = append(args, p)
+	}
+	sort.Strings(args[4:])
+	cmd := exec.Command("go", args...)
+	cmd.Dir = moduleDir
+	var out, errBuf bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errBuf
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, errBuf.String())
+	}
+	dec := json.NewDecoder(&out)
+	for {
+		var p struct {
+			ImportPath string
+			Export     string
+		}
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, err
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}
+
+// moduleRoot walks up from dir to the enclosing go.mod.
+func moduleRoot(dir string) string {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return dir
+	}
+	for d := abs; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return dir
+		}
+		d = parent
+	}
+}

@@ -1,0 +1,229 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DeterminismPaths are the packages whose results must be a pure
+// function of (config, seed): the simulator and its event core, the
+// dispatch policies it drives, and trace generation. A wall-clock read
+// or a global-RNG draw in any of them silently breaks the bit-identical
+// goldens that every refactor in this repo is verified against.
+//
+// Matching is by exact import path or any sub-package ("path/...").
+var DeterminismPaths = []string{
+	"phttp/internal/sim",
+	"phttp/internal/simcore",
+	"phttp/internal/policy",
+	"phttp/internal/trace",
+}
+
+// wallClockFuncs are the time package entry points that read the wall
+// clock or start wall-clock timers. time.Duration arithmetic,
+// time.Unix(sec, nsec) construction and formatting stay legal — they
+// are pure functions of their inputs.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTicker": true, "NewTimer": true,
+}
+
+// globalRandFuncs are the math/rand (and v2) package-level draws backed
+// by the shared global source. Seeded generators built with rand.New
+// remain legal, though this repo's determinism packages use
+// simcore.RNGStream exclusively.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Int64": true, "Int64N": true,
+	"IntN": true, "Uint32": true, "Uint64": true, "Uint64N": true,
+	"UintN": true, "Uint": true, "Float32": true, "Float64": true,
+	"ExpFloat64": true, "NormFloat64": true, "Perm": true,
+	"Shuffle": true, "Seed": true, "Read": true, "N": true,
+}
+
+// NewNondeterm returns the nondeterm analyzer: inside DeterminismPaths
+// it rejects wall-clock reads (unless excused by //phttp:wallclock),
+// global math/rand draws, and map iteration that feeds results or
+// output (append / channel send / writer calls / float accumulation)
+// without a subsequent sort.
+func NewNondeterm() *Analyzer {
+	a := &Analyzer{
+		Name: "nondeterm",
+		Doc:  "forbid wall-clock, global-RNG and map-iteration-ordered results in determinism-critical packages",
+	}
+	a.Run = func(pass *Pass) error {
+		if !determinismScoped(pass.Pkg.Path()) {
+			return nil
+		}
+		for _, file := range pass.Files {
+			ld := newLineDirectives(pass.Fset, file)
+			for _, decl := range file.Decls {
+				fn, _ := decl.(*ast.FuncDecl)
+				wallclockFn := fn != nil && funcDirective(fn, DirWallclock)
+				ast.Inspect(decl, func(n ast.Node) bool {
+					switch n := n.(type) {
+					case *ast.CallExpr:
+						checkForbiddenCall(pass, ld, wallclockFn, n)
+					case *ast.RangeStmt:
+						checkMapRange(pass, file, n)
+					}
+					return true
+				})
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+func determinismScoped(path string) bool {
+	for _, p := range DeterminismPaths {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// pkgFunc resolves call to (package path, function name) when its callee
+// is a package-level function selected off an imported package.
+func pkgFunc(pass *Pass, call *ast.CallExpr) (pkgPath, name string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	ident, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	pkgName, ok := pass.TypesInfo.Uses[ident].(*types.PkgName)
+	if !ok {
+		return "", ""
+	}
+	return pkgName.Imported().Path(), sel.Sel.Name
+}
+
+func checkForbiddenCall(pass *Pass, ld *lineDirectives, wallclockFn bool, call *ast.CallExpr) {
+	pkgPath, name := pkgFunc(pass, call)
+	switch pkgPath {
+	case "time":
+		if !wallClockFuncs[name] {
+			return
+		}
+		if wallclockFn || ld.excused(call.Pos(), DirWallclock) {
+			return
+		}
+		pass.Reportf(call.Pos(), "wall-clock read time.%s in determinism-critical package %s (excuse a legitimate site with //phttp:wallclock)", name, pass.Pkg.Path())
+	case "math/rand", "math/rand/v2":
+		if globalRandFuncs[name] {
+			pass.Reportf(call.Pos(), "global math/rand draw rand.%s in determinism-critical package %s (use simcore.RNGStream)", name, pass.Pkg.Path())
+		}
+	}
+}
+
+// checkMapRange flags a `range m` over a map whose body feeds results or
+// output — appends, indexed stores into outside slices, channel sends,
+// Write/Print calls, or float accumulation — because Go randomizes map
+// iteration order per run. The collect-then-sort idiom is allowed: an
+// append target that is later passed to a sort call in the same function
+// is deterministic by construction.
+func checkMapRange(pass *Pass, file *ast.File, rng *ast.RangeStmt) {
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "channel send inside map iteration: receiver observes randomized map order")
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				m := sel.Sel.Name
+				if strings.HasPrefix(m, "Write") || strings.HasPrefix(m, "Print") || strings.HasPrefix(m, "Fprint") {
+					pass.Reportf(n.Pos(), "output call %s inside map iteration: emits in randomized map order", m)
+				}
+			}
+		case *ast.AssignStmt:
+			checkMapRangeAssign(pass, file, rng, n)
+		}
+		return true
+	})
+}
+
+func checkMapRangeAssign(pass *Pass, file *ast.File, rng *ast.RangeStmt, as *ast.AssignStmt) {
+	// Float accumulation: x += v reorders rounding with map order.
+	if as.Tok.String() == "+=" && len(as.Lhs) == 1 {
+		if tv, ok := pass.TypesInfo.Types[as.Lhs[0]]; ok {
+			if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsFloat != 0 {
+				pass.Reportf(as.Pos(), "float accumulation inside map iteration: rounding depends on randomized map order")
+			}
+		}
+	}
+	// x = append(x, ...): ordered growth from unordered iteration.
+	for i, rhs := range as.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			continue
+		}
+		if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" {
+			continue
+		}
+		if i >= len(as.Lhs) {
+			continue
+		}
+		target, ok := as.Lhs[i].(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := pass.TypesInfo.Uses[target]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[target]
+		}
+		if obj == nil || obj.Pos() >= rng.Pos() && obj.Pos() <= rng.End() {
+			continue // loop-local collector: dead on exit, no ordering leak
+		}
+		if sortedLater(pass, file, rng, obj) {
+			continue
+		}
+		pass.Reportf(as.Pos(), "append to %s inside map iteration without a subsequent sort: element order is randomized per run", target.Name)
+	}
+}
+
+// sortedLater reports whether obj is passed to a sort call after the
+// range statement, anywhere in the same file — the collect-then-sort
+// idiom that makes a map-order append deterministic again.
+func sortedLater(pass *Pass, file *ast.File, rng *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() || found {
+			return !found
+		}
+		if !isSortCall(pass, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			id, ok := arg.(*ast.Ident)
+			if ok && pass.TypesInfo.Uses[id] == obj {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isSortCall(pass *Pass, call *ast.CallExpr) bool {
+	if pkgPath, _ := pkgFunc(pass, call); pkgPath == "sort" || pkgPath == "slices" {
+		return true
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		return strings.Contains(strings.ToLower(id.Name), "sort")
+	}
+	return false
+}

@@ -1,0 +1,384 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NewRefpair returns the refpair analyzer: a function that acquires an
+// interner reference must release it on every return path, or be
+// annotated //phttp:holds because it escapes the hold into a tracked
+// table (a cache that releases on evict).
+//
+// Matching is structural, not nominal: a call counts as an acquire
+// (release) when it invokes a method named Acquire (Release) on a
+// receiver whose method set carries the core.RefCounter shape — both
+// Acquire(T) and Release(T) for the same single parameter type T. That
+// covers *core.Interner, the core.RefCounter interface, and any future
+// refcounter without the analyzer needing to import phttp packages.
+//
+// The flow analysis is a conservative abstract interpretation over the
+// statement tree: branches fork the held-reference count, loops run
+// zero-or-once (an unbalanced loop body therefore surfaces at the next
+// exit), deferred releases credit every later exit, and paths ending in
+// panic or a release-free os.Exit are not charged. Releases routed
+// through helpers the analyzer cannot see into are treated as missing —
+// annotate such functions //phttp:holds with a reason.
+func NewRefpair() *Analyzer {
+	a := &Analyzer{
+		Name: "refpair",
+		Doc:  "every interner Acquire must be Released on all return paths or escape via //phttp:holds",
+	}
+	a.Run = func(pass *Pass) error {
+		for _, file := range pass.Files {
+			for _, decl := range file.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				checkRefpairFunc(pass, fn)
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+// refState is one abstract path state: references currently held and
+// releases already deferred (defers credit every exit reached after
+// them).
+type refState struct {
+	held     int
+	deferred int
+}
+
+func checkRefpairFunc(pass *Pass, fn *ast.FuncDecl) {
+	if !containsAcquire(pass, fn.Body) {
+		return
+	}
+	if funcDirective(fn, DirHolds) {
+		return
+	}
+	ev := &refpairEval{pass: pass, fn: fn}
+	final := ev.evalStmts(fn.Body.List, []refState{{}})
+	ev.checkExit(fn.Body.End(), final)
+}
+
+func containsAcquire(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && refcountDelta(pass, call) > 0 {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// refcountDelta classifies a call: +1 for a refcounter Acquire, -1 for
+// a Release, 0 otherwise.
+func refcountDelta(pass *Pass, call *ast.CallExpr) int {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return 0
+	}
+	selection, ok := pass.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal {
+		return 0
+	}
+	name := sel.Sel.Name
+	if name != "Acquire" && name != "Release" {
+		return 0
+	}
+	if !refCounterShaped(selection.Recv()) {
+		return 0
+	}
+	if name == "Acquire" {
+		return 1
+	}
+	return -1
+}
+
+// refCounterShaped reports whether t's method set carries Acquire(T)
+// and Release(T) with one identical parameter type and no results.
+func refCounterShaped(t types.Type) bool {
+	acquire := methodSig(t, "Acquire")
+	release := methodSig(t, "Release")
+	if acquire == nil || release == nil {
+		return false
+	}
+	if acquire.Params().Len() != 1 || release.Params().Len() != 1 {
+		return false
+	}
+	if acquire.Results().Len() != 0 || release.Results().Len() != 0 {
+		return false
+	}
+	return types.Identical(acquire.Params().At(0).Type(), release.Params().At(0).Type())
+}
+
+func methodSig(t types.Type, name string) *types.Signature {
+	ms := types.NewMethodSet(t)
+	if _, isIface := t.Underlying().(*types.Interface); !isIface {
+		if _, isPtr := t.Underlying().(*types.Pointer); !isPtr {
+			ms = types.NewMethodSet(types.NewPointer(t))
+		}
+	}
+	for i := 0; i < ms.Len(); i++ {
+		if m := ms.At(i); m.Obj().Name() == name {
+			if sig, ok := m.Obj().Type().(*types.Signature); ok {
+				return sig
+			}
+		}
+	}
+	return nil
+}
+
+type refpairEval struct {
+	pass     *Pass
+	fn       *ast.FuncDecl
+	reported map[int]bool // dedupe by line
+}
+
+// evalStmts threads the state set through a statement list. An empty
+// state set means every path already exited.
+func (ev *refpairEval) evalStmts(stmts []ast.Stmt, states []refState) []refState {
+	for _, s := range stmts {
+		states = ev.evalStmt(s, states)
+		if len(states) == 0 {
+			break
+		}
+	}
+	return states
+}
+
+func (ev *refpairEval) evalStmt(s ast.Stmt, states []refState) []refState {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return ev.evalStmts(s.List, states)
+	case *ast.ReturnStmt:
+		states = ev.applyExprs(states, s.Results...)
+		ev.checkExit(s.Pos(), states)
+		return nil
+	case *ast.DeferStmt:
+		return ev.evalDefer(s, states)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			states = ev.evalStmt(s.Init, states)
+		}
+		states = ev.applyExprs(states, s.Cond)
+		thenOut := ev.evalStmt(s.Body, states)
+		elseOut := states
+		if s.Else != nil {
+			elseOut = ev.evalStmt(s.Else, states)
+		}
+		return mergeStates(thenOut, elseOut)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			states = ev.evalStmt(s.Init, states)
+		}
+		if s.Cond != nil {
+			states = ev.applyExprs(states, s.Cond)
+		}
+		once := ev.evalStmt(s.Body, states)
+		if s.Post != nil {
+			once = ev.evalStmt(s.Post, once)
+		}
+		return mergeStates(states, once)
+	case *ast.RangeStmt:
+		states = ev.applyExprs(states, s.X)
+		return mergeStates(states, ev.evalStmt(s.Body, states))
+	case *ast.SwitchStmt:
+		return ev.evalCases(s.Init, s.Tag, s.Body, states)
+	case *ast.TypeSwitchStmt:
+		return ev.evalCases(s.Init, nil, s.Body, states)
+	case *ast.SelectStmt:
+		var out []refState
+		hasDefault := false
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			if cc.Comm == nil {
+				hasDefault = true
+			}
+			branch := states
+			if cc.Comm != nil {
+				branch = ev.evalStmt(cc.Comm, branch)
+			}
+			out = mergeStates(out, ev.evalStmts(cc.Body, branch))
+		}
+		if !hasDefault && len(s.Body.List) == 0 {
+			return states
+		}
+		if out == nil {
+			out = states
+		}
+		return out
+	case *ast.LabeledStmt:
+		return ev.evalStmt(s.Stmt, states)
+	case *ast.ExprStmt:
+		if isTerminalCall(ev.pass, s.X) {
+			return nil // panic/os.Exit: holds are moot on this path
+		}
+		return ev.applyExprs(states, s.X)
+	case *ast.AssignStmt:
+		states = ev.applyExprs(states, s.Rhs...)
+		return ev.applyExprs(states, s.Lhs...)
+	case *ast.GoStmt:
+		return states // the goroutine's holds are its own function's problem
+	case *ast.BranchStmt, *ast.EmptyStmt, *ast.DeclStmt, *ast.IncDecStmt, *ast.SendStmt:
+		return ev.applyNode(states, s)
+	default:
+		return ev.applyNode(states, s)
+	}
+}
+
+func (ev *refpairEval) evalCases(init ast.Stmt, tag ast.Expr, body *ast.BlockStmt, states []refState) []refState {
+	if init != nil {
+		states = ev.evalStmt(init, states)
+	}
+	if tag != nil {
+		states = ev.applyExprs(states, tag)
+	}
+	var out []refState
+	hasDefault := false
+	for _, c := range body.List {
+		cc := c.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		out = mergeStates(out, ev.evalStmts(cc.Body, states))
+	}
+	if !hasDefault {
+		out = mergeStates(out, states)
+	}
+	if out == nil {
+		out = states
+	}
+	return out
+}
+
+func (ev *refpairEval) evalDefer(s *ast.DeferStmt, states []refState) []refState {
+	releases := 0
+	if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok && refcountDelta(ev.pass, call) < 0 {
+				releases++
+			}
+			return true
+		})
+	} else if refcountDelta(ev.pass, s.Call) < 0 {
+		releases = 1
+	}
+	out := make([]refState, len(states))
+	for i, st := range states {
+		st.deferred += releases
+		out[i] = st
+	}
+	return out
+}
+
+// applyExprs folds the acquire/release effect of every call inside the
+// expressions (skipping nested function literals) into each state.
+func (ev *refpairEval) applyExprs(states []refState, exprs ...ast.Expr) []refState {
+	delta := 0
+	for _, e := range exprs {
+		if e == nil {
+			continue
+		}
+		ast.Inspect(e, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				delta += refcountDelta(ev.pass, call)
+			}
+			return true
+		})
+	}
+	if delta == 0 {
+		return states
+	}
+	out := make([]refState, len(states))
+	for i, st := range states {
+		st.held += delta
+		out[i] = st
+	}
+	return out
+}
+
+// applyNode is applyExprs over a whole statement that has no control
+// flow of its own.
+func (ev *refpairEval) applyNode(states []refState, n ast.Node) []refState {
+	delta := 0
+	ast.Inspect(n, func(c ast.Node) bool {
+		if _, ok := c.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := c.(*ast.CallExpr); ok {
+			delta += refcountDelta(ev.pass, call)
+		}
+		return true
+	})
+	if delta == 0 {
+		return states
+	}
+	out := make([]refState, len(states))
+	for i, st := range states {
+		st.held += delta
+		out[i] = st
+	}
+	return out
+}
+
+// checkExit reports when any path state reaches an exit still holding
+// references the deferred releases cannot cover.
+func (ev *refpairEval) checkExit(pos token.Pos, states []refState) {
+	for _, st := range states {
+		if st.held-st.deferred > 0 {
+			line := ev.pass.Fset.Position(pos).Line
+			if ev.reported == nil {
+				ev.reported = map[int]bool{}
+			}
+			if ev.reported[line] {
+				return
+			}
+			ev.reported[line] = true
+			ev.pass.Reportf(pos, "%s returns holding %d unreleased refcounter reference(s) on some path: release on every return, defer the release, or annotate //phttp:holds with a reason", ev.fn.Name.Name, st.held-st.deferred)
+			return
+		}
+	}
+}
+
+// isTerminalCall reports calls that never return: panic and os.Exit.
+func isTerminalCall(pass *Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+		if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+			return true
+		}
+	}
+	pkgPath, name := pkgFunc(pass, call)
+	return pkgPath == "os" && name == "Exit"
+}
+
+// mergeStates unions two state sets, deduplicating identical states so
+// branchy functions stay linear.
+func mergeStates(a, b []refState) []refState {
+	out := append([]refState(nil), a...)
+	for _, st := range b {
+		dup := false
+		for _, have := range out {
+			if have == st {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, st)
+		}
+	}
+	return out
+}

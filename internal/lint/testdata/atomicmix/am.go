@@ -1,0 +1,57 @@
+// Package amfix is the atomicmix golden fixture: the hits and total
+// fields are accessed through sync/atomic, so every plain read, write
+// or keyed-literal initialization of them must be flagged. Fields never
+// touched atomically (cold), fields of the modern atomic.Int64 types,
+// and non-eligible field types stay silent.
+package amfix
+
+import "sync/atomic"
+
+type counters struct {
+	hits  int64
+	total int64
+	cold  int64
+	name  string
+	mod   atomic.Int64
+}
+
+func (c *counters) recordHit() {
+	atomic.AddInt64(&c.hits, 1)
+	atomic.AddInt64(&c.total, 1)
+	c.mod.Add(1)
+}
+
+func (c *counters) Hits() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+func (c *counters) reset() {
+	c.hits = 0  // want "non-atomic access to field phttp/internal/lint/testdata/amfix.counters.hits"
+	c.cold = 0  // legal: cold is never accessed atomically
+	c.name = "" // legal: strings are not atomics
+}
+
+func (c *counters) snapshot() counters {
+	return counters{
+		hits:  atomic.LoadInt64(&c.hits), // want "non-atomic access to field phttp/internal/lint/testdata/amfix.counters.hits"
+		total: c.total,                   // want "non-atomic access to field phttp/internal/lint/testdata/amfix.counters.total" "non-atomic access to field phttp/internal/lint/testdata/amfix.counters.total"
+	}
+}
+
+// shards proves array fields work: &s.lanes[i] marks the whole field.
+type shards struct {
+	lanes [8]uint64
+}
+
+func (s *shards) bump(i int) {
+	atomic.AddUint64(&s.lanes[i], 1)
+}
+
+func (s *shards) drain() uint64 {
+	var sum uint64
+	_ = len(s.lanes)         // legal: len of an array field reads no values
+	for i := range s.lanes { // legal: index-only range reads no values
+		sum += s.lanes[i] // want "non-atomic access to field phttp/internal/lint/testdata/amfix.shards.lanes"
+	}
+	return sum
+}

@@ -1,0 +1,128 @@
+// Package ndfix is the nondeterm golden fixture: it is type-checked
+// under an import path inside DeterminismPaths, so every wall-clock
+// read, global-RNG draw and order-leaking map iteration below must be
+// diagnosed — and every line without a want comment must stay silent
+// (the false-positive guard).
+package ndfix
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() int64 {
+	t := time.Now() // want "wall-clock read time.Now"
+	d := time.Duration(5) * time.Millisecond
+	_ = time.Since(t) // want "wall-clock read time.Since"
+	_ = d
+	return t.UnixNano()
+}
+
+func timers() {
+	_ = time.NewTicker(time.Second) // want "wall-clock read time.NewTicker"
+	_ = time.Unix(0, 42)            // legal: pure construction from inputs
+}
+
+//phttp:wallclock benchmarks measure real elapsed time
+func excusedFunc() time.Time {
+	return time.Now()
+}
+
+func excusedLineAbove() time.Time {
+	//phttp:wallclock maintenance ticker
+	return time.Now()
+}
+
+func excusedSameLine() time.Time {
+	return time.Now() //phttp:wallclock ticker
+}
+
+func globalRand() int {
+	n := rand.Intn(10)                 // want "global math/rand draw rand.Intn"
+	rand.Shuffle(n, func(i, j int) {}) // want "global math/rand draw rand.Shuffle"
+	r := rand.New(rand.NewSource(42))  // legal: explicitly seeded generator
+	return n + r.Intn(10)
+}
+
+func mapOrderLeak(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "append to out inside map iteration"
+	}
+	return out
+}
+
+func collectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // legal: sorted before use below
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func collectThenLocalSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // legal: sortTargets-style helper below
+	}
+	sortNames(keys)
+	return keys
+}
+
+func sortNames(s []string) { sort.Strings(s) }
+
+func emit(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want "output call Println inside map iteration"
+	}
+}
+
+func floatAccum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want "float accumulation inside map iteration"
+	}
+	return sum
+}
+
+func intAccum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v // legal: integer addition commutes exactly
+	}
+	return n
+}
+
+func chanSend(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want "channel send inside map iteration"
+	}
+}
+
+func keyedStore(m, dst map[string]int) {
+	for k, v := range m {
+		dst[k] = v // legal: keyed stores commute
+	}
+}
+
+func sliceRange(xs []string, ch chan string) {
+	for _, x := range xs {
+		ch <- x // legal: slice iteration is ordered
+	}
+}
+
+// mapRangeAppendGuards: append forms that must stay silent — a
+// loop-local collector is dead on exit, and a non-identifier append
+// target is conservatively skipped.
+func mapRangeAppendGuards(m map[int]int, s *[]int) int {
+	total := 0
+	for k := range m {
+		local := append([]int{}, k) // legal: loop-local collector
+		total += len(local)
+		*s = append(*s, 0) // conservatively skipped: non-identifier target, constant element
+	}
+	return total
+}

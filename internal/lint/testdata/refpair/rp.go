@@ -1,0 +1,249 @@
+// Package rpfix is the refpair golden fixture. The counter type below
+// carries the core.RefCounter shape — Acquire(T)/Release(T), one
+// identical parameter, no results — so the analyzer matches it
+// structurally without importing phttp packages. Every function that
+// can return still holding a reference must be flagged; balanced,
+// deferred, panicking and //phttp:holds paths must stay silent.
+package rpfix
+
+import "errors"
+
+var errFail = errors.New("rpfix: fail")
+
+type counter struct{ refs map[int]int }
+
+func (c *counter) Acquire(id int) { c.refs[id]++ }
+func (c *counter) Release(id int) { c.refs[id]-- }
+
+// resource has Release but no Acquire: not refcounter-shaped, so its
+// Release must not be credited (false-positive guard mirroring
+// simcore.Resource).
+type resource struct{}
+
+func (resource) Release() {}
+
+func balanced(c *counter, id int) {
+	c.Acquire(id)
+	c.Release(id)
+}
+
+func deferred(c *counter, id int) error {
+	c.Acquire(id)
+	defer c.Release(id)
+	return errFail
+}
+
+func deferredClosure(c *counter, id int) {
+	c.Acquire(id)
+	defer func() {
+		c.Release(id)
+	}()
+}
+
+func earlyReturnLeak(c *counter, id int, fail bool) error {
+	c.Acquire(id)
+	if fail {
+		return errFail // want "earlyReturnLeak returns holding 1 unreleased"
+	}
+	c.Release(id)
+	return nil
+}
+
+func fallOffLeak(c *counter, id int) {
+	c.Acquire(id)
+} // want "fallOffLeak returns holding 1 unreleased"
+
+func doubleLeak(c *counter, a, b int) {
+	c.Acquire(a)
+	c.Acquire(b)
+	c.Release(a)
+} // want "doubleLeak returns holding 1 unreleased"
+
+func branchBalanced(c *counter, id int, fast bool) {
+	c.Acquire(id)
+	if fast {
+		c.Release(id)
+		return
+	}
+	c.Release(id)
+}
+
+func loopBalanced(c *counter, ids []int) {
+	for _, id := range ids {
+		c.Acquire(id)
+		c.Release(id)
+	}
+}
+
+func loopLeak(c *counter, ids []int) {
+	for _, id := range ids {
+		c.Acquire(id)
+	}
+} // want "loopLeak returns holding 1 unreleased"
+
+func panicPath(c *counter, id int, bad bool) {
+	c.Acquire(id)
+	if bad {
+		panic("rpfix: bad id") // legal: panicking paths are not charged
+	}
+	c.Release(id)
+}
+
+func switchLeak(c *counter, id, mode int) {
+	c.Acquire(id)
+	switch mode {
+	case 0:
+		c.Release(id)
+	case 1:
+		return // want "switchLeak returns holding 1 unreleased"
+	default:
+		c.Release(id)
+	}
+}
+
+// table keeps the reference until evicted; Release happens there.
+//
+//phttp:holds escapes into the pinned table, released on evict
+func escapeIntoTable(c *counter, table map[int]bool, id int) {
+	c.Acquire(id)
+	table[id] = true
+}
+
+func notRefcounter(r resource) {
+	r.Release() // legal: resource is not Acquire/Release-paired
+}
+
+func acquireInCondition(c *counter, id int, t *counter) {
+	c.Acquire(id)
+	if t != nil {
+		t.Acquire(id)
+		t.Release(id)
+	}
+	c.Release(id)
+}
+
+func selectBalanced(c *counter, id int, ch chan int) {
+	c.Acquire(id)
+	select {
+	case v := <-ch:
+		_ = v
+		c.Release(id)
+	case ch <- id:
+		c.Release(id)
+	default:
+		c.Release(id)
+	}
+}
+
+func selectLeak(c *counter, id int, ch chan int) {
+	c.Acquire(id)
+	select {
+	case <-ch:
+		c.Release(id)
+	default:
+	}
+} // want "selectLeak returns holding 1 unreleased"
+
+func typeSwitchBalanced(c *counter, id int, v any) {
+	c.Acquire(id)
+	switch v.(type) {
+	case int:
+		c.Release(id)
+	default:
+		c.Release(id)
+	}
+}
+
+func switchInitTagBalanced(c *counter, id int) {
+	c.Acquire(id)
+	switch m := id % 2; m {
+	case 0:
+		c.Release(id)
+	default:
+		c.Release(id)
+	}
+}
+
+func forPostBalanced(c *counter, n int) {
+	for i := 0; i < n; i++ {
+		c.Acquire(i)
+		c.Release(i)
+	}
+}
+
+func assignAndBranchStmts(c *counter, id int) {
+	c.Acquire(id)
+	x := id + 1
+	x++
+loop:
+	for i := 0; i < x; i++ {
+		if i > 2 {
+			break loop
+		}
+		continue
+	}
+	var decl int
+	_ = decl
+	c.Release(id)
+}
+
+func goStmtOwnProblem(c *counter, id int, ch chan int) {
+	c.Acquire(id)
+	// The goroutine's own holds are charged to its function literal, not
+	// to the spawner.
+	go func() { ch <- id }()
+	c.Release(id)
+	ch <- id
+}
+
+func ifInitElseBalanced(c *counter, id int) {
+	c.Acquire(id)
+	if v := id * 2; v > 2 {
+		c.Release(id)
+	} else {
+		c.Release(id)
+	}
+}
+
+func switchNoDefaultBalanced(c *counter, id, mode int) {
+	c.Acquire(id)
+	switch mode {
+	case 0:
+	case 1:
+	}
+	switch {
+	}
+	c.Release(id)
+}
+
+func selectForeverAfterBalance(c *counter, id int) {
+	c.Acquire(id)
+	c.Release(id)
+	select {}
+}
+
+// lopsided has an Acquire but a Release with a different parameter
+// type, so it is not refcounter-shaped and must never be charged.
+type lopsided struct{}
+
+func (lopsided) Acquire(id int)   {}
+func (lopsided) Release(s string) {}
+
+func lopsidedGuard(l lopsided) {
+	l.Acquire(1) // legal: not a refcounter shape, no pairing required
+}
+
+func closureReleaseNotCredited(c *counter, id int) func() {
+	c.Acquire(id)
+	f := func() { c.Release(id) } // the closure's release is deferred work...
+	c.Release(id)                 // ...this is the balancing release
+	return f
+}
+
+func twoStatesOneExit(c *counter, id int, deep bool) {
+	c.Acquire(id)
+	if deep {
+		c.Acquire(id)
+		c.Release(id)
+	}
+} // want "twoStatesOneExit returns holding 1 unreleased"

@@ -135,6 +135,8 @@ func (b *BoundedCH) pick(id core.TargetID) core.NodeID {
 
 // ConnOpen assigns the connection by bounded-load consistent hashing on
 // the first request's target and charges one load unit.
+//
+//phttp:hotpath
 func (b *BoundedCH) ConnOpen(c *core.ConnState, first core.Request) core.NodeID {
 	n := b.pick(first.ID)
 	c.Handling = n

@@ -25,6 +25,8 @@ func (g *connGranular) initConnGranular(n int) {
 // granularity; the single handoff mechanism permits nothing else). The
 // returned slice is the connection's reusable buffer: valid until the
 // next AssignBatch on the same connection.
+//
+//phttp:hotpath
 func (g *connGranular) AssignBatch(c *core.ConnState, batch core.Batch) []core.Assignment {
 	out := c.AssignBuf(len(batch))
 	for i := range batch {

@@ -123,6 +123,8 @@ func (e *ExtLARD) diskLow(n core.NodeID) bool {
 }
 
 // ConnOpen chooses the handling node with the basic LARD strategy.
+//
+//phttp:hotpath
 func (e *ExtLARD) ConnOpen(c *core.ConnState, first core.Request) core.NodeID {
 	n := pick(e.params, e.loads, e.mapping, first.ID, e.all, &e.mem)
 	c.Handling = n
@@ -136,6 +138,8 @@ func (e *ExtLARD) ConnOpen(c *core.ConnState, first core.Request) core.NodeID {
 // subsequent requests follow the mechanism-specific logic above. The
 // returned slice is the connection's reusable buffer: valid until the next
 // AssignBatch on the same connection.
+//
+//phttp:hotpath
 func (e *ExtLARD) AssignBatch(c *core.ConnState, batch core.Batch) []core.Assignment {
 	if c.Handling == core.NoNode {
 		panic("policy: AssignBatch before ConnOpen")
@@ -169,6 +173,8 @@ func (e *ExtLARD) AssignBatch(c *core.ConnState, batch core.Batch) []core.Assign
 }
 
 // assignNext applies the Section 4.2 rules to one subsequent request.
+//
+//phttp:hotpath
 func (e *ExtLARD) assignNext(c *core.ConnState, r core.Request) core.Assignment {
 	h := c.Handling
 	switch e.mech {
@@ -233,8 +239,15 @@ func (e *ExtLARD) assignNext(c *core.ConnState, r core.Request) core.Assignment 
 		return core.Assignment{Node: win, Migrate: true, From: h, CacheLocally: true}
 
 	default:
-		panic(fmt.Sprintf("policy: unknown mechanism %v", e.mech))
+		panicUnknownMechanism(e.mech)
+		return core.Assignment{}
 	}
+}
+
+// panicUnknownMechanism is the cold formatting helper for assignNext's
+// invariant panic, kept out of the annotated hot path so fmt stays off it.
+func panicUnknownMechanism(m core.Mechanism) {
+	panic(fmt.Sprintf("policy: unknown mechanism %v", m))
 }
 
 // BatchDone releases the fractional loads when the connection goes idle.

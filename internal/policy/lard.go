@@ -83,6 +83,8 @@ func (l *LARD) Mapping() *cache.Mapping { return l.mapping }
 // nodes from consideration; if that removes every candidate, the pick
 // degrades to the unfiltered decision — an existing connection on a
 // draining node keeps being served there rather than going nowhere.
+//
+//phttp:hotpath
 func pick(p Params, loads *core.LoadTracker, mapping *cache.Mapping, id core.TargetID, candidates []core.NodeID, mem *memberSet) core.NodeID {
 	if mem != nil {
 		mem = mem.active()
@@ -93,6 +95,7 @@ func pick(p Params, loads *core.LoadTracker, mapping *cache.Mapping, id core.Tar
 	return pickAmong(p, loads, mapping, id, candidates, nil)
 }
 
+//phttp:hotpath
 func pickAmong(p Params, loads *core.LoadTracker, mapping *cache.Mapping, id core.TargetID, candidates []core.NodeID, mem *memberSet) core.NodeID {
 	best := core.NoNode
 	bestCost := 0.0
@@ -123,6 +126,8 @@ func allNodes(n int) []core.NodeID {
 
 // ConnOpen chooses the handling node by minimum aggregate cost over all
 // nodes and records that the first target will be cached there.
+//
+//phttp:hotpath
 func (l *LARD) ConnOpen(c *core.ConnState, first core.Request) core.NodeID {
 	n := pick(l.params, l.loads, l.mapping, first.ID, l.all, &l.mem)
 	c.Handling = n

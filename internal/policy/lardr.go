@@ -103,6 +103,8 @@ func (l *LARDR) Mapping() *cache.Mapping { return l.mapping }
 
 // ConnOpen assigns the handling node from the target's server set, growing
 // or shrinking the set per the replication rules.
+//
+//phttp:hotpath
 func (l *LARDR) ConnOpen(c *core.ConnState, first core.Request) core.NodeID {
 	n := l.assign(first)
 	c.Handling = n
@@ -258,6 +260,8 @@ func (l *LARDR) CompactTargets(highWater core.TargetID) {
 // AssignBatch sends every request to the handling node (connection
 // granularity, as with basic LARD). The returned slice is the connection's
 // reusable buffer: valid until the next AssignBatch on the same connection.
+//
+//phttp:hotpath
 func (l *LARDR) AssignBatch(c *core.ConnState, batch core.Batch) []core.Assignment {
 	out := c.AssignBuf(len(batch))
 	for i := range batch {

@@ -75,6 +75,8 @@ func (p *P2C) candidates(id core.TargetID) (core.NodeID, core.NodeID) {
 // are out, the connection goes to the least-loaded eligible node (the
 // target's locality is sacrificed, its fallback placement still
 // deterministic per the load state).
+//
+//phttp:hotpath
 func (p *P2C) ConnOpen(c *core.ConnState, first core.Request) core.NodeID {
 	a, b := p.candidates(first.ID)
 	best := a

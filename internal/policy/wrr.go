@@ -61,6 +61,8 @@ func (w *WRR) Name() string { return "WRR" }
 // node, breaking ties round-robin, and charges it one load unit. With
 // every node ineligible (the driver gates dispatch on that) it degrades
 // to the unfiltered choice.
+//
+//phttp:hotpath
 func (w *WRR) ConnOpen(c *core.ConnState, _ core.Request) core.NodeID {
 	n := w.loads.Nodes()
 	cursor := int(w.next.Load())
@@ -95,6 +97,8 @@ func (w *WRR) ConnOpen(c *core.ConnState, _ core.Request) core.NodeID {
 // AssignBatch sends every request to the handling node. The returned slice
 // is the connection's reusable buffer: valid until the next AssignBatch on
 // the same connection.
+//
+//phttp:hotpath
 func (w *WRR) AssignBatch(c *core.ConnState, batch core.Batch) []core.Assignment {
 	out := c.AssignBuf(len(batch))
 	for i := range batch {

@@ -267,6 +267,8 @@ type BenchReport struct {
 // returning the measurement and the sweep's results (for the latency
 // section — the histograms record during the measured run, so their cost
 // is part of the numbers, as it is in production).
+//
+//phttp:wallclock benchmark harness measures real elapsed time
 func measureSweep(cfg BenchConfig, tr *trace.Trace, workers int) (BenchPoint, []Result, error) {
 	var ms0, ms1 runtime.MemStats
 	runtime.GC()
@@ -313,6 +315,8 @@ func measureAllocs(n int, f func() error) (float64, error) {
 // measureTraceGen times the four ways the reference workload can be
 // constructed. The cache measurements use a throwaway directory so the
 // bench never mixes with (or pollutes) a real trace cache.
+//
+//phttp:wallclock benchmark harness measures real elapsed time
 func measureTraceGen(tcfg trace.SynthConfig) (TraceGenReport, *trace.Trace, error) {
 	var g TraceGenReport
 	ms := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
@@ -437,7 +441,8 @@ func RunBench(cfg BenchConfig) (BenchReport, error) {
 	tcfg.Connections = cfg.Connections
 
 	rep := BenchReport{
-		Reference:            cfg,
+		Reference: cfg,
+		//phttp:wallclock report timestamp, not simulation input
 		MeasuredAtUnixMillis: time.Now().UnixMilli(),
 	}
 	var (

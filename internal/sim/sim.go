@@ -211,16 +211,21 @@ func runOnEngine(cfg Config, workload *trace.Trace, eng *simcore.Engine) (Result
 
 // connStep and reqStep are the two Actions every simulator event uses;
 // package-level functions, so scheduling them allocates nothing.
+//
+//phttp:hotpath
 func connStep(obj any, phase, node int64) {
 	obj.(*connRun).step(int(phase), core.NodeID(node))
 }
 
+//phttp:hotpath
 func reqStep(obj any, phase, node int64) {
 	obj.(*reqRun).step(int(phase), core.NodeID(node))
 }
 
 // releaseCPU is the fire-and-forget completion of CPU work with no
 // continuation (the old node's side of a migration handoff).
+//
+//phttp:hotpath
 func releaseCPU(obj any, _, node int64) {
 	obj.(*Sim).nodes[node].cpu.Release()
 }
@@ -258,6 +263,8 @@ func (s *Sim) nodeLost(n core.NodeID) bool {
 // feCall schedules cost on the front-end CPU (scaled by the configured
 // front-end speedup) and dispatches act(obj, phase, -1) at completion; the
 // handler releases the front-end.
+//
+//phttp:hotpath
 func (s *Sim) feCall(cost core.Micros, act simcore.Action, obj any, phase int64) {
 	if s.cfg.FESpeedup > 1 {
 		cost = core.Micros(float64(cost) / s.cfg.FESpeedup)
@@ -268,6 +275,8 @@ func (s *Sim) feCall(cost core.Micros, act simcore.Action, obj any, phase int64)
 
 // cpuCall schedules cost on node n's CPU and dispatches act(obj, phase, n)
 // at completion; the handler releases the CPU.
+//
+//phttp:hotpath
 func (s *Sim) cpuCall(n core.NodeID, cost core.Micros, act simcore.Action, obj any, phase int64) {
 	done := s.nodes[n].cpu.Schedule(s.eng.Now(), cost)
 	s.eng.Call(done, act, obj, phase, int64(n))
@@ -277,6 +286,8 @@ func (s *Sim) cpuCall(n core.NodeID, cost core.Micros, act simcore.Action, obj a
 // policy's view of the disk queue current (the prototype's control-session
 // reports, idealized to instantaneous); the handler releases the disk and
 // reports again.
+//
+//phttp:hotpath
 func (s *Sim) diskCall(n core.NodeID, size int64, act simcore.Action, obj any, phase int64) {
 	nd := s.nodes[n]
 	done := nd.disk.Schedule(s.eng.Now(), s.cfg.Disk.ReadTime(size))
@@ -284,8 +295,15 @@ func (s *Sim) diskCall(n core.NodeID, size int64, act simcore.Action, obj any, p
 	s.eng.Call(done, act, obj, phase, int64(n))
 }
 
+// panicUnknownPhase is the cold formatting helper for the state-machine
+// panics: the annotated step hot paths must not call fmt themselves.
+func panicUnknownPhase(kind string, phase int) {
+	panic(fmt.Sprintf("sim: unknown %s phase %d", kind, phase))
+}
+
 // --- run-record pools ---
 
+//phttp:hotpath
 func (s *Sim) getConn() *connRun {
 	if n := len(s.freeConns); n > 0 {
 		cr := s.freeConns[n-1]
@@ -295,6 +313,7 @@ func (s *Sim) getConn() *connRun {
 	return &connRun{sim: s}
 }
 
+//phttp:hotpath
 func (s *Sim) putConn(cr *connRun) {
 	cr.conn = core.Connection{}
 	cr.ec = nil
@@ -303,6 +322,7 @@ func (s *Sim) putConn(cr *connRun) {
 	s.freeConns = append(s.freeConns, cr)
 }
 
+//phttp:hotpath
 func (s *Sim) getReq(cr *connRun, r core.Request, a core.Assignment) *reqRun {
 	var rr *reqRun
 	if n := len(s.freeReqs); n > 0 {
@@ -315,6 +335,7 @@ func (s *Sim) getReq(cr *connRun, r core.Request, a core.Assignment) *reqRun {
 	return rr
 }
 
+//phttp:hotpath
 func (s *Sim) putReq(rr *reqRun) {
 	rr.cr = nil
 	s.freeReqs = append(s.freeReqs, rr)
@@ -398,6 +419,8 @@ func (c *connRun) open() {
 }
 
 // step advances the connection lifecycle after the event (phase, node).
+//
+//phttp:hotpath
 func (c *connRun) step(phase int, n core.NodeID) {
 	s := c.sim
 	costs := s.cfg.Server
@@ -423,7 +446,7 @@ func (c *connRun) step(phase int, n core.NodeID) {
 		s.nodes[n].cpu.Release()
 		s.connDone(c)
 	default:
-		panic(fmt.Sprintf("sim: unknown connection phase %d", phase))
+		panicUnknownPhase("connection", phase)
 	}
 }
 
@@ -513,6 +536,8 @@ type reqRun struct {
 }
 
 // step advances the request's data path after the event (phase, node).
+//
+//phttp:hotpath
 func (rr *reqRun) step(phase int, n core.NodeID) {
 	c := rr.cr
 	s := c.sim
@@ -623,7 +648,7 @@ func (rr *reqRun) step(phase int, n core.NodeID) {
 		rr.startLocal(n)
 
 	default:
-		panic(fmt.Sprintf("sim: unknown request phase %d", phase))
+		panicUnknownPhase("request", phase)
 	}
 }
 

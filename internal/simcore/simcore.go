@@ -84,6 +84,8 @@ func (e *Engine) Pending() int { return len(e.keys) }
 
 // alloc acquires a body slot from the free list, growing the slab only when
 // the queue exceeds its historical peak depth.
+//
+//phttp:hotpath
 func (e *Engine) alloc() int32 {
 	if e.free == noSlot {
 		e.bodies = append(e.bodies, body{})
@@ -96,6 +98,8 @@ func (e *Engine) alloc() int32 {
 
 // push schedules body slot s at time t, preserving the exact (time, seq)
 // order of the original container/heap implementation.
+//
+//phttp:hotpath
 func (e *Engine) push(t core.Micros, s int32) {
 	if t < e.now {
 		panic("simcore: event scheduled in the past")
@@ -112,6 +116,7 @@ func (k heapKey) less(o heapKey) bool {
 	return k.seq < o.seq
 }
 
+//phttp:hotpath
 func (e *Engine) siftUp(i int) {
 	keys := e.keys
 	k := keys[i]
@@ -126,6 +131,7 @@ func (e *Engine) siftUp(i int) {
 	keys[i] = k
 }
 
+//phttp:hotpath
 func (e *Engine) siftDown(i int) {
 	keys := e.keys
 	n := len(keys)
@@ -168,6 +174,8 @@ func (e *Engine) At(t core.Micros, fn func()) {
 func (e *Engine) After(d core.Micros, fn func()) { e.At(e.now+d, fn) }
 
 // Call schedules the closure-free event act(obj, a, b) at absolute time t.
+//
+//phttp:hotpath
 func (e *Engine) Call(t core.Micros, act Action, obj any, a, b int64) {
 	if act == nil {
 		panic("simcore: Call with nil Action")
@@ -178,12 +186,16 @@ func (e *Engine) Call(t core.Micros, act Action, obj any, a, b int64) {
 }
 
 // CallAfter schedules act(obj, a, b) to run d after the current time.
+//
+//phttp:hotpath
 func (e *Engine) CallAfter(d core.Micros, act Action, obj any, a, b int64) {
 	e.Call(e.now+d, act, obj, a, b)
 }
 
 // Step runs the earliest pending event, advancing the clock. It reports
 // whether an event ran.
+//
+//phttp:hotpath
 func (e *Engine) Step() bool {
 	if len(e.keys) == 0 {
 		return false
@@ -237,6 +249,8 @@ type Resource struct {
 // Schedule reserves the resource for cost starting no earlier than now and
 // returns the completion time. queued is incremented until Release is called
 // by the caller at completion (via the engine).
+//
+//phttp:hotpath
 func (r *Resource) Schedule(now, cost core.Micros) core.Micros {
 	start := r.busyUntil
 	if now > start {
@@ -250,6 +264,8 @@ func (r *Resource) Schedule(now, cost core.Micros) core.Micros {
 }
 
 // Release records the completion of one scheduled unit of work.
+//
+//phttp:hotpath
 func (r *Resource) Release() {
 	r.queued--
 	if r.queued < 0 {
