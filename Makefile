@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke bench-scaling cover fuzz-smoke fmt vet lint lint-phttp check trace-cache scenarios-smoke chaos slo
+.PHONY: all build test race bench bench-smoke bench-scaling cover fuzz-smoke fmt vet lint lint-phttp check trace-cache scenarios-smoke chaos slo multife
 
 all: build
 
@@ -19,7 +19,15 @@ test:
 # generator, the scenario layer that compiles and drives all of them,
 # and the membership table feeding failure detection into all three.
 race:
-	$(GO) test -race ./internal/dispatch/... ./internal/cluster/... ./internal/sim/... ./internal/trace/... ./internal/scenario/... ./internal/membership/...
+	$(GO) test -race ./internal/dispatch/... ./internal/cluster/... ./internal/sim/... ./internal/trace/... ./internal/scenario/... ./internal/membership/... ./internal/dstate/...
+
+# Scale-out front-end tier acceptance (DESIGN.md §18): the dstate store
+# conformance suite over all three backends, the in-process tier and
+# owner-ring unit tests, and the networked three-front-end prototype
+# cluster end to end — sharded and replicated — under -race.
+multife:
+	$(GO) test -race -count=1 ./internal/dstate/... ./internal/policy/ -run 'Store|Tier|Mode|OwnerRing'
+	$(GO) test -race -count=1 -run 'TestMultiFE' ./internal/cluster/
 
 # Churn acceptance (DESIGN.md §15): membership state-machine properties,
 # the engine's up/down/drain view, the simulator's deterministic churn

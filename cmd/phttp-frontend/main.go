@@ -12,6 +12,15 @@
 // still override it:
 //
 //	phttp-frontend -scenario p2c -backend 127.0.0.1:7100,/tmp/phttp/be0.sock
+//
+// Several front-end processes can share dispatch state as a scale-out
+// tier: each member names the tier size, its own index, the state backend
+// (sharded or replicated) and its peers' state addresses:
+//
+//	phttp-frontend -frontends 3 -fe-id 0 -state replicated \
+//	               -peer-listen 127.0.0.1:9100 \
+//	               -peers 127.0.0.1:9100,127.0.0.1:9101,127.0.0.1:9102 \
+//	               -backend 127.0.0.1:7100,/tmp/phttp/be0.sock
 package main
 
 import (
@@ -26,6 +35,7 @@ import (
 	"phttp/internal/cluster"
 	"phttp/internal/core"
 	"phttp/internal/dispatch"
+	"phttp/internal/dstate"
 	"phttp/internal/policy"
 	"phttp/internal/scenario"
 )
@@ -61,6 +71,13 @@ func main() {
 		hbTO     = flag.Duration("heartbeat-timeout", 0, "mark a back-end Suspect after this much control-link silence (0 = membership default)")
 		confirm  = flag.Duration("confirm-window", 0, "confirm a Suspect back-end Down after this long (0 = membership default)")
 		retryBud = flag.Int("retry-budget", 0, "re-dispatch attempts per in-flight request after its node dies, relay mechanism only (0 = default)")
+		fes      = flag.Int("frontends", 1, "scale-out tier size: total number of front-end processes sharing dispatch state (1 = classic single front-end)")
+		feID     = flag.Int("fe-id", 0, "this process's index in the tier, 0..frontends-1")
+		state    = flag.String("state", "local", "dispatch-state store backend: local, sharded (consistent-hash ownership, state transactions forward to the owner) or replicated (full replication, bounded-staleness sync)")
+		peerLn   = flag.String("peer-listen", "", "listen address for peer state links (required when -frontends > 1; port 0 picks a free port)")
+		peers    = flag.String("peers", "", "comma-separated peer state addresses, one per tier member in fe-id order (this member's own slot is ignored)")
+		syncInt  = flag.Duration("sync-interval", cluster.DefaultSyncInterval, "replicated-state sync interval: the bounded-staleness window between delta exchanges")
+		stSeed   = flag.Uint64("state-seed", cluster.DefaultStateSeed, "shard-ownership ring seed; every tier member must use the same value")
 	)
 	flag.Var(&backends, "backend", "back-end endpoint as ctrlAddr,handoffPath (repeat per node)")
 	flag.Parse()
@@ -120,12 +137,39 @@ func main() {
 	cfg.HeartbeatTimeout = *hbTO
 	cfg.ConfirmWindow = *confirm
 	cfg.RetryBudget = *retryBud
+	if *fes > 1 || set["state"] {
+		mode, err := dstate.ParseMode(*state)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		cfg.Frontends = *fes
+		cfg.FEID = *feID
+		cfg.State = mode
+		cfg.PeerListen = *peerLn
+		cfg.SyncInterval = *syncInt
+		cfg.StateSeed = *stSeed
+	}
 
 	fe, err := cluster.NewFrontEnd(cfg, backends)
 	if err != nil {
 		fatalf("%v", err)
 	}
 	defer fe.Close()
+	if cfg.Frontends > 1 {
+		addrs := make([]string, cfg.Frontends)
+		for i, a := range strings.Split(*peers, ",") {
+			if i >= len(addrs) {
+				fatalf("-peers lists %d addresses for a tier of %d", i+1, cfg.Frontends)
+			}
+			addrs[i] = strings.TrimSpace(a)
+		}
+		addrs[cfg.FEID] = "" // never dial ourselves
+		if err := fe.ConnectPeers(addrs); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("frontend tier: fe=%d/%d state=%s peer-listen=%s\n",
+			cfg.FEID, cfg.Frontends, cfg.State, fe.PeerAddr())
+	}
 	fmt.Printf("frontend up: clients=%s policy=%s mechanism=%s nodes=%d\n",
 		fe.Addr(), fe.PolicyName(), cfg.Mechanism, len(backends))
 	if *admin != "" {

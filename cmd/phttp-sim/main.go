@@ -25,6 +25,7 @@ import (
 	"sync"
 
 	"phttp/internal/core"
+	"phttp/internal/dstate"
 	"phttp/internal/metrics"
 	"phttp/internal/scenario"
 	"phttp/internal/server"
@@ -49,6 +50,9 @@ func main() {
 		scenFlag  = flag.String("scenario", "", "run a declarative scenario: a builtin name (see -list-scenarios) or a JSON file")
 		scenList  = flag.Bool("list-scenarios", false, "list the builtin scenarios and exit")
 		scenSmoke = flag.Bool("smoke", false, "with -scenario: verify the scenario (builtins are checked against the legacy path for compile drift), then run only its first grid point on a small workload")
+		fes       = flag.Int("frontends", 1, "single runs: scale-out front-end tier size (1 = the paper's single front-end)")
+		feState   = flag.String("state", "local", "single runs: dispatch-state backend for the tier (local, sharded, replicated)")
+		staleness = flag.Duration("staleness", 0, "single runs: replicated-state sync interval in simulated time (0 = never sync; requires -state replicated)")
 	)
 	flag.Parse()
 
@@ -120,6 +124,13 @@ func main() {
 		}
 		rc := sim.DefaultConfig(*nodes, c)
 		rc.Server = server.CostsFor(kind)
+		mode, err := dstate.ParseMode(*feState)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		rc.Frontends = *fes
+		rc.FEState = mode
+		rc.Staleness = core.Micros(staleness.Microseconds())
 		res, err := sim.Run(rc, tr)
 		if err != nil {
 			fatalf("%v", err)

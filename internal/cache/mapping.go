@@ -23,6 +23,14 @@ import "phttp/internal/core"
 // depends on).
 type Mapping struct {
 	perNode []*ShardedLRU
+
+	// obs, when set, observes every Map write (the belief "target is now
+	// cached at node"). The scale-out front-end tier's replicated state
+	// store journals writes through it; nil — one predictable branch on
+	// the write path — everywhere else. Synced writes arriving from peers
+	// are applied with ApplySynced, which bypasses the observer so a
+	// replicated belief is never re-broadcast.
+	obs func(id core.TargetID, size int64, n core.NodeID)
 }
 
 // NewMapping returns a mapping model for n nodes, each modeled as an LRU of
@@ -58,6 +66,24 @@ func (m *Mapping) IsMapped(id core.TargetID, n core.NodeID) bool {
 // Map records that node n fetched (and now caches) target of the given
 // size, promoting it and aging out colder mappings under n's budget.
 func (m *Mapping) Map(id core.TargetID, size int64, n core.NodeID) {
+	m.perNode[n].Insert(id, size)
+	if m.obs != nil {
+		m.obs(id, size, n)
+	}
+}
+
+// SetWriteObserver installs the Map-write hook (nil uninstalls). Set it
+// before traffic, like SetRefCounter; the dispatch-state tier does, right
+// after building the policy.
+func (m *Mapping) SetWriteObserver(obs func(id core.TargetID, size int64, n core.NodeID)) {
+	m.obs = obs
+}
+
+// ApplySynced records a mapping belief received from a peer front-end's
+// replication delta: the same insert as Map, without notifying the write
+// observer (the origin already journaled it; re-journaling here would
+// gossip every belief back and forth forever).
+func (m *Mapping) ApplySynced(id core.TargetID, size int64, n core.NodeID) {
 	m.perNode[n].Insert(id, size)
 }
 

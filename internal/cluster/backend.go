@@ -88,8 +88,13 @@ type Backend struct {
 	handoffLn *net.UnixListener
 	peerLn    net.Listener
 
-	ctrlMu sync.Mutex // guards ctrl writes (disk reports)
-	ctrl   net.Conn
+	// ctrls holds every live front-end control session — a scale-out
+	// tier connects one per front-end — so disk-queue reports (which
+	// double as heartbeats) broadcast to all of them, not just the last
+	// to say HELLO. reportOnce starts the report loop with the first.
+	ctrlMu     sync.Mutex // guards the set and ctrl writes (disk reports)
+	ctrls      map[net.Conn]struct{}
+	reportOnce sync.Once
 
 	dataMu sync.Mutex // guards relay data conn writes
 	data   net.Conn
@@ -140,6 +145,7 @@ func NewBackend(cfg BackendConfig) (*Backend, error) {
 		store:   NewDocStore(cfg.Catalog, cfg.CacheBytes, cfg.Disk, cfg.TimeScale),
 		cpu:     cpuGate{scale: cfg.TimeScale, enabled: cfg.SimulateCPU},
 		conns:   make(map[core.ConnID]*beConn),
+		ctrls:   make(map[net.Conn]struct{}),
 		peers:   make(map[core.NodeID]*peerPool),
 		tracked: make(map[net.Conn]struct{}),
 		closed:  make(chan struct{}),
@@ -296,14 +302,20 @@ func (b *Backend) serveCtrlConn(conn net.Conn) {
 	switch hello {
 	case "HELLO CTRL\n":
 		b.ctrlMu.Lock()
-		b.ctrl = conn
+		b.ctrls[conn] = struct{}{}
 		b.ctrlMu.Unlock()
-		b.wg.Add(1)
-		go func() {
-			defer b.wg.Done()
-			b.reportDiskLoop()
-		}()
+		b.reportOnce.Do(func() {
+			b.wg.Add(1)
+			go func() {
+				defer b.wg.Done()
+				b.reportDiskLoop()
+			}()
+		})
 		b.ctrlLoop(br)
+		b.ctrlMu.Lock()
+		delete(b.ctrls, conn)
+		b.ctrlMu.Unlock()
+		conn.Close()
 	case "HELLO DATA\n":
 		b.dataMu.Lock()
 		b.data = conn
@@ -586,13 +598,13 @@ func (b *Backend) reportDiskLoop() {
 	for {
 		select {
 		case <-t.C:
+			line := formatDiskQ(b.store.DiskQueue())
 			b.ctrlMu.Lock()
-			conn := b.ctrl
-			if conn != nil {
-				if _, err := io.WriteString(conn, formatDiskQ(b.store.DiskQueue())); err != nil {
-					b.ctrlMu.Unlock()
-					return
-				}
+			for conn := range b.ctrls {
+				// A dead session drops out of the set when its ctrlLoop
+				// exits; a transient write error here is not grounds to
+				// silence the other front-ends.
+				io.WriteString(conn, line)
 			}
 			b.ctrlMu.Unlock()
 		case <-b.closed:

@@ -8,6 +8,7 @@ import (
 
 	"phttp/internal/core"
 	"phttp/internal/dispatch"
+	"phttp/internal/dstate"
 	"phttp/internal/policy"
 	"phttp/internal/server"
 )
@@ -57,6 +58,19 @@ type Config struct {
 	ConfirmWindow    time.Duration
 	HealthInterval   time.Duration
 	RetryBudget      int
+
+	// Frontends sizes the scale-out front-end tier; 0 or 1 starts the
+	// paper's single front-end. A plural tier starts Frontends front-end
+	// nodes over the same back-ends, each with its own client listener
+	// and dispatch engine, exchanging dispatch state per State.
+	Frontends int
+	// State selects the tier's dispatch-state backend (sharded or
+	// replicated; required when Frontends > 1).
+	State dstate.Mode
+	// SyncInterval and StateSeed pass through to the front-ends (see
+	// FrontEndConfig fields of the same names).
+	SyncInterval time.Duration
+	StateSeed    uint64
 }
 
 // PrototypeCacheBytes is the default prototype back-end cache: the paper's
@@ -84,9 +98,11 @@ func DefaultConfig(nodes int, catalog map[core.Target]int64) Config {
 	}
 }
 
-// Cluster is a running in-process prototype cluster.
+// Cluster is a running in-process prototype cluster. FE is the first
+// (or only) front-end; a scale-out tier's members are all in FEs.
 type Cluster struct {
 	FE  *FrontEnd
+	FEs []*FrontEnd
 	BEs []*Backend
 	dir string
 
@@ -136,31 +152,70 @@ func Start(cfg Config) (*Cluster, error) {
 	for i, be := range c.BEs {
 		eps[i] = BackendEndpoints{Ctrl: be.CtrlAddr(), Handoff: be.HandoffPath()}
 	}
-	fe, err := NewFrontEnd(FrontEndConfig{
-		Nodes:            cfg.Nodes,
-		Policy:           cfg.Policy,
-		PolicyOptions:    cfg.PolicyOptions,
-		Mechanism:        cfg.Mechanism,
-		Params:           cfg.Params,
-		CacheBytes:       cfg.CacheBytes,
-		MaxTargets:       cfg.MaxTargets,
-		InternStripes:    cfg.InternStripes,
-		IdleTimeout:      cfg.IdleTimeout,
-		BatchWindow:      cfg.BatchWindow,
-		MaintainInterval: cfg.MaintainInterval,
-		DialRetries:      cfg.DialRetries,
-		DialBackoff:      cfg.DialBackoff,
-		HeartbeatTimeout: cfg.HeartbeatTimeout,
-		ConfirmWindow:    cfg.ConfirmWindow,
-		HealthInterval:   cfg.HealthInterval,
-		RetryBudget:      cfg.RetryBudget,
-	}, eps)
-	if err != nil {
-		c.Close()
-		return nil, err
+	frontends := cfg.Frontends
+	if frontends < 1 {
+		frontends = 1
 	}
-	c.FE = fe
+	for f := 0; f < frontends; f++ {
+		fecfg := FrontEndConfig{
+			Nodes:            cfg.Nodes,
+			Policy:           cfg.Policy,
+			PolicyOptions:    cfg.PolicyOptions,
+			Mechanism:        cfg.Mechanism,
+			Params:           cfg.Params,
+			CacheBytes:       cfg.CacheBytes,
+			MaxTargets:       cfg.MaxTargets,
+			InternStripes:    cfg.InternStripes,
+			IdleTimeout:      cfg.IdleTimeout,
+			BatchWindow:      cfg.BatchWindow,
+			MaintainInterval: cfg.MaintainInterval,
+			DialRetries:      cfg.DialRetries,
+			DialBackoff:      cfg.DialBackoff,
+			HeartbeatTimeout: cfg.HeartbeatTimeout,
+			ConfirmWindow:    cfg.ConfirmWindow,
+			HealthInterval:   cfg.HealthInterval,
+			RetryBudget:      cfg.RetryBudget,
+		}
+		if frontends > 1 {
+			fecfg.Frontends = frontends
+			fecfg.FEID = f
+			fecfg.State = cfg.State
+			fecfg.SyncInterval = cfg.SyncInterval
+			fecfg.StateSeed = cfg.StateSeed
+		}
+		fe, err := NewFrontEnd(fecfg, eps)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.FEs = append(c.FEs, fe)
+	}
+	c.FE = c.FEs[0]
+	// Two-phase tier bring-up: every member's peer listener exists now, so
+	// each can link to the full slate.
+	if frontends > 1 {
+		addrs := make([]string, frontends)
+		for f, fe := range c.FEs {
+			addrs[f] = fe.PeerAddr()
+		}
+		for _, fe := range c.FEs {
+			if err := fe.ConnectPeers(addrs); err != nil {
+				c.Close()
+				return nil, err
+			}
+		}
+	}
 	return c, nil
+}
+
+// FEAddrs returns the client-facing addresses of every front-end, in
+// front-end-ID order.
+func (c *Cluster) FEAddrs() []string {
+	addrs := make([]string, len(c.FEs))
+	for i, fe := range c.FEs {
+		addrs[i] = fe.Addr()
+	}
+	return addrs
 }
 
 // Addr returns the client-facing address of the front-end.
@@ -223,25 +278,32 @@ func (c *Cluster) AddBackend(id core.NodeID) (*Backend, error) {
 	for _, b := range c.BEs {
 		b.SetPeers(peers)
 	}
-	if err := c.FE.AddBackend(id, BackendEndpoints{Ctrl: be.CtrlAddr(), Handoff: be.HandoffPath()}); err != nil {
-		be.Close()
-		return nil, err
+	for _, fe := range c.FEs {
+		if err := fe.AddBackend(id, BackendEndpoints{Ctrl: be.CtrlAddr(), Handoff: be.HandoffPath()}); err != nil {
+			be.Close()
+			return nil, err
+		}
 	}
 	return be, nil
 }
 
-// RemoveBackend drains slot id at the front-end (graceful leave). The
+// RemoveBackend drains slot id at every front-end (graceful leave). The
 // back-end process keeps running until its work completes; callers close
 // it when done, or replace it via AddBackend.
 func (c *Cluster) RemoveBackend(id core.NodeID) error {
-	return c.FE.RemoveBackend(id)
+	for _, fe := range c.FEs {
+		if err := fe.RemoveBackend(id); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
-// Close tears the cluster down: front-end first (stops traffic), then the
-// back-ends, then the handoff socket directory.
+// Close tears the cluster down: front-ends first (stops traffic), then
+// the back-ends, then the handoff socket directory.
 func (c *Cluster) Close() {
-	if c.FE != nil {
-		c.FE.Close()
+	for _, fe := range c.FEs {
+		fe.Close()
 	}
 	for _, be := range c.BEs {
 		be.Close()

@@ -15,6 +15,7 @@ import (
 
 	"phttp/internal/core"
 	"phttp/internal/dispatch"
+	"phttp/internal/dstate"
 	"phttp/internal/httpmsg"
 	"phttp/internal/membership"
 	"phttp/internal/metrics"
@@ -98,6 +99,34 @@ type FrontEndConfig struct {
 	// closed (the connection-close fallback). Zero takes
 	// DefaultRetryBudget; negative means no retries.
 	RetryBudget int
+
+	// Frontends is the size of the scale-out front-end tier this node
+	// belongs to; 0 or 1 means the paper's single front-end (and every
+	// field below is ignored). With a plural tier, each front-end runs
+	// its own dispatch engine over a networked dstate store and the
+	// members exchange dispatch state peer-to-peer (see peers.go).
+	Frontends int
+	// FEID is this front-end's index in [0, Frontends). Members of one
+	// tier must use distinct IDs: the ID names this node in the peer
+	// protocol and salts its connection-ID space so wire IDs from
+	// different front-ends never collide at a shared back-end.
+	FEID int
+	// State selects the tier's dispatch-state backend: sharded
+	// (dstate.ModeSharded) or replicated (dstate.ModeReplicated).
+	// A plural tier must choose one; local is single-front-end only.
+	State dstate.Mode
+	// PeerListen is the peer-protocol listen address; empty means an
+	// ephemeral loopback port (read it back with PeerAddr).
+	PeerListen string
+	// SyncInterval is the replicated store's sync period — the tier's
+	// staleness bound: a mapping write on one front-end is visible on
+	// every peer within one interval plus delivery. Zero takes
+	// DefaultSyncInterval; ignored by the sharded store (forwarding is
+	// synchronous, there is no staleness to bound).
+	SyncInterval time.Duration
+	// StateSeed salts the shard-ownership ring; every member of one tier
+	// must agree (zero takes DefaultStateSeed).
+	StateSeed uint64
 }
 
 // Default knobs for the elastic-membership machinery.
@@ -141,6 +170,9 @@ type FrontEnd struct {
 
 	eng *dispatch.Engine
 	mem *membership.Table
+	// tier is the networked dispatch-state tier view (nil for the
+	// single-front-end configuration).
+	tier *peerTier
 
 	// sweepCh hands nodes just confirmed Down from the membership
 	// listener (which runs under the table lock) to healthLoop, which
@@ -200,7 +232,7 @@ func NewFrontEnd(cfg FrontEndConfig, backends []BackendEndpoints) (*FrontEnd, er
 	if err := validateFEConfig(cfg, len(backends)); err != nil {
 		return nil, err
 	}
-	eng, err := dispatch.NewEngine(dispatch.Spec{
+	spec := dispatch.Spec{
 		Policy:        cfg.Policy,
 		Nodes:         cfg.Nodes,
 		Options:       cfg.PolicyOptions,
@@ -209,12 +241,34 @@ func NewFrontEnd(cfg FrontEndConfig, backends []BackendEndpoints) (*FrontEnd, er
 		Mechanism:     cfg.Mechanism,
 		MaxTargets:    cfg.MaxTargets,
 		InternStripes: cfg.InternStripes,
-	})
-	if err != nil {
+	}
+	var eng *dispatch.Engine
+	var tier *peerTier
+	var err error
+	if cfg.Frontends > 1 {
+		// Scale-out tier member: its connection-ID space is salted by its
+		// front-end index (40 bits leave room for a trillion connections
+		// per member), its policy replica/shard sits behind a networked
+		// dstate store, and the engine dispatches through that store.
+		spec.ConnIDBase = int64(cfg.FEID) << 40
+		pol, berr := dispatch.Build(spec)
+		if berr != nil {
+			return nil, berr
+		}
+		if tier, err = newPeerTier(cfg, pol); err != nil {
+			return nil, err
+		}
+		if eng, err = dispatch.NewEngineWithStore(spec, tier); err != nil {
+			tier.Close()
+			return nil, err
+		}
+		tier.finishInit(eng.Interner())
+	} else if eng, err = dispatch.NewEngine(spec); err != nil {
 		return nil, err
 	}
 	fe := &FrontEnd{
 		cfg:        cfg,
+		tier:       tier,
 		eng:        eng,
 		endpoints:  append([]BackendEndpoints(nil), backends...),
 		relayConns: make(map[core.ConnID]*relayConn),
@@ -314,6 +368,26 @@ func validateFEConfig(cfg FrontEndConfig, backends int) error {
 	}
 	// Policy names are validated by the dispatch registry when the engine
 	// is built; no second list of valid names lives here.
+	if cfg.Frontends > 1 {
+		if cfg.FEID < 0 || cfg.FEID >= cfg.Frontends {
+			return fmt.Errorf("cluster: front-end id %d outside tier [0,%d)", cfg.FEID, cfg.Frontends)
+		}
+		switch cfg.State {
+		case dstate.ModeSharded:
+			// The sharded prototype forwards only connection-open
+			// transactions to shard owners; a per-request mechanism would
+			// need per-request forwarding, which the prototype does not
+			// implement (DESIGN.md §18).
+			if cfg.Mechanism != core.SingleHandoff {
+				return fmt.Errorf("cluster: sharded dispatch state requires the single-handoff mechanism (got %v)", cfg.Mechanism)
+			}
+		case dstate.ModeReplicated:
+		default:
+			return fmt.Errorf("cluster: a %d-front-end tier needs state=sharded or state=replicated (got %v)", cfg.Frontends, cfg.State)
+		}
+	} else if cfg.State != dstate.ModeLocal {
+		return fmt.Errorf("cluster: state=%v needs frontends > 1 (a single front-end is always local)", cfg.State)
+	}
 	return nil
 }
 
@@ -403,6 +477,68 @@ func (fe *FrontEnd) dial(id core.NodeID, ep BackendEndpoints) (*beLink, error) {
 // Addr returns the client-facing listen address.
 func (fe *FrontEnd) Addr() string { return fe.ln.Addr().String() }
 
+// PeerAddr returns the peer-protocol listen address of a tier member
+// ("" for a single front-end). Tier bring-up collects every member's
+// PeerAddr and hands the full slate to each ConnectPeers.
+func (fe *FrontEnd) PeerAddr() string {
+	if fe.tier == nil {
+		return ""
+	}
+	return fe.tier.Addr()
+}
+
+// ConnectPeers links this tier member to its peers: addrs[i] is front-end
+// i's PeerAddr (our own slot is ignored). Call it on every member once
+// all listeners exist — two-phase bring-up avoids ordering the members.
+// Replicated members start their sync loop here. No-op on a single
+// front-end.
+func (fe *FrontEnd) ConnectPeers(addrs []string) error {
+	if fe.tier == nil {
+		return nil
+	}
+	return fe.tier.connect(addrs)
+}
+
+// RemoteOpens returns connection opens whose dispatch decision was made
+// by a peer shard owner (0 for single front-ends and replicated tiers,
+// where every decision is local).
+func (fe *FrontEnd) RemoteOpens() int64 {
+	if fe.tier == nil {
+		return 0
+	}
+	return fe.tier.remoteOpens.Load()
+}
+
+// TierSyncs returns completed replication rounds (0 without a tier).
+func (fe *FrontEnd) TierSyncs() int64 {
+	if fe.tier == nil {
+		return 0
+	}
+	return fe.tier.Syncs()
+}
+
+// TierFallbacks returns state transactions decided locally because the
+// owning peer was unreachable (0 without a tier).
+func (fe *FrontEnd) TierFallbacks() int64 {
+	if fe.tier == nil {
+		return 0
+	}
+	return fe.tier.Fallbacks()
+}
+
+// RemoteConnsSeen reports whether the local load view includes any peer
+// connection state — i.e. whether at least one replication round carrying
+// a non-idle load vector has been applied here.
+func (fe *FrontEnd) RemoteConnsSeen() bool {
+	loads := fe.eng.Policy().Loads()
+	for n := 0; n < fe.cfg.Nodes; n++ {
+		if loads.Conns(core.NodeID(n)) > loads.LocalConns(core.NodeID(n)) {
+			return true
+		}
+	}
+	return false
+}
+
 // Policy exposes the dispatcher's policy (metrics, tests).
 func (fe *FrontEnd) Policy() core.Policy { return fe.eng.Policy() }
 
@@ -448,6 +584,9 @@ func (fe *FrontEnd) Utilization() float64 {
 func (fe *FrontEnd) Close() {
 	fe.closeMu.Do(func() {
 		close(fe.closed)
+		if fe.tier != nil {
+			fe.tier.Close()
+		}
 		if fe.ln != nil {
 			fe.ln.Close()
 		}

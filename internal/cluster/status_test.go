@@ -1,12 +1,14 @@
 package cluster_test
 
 import (
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"regexp"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"phttp/internal/cluster"
@@ -35,6 +37,19 @@ func TestStatusEndpoint(t *testing.T) {
 	}
 	defer cl.Close()
 	runLoad(t, cl.Addr(), tr, false)
+
+	// A classic single front-end has no tier: the tier accessors must
+	// report the degenerate values, and the back-ends a real hit rate.
+	if cl.FE.PeerAddr() != "" || cl.FE.RemoteOpens() != 0 ||
+		cl.FE.TierSyncs() != 0 || cl.FE.TierFallbacks() != 0 {
+		t.Error("single front-end reports tier activity")
+	}
+	if err := cl.FE.ConnectPeers(nil); err != nil {
+		t.Errorf("ConnectPeers is documented as a no-op without a tier, got %v", err)
+	}
+	if hr := cl.HitRate(); hr < 0 || hr > 1 {
+		t.Errorf("HitRate = %g, want in [0,1]", hr)
+	}
 
 	rec := scrapeStatus(t, cl.FE)
 	if rec.Code != http.StatusOK {
@@ -135,6 +150,84 @@ func TestStatusMethodNotAllowed(t *testing.T) {
 	cl.FE.StatusHandler().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/status", nil))
 	if rec.Code != http.StatusMethodNotAllowed {
 		t.Errorf("POST /status = %d, want %d", rec.Code, http.StatusMethodNotAllowed)
+	}
+}
+
+// TestStatusExpositionParsesUnderLoad scrapes the status endpoint over
+// real HTTP while the cluster serves traffic and feeds every scrape
+// through the strict exposition parser: each snapshot must be valid
+// scrape input (families headed by HELP/TYPE, well-formed labels and
+// values) and the latency histogram must hold its invariants — monotone
+// cumulative buckets, strictly increasing le bounds, +Inf == _count —
+// even when sampled mid-update.
+func TestStatusExpositionParsesUnderLoad(t *testing.T) {
+	cfg, tr := testConfig(t, 2, "extlard", core.BEForwarding)
+	cl, err := cluster.Start(cfg)
+	if err != nil {
+		t.Fatalf("start cluster: %v", err)
+	}
+	defer cl.Close()
+
+	srv := httptest.NewServer(cl.FE.StatusHandler())
+	defer srv.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var scrapes atomic.Int64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			resp, err := http.Get(srv.URL)
+			if err != nil {
+				t.Errorf("scrape: %v", err)
+				return
+			}
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				t.Errorf("scrape read: %v", err)
+				return
+			}
+			fams, err := metrics.ParseProm(string(body))
+			if err != nil {
+				t.Errorf("scrape %d is not valid exposition: %v\n%s", scrapes.Load(), err, body)
+				return
+			}
+			checkedHist := false
+			for _, f := range fams {
+				if f.Type != "histogram" {
+					continue
+				}
+				checkedHist = true
+				if err := metrics.CheckHistogram(f); err != nil {
+					t.Errorf("scrape %d: %v\n%s", scrapes.Load(), err, body)
+					return
+				}
+			}
+			if !checkedHist {
+				t.Error("exposition carries no histogram family")
+				return
+			}
+			scrapes.Add(1)
+		}
+	}()
+	if _, err := loadgen.Run(loadgen.Config{
+		Addr:        cl.Addr(),
+		Trace:       tr,
+		Concurrency: 8,
+	}); err != nil {
+		t.Fatalf("loadgen: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+	if scrapes.Load() == 0 {
+		t.Fatal("no scrape completed during the load run")
 	}
 }
 

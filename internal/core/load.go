@@ -22,19 +22,55 @@ import (
 type LoadTracker struct {
 	load  []atomic.Uint64 // float64 bit patterns
 	conns []atomic.Int64
+
+	// remote and remoteConns are the externally synced base added to
+	// every read: in a scale-out front-end tier (dstate replicated mode)
+	// each front-end only charges its own tracker, and the replication
+	// sync writes the peers' last-known totals here so policies decide on
+	// the whole tier's load, bounded-stale. Zero — and therefore
+	// result-neutral — outside a tier.
+	remote      []atomic.Uint64 // float64 bit patterns
+	remoteConns []atomic.Int64
 }
 
 // NewLoadTracker returns a tracker for n nodes, all idle.
 func NewLoadTracker(n int) *LoadTracker {
-	return &LoadTracker{load: make([]atomic.Uint64, n), conns: make([]atomic.Int64, n)}
+	return &LoadTracker{
+		load: make([]atomic.Uint64, n), conns: make([]atomic.Int64, n),
+		remote: make([]atomic.Uint64, n), remoteConns: make([]atomic.Int64, n),
+	}
 }
 
 // Nodes returns the number of nodes tracked.
 func (lt *LoadTracker) Nodes() int { return len(lt.load) }
 
-// Load returns the current load estimate of node n in load units.
+// Load returns the current load estimate of node n in load units: the
+// locally charged load plus the synced remote base (zero outside a
+// replicated front-end tier).
 func (lt *LoadTracker) Load(n NodeID) float64 {
+	return math.Float64frombits(lt.load[n].Load()) + math.Float64frombits(lt.remote[n].Load())
+}
+
+// LocalLoad returns only the locally charged load of node n — what this
+// tracker's own AddConn/AddFraction calls contributed. The replication
+// sync exchanges these (never the combined Load, which would double-count
+// on re-sync).
+func (lt *LoadTracker) LocalLoad(n NodeID) float64 {
 	return math.Float64frombits(lt.load[n].Load())
+}
+
+// SetRemote overwrites node n's synced remote load base (the sum of the
+// peers' LocalLoad for n, as of the last completed sync round).
+func (lt *LoadTracker) SetRemote(n NodeID, load float64) {
+	lt.remote[n].Store(math.Float64bits(load))
+}
+
+// LocalConns returns only the locally charged connection count of node n.
+func (lt *LoadTracker) LocalConns(n NodeID) int { return int(lt.conns[n].Load()) }
+
+// SetRemoteConns overwrites node n's synced remote connection-count base.
+func (lt *LoadTracker) SetRemoteConns(n NodeID, conns int64) {
+	lt.remoteConns[n].Store(conns)
 }
 
 // addLoad atomically adds f load units to node n.
@@ -51,8 +87,11 @@ func (lt *LoadTracker) addLoad(n NodeID, f float64) {
 	}
 }
 
-// Conns returns the number of active connections handled by node n.
-func (lt *LoadTracker) Conns(n NodeID) int { return int(lt.conns[n].Load()) }
+// Conns returns the number of active connections handled by node n
+// (locally charged plus the synced remote base).
+func (lt *LoadTracker) Conns(n NodeID) int {
+	return int(lt.conns[n].Load() + lt.remoteConns[n].Load())
+}
 
 // AddConn charges one load unit to n for a newly handled connection.
 //

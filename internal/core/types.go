@@ -205,6 +205,13 @@ type ConnState struct {
 	Requests int    // requests assigned so far
 	Batches  int    // batches assigned so far
 
+	// OwnerFE is the index of the front-end owning this connection's
+	// dispatch state in a scale-out front-end tier (dstate sharded mode
+	// routes the connection's state transactions there); -1 when the
+	// connection's state is local, which single-front-end deployments
+	// always are.
+	OwnerFE int32
+
 	// RemoteLoad records the fractional load currently charged to remote
 	// nodes for the in-flight batch. It is cleared (truncated, keeping its
 	// backing array for the next batch) when the next batch arrives or the
@@ -224,7 +231,7 @@ type ConnState struct {
 
 // NewConnState returns a fresh connection record.
 func NewConnState(id ConnID) *ConnState {
-	return &ConnState{ID: id, Handling: NoNode}
+	return &ConnState{ID: id, Handling: NoNode, OwnerFE: -1}
 }
 
 // Reset prepares a recycled connection record for a new connection: the
@@ -236,6 +243,7 @@ func (c *ConnState) Reset(id ConnID) {
 	c.Handling = NoNode
 	c.Requests = 0
 	c.Batches = 0
+	c.OwnerFE = -1
 	c.RemoteLoad = c.RemoteLoad[:0]
 	c.Assignments = c.Assignments[:0]
 	c.Scratch = c.Scratch[:0]

@@ -7,6 +7,7 @@ import (
 
 	"phttp/internal/cache"
 	"phttp/internal/core"
+	"phttp/internal/dstate"
 )
 
 // Engine is the concurrency-safe dispatch engine: it owns the policy
@@ -28,8 +29,15 @@ import (
 // first request and panics on a missing ID — the one cheap guard that
 // catches a mis-wired driver before the policies corrupt their tables.
 type Engine struct {
-	spec     Spec
-	name     string // canonical registry name
+	spec Spec
+	name string // canonical registry name
+	// store is the dispatch-state tier view every lifecycle call routes
+	// through: local (one policy owning all state — the single-front-end
+	// default whose decisions are bit-identical to the pre-tier engine),
+	// sharded, or replicated. pol is the store's local policy replica —
+	// the object membership transitions, interner refcounting and
+	// metrics talk to.
+	store    dstate.Store
 	pol      core.Policy
 	interner *core.Interner
 
@@ -94,14 +102,25 @@ const maintainDefault = 1024
 // mapping tables as the target-lifecycle refcounter and compacted
 // periodically as connections close.
 func NewEngine(spec Spec) (*Engine, error) {
-	name, err := Canonical(spec.Policy)
-	if err != nil {
-		return nil, err
-	}
 	pol, err := Build(spec)
 	if err != nil {
 		return nil, err
 	}
+	return NewEngineWithStore(spec, dstate.NewLocal(pol))
+}
+
+// NewEngineWithStore builds an engine dispatching through an externally
+// constructed dispatch-state store: one view of a scale-out tier (the
+// simulator's in-process dstate.Tier, the prototype's networked stores).
+// The engine's membership transitions, interner refcounting and metrics
+// bind to store.Policy() — the front-end's own replica/shard; cross-
+// front-end routing is the store's business.
+func NewEngineWithStore(spec Spec, store dstate.Store) (*Engine, error) {
+	name, err := Canonical(spec.Policy)
+	if err != nil {
+		return nil, err
+	}
+	pol := store.Policy()
 	in := spec.Interner
 	if in == nil {
 		if spec.MaxTargets > 0 {
@@ -110,7 +129,8 @@ func NewEngine(spec Spec) (*Engine, error) {
 			in = core.NewInterner()
 		}
 	}
-	e := &Engine{spec: spec, name: name, pol: pol, interner: in}
+	e := &Engine{spec: spec, name: name, store: store, pol: pol, interner: in}
+	e.nextID.Store(spec.ConnIDBase)
 	e.membership, _ = pol.(core.MembershipPolicy)
 	e.initMembership(spec.Nodes)
 	if in.Evictable() {
@@ -132,6 +152,41 @@ func (e *Engine) Interner() *core.Interner { return e.interner }
 
 // Policy exposes the engine's policy (metrics, tests).
 func (e *Engine) Policy() core.Policy { return e.pol }
+
+// Store exposes the engine's dispatch-state store (a dstate.Local unless
+// the engine was built for a scale-out tier).
+func (e *Engine) Store() dstate.Store { return e.store }
+
+// NewTierEngines builds one engine per front-end of an in-process
+// dispatch-state tier: N policies from the same spec, a dstate.Tier over
+// them, and an engine around each view. The simulator's N-front-ends
+// model runs on the result; Sync rounds go through the returned tier.
+// All engines share the spec's interner (the caller supplies one — the
+// simulator's workload interner — or the first engine's creation would
+// not be visible to the rest).
+func NewTierEngines(spec Spec, tcfg dstate.TierConfig) ([]*Engine, *dstate.Tier, error) {
+	pols := make([]core.Policy, tcfg.Frontends)
+	for i := range pols {
+		p, err := Build(spec)
+		if err != nil {
+			return nil, nil, err
+		}
+		pols[i] = p
+	}
+	tier, err := dstate.NewTier(tcfg, pols)
+	if err != nil {
+		return nil, nil, err
+	}
+	engines := make([]*Engine, tcfg.Frontends)
+	for i := range engines {
+		e, err := NewEngineWithStore(spec, tier.Store(i))
+		if err != nil {
+			return nil, nil, err
+		}
+		engines[i] = e
+	}
+	return engines, tier, nil
+}
 
 // PolicyName returns the canonical registry name of the engine's policy
 // ("wrr", "lard", "lardr" or "extlard").
@@ -197,7 +252,7 @@ func (e *Engine) ConnOpen(first core.Request) (*Conn, core.NodeID) {
 	c := e.getConn()
 	c.cs.Reset(core.ConnID(e.nextID.Add(1)))
 	c.closed.Store(false)
-	handling := e.pol.ConnOpen(&c.cs, first)
+	handling := e.store.ConnOpen(&c.cs, first)
 	e.live.Add(1)
 	e.conns.Add(1)
 	return c, handling
@@ -219,7 +274,7 @@ func panicUninterned(target core.Target) {
 //
 //phttp:hotpath
 func (e *Engine) AssignBatch(c *Conn, batch core.Batch) []core.Assignment {
-	as := e.pol.AssignBatch(&c.cs, batch)
+	as := e.store.AssignBatch(&c.cs, batch)
 	e.reqs.Add(int64(len(batch)))
 	return as
 }
@@ -246,7 +301,7 @@ func (e *Engine) ReleaseBatch(batch core.Batch) {
 // batch, releasing fractional remote loads early.
 //
 //phttp:hotpath
-func (e *Engine) BatchDone(c *Conn) { e.pol.BatchDone(&c.cs) }
+func (e *Engine) BatchDone(c *Conn) { e.store.BatchDone(&c.cs) }
 
 // ConnClose releases all load held by c and recycles the record. An
 // immediate duplicate close is absorbed through the closed flag, but
@@ -265,7 +320,7 @@ func (e *Engine) ConnClose(c *Conn) {
 	if c == nil || !c.closed.CompareAndSwap(false, true) {
 		return
 	}
-	e.pol.ConnClose(&c.cs)
+	e.store.ConnClose(&c.cs)
 	e.live.Add(-1)
 	e.putConn(c)
 	if n := e.closes.Add(1); e.maintainEvery > 0 && n%e.maintainEvery == 0 {
@@ -293,5 +348,5 @@ func (e *Engine) Maintain() {
 // ReportDiskQueue delivers a back-end's disk queue length to the policy
 // (the prototype's control-session feedback).
 func (e *Engine) ReportDiskQueue(n core.NodeID, queued int) {
-	e.pol.ReportDiskQueue(n, queued)
+	e.store.ReportDiskQueue(n, queued)
 }

@@ -124,6 +124,5 @@ func (e *Engine) MoveConn(c *Conn, to core.NodeID) {
 	if c == nil || c.closed.Load() || c.cs.Handling == core.NoNode || c.cs.Handling == to {
 		return
 	}
-	e.pol.Loads().MoveConn(c.cs.Handling, to)
-	c.cs.Handling = to
+	e.store.MoveConn(&c.cs, to)
 }

@@ -321,6 +321,11 @@ type Spec struct {
 	// compaction passes (interner + policy dense slices) when the interner
 	// is evictable; 0 means the engine default.
 	MaintainEvery int
+	// ConnIDBase offsets the engine's connection-ID space. Front-ends of
+	// a scale-out tier talking to shared back-ends set distinct bases so
+	// the IDs they put on the wire (handoff frames, control lines) never
+	// collide; 0 — the single-front-end default — keeps IDs starting at 1.
+	ConnIDBase int64
 }
 
 // legacyAlias returns the legacy Spec field value standing in for an

@@ -1,0 +1,307 @@
+package dstate
+
+import (
+	"fmt"
+	"sync"
+
+	"phttp/internal/core"
+	"phttp/internal/policy"
+)
+
+// TierConfig parameterizes an in-process dispatch-state tier: N front-end
+// views over N policy replicas/shards sharing one process. The simulator's
+// N-front-ends model and the conformance tests run on it; the networked
+// prototype implements the same Store interface per process with the sync
+// protocol carried over its peer control links.
+type TierConfig struct {
+	// Mode is the backend; ModeLocal is only valid with one front-end.
+	Mode Mode
+	// Frontends is the tier size N.
+	Frontends int
+	// Seed salts the shard-ownership ring (sharded mode). Both sides of
+	// a deployment must agree on it, like the boundedch ring seed.
+	Seed uint64
+	// RingReplicas is the virtual points per front-end on the ownership
+	// ring; <= 0 selects policy.OwnerRingReplicas.
+	RingReplicas int
+}
+
+// MapDelta is one versioned mapping write in a replication journal: the
+// origin front-end learned (or re-learned) that Node now caches target ID
+// of the given size. Seq is the origin's write sequence number — deltas
+// from one origin apply in Seq order, and a conflict between origins on
+// the same target resolves last-writer-wins in apply order.
+type MapDelta struct {
+	ID   core.TargetID
+	Node core.NodeID
+	Size int64
+	Seq  uint64
+}
+
+// feState is one front-end's replication bookkeeping.
+type feState struct {
+	mu      sync.Mutex
+	seq     uint64
+	pending []MapDelta
+}
+
+// Tier is the in-process dispatch-state tier: it owns the shard-ownership
+// ring, the per-front-end replication journals, and the policy set, and
+// hands out one Store view per front-end.
+type Tier struct {
+	cfg  TierConfig
+	pols []core.Policy
+	ring *policy.OwnerRing
+	fes  []feState
+	// syncs counts completed Sync rounds (metrics, tests).
+	syncs int64
+}
+
+// NewTier builds a tier over the given per-front-end policies (pols[f] is
+// front-end f's replica/shard; all must be built from the same spec). In
+// replicated mode the tier installs mapping write observers on every
+// policy that exposes one, so journaling starts before traffic.
+func NewTier(cfg TierConfig, pols []core.Policy) (*Tier, error) {
+	if cfg.Frontends < 1 {
+		return nil, fmt.Errorf("dstate: tier needs at least one front-end, got %d", cfg.Frontends)
+	}
+	if len(pols) != cfg.Frontends {
+		return nil, fmt.Errorf("dstate: tier of %d front-ends built with %d policies", cfg.Frontends, len(pols))
+	}
+	if cfg.Mode == ModeLocal && cfg.Frontends != 1 {
+		return nil, fmt.Errorf("dstate: local mode is single-front-end; got %d front-ends", cfg.Frontends)
+	}
+	t := &Tier{cfg: cfg, pols: pols, fes: make([]feState, cfg.Frontends)}
+	if cfg.Mode == ModeSharded {
+		t.ring = policy.NewOwnerRing(cfg.Frontends, cfg.RingReplicas, cfg.Seed)
+	}
+	if cfg.Mode == ModeReplicated {
+		for f, p := range pols {
+			mp, ok := p.(MappingPolicy)
+			if !ok {
+				continue // stateless policy: load-only replication
+			}
+			f := f
+			mp.Mapping().SetWriteObserver(func(id core.TargetID, size int64, n core.NodeID) {
+				t.journal(f, id, size, n)
+			})
+		}
+	}
+	return t, nil
+}
+
+// Mode returns the tier's backend mode.
+func (t *Tier) Mode() Mode { return t.cfg.Mode }
+
+// Frontends returns the tier size.
+func (t *Tier) Frontends() int { return t.cfg.Frontends }
+
+// Owner returns the front-end owning target id's shard (0 outside
+// sharded mode: every front-end owns its own replica).
+func (t *Tier) Owner(id core.TargetID) int {
+	if t.ring == nil {
+		return 0
+	}
+	return t.ring.Owner(id)
+}
+
+// Syncs returns the number of completed Sync rounds.
+func (t *Tier) Syncs() int64 { return t.syncs }
+
+// journal appends one mapping write to front-end f's pending delta.
+func (t *Tier) journal(f int, id core.TargetID, size int64, n core.NodeID) {
+	st := &t.fes[f]
+	st.mu.Lock()
+	st.seq++
+	st.pending = append(st.pending, MapDelta{ID: id, Node: n, Size: size, Seq: st.seq})
+	st.mu.Unlock()
+}
+
+// PendingDeltas returns front-end f's journaled-but-unsynced mapping
+// writes (tests, metrics; the networked store encodes the same deltas on
+// the wire).
+func (t *Tier) PendingDeltas(f int) []MapDelta {
+	st := &t.fes[f]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]MapDelta, len(st.pending))
+	copy(out, st.pending)
+	return out
+}
+
+// Sync performs one bounded-staleness replication round: every
+// front-end's pending mapping deltas are applied to every other replica
+// (in front-end order, each origin's deltas in sequence order — so a
+// mapping conflict resolves last-writer-wins, the highest-numbered
+// front-end's latest write standing), then every replica's remote load
+// base is set to the sum of its peers' locally charged loads. A no-op in
+// local and sharded modes, whose state has a single owner per target. The
+// staleness bound is the caller's sync interval: the simulator fires Sync
+// on a virtual-time schedule, the prototype's sync loop on a wall-clock
+// ticker.
+//
+// Sync may run concurrently with dispatch (the prototype); deltas
+// journaled during the round are simply carried to the next one.
+func (t *Tier) Sync() {
+	if t.cfg.Mode != ModeReplicated {
+		return
+	}
+	for f := range t.fes {
+		st := &t.fes[f]
+		st.mu.Lock()
+		deltas := st.pending
+		st.pending = nil
+		st.mu.Unlock()
+		if len(deltas) == 0 {
+			continue
+		}
+		for g, p := range t.pols {
+			if g == f {
+				continue
+			}
+			mp, ok := p.(MappingPolicy)
+			if !ok {
+				continue
+			}
+			m := mp.Mapping()
+			for _, d := range deltas {
+				m.ApplySynced(d.ID, d.Size, d.Node)
+			}
+		}
+	}
+	t.syncLoads()
+	t.syncs++
+}
+
+// syncLoads refreshes every replica's remote load base: front-end g's
+// view of node n becomes its own charges plus the sum of every peer's
+// locally charged load and connection count for n, as of this round.
+func (t *Tier) syncLoads() {
+	nodes := t.pols[0].Loads().Nodes()
+	for g, p := range t.pols {
+		lt := p.Loads()
+		for i := 0; i < nodes; i++ {
+			n := core.NodeID(i)
+			var load float64
+			var conns int64
+			for f, q := range t.pols {
+				if f == g {
+					continue
+				}
+				load += q.Loads().LocalLoad(n)
+				conns += int64(q.Loads().LocalConns(n))
+			}
+			lt.SetRemote(n, load)
+			lt.SetRemoteConns(n, conns)
+		}
+	}
+}
+
+// Store returns front-end fe's view of the tier.
+func (t *Tier) Store(fe int) Store {
+	if fe < 0 || fe >= t.cfg.Frontends {
+		panic(fmt.Sprintf("dstate: front-end index %d out of tier [0,%d)", fe, t.cfg.Frontends))
+	}
+	switch t.cfg.Mode {
+	case ModeSharded:
+		return &shardView{t: t, fe: fe}
+	case ModeReplicated:
+		return &replView{t: t, fe: fe, pol: t.pols[fe]}
+	default:
+		return NewLocal(t.pols[fe])
+	}
+}
+
+// shardView is front-end fe's view of a sharded tier: the first request's
+// target names the owning front-end, and the whole connection lifecycle —
+// decision, batch assignment, load charge, close — runs on the owner's
+// shard. The data path (the sockets, the handoff) stays at fe; only the
+// state transactions forward.
+type shardView struct {
+	t  *Tier
+	fe int
+}
+
+var _ Store = (*shardView)(nil)
+
+func (v *shardView) Mode() Mode                 { return ModeSharded }
+func (v *shardView) Policy() core.Policy        { return v.t.pols[v.fe] }
+func (v *shardView) Owner(id core.TargetID) int { return v.t.ring.Owner(id) }
+
+// owner resolves the policy owning c's state: the one recorded at open,
+// falling back to the local shard for a connection that never opened
+// through the tier (defensive; the engine always opens first).
+func (v *shardView) owner(c *core.ConnState) core.Policy {
+	if f := int(c.OwnerFE); f >= 0 && f < len(v.t.pols) {
+		return v.t.pols[f]
+	}
+	return v.t.pols[v.fe]
+}
+
+//phttp:hotpath
+func (v *shardView) ConnOpen(c *core.ConnState, first core.Request) core.NodeID {
+	owner := v.t.ring.Owner(first.ID)
+	c.OwnerFE = int32(owner)
+	return v.t.pols[owner].ConnOpen(c, first)
+}
+
+//phttp:hotpath
+func (v *shardView) AssignBatch(c *core.ConnState, batch core.Batch) []core.Assignment {
+	return v.owner(c).AssignBatch(c, batch)
+}
+
+//phttp:hotpath
+func (v *shardView) BatchDone(c *core.ConnState) { v.owner(c).BatchDone(c) }
+
+//phttp:hotpath
+func (v *shardView) ConnClose(c *core.ConnState) { v.owner(c).ConnClose(c) }
+
+func (v *shardView) ReportDiskQueue(n core.NodeID, queued int) {
+	v.t.pols[v.fe].ReportDiskQueue(n, queued)
+}
+
+func (v *shardView) MoveConn(c *core.ConnState, to core.NodeID) {
+	v.owner(c).Loads().MoveConn(c.Handling, to)
+	c.Handling = to
+}
+
+// replView is front-end fe's view of a replicated tier: every decision is
+// local against fe's own replica (no cross-front-end coordination on any
+// hot path); freshness is whatever the last Sync round delivered.
+type replView struct {
+	t   *Tier
+	fe  int
+	pol core.Policy
+}
+
+var _ Store = (*replView)(nil)
+
+func (v *replView) Mode() Mode              { return ModeReplicated }
+func (v *replView) Policy() core.Policy     { return v.pol }
+func (v *replView) Owner(core.TargetID) int { return v.fe }
+
+//phttp:hotpath
+func (v *replView) ConnOpen(c *core.ConnState, first core.Request) core.NodeID {
+	c.OwnerFE = int32(v.fe)
+	return v.pol.ConnOpen(c, first)
+}
+
+//phttp:hotpath
+func (v *replView) AssignBatch(c *core.ConnState, batch core.Batch) []core.Assignment {
+	return v.pol.AssignBatch(c, batch)
+}
+
+//phttp:hotpath
+func (v *replView) BatchDone(c *core.ConnState) { v.pol.BatchDone(c) }
+
+//phttp:hotpath
+func (v *replView) ConnClose(c *core.ConnState) { v.pol.ConnClose(c) }
+
+func (v *replView) ReportDiskQueue(n core.NodeID, queued int) {
+	v.pol.ReportDiskQueue(n, queued)
+}
+
+func (v *replView) MoveConn(c *core.ConnState, to core.NodeID) {
+	v.pol.Loads().MoveConn(c.Handling, to)
+	c.Handling = to
+}

@@ -1,0 +1,307 @@
+package dstate_test
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"phttp/internal/core"
+	"phttp/internal/dstate"
+)
+
+// mapping returns the cache mapping behind a tier view's policy.
+func mapping(t *testing.T, s dstate.Store) interface {
+	IsMapped(core.TargetID, core.NodeID) bool
+	NodesFor(core.TargetID) []core.NodeID
+	Map(core.TargetID, int64, core.NodeID)
+} {
+	t.Helper()
+	mp, ok := s.Policy().(dstate.MappingPolicy)
+	if !ok {
+		t.Fatalf("policy %s exposes no mapping", s.Policy().Name())
+	}
+	return mp.Mapping()
+}
+
+// TestTierShardedOwnership: in sharded mode every connection's state lives
+// on the ring owner's shard, whichever view opened it — the charge lands
+// on the owner's load tracker and OwnerFE records the routing decision.
+func TestTierShardedOwnership(t *testing.T) {
+	h := newHarness(t, dstate.ModeSharded, 3, 4)
+	owned := make(map[int]int)
+	for i := 0; i < 60; i++ {
+		target := fmt.Sprintf("/shard/%d", i)
+		r := h.req(target)
+		owner := h.stores[0].Owner(r.ID)
+		owned[owner]++
+		for fe := range h.stores {
+			if got := h.stores[fe].Owner(r.ID); got != owner {
+				t.Fatalf("target %s: view %d says owner %d, view 0 says %d", target, fe, got, owner)
+			}
+		}
+		opener := i % len(h.stores)
+		cs, _ := h.open(opener, target)
+		if int(cs.OwnerFE) != owner {
+			t.Errorf("target %s opened via %d: OwnerFE = %d, want ring owner %d",
+				target, opener, cs.OwnerFE, owner)
+		}
+		var ownerConns, otherConns int
+		for fe, s := range h.stores {
+			lt := s.Policy().Loads()
+			for n := 0; n < h.nodes; n++ {
+				c := lt.LocalConns(core.NodeID(n))
+				if fe == owner {
+					ownerConns += c
+				} else {
+					otherConns += c
+				}
+			}
+		}
+		if ownerConns != 1 || otherConns != 0 {
+			t.Fatalf("target %s: owner shard holds %d conns, others %d; want 1/0",
+				target, ownerConns, otherConns)
+		}
+		h.stores[opener].ConnClose(cs)
+	}
+	for fe := range h.stores {
+		if owned[fe] == 0 {
+			t.Errorf("front-end %d owns none of 60 targets; ring is degenerate", fe)
+		}
+	}
+}
+
+// TestTierReplicatedStaleness: a mapping write is invisible to peer
+// replicas until a Sync round delivers it — the bounded-staleness window —
+// and visible to every replica afterwards.
+func TestTierReplicatedStaleness(t *testing.T) {
+	h := newHarness(t, dstate.ModeReplicated, 3, 4)
+	r := h.req("/stale/x")
+	cs, n := h.open(0, string(r.Target))
+	h.stores[0].ConnClose(cs)
+
+	if !mapping(t, h.stores[0]).IsMapped(r.ID, n) {
+		t.Fatal("origin replica lost its own write")
+	}
+	for fe := 1; fe < 3; fe++ {
+		if mapping(t, h.stores[fe]).IsMapped(r.ID, n) {
+			t.Errorf("replica %d sees the write before any sync round", fe)
+		}
+	}
+	h.sync()
+	for fe := 0; fe < 3; fe++ {
+		if !mapping(t, h.stores[fe]).IsMapped(r.ID, n) {
+			t.Errorf("replica %d still misses the write after sync", fe)
+		}
+	}
+}
+
+// TestTierReplicatedConvergence: concurrent mapping writes on different
+// replicas for the same target converge — after a sync round every replica
+// reports the identical node set for the target, deltas applied in
+// front-end/sequence order.
+func TestTierReplicatedConvergence(t *testing.T) {
+	h := newHarness(t, dstate.ModeReplicated, 3, 4)
+	r := h.req("/conflict/x")
+	mapping(t, h.stores[0]).Map(r.ID, r.Size, core.NodeID(1))
+	mapping(t, h.stores[1]).Map(r.ID, r.Size, core.NodeID(2))
+	h.sync()
+
+	want := nodeSet(mapping(t, h.stores[0]).NodesFor(r.ID))
+	if len(want) == 0 {
+		t.Fatal("replica 0 has no nodes for the target after sync")
+	}
+	for fe := 1; fe < 3; fe++ {
+		got := nodeSet(mapping(t, h.stores[fe]).NodesFor(r.ID))
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Errorf("replica %d node set %v, replica 0 has %v — replicas diverged", fe, got, want)
+		}
+	}
+}
+
+func nodeSet(ns []core.NodeID) []core.NodeID {
+	out := append([]core.NodeID(nil), ns...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TestTierReplicatedLoadSync: after a sync round every replica's view of a
+// node's load is its own charges plus the sum of its peers' — so a replica
+// that dispatched nothing still sees the tier-wide pressure.
+func TestTierReplicatedLoadSync(t *testing.T) {
+	h := newHarness(t, dstate.ModeReplicated, 3, 4)
+	var open []*core.ConnState
+	perNode := make(map[core.NodeID]int)
+	for i := 0; i < 6; i++ {
+		cs, n := h.open(0, fmt.Sprintf("/loadsync/%d", i))
+		open = append(open, cs)
+		perNode[n]++
+	}
+	idle := h.stores[1].Policy().Loads()
+	for n := range perNode {
+		if got := idle.Conns(n); got != 0 {
+			t.Errorf("replica 1 sees %d conns on node %v before sync (want 0, staleness bound)", got, n)
+		}
+	}
+	h.sync()
+	for n, want := range perNode {
+		if got := idle.Conns(n); got != want {
+			t.Errorf("replica 1 sees %d conns on node %v after sync, origin charged %d", got, n, want)
+		}
+		if idle.LocalConns(n) != 0 {
+			t.Errorf("sync turned remote charges into local ones on node %v", n)
+		}
+	}
+	for _, cs := range open {
+		h.stores[0].ConnClose(cs)
+	}
+	h.sync()
+	for n := range perNode {
+		if got := idle.Conns(n); got != 0 {
+			t.Errorf("replica 1 still sees %d conns on node %v after closes synced", got, n)
+		}
+	}
+}
+
+// TestTierJournal: replicated writes accumulate in the origin's journal
+// with strictly increasing sequence numbers and drain on Sync.
+func TestTierJournal(t *testing.T) {
+	h := newHarness(t, dstate.ModeReplicated, 3, 4)
+	tier := tierOf(t, h)
+	var conns []*core.ConnState
+	for i := 0; i < 5; i++ {
+		cs, _ := h.open(1, fmt.Sprintf("/journal/%d", i))
+		conns = append(conns, cs)
+	}
+	deltas := tier.PendingDeltas(1)
+	if len(deltas) != 5 {
+		t.Fatalf("journal holds %d deltas after 5 first-touch opens, want 5", len(deltas))
+	}
+	for i := 1; i < len(deltas); i++ {
+		if deltas[i].Seq <= deltas[i-1].Seq {
+			t.Errorf("journal seq not increasing: %d after %d", deltas[i].Seq, deltas[i-1].Seq)
+		}
+	}
+	if got := tier.PendingDeltas(0); len(got) != 0 {
+		t.Errorf("idle front-end journaled %d deltas", len(got))
+	}
+	h.sync()
+	if got := tier.PendingDeltas(1); len(got) != 0 {
+		t.Errorf("sync left %d deltas pending", len(got))
+	}
+	if tier.Syncs() == 0 {
+		t.Error("sync round not counted")
+	}
+	for _, cs := range conns {
+		h.stores[1].ConnClose(cs)
+	}
+}
+
+// tierOf returns the harness's tier, failing for local mode.
+func tierOf(t *testing.T, h *harness) *dstate.Tier {
+	t.Helper()
+	if h.tier == nil {
+		t.Fatal("harness has no tier (local mode?)")
+	}
+	return h.tier
+}
+
+// TestTierConfigValidation: the constructor rejects degenerate tiers.
+func TestTierConfigValidation(t *testing.T) {
+	pol := h1pol(t)
+	cases := []struct {
+		name string
+		cfg  dstate.TierConfig
+		pols []core.Policy
+	}{
+		{"no front-ends", dstate.TierConfig{Mode: dstate.ModeReplicated, Frontends: 0}, nil},
+		{"policy count mismatch", dstate.TierConfig{Mode: dstate.ModeReplicated, Frontends: 2}, []core.Policy{pol}},
+		{"plural local", dstate.TierConfig{Mode: dstate.ModeLocal, Frontends: 2}, []core.Policy{pol, pol}},
+	}
+	for _, tc := range cases {
+		if _, err := dstate.NewTier(tc.cfg, tc.pols); err == nil {
+			t.Errorf("%s: NewTier accepted invalid config", tc.name)
+		}
+	}
+}
+
+// h1pol builds one policy for validation tests.
+func h1pol(t *testing.T) core.Policy {
+	t.Helper()
+	h := newHarness(t, dstate.ModeLocal, 1, 2)
+	return h.stores[0].Policy()
+}
+
+// TestModeRoundTrip: Mode's string forms parse back, and garbage is
+// rejected — the -state flag and scenario schema depend on both.
+func TestModeRoundTrip(t *testing.T) {
+	for _, m := range []dstate.Mode{dstate.ModeLocal, dstate.ModeSharded, dstate.ModeReplicated} {
+		got, err := dstate.ParseMode(m.String())
+		if err != nil || got != m {
+			t.Errorf("ParseMode(%q) = %v, %v; want %v", m.String(), got, err, m)
+		}
+	}
+	if _, err := dstate.ParseMode("paxos"); err == nil {
+		t.Error("ParseMode accepted an unknown mode")
+	}
+}
+
+// TestStoreSurface walks the full Store method set on every backend —
+// the accessors and lifecycle calls the heavier tests do not reach:
+// Mode, Owner, BatchDone after an assignment, and MoveConn's load
+// transfer. The tier's own accessors (Mode, Frontends, Owner) are
+// pinned alongside.
+func TestStoreSurface(t *testing.T) {
+	for _, tc := range conformanceModes {
+		t.Run(tc.mode.String(), func(t *testing.T) {
+			h := newHarness(t, tc.mode, tc.fes, 2)
+			for fe, s := range h.stores {
+				if s.Mode() != tc.mode {
+					t.Fatalf("view %d: Mode = %v, want %v", fe, s.Mode(), tc.mode)
+				}
+			}
+			if h.tier != nil {
+				if h.tier.Mode() != tc.mode || h.tier.Frontends() != tc.fes {
+					t.Fatalf("tier accessors: mode %v frontends %d", h.tier.Mode(), h.tier.Frontends())
+				}
+			}
+
+			r := h.req("/surface/a")
+			// Owner agrees between the tier and every view; local and
+			// replicated views own their own targets.
+			for fe, s := range h.stores {
+				owner := s.Owner(r.ID)
+				switch tc.mode {
+				case dstate.ModeSharded:
+					if owner != h.tier.Owner(r.ID) {
+						t.Fatalf("view %d: Owner %d, tier says %d", fe, owner, h.tier.Owner(r.ID))
+					}
+				default:
+					if owner != fe {
+						t.Fatalf("view %d: Owner = %d, want self", fe, owner)
+					}
+				}
+			}
+
+			// Full lifecycle on view 0: open, assign, done, move, close.
+			cs, n := h.open(0, "/surface/a")
+			s := h.stores[0]
+			as := s.AssignBatch(cs, core.Batch{r})
+			if len(as) != 1 {
+				t.Fatalf("AssignBatch returned %d assignments", len(as))
+			}
+			s.BatchDone(cs)
+			to := core.NodeID((int(n) + 1) % h.nodes)
+			s.MoveConn(cs, to)
+			if cs.Handling != to {
+				t.Fatalf("MoveConn left Handling at %d, want %d", cs.Handling, to)
+			}
+			if h.localConns() != 1 {
+				t.Fatalf("after move: %d conns charged, want 1", h.localConns())
+			}
+			s.ConnClose(cs)
+			if h.localConns() != 0 {
+				t.Fatalf("after close: %d conns still charged", h.localConns())
+			}
+		})
+	}
+}

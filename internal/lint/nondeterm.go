@@ -18,6 +18,7 @@ var DeterminismPaths = []string{
 	"phttp/internal/simcore",
 	"phttp/internal/policy",
 	"phttp/internal/trace",
+	"phttp/internal/dstate",
 }
 
 // wallClockFuncs are the time package entry points that read the wall

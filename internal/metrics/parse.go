@@ -1,0 +1,333 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Strict parser for the Prometheus text exposition format (0.0.4) —
+// the consumer side of PromWriter, used by integration tests to verify
+// that what the front-end's /status endpoint serves under load is valid
+// scrape input: families headed by HELP/TYPE, well-formed labels,
+// parseable values, and (for histograms) monotone cumulative buckets
+// consistent with _count. Parsing is deliberately unforgiving: a real
+// scraper would drop malformed input silently, a test should fail.
+
+// PromSample is one parsed sample line.
+type PromSample struct {
+	// Name is the full sample name, including a _bucket/_sum/_count
+	// suffix on histogram series.
+	Name string
+	// Labels holds the label pairs in appearance order.
+	Labels []PromLabel
+	Value  float64
+}
+
+// PromLabel is one parsed label pair.
+type PromLabel struct {
+	Name  string
+	Value string
+}
+
+// Get returns the value of the named label ("" when absent).
+func (s PromSample) Get(name string) string {
+	for _, l := range s.Labels {
+		if l.Name == name {
+			return l.Value
+		}
+	}
+	return ""
+}
+
+// PromFamily is one parsed metric family: the HELP/TYPE header plus its
+// samples in exposition order.
+type PromFamily struct {
+	Name    string
+	Help    string
+	Type    string // "counter", "gauge", "histogram", ...
+	Samples []PromSample
+}
+
+// ParseProm parses a complete text exposition. It requires every sample
+// to belong to a family announced by a preceding # TYPE line (PromWriter
+// always writes HELP and TYPE; input from other producers must too), and
+// returns families in exposition order.
+func ParseProm(text string) ([]PromFamily, error) {
+	var fams []*PromFamily
+	byName := make(map[string]*PromFamily)
+	var help = make(map[string]string)
+	for ln, line := range strings.Split(text, "\n") {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, rest, err := parsePromComment(line)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			switch kind {
+			case "HELP":
+				if _, dup := help[name]; dup {
+					return nil, fmt.Errorf("line %d: duplicate HELP for %s", lineNo, name)
+				}
+				help[name] = rest
+			case "TYPE":
+				if byName[name] != nil {
+					return nil, fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+				}
+				f := &PromFamily{Name: name, Help: help[name], Type: rest}
+				fams = append(fams, f)
+				byName[name] = f
+			}
+			// Other comments are legal and ignored.
+			continue
+		}
+		sample, err := parsePromSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		fam := byName[sample.Name]
+		if fam == nil {
+			// Histogram series carry suffixes on the family name.
+			for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+				if base, ok := strings.CutSuffix(sample.Name, suffix); ok && byName[base] != nil {
+					fam = byName[base]
+					break
+				}
+			}
+		}
+		if fam == nil {
+			return nil, fmt.Errorf("line %d: sample %s precedes its # TYPE header", lineNo, sample.Name)
+		}
+		fam.Samples = append(fam.Samples, sample)
+	}
+	out := make([]PromFamily, len(fams))
+	for i, f := range fams {
+		out[i] = *f
+	}
+	return out, nil
+}
+
+// parsePromComment splits a "# HELP name text" / "# TYPE name type" line.
+func parsePromComment(line string) (kind, name, rest string, err error) {
+	body, ok := strings.CutPrefix(line, "# ")
+	if !ok {
+		return "", "", "", fmt.Errorf("malformed comment %q (want \"# \")", line)
+	}
+	parts := strings.SplitN(body, " ", 3)
+	switch parts[0] {
+	case "HELP", "TYPE":
+		if len(parts) < 3 {
+			return "", "", "", fmt.Errorf("truncated %s line %q", parts[0], line)
+		}
+		return parts[0], parts[1], parts[2], nil
+	}
+	return "", "", "", nil // free-form comment
+}
+
+// parsePromSample parses one sample line: name[{labels}] value [timestamp].
+func parsePromSample(line string) (PromSample, error) {
+	var s PromSample
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return s, fmt.Errorf("no value on sample line %q", line)
+	} else {
+		s.Name = rest[:i]
+		rest = rest[i:]
+	}
+	if !validPromName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	if strings.HasPrefix(rest, "{") {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels, err := parsePromLabels(rest[1:end])
+		if err != nil {
+			return s, fmt.Errorf("%w in %q", err, line)
+		}
+		s.Labels = labels
+		rest = rest[end+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("want value [timestamp] after name, got %q", rest)
+	}
+	v, err := parsePromValue(fields[0])
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %w", fields[0], err)
+	}
+	s.Value = v
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return s, fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	return s, nil
+}
+
+// parsePromLabels parses the inside of a {...} label set.
+func parsePromLabels(body string) ([]PromLabel, error) {
+	var labels []PromLabel
+	rest := body
+	for rest != "" {
+		eq := strings.Index(rest, "=")
+		if eq < 0 {
+			return nil, fmt.Errorf("label pair without '=' (%q)", rest)
+		}
+		name := rest[:eq]
+		if !validPromName(name) {
+			return nil, fmt.Errorf("invalid label name %q", name)
+		}
+		rest = rest[eq+1:]
+		if !strings.HasPrefix(rest, `"`) {
+			return nil, fmt.Errorf("unquoted label value after %s", name)
+		}
+		val, consumed, err := parsePromQuoted(rest)
+		if err != nil {
+			return nil, err
+		}
+		rest = rest[consumed:]
+		labels = append(labels, PromLabel{Name: name, Value: val})
+		if rest == "" {
+			break
+		}
+		var ok bool
+		if rest, ok = strings.CutPrefix(rest, ","); !ok {
+			return nil, fmt.Errorf("expected ',' between label pairs, got %q", rest)
+		}
+	}
+	return labels, nil
+}
+
+// parsePromQuoted decodes a quoted label value with the exposition
+// format's three escapes (\\, \", \n), returning the decoded value and
+// how many input bytes were consumed including both quotes.
+func parsePromQuoted(in string) (string, int, error) {
+	var b strings.Builder
+	for i := 1; i < len(in); i++ {
+		switch c := in[i]; c {
+		case '"':
+			return b.String(), i + 1, nil
+		case '\\':
+			i++
+			if i >= len(in) {
+				return "", 0, fmt.Errorf("dangling escape in label value")
+			}
+			switch in[i] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", 0, fmt.Errorf("invalid escape \\%c in label value", in[i])
+			}
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return "", 0, fmt.Errorf("unterminated label value")
+}
+
+// parsePromValue parses a sample value, accepting the format's special
+// spellings of the non-finite floats.
+func parsePromValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// validPromName reports whether s matches [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validPromName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		alpha := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !alpha && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckHistogram verifies the histogram invariants of a parsed family:
+// every series is _bucket/_sum/_count, bucket `le` bounds strictly
+// increase, cumulative counts never decrease, a +Inf bucket exists, and
+// it agrees with _count. Returns nil for a valid histogram.
+func CheckHistogram(f PromFamily) error {
+	if f.Type != "histogram" {
+		return fmt.Errorf("%s: TYPE is %q, want histogram", f.Name, f.Type)
+	}
+	var bounds []float64
+	var counts []float64
+	var haveSum, haveCount bool
+	var count float64
+	for _, s := range f.Samples {
+		switch s.Name {
+		case f.Name + "_bucket":
+			le := s.Get("le")
+			if le == "" {
+				return fmt.Errorf("%s: bucket without le label", f.Name)
+			}
+			bound, err := parsePromValue(le)
+			if err != nil {
+				return fmt.Errorf("%s: bad le %q: %w", f.Name, le, err)
+			}
+			bounds = append(bounds, bound)
+			counts = append(counts, s.Value)
+		case f.Name + "_sum":
+			haveSum = true
+		case f.Name + "_count":
+			haveCount = true
+			count = s.Value
+		default:
+			return fmt.Errorf("%s: unexpected series %s in histogram family", f.Name, s.Name)
+		}
+	}
+	if len(bounds) == 0 {
+		return fmt.Errorf("%s: no buckets", f.Name)
+	}
+	if !haveSum || !haveCount {
+		return fmt.Errorf("%s: missing _sum or _count", f.Name)
+	}
+	if !sort.Float64sAreSorted(bounds) || hasDuplicateBound(bounds) {
+		return fmt.Errorf("%s: bucket bounds not strictly increasing: %v", f.Name, bounds)
+	}
+	for i := 1; i < len(counts); i++ {
+		if counts[i] < counts[i-1] {
+			return fmt.Errorf("%s: cumulative bucket counts decrease at le=%v: %v < %v",
+				f.Name, bounds[i], counts[i], counts[i-1])
+		}
+	}
+	if !math.IsInf(bounds[len(bounds)-1], 1) {
+		return fmt.Errorf("%s: last bucket bound is %v, want +Inf", f.Name, bounds[len(bounds)-1])
+	}
+	if inf := counts[len(counts)-1]; inf != count {
+		return fmt.Errorf("%s: +Inf bucket %v disagrees with _count %v", f.Name, inf, count)
+	}
+	return nil
+}
+
+func hasDuplicateBound(bounds []float64) bool {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] == bounds[i-1] {
+			return true
+		}
+	}
+	return false
+}

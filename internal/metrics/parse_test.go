@@ -1,0 +1,165 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"phttp/internal/core"
+)
+
+func TestParsePromRoundTrip(t *testing.T) {
+	var w PromWriter
+	w.Counter("t_reqs_total", "Requests.", 42)
+	w.Gauge("t_util", "Utilization.", 0.625)
+	w.GaugeVec("t_backends", "By state.",
+		LabeledValue{Label: `state="up"`, Value: 3},
+		LabeledValue{Label: `state="down"`, Value: 1})
+	h := core.NewLatencyHist()
+	for _, v := range []int64{1, 10, 100, 1000, 100000} {
+		h.Record(v)
+	}
+	w.Histogram("t_latency_seconds", "Latency.", h, 1e-6)
+
+	fams, err := ParseProm(w.String())
+	if err != nil {
+		t.Fatalf("ParseProm rejected PromWriter output: %v", err)
+	}
+	if len(fams) != 4 {
+		t.Fatalf("parsed %d families, want 4", len(fams))
+	}
+	if fams[0].Name != "t_reqs_total" || fams[0].Type != "counter" ||
+		fams[0].Help != "Requests." || fams[0].Samples[0].Value != 42 {
+		t.Errorf("counter family mangled: %+v", fams[0])
+	}
+	if fams[1].Samples[0].Value != 0.625 {
+		t.Errorf("gauge value = %v, want 0.625", fams[1].Samples[0].Value)
+	}
+	if got := fams[2].Samples[1].Get("state"); got != "down" {
+		t.Errorf("labeled gauge state = %q, want down", got)
+	}
+	if err := CheckHistogram(fams[3]); err != nil {
+		t.Errorf("PromWriter histogram fails its own invariants: %v", err)
+	}
+}
+
+func TestParsePromRejectsMalformed(t *testing.T) {
+	cases := []struct{ name, text string }{
+		{"sample before TYPE", "foo 1\n"},
+		{"bad metric name", "# HELP 1bad x\n# TYPE 1bad counter\n1bad 1\n"},
+		{"no value", "# HELP f x\n# TYPE f counter\nf\n"},
+		{"bad value", "# HELP f x\n# TYPE f counter\nf abc\n"},
+		{"unterminated labels", "# HELP f x\n# TYPE f gauge\nf{a=\"b\" 1\n"},
+		{"unquoted label value", "# HELP f x\n# TYPE f gauge\nf{a=b} 1\n"},
+		{"duplicate TYPE", "# TYPE f counter\n# TYPE f counter\n"},
+		{"truncated HELP", "# HELP f\n"},
+	}
+	for _, tc := range cases {
+		if _, err := ParseProm(tc.text); err == nil {
+			t.Errorf("%s: parser accepted %q", tc.name, tc.text)
+		}
+	}
+}
+
+func TestParsePromSpecials(t *testing.T) {
+	text := "# HELP f x\n# TYPE f gauge\n" +
+		"f{a=\"q\\\"uo\\\\te\\nd\"} +Inf\nf NaN\nf -Inf 1712000000\n"
+	fams, err := ParseProm(text)
+	if err != nil {
+		t.Fatalf("ParseProm: %v", err)
+	}
+	s := fams[0].Samples
+	if got := s[0].Get("a"); got != "q\"uo\\te\nd" {
+		t.Errorf("escaped label decoded to %q", got)
+	}
+	if !math.IsInf(s[0].Value, 1) || !math.IsNaN(s[1].Value) || !math.IsInf(s[2].Value, -1) {
+		t.Errorf("special values parsed as %v %v %v", s[0].Value, s[1].Value, s[2].Value)
+	}
+}
+
+func TestCheckHistogramCatchesViolations(t *testing.T) {
+	header := "# HELP h x\n# TYPE h histogram\n"
+	cases := []struct{ name, body string }{
+		{"non-monotone buckets", `h_bucket{le="1"} 5` + "\n" + `h_bucket{le="2"} 3` + "\n" +
+			`h_bucket{le="+Inf"} 5` + "\nh_sum 1\nh_count 5\n"},
+		{"missing +Inf", `h_bucket{le="1"} 5` + "\nh_sum 1\nh_count 5\n"},
+		{"count mismatch", `h_bucket{le="+Inf"} 5` + "\nh_sum 1\nh_count 7\n"},
+		{"duplicate bound", `h_bucket{le="1"} 2` + "\n" + `h_bucket{le="1"} 2` + "\n" +
+			`h_bucket{le="+Inf"} 2` + "\nh_sum 1\nh_count 2\n"},
+		{"missing sum", `h_bucket{le="+Inf"} 0` + "\nh_count 0\n"},
+	}
+	for _, tc := range cases {
+		fams, err := ParseProm(header + tc.body)
+		if err != nil {
+			t.Fatalf("%s: parse failed: %v", tc.name, err)
+		}
+		if err := CheckHistogram(fams[0]); err == nil {
+			t.Errorf("%s: CheckHistogram accepted an invalid histogram", tc.name)
+		}
+	}
+	// And a valid one passes.
+	good := header + `h_bucket{le="0.001"} 2` + "\n" + `h_bucket{le="1"} 4` + "\n" +
+		`h_bucket{le="+Inf"} 4` + "\nh_sum 0.5\nh_count 4\n"
+	fams, err := ParseProm(good)
+	if err != nil {
+		t.Fatalf("valid histogram failed to parse: %v", err)
+	}
+	if err := CheckHistogram(fams[0]); err != nil {
+		t.Errorf("valid histogram rejected: %v", err)
+	}
+}
+
+// TestParsePromEdgeCases covers the parser corners the golden round-trip
+// does not reach: label-set syntax errors, escape errors, timestamps,
+// free-form comments, duplicate HELP, and the Get miss path.
+func TestParsePromEdgeCases(t *testing.T) {
+	rejects := []struct{ name, text string }{
+		{"label without equals", "# HELP f x\n# TYPE f gauge\nf{ab} 1\n"},
+		{"bad label name", "# HELP f x\n# TYPE f gauge\nf{1a=\"v\"} 1\n"},
+		{"missing comma between labels", "# HELP f x\n# TYPE f gauge\nf{a=\"1\"b=\"2\"} 1\n"},
+		{"invalid escape", "# HELP f x\n# TYPE f gauge\nf{a=\"\\t\"} 1\n"},
+		{"dangling escape", "# HELP f x\n# TYPE f gauge\nf{a=\"v\\\n"},
+		{"bad timestamp", "# HELP f x\n# TYPE f counter\nf 1 soon\n"},
+		{"too many fields", "# HELP f x\n# TYPE f counter\nf 1 2 3\n"},
+		{"duplicate HELP", "# HELP f x\n# HELP f y\n# TYPE f counter\n"},
+		{"malformed comment", "#HELP f x\n"},
+		{"truncated TYPE", "# TYPE f\n"},
+	}
+	for _, tc := range rejects {
+		if _, err := ParseProm(tc.text); err == nil {
+			t.Errorf("%s: parser accepted %q", tc.name, tc.text)
+		}
+	}
+
+	// Accepted corners: free-form comments, empty label sets, multiple
+	// label pairs, suffixed histogram series resolving to the base family.
+	text := "# scraped by a test\n" +
+		"# HELP f x\n# TYPE f gauge\n" +
+		"f{} 1\nf{a=\"1\",b=\"2\"} 2\n" +
+		"# HELP h y\n# TYPE h histogram\n" +
+		"h_bucket{le=\"+Inf\"} 0\nh_sum 0\nh_count 0\n"
+	fams, err := ParseProm(text)
+	if err != nil {
+		t.Fatalf("ParseProm: %v", err)
+	}
+	if len(fams) != 2 || len(fams[0].Samples) != 2 || len(fams[1].Samples) != 3 {
+		t.Fatalf("parsed %d families, samples %d/%d", len(fams),
+			len(fams[0].Samples), len(fams[1].Samples))
+	}
+	s := fams[0].Samples[1]
+	if s.Get("b") != "2" || s.Get("absent") != "" {
+		t.Errorf("Get: b=%q absent=%q", s.Get("b"), s.Get("absent"))
+	}
+	if err := CheckHistogram(fams[1]); err != nil {
+		t.Errorf("empty histogram rejected: %v", err)
+	}
+	// CheckHistogram type and stray-series guards.
+	if err := CheckHistogram(fams[0]); err == nil {
+		t.Error("CheckHistogram accepted a gauge family")
+	}
+	stray := "# HELP h y\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 0\nh_sum 0\nh_count 0\nh 1\n"
+	if fams, err := ParseProm(stray); err != nil {
+		t.Fatalf("stray parse: %v", err)
+	} else if err := CheckHistogram(fams[0]); err == nil {
+		t.Error("CheckHistogram accepted a stray series")
+	}
+}

@@ -1,0 +1,112 @@
+package policy
+
+import (
+	"testing"
+
+	"phttp/internal/core"
+)
+
+// TestOwnerRingDeterministic: two rings built with identical parameters
+// agree on every target — the property the sharded tier stands on, since
+// each front-end builds its ring independently.
+func TestOwnerRingDeterministic(t *testing.T) {
+	a := NewOwnerRing(4, 0, 42)
+	b := NewOwnerRing(4, 0, 42)
+	for id := core.TargetID(0); id < 4096; id++ {
+		if a.Owner(id) != b.Owner(id) {
+			t.Fatalf("target %d: ring A says %d, ring B says %d", id, a.Owner(id), b.Owner(id))
+		}
+	}
+}
+
+// TestOwnerRingCoverageAndBounds: every front-end owns a share of the
+// target space, and every answer is a valid front-end index.
+func TestOwnerRingCoverageAndBounds(t *testing.T) {
+	for _, fes := range []int{1, 2, 3, 8} {
+		r := NewOwnerRing(fes, 0, 7)
+		owned := make([]int, fes)
+		for id := core.TargetID(0); id < 4096; id++ {
+			o := r.Owner(id)
+			if o < 0 || o >= fes {
+				t.Fatalf("fes=%d: owner %d out of range", fes, o)
+			}
+			owned[o]++
+		}
+		for fe, n := range owned {
+			if n == 0 {
+				t.Errorf("fes=%d: front-end %d owns no targets", fes, fe)
+			}
+		}
+	}
+}
+
+// TestOwnerRingSeedMatters: different seeds produce different partitions
+// (a fleet misconfigured with mixed seeds would silently mis-forward, so
+// the seed must actually bite).
+func TestOwnerRingSeedMatters(t *testing.T) {
+	a := NewOwnerRing(3, 0, 1)
+	b := NewOwnerRing(3, 0, 2)
+	for id := core.TargetID(0); id < 4096; id++ {
+		if a.Owner(id) != b.Owner(id) {
+			return
+		}
+	}
+	t.Error("4096 targets partition identically under different seeds")
+}
+
+// TestOwnerRingStability: growing the tier by one front-end reassigns
+// only a minority of the target space — the consistent-hashing guarantee
+// that makes elastic front-end membership cheap.
+func TestOwnerRingStability(t *testing.T) {
+	const targets = 8192
+	small := NewOwnerRing(4, 0, 9)
+	big := NewOwnerRing(5, 0, 9)
+	moved := 0
+	for id := core.TargetID(0); id < targets; id++ {
+		if small.Owner(id) != big.Owner(id) {
+			moved++
+		}
+	}
+	// Ideal churn is 1/5 of the space; allow generous slack for the
+	// small virtual-point count.
+	if moved > targets/2 {
+		t.Errorf("adding one front-end moved %d/%d targets; consistent hashing should move ~%d",
+			moved, targets, targets/5)
+	}
+	if moved == 0 {
+		t.Error("adding a front-end moved nothing; the fifth front-end owns no shards")
+	}
+}
+
+// TestOwnerRingSmallIDSpread: regression for the query/point hash-domain
+// collision. Interner IDs are small sequential integers; ids below the
+// replica count used to hash onto exactly front-end 0's virtual points
+// (same splitmix64 input), so FE0 owned the whole early working set.
+// Small IDs must spread like any others.
+func TestOwnerRingSmallIDSpread(t *testing.T) {
+	for _, seed := range []uint64{7, 42, 0xc0ffee} {
+		r := NewOwnerRing(3, 0, seed)
+		owned := make([]int, 3)
+		for id := core.TargetID(1); id <= 64; id++ {
+			owned[r.Owner(id)]++
+		}
+		for fe, n := range owned {
+			if n == 0 {
+				t.Errorf("seed %#x: front-end %d owns none of target IDs 1..64 (spread %v)", seed, fe, owned)
+			}
+		}
+	}
+}
+
+// TestOwnerRingSingleton: a one-front-end ring answers 0 without hashing.
+func TestOwnerRingSingleton(t *testing.T) {
+	r := NewOwnerRing(1, 0, 99)
+	for id := core.TargetID(0); id < 64; id++ {
+		if r.Owner(id) != 0 {
+			t.Fatalf("singleton ring returned %d", r.Owner(id))
+		}
+	}
+	if r.Frontends() != 1 {
+		t.Errorf("Frontends() = %d", r.Frontends())
+	}
+}

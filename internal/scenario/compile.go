@@ -7,6 +7,7 @@ import (
 	"phttp/internal/cluster"
 	"phttp/internal/core"
 	"phttp/internal/dispatch"
+	"phttp/internal/dstate"
 	"phttp/internal/loadgen"
 	"phttp/internal/policy"
 	"phttp/internal/server"
@@ -101,6 +102,18 @@ func (s *Spec) simBase(nodes int, combo sim.Combo, kind core.ServerKind) sim.Con
 	if s.SLO != nil {
 		cfg.SLOTarget = s.SLO.Target()
 	}
+	// Front-end-tier fields: all zero for single-front-end scenarios, so
+	// the compiled config stays DeepEqual to the legacy grid.
+	if s.Cluster.Frontends > 1 {
+		cfg.Frontends = s.Cluster.Frontends
+	}
+	mode, _ := s.StateMode() // validated above
+	if mode != dstate.ModeLocal {
+		cfg.FEState = mode
+	}
+	if s.Cluster.StalenessMs > 0 {
+		cfg.Staleness = core.Micros(s.Cluster.StalenessMs * float64(core.Millisecond))
+	}
 	return cfg
 }
 
@@ -128,6 +141,29 @@ func (s *Spec) ToSimGrid() ([]SimPoint, error) {
 					Label: combo.Name, X: float64(n), Config: s.simBase(n, combo, kind),
 				})
 			}
+		}
+	case s.Sweep != nil && len(s.Sweep.Frontends) > 0:
+		combo, err := s.combo()
+		if err != nil {
+			return nil, err
+		}
+		// A 1-front-end point still runs the swept backend (a tier of
+		// one) — the baseline of the locality-degradation curve.
+		for _, f := range s.Sweep.Frontends {
+			cfg := s.simBase(s.Cluster.Nodes, combo, kind)
+			cfg.Frontends = f
+			points = append(points, SimPoint{Label: combo.Name, X: float64(f), Config: cfg})
+		}
+	case s.Sweep != nil && len(s.Sweep.StalenessMs) > 0:
+		combo, err := s.combo()
+		if err != nil {
+			return nil, err
+		}
+		for _, ms := range s.Sweep.StalenessMs {
+			cfg := s.simBase(s.Cluster.Nodes, combo, kind)
+			cfg.Frontends = s.Cluster.Frontends
+			cfg.Staleness = core.Micros(ms * float64(core.Millisecond))
+			points = append(points, SimPoint{Label: combo.Name, X: ms, Config: cfg})
 		}
 	case s.Sweep != nil && len(s.Sweep.Loads) > 0:
 		combo, err := s.combo()

@@ -22,6 +22,7 @@ import (
 
 	"phttp/internal/core"
 	"phttp/internal/dispatch"
+	"phttp/internal/dstate"
 	"phttp/internal/trace"
 )
 
@@ -129,6 +130,21 @@ type ClusterSpec struct {
 	TimeScale float64 `json:"timeScale,omitempty"`
 	// Clients is the load generator's concurrency (default: loadgen's).
 	Clients int `json:"clients,omitempty"`
+
+	// Frontends is the size of the scale-out front-end tier (0 or 1 =
+	// the paper's single front-end; > 1 requires a sharded or replicated
+	// state backend).
+	Frontends int `json:"frontends,omitempty"`
+	// State selects the dispatch-state backend: "local" (default),
+	// "sharded" (target space partitioned across the tier) or
+	// "replicated" (full replicas with bounded-staleness sync). See
+	// DESIGN.md §18.
+	State string `json:"state,omitempty"`
+	// StalenessMs is the replicated backend's sync interval in
+	// milliseconds (simulated time in the simulator, wall clock in the
+	// prototype). 0 with a replicated backend means the replicas never
+	// sync — the infinite-staleness endpoint of the freshness curve.
+	StalenessMs float64 `json:"stalenessMs,omitempty"`
 }
 
 // ChurnSpec schedules deterministic membership events into a simulated
@@ -203,6 +219,14 @@ type SweepSpec struct {
 	// Loads is the offered-load axis (connections in flight), run at
 	// Cluster.Nodes (default 1).
 	Loads []int `json:"loads,omitempty"`
+	// Frontends is the front-end-tier-size axis, run at Cluster.Nodes
+	// with Cluster.State's backend (which must be sharded or
+	// replicated) — the locality-degradation curve of DESIGN.md §18.
+	Frontends []int `json:"frontends,omitempty"`
+	// StalenessMs is the replication-staleness axis in milliseconds, run
+	// at Cluster.Frontends replicas (cluster.state must be
+	// "replicated"). A 0 entry is the never-sync endpoint.
+	StalenessMs []float64 `json:"stalenessMs,omitempty"`
 }
 
 // Parse decodes and validates a scenario spec. Unknown fields are errors:
@@ -276,6 +300,9 @@ func (s *Spec) Validate() error {
 		if len(s.Sweep.Loads) > 0 {
 			return fmt.Errorf("scenario: sweep.combos and sweep.loads are mutually exclusive")
 		}
+		if len(s.Sweep.Frontends) > 0 || len(s.Sweep.StalenessMs) > 0 {
+			return fmt.Errorf("scenario: sweep.combos cannot carry front-end-tier axes (name the policy directly)")
+		}
 		if len(s.Sweep.Nodes) == 0 {
 			return fmt.Errorf("scenario: sweep.combos needs a sweep.nodes axis")
 		}
@@ -298,9 +325,19 @@ func (s *Spec) Validate() error {
 			return fmt.Errorf("scenario: %w", err)
 		}
 	}
+	mode, err := s.StateMode()
+	if err != nil {
+		return err
+	}
 	if s.Sweep != nil {
 		if len(s.Sweep.Loads) > 0 && len(s.Sweep.Nodes) > 0 {
 			return fmt.Errorf("scenario: sweep.loads and sweep.nodes are mutually exclusive")
+		}
+		if len(s.Sweep.Frontends) > 0 && (len(s.Sweep.Nodes) > 0 || len(s.Sweep.Loads) > 0 || len(s.Sweep.StalenessMs) > 0) {
+			return fmt.Errorf("scenario: sweep.frontends is its own axis (exclusive with nodes, loads and stalenessMs)")
+		}
+		if len(s.Sweep.StalenessMs) > 0 && (len(s.Sweep.Nodes) > 0 || len(s.Sweep.Loads) > 0) {
+			return fmt.Errorf("scenario: sweep.stalenessMs is its own axis (exclusive with nodes and loads)")
 		}
 		for _, n := range s.Sweep.Nodes {
 			if n <= 0 {
@@ -311,6 +348,25 @@ func (s *Spec) Validate() error {
 			if l <= 0 {
 				return fmt.Errorf("scenario: sweep.loads entry %d must be positive", l)
 			}
+		}
+		for _, f := range s.Sweep.Frontends {
+			if f <= 0 {
+				return fmt.Errorf("scenario: sweep.frontends entry %d must be positive", f)
+			}
+		}
+		for _, ms := range s.Sweep.StalenessMs {
+			if ms < 0 {
+				return fmt.Errorf("scenario: sweep.stalenessMs entry %g must be non-negative", ms)
+			}
+		}
+		if len(s.Sweep.Frontends) > 0 && mode == dstate.ModeLocal {
+			return fmt.Errorf("scenario: sweep.frontends needs cluster.state sharded or replicated")
+		}
+		if len(s.Sweep.StalenessMs) > 0 && mode != dstate.ModeReplicated {
+			return fmt.Errorf("scenario: sweep.stalenessMs needs cluster.state replicated")
+		}
+		if len(s.Sweep.StalenessMs) > 0 && s.Cluster.Frontends < 2 {
+			return fmt.Errorf("scenario: sweep.stalenessMs needs cluster.frontends >= 2 (one replica has nothing to sync)")
 		}
 	}
 	nodeAxis := s.Sweep != nil && len(s.Sweep.Nodes) > 0
@@ -326,6 +382,18 @@ func (s *Spec) Validate() error {
 	}
 	if c.FESpeedup < 0 || c.TimeScale < 0 {
 		return fmt.Errorf("scenario: negative cluster scale factor")
+	}
+	if c.Frontends < 0 {
+		return fmt.Errorf("scenario: cluster.frontends must be non-negative, got %d", c.Frontends)
+	}
+	if c.StalenessMs < 0 {
+		return fmt.Errorf("scenario: cluster.stalenessMs must be non-negative, got %g", c.StalenessMs)
+	}
+	if c.Frontends > 1 && mode == dstate.ModeLocal {
+		return fmt.Errorf("scenario: cluster.frontends %d needs cluster.state sharded or replicated (local state has one owner)", c.Frontends)
+	}
+	if c.StalenessMs > 0 && mode != dstate.ModeReplicated {
+		return fmt.Errorf("scenario: cluster.stalenessMs applies to the replicated state backend only")
 	}
 	w := s.Workload.Synth
 	if w != nil && (w.Connections < 0 || w.Pages < 0 || w.Objects < 0 || w.Clients < 0) {
@@ -370,6 +438,16 @@ func (s *Spec) Validate() error {
 		}
 	}
 	return nil
+}
+
+// StateMode resolves the cluster's dispatch-state backend (empty =
+// local, the paper's single front-end).
+func (s *Spec) StateMode() (dstate.Mode, error) {
+	m, err := dstate.ParseMode(strings.ToLower(strings.TrimSpace(s.Cluster.State)))
+	if err != nil {
+		return 0, fmt.Errorf("scenario: %w", err)
+	}
+	return m, nil
 }
 
 // mechanism resolves the mechanism field (empty = singleHandoff).

@@ -8,6 +8,8 @@ import (
 	"time"
 
 	"phttp/internal/core"
+	"phttp/internal/dstate"
+	"phttp/internal/server"
 	"phttp/internal/trace"
 )
 
@@ -198,6 +200,12 @@ type LatencyComboPoint struct {
 	P99Ms  float64 `json:"p99_ms"`
 	P999Ms float64 `json:"p999_ms"`
 	MaxMs  float64 `json:"max_ms"`
+	// NodeQueueP99Ms is the per-back-end queue-delay p99 (CPU and disk
+	// FIFO waiting, post-warmup) from a dedicated run of the same
+	// configuration with RecordNodeDelays on — the load-imbalance
+	// signature: WRR's hot nodes spike here while locality-aware dispatch
+	// stays flat. Index is the back-end node ID.
+	NodeQueueP99Ms []float64 `json:"node_queue_p99_ms,omitempty"`
 }
 
 // LatencyReport is the `latency` section of BENCH_sim.json: per-combo
@@ -210,29 +218,189 @@ type LatencyReport struct {
 	Combos []LatencyComboPoint `json:"combos"`
 }
 
-func latencyReport(cfg BenchConfig, results []Result) *LatencyReport {
-	maxNodes := 0
+func maxNodes(cfg BenchConfig) int {
+	m := 0
 	for _, n := range cfg.Nodes {
-		if n > maxNodes {
-			maxNodes = n
+		if n > m {
+			m = n
 		}
 	}
-	rep := &LatencyReport{Nodes: maxNodes}
-	ms := func(v core.Micros) float64 { return float64(v) / float64(core.Millisecond) }
+	return m
+}
+
+func micsToMs(v core.Micros) float64 { return float64(v) / float64(core.Millisecond) }
+
+func latencyReport(cfg BenchConfig, results []Result) *LatencyReport {
+	rep := &LatencyReport{Nodes: maxNodes(cfg)}
 	for _, r := range results {
-		if r.Nodes != maxNodes {
+		if r.Nodes != rep.Nodes {
 			continue
 		}
 		rep.Combos = append(rep.Combos, LatencyComboPoint{
 			Combo:  r.Combo,
-			P50Ms:  ms(r.Latency.P50),
-			P95Ms:  ms(r.Latency.P95),
-			P99Ms:  ms(r.Latency.P99),
-			P999Ms: ms(r.Latency.P999),
-			MaxMs:  ms(r.Latency.Max),
+			P50Ms:  micsToMs(r.Latency.P50),
+			P95Ms:  micsToMs(r.Latency.P95),
+			P99Ms:  micsToMs(r.Latency.P99),
+			P999Ms: micsToMs(r.Latency.P999),
+			MaxMs:  micsToMs(r.Latency.Max),
 		})
 	}
 	return rep
+}
+
+// attachNodeDelays fills each latency combo point's per-node queue-delay
+// digest by re-running the combo's largest-cluster configuration with the
+// per-node histograms enabled. A separate pass so the measured sweep's
+// per-event cost is not polluted by bookkeeping the reference run does not
+// carry; virtual-time delays are deterministic, so the re-run reproduces
+// the measured run's behavior exactly.
+func attachNodeDelays(cfg BenchConfig, tr *trace.Trace, rep *LatencyReport) error {
+	byName := make(map[string]Combo)
+	for _, c := range Combos() {
+		byName[c.Name] = c
+	}
+	for i := range rep.Combos {
+		combo, ok := byName[rep.Combos[i].Combo]
+		if !ok {
+			continue
+		}
+		c := DefaultConfig(rep.Nodes, combo)
+		c.Server = server.CostsFor(cfg.Server)
+		c.RecordNodeDelays = true
+		workload := tr
+		if !combo.PHTTP {
+			workload = tr.Flatten10()
+		}
+		r, err := Run(c, workload)
+		if err != nil {
+			return err
+		}
+		p99s := make([]float64, len(r.NodeDelays))
+		for n, d := range r.NodeDelays {
+			p99s[n] = micsToMs(d.P99)
+		}
+		rep.Combos[i].NodeQueueP99Ms = p99s
+	}
+	return nil
+}
+
+// LocalityPoint is one (tier size, state backend, staleness) configuration
+// of the front-end-tier locality sweep.
+type LocalityPoint struct {
+	// Frontends is the tier size; State is the dispatch-state backend
+	// ("local", "sharded", "replicated").
+	Frontends int    `json:"frontends"`
+	State     string `json:"state"`
+	// StalenessMs is the replicated sync interval in simulated
+	// milliseconds; 0 means the replicas never sync (the
+	// infinite-staleness endpoint of the freshness axis). Omitted for
+	// local and sharded backends, whose state has a single owner.
+	StalenessMs float64 `json:"staleness_ms,omitempty"`
+	// HitRate is the aggregate back-end cache hit rate; HitRateDrop is
+	// the baseline (one front-end, local state) hit rate minus this
+	// point's — the locality lost to splitting the dispatcher.
+	HitRate     float64 `json:"hit_rate"`
+	HitRateDrop float64 `json:"hit_rate_drop_vs_local"`
+	// Throughput and MeanDelayMs are the run's primary service metrics.
+	Throughput  float64 `json:"throughput_rps"`
+	MeanDelayMs float64 `json:"mean_delay_ms"`
+}
+
+// LocalityCurve is one combo's locality-degradation-vs-freshness curve:
+// the single-front-end baseline first, then sharded tiers of growing
+// size, then replicated tiers from fresh to never-synced.
+type LocalityCurve struct {
+	Combo  string          `json:"combo"`
+	Policy string          `json:"policy"`
+	Points []LocalityPoint `json:"points"`
+}
+
+// LocalityReport is the `locality` section of BENCH_sim.json: how much
+// cache locality each mapping policy loses as the front-end tier scales
+// out, against the freshness of the shared dispatch state. Virtual-time
+// results — deterministic per (workload, config), machine-independent
+// like the latency section.
+type LocalityReport struct {
+	// Nodes is the back-end cluster size every point runs (the reference
+	// sweep's largest).
+	Nodes int `json:"nodes"`
+	// Curves holds one entry per mapping combo.
+	Curves []LocalityCurve `json:"curves"`
+}
+
+// localityFrontends are the sharded tier sizes swept; the largest is also
+// the replicated tier size for the staleness axis.
+var localityFrontends = []int{2, 4}
+
+// localityStaleness is the replicated freshness axis, fresh to stale; the
+// terminal 0 is "never sync" (fully independent replicas).
+var localityStaleness = []core.Micros{
+	10 * core.Millisecond,
+	100 * core.Millisecond,
+	1000 * core.Millisecond,
+	0,
+}
+
+// MeasureLocality runs the front-end-tier locality sweep for every
+// mapping combo of the reference set (WRR carries no dispatch state worth
+// sharing, so it is skipped): baseline, sharded ownership at growing tier
+// sizes, and full replication across the staleness axis.
+func MeasureLocality(cfg BenchConfig, tr *trace.Trace) (*LocalityReport, error) {
+	rep := &LocalityReport{Nodes: maxNodes(cfg)}
+	run := func(combo Combo, fes int, mode dstate.Mode, staleness core.Micros) (Result, error) {
+		c := DefaultConfig(rep.Nodes, combo)
+		c.Server = server.CostsFor(cfg.Server)
+		c.Frontends = fes
+		c.FEState = mode
+		c.Staleness = staleness
+		workload := tr
+		if !combo.PHTTP {
+			workload = tr.Flatten10()
+		}
+		return Run(c, workload)
+	}
+	point := func(r Result, fes int, mode dstate.Mode, staleness core.Micros, base Result) LocalityPoint {
+		return LocalityPoint{
+			Frontends:   fes,
+			State:       mode.String(),
+			StalenessMs: micsToMs(staleness),
+			HitRate:     r.HitRate,
+			HitRateDrop: base.HitRate - r.HitRate,
+			Throughput:  r.Throughput,
+			MeanDelayMs: micsToMs(r.MeanDelay),
+		}
+	}
+	for _, combo := range Combos() {
+		if combo.Policy == "wrr" {
+			continue
+		}
+		base, err := run(combo, 1, dstate.ModeLocal, 0)
+		if err != nil {
+			return nil, err
+		}
+		curve := LocalityCurve{
+			Combo:  combo.Name,
+			Policy: base.Policy,
+			Points: []LocalityPoint{point(base, 1, dstate.ModeLocal, 0, base)},
+		}
+		for _, fes := range localityFrontends {
+			r, err := run(combo, fes, dstate.ModeSharded, 0)
+			if err != nil {
+				return nil, err
+			}
+			curve.Points = append(curve.Points, point(r, fes, dstate.ModeSharded, 0, base))
+		}
+		replFEs := localityFrontends[len(localityFrontends)-1]
+		for _, st := range localityStaleness {
+			r, err := run(combo, replFEs, dstate.ModeReplicated, st)
+			if err != nil {
+				return nil, err
+			}
+			curve.Points = append(curve.Points, point(r, replFEs, dstate.ModeReplicated, st, base))
+		}
+		rep.Curves = append(rep.Curves, curve)
+	}
+	return rep, nil
 }
 
 // BenchReport is the payload of BENCH_sim.json. Every section carries its
@@ -249,6 +417,9 @@ type BenchReport struct {
 	// Latency is the per-combo tail digest of the serial sweep
 	// (deterministic: moves only with simulated behavior, not hardware).
 	Latency *LatencyReport `json:"latency,omitempty"`
+	// Locality is the front-end-tier locality-vs-freshness sweep
+	// (deterministic, like Latency).
+	Locality *LocalityReport `json:"locality,omitempty"`
 	// Scaling is the multi-core worker-count curve (or its skip marker);
 	// nil when the run did not ask for one (phttp-bench -scaling).
 	Scaling *ScalingReport `json:"scaling,omitempty"`
@@ -457,6 +628,12 @@ func RunBench(cfg BenchConfig) (BenchReport, error) {
 		return rep, err
 	}
 	rep.Latency = latencyReport(cfg, serialResults)
+	if err = attachNodeDelays(cfg, tr, rep.Latency); err != nil {
+		return rep, err
+	}
+	if rep.Locality, err = MeasureLocality(cfg, tr); err != nil {
+		return rep, err
+	}
 	if rep.Parallel, _, err = measureSweep(cfg, tr, 0); err != nil {
 		return rep, err
 	}

@@ -50,6 +50,41 @@ func TestRunBenchSmall(t *testing.T) {
 	if rep.Baseline == nil || rep.SpeedupWallClock <= 0 {
 		t.Errorf("baseline attachment: %+v", rep)
 	}
+
+	if rep.Latency == nil || len(rep.Latency.Combos) != len(Combos()) {
+		t.Fatalf("latency section: %+v", rep.Latency)
+	}
+	for _, c := range rep.Latency.Combos {
+		// One back-end in this scaled-down reference → one queue digest.
+		if len(c.NodeQueueP99Ms) != 1 {
+			t.Errorf("combo %s: node queue digest %v, want one entry", c.Combo, c.NodeQueueP99Ms)
+		}
+	}
+
+	wantCurves := 0
+	for _, c := range Combos() {
+		if c.Policy != "wrr" {
+			wantCurves++
+		}
+	}
+	if rep.Locality == nil || len(rep.Locality.Curves) != wantCurves {
+		t.Fatalf("locality section: %+v", rep.Locality)
+	}
+	wantPoints := 1 + len(localityFrontends) + len(localityStaleness)
+	for _, curve := range rep.Locality.Curves {
+		if len(curve.Points) != wantPoints {
+			t.Fatalf("curve %s has %d points, want %d", curve.Combo, len(curve.Points), wantPoints)
+		}
+		base := curve.Points[0]
+		if base.Frontends != 1 || base.State != "local" || base.HitRateDrop != 0 {
+			t.Errorf("curve %s baseline point: %+v", curve.Combo, base)
+		}
+		for _, p := range curve.Points {
+			if p.Throughput <= 0 || p.HitRate < 0 || p.HitRate > 1 {
+				t.Errorf("curve %s point %+v out of range", curve.Combo, p)
+			}
+		}
+	}
 }
 
 // TestMeasureScaling pins the scaling section's two shapes — an explicit

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"phttp/internal/core"
+	"phttp/internal/metrics"
 	"phttp/internal/trace"
 )
 
@@ -236,5 +237,72 @@ func TestChurnKindStrings(t *testing.T) {
 	}
 	if s := ChurnKind(9).String(); !strings.Contains(s, "9") {
 		t.Errorf("ChurnKind(9).String() = %q", s)
+	}
+}
+
+// TestChurnCrashDuringSetup pins the connection-setup retry path: with a
+// back-end connection setup long enough that the whole trace is still
+// opening when the crash lands, every affected connection either moves
+// to a surviving node (within the budget) or fails whole (budget 0) —
+// and the books still balance.
+func TestChurnCrashDuringSetup(t *testing.T) {
+	cfg := churnConfig(t, "simple-LARD-PHTTP")
+	// Stretch setup so the crash reliably catches connections mid-open.
+	cfg.Server.ConnSetup = 200 * core.Millisecond
+	cfg.Churn = []ChurnEvent{{At: 50 * core.Millisecond, Kind: ChurnCrash, Node: 0}}
+	cfg.RetryBudget = 2
+	res, err := Run(cfg, churnTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Redispatches == 0 {
+		t.Error("crash during a 200ms setup window re-dispatched nothing")
+	}
+	if res.FailedRequests != 0 {
+		t.Errorf("crash with 3 healthy nodes and budget 2 failed %d requests", res.FailedRequests)
+	}
+
+	// Budget 0: the same crash fails every caught connection outright.
+	cfg.RetryBudget = 0
+	res0, err := Run(cfg, churnTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res0.Redispatches != 0 {
+		t.Errorf("budget 0 re-dispatched %d times", res0.Redispatches)
+	}
+	if res0.FailedRequests == 0 {
+		t.Error("budget 0 crash during setup failed no requests")
+	}
+	if res0.Requests+res0.FailedRequests != totalRequests(cfg, churnTrace()) {
+		t.Errorf("books do not balance: %d served + %d failed != %d total",
+			res0.Requests, res0.FailedRequests, totalRequests(cfg, churnTrace()))
+	}
+}
+
+// TestResultStringAndTailSeries pins the human-facing render paths the
+// figure drivers use: Result's one-line summary and the tail-latency
+// series fold.
+func TestResultStringAndTailSeries(t *testing.T) {
+	r := Result{
+		Combo: "simple-LARD-PHTTP", Nodes: 4, Throughput: 123.4, HitRate: 0.5,
+		Latency: LatencySummary{P50: 2 * core.Millisecond, P95: 5 * core.Millisecond,
+			P99: 10 * core.Millisecond, P999: 20 * core.Millisecond},
+	}
+	s := r.String()
+	if !strings.Contains(s, "simple-LARD-PHTTP") || !strings.Contains(s, "p99=10.0ms") {
+		t.Errorf("Result.String = %q", s)
+	}
+	p50, p95, p99, p999 := TailSeries([]float64{1, 2}, []Result{r, r})
+	for _, se := range []struct {
+		name string
+		s    *metrics.Series
+		want float64
+	}{
+		{"p50", p50, 2}, {"p95", p95, 5}, {"p99", p99, 10}, {"p999", p999, 20},
+	} {
+		if len(se.s.Points) != 2 || se.s.Points[0].Y != se.want || se.s.Points[1].Y != se.want {
+			t.Errorf("%s series = %v, want y=%g at both points", se.name, se.s.Points, se.want)
+		}
 	}
 }

@@ -18,6 +18,7 @@ import (
 
 	"phttp/internal/core"
 	"phttp/internal/dispatch"
+	"phttp/internal/dstate"
 	"phttp/internal/policy"
 	"phttp/internal/server"
 )
@@ -196,6 +197,30 @@ type Config struct {
 	// than it. Zero (the figure configurations) disables the count; the
 	// latency histogram itself always records.
 	SLOTarget core.Micros
+
+	// Frontends is the scale-out front-end tier size: connections are
+	// admitted round-robin across this many front-ends, each with its own
+	// CPU and its own dispatch-state view (FEState). 0 or 1 — the paper's
+	// figure configurations — is the single front-end whose event
+	// sequence is bit-identical to the pre-tier simulator.
+	Frontends int
+	// FEState selects the dispatch-state backend for the tier
+	// (dstate.ModeLocal / ModeSharded / ModeReplicated). The zero value
+	// is local, which requires Frontends <= 1.
+	FEState dstate.Mode
+	// Staleness is the replicated tier's sync interval in simulated time:
+	// every Staleness microseconds the front-ends exchange their mapping
+	// deltas and load vectors, so each decides on state at most that
+	// stale. 0 never syncs (fully independent replicas — the infinite-
+	// staleness endpoint of the freshness sweep). Only valid with
+	// FEState == dstate.ModeReplicated.
+	Staleness core.Micros
+	// RecordNodeDelays enables the per-node queue-delay histograms: the
+	// time every CPU and disk acquisition spent waiting in the node's
+	// FIFO, recorded per back-end and summarized in Result.NodeDelays.
+	// Off by default — the histograms cost ~57 KB per node and a clone
+	// at the warm point.
+	RecordNodeDelays bool
 }
 
 // DefaultCacheBytes is the simulator's back-end cache size: the paper's
@@ -263,6 +288,24 @@ func (c Config) Validate() error {
 	}
 	if c.SLOTarget < 0 {
 		return fmt.Errorf("sim: SLOTarget must be non-negative, got %d", c.SLOTarget)
+	}
+	if c.Frontends < 0 {
+		return fmt.Errorf("sim: Frontends must be non-negative, got %d", c.Frontends)
+	}
+	switch c.FEState {
+	case dstate.ModeLocal:
+		if c.Frontends > 1 {
+			return fmt.Errorf("sim: local dispatch state is single-front-end; %d front-ends need FEState sharded or replicated", c.Frontends)
+		}
+	case dstate.ModeSharded, dstate.ModeReplicated:
+	default:
+		return fmt.Errorf("sim: invalid FEState %d", int(c.FEState))
+	}
+	if c.Staleness < 0 {
+		return fmt.Errorf("sim: Staleness must be non-negative, got %d", c.Staleness)
+	}
+	if c.Staleness > 0 && c.FEState != dstate.ModeReplicated {
+		return fmt.Errorf("sim: Staleness is the replicated sync interval; FEState is %v", c.FEState)
 	}
 	for i, ev := range c.Churn {
 		if ev.At < 0 {

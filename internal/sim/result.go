@@ -51,10 +51,18 @@ type Result struct {
 
 	// Latency summarizes the post-warmup per-request delay distribution
 	// (same delay definition as MeanDelay, batch arrival to transmit
-	// completion), read from the run's HDR-style histogram. A value type,
-	// so Result stays comparable with == (the sweep stability tests
-	// depend on that). Deterministic for a given (config, trace).
+	// completion), read from the run's HDR-style histogram. A value type.
+	// Deterministic for a given (config, trace).
 	Latency LatencySummary
+
+	// NodeDelays, when Config.RecordNodeDelays is set (nil otherwise),
+	// holds one post-warmup queue-delay digest per back-end: the time
+	// each CPU and disk acquisition spent waiting in that node's FIFO
+	// before service — the load-imbalance signature WRR's hot nodes show
+	// and locality-aware dispatch flattens. The slice makes Result
+	// non-comparable with ==; stability tests compare with
+	// reflect.DeepEqual.
+	NodeDelays []LatencySummary
 
 	// Churn counters (zero for churn-free runs). Redispatches counts
 	// requests and connection opens re-sent to a live node after their

@@ -6,6 +6,7 @@ import (
 	"phttp/internal/cache"
 	"phttp/internal/core"
 	"phttp/internal/dispatch"
+	"phttp/internal/dstate"
 	"phttp/internal/policy"
 	"phttp/internal/simcore"
 	"phttp/internal/trace"
@@ -62,9 +63,23 @@ type Sim struct {
 	cfg   Config
 	eng   *simcore.Engine
 	nodes []*node
-	fe    simcore.Resource
-	disp  *dispatch.Engine
-	trace *trace.Trace
+	// fes holds one front-end CPU per tier member; fes[0] is the paper's
+	// single front-end. disp is front-end 0's dispatch engine — the
+	// whole tier in single-front-end runs, and the engine-level phase
+	// view (identical on every member) in scale-out ones. engs lists
+	// every front-end's engine; tier carries a replicated run's
+	// journals and sync machinery (nil otherwise).
+	fes  []simcore.Resource
+	disp *dispatch.Engine
+	engs []*dispatch.Engine
+	tier *dstate.Tier
+	// multiFE gates every scale-out check the way hasChurn gates churn:
+	// a single-front-end run takes none of them, so its event sequence —
+	// and therefore its result — stays bit-identical to the pre-tier
+	// simulator.
+	multiFE  bool
+	admitIdx int
+	trace    *trace.Trace
 
 	nextConn int // next trace connection to admit
 	active   int
@@ -101,7 +116,19 @@ type Sim struct {
 	warmFEBusy   core.Micros
 	warmCPUBusy  []core.Micros
 	warmDiskBusy []core.Micros
+
+	// nodeDelay, when Config.RecordNodeDelays is set, holds one
+	// queue-delay histogram per back-end: every CPU and disk acquisition
+	// records how long it waited in the node's FIFO before service.
+	// warmNodeDelay is the per-node snapshot at the warm point.
+	nodeDelay     []*core.LatencyHist
+	warmNodeDelay []*core.LatencyHist
 }
+
+// shardRingSeed salts the simulator's shard-ownership ring (sharded
+// dispatch state). Fixed, like every simulator seed, so runs are a pure
+// function of (config, trace).
+const shardRingSeed = 0x1d15a7c4
 
 // Run simulates the trace under cfg and returns the measured result. For
 // non-P-HTTP combos the trace is flattened to HTTP/1.0 form per call; sweep
@@ -152,9 +179,33 @@ func runOnEngine(cfg Config, workload *trace.Trace, eng *simcore.Engine) (Result
 	}
 	spec := cfg.dispatchSpec()
 	spec.Interner = workload.Interner
-	disp, err := dispatch.NewEngine(spec)
-	if err != nil {
-		return Result{}, err
+	frontends := cfg.Frontends
+	if frontends < 1 {
+		frontends = 1
+	}
+	var (
+		engs []*dispatch.Engine
+		tier *dstate.Tier
+	)
+	if frontends == 1 && cfg.FEState == dstate.ModeLocal {
+		// The single-front-end path builds exactly the pre-tier engine
+		// (a dstate.Local store), keeping the figure goldens
+		// bit-identical.
+		disp, err := dispatch.NewEngine(spec)
+		if err != nil {
+			return Result{}, err
+		}
+		engs = []*dispatch.Engine{disp}
+	} else {
+		var err error
+		engs, tier, err = dispatch.NewTierEngines(spec, dstate.TierConfig{
+			Mode:      cfg.FEState,
+			Frontends: frontends,
+			Seed:      shardRingSeed,
+		})
+		if err != nil {
+			return Result{}, err
+		}
 	}
 	if eng == nil {
 		eng = simcore.NewEngine()
@@ -162,11 +213,21 @@ func runOnEngine(cfg Config, workload *trace.Trace, eng *simcore.Engine) (Result
 		eng.Reset()
 	}
 	s := &Sim{
-		cfg:   cfg,
-		eng:   eng,
-		disp:  disp,
-		trace: workload,
-		hist:  core.NewLatencyHist(),
+		cfg:     cfg,
+		eng:     eng,
+		fes:     make([]simcore.Resource, frontends),
+		disp:    engs[0],
+		engs:    engs,
+		tier:    tier,
+		multiFE: frontends > 1,
+		trace:   workload,
+		hist:    core.NewLatencyHist(),
+	}
+	if cfg.RecordNodeDelays {
+		s.nodeDelay = make([]*core.LatencyHist, cfg.Nodes)
+		for i := range s.nodeDelay {
+			s.nodeDelay[i] = core.NewLatencyHist()
+		}
 	}
 	s.nodes = make([]*node, cfg.Nodes)
 	for i := range s.nodes {
@@ -193,6 +254,10 @@ func runOnEngine(cfg Config, workload *trace.Trace, eng *simcore.Engine) (Result
 				s.eng.Call(ev.At, churnStep, s, int64(i), 0)
 			}
 		}
+	}
+
+	if tier != nil && cfg.FEState == dstate.ModeReplicated && cfg.Staleness > 0 {
+		s.eng.Call(cfg.Staleness, syncStep, s, 0, 0)
 	}
 
 	inFlight := cfg.ConnsPerNode * cfg.Nodes
@@ -230,6 +295,17 @@ func releaseCPU(obj any, _, node int64) {
 	obj.(*Sim).nodes[node].cpu.Release()
 }
 
+// syncStep fires one replication round and schedules the next while
+// connections remain in flight (the event queue must drain when the
+// trace completes).
+func syncStep(obj any, _, _ int64) {
+	s := obj.(*Sim)
+	s.tier.Sync()
+	if s.active > 0 {
+		s.eng.Call(s.eng.Now()+s.cfg.Staleness, syncStep, s, 0, 0)
+	}
+}
+
 // churnStep fires one scheduled membership event (idx into cfg.Churn).
 func churnStep(obj any, idx, _ int64) {
 	s := obj.(*Sim)
@@ -243,13 +319,22 @@ func churnStep(obj any, idx, _ int64) {
 // re-dispatches then (the prototype analogue: the front-end learns of
 // the crash from the broken control link, not from the requests).
 func (s *Sim) applyChurn(ev ChurnEvent) {
+	// Every front-end learns of the transition at once — the prototype
+	// analogue is each front-end's own membership table observing the
+	// same control-link break.
 	switch ev.Kind {
 	case ChurnJoin:
-		s.disp.SetNodeUp(ev.Node)
+		for _, e := range s.engs {
+			e.SetNodeUp(ev.Node)
+		}
 	case ChurnLeave:
-		s.disp.SetNodeDraining(ev.Node)
+		for _, e := range s.engs {
+			e.SetNodeDraining(ev.Node)
+		}
 	case ChurnCrash:
-		s.disp.SetNodeDown(ev.Node)
+		for _, e := range s.engs {
+			e.SetNodeDown(ev.Node)
+		}
 		s.nodes[ev.Node].cache.Clear()
 	}
 }
@@ -260,17 +345,59 @@ func (s *Sim) nodeLost(n core.NodeID) bool {
 	return s.hasChurn && s.disp.NodeIsDown(n)
 }
 
-// feCall schedules cost on the front-end CPU (scaled by the configured
+// feCall schedules cost on front-end fe's CPU (scaled by the configured
 // front-end speedup) and dispatches act(obj, phase, -1) at completion; the
 // handler releases the front-end.
 //
 //phttp:hotpath
-func (s *Sim) feCall(cost core.Micros, act simcore.Action, obj any, phase int64) {
+func (s *Sim) feCall(fe int, cost core.Micros, act simcore.Action, obj any, phase int64) {
 	if s.cfg.FESpeedup > 1 {
 		cost = core.Micros(float64(cost) / s.cfg.FESpeedup)
 	}
-	done := s.fe.Schedule(s.eng.Now(), cost)
+	done := s.fes[fe].Schedule(s.eng.Now(), cost)
 	s.eng.Call(done, act, obj, phase, -1)
+}
+
+// feCallRemote charges fire-and-forget CPU work on front-end fe — the
+// owner's side of a forwarded state transaction in sharded mode.
+func (s *Sim) feCallRemote(fe int, cost core.Micros) {
+	if s.cfg.FESpeedup > 1 {
+		cost = core.Micros(float64(cost) / s.cfg.FESpeedup)
+	}
+	done := s.fes[fe].Schedule(s.eng.Now(), cost)
+	s.eng.Call(done, feRelease, s, int64(fe), 0)
+}
+
+// feRelease releases front-end fe's CPU (fire-and-forget completions).
+//
+//phttp:hotpath
+func feRelease(obj any, fe, _ int64) {
+	obj.(*Sim).fes[fe].Release()
+}
+
+// feBusy sums the front-end CPUs' busy time (one term per tier member).
+func (s *Sim) feBusy() core.Micros {
+	var t core.Micros
+	for i := range s.fes {
+		t += s.fes[i].BusyTotal()
+	}
+	return t
+}
+
+// reportDiskQueue delivers a disk-queue report to every front-end's
+// engine — in the prototype each front-end holds its own control links,
+// so each hears every back-end directly. The single-front-end path skips
+// the loop.
+//
+//phttp:hotpath
+func (s *Sim) reportDiskQueue(n core.NodeID, queued int) {
+	if !s.multiFE {
+		s.disp.ReportDiskQueue(n, queued)
+		return
+	}
+	for _, e := range s.engs {
+		e.ReportDiskQueue(n, queued)
+	}
 }
 
 // cpuCall schedules cost on node n's CPU and dispatches act(obj, phase, n)
@@ -278,7 +405,11 @@ func (s *Sim) feCall(cost core.Micros, act simcore.Action, obj any, phase int64)
 //
 //phttp:hotpath
 func (s *Sim) cpuCall(n core.NodeID, cost core.Micros, act simcore.Action, obj any, phase int64) {
-	done := s.nodes[n].cpu.Schedule(s.eng.Now(), cost)
+	now := s.eng.Now()
+	done := s.nodes[n].cpu.Schedule(now, cost)
+	if s.nodeDelay != nil {
+		s.nodeDelay[n].Record(int64(done - now - cost))
+	}
 	s.eng.Call(done, act, obj, phase, int64(n))
 }
 
@@ -290,8 +421,13 @@ func (s *Sim) cpuCall(n core.NodeID, cost core.Micros, act simcore.Action, obj a
 //phttp:hotpath
 func (s *Sim) diskCall(n core.NodeID, size int64, act simcore.Action, obj any, phase int64) {
 	nd := s.nodes[n]
-	done := nd.disk.Schedule(s.eng.Now(), s.cfg.Disk.ReadTime(size))
-	s.disp.ReportDiskQueue(n, nd.disk.Queued())
+	now := s.eng.Now()
+	cost := s.cfg.Disk.ReadTime(size)
+	done := nd.disk.Schedule(now, cost)
+	if s.nodeDelay != nil {
+		s.nodeDelay[n].Record(int64(done - now - cost))
+	}
+	s.reportDiskQueue(n, nd.disk.Queued())
 	s.eng.Call(done, act, obj, phase, int64(n))
 }
 
@@ -317,6 +453,7 @@ func (s *Sim) getConn() *connRun {
 func (s *Sim) putConn(cr *connRun) {
 	cr.conn = core.Connection{}
 	cr.ec = nil
+	cr.disp, cr.fe = nil, 0
 	cr.batchIdx, cr.outstanding, cr.batchStart = 0, 0, 0
 	cr.tries, cr.aborted = 0, false
 	s.freeConns = append(s.freeConns, cr)
@@ -355,6 +492,12 @@ func (s *Sim) admit() bool {
 	s.active++
 	cr := s.getConn()
 	cr.conn = conn
+	// Round-robin client arrival over the front-end tier (a DNS-RR or L4
+	// spray in front of the front-ends); one front-end takes them all in
+	// the single-front-end model.
+	cr.fe = s.admitIdx % len(s.engs)
+	cr.disp = s.engs[cr.fe]
+	s.admitIdx++
 	cr.open()
 	return true
 }
@@ -362,7 +505,7 @@ func (s *Sim) admit() bool {
 // connDone finishes a connection's lifecycle, admits the next, and recycles
 // the run record.
 func (s *Sim) connDone(cr *connRun) {
-	s.disp.ConnClose(cr.ec)
+	cr.disp.ConnClose(cr.ec)
 	s.active--
 	s.doneConns++
 	if !s.warmed && s.doneConns >= s.warmConns {
@@ -372,11 +515,17 @@ func (s *Sim) connDone(cr *connRun) {
 		s.warmDelaySum = s.delaySum
 		s.warmHist = s.hist.Clone()
 		s.warmTime = s.eng.Now()
-		s.warmFEBusy = s.fe.BusyTotal()
+		s.warmFEBusy = s.feBusy()
 		for i, n := range s.nodes {
 			s.warmCPUBusy[i] = n.cpu.BusyTotal()
 			s.warmDiskBusy[i] = n.disk.BusyTotal()
 			n.cache.ResetStats()
+		}
+		if s.nodeDelay != nil {
+			s.warmNodeDelay = make([]*core.LatencyHist, len(s.nodeDelay))
+			for i, h := range s.nodeDelay {
+				s.warmNodeDelay[i] = h.Clone()
+			}
 		}
 	}
 	s.putConn(cr)
@@ -388,6 +537,10 @@ type connRun struct {
 	sim  *Sim
 	conn core.Connection
 	ec   *dispatch.Conn
+	// disp/fe pin the connection to the front-end that admitted it: its
+	// accept, per-request relay work and dispatch decisions run there.
+	disp *dispatch.Engine
+	fe   int
 
 	batchIdx    int
 	outstanding int
@@ -406,16 +559,27 @@ type connRun struct {
 func (c *connRun) open() {
 	s := c.sim
 	first := c.conn.Batches[0][0]
-	c.ec, _ = s.disp.ConnOpen(first)
+	c.ec, _ = c.disp.ConnOpen(first)
 	costs := s.cfg.Server
+	var forward core.Micros
+	if s.multiFE {
+		if owner := int(c.ec.State().OwnerFE); owner >= 0 && owner != c.fe {
+			// Sharded state: the connection's state transaction ran on
+			// the owning front-end. Charge one request's worth of
+			// forwarding work here and the same on the owner's CPU (the
+			// RPC service time), fire-and-forget.
+			forward = costs.FEPerRequest
+			s.feCallRemote(owner, costs.FEPerRequest)
+		}
+	}
 	if s.cfg.Combo.Mechanism == core.RelayFrontEnd {
 		// The front-end terminates the client connection itself and
 		// reuses persistent back-end connections; back-ends see no
 		// per-connection work.
-		s.feCall(costs.FEConn, connStep, c, cpOpenFE)
+		s.feCall(c.fe, costs.FEConn+forward, connStep, c, cpOpenFE)
 		return
 	}
-	s.feCall(costs.FEConn+costs.HandoffFE, connStep, c, cpOpenFE)
+	s.feCall(c.fe, costs.FEConn+costs.HandoffFE+forward, connStep, c, cpOpenFE)
 }
 
 // step advances the connection lifecycle after the event (phase, node).
@@ -426,7 +590,7 @@ func (c *connRun) step(phase int, n core.NodeID) {
 	costs := s.cfg.Server
 	switch phase {
 	case cpOpenFE:
-		s.fe.Release()
+		s.fes[c.fe].Release()
 		if s.cfg.Combo.Mechanism == core.RelayFrontEnd {
 			c.serveBatch()
 			return
@@ -440,7 +604,7 @@ func (c *connRun) step(phase int, n core.NodeID) {
 		}
 		c.serveBatch()
 	case cpCloseFE:
-		s.fe.Release()
+		s.fes[c.fe].Release()
 		s.connDone(c)
 	case cpCloseBE:
 		s.nodes[n].cpu.Release()
@@ -460,7 +624,7 @@ func (c *connRun) reopen(dead core.NodeID) {
 	c.tries++
 	t := core.NoNode
 	if c.tries <= s.cfg.RetryBudget {
-		t = s.disp.PickUp(dead)
+		t = c.disp.PickUp(dead)
 	}
 	if t == core.NoNode {
 		for _, b := range c.conn.Batches[c.batchIdx:] {
@@ -470,7 +634,7 @@ func (c *connRun) reopen(dead core.NodeID) {
 		return
 	}
 	s.redispatches++
-	s.disp.MoveConn(c.ec, t)
+	c.disp.MoveConn(c.ec, t)
 	costs := s.cfg.Server
 	s.cpuCall(t, costs.HandoffBE+costs.ConnSetup, connStep, c, cpOpenBE)
 }
@@ -482,7 +646,7 @@ func (c *connRun) reopen(dead core.NodeID) {
 func (c *connRun) serveBatch() {
 	s := c.sim
 	batch := c.conn.Batches[c.batchIdx]
-	assignments := s.disp.AssignBatch(c.ec, batch)
+	assignments := c.disp.AssignBatch(c.ec, batch)
 	c.outstanding = len(batch)
 	c.batchStart = s.eng.Now()
 	for i, r := range batch {
@@ -500,24 +664,24 @@ func (c *connRun) serveRequest(r core.Request, a core.Assignment) {
 	case s.cfg.Combo.Mechanism == core.RelayFrontEnd:
 		// Request relayed by FE, served at a.Node, response relayed by
 		// FE to the client.
-		s.feCall(costs.FEPerRequest, reqStep, rr, rqFE)
+		s.feCall(c.fe, costs.FEPerRequest, reqStep, rr, rqFE)
 
 	case a.Forward:
 		// BE forwarding: FE forwards the tagged request to the handling
 		// node; the remote node produces the content; the handling node
 		// receives and retransmits it.
 		rr.aux = c.ec.Handling()
-		s.feCall(costs.FEPerRequest, reqStep, rr, rqFE)
+		s.feCall(c.fe, costs.FEPerRequest, reqStep, rr, rqFE)
 
 	case a.Migrate && s.cfg.Combo.Mechanism == core.MultipleHandoff:
 		// Migration: FE coordinates, both back-ends do handoff work,
 		// then the new handling node serves the request.
-		s.feCall(costs.HandoffFE, reqStep, rr, rqMigFE)
+		s.feCall(c.fe, costs.HandoffFE, reqStep, rr, rqMigFE)
 
 	default:
 		// Local serve at the assigned node (covers single handoff,
 		// zero-cost reassignment, and non-migrating requests).
-		s.feCall(costs.FEPerRequest, reqStep, rr, rqFE)
+		s.feCall(c.fe, costs.FEPerRequest, reqStep, rr, rqFE)
 	}
 }
 
@@ -544,7 +708,7 @@ func (rr *reqRun) step(phase int, n core.NodeID) {
 	costs := s.cfg.Server
 	switch phase {
 	case rqFE:
-		s.fe.Release()
+		s.fes[c.fe].Release()
 		if rr.a.Forward {
 			remote := rr.a.Node
 			s.cpuCall(remote, costs.PerRequest+costs.ForwardPerRequest, reqStep, rr, rqRemoteCPU)
@@ -571,7 +735,7 @@ func (rr *reqRun) step(phase int, n core.NodeID) {
 	case rqLocalDisk:
 		nd := s.nodes[n]
 		nd.disk.Release()
-		s.disp.ReportDiskQueue(n, nd.disk.Queued())
+		s.reportDiskQueue(n, nd.disk.Queued())
 		if s.nodeLost(n) {
 			// The read never reached the client and the node's cache
 			// restarts cold: no insert.
@@ -588,13 +752,13 @@ func (rr *reqRun) step(phase int, n core.NodeID) {
 			return
 		}
 		if s.cfg.Combo.Mechanism == core.RelayFrontEnd {
-			s.feCall(costs.Relay(rr.size), reqStep, rr, rqRelayOut)
+			s.feCall(c.fe, costs.Relay(rr.size), reqStep, rr, rqRelayOut)
 			return
 		}
 		rr.done()
 
 	case rqRelayOut:
-		s.fe.Release()
+		s.fes[c.fe].Release()
 		rr.done()
 
 	case rqRemoteCPU:
@@ -614,7 +778,7 @@ func (rr *reqRun) step(phase int, n core.NodeID) {
 	case rqRemoteDisk:
 		nd := s.nodes[n]
 		nd.disk.Release()
-		s.disp.ReportDiskQueue(n, nd.disk.Queued())
+		s.reportDiskQueue(n, nd.disk.Queued())
 		if s.nodeLost(n) {
 			rr.redispatch(n)
 			return
@@ -634,7 +798,7 @@ func (rr *reqRun) step(phase int, n core.NodeID) {
 		rr.done()
 
 	case rqMigFE:
-		s.fe.Release()
+		s.fes[c.fe].Release()
 		oldNode, newNode := rr.a.From, rr.a.Node
 		s.cpuCall(oldNode, costs.HandoffBE, releaseCPU, s, 0) // old node releases state
 		s.cpuCall(newNode, costs.HandoffBE, reqStep, rr, rqMigNewCPU)
@@ -680,18 +844,18 @@ func (rr *reqRun) redispatch(dead core.NodeID) {
 	rr.tries++
 	t := core.NoNode
 	if rr.tries <= s.cfg.RetryBudget {
-		t = s.disp.PickUp(dead)
+		t = rr.cr.disp.PickUp(dead)
 	}
 	if t == core.NoNode {
 		rr.fail()
 		return
 	}
 	s.redispatches++
-	if s.disp.NodeIsDown(rr.cr.ec.Handling()) {
-		s.disp.MoveConn(rr.cr.ec, t)
+	if rr.cr.disp.NodeIsDown(rr.cr.ec.Handling()) {
+		rr.cr.disp.MoveConn(rr.cr.ec, t)
 	}
 	rr.a = core.Assignment{Node: t}
-	s.feCall(s.cfg.Server.FEPerRequest, reqStep, rr, rqFE)
+	s.feCall(rr.cr.fe, s.cfg.Server.FEPerRequest, reqStep, rr, rqFE)
 }
 
 // done accounts one finished response, recycles the request record, and
@@ -738,7 +902,7 @@ func (rr *reqRun) finish(failed bool) {
 	// relaying front-end, which pays it on its own CPU).
 	costs := s.cfg.Server
 	if s.cfg.Combo.Mechanism == core.RelayFrontEnd {
-		s.feCall(costs.FEConn, connStep, c, cpCloseFE)
+		s.feCall(c.fe, costs.FEConn, connStep, c, cpCloseFE)
 		return
 	}
 	s.cpuCall(c.ec.Handling(), costs.ConnTeardown, connStep, c, cpCloseBE)
@@ -760,7 +924,10 @@ func (s *Sim) result() Result {
 	if elapsed > 0 {
 		res.Throughput = float64(served) / elapsed.Seconds()
 		res.BandwidthMbps = float64(s.servedBytes-s.warmBytes) * 8 / 1e6 / elapsed.Seconds()
-		res.FEUtilization = float64(s.fe.BusyTotal()-s.warmFEBusy) / float64(elapsed)
+		// Per-front-end utilization: total busy time over the tier's
+		// aggregate capacity (elapsed × members). One member divides by
+		// elapsed×1 — the same value as the pre-tier expression.
+		res.FEUtilization = float64(s.feBusy()-s.warmFEBusy) / (float64(elapsed) * float64(len(s.fes)))
 	}
 	if served > 0 {
 		res.MeanDelay = (s.delaySum - s.warmDelaySum) / core.Micros(served)
@@ -785,8 +952,25 @@ func (s *Sim) result() Result {
 	if hits+misses > 0 {
 		res.HitRate = float64(hits) / float64(hits+misses)
 	}
-	if ext, ok := s.disp.Policy().(*policy.ExtLARD); ok {
-		res.LocalServes, res.RemoteServes, res.Migrations, res.CacheBypasses = ext.Stats()
+	for _, eng := range s.engs {
+		if ext, ok := eng.Policy().(*policy.ExtLARD); ok {
+			l, r, m, b := ext.Stats()
+			res.LocalServes += l
+			res.RemoteServes += r
+			res.Migrations += m
+			res.CacheBypasses += b
+		}
+	}
+	if s.nodeDelay != nil {
+		res.NodeDelays = make([]LatencySummary, len(s.nodeDelay))
+		for i, h := range s.nodeDelay {
+			d := h
+			if s.warmNodeDelay != nil {
+				d = h.Clone()
+				d.Sub(s.warmNodeDelay[i])
+			}
+			res.NodeDelays[i] = Summarize(d, 0)
+		}
 	}
 	res.Redispatches = s.redispatches
 	res.FailedRequests = s.failed

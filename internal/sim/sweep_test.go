@@ -43,7 +43,7 @@ func TestParallelClusterSweepMatchesSerial(t *testing.T) {
 	}
 	if !reflect.DeepEqual(serialResults, parResults) {
 		for i := range serialResults {
-			if serialResults[i] != parResults[i] {
+			if !reflect.DeepEqual(serialResults[i], parResults[i]) {
 				t.Errorf("result %d differs:\nserial:   %+v\nparallel: %+v", i, serialResults[i], parResults[i])
 			}
 		}
@@ -102,7 +102,7 @@ func TestRunRepeatedOnSharedTraceIsStable(t *testing.T) {
 		if errs[i] != nil {
 			t.Fatalf("concurrent run %d: %v", i, errs[i])
 		}
-		if results[i] != ref {
+		if !reflect.DeepEqual(results[i], ref) {
 			t.Errorf("concurrent run %d diverged:\n%+v\nvs\n%+v", i, results[i], ref)
 		}
 	}
@@ -168,7 +168,7 @@ func TestRunJobsZeroesResultsOnError(t *testing.T) {
 			t.Fatalf("workers=%d: bad job did not error", workers)
 		}
 		for i, r := range results {
-			if r != (Result{}) {
+			if !reflect.DeepEqual(r, Result{}) {
 				t.Errorf("workers=%d: slot %d left populated after error: %+v", workers, i, r)
 			}
 		}
@@ -277,7 +277,7 @@ func TestSweepEntryWrappers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if direct != prepared {
+	if !reflect.DeepEqual(direct, prepared) {
 		t.Errorf("RunPrepared differs from Run:\ndirect:   %+v\nprepared: %+v", direct, prepared)
 	}
 }
